@@ -1,0 +1,47 @@
+// Ablation (DESIGN.md Sec. 6): trie-only vs trie+fuzzy Place/Brand linking,
+// across the mention-noise spectrum — quantifying why Sec. II-B pairs
+// "trie prefix tree precise matching" with "fuzzy matching of synonyms".
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "construction/schema_mapper.h"
+#include "datagen/world.h"
+
+int main(int argc, char** argv) {
+  using namespace openbg;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Ablation — trie-only vs trie+fuzzy entity linking",
+                     "the Sec. II-B linking design");
+
+  std::printf("%-12s %-10s %12s %12s %12s\n", "typo rate", "alias rate",
+              "trie-only", "trie+fuzzy", "gain");
+  for (double typo : {0.0, 0.1, 0.2, 0.35}) {
+    datagen::WorldSpec spec;
+    spec.seed = args.seed;
+    spec.scale = args.scale;
+    spec.num_products = 2500;
+    spec.mention_typo_prob = typo;
+    datagen::World world = datagen::GenerateWorld(spec);
+    std::vector<std::string> mentions;
+    std::vector<int> gold;
+    for (const datagen::Product& p : world.products) {
+      if (p.brand >= 0) {
+        mentions.push_back(p.brand_mention);
+        gold.push_back(p.brand);
+      }
+    }
+    auto trie_only = construction::SchemaMapper::Evaluate(
+        world.brands, mentions, gold, /*use_fuzzy=*/false);
+    auto with_fuzzy = construction::SchemaMapper::Evaluate(
+        world.brands, mentions, gold, /*use_fuzzy=*/true);
+    std::printf("%-12.2f %-10.2f %11.1f%% %11.1f%% %+11.1f%%\n", typo,
+                spec.mention_alias_prob, 100 * trie_only.accuracy,
+                100 * with_fuzzy.accuracy,
+                100 * (with_fuzzy.accuracy - trie_only.accuracy));
+  }
+  std::printf("\nexpected shape: the fuzzy stage's gain grows with mention "
+              "noise; at zero noise the\nstages tie (aliases are resolved "
+              "by the synonym table in both settings' gazetteer).\n");
+  return 0;
+}

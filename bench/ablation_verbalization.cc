@@ -1,0 +1,58 @@
+// Ablation (DESIGN.md Sec. 6): KG verbalization token budget — how much of
+// the KG neighborhood the encoder should see. Probe task: 5-shot category
+// prediction (where the KG signal matters most).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "pretrain/encoder.h"
+#include "pretrain/tasks.h"
+
+int main(int argc, char** argv) {
+  using namespace openbg;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Ablation — KG verbalization budget",
+                     "the Sec. IV-A verbalization design");
+
+  auto kg = core::OpenBG::Build(args.ToOptions());
+  const datagen::World& world = kg->world();
+  pretrain::TaskSplit split = pretrain::SplitProducts(world, 0.8, 31);
+  pretrain::CategoryPredictionTask task(world);
+  auto label_of = [&task](size_t i) { return task.LabelOf(i); };
+
+  pretrain::TrainOpts few;
+  few.epochs = 300;
+  few.lr = 1.0f;
+  few.batch_size = 1 << 14;
+  few.update_encoder = false;
+
+  const uint64_t kShotSeeds[] = {77, 97, 177};
+  std::printf("%-14s %10s   (5-shot accuracy, mean over %zu draws)\n",
+              "kg budget", "accuracy", std::size(kShotSeeds));
+  for (size_t budget : {0ul, 4ul, 8ul, 16ul, 32ul, 64ul}) {
+    double acc = 0.0;
+    for (uint64_t seed : kShotSeeds) {
+      util::Rng rng(seed);
+      std::vector<size_t> shots =
+          pretrain::FewShotSample(split.train, 5, label_of, &rng);
+      pretrain::EncoderConfig cfg = pretrain::MplugBaseKgConfig();
+      cfg.kg_budget = budget;
+      if (budget == 0) cfg.use_kg = false;  // budget 0 = no KG channel
+      pretrain::PretrainedEncoder enc(cfg, world);
+      pretrain::TrainOpts o = few;
+      o.seed = seed;
+      acc += task.Run(&enc, shots, split.val, o);
+    }
+    acc /= static_cast<double>(std::size(kShotSeeds));
+    std::printf("%-14zu %9.1f%%%s\n", budget, 100 * acc,
+                budget == 0 ? "   (no-KG baseline)" : "");
+    std::fflush(stdout);
+  }
+  std::printf("\nexpected shape: accuracy peaks at small budgets — the "
+              "verbalization leads with\nschema-level tokens (scenes, "
+              "crowds, attribute names) that generalize within a\n"
+              "category, and the instance-specific tail (values, brand) "
+              "only dilutes the\nchannel. The paper's 'practicality and "
+              "minimalism' lesson (Sec. VI-A), measured.\n");
+  return 0;
+}

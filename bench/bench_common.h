@@ -1,0 +1,61 @@
+#ifndef OPENBG_BENCH_BENCH_COMMON_H_
+#define OPENBG_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/openbg.h"
+#include "util/string_util.h"
+
+namespace openbg::bench {
+
+/// Shared CLI for the table/figure reproduction binaries:
+///   --scale <f>     multiplies the synthetic-world taxonomy sizes
+///   --products <n>  product count
+///   --seed <n>      world seed
+/// Defaults give a ~1/1000-of-paper world that runs each bench in minutes
+/// on one core.
+struct BenchArgs {
+  double scale = 1.0;
+  size_t products = 4000;
+  uint64_t seed = 7;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i + 1 < argc; i += 2) {
+      if (std::strcmp(argv[i], "--scale") == 0) {
+        args.scale = std::atof(argv[i + 1]);
+      } else if (std::strcmp(argv[i], "--products") == 0) {
+        args.products = static_cast<size_t>(std::atoll(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        args.seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
+      }
+    }
+    return args;
+  }
+
+  core::OpenBG::Options ToOptions() const {
+    core::OpenBG::Options opts;
+    opts.world.scale = scale;
+    opts.world.num_products = products;
+    opts.world.seed = seed;
+    return opts;
+  }
+};
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s of the OpenBG paper, ICDE 2023; synthetic\n",
+              paper_ref);
+  std::printf(" world stands in for the proprietary Alibaba data — see\n");
+  std::printf(" DESIGN.md; compare *shapes*, not absolute values)\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace openbg::bench
+
+#endif  // OPENBG_BENCH_BENCH_COMMON_H_

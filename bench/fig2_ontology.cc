@@ -1,0 +1,66 @@
+// Reproduces Fig. 2 (the core ontology) as a schema dump, and Fig. 3 (a KG
+// snapshot) as the neighborhood of one sampled product.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "rdf/triple_store.h"
+
+int main(int argc, char** argv) {
+  using namespace openbg;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  args.products = 500;  // the snapshot needs few products
+  bench::PrintHeader("Fig. 2 / Fig. 3 — core ontology and KG snapshot",
+                     "Figures 2 and 3");
+
+  auto kg = core::OpenBG::Build(args.ToOptions());
+  const auto& onto = kg->ontology();
+  const auto& dict = kg->graph().dict;
+
+  std::printf("Core classes (rdfs:subClassOf owl:Thing):\n");
+  for (ontology::CoreKind kind : ontology::kAllCoreKinds) {
+    if (ontology::IsClassKind(kind)) {
+      std::printf("  %s\n", std::string(CoreKindName(kind)).c_str());
+    }
+  }
+  std::printf("Core concepts (skos:broader skos:Concept):\n");
+  for (ontology::CoreKind kind : ontology::kAllCoreKinds) {
+    if (!ontology::IsClassKind(kind)) {
+      std::printf("  %s\n", std::string(CoreKindName(kind)).c_str());
+    }
+  }
+  std::printf("\nObject properties (domain -> range):\n");
+  for (const auto& spec : onto.object_properties()) {
+    std::printf("  %-16s %s -> %s\n", spec.name.c_str(),
+                std::string(CoreKindName(spec.domain)).c_str(),
+                std::string(CoreKindName(spec.range)).c_str());
+  }
+  std::printf("\nData properties: rdfs:label, labelEn, skos:prefLabel, "
+              "skos:altLabel,\n  rdfs:comment, imageIs, %zu product "
+              "attribute properties\n",
+              onto.attribute_properties().size());
+  std::printf("Meta properties: rdfs:subClassOf, skos:broader, rdf:type, "
+              "owl:equivalentClass,\n  rdfs:subPropertyOf, "
+              "owl:equivalentPropertyOf\n");
+
+  // Fig. 3: one product's neighborhood.
+  rdf::TermId prod = kg->assembly().product_terms[0];
+  std::printf("\nSnapshot — triples of %s:\n", dict.Text(prod).c_str());
+  int shown = 0;
+  kg->graph().store.ForEachMatch(
+      {prod, rdf::TriplePattern::kAny, rdf::TriplePattern::kAny},
+      [&](const rdf::Triple& t) {
+        std::string p = dict.Text(t.p);
+        std::string o = dict.Text(t.o);
+        auto local = [](const std::string& iri) {
+          size_t pos = iri.rfind('/');
+          return pos == std::string::npos ? iri : iri.substr(pos + 1);
+        };
+        std::printf("  <item> %-24s %s%s%s\n", local(p).c_str(),
+                    dict.IsLiteral(t.o) ? "\"" : "",
+                    (dict.IsLiteral(t.o) ? o : local(o)).c_str(),
+                    dict.IsLiteral(t.o) ? "\"" : "");
+        return ++shown < 25;
+      });
+  return 0;
+}

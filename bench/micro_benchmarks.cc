@@ -1,0 +1,144 @@
+// google-benchmark micro-benchmarks for the hot substrate paths: triple
+// store insert/query, trie matching, fuzzy resolution, CRF decode, GEMM,
+// and the samplers. These guard the performance assumptions the
+// table-reproduction benches rely on.
+
+#include <benchmark/benchmark.h>
+
+#include "crf/crf.h"
+#include "nn/kernels.h"
+#include "rdf/graph.h"
+#include "text/fuzzy.h"
+#include "text/trie.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace openbg;
+
+void BM_TripleStoreInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdf::TripleStore store;
+    util::Rng rng(7);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      store.Add(static_cast<rdf::TermId>(rng.Uniform(10000)),
+                static_cast<rdf::TermId>(rng.Uniform(50)),
+                static_cast<rdf::TermId>(rng.Uniform(10000)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TripleStoreInsert)->Arg(10000)->Arg(100000);
+
+void BM_TripleStoreQuery(benchmark::State& state) {
+  rdf::TripleStore store;
+  util::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    store.Add(static_cast<rdf::TermId>(rng.Uniform(10000)),
+              static_cast<rdf::TermId>(rng.Uniform(50)),
+              static_cast<rdf::TermId>(rng.Uniform(10000)));
+  }
+  // Warm the indexes.
+  benchmark::DoNotOptimize(store.CountMatches(
+      {0, rdf::TriplePattern::kAny, rdf::TriplePattern::kAny}));
+  for (auto _ : state) {
+    rdf::TermId s = static_cast<rdf::TermId>(rng.Uniform(10000));
+    benchmark::DoNotOptimize(store.CountMatches(
+        {s, rdf::TriplePattern::kAny, rdf::TriplePattern::kAny}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleStoreQuery);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  text::Trie trie;
+  util::Rng rng(11);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 5000; ++i) {
+    std::string k = util::StrFormat("brand%05llu",
+                                    (unsigned long long)rng.Uniform(99999));
+    trie.Insert(k, i);
+    keys.push_back(k);
+  }
+  std::string haystack = "new " + keys[42] + " deluxe " + keys[7] + " pack";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.FindAll(haystack));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+void BM_FuzzyResolve(benchmark::State& state) {
+  text::FuzzyMatcher fuzzy(0.8);
+  util::Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    fuzzy.AddCanonical(util::StrFormat("gazetteer%05llu",
+                                       (unsigned long long)rng.Uniform(99999)),
+                       i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzzy.Resolve("gazetteer01234x"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuzzyResolve);
+
+void BM_CrfDecode(benchmark::State& state) {
+  const size_t num_labels = state.range(0);
+  crf::LinearChainCrf model(num_labels, 1 << 15);
+  crf::Sequence seq(16);
+  util::Rng rng(17);
+  for (auto& tok : seq) {
+    for (int f = 0; f < 8; ++f) {
+      tok.features.push_back(static_cast<uint32_t>(rng.Next()));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Decode(seq));
+  }
+  state.SetItemsProcessed(state.iterations() * seq.size());
+}
+BENCHMARK(BM_CrfDecode)->Arg(5)->Arg(49);
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = state.range(0);
+  util::Rng rng(19);
+  nn::Matrix a(n, n), b(n, n), c(n, n);
+  a.InitUniform(&rng, 1.0f);
+  b.InitUniform(&rng, 1.0f);
+  for (auto _ : state) {
+    nn::Gemm(a, false, b, false, 1.0f, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+
+void BM_ZipfSampler(benchmark::State& state) {
+  util::ZipfSampler zipf(100000, 1.1);
+  util::Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSampler);
+
+void BM_DiscreteSampler(benchmark::State& state) {
+  util::Rng rng(29);
+  std::vector<double> weights(100000);
+  for (double& w : weights) w = rng.UniformDouble() + 0.01;
+  util::DiscreteSampler sampler(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiscreteSampler);
+
+}  // namespace
+
+BENCHMARK_MAIN();

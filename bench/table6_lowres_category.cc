@@ -1,0 +1,70 @@
+// Reproduces Table VI: low-resource (1-shot / 5-shot) category prediction.
+// Expected shape: the KG advantage *grows* as data shrinks — 1-shot gap >>
+// 5-shot gap — and pre-training plus capacity add on top, mirroring
+// RoBERTa-large 24.2 / mPLUG-base 37.9 / base+KG 48.9 / large+KG 57.7
+// at 1-shot in the paper.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "pretrain/encoder.h"
+#include "pretrain/tasks.h"
+
+int main(int argc, char** argv) {
+  using namespace openbg;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Table VI — low-resource category prediction",
+                     "Table VI");
+
+  auto kg = core::OpenBG::Build(args.ToOptions());
+  const datagen::World& world = kg->world();
+  pretrain::TaskSplit split = pretrain::SplitProducts(world, 0.8, 31);
+  pretrain::CategoryPredictionTask task(world);
+  auto label_of = [&task](size_t i) { return task.LabelOf(i); };
+
+  struct Row {
+    const char* label;
+    pretrain::EncoderConfig config;
+  };
+  const Row rows[] = {
+      {"RoBERTa-large", pretrain::BaselineLmConfig()},
+      {"RoBERTa-base+KG", pretrain::BaselineLmKgConfig()},
+      {"mPLUG-base", pretrain::MplugBaseConfig()},
+      {"mPLUG-base+KG", pretrain::MplugBaseKgConfig()},
+      {"mPLUG-large+KG", pretrain::MplugLargeKgConfig()},
+  };
+
+  pretrain::TrainOpts few;
+  few.epochs = 300;
+  few.lr = 1.0f;
+  few.batch_size = 1 << 14;    // full-batch
+  few.update_encoder = false;  // frozen-encoder k-shot recipe
+
+  const uint64_t kShotSeeds[] = {77, 97, 177};
+  std::printf("%-18s %8s %8s   (mean over %zu shot draws)\n", "Model",
+              "1-shot", "5-shot", std::size(kShotSeeds));
+  for (const Row& row : rows) {
+    double acc[2] = {0.0, 0.0};
+    const size_t shots_of[2] = {1, 5};
+    for (int s = 0; s < 2; ++s) {
+      for (uint64_t seed : kShotSeeds) {
+        util::Rng rng(seed);
+        std::vector<size_t> shots =
+            pretrain::FewShotSample(split.train, shots_of[s], label_of,
+                                    &rng);
+        pretrain::PretrainedEncoder enc(row.config, world);
+        pretrain::TrainOpts o = few;
+        o.seed = seed;
+        acc[s] += task.Run(&enc, shots, split.val, o);
+      }
+      acc[s] /= static_cast<double>(std::size(kShotSeeds));
+    }
+    std::printf("%-18s %7.1f%% %7.1f%%\n", row.label, 100.0 * acc[0],
+                100.0 * acc[1]);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper reference (Table VI, 1-shot/5-shot): RoBERTa-large "
+              "24.2/68.7,\n  RoBERTa-base+KG 35.7/69.0, mPLUG-base "
+              "37.9/67.2, base+KG 48.9/70.2, large+KG 57.7/71.6\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Table VII: low-resource (1-shot / 5-shot per entity type) NER
+// for titles. Expected shape: with a handful of examples the KG gazetteer
+// carries the task — +KG rows far above their no-KG counterparts, capacity
+// helping on top.
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench/bench_common.h"
+#include "pretrain/encoder.h"
+#include "pretrain/tasks.h"
+
+namespace {
+
+using namespace openbg;
+
+/// k-shot sampling per *entity type*: keep products until every attribute
+/// type has appeared in at most k sampled titles (types are multi-label per
+/// title, so this follows the greedy convention used for few-shot NER).
+std::vector<size_t> FewShotByType(const datagen::World& world,
+                                  const std::vector<size_t>& train, size_t k,
+                                  util::Rng* rng) {
+  std::vector<size_t> order = train;
+  rng->Shuffle(&order);
+  std::unordered_map<uint32_t, size_t> taken;
+  std::vector<size_t> out;
+  for (size_t idx : order) {
+    const datagen::Product& p = world.products[idx];
+    bool needed = false;
+    for (const datagen::SpanAnnotation& sp : p.title_spans) {
+      if (taken[sp.type] < k) needed = true;
+    }
+    if (!needed) continue;
+    for (const datagen::SpanAnnotation& sp : p.title_spans) {
+      taken[sp.type] += 1;
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Table VII — low-resource NER for titles", "Table VII");
+
+  auto kg = core::OpenBG::Build(args.ToOptions());
+  const datagen::World& world = kg->world();
+  pretrain::TaskSplit split = pretrain::SplitProducts(world, 0.8, 31);
+  pretrain::TitleNerTask task(world);
+
+  struct Row {
+    const char* label;
+    pretrain::EncoderConfig config;
+  };
+  const Row rows[] = {
+      {"UIE", pretrain::BaselineLmConfig()},
+      {"RoBERTa-base+KG", pretrain::BaselineLmKgConfig()},
+      {"mPLUG-base", pretrain::MplugBaseConfig()},
+      {"mPLUG-base+KG", pretrain::MplugBaseKgConfig()},
+      {"mPLUG-large+KG", pretrain::MplugLargeKgConfig()},
+  };
+
+  // Cap validation size so the CRF evaluation stays quick.
+  std::vector<size_t> val(split.val.begin(),
+                          split.val.begin() +
+                              std::min<size_t>(300, split.val.size()));
+
+  const uint64_t kShotSeeds[] = {77, 97};
+  std::printf("%-18s %8s %8s   (span F1, mean over %zu shot draws)\n",
+              "Model", "1-shot", "5-shot", std::size(kShotSeeds));
+  for (const Row& row : rows) {
+    double f1[2] = {0.0, 0.0};
+    const size_t shots_of[2] = {1, 5};
+    for (int s = 0; s < 2; ++s) {
+      for (uint64_t seed : kShotSeeds) {
+        util::Rng rng(seed);
+        std::vector<size_t> shots =
+            FewShotByType(world, split.train, shots_of[s], &rng);
+        pretrain::PretrainedEncoder enc(row.config, world);
+        pretrain::TrainOpts o;
+        o.epochs = 12;
+        o.lr = 0.3f;
+        o.seed = seed;
+        f1[s] += task.Run(enc, shots, val, o).f1;
+      }
+      f1[s] /= static_cast<double>(std::size(kShotSeeds));
+    }
+    std::printf("%-18s %8.3f %8.3f\n", row.label, f1[0], f1[1]);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper reference (Table VII, 1-shot/5-shot F1): UIE "
+              "57.2/66.8, RoBERTa-base+KG 59.6/67.9,\n  mPLUG-base "
+              "40.5/51.0, base+KG 57.8/61.6, large+KG 62.6/70.4\n");
+  return 0;
+}

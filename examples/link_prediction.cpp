@@ -1,0 +1,81 @@
+// Link prediction: sample an OpenBG benchmark, train TransE and a
+// multimodal model on it, evaluate with the filtered ranking protocol, and
+// show a concrete tail-prediction query — the Sec. III workflow end to end.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/openbg.h"
+#include "kge/evaluator.h"
+#include "kge/multimodal_models.h"
+#include "kge/trainer.h"
+#include "kge/trans_models.h"
+
+int main() {
+  using namespace openbg;
+
+  core::OpenBG::Options options;
+  options.world.seed = 21;
+  options.world.scale = 0.4;
+  options.world.num_products = 1500;
+  auto kg = core::OpenBG::Build(options);
+
+  bench_builder::BenchmarkSpec spec;
+  spec.name = "demo-img";
+  spec.num_relations = 25;
+  spec.require_image = true;
+  spec.dev_size = 200;
+  spec.test_size = 300;
+  kge::Dataset ds = kg->BuildBenchmark(spec, nullptr);
+  std::printf("benchmark: %zu entities (%zu with images), %zu relations, "
+              "%zu train\n\n", ds.num_entities(),
+              ds.num_multimodal_entities(), ds.num_relations(),
+              ds.train.size());
+
+  kge::RankingEvaluator::Options eopts;
+  eopts.filtered = true;
+  eopts.max_triples = 200;
+  kge::RankingEvaluator evaluator(ds, eopts);
+  kge::TrainConfig config;
+  config.epochs = 15;
+  config.batch_size = 512;
+  config.lr = 0.05f;
+
+  util::Rng rng(9);
+  kge::TransE transe(ds.num_entities(), ds.num_relations(), 32, 1.0f, &rng);
+  TrainKgeModel(&transe, ds, config);
+  kge::RankingMetrics m1 = evaluator.Evaluate(&transe);
+  std::printf("TransE   : Hits@1 %.3f  Hits@10 %.3f  MRR %.3f  MR %.0f\n",
+              m1.hits1, m1.hits10, m1.mrr, m1.mr);
+
+  kge::RsmeModel rsme(ds, 32, 1.0f, &rng);
+  config.lr = 0.1f;
+  TrainKgeModel(&rsme, ds, config);
+  kge::RankingMetrics m2 = evaluator.Evaluate(&rsme);
+  std::printf("RSME     : Hits@1 %.3f  Hits@10 %.3f  MRR %.3f  MR %.0f\n",
+              m2.hits1, m2.hits10, m2.mrr, m2.mr);
+  std::printf("(multimodal RSME should match or beat single-modal TransE "
+              "— Table III's shape)\n\n");
+
+  // A concrete query: (h, r, ?) -> top-5 predicted tails.
+  const kge::LpTriple& q = ds.test[0];
+  std::printf("query: (%s, %s, ?)   gold tail: %s\n",
+              ds.entity_names[q.h].c_str(), ds.relation_names[q.r].c_str(),
+              ds.entity_names[q.t].c_str());
+  std::vector<float> scores;
+  rsme.PrepareEval();
+  rsme.ScoreTails(q.h, q.r, &scores);
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&scores](size_t a, size_t b) {
+                      return scores[a] > scores[b];
+                    });
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  #%d %-32s score %.3f%s\n", i + 1,
+                ds.entity_names[order[i]].c_str(), scores[order[i]],
+                order[i] == q.t ? "   <= gold" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Product linking: the Sec. II-B schema-mapping pipeline in isolation.
+// Resolves noisy brand mentions (exact names, registered synonyms,
+// misspellings) against the Brand taxonomy with the trie + fuzzy matcher,
+// and reports per-stage statistics and accuracy.
+
+#include <cstdio>
+
+#include "construction/schema_mapper.h"
+#include "datagen/world.h"
+
+int main() {
+  using namespace openbg;
+
+  datagen::WorldSpec spec;
+  spec.seed = 11;
+  spec.num_products = 1500;
+  spec.mention_typo_prob = 0.2;   // noisy sellers
+  spec.mention_alias_prob = 0.25;
+  datagen::World world = datagen::GenerateWorld(spec);
+
+  construction::SchemaMapper mapper(world.brands, /*min_similarity=*/0.8);
+  size_t correct = 0, total = 0;
+  for (const datagen::Product& p : world.products) {
+    if (p.brand < 0) continue;
+    construction::SchemaMapper::LinkResult r = mapper.Link(p.brand_mention);
+    ++total;
+    if (r.node == p.brand) ++correct;
+    if (total <= 6) {  // show a few example resolutions
+      const char* kind =
+          r.kind == construction::SchemaMapper::MatchKind::kExact ? "exact"
+          : r.kind == construction::SchemaMapper::MatchKind::kSynonym
+              ? "synonym"
+          : r.kind == construction::SchemaMapper::MatchKind::kFuzzy
+              ? "fuzzy"
+              : "MISS";
+      std::printf("  \"%s\" -> %s  [%s, sim %.2f]%s\n",
+                  p.brand_mention.c_str(),
+                  r.node >= 0 ? world.brands.nodes[r.node].name.c_str()
+                              : "-",
+                  kind, r.similarity,
+                  r.node == p.brand ? "" : "  <- WRONG");
+    }
+  }
+  const auto& s = mapper.stats();
+  std::printf("\nlinked %zu brand mentions: exact=%zu synonym=%zu fuzzy=%zu "
+              "miss=%zu\n", s.total, s.exact, s.synonym, s.fuzzy, s.miss);
+  std::printf("accuracy: %.1f%%\n",
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(total));
+
+  // Contrast with the trie-only baseline (no fuzzy fallback).
+  std::vector<std::string> mentions;
+  std::vector<int> gold;
+  for (const datagen::Product& p : world.products) {
+    if (p.brand >= 0) {
+      mentions.push_back(p.brand_mention);
+      gold.push_back(p.brand);
+    }
+  }
+  auto trie_only = construction::SchemaMapper::Evaluate(
+      world.brands, mentions, gold, /*use_fuzzy=*/false);
+  std::printf("trie-only baseline accuracy: %.1f%% — the fuzzy stage "
+              "recovers the rest\n", 100.0 * trie_only.accuracy);
+  return 0;
+}

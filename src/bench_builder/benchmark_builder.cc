@@ -1,0 +1,223 @@
+#include "bench_builder/benchmark_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace openbg::bench_builder {
+
+using ontology::CoreKind;
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+
+BenchmarkBuilder::BenchmarkBuilder(
+    const rdf::Graph* graph, const ontology::Ontology* ontology,
+    const datagen::World* world,
+    const construction::AssemblyResult* assembly)
+    : graph_(graph), ontology_(ontology), world_(world),
+      assembly_(assembly) {
+  OPENBG_CHECK(graph && ontology && world && assembly);
+}
+
+Dataset BenchmarkBuilder::Build(const BenchmarkSpec& spec,
+                                StageReport* report) const {
+  util::Rng rng(spec.seed);
+  const auto& store = graph_->store;
+  StageReport local_report;
+  StageReport* rep = report != nullptr ? report : &local_report;
+
+  // Map product TermId -> world index (for image lookup / labels).
+  std::unordered_map<TermId, size_t> product_index;
+  for (size_t i = 0; i < assembly_->product_terms.size(); ++i) {
+    product_index.emplace(assembly_->product_terms[i], i);
+  }
+  auto head_has_image = [&](TermId h) {
+    auto it = product_index.find(h);
+    return it != product_index.end() &&
+           !world_->products[it->second].image.empty();
+  };
+
+  // ---- Stage 1: relation refinement. Candidates are the business
+  // relations: core object properties + product attribute properties.
+  std::vector<TermId> candidates;
+  for (const auto& op : ontology_->object_properties()) {
+    candidates.push_back(op.property);
+  }
+  for (TermId p : ontology_->attribute_properties()) candidates.push_back(p);
+  rep->relations_before = candidates.size();
+
+  std::vector<std::pair<TermId, size_t>> rel_counts;
+  for (TermId r : candidates) {
+    size_t n = 0;
+    store.ForEachMatch(
+        TriplePattern{TriplePattern::kAny, r, TriplePattern::kAny},
+        [&](const Triple& t) {
+          // Only instance assertions: heads must be products. (Domain/range
+          // schema triples have class subjects and never match since
+          // products are the only subjects of these relations, but the
+          // image filter needs product heads anyway.)
+          if (product_index.count(t.s) == 0) return true;
+          if (spec.require_image && !head_has_image(t.s)) return true;
+          ++n;
+          return true;
+        });
+    if (n > 0) rel_counts.emplace_back(r, n);
+  }
+  std::sort(rel_counts.begin(), rel_counts.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (rel_counts.size() > spec.num_relations) {
+    rel_counts.resize(spec.num_relations);
+  }
+  rep->relations_after = rel_counts.size();
+
+  std::unordered_set<TermId> head_relations, all_relations;
+  for (size_t i = 0; i < rel_counts.size(); ++i) {
+    all_relations.insert(rel_counts[i].first);
+    if (i < rel_counts.size() / 2) head_relations.insert(rel_counts[i].first);
+  }
+
+  // ---- Stage 2: head entity filtering (Eq. 1).
+  std::unordered_set<TermId> head_rel_entities, tail_rel_entities;
+  for (const auto& [r, n] : rel_counts) {
+    (void)n;
+    store.ForEachMatch(
+        TriplePattern{TriplePattern::kAny, r, TriplePattern::kAny},
+        [&](const Triple& t) {
+          if (product_index.count(t.s) == 0) return true;
+          if (spec.require_image && !head_has_image(t.s)) return true;
+          if (head_relations.count(r) > 0) {
+            head_rel_entities.insert(t.s);
+          } else {
+            tail_rel_entities.insert(t.s);
+          }
+          return true;
+        });
+  }
+  // Entities touched by both pools count as head-relation entities.
+  for (TermId e : head_rel_entities) tail_rel_entities.erase(e);
+  rep->head_relation_entities = head_rel_entities.size();
+  rep->tail_relation_entities = tail_rel_entities.size();
+  rep->entities_before = head_rel_entities.size() + tail_rel_entities.size();
+
+  std::unordered_set<TermId> sampled_heads;
+  for (TermId e : head_rel_entities) {
+    if (rng.Bernoulli(spec.alpha_head)) sampled_heads.insert(e);
+  }
+  for (TermId e : tail_rel_entities) {
+    if (rng.Bernoulli(spec.alpha_tail)) sampled_heads.insert(e);
+  }
+  rep->entities_after = sampled_heads.size();
+
+  // ---- Stage 3: tail entity sampling (Eq. 2).
+  std::vector<Triple> sampled;
+  for (const auto& [r, n] : rel_counts) {
+    (void)n;
+    store.ForEachMatch(
+        TriplePattern{TriplePattern::kAny, r, TriplePattern::kAny},
+        [&](const Triple& t) {
+          if (sampled_heads.count(t.s) == 0) return true;
+          if (spec.require_image && !head_has_image(t.s)) return true;
+          ++rep->candidate_triples;
+          if (rng.Bernoulli(spec.alpha_triple)) sampled.push_back(t);
+          return true;
+        });
+  }
+  rep->sampled_triples = sampled.size();
+
+  // ---- Dense ids + side channels.
+  Dataset ds;
+  ds.name = spec.name;
+  std::unordered_map<TermId, uint32_t> entity_id;
+  std::unordered_map<TermId, uint32_t> relation_id;
+  auto entity_of = [&](TermId term) -> uint32_t {
+    auto it = entity_id.find(term);
+    if (it != entity_id.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(ds.entity_names.size());
+    entity_id.emplace(term, id);
+    const auto& dict = graph_->dict;
+    std::string name, txt;
+    std::vector<float> image;
+    auto pit = product_index.find(term);
+    if (pit != product_index.end()) {
+      const datagen::Product& p = world_->products[pit->second];
+      name = "item/" + p.id;
+      txt = util::Join(p.title_tokens, " ");
+      image = p.image;
+    } else if (dict.IsLiteral(term)) {
+      name = "val/" + dict.Text(term);
+      txt = dict.Text(term);
+    } else {
+      // Taxonomy node: strip the namespace for readability.
+      const std::string& iri = dict.Text(term);
+      size_t pos = iri.rfind('/');
+      std::string local =
+          pos == std::string::npos ? iri : iri.substr(pos + 1);
+      size_t pos2 = iri.find(rdf::iri::kOpenBgNs);
+      name = pos2 == 0 ? iri.substr(rdf::iri::kOpenBgNs.size()) : iri;
+      txt = local;
+    }
+    ds.entity_names.push_back(std::move(name));
+    ds.entity_text.push_back(std::move(txt));
+    ds.entity_images.push_back(std::move(image));
+    return id;
+  };
+  auto relation_of = [&](TermId term) -> uint32_t {
+    auto it = relation_id.find(term);
+    if (it != relation_id.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(ds.relation_names.size());
+    relation_id.emplace(term, id);
+    const std::string& iri = graph_->dict.Text(term);
+    size_t pos = iri.rfind('/');
+    ds.relation_names.push_back(
+        pos == std::string::npos ? iri : iri.substr(pos + 1));
+    return id;
+  };
+
+  std::vector<LpTriple> triples;
+  triples.reserve(sampled.size());
+  for (const Triple& t : sampled) {
+    triples.push_back({entity_of(t.s), relation_of(t.p), entity_of(t.o)});
+  }
+  rng.Shuffle(&triples);
+
+  // ---- Splits: dev/test triples must leave every touched entity and
+  // relation with at least one remaining train occurrence.
+  std::vector<size_t> ent_count(ds.num_entities(), 0);
+  std::vector<size_t> rel_count2(ds.num_relations(), 0);
+  for (const LpTriple& t : triples) {
+    ent_count[t.h] += 1;
+    ent_count[t.t] += 1;
+    rel_count2[t.r] += 1;
+  }
+  size_t want_eval = std::min(spec.dev_size + spec.test_size,
+                              triples.size() / 3);
+  std::vector<LpTriple> eval;
+  for (const LpTriple& t : triples) {
+    if (eval.size() < want_eval && ent_count[t.h] > 1 &&
+        ent_count[t.t] > 1 && rel_count2[t.r] > 1) {
+      eval.push_back(t);
+      ent_count[t.h] -= 1;
+      ent_count[t.t] -= 1;
+      rel_count2[t.r] -= 1;
+    } else {
+      ds.train.push_back(t);
+    }
+  }
+  size_t dev_n = std::min(spec.dev_size, eval.size() / 2);
+  ds.dev.assign(eval.begin(), eval.begin() + dev_n);
+  ds.test.assign(eval.begin() + dev_n, eval.end());
+  rep->final_train = ds.train.size();
+  rep->final_dev = ds.dev.size();
+  rep->final_test = ds.test.size();
+  return ds;
+}
+
+}  // namespace openbg::bench_builder

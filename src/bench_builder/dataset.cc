@@ -1,0 +1,56 @@
+#include "bench_builder/dataset.h"
+
+#include <algorithm>
+
+#include "util/tsv.h"
+
+namespace openbg::bench_builder {
+
+size_t Dataset::num_multimodal_entities() const {
+  size_t n = 0;
+  for (const auto& img : entity_images) {
+    if (!img.empty()) ++n;
+  }
+  return n;
+}
+
+util::Status Dataset::WriteTo(const std::string& dir) const {
+  auto write_split = [this, &dir](const char* split,
+                                  const std::vector<LpTriple>& triples) {
+    util::TsvWriter w(dir + "/" + name + "_" + split + ".tsv");
+    for (const LpTriple& t : triples) {
+      w.WriteRow({entity_names[t.h], relation_names[t.r], entity_names[t.t]});
+    }
+    return w.Close();
+  };
+  OPENBG_RETURN_NOT_OK(write_split("train", train));
+  OPENBG_RETURN_NOT_OK(write_split("dev", dev));
+  OPENBG_RETURN_NOT_OK(write_split("test", test));
+  util::TsvWriter ew(dir + "/" + name + "_entities.tsv");
+  for (size_t i = 0; i < entity_names.size(); ++i) {
+    ew.WriteRow({entity_names[i], entity_text[i]});
+  }
+  OPENBG_RETURN_NOT_OK(ew.Close());
+  util::TsvWriter rw(dir + "/" + name + "_relations.tsv");
+  for (const std::string& r : relation_names) rw.WriteRow({r});
+  return rw.Close();
+}
+
+std::vector<std::pair<std::string, size_t>> RelationDistribution(
+    const Dataset& ds) {
+  std::vector<size_t> counts(ds.num_relations(), 0);
+  for (const auto* split : {&ds.train, &ds.dev, &ds.test}) {
+    for (const LpTriple& t : *split) counts[t.r] += 1;
+  }
+  std::vector<std::pair<std::string, size_t>> out;
+  for (size_t r = 0; r < counts.size(); ++r) {
+    out.emplace_back(ds.relation_names[r], counts[r]);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace openbg::bench_builder

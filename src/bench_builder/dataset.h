@@ -1,0 +1,51 @@
+#ifndef OPENBG_BENCH_BUILDER_DATASET_H_
+#define OPENBG_BENCH_BUILDER_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace openbg::bench_builder {
+
+/// One link-prediction triple over dense dataset-local ids.
+struct LpTriple {
+  uint32_t h = 0;
+  uint32_t r = 0;
+  uint32_t t = 0;
+
+  friend bool operator==(const LpTriple&, const LpTriple&) = default;
+};
+
+/// A released benchmark (OpenBG-IMG / OpenBG500 / OpenBG500-L analogue):
+/// dense entity/relation id spaces, train/dev/test splits, and the side
+/// channels the baselines consume — per-entity text (for KG-BERT-style
+/// models) and per-entity image features (for the multimodal models; empty
+/// vector = entity has no image, matching the paper's note that only
+/// 14,718 of OpenBG-IMG's 27,910 entities are multimodal).
+struct Dataset {
+  std::string name;
+  std::vector<std::string> entity_names;
+  std::vector<std::string> relation_names;
+  std::vector<std::string> entity_text;
+  std::vector<std::vector<float>> entity_images;
+
+  std::vector<LpTriple> train, dev, test;
+
+  size_t num_entities() const { return entity_names.size(); }
+  size_t num_relations() const { return relation_names.size(); }
+  size_t num_multimodal_entities() const;
+
+  /// Writes train/dev/test TSVs plus entity/relation vocab files under
+  /// `dir` (created by the caller), mirroring the released file layout.
+  util::Status WriteTo(const std::string& dir) const;
+};
+
+/// Counts triples per relation, descending — the Fig. 5 series.
+std::vector<std::pair<std::string, size_t>> RelationDistribution(
+    const Dataset& ds);
+
+}  // namespace openbg::bench_builder
+
+#endif  // OPENBG_BENCH_BUILDER_DATASET_H_

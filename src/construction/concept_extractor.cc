@@ -1,0 +1,105 @@
+#include "construction/concept_extractor.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace openbg::construction {
+
+using util::Fnv1a64;
+
+std::vector<uint32_t> TokenFeatureHashes(
+    const std::vector<std::string>& tokens, size_t position) {
+  OPENBG_CHECK(position < tokens.size());
+  const std::string& tok = tokens[position];
+  std::vector<uint32_t> feats;
+  feats.reserve(10);
+  auto add = [&feats](const std::string& f) {
+    feats.push_back(static_cast<uint32_t>(Fnv1a64(f)));
+  };
+  add("w=" + tok);
+  add("p3=" + tok.substr(0, std::min<size_t>(3, tok.size())));
+  add("s3=" + tok.substr(tok.size() - std::min<size_t>(3, tok.size())));
+  add(position == 0 ? "bos=1" : "prev=" + tokens[position - 1]);
+  add(position + 1 == tokens.size() ? "eos=1"
+                                    : "next=" + tokens[position + 1]);
+  bool has_digit = false;
+  for (char c : tok) {
+    if (c >= '0' && c <= '9') has_digit = true;
+  }
+  if (has_digit) add("digit=1");
+  if (tok.find('_') != std::string::npos) add("spec=1");
+  add(util::StrFormat("len=%zu", std::min<size_t>(tok.size(), 8)));
+  return feats;
+}
+
+ConceptExtractor::ConceptExtractor(size_t num_types, size_t feature_space)
+    : num_types_(num_types), crf_(2 * num_types + 1, feature_space) {}
+
+crf::Sequence ConceptExtractor::MakeSequence(
+    const std::vector<std::string>& tokens,
+    const std::vector<datagen::SpanAnnotation>& spans) {
+  crf::Sequence seq(tokens.size());
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    seq[t].features = TokenFeatureHashes(tokens, t);
+    seq[t].label = 0;  // O
+  }
+  for (const datagen::SpanAnnotation& sp : spans) {
+    OPENBG_CHECK(sp.begin < sp.end && sp.end <= tokens.size());
+    seq[sp.begin].label = crf::BioB(sp.type);
+    for (size_t t = sp.begin + 1; t < sp.end; ++t) {
+      seq[t].label = crf::BioI(sp.type);
+    }
+  }
+  return seq;
+}
+
+double ConceptExtractor::Train(const std::vector<crf::Sequence>& data,
+                               size_t epochs, double lr, util::Rng* rng) {
+  return crf_.Train(data, epochs, /*batch_size=*/8, lr, /*l2=*/1e-6, rng);
+}
+
+std::vector<ExtractedSpan> ConceptExtractor::Extract(
+    const std::vector<std::string>& tokens) const {
+  crf::Sequence seq(tokens.size());
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    seq[t].features = TokenFeatureHashes(tokens, t);
+  }
+  std::vector<uint32_t> labels = crf_.Decode(seq);
+  std::vector<ExtractedSpan> out;
+  size_t i = 0;
+  while (i < labels.size()) {
+    if (crf::IsBioB(labels[i])) {
+      uint32_t type = crf::BioType(labels[i]);
+      size_t j = i + 1;
+      while (j < labels.size() && crf::IsBioI(labels[j]) &&
+             crf::BioType(labels[j]) == type) {
+        ++j;
+      }
+      ExtractedSpan sp;
+      sp.begin = i;
+      sp.end = j;
+      sp.type = type;
+      std::vector<std::string> words(tokens.begin() + i, tokens.begin() + j);
+      sp.text = util::Join(words, " ");
+      out.push_back(std::move(sp));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+crf::SpanPrf ConceptExtractor::Evaluate(
+    const std::vector<crf::Sequence>& data) const {
+  std::vector<std::vector<uint32_t>> gold, pred;
+  for (const crf::Sequence& seq : data) {
+    std::vector<uint32_t> g;
+    for (const crf::TokenFeatures& t : seq) g.push_back(t.label);
+    gold.push_back(std::move(g));
+    pred.push_back(crf_.Decode(seq));
+  }
+  return crf::EvaluateSpans(gold, pred);
+}
+
+}  // namespace openbg::construction

@@ -1,0 +1,63 @@
+#ifndef OPENBG_CONSTRUCTION_CONCEPT_EXTRACTOR_H_
+#define OPENBG_CONSTRUCTION_CONCEPT_EXTRACTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crf/crf.h"
+#include "datagen/world.h"
+#include "util/rng.h"
+
+namespace openbg::construction {
+
+/// Hashed lexical features for one token in context — the feature template
+/// the CRF tagger consumes. Stands in for the BERT encoder of the paper's
+/// BERT-CRF (Sec. II-C); the window features carry the same local context
+/// signal at laptop scale.
+std::vector<uint32_t> TokenFeatureHashes(
+    const std::vector<std::string>& tokens, size_t position);
+
+/// An extracted mention with its entity-type id.
+struct ExtractedSpan {
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+  uint32_t type = 0;
+  std::string text;  // space-joined surface form
+};
+
+/// The paper's concept-instance extraction stage: a sequence labeler over
+/// business text (titles here; the feature/tag machinery is text-agnostic).
+/// Types are dynamic — whatever annotation types the training data carries.
+class ConceptExtractor {
+ public:
+  /// `num_types` entity types => 2*num_types+1 BIO labels.
+  ConceptExtractor(size_t num_types, size_t feature_space = 1 << 18);
+
+  /// Builds one CRF training sequence from tokens and gold spans.
+  static crf::Sequence MakeSequence(
+      const std::vector<std::string>& tokens,
+      const std::vector<datagen::SpanAnnotation>& spans);
+
+  /// Trains on annotated examples. Returns final mean NLL.
+  double Train(const std::vector<crf::Sequence>& data, size_t epochs,
+               double lr, util::Rng* rng);
+
+  /// Extracts spans from raw tokens via Viterbi.
+  std::vector<ExtractedSpan> Extract(
+      const std::vector<std::string>& tokens) const;
+
+  /// Span-F1 on held-out annotated data.
+  crf::SpanPrf Evaluate(const std::vector<crf::Sequence>& data) const;
+
+  const crf::LinearChainCrf& crf() const { return crf_; }
+  size_t num_types() const { return num_types_; }
+
+ private:
+  size_t num_types_;
+  crf::LinearChainCrf crf_;
+};
+
+}  // namespace openbg::construction
+
+#endif  // OPENBG_CONSTRUCTION_CONCEPT_EXTRACTOR_H_

@@ -1,0 +1,113 @@
+#include "construction/concept_quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace openbg::construction {
+
+using ontology::CoreKind;
+
+namespace {
+
+const std::vector<int>* ConceptLinksOf(const datagen::Product& p,
+                                       CoreKind kind) {
+  switch (kind) {
+    case CoreKind::kScene:
+      return &p.scenes;
+    case CoreKind::kCrowd:
+      return &p.crowds;
+    case CoreKind::kTheme:
+      return &p.themes;
+    case CoreKind::kTime:
+      return &p.times;
+    case CoreKind::kMarketSegment:
+      return &p.markets;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+ConceptQualityScorer::ConceptQualityScorer(const datagen::World& world,
+                                           CoreKind kind)
+    : world_(&world), kind_(kind) {
+  OPENBG_CHECK(!ontology::IsClassKind(kind))
+      << "facets are defined over concepts";
+  for (const datagen::Product& p : world.products) {
+    category_counts_[p.category] += 1;
+    const std::vector<int>* links = ConceptLinksOf(p, kind);
+    OPENBG_CHECK(links != nullptr);
+    for (int c : *links) {
+      pair_counts_[{p.category, c}] += 1;
+      concept_counts_[c] += 1;
+      ++total_links_;
+    }
+  }
+}
+
+double ConceptQualityScorer::PairCount(int category_leaf,
+                                       int concept_leaf) const {
+  auto it = pair_counts_.find({category_leaf, concept_leaf});
+  return it == pair_counts_.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+FacetScores ConceptQualityScorer::Score(int category_leaf,
+                                        int concept_leaf) const {
+  FacetScores f;
+  auto cat_it = category_counts_.find(category_leaf);
+  double cat_n =
+      cat_it == category_counts_.end() ? 0.0
+                                       : static_cast<double>(cat_it->second);
+  double pair_n = PairCount(category_leaf, concept_leaf);
+
+  // Plausibility: add-one-smoothed evidence the pair is meaningful.
+  f.plausibility = pair_n > 0.0 ? pair_n / (pair_n + 1.0) : 0.0;
+
+  // Typicality: fraction of the category's products carrying the concept.
+  f.typicality = cat_n > 0.0 ? pair_n / cat_n : 0.0;
+
+  // Remarkability: this category's typicality against sibling categories
+  // (same parent in the category tree) for the same concept.
+  const datagen::TaxonomyData& cats = world_->categories;
+  double sibling_best = 0.0;
+  if (category_leaf >= 0 &&
+      static_cast<size_t>(category_leaf) < cats.nodes.size()) {
+    int parent = cats.nodes[category_leaf].parent;
+    if (parent >= 0) {
+      for (int sib : cats.nodes[parent].children) {
+        if (sib == category_leaf) continue;
+        auto sit = category_counts_.find(sib);
+        if (sit == category_counts_.end()) continue;
+        double sib_typ =
+            PairCount(sib, concept_leaf) / static_cast<double>(sit->second);
+        sibling_best = std::max(sibling_best, sib_typ);
+      }
+    }
+  }
+  f.remarkability = f.typicality / (f.typicality + sibling_best + 1e-9);
+
+  // Salience: typical AND remarkable (geometric mean keeps it in [0,1] and
+  // zero whenever either facet is zero).
+  f.salience = std::sqrt(f.typicality * f.remarkability);
+  return f;
+}
+
+std::vector<ConceptQualityScorer::SalientStatement>
+ConceptQualityScorer::SalientStatements(double min_typicality,
+                                        double min_remarkability) const {
+  std::vector<SalientStatement> out;
+  for (const auto& [pair, count] : pair_counts_) {
+    (void)count;
+    FacetScores f = Score(pair.first, pair.second);
+    if (f.typicality >= min_typicality &&
+        f.remarkability >= min_remarkability) {
+      out.push_back({pair.first, pair.second, f});
+    }
+  }
+  return out;
+}
+
+}  // namespace openbg::construction

@@ -1,0 +1,68 @@
+#ifndef OPENBG_CONSTRUCTION_CONCEPT_QUALITY_H_
+#define OPENBG_CONSTRUCTION_CONCEPT_QUALITY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "datagen/world.h"
+#include "ontology/ontology.h"
+
+namespace openbg::construction {
+
+/// Facet scores for one (category, concept) statement, following the
+/// multi-faceted commonsense model the paper adopts (Sec. II-C):
+///  * plausibility  — the statement is meaningful at all: smoothed evidence
+///    that the pair co-occurs;
+///  * typicality    — valid for the majority of instances: P(concept |
+///    category) among the category's products;
+///  * remarkability — the concept distinguishes this category from its
+///    sibling categories: typicality here vs. typicality among siblings;
+///  * salience      — characteristic enough to be a key trait; a statement
+///    both typical and remarkable is salient (the paper's definition),
+///    scored as the geometric mean of the two.
+struct FacetScores {
+  double plausibility = 0.0;
+  double typicality = 0.0;
+  double remarkability = 0.0;
+  double salience = 0.0;
+};
+
+/// Co-occurrence-statistics scorer over a generated world. Counts how often
+/// each concept leaf attaches to products of each category leaf, then scores
+/// the four facets. Also the gold-label source for the salience-evaluation
+/// downstream task (Table V, last column).
+class ConceptQualityScorer {
+ public:
+  /// `kind` selects which concept taxonomy to score (Scene, Crowd, ...).
+  ConceptQualityScorer(const datagen::World& world,
+                       ontology::CoreKind kind);
+
+  /// Facets for statement <category leaf, relation, concept leaf>.
+  FacetScores Score(int category_leaf, int concept_leaf) const;
+
+  /// Statements passing both typicality and remarkability thresholds.
+  struct SalientStatement {
+    int category_leaf;
+    int concept_leaf;
+    FacetScores scores;
+  };
+  std::vector<SalientStatement> SalientStatements(
+      double min_typicality = 0.3, double min_remarkability = 0.6) const;
+
+  size_t TotalPairs() const { return pair_counts_.size(); }
+
+ private:
+  double PairCount(int category_leaf, int concept_leaf) const;
+
+  const datagen::World* world_;
+  ontology::CoreKind kind_;
+  std::map<std::pair<int, int>, size_t> pair_counts_;  // (cat, concept)
+  std::map<int, size_t> category_counts_;              // products per cat
+  std::map<int, size_t> concept_counts_;               // links per concept
+  size_t total_links_ = 0;
+};
+
+}  // namespace openbg::construction
+
+#endif  // OPENBG_CONSTRUCTION_CONCEPT_QUALITY_H_

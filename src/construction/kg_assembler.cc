@@ -1,0 +1,179 @@
+#include "construction/kg_assembler.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace openbg::construction {
+
+using ontology::CoreKind;
+using rdf::TermId;
+
+namespace {
+
+/// Interns one taxonomy into the graph: node IRIs, taxonomy triples and
+/// labels. Returns per-node TermIds.
+std::vector<TermId> InternTaxonomy(const datagen::TaxonomyData& tax,
+                                   CoreKind kind,
+                                   ontology::Ontology* ontology,
+                                   rdf::Graph* graph) {
+  auto& dict = graph->dict;
+  auto& store = graph->store;
+  const auto& v = graph->vocab;
+  const bool is_class = ontology::IsClassKind(kind);
+  const TermId tax_prop = ontology->TaxonomyProperty(kind);
+  const TermId core = ontology->CoreTerm(kind);
+  const std::string ns = std::string(rdf::iri::kOpenBgNs) +
+                         util::ToLower(std::string(CoreKindName(kind))) +
+                         "/";
+  std::vector<TermId> terms(tax.nodes.size(), rdf::kInvalidTerm);
+  for (size_t i = 0; i < tax.nodes.size(); ++i) {
+    terms[i] = dict.AddIri(ns + tax.nodes[i].name);
+  }
+  for (size_t i = 0; i < tax.nodes.size(); ++i) {
+    const datagen::TaxonomyNode& node = tax.nodes[i];
+    TermId parent = node.parent < 0 ? core : terms[node.parent];
+    store.Add(terms[i], tax_prop, parent);
+    if (is_class) {
+      store.Add(terms[i], v.rdfs_label, dict.AddLiteral(node.name));
+    } else {
+      store.Add(terms[i], v.skos_pref_label, dict.AddLiteral(node.name));
+      // Concepts get an altLabel even without aliases (the paper reports
+      // altLabel count == prefLabel count): fall back to the pref name.
+      const std::string& alt =
+          node.aliases.empty() ? node.name : node.aliases.front();
+      store.Add(terms[i], v.skos_alt_label, dict.AddLiteral(alt));
+    }
+    for (const std::string& alias : node.aliases) {
+      if (is_class) {
+        store.Add(terms[i], v.rdfs_label, dict.AddLiteral(alias));
+      }
+    }
+  }
+  return terms;
+}
+
+}  // namespace
+
+AssemblyResult KgAssembler::Assemble(const datagen::World& world,
+                                     rdf::Graph* graph,
+                                     ontology::Ontology* ontology) const {
+  OPENBG_CHECK(ontology->graph() == graph);
+  AssemblyResult result;
+  auto& dict = graph->dict;
+  auto& store = graph->store;
+  const auto& v = graph->vocab;
+  util::Rng rng(world.spec.seed ^ 0xA55A5AA5ull);
+
+  // 1. Taxonomies.
+  for (CoreKind kind : ontology::kAllCoreKinds) {
+    result.node_terms[static_cast<size_t>(kind)] =
+        InternTaxonomy(world.TaxonomyFor(kind), kind, ontology, graph);
+  }
+  const auto& cat_terms =
+      result.node_terms[static_cast<size_t>(CoreKind::kCategory)];
+  const auto& brand_terms =
+      result.node_terms[static_cast<size_t>(CoreKind::kBrand)];
+  const auto& place_terms =
+      result.node_terms[static_cast<size_t>(CoreKind::kPlace)];
+
+  // 2. Attribute properties (registered up front so Table I can count them)
+  // plus property-axiom links into a cnSchema-style namespace.
+  std::vector<TermId> attr_props;
+  const std::string cnschema_ns = "http://cnschema.example/prop/";
+  for (const datagen::AttributeType& attr : world.attribute_types) {
+    TermId prop = ontology->AddAttributeProperty(attr.name);
+    attr_props.push_back(prop);
+    if (rng.Bernoulli(options_.sub_property_fraction)) {
+      store.Add(prop, v.rdfs_sub_property_of,
+                dict.AddIri(cnschema_ns + attr.name));
+    } else if (rng.Bernoulli(options_.equivalent_property_fraction)) {
+      store.Add(prop, v.owl_equivalent_property,
+                dict.AddIri(cnschema_ns + attr.name));
+    }
+  }
+
+  // 3. Exogenous equivalence axioms on brand/place nodes.
+  const std::string external_ns = "http://external.example/entity/";
+  for (CoreKind kind : {CoreKind::kBrand, CoreKind::kPlace}) {
+    const auto& tax = world.TaxonomyFor(kind);
+    const auto& terms = result.node_terms[static_cast<size_t>(kind)];
+    for (size_t i = 0; i < tax.nodes.size(); ++i) {
+      if (rng.Bernoulli(options_.equivalent_class_fraction)) {
+        store.Add(terms[i], v.owl_equivalent_class,
+                  dict.AddIri(external_ns + tax.nodes[i].name));
+      }
+    }
+  }
+
+  // 4. Schema mappers for the noisy brand/place mentions.
+  SchemaMapper brand_mapper(world.brands, options_.link_min_similarity);
+  SchemaMapper place_mapper(world.places, options_.link_min_similarity);
+
+  // 5. Products.
+  const size_t num_markets = ontology->in_market().size();
+  result.product_terms.resize(world.products.size(), rdf::kInvalidTerm);
+  for (size_t i = 0; i < world.products.size(); ++i) {
+    const datagen::Product& p = world.products[i];
+    TermId prod =
+        dict.AddIri(std::string(rdf::iri::kOpenBgNs) + "item/" + p.id);
+    result.product_terms[i] = prod;
+
+    store.Add(prod, v.rdf_type, cat_terms[p.category]);
+    std::string title = util::Join(p.title_tokens, " ");
+    store.Add(prod, v.rdfs_label, dict.AddLiteral(title));
+    store.Add(prod, ontology->label_en(), dict.AddLiteral(p.id));
+    store.Add(prod, v.rdfs_comment, dict.AddLiteral(p.description));
+    if (!p.image.empty()) {
+      store.Add(prod, ontology->image_is(),
+                dict.AddLiteral("img://" + p.id));
+    }
+
+    // Brand/place via the linker (the pipeline links *mentions*, so a typo
+    // the fuzzy stage cannot resolve leaves the product unlinked, exactly
+    // like production).
+    if (p.brand >= 0) {
+      SchemaMapper::LinkResult r = brand_mapper.Link(p.brand_mention);
+      if (r.node >= 0) {
+        store.Add(prod, ontology->brand_is(), brand_terms[r.node]);
+        ++result.products_with_brand;
+      }
+    }
+    if (p.place >= 0) {
+      SchemaMapper::LinkResult r = place_mapper.Link(p.place_mention);
+      if (r.node >= 0) {
+        store.Add(prod, ontology->place_of_origin(), place_terms[r.node]);
+        ++result.products_with_place;
+      }
+    }
+
+    auto link_concepts = [&](const std::vector<int>& leaves, CoreKind kind,
+                             TermId prop) {
+      const auto& terms = result.node_terms[static_cast<size_t>(kind)];
+      for (int leaf : leaves) store.Add(prod, prop, terms[leaf]);
+    };
+    link_concepts(p.scenes, CoreKind::kScene, ontology->related_scene());
+    link_concepts(p.crowds, CoreKind::kCrowd, ontology->for_crowd());
+    link_concepts(p.themes, CoreKind::kTheme, ontology->about_theme());
+    link_concepts(p.times, CoreKind::kTime, ontology->applied_time());
+    // Markets spread across the inMarket* relation family, keyed by the
+    // market node so each segment consistently uses one relation.
+    const auto& market_terms =
+        result.node_terms[static_cast<size_t>(CoreKind::kMarketSegment)];
+    for (int leaf : p.markets) {
+      TermId prop = ontology->in_market()[static_cast<size_t>(leaf) %
+                                          num_markets];
+      store.Add(prod, prop, market_terms[leaf]);
+    }
+
+    for (auto [attr, value] : p.attributes) {
+      store.Add(prod, attr_props[attr],
+                dict.AddLiteral(world.attribute_types[attr].values[value]));
+    }
+  }
+  result.brand_link_stats = brand_mapper.stats();
+  result.place_link_stats = place_mapper.stats();
+  return result;
+}
+
+}  // namespace openbg::construction

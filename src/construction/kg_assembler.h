@@ -1,0 +1,67 @@
+#ifndef OPENBG_CONSTRUCTION_KG_ASSEMBLER_H_
+#define OPENBG_CONSTRUCTION_KG_ASSEMBLER_H_
+
+#include <array>
+#include <vector>
+
+#include "construction/schema_mapper.h"
+#include "datagen/world.h"
+#include "ontology/ontology.h"
+#include "rdf/graph.h"
+
+namespace openbg::construction {
+
+/// Output of KG assembly: the id maps the benchmark builder and downstream
+/// tasks need to navigate between world indices and graph terms.
+struct AssemblyResult {
+  /// TermId of each product, indexed by product position in the world.
+  std::vector<rdf::TermId> product_terms;
+  /// TermId of each taxonomy node, per core kind, indexed by node index.
+  std::array<std::vector<rdf::TermId>, 8> node_terms;
+
+  SchemaMapper::Stats brand_link_stats;
+  SchemaMapper::Stats place_link_stats;
+  size_t products_with_brand = 0;
+  size_t products_with_place = 0;
+};
+
+/// Options for the population pass.
+struct AssemblerOptions {
+  /// Fraction of brand/place nodes that get an owl:equivalentClass link to
+  /// an exogenous IRI (the paper's external-linking axiom).
+  double equivalent_class_fraction = 0.15;
+  /// Fraction of attribute properties linked to a cnSchema-style base
+  /// property via rdfs:subPropertyOf / owl:equivalentProperty.
+  double sub_property_fraction = 0.4;
+  double equivalent_property_fraction = 0.1;
+  /// Fuzzy-linking threshold for brand/place mention resolution.
+  double link_min_similarity = 0.8;
+};
+
+/// Populates an OpenBG graph from a generated world — the "populate OpenBG
+/// ontology by linking instances to it with RDF API" step of Sec. II-A,
+/// including the Place/Brand schema-mapping link stage. Emits:
+///  * taxonomy triples (rdfs:subClassOf / skos:broader) for all 8 kinds;
+///  * labels: rdfs:label for classes/products, labelEn for products,
+///    skos:prefLabel / skos:altLabel for concepts;
+///  * per-product: rdf:type, brandIs/placeOfOrigin (via the linker),
+///    concept relations, attribute data properties, rdfs:comment, imageIs;
+///  * schema axioms: owl:equivalentClass to exogenous IRIs,
+///    rdfs:subPropertyOf / owl:equivalentProperty into a cnSchema-style
+///    namespace.
+class KgAssembler {
+ public:
+  explicit KgAssembler(AssemblerOptions options = {})
+      : options_(options) {}
+
+  /// Builds everything into `graph`. `ontology` must wrap the same graph.
+  AssemblyResult Assemble(const datagen::World& world, rdf::Graph* graph,
+                          ontology::Ontology* ontology) const;
+
+ private:
+  AssemblerOptions options_;
+};
+
+}  // namespace openbg::construction
+
+#endif  // OPENBG_CONSTRUCTION_KG_ASSEMBLER_H_

@@ -1,0 +1,85 @@
+#include "construction/schema_mapper.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace openbg::construction {
+
+SchemaMapper::SchemaMapper(const datagen::TaxonomyData& taxonomy,
+                           double min_similarity)
+    : fuzzy_(min_similarity) {
+  for (size_t i = 0; i < taxonomy.nodes.size(); ++i) {
+    const datagen::TaxonomyNode& node = taxonomy.nodes[i];
+    std::string lower = util::ToLower(node.name);
+    trie_.Insert(lower, static_cast<uint32_t>(i));
+    fuzzy_.AddCanonical(lower, static_cast<uint32_t>(i));
+    for (const std::string& alias : node.aliases) {
+      fuzzy_.AddSynonym(alias, lower);
+    }
+  }
+}
+
+SchemaMapper::LinkResult SchemaMapper::LinkImpl(
+    std::string_view mention) const {
+  std::string lower = util::ToLower(mention);
+  // Stage 1: trie precise matching.
+  uint32_t v = trie_.Find(lower);
+  if (v != text::Trie::kNoValue) {
+    return {static_cast<int>(v), MatchKind::kExact, 1.0};
+  }
+  // Stages 2-3: synonym table then fuzzy similarity (FuzzyMatcher resolves
+  // both; `exact` marks a synonym-table hit since canonical exact matches
+  // were already caught by the trie).
+  text::FuzzyMatcher::Match m = fuzzy_.Resolve(lower);
+  if (m.id == text::FuzzyMatcher::kNoMatch) {
+    return {-1, MatchKind::kMiss, 0.0};
+  }
+  return {static_cast<int>(m.id),
+          m.exact ? MatchKind::kSynonym : MatchKind::kFuzzy, m.similarity};
+}
+
+SchemaMapper::LinkResult SchemaMapper::Link(std::string_view mention) const {
+  LinkResult r = LinkImpl(mention);
+  ++stats_.total;
+  switch (r.kind) {
+    case MatchKind::kExact:
+      ++stats_.exact;
+      break;
+    case MatchKind::kSynonym:
+      ++stats_.synonym;
+      break;
+    case MatchKind::kFuzzy:
+      ++stats_.fuzzy;
+      break;
+    case MatchKind::kMiss:
+      ++stats_.miss;
+      break;
+  }
+  return r;
+}
+
+SchemaMapper::EvalResult SchemaMapper::Evaluate(
+    const datagen::TaxonomyData& taxonomy,
+    const std::vector<std::string>& mentions,
+    const std::vector<int>& gold_nodes, bool use_fuzzy,
+    double min_similarity) {
+  OPENBG_CHECK(mentions.size() == gold_nodes.size());
+  SchemaMapper mapper(taxonomy, use_fuzzy ? min_similarity : 1.0);
+  EvalResult out;
+  out.n = mentions.size();
+  size_t correct = 0, resolved = 0;
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    LinkResult r = mapper.Link(mentions[i]);
+    if (r.node >= 0) {
+      ++resolved;
+      if (r.node == gold_nodes[i]) ++correct;
+    }
+  }
+  if (out.n > 0) {
+    out.accuracy = static_cast<double>(correct) / static_cast<double>(out.n);
+    out.coverage = static_cast<double>(resolved) / static_cast<double>(out.n);
+  }
+  return out;
+}
+
+}  // namespace openbg::construction

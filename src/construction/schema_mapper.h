@@ -1,0 +1,78 @@
+#ifndef OPENBG_CONSTRUCTION_SCHEMA_MAPPER_H_
+#define OPENBG_CONSTRUCTION_SCHEMA_MAPPER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datagen/world.h"
+#include "text/fuzzy.h"
+#include "text/trie.h"
+
+namespace openbg::construction {
+
+/// The paper's Place/Brand linking stage (Sec. II-B (3)): map the textual
+/// label of a product's place/brand to the standard names of the taxonomy
+/// "by jointly conducting trie prefix tree precise matching and fuzzy
+/// matching of synonyms".
+///
+/// Resolution order per mention:
+///   1. trie exact match against canonical names;
+///   2. synonym-table exact match (registered aliases);
+///   3. fuzzy edit-similarity match above a threshold.
+class SchemaMapper {
+ public:
+  /// Builds the gazetteer from a generated taxonomy: canonical names and
+  /// aliases map to node indices.
+  explicit SchemaMapper(const datagen::TaxonomyData& taxonomy,
+                        double min_similarity = 0.8);
+
+  SchemaMapper(const SchemaMapper&) = delete;
+  SchemaMapper& operator=(const SchemaMapper&) = delete;
+
+  enum class MatchKind : uint8_t { kMiss = 0, kExact, kSynonym, kFuzzy };
+
+  struct LinkResult {
+    int node = -1;  // taxonomy node index, -1 on miss
+    MatchKind kind = MatchKind::kMiss;
+    double similarity = 0.0;
+  };
+
+  /// Resolves one mention to a taxonomy node.
+  LinkResult Link(std::string_view mention) const;
+
+  /// Cumulative statistics over all Link() calls.
+  struct Stats {
+    size_t total = 0;
+    size_t exact = 0;
+    size_t synonym = 0;
+    size_t fuzzy = 0;
+    size_t miss = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Accuracy evaluation against gold node indices: returns the fraction of
+  /// mentions resolved to their gold node. Used by the linking ablation
+  /// bench; `use_fuzzy=false` restricts to stages 1-2 (trie-only baseline).
+  struct EvalResult {
+    double accuracy = 0.0;
+    double coverage = 0.0;  // fraction resolved to any node
+    size_t n = 0;
+  };
+  static EvalResult Evaluate(const datagen::TaxonomyData& taxonomy,
+                             const std::vector<std::string>& mentions,
+                             const std::vector<int>& gold_nodes,
+                             bool use_fuzzy, double min_similarity = 0.8);
+
+ private:
+  LinkResult LinkImpl(std::string_view mention) const;
+
+  text::Trie trie_;
+  text::FuzzyMatcher fuzzy_;
+  mutable Stats stats_;
+};
+
+}  // namespace openbg::construction
+
+#endif  // OPENBG_CONSTRUCTION_SCHEMA_MAPPER_H_

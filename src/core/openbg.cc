@@ -1,0 +1,39 @@
+#include "core/openbg.h"
+
+#include "rdf/ntriples.h"
+
+namespace openbg::core {
+
+std::unique_ptr<OpenBG> OpenBG::Build(const Options& options) {
+  std::unique_ptr<OpenBG> kg(new OpenBG());
+  kg->world_ = datagen::GenerateWorld(options.world);
+  kg->graph_ = std::make_unique<rdf::Graph>();
+  kg->ontology_ = std::make_unique<ontology::Ontology>(
+      kg->graph_.get(), options.num_in_market_relations);
+  construction::KgAssembler assembler(options.assembler);
+  kg->assembly_ =
+      assembler.Assemble(kg->world_, kg->graph_.get(), kg->ontology_.get());
+  return kg;
+}
+
+ontology::KgStats OpenBG::Stats() const {
+  return ontology::ComputeKgStats(*graph_, *ontology_);
+}
+
+ontology::Reasoner OpenBG::MakeReasoner() const {
+  return ontology::Reasoner(graph_.get(), ontology_.get());
+}
+
+bench_builder::Dataset OpenBG::BuildBenchmark(
+    const bench_builder::BenchmarkSpec& spec,
+    bench_builder::StageReport* report) const {
+  bench_builder::BenchmarkBuilder builder(graph_.get(), ontology_.get(),
+                                          &world_, &assembly_);
+  return builder.Build(spec, report);
+}
+
+util::Status OpenBG::ExportNTriples(const std::string& path) const {
+  return rdf::WriteNTriples(graph_->store, graph_->dict, path);
+}
+
+}  // namespace openbg::core

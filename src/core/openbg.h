@@ -1,0 +1,66 @@
+#ifndef OPENBG_CORE_OPENBG_H_
+#define OPENBG_CORE_OPENBG_H_
+
+#include <memory>
+#include <string>
+
+#include "bench_builder/benchmark_builder.h"
+#include "construction/kg_assembler.h"
+#include "datagen/world.h"
+#include "ontology/ontology.h"
+#include "ontology/reasoner.h"
+#include "ontology/stats.h"
+#include "rdf/graph.h"
+
+namespace openbg::core {
+
+/// The library facade: one call builds a synthetic business world, the
+/// OpenBG ontology over it, and the populated knowledge graph; accessors
+/// expose every downstream capability (stats, benchmarks, validation,
+/// serialization). Examples and benches go through this type.
+class OpenBG {
+ public:
+  struct Options {
+    datagen::WorldSpec world;
+    size_t num_in_market_relations = 8;
+    construction::AssemblerOptions assembler;
+  };
+
+  /// Generates the world and constructs the KG (Sec. II end to end).
+  static std::unique_ptr<OpenBG> Build(const Options& options);
+
+  OpenBG(const OpenBG&) = delete;
+  OpenBG& operator=(const OpenBG&) = delete;
+
+  const datagen::World& world() const { return world_; }
+  const rdf::Graph& graph() const { return *graph_; }
+  rdf::Graph& graph() { return *graph_; }
+  const ontology::Ontology& ontology() const { return *ontology_; }
+  const construction::AssemblyResult& assembly() const { return assembly_; }
+
+  /// Table-I statistics of the constructed KG.
+  ontology::KgStats Stats() const;
+
+  /// A reasoner view over the populated graph.
+  ontology::Reasoner MakeReasoner() const;
+
+  /// Runs the Sec.-III sampler for one benchmark spec.
+  bench_builder::Dataset BuildBenchmark(
+      const bench_builder::BenchmarkSpec& spec,
+      bench_builder::StageReport* report = nullptr) const;
+
+  /// Serializes the full KG as N-Triples.
+  util::Status ExportNTriples(const std::string& path) const;
+
+ private:
+  OpenBG() = default;
+
+  datagen::World world_;
+  std::unique_ptr<rdf::Graph> graph_;
+  std::unique_ptr<ontology::Ontology> ontology_;
+  construction::AssemblyResult assembly_;
+};
+
+}  // namespace openbg::core
+
+#endif  // OPENBG_CORE_OPENBG_H_

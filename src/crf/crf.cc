@@ -1,0 +1,301 @@
+#include "crf/crf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace openbg::crf {
+namespace {
+
+double LogSumExp(const std::vector<double>& v) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double x : v) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (double x : v) s += std::exp(x - mx);
+  return mx + std::log(s);
+}
+
+}  // namespace
+
+LinearChainCrf::LinearChainCrf(size_t num_labels, size_t num_features)
+    : num_labels_(num_labels),
+      num_features_(num_features),
+      emission_w_(num_labels * num_features, 0.0),
+      transition_w_(num_labels * num_labels, 0.0),
+      start_w_(num_labels, 0.0),
+      end_w_(num_labels, 0.0) {
+  OPENBG_CHECK(num_labels >= 2);
+  OPENBG_CHECK(num_features >= 1);
+}
+
+double LinearChainCrf::EmissionScore(const TokenFeatures& tok,
+                                     uint32_t y) const {
+  double s = 0.0;
+  for (uint32_t f : tok.features) {
+    s += emission_w_[(f % num_features_) * num_labels_ + y];
+  }
+  return s;
+}
+
+double LinearChainCrf::ForwardLogZ(
+    const Sequence& seq, std::vector<std::vector<double>>* alpha) const {
+  const size_t T = seq.size();
+  const size_t L = num_labels_;
+  alpha->assign(T, std::vector<double>(L, 0.0));
+  for (uint32_t y = 0; y < L; ++y) {
+    (*alpha)[0][y] = start_w_[y] + EmissionScore(seq[0], y);
+  }
+  std::vector<double> tmp(L);
+  for (size_t t = 1; t < T; ++t) {
+    for (uint32_t y = 0; y < L; ++y) {
+      for (uint32_t yp = 0; yp < L; ++yp) {
+        tmp[yp] = (*alpha)[t - 1][yp] + transition_w_[yp * L + y];
+      }
+      (*alpha)[t][y] = LogSumExp(tmp) + EmissionScore(seq[t], y);
+    }
+  }
+  std::vector<double> fin(L);
+  for (uint32_t y = 0; y < L; ++y) fin[y] = (*alpha)[T - 1][y] + end_w_[y];
+  return LogSumExp(fin);
+}
+
+double LinearChainCrf::LogLikelihood(const Sequence& seq) const {
+  OPENBG_CHECK(!seq.empty());
+  std::vector<std::vector<double>> alpha;
+  double log_z = ForwardLogZ(seq, &alpha);
+  double gold = start_w_[seq[0].label] + EmissionScore(seq[0], seq[0].label);
+  for (size_t t = 1; t < seq.size(); ++t) {
+    gold += transition_w_[seq[t - 1].label * num_labels_ + seq[t].label] +
+            EmissionScore(seq[t], seq[t].label);
+  }
+  gold += end_w_[seq.back().label];
+  return gold - log_z;
+}
+
+double LinearChainCrf::TrainStep(const std::vector<const Sequence*>& batch,
+                                 double lr, double l2) {
+  const size_t L = num_labels_;
+  double total_nll = 0.0;
+  // Accumulate the gradient of the mean log-likelihood, then ascend.
+  std::vector<std::pair<size_t, double>> emission_grad;  // sparse
+  std::vector<double> trans_grad(L * L, 0.0);
+  std::vector<double> start_grad(L, 0.0), end_grad(L, 0.0);
+
+  for (const Sequence* seq_ptr : batch) {
+    const Sequence& seq = *seq_ptr;
+    OPENBG_CHECK(!seq.empty());
+    const size_t T = seq.size();
+    std::vector<std::vector<double>> alpha;
+    double log_z = ForwardLogZ(seq, &alpha);
+
+    // Backward pass.
+    std::vector<std::vector<double>> beta(T, std::vector<double>(L, 0.0));
+    for (uint32_t y = 0; y < L; ++y) beta[T - 1][y] = end_w_[y];
+    std::vector<double> tmp(L);
+    // Cache emissions to avoid recomputation in beta and pair marginals.
+    std::vector<std::vector<double>> em(T, std::vector<double>(L, 0.0));
+    for (size_t t = 0; t < T; ++t) {
+      for (uint32_t y = 0; y < L; ++y) em[t][y] = EmissionScore(seq[t], y);
+    }
+    for (size_t t = T - 1; t-- > 0;) {
+      for (uint32_t y = 0; y < L; ++y) {
+        for (uint32_t yn = 0; yn < L; ++yn) {
+          tmp[yn] = transition_w_[y * L + yn] + em[t + 1][yn] +
+                    beta[t + 1][yn];
+        }
+        beta[t][y] = LogSumExp(tmp);
+      }
+    }
+
+    // Gold score for NLL reporting.
+    double gold = start_w_[seq[0].label] + em[0][seq[0].label];
+    for (size_t t = 1; t < T; ++t) {
+      gold += transition_w_[seq[t - 1].label * L + seq[t].label] +
+              em[t][seq[t].label];
+    }
+    gold += end_w_[seq.back().label];
+    total_nll += log_z - gold;
+
+    // Node marginals -> emission/start/end gradient.
+    for (size_t t = 0; t < T; ++t) {
+      for (uint32_t y = 0; y < L; ++y) {
+        double p = std::exp(alpha[t][y] + beta[t][y] - log_z);
+        double g = (seq[t].label == y ? 1.0 : 0.0) - p;
+        if (g != 0.0) {
+          for (uint32_t f : seq[t].features) {
+            emission_grad.emplace_back((f % num_features_) * L + y, g);
+          }
+        }
+        if (t == 0) start_grad[y] += (seq[0].label == y ? 1.0 : 0.0) - p;
+        if (t == T - 1) {
+          end_grad[y] += (seq[T - 1].label == y ? 1.0 : 0.0) - p;
+        }
+      }
+    }
+    // Edge marginals -> transition gradient.
+    for (size_t t = 0; t + 1 < T; ++t) {
+      for (uint32_t y = 0; y < L; ++y) {
+        for (uint32_t yn = 0; yn < L; ++yn) {
+          double p = std::exp(alpha[t][y] + transition_w_[y * L + yn] +
+                              em[t + 1][yn] + beta[t + 1][yn] - log_z);
+          double g =
+              ((seq[t].label == y && seq[t + 1].label == yn) ? 1.0 : 0.0) -
+              p;
+          trans_grad[y * L + yn] += g;
+        }
+      }
+    }
+  }
+
+  const double scale = lr / static_cast<double>(batch.size());
+  for (auto& [idx, g] : emission_grad) {
+    emission_w_[idx] += scale * g - lr * l2 * emission_w_[idx];
+  }
+  for (size_t i = 0; i < trans_grad.size(); ++i) {
+    transition_w_[i] += scale * trans_grad[i] - lr * l2 * transition_w_[i];
+  }
+  for (uint32_t y = 0; y < L; ++y) {
+    start_w_[y] += scale * start_grad[y] - lr * l2 * start_w_[y];
+    end_w_[y] += scale * end_grad[y] - lr * l2 * end_w_[y];
+  }
+  return total_nll / static_cast<double>(batch.size());
+}
+
+double LinearChainCrf::Train(const std::vector<Sequence>& data,
+                             size_t epochs, size_t batch_size, double lr,
+                             double l2, util::Rng* rng) {
+  OPENBG_CHECK(!data.empty());
+  OPENBG_CHECK(batch_size >= 1);
+  double last_nll = 0.0;
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double epoch_nll = 0.0;
+    size_t batches = 0;
+    for (size_t pos = 0; pos < order.size(); pos += batch_size) {
+      std::vector<const Sequence*> batch;
+      for (size_t i = pos; i < std::min(pos + batch_size, order.size());
+           ++i) {
+        batch.push_back(&data[order[i]]);
+      }
+      epoch_nll += TrainStep(batch, lr, l2);
+      ++batches;
+    }
+    last_nll = epoch_nll / static_cast<double>(batches);
+  }
+  return last_nll;
+}
+
+std::vector<uint32_t> LinearChainCrf::Decode(const Sequence& seq) const {
+  std::vector<std::vector<float>> emissions(seq.size(),
+                                            std::vector<float>(num_labels_));
+  for (size_t t = 0; t < seq.size(); ++t) {
+    for (uint32_t y = 0; y < num_labels_; ++y) {
+      emissions[t][y] = static_cast<float>(EmissionScore(seq[t], y));
+    }
+  }
+  return DecodeWithEmissions(emissions);
+}
+
+std::vector<uint32_t> LinearChainCrf::DecodeWithEmissions(
+    const std::vector<std::vector<float>>& emissions) const {
+  const size_t T = emissions.size();
+  const size_t L = num_labels_;
+  OPENBG_CHECK(T > 0);
+  std::vector<std::vector<double>> delta(T, std::vector<double>(L));
+  std::vector<std::vector<uint32_t>> back(T, std::vector<uint32_t>(L, 0));
+  for (uint32_t y = 0; y < L; ++y) {
+    delta[0][y] = start_w_[y] + emissions[0][y];
+  }
+  for (size_t t = 1; t < T; ++t) {
+    OPENBG_CHECK(emissions[t].size() == L);
+    for (uint32_t y = 0; y < L; ++y) {
+      double best = -std::numeric_limits<double>::infinity();
+      uint32_t arg = 0;
+      for (uint32_t yp = 0; yp < L; ++yp) {
+        double s = delta[t - 1][yp] + transition_w_[yp * L + y];
+        if (s > best) {
+          best = s;
+          arg = yp;
+        }
+      }
+      delta[t][y] = best + emissions[t][y];
+      back[t][y] = arg;
+    }
+  }
+  uint32_t best_y = 0;
+  double best = -std::numeric_limits<double>::infinity();
+  for (uint32_t y = 0; y < L; ++y) {
+    double s = delta[T - 1][y] + end_w_[y];
+    if (s > best) {
+      best = s;
+      best_y = y;
+    }
+  }
+  std::vector<uint32_t> path(T);
+  path[T - 1] = best_y;
+  for (size_t t = T - 1; t-- > 0;) path[t] = back[t + 1][path[t + 1]];
+  return path;
+}
+
+namespace {
+
+struct Span {
+  size_t begin, end;  // token range [begin, end)
+  uint32_t type;
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+std::vector<Span> ExtractSpans(const std::vector<uint32_t>& labels) {
+  std::vector<Span> spans;
+  size_t i = 0;
+  while (i < labels.size()) {
+    if (IsBioB(labels[i])) {
+      uint32_t type = BioType(labels[i]);
+      size_t j = i + 1;
+      while (j < labels.size() && IsBioI(labels[j]) &&
+             BioType(labels[j]) == type) {
+        ++j;
+      }
+      spans.push_back({i, j, type});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return spans;
+}
+
+}  // namespace
+
+SpanPrf EvaluateSpans(const std::vector<std::vector<uint32_t>>& gold,
+                      const std::vector<std::vector<uint32_t>>& pred) {
+  OPENBG_CHECK(gold.size() == pred.size());
+  SpanPrf out;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    std::vector<Span> g = ExtractSpans(gold[i]);
+    std::vector<Span> p = ExtractSpans(pred[i]);
+    out.gold_spans += g.size();
+    out.pred_spans += p.size();
+    for (const Span& s : p) {
+      if (std::find(g.begin(), g.end(), s) != g.end()) ++out.correct;
+    }
+  }
+  out.precision = out.pred_spans > 0 ? static_cast<double>(out.correct) /
+                                           static_cast<double>(out.pred_spans)
+                                     : 0.0;
+  out.recall = out.gold_spans > 0 ? static_cast<double>(out.correct) /
+                                        static_cast<double>(out.gold_spans)
+                                  : 0.0;
+  out.f1 = (out.precision + out.recall) > 0.0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+}  // namespace openbg::crf

@@ -1,0 +1,100 @@
+#ifndef OPENBG_CRF_CRF_H_
+#define OPENBG_CRF_CRF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace openbg::crf {
+
+/// One token of a labeled sequence: the hashed feature ids fired at this
+/// position and (for training data) the gold label id.
+struct TokenFeatures {
+  std::vector<uint32_t> features;  // indices into the hashed feature space
+  uint32_t label = 0;
+};
+
+using Sequence = std::vector<TokenFeatures>;
+
+/// Linear-chain CRF for BIO-style sequence labeling — the decision layer of
+/// the paper's BERT-CRF concept extractor (Sec. II-C) and of the NER-for-
+/// titles downstream task. Emission scores are linear in hashed features
+/// (the encoder substitution documented in DESIGN.md); transition scores
+/// are a dense label×label table. Training maximizes the conditional
+/// log-likelihood via forward-backward; decoding is Viterbi.
+class LinearChainCrf {
+ public:
+  /// `num_features` is the hashed feature space size; feature ids are taken
+  /// modulo it, so any 32-bit hash can be fed in directly.
+  LinearChainCrf(size_t num_labels, size_t num_features);
+
+  size_t num_labels() const { return num_labels_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Conditional log-likelihood of one gold sequence (natural log).
+  double LogLikelihood(const Sequence& seq) const;
+
+  /// One SGD step on a minibatch of sequences; returns mean negative
+  /// log-likelihood before the update. `l2` is the coefficient of the L2
+  /// penalty applied to touched weights.
+  double TrainStep(const std::vector<const Sequence*>& batch, double lr,
+                   double l2);
+
+  /// Trains for `epochs` passes over `data` with the given batch size.
+  /// Returns final-epoch mean NLL. Deterministic given `rng`.
+  double Train(const std::vector<Sequence>& data, size_t epochs,
+               size_t batch_size, double lr, double l2, util::Rng* rng);
+
+  /// Viterbi decode: most probable label sequence.
+  std::vector<uint32_t> Decode(const Sequence& seq) const;
+
+  /// External-emission variant: decodes with per-position label scores
+  /// supplied by a neural encoder (`emissions[t][y]`), combined with this
+  /// CRF's transition table. Used by the pretrain NER head.
+  std::vector<uint32_t> DecodeWithEmissions(
+      const std::vector<std::vector<float>>& emissions) const;
+
+ private:
+  // Emission score of label y at position t.
+  double EmissionScore(const TokenFeatures& tok, uint32_t y) const;
+
+  // Forward algorithm in log space; fills alpha[t][y] and returns log Z.
+  double ForwardLogZ(const Sequence& seq,
+                     std::vector<std::vector<double>>* alpha) const;
+
+  size_t num_labels_;
+  size_t num_features_;
+  std::vector<double> emission_w_;    // [feature * num_labels + label]
+  std::vector<double> transition_w_;  // [prev * num_labels + next]
+  std::vector<double> start_w_;       // [label]
+  std::vector<double> end_w_;         // [label]
+};
+
+/// Computes span-level precision/recall/F1 between gold and predicted BIO
+/// label sequences (labels: 0 = O, odd = B-k, even>0 = I-k for entity type
+/// k — see MakeBioLabel). This is the metric of Tables V/VII.
+struct SpanPrf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t gold_spans = 0;
+  size_t pred_spans = 0;
+  size_t correct = 0;
+};
+
+SpanPrf EvaluateSpans(const std::vector<std::vector<uint32_t>>& gold,
+                      const std::vector<std::vector<uint32_t>>& pred);
+
+/// BIO label id helpers: entity type t (0-based) maps to B = 2t+1,
+/// I = 2t+2; O = 0. `num_types` entity types need 2*num_types+1 labels.
+inline uint32_t BioB(uint32_t type) { return 2 * type + 1; }
+inline uint32_t BioI(uint32_t type) { return 2 * type + 2; }
+inline bool IsBioB(uint32_t label) { return label != 0 && label % 2 == 1; }
+inline bool IsBioI(uint32_t label) { return label != 0 && label % 2 == 0; }
+inline uint32_t BioType(uint32_t label) { return (label - 1) / 2; }
+
+}  // namespace openbg::crf
+
+#endif  // OPENBG_CRF_CRF_H_

@@ -1,0 +1,86 @@
+#include "datagen/name_gen.h"
+#include <cctype>
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace openbg::datagen {
+namespace {
+
+constexpr std::array<const char*, 20> kOnsets = {
+    "b", "d", "f", "g", "h", "k", "l", "m", "n", "p",
+    "r", "s", "t", "v", "z", "br", "st", "tr", "ch", "sh"};
+constexpr std::array<const char*, 6> kVowels = {"a", "e", "i", "o", "u", "ai"};
+constexpr std::array<const char*, 8> kCodas = {"", "", "", "n", "r", "s",
+                                               "l", "x"};
+
+}  // namespace
+
+std::string NameGen::RawWord(size_t syllables) {
+  std::string w;
+  for (size_t i = 0; i < syllables; ++i) {
+    w += kOnsets[rng_->Uniform(kOnsets.size())];
+    w += kVowels[rng_->Uniform(kVowels.size())];
+    if (i + 1 == syllables) w += kCodas[rng_->Uniform(kCodas.size())];
+  }
+  return w;
+}
+
+std::string NameGen::Word(size_t syllables) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string w = RawWord(syllables);
+    if (used_.insert(w).second) return w;
+  }
+  // Dense region of the name space: extend with a numeric suffix.
+  std::string w;
+  do {
+    w = RawWord(syllables) + std::to_string(rng_->Uniform(100000));
+  } while (!used_.insert(w).second);
+  return w;
+}
+
+std::string NameGen::ProperName(size_t syllables) {
+  std::string w = Word(syllables);
+  w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+  return w;
+}
+
+std::string NameGen::Phrase(size_t words, size_t syllables_per_word) {
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < words; ++i) {
+    parts.push_back(RawWord(syllables_per_word));
+  }
+  return util::Join(parts, " ");
+}
+
+std::string NameGen::SpecValue() {
+  static constexpr std::array<const char*, 6> kUnits = {"g",  "kg", "ml",
+                                                        "cm", "mm", "pc"};
+  std::string v = std::to_string(10 * (1 + rng_->Uniform(99)));
+  v += kUnits[rng_->Uniform(kUnits.size())];
+  if (rng_->Bernoulli(0.4)) {
+    v += "_x" + std::to_string(1 + rng_->Uniform(9));
+  }
+  return v;
+}
+
+std::string NameGen::Misspell(const std::string& name) {
+  if (name.size() < 3) return name + "e";
+  std::string out = name;
+  size_t pos = 1 + rng_->Uniform(out.size() - 2);
+  switch (rng_->Uniform(3)) {
+    case 0:  // substitution
+      out[pos] = "aeiou"[rng_->Uniform(5)];
+      break;
+    case 1:  // deletion
+      out.erase(pos, 1);
+      break;
+    default:  // transposition
+      std::swap(out[pos - 1], out[pos]);
+      break;
+  }
+  return out;
+}
+
+}  // namespace openbg::datagen

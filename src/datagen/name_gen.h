@@ -1,0 +1,51 @@
+#ifndef OPENBG_DATAGEN_NAME_GEN_H_
+#define OPENBG_DATAGEN_NAME_GEN_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace openbg::datagen {
+
+/// Deterministic pseudo-word generator. Produces pronounceable,
+/// collision-free names for categories, brands, places, concepts and
+/// attribute values, so that the synthetic corpus has a realistic
+/// type/token profile (many rare names, few frequent ones) without
+/// shipping any real-world vocabulary.
+class NameGen {
+ public:
+  explicit NameGen(util::Rng* rng) : rng_(rng) {}
+
+  NameGen(const NameGen&) = delete;
+  NameGen& operator=(const NameGen&) = delete;
+
+  /// A fresh word of `syllables` CV(C) syllables, lowercase, unique across
+  /// this generator's lifetime.
+  std::string Word(size_t syllables);
+
+  /// A unique capitalized name ("Zorvane") for named entities.
+  std::string ProperName(size_t syllables);
+
+  /// A multi-word phrase ("misty harbor lane"), each word unique-ish but the
+  /// phrase not registered for uniqueness.
+  std::string Phrase(size_t words, size_t syllables_per_word);
+
+  /// A spec-style value like "250g_x3" or "120cm" for attribute values.
+  std::string SpecValue();
+
+  /// Introduces 1 typo (substitution, deletion or transposition) into a
+  /// copy of `name`; used for fuzzy-linking noise.
+  std::string Misspell(const std::string& name);
+
+ private:
+  std::string RawWord(size_t syllables);
+
+  util::Rng* rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace openbg::datagen
+
+#endif  // OPENBG_DATAGEN_NAME_GEN_H_

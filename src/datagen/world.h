@@ -1,0 +1,160 @@
+#ifndef OPENBG_DATAGEN_WORLD_H_
+#define OPENBG_DATAGEN_WORLD_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+
+namespace openbg::datagen {
+
+/// A node of a generated taxonomy. Index-based tree: parents precede
+/// children; level-1 nodes (directly below the core class/concept) have
+/// parent == -1.
+struct TaxonomyNode {
+  std::string name;
+  int parent = -1;
+  int level = 1;  // 1-based, as in Table I
+  std::vector<int> children;
+  std::vector<std::string> aliases;  // synonym surface forms (for linking)
+};
+
+/// One generated taxonomy (e.g., the Category tree).
+struct TaxonomyData {
+  std::vector<TaxonomyNode> nodes;
+  std::vector<int> leaves;  // indices of childless nodes
+};
+
+/// A product attribute type shared across categories ("weight", "material"
+/// analogues), with its closed value pool and a global popularity rank that
+/// induces the long-tail relation distribution of Fig. 5.
+struct AttributeType {
+  std::string name;
+  std::vector<std::string> values;
+  double popularity = 1.0;
+};
+
+/// One token span annotation inside a generated text: byte-less,
+/// token-index based. `type` indexes the annotation label space of the
+/// producing generator (attribute types for titles).
+struct SpanAnnotation {
+  size_t begin = 0;  // token index, inclusive
+  size_t end = 0;    // token index, exclusive
+  uint32_t type = 0;
+};
+
+/// One gold (aspect, value) opinion extracted from a review — the IE-for-
+/// reviews target.
+struct OpinionTriple {
+  uint32_t attribute = 0;  // AttributeType index
+  std::string value;       // opinion word
+};
+
+/// A generated product (an *item* in paper terms). All cross-references are
+/// indices into the World's pools. The raw `brand_mention`/`place_mention`
+/// strings simulate the noisy surface forms the schema-mapping linker must
+/// resolve (exact name, a registered alias, or a misspelling).
+struct Product {
+  std::string id;     // stable id, e.g. "prod_000042"
+  int category = -1;  // leaf index into categories
+  int brand = -1;     // gold brand leaf (may be -1: no brand)
+  int place = -1;     // gold place leaf (may be -1)
+  std::string brand_mention;
+  std::string place_mention;
+
+  std::vector<int> scenes, crowds, themes, times, markets;
+
+  // (attribute type index, value index into that type's pool)
+  std::vector<std::pair<uint32_t, uint32_t>> attributes;
+
+  std::vector<std::string> title_tokens;
+  std::vector<SpanAnnotation> title_spans;  // gold NER: attr-value spans
+  std::vector<std::string> short_title_tokens;  // gold summarization target
+
+  std::vector<std::string> review_tokens;     // one synthesized review
+  std::vector<OpinionTriple> review_triples;  // gold IE targets
+
+  std::string description;       // rdfs:comment text
+  std::vector<float> image;      // empty if the product has no image
+};
+
+/// Scale knobs for world generation. Defaults give a ~1/1000-of-paper world
+/// that builds in seconds on one core; `scale` multiplies the taxonomy and
+/// attribute-pool sizes, while `num_products` is used as given.
+struct WorldSpec {
+  uint64_t seed = 7;
+  double scale = 1.0;
+
+  // Per-level node counts for each core kind, pre-scale. Shapes follow the
+  // proportions of Table I.
+  std::vector<size_t> category_levels = {8, 45, 160, 150};
+  std::vector<size_t> brand_levels = {12, 400};
+  std::vector<size_t> place_levels = {8, 16, 30, 90, 240};
+  std::vector<size_t> scene_levels = {5, 60, 20, 15};
+  std::vector<size_t> crowd_levels = {4, 8, 90, 6};
+  std::vector<size_t> theme_levels = {5, 50, 10, 8};
+  std::vector<size_t> time_levels = {3, 14};
+  std::vector<size_t> market_levels = {600};
+
+  size_t num_products = 4000;
+  size_t num_attribute_types = 64;
+  size_t values_per_attribute = 12;
+  double zipf_exponent = 1.1;  // attribute/concept popularity skew
+
+  double image_fraction = 0.5;   // products with an image
+  size_t image_dim = 16;
+  double brand_fraction = 0.85;  // products with a brand
+  double place_fraction = 0.8;
+
+  // Mention noise for the linking pipeline.
+  double mention_alias_prob = 0.15;
+  double mention_typo_prob = 0.1;
+
+  // Concept fan-out per product (means of Poisson-ish draws), mirroring the
+  // relative frequencies of Table I's object-property rows.
+  double scenes_per_product = 3.0;
+  double crowds_per_product = 1.2;
+  double themes_per_product = 0.15;
+  double times_per_product = 0.3;
+  double markets_per_product = 5.0;
+
+  size_t min_attributes_per_product = 3;
+  size_t max_attributes_per_product = 8;
+};
+
+/// The generated business world: every pool the construction pipeline,
+/// benchmark builder and pre-training corpus consume.
+struct World {
+  WorldSpec spec;
+
+  TaxonomyData categories, brands, places;
+  TaxonomyData scenes, crowds, themes, times, markets;
+
+  std::vector<AttributeType> attribute_types;
+  // Attribute types available on each leaf category (indices).
+  std::vector<std::vector<uint32_t>> category_attributes;
+  // Concept affinity pools per leaf category: the scenes/crowds/themes a
+  // category's products typically link to (running shoes -> running). This
+  // is what makes relatedScene/forCrowd statements *typical* in the
+  // facet-model sense and gives the KG its category-discriminative signal.
+  std::vector<std::vector<int>> category_scenes;
+  std::vector<std::vector<int>> category_crowds;
+  std::vector<std::vector<int>> category_themes;
+  // Per-category image prototype (mean vector); products draw noisy copies.
+  std::vector<std::vector<float>> category_image_prototypes;
+
+  std::vector<Product> products;
+
+  /// The taxonomy for a core kind (Category/Brand/... enumeration).
+  const TaxonomyData& TaxonomyFor(ontology::CoreKind kind) const;
+  TaxonomyData& TaxonomyFor(ontology::CoreKind kind);
+};
+
+/// Generates a world deterministically from `spec`.
+World GenerateWorld(const WorldSpec& spec);
+
+}  // namespace openbg::datagen
+
+#endif  // OPENBG_DATAGEN_WORLD_H_

@@ -1,0 +1,406 @@
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/name_gen.h"
+#include "datagen/world.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace openbg::datagen {
+namespace {
+
+using ontology::CoreKind;
+
+std::vector<size_t> ScaledLevels(const std::vector<size_t>& levels,
+                                 double scale) {
+  std::vector<size_t> out;
+  out.reserve(levels.size());
+  for (size_t n : levels) {
+    out.push_back(std::max<size_t>(
+        1, static_cast<size_t>(std::llround(static_cast<double>(n) * scale))));
+  }
+  return out;
+}
+
+/// Builds one taxonomy: `levels[k]` nodes at level k+1, children attached to
+/// uniformly random parents of the previous level.
+TaxonomyData BuildTaxonomy(const std::vector<size_t>& levels,
+                           bool proper_names, NameGen* names,
+                           util::Rng* rng) {
+  TaxonomyData tax;
+  std::vector<int> prev_level;
+  for (size_t lvl = 0; lvl < levels.size(); ++lvl) {
+    std::vector<int> cur_level;
+    for (size_t i = 0; i < levels[lvl]; ++i) {
+      TaxonomyNode node;
+      node.name = proper_names ? names->ProperName(2 + rng->Uniform(2))
+                               : names->Word(2 + rng->Uniform(2));
+      node.level = static_cast<int>(lvl + 1);
+      if (!prev_level.empty()) {
+        node.parent = prev_level[rng->Uniform(prev_level.size())];
+      }
+      int idx = static_cast<int>(tax.nodes.size());
+      tax.nodes.push_back(std::move(node));
+      if (tax.nodes.back().parent >= 0) {
+        tax.nodes[tax.nodes.back().parent].children.push_back(idx);
+      }
+      cur_level.push_back(idx);
+    }
+    prev_level = std::move(cur_level);
+  }
+  for (size_t i = 0; i < tax.nodes.size(); ++i) {
+    if (tax.nodes[i].children.empty()) {
+      tax.leaves.push_back(static_cast<int>(i));
+    }
+  }
+  return tax;
+}
+
+/// Registers synonym aliases on ~30% of leaves (1 alias each) plus a few
+/// equivalent spellings; the fuzzy linker's synonym table is built from
+/// these.
+void AddAliases(TaxonomyData* tax, NameGen* names, util::Rng* rng) {
+  for (int leaf : tax->leaves) {
+    if (rng->Bernoulli(0.3)) {
+      tax->nodes[leaf].aliases.push_back(names->Word(2));
+    }
+  }
+}
+
+constexpr const char* kOpinionWords[] = {
+    "nice", "good", "poor", "great", "soft", "firm", "fresh", "fine",
+    "bad",  "neat", "rich", "clean", "cheap", "solid", "smooth", "bright"};
+constexpr size_t kNumOpinionWords = std::size(kOpinionWords);
+
+constexpr const char* kFillerWords[] = {
+    "new", "hot", "sale", "best", "classic", "deluxe", "value", "pack",
+    "original", "season", "style", "edition", "series", "plus"};
+constexpr size_t kNumFillerWords = std::size(kFillerWords);
+
+size_t PoissonishCount(double mean, util::Rng* rng) {
+  size_t n = static_cast<size_t>(mean);
+  double frac = mean - static_cast<double>(n);
+  if (rng->Bernoulli(frac)) ++n;
+  return n;
+}
+
+std::vector<int> SampleLeaves(const TaxonomyData& tax,
+                              const util::ZipfSampler& zipf, size_t count,
+                              util::Rng* rng) {
+  std::vector<int> out;
+  size_t limit = std::min(count, tax.leaves.size());
+  while (out.size() < limit) {
+    int leaf = tax.leaves[zipf.Sample(rng) % tax.leaves.size()];
+    if (std::find(out.begin(), out.end(), leaf) == out.end()) {
+      out.push_back(leaf);
+    }
+  }
+  return out;
+}
+
+std::string MentionFor(const TaxonomyNode& node, double alias_prob,
+                       double typo_prob, NameGen* names, util::Rng* rng) {
+  if (!node.aliases.empty() && rng->Bernoulli(alias_prob)) {
+    return node.aliases[rng->Uniform(node.aliases.size())];
+  }
+  if (rng->Bernoulli(typo_prob)) return names->Misspell(node.name);
+  return node.name;
+}
+
+}  // namespace
+
+const TaxonomyData& World::TaxonomyFor(CoreKind kind) const {
+  switch (kind) {
+    case CoreKind::kCategory:
+      return categories;
+    case CoreKind::kBrand:
+      return brands;
+    case CoreKind::kPlace:
+      return places;
+    case CoreKind::kScene:
+      return scenes;
+    case CoreKind::kCrowd:
+      return crowds;
+    case CoreKind::kTheme:
+      return themes;
+    case CoreKind::kTime:
+      return times;
+    case CoreKind::kMarketSegment:
+      return markets;
+  }
+  OPENBG_CHECK(false);
+  return categories;
+}
+
+TaxonomyData& World::TaxonomyFor(CoreKind kind) {
+  return const_cast<TaxonomyData&>(
+      static_cast<const World*>(this)->TaxonomyFor(kind));
+}
+
+World GenerateWorld(const WorldSpec& spec) {
+  World world;
+  world.spec = spec;
+  util::Rng rng(spec.seed);
+  NameGen names(&rng);
+  const double s = spec.scale;
+
+  world.categories =
+      BuildTaxonomy(ScaledLevels(spec.category_levels, s), false, &names,
+                    &rng);
+  world.brands =
+      BuildTaxonomy(ScaledLevels(spec.brand_levels, s), true, &names, &rng);
+  world.places =
+      BuildTaxonomy(ScaledLevels(spec.place_levels, s), true, &names, &rng);
+  world.scenes =
+      BuildTaxonomy(ScaledLevels(spec.scene_levels, s), false, &names, &rng);
+  world.crowds =
+      BuildTaxonomy(ScaledLevels(spec.crowd_levels, s), false, &names, &rng);
+  world.themes =
+      BuildTaxonomy(ScaledLevels(spec.theme_levels, s), false, &names, &rng);
+  world.times =
+      BuildTaxonomy(ScaledLevels(spec.time_levels, s), false, &names, &rng);
+  world.markets =
+      BuildTaxonomy(ScaledLevels(spec.market_levels, s), false, &names,
+                    &rng);
+  AddAliases(&world.brands, &names, &rng);
+  AddAliases(&world.places, &names, &rng);
+  // Leaf categories get synonym surface forms: sellers rarely write the
+  // canonical taxonomy label in titles ("dress" vs "frock" vs "gown").
+  // This is what makes category prediction non-trivial from the title
+  // alone and gives KG enhancement room to help (Tables V/VI).
+  for (int leaf : world.categories.leaves) {
+    size_t n_alias = 1 + rng.Uniform(2);
+    for (size_t k = 0; k < n_alias; ++k) {
+      world.categories.nodes[leaf].aliases.push_back(names.Word(2));
+    }
+  }
+
+  // Attribute pool with Zipf popularity.
+  size_t num_attrs = std::max<size_t>(
+      4, static_cast<size_t>(std::llround(spec.num_attribute_types * s)));
+  for (size_t i = 0; i < num_attrs; ++i) {
+    AttributeType attr;
+    attr.name = names.Word(2);
+    for (size_t v = 0; v < spec.values_per_attribute; ++v) {
+      // Mix word-like and spec-like values (weights, sizes, counts).
+      attr.values.push_back(rng.Bernoulli(0.3) ? names.SpecValue()
+                                               : names.Word(2));
+    }
+    attr.popularity =
+        std::pow(static_cast<double>(i + 1), -spec.zipf_exponent);
+    world.attribute_types.push_back(std::move(attr));
+  }
+  std::vector<double> attr_weights;
+  for (const auto& a : world.attribute_types) {
+    attr_weights.push_back(a.popularity);
+  }
+  util::DiscreteSampler attr_sampler(attr_weights);
+
+  // Per-leaf-category attribute menus and image prototypes.
+  world.category_attributes.resize(world.categories.nodes.size());
+  world.category_image_prototypes.resize(world.categories.nodes.size());
+  for (int leaf : world.categories.leaves) {
+    auto& menu = world.category_attributes[leaf];
+    size_t want = 6 + rng.Uniform(8);
+    while (menu.size() < std::min(want, num_attrs)) {
+      uint32_t a = static_cast<uint32_t>(attr_sampler.Sample(&rng));
+      if (std::find(menu.begin(), menu.end(), a) == menu.end()) {
+        menu.push_back(a);
+      }
+    }
+    auto& proto = world.category_image_prototypes[leaf];
+    proto.resize(spec.image_dim);
+    for (float& x : proto) x = static_cast<float>(rng.Normal());
+  }
+
+  // Per-category concept affinity pools (drawn once, products sample from
+  // them with high probability below).
+  // Pools are drawn uniformly so different categories acquire *distinct*
+  // typical concepts (the global long-tail of concept usage then comes
+  // from category popularity, not from pool overlap).
+  util::ZipfSampler scene_pool_zipf(world.scenes.leaves.size(), 0.0);
+  util::ZipfSampler crowd_pool_zipf(world.crowds.leaves.size(), 0.0);
+  util::ZipfSampler theme_pool_zipf(world.themes.leaves.size(), 0.0);
+  world.category_scenes.resize(world.categories.nodes.size());
+  world.category_crowds.resize(world.categories.nodes.size());
+  world.category_themes.resize(world.categories.nodes.size());
+  for (int leaf : world.categories.leaves) {
+    world.category_scenes[leaf] =
+        SampleLeaves(world.scenes, scene_pool_zipf, 4, &rng);
+    world.category_crowds[leaf] =
+        SampleLeaves(world.crowds, crowd_pool_zipf, 3, &rng);
+    world.category_themes[leaf] =
+        SampleLeaves(world.themes, theme_pool_zipf, 2, &rng);
+  }
+
+  // Popularity skews for leaf selection.
+  util::ZipfSampler cat_zipf(world.categories.leaves.size(),
+                             spec.zipf_exponent);
+  util::ZipfSampler brand_zipf(world.brands.leaves.size(),
+                               spec.zipf_exponent);
+  util::ZipfSampler place_zipf(world.places.leaves.size(), 0.8);
+  util::ZipfSampler scene_zipf(world.scenes.leaves.size(),
+                               spec.zipf_exponent);
+  util::ZipfSampler crowd_zipf(world.crowds.leaves.size(),
+                               spec.zipf_exponent);
+  util::ZipfSampler theme_zipf(world.themes.leaves.size(),
+                               spec.zipf_exponent);
+  util::ZipfSampler time_zipf(world.times.leaves.size(), 0.7);
+  util::ZipfSampler market_zipf(world.markets.leaves.size(), 1.0);
+
+  // num_products is taken as-is (not scaled): callers choose the product
+  // count explicitly, while `scale` shapes the taxonomy/attribute universe.
+  size_t num_products = std::max<size_t>(10, spec.num_products);
+  world.products.reserve(num_products);
+  for (size_t i = 0; i < num_products; ++i) {
+    Product p;
+    p.id = util::StrFormat("prod_%06zu", i);
+    p.category =
+        world.categories.leaves[cat_zipf.Sample(&rng) %
+                                world.categories.leaves.size()];
+
+    if (rng.Bernoulli(spec.brand_fraction)) {
+      p.brand = world.brands.leaves[brand_zipf.Sample(&rng) %
+                                    world.brands.leaves.size()];
+      p.brand_mention =
+          MentionFor(world.brands.nodes[p.brand], spec.mention_alias_prob,
+                     spec.mention_typo_prob, &names, &rng);
+    }
+    if (rng.Bernoulli(spec.place_fraction)) {
+      p.place = world.places.leaves[place_zipf.Sample(&rng) %
+                                    world.places.leaves.size()];
+      p.place_mention =
+          MentionFor(world.places.nodes[p.place], spec.mention_alias_prob,
+                     spec.mention_typo_prob, &names, &rng);
+    }
+
+    // Scenes/crowds/themes: mostly from the category's affinity pool
+    // (typical statements), sometimes from the global distribution
+    // (atypical noise — the pairs facet scoring must reject).
+    auto sample_affine = [&rng](const std::vector<int>& pool,
+                                const TaxonomyData& tax,
+                                const util::ZipfSampler& zipf, size_t count,
+                                std::vector<int>* out) {
+      while (out->size() < std::min(count, tax.leaves.size())) {
+        int leaf;
+        if (!pool.empty() && rng.Bernoulli(0.8)) {
+          leaf = pool[rng.Uniform(pool.size())];
+        } else {
+          leaf = tax.leaves[zipf.Sample(&rng) % tax.leaves.size()];
+        }
+        if (std::find(out->begin(), out->end(), leaf) == out->end()) {
+          out->push_back(leaf);
+        }
+      }
+    };
+    sample_affine(world.category_scenes[p.category], world.scenes,
+                  scene_zipf, PoissonishCount(spec.scenes_per_product, &rng),
+                  &p.scenes);
+    sample_affine(world.category_crowds[p.category], world.crowds,
+                  crowd_zipf, PoissonishCount(spec.crowds_per_product, &rng),
+                  &p.crowds);
+    sample_affine(world.category_themes[p.category], world.themes,
+                  theme_zipf, PoissonishCount(spec.themes_per_product, &rng),
+                  &p.themes);
+    for (int leaf : SampleLeaves(world.times, time_zipf,
+                                 PoissonishCount(spec.times_per_product,
+                                                 &rng),
+                                 &rng)) {
+      p.times.push_back(leaf);
+    }
+    for (int leaf : SampleLeaves(world.markets, market_zipf,
+                                 PoissonishCount(spec.markets_per_product,
+                                                 &rng),
+                                 &rng)) {
+      p.markets.push_back(leaf);
+    }
+
+    // Attributes from the category menu.
+    const auto& menu = world.category_attributes[p.category];
+    size_t want =
+        spec.min_attributes_per_product +
+        rng.Uniform(spec.max_attributes_per_product -
+                    spec.min_attributes_per_product + 1);
+    want = std::min(want, menu.size());
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(menu.size(), want);
+    for (size_t k : picks) {
+      uint32_t attr = menu[k];
+      uint32_t value = static_cast<uint32_t>(
+          rng.Uniform(world.attribute_types[attr].values.size()));
+      p.attributes.emplace_back(attr, value);
+    }
+
+    // --- Title: brand? + [attr values]* + fillers + category + specs.
+    // Gold spans mark every attribute value with its attribute type; the
+    // short title keeps brand + first two attribute values + category.
+    const std::string cat_name = world.categories.nodes[p.category].name;
+    auto push_token = [&p](const std::string& tok) {
+      p.title_tokens.push_back(tok);
+    };
+    if (p.brand >= 0) {
+      push_token(util::ToLower(p.brand_mention));
+      p.short_title_tokens.push_back(p.title_tokens.back());
+    }
+    size_t key_attrs = std::min<size_t>(2, p.attributes.size());
+    for (size_t k = 0; k < p.attributes.size(); ++k) {
+      if (rng.Bernoulli(0.35)) {  // interleave filler noise
+        push_token(kFillerWords[rng.Uniform(kNumFillerWords)]);
+      }
+      auto [attr, value] = p.attributes[k];
+      size_t begin = p.title_tokens.size();
+      push_token(world.attribute_types[attr].values[value]);
+      p.title_spans.push_back({begin, begin + 1, attr});
+      if (k < key_attrs) {
+        p.short_title_tokens.push_back(p.title_tokens.back());
+      }
+    }
+    if (rng.Bernoulli(0.5)) {
+      push_token(kFillerWords[rng.Uniform(kNumFillerWords)]);
+    }
+    // The category is mentioned by canonical name or one of its aliases.
+    const datagen::TaxonomyNode& cat_node = world.categories.nodes[p.category];
+    std::string cat_surface = cat_name;
+    if (!cat_node.aliases.empty() && rng.Bernoulli(0.6)) {
+      cat_surface = cat_node.aliases[rng.Uniform(cat_node.aliases.size())];
+    }
+    push_token(cat_surface);
+    p.short_title_tokens.push_back(cat_surface);
+
+    // --- Review with gold opinion triples.
+    size_t num_opinions = 1 + rng.Uniform(3);
+    num_opinions = std::min(num_opinions, p.attributes.size());
+    for (size_t k = 0; k < num_opinions; ++k) {
+      uint32_t attr = p.attributes[k].first;
+      std::string opinion = kOpinionWords[rng.Uniform(kNumOpinionWords)];
+      // Reviewers misspell attribute names sometimes; the gold triple still
+      // carries the true type, so extraction systems must resolve noisy
+      // surfaces (the KG gazetteer's fuzzy stage earns its keep here).
+      std::string attr_surface = world.attribute_types[attr].name;
+      if (rng.Bernoulli(0.15)) attr_surface = names.Misspell(attr_surface);
+      for (const std::string& tok :
+           {std::string("the"), attr_surface, std::string("of"),
+            std::string("this"), cat_name, std::string("is"), opinion}) {
+        p.review_tokens.push_back(tok);
+      }
+      p.review_triples.push_back({attr, opinion});
+    }
+
+    p.description = "A " + cat_name + " product, " + names.Phrase(4, 2) +
+                    ".";
+
+    if (rng.Bernoulli(spec.image_fraction)) {
+      const auto& proto = world.category_image_prototypes[p.category];
+      p.image.resize(spec.image_dim);
+      for (size_t d = 0; d < spec.image_dim; ++d) {
+        p.image[d] = proto[d] + static_cast<float>(rng.Normal(0.0, 0.5));
+      }
+    }
+
+    world.products.push_back(std::move(p));
+  }
+  return world;
+}
+
+}  // namespace openbg::datagen

@@ -1,0 +1,364 @@
+#include "kge/bilinear_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace openbg::kge {
+namespace {
+
+/// Pointwise logistic step shared by the bilinear family. Each triple's
+/// gradient is applied immediately at full magnitude (no batch averaging)
+/// — the classic sparse-SGD recipe for KG embeddings, where a batch-mean
+/// would shrink each touched row's update by the batch size and stall
+/// learning.
+template <typename ScoreFn, typename GradFn>
+double LogisticPairs(const std::vector<LpTriple>& pos,
+                     const std::vector<LpTriple>& neg, float lr,
+                     const ScoreFn& score, const GradFn& apply) {
+  double loss = 0.0;
+  auto step = [&](const LpTriple& t, float label) {
+    float s = score(t);
+    float x = -label * s;
+    loss += x > 20.0f ? x : std::log1p(std::exp(x));
+    float dscore = -label / (1.0f + std::exp(label * s));
+    apply(t, dscore, lr);
+  };
+  for (const LpTriple& t : pos) step(t, 1.0f);
+  for (const LpTriple& t : neg) step(t, -1.0f);
+  return loss / static_cast<double>(pos.size() + neg.size());
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- DistMult
+
+DistMult::DistMult(size_t num_entities, size_t num_relations, size_t dim,
+                   util::Rng* rng, float l2)
+    : KgeModel(num_entities, num_relations),
+      dim_(dim),
+      l2_(l2),
+      ent_(num_entities, dim, rng, 0.5f),
+      rel_(num_relations, dim, rng, 0.5f) {}
+
+float DistMult::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  const float* hh = ent_.Row(h);
+  const float* rr = rel_.Row(r);
+  const float* tt = ent_.Row(t);
+  float s = 0.0f;
+  for (size_t i = 0; i < dim_; ++i) s += hh[i] * rr[i] * tt[i];
+  return s;
+}
+
+void DistMult::ScoreTails(uint32_t h, uint32_t r,
+                          std::vector<float>* out) const {
+  out->resize(num_entities_);
+  std::vector<float> q(dim_);
+  const float* hh = ent_.Row(h);
+  const float* rr = rel_.Row(r);
+  for (size_t i = 0; i < dim_; ++i) q[i] = hh[i] * rr[i];
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    (*out)[t] = nn::Dot(q.data(), ent_.Row(t), dim_);
+  }
+}
+
+void DistMult::ScoreHeads(uint32_t r, uint32_t t,
+                          std::vector<float>* out) const {
+  // DistMult is symmetric in h/t given r.
+  ScoreTails(t, r, out);
+}
+
+void DistMult::ApplyGrad(const LpTriple& t, float dscore, float lr) {
+  float* hh = ent_.Row(t.h);
+  float* rr = rel_.Row(t.r);
+  float* tt = ent_.Row(t.t);
+  for (size_t i = 0; i < dim_; ++i) {
+    float gh = dscore * rr[i] * tt[i] + l2_ * hh[i];
+    float gr = dscore * hh[i] * tt[i] + l2_ * rr[i];
+    float gt = dscore * hh[i] * rr[i] + l2_ * tt[i];
+    hh[i] -= lr * gh;
+    rr[i] -= lr * gr;
+    tt[i] -= lr * gt;
+  }
+}
+
+double DistMult::TrainPairs(const std::vector<LpTriple>& pos,
+                            const std::vector<LpTriple>& neg, float lr) {
+  return LogisticPairs(
+      pos, neg, lr,
+      [this](const LpTriple& t) { return ScoreTriple(t.h, t.r, t.t); },
+      [this](const LpTriple& t, float d, float l) { ApplyGrad(t, d, l); });
+}
+
+// --------------------------------------------------------------- ComplEx
+
+ComplEx::ComplEx(size_t num_entities, size_t num_relations, size_t dim,
+                 util::Rng* rng, float l2)
+    : KgeModel(num_entities, num_relations),
+      dim_(dim),
+      l2_(l2),
+      ent_(num_entities, 2 * dim, rng, 0.5f),
+      rel_(num_relations, 2 * dim, rng, 0.5f) {}
+
+float ComplEx::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  const float* hh = ent_.Row(h);
+  const float* rr = rel_.Row(r);
+  const float* tt = ent_.Row(t);
+  const float* hre = hh;
+  const float* him = hh + dim_;
+  const float* rre = rr;
+  const float* rim = rr + dim_;
+  const float* tre = tt;
+  const float* tim = tt + dim_;
+  float s = 0.0f;
+  for (size_t i = 0; i < dim_; ++i) {
+    s += rre[i] * (hre[i] * tre[i] + him[i] * tim[i]) +
+         rim[i] * (hre[i] * tim[i] - him[i] * tre[i]);
+  }
+  return s;
+}
+
+void ComplEx::ScoreTails(uint32_t h, uint32_t r,
+                         std::vector<float>* out) const {
+  out->resize(num_entities_);
+  // score(t) = q_re . t_re + q_im . t_im with
+  // q_re = h_re*r_re - h_im*r_im ... careful with conj(t):
+  // Re(<h,r,conj(t)>) = (h_re r_re - h_im r_im?).. expand from ScoreTriple:
+  // s = sum tre*(rre*hre - rim*him) + tim*(rre*him + rim*hre).
+  std::vector<float> qre(dim_), qim(dim_);
+  const float* hh = ent_.Row(h);
+  const float* rr = rel_.Row(r);
+  for (size_t i = 0; i < dim_; ++i) {
+    qre[i] = rr[i] * hh[i] - rr[dim_ + i] * hh[dim_ + i];
+    qim[i] = rr[i] * hh[dim_ + i] + rr[dim_ + i] * hh[i];
+  }
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    const float* tt = ent_.Row(t);
+    (*out)[t] = nn::Dot(qre.data(), tt, dim_) +
+                nn::Dot(qim.data(), tt + dim_, dim_);
+  }
+}
+
+void ComplEx::ScoreHeads(uint32_t r, uint32_t t,
+                         std::vector<float>* out) const {
+  out->resize(num_entities_);
+  // s = sum hre*(rre*tre + rim*tim) + him*(rre*tim - rim*tre).
+  std::vector<float> qre(dim_), qim(dim_);
+  const float* tt = ent_.Row(t);
+  const float* rr = rel_.Row(r);
+  for (size_t i = 0; i < dim_; ++i) {
+    qre[i] = rr[i] * tt[i] + rr[dim_ + i] * tt[dim_ + i];
+    qim[i] = rr[i] * tt[dim_ + i] - rr[dim_ + i] * tt[i];
+  }
+  for (uint32_t h = 0; h < num_entities_; ++h) {
+    const float* hh = ent_.Row(h);
+    (*out)[h] = nn::Dot(qre.data(), hh, dim_) +
+                nn::Dot(qim.data(), hh + dim_, dim_);
+  }
+}
+
+void ComplEx::ApplyGrad(const LpTriple& t, float dscore, float lr) {
+  float* hh = ent_.Row(t.h);
+  float* rr = rel_.Row(t.r);
+  float* tt = ent_.Row(t.t);
+  for (size_t i = 0; i < dim_; ++i) {
+    float hre = hh[i], him = hh[dim_ + i];
+    float rre = rr[i], rim = rr[dim_ + i];
+    float tre = tt[i], tim = tt[dim_ + i];
+    float g_hre = dscore * (rre * tre + rim * tim) + l2_ * hre;
+    float g_him = dscore * (rre * tim - rim * tre) + l2_ * him;
+    float g_rre = dscore * (hre * tre + him * tim) + l2_ * rre;
+    float g_rim = dscore * (hre * tim - him * tre) + l2_ * rim;
+    float g_tre = dscore * (rre * hre - rim * him) + l2_ * tre;
+    float g_tim = dscore * (rre * him + rim * hre) + l2_ * tim;
+    hh[i] -= lr * g_hre;
+    hh[dim_ + i] -= lr * g_him;
+    rr[i] -= lr * g_rre;
+    rr[dim_ + i] -= lr * g_rim;
+    tt[i] -= lr * g_tre;
+    tt[dim_ + i] -= lr * g_tim;
+  }
+}
+
+double ComplEx::TrainPairs(const std::vector<LpTriple>& pos,
+                           const std::vector<LpTriple>& neg, float lr) {
+  return LogisticPairs(
+      pos, neg, lr,
+      [this](const LpTriple& t) { return ScoreTriple(t.h, t.r, t.t); },
+      [this](const LpTriple& t, float d, float l) { ApplyGrad(t, d, l); });
+}
+
+// ---------------------------------------------------------------- TuckER
+
+TuckEr::TuckEr(size_t num_entities, size_t num_relations, size_t ent_dim,
+               size_t rel_dim, util::Rng* rng, float l2)
+    : KgeModel(num_entities, num_relations),
+      de_(ent_dim),
+      dr_(rel_dim),
+      l2_(l2),
+      ent_(num_entities, ent_dim, rng, 0.5f),
+      rel_(num_relations, rel_dim, rng, 0.5f),
+      core_(rel_dim * ent_dim * ent_dim) {
+  float bound = 1.0f / std::sqrt(static_cast<float>(ent_dim));
+  for (float& w : core_) {
+    w = static_cast<float>(rng->UniformDouble(-bound, bound));
+  }
+}
+
+void TuckEr::RelationMatrix(uint32_t r, std::vector<float>* m) const {
+  m->assign(de_ * de_, 0.0f);
+  const float* rr = rel_.Row(r);
+  for (size_t i = 0; i < dr_; ++i) {
+    float ri = rr[i];
+    if (ri == 0.0f) continue;
+    const float* wi = core_.data() + i * de_ * de_;
+    for (size_t jk = 0; jk < de_ * de_; ++jk) (*m)[jk] += ri * wi[jk];
+  }
+}
+
+float TuckEr::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  std::vector<float> m;
+  RelationMatrix(r, &m);
+  const float* hh = ent_.Row(h);
+  const float* tt = ent_.Row(t);
+  float s = 0.0f;
+  for (size_t j = 0; j < de_; ++j) {
+    float hj = hh[j];
+    if (hj == 0.0f) continue;
+    const float* mj = m.data() + j * de_;
+    s += hj * nn::Dot(mj, tt, de_);
+  }
+  return s;
+}
+
+void TuckEr::ScoreTails(uint32_t h, uint32_t r,
+                        std::vector<float>* out) const {
+  out->resize(num_entities_);
+  std::vector<float> m;
+  RelationMatrix(r, &m);
+  const float* hh = ent_.Row(h);
+  std::vector<float> v(de_, 0.0f);  // v_k = sum_j h_j M[j][k]
+  for (size_t j = 0; j < de_; ++j) {
+    float hj = hh[j];
+    if (hj == 0.0f) continue;
+    const float* mj = m.data() + j * de_;
+    for (size_t k = 0; k < de_; ++k) v[k] += hj * mj[k];
+  }
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    (*out)[t] = nn::Dot(v.data(), ent_.Row(t), de_);
+  }
+}
+
+void TuckEr::ScoreHeads(uint32_t r, uint32_t t,
+                        std::vector<float>* out) const {
+  out->resize(num_entities_);
+  std::vector<float> m;
+  RelationMatrix(r, &m);
+  const float* tt = ent_.Row(t);
+  std::vector<float> w(de_, 0.0f);  // w_j = sum_k M[j][k] t_k
+  for (size_t j = 0; j < de_; ++j) {
+    w[j] = nn::Dot(m.data() + j * de_, tt, de_);
+  }
+  for (uint32_t h = 0; h < num_entities_; ++h) {
+    (*out)[h] = nn::Dot(w.data(), ent_.Row(h), de_);
+  }
+}
+
+double TuckEr::OneToAllStep(uint32_t h, uint32_t r,
+                            const std::vector<uint32_t>& tails, float lr) {
+  // Forward: v_k = sum_j h_j M[j][k]; logits = v . e_t for all t.
+  std::vector<float> m;
+  RelationMatrix(r, &m);
+  float* hh = ent_.Row(h);
+  float* rr = rel_.Row(r);
+  std::vector<float> v(de_, 0.0f);
+  for (size_t j = 0; j < de_; ++j) {
+    float hj = hh[j];
+    if (hj == 0.0f) continue;
+    const float* mj = m.data() + j * de_;
+    for (size_t k = 0; k < de_; ++k) v[k] += hj * mj[k];
+  }
+  // Multi-label BCE against all entities (label smoothing 0.1 as in the
+  // original). dlogit = p - y, scaled by 1/E to keep updates bounded.
+  const float smooth_pos = 0.9f;
+  const float smooth_neg = 0.1f / static_cast<float>(num_entities_);
+  std::vector<float> dlogits(num_entities_);
+  double loss = 0.0;
+  std::vector<char> is_tail(num_entities_, 0);
+  for (uint32_t t : tails) is_tail[t] = 1;
+  const float inv_e = 1.0f / static_cast<float>(num_entities_);
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    float logit = nn::Dot(v.data(), ent_.Row(t), de_);
+    float p = 1.0f / (1.0f + std::exp(-logit));
+    float y = is_tail[t] ? smooth_pos : smooth_neg;
+    loss -= y * std::log(std::max(p, 1e-12f)) +
+            (1.0f - y) * std::log(std::max(1.0f - p, 1e-12f));
+    dlogits[t] = (p - y) * inv_e;
+  }
+  loss *= inv_e;
+
+  // Backward. dv = sum_t dlogit_t e_t ; de_t = dlogit_t v.
+  std::vector<float> dv(de_, 0.0f);
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    float g = dlogits[t];
+    if (g == 0.0f) continue;
+    float* et = ent_.Row(t);
+    for (size_t k = 0; k < de_; ++k) {
+      dv[k] += g * et[k];
+      et[k] -= lr * g * v[k];
+    }
+  }
+  // v = h^T M: dh_j = M[j] . dv ; dM[j][k] = h_j dv_k;
+  // M = sum_i r_i W_i: dr_i = <W_i, dM> ; dW_i = r_i dM.
+  std::vector<float> dh(de_, 0.0f);
+  for (size_t j = 0; j < de_; ++j) {
+    dh[j] = nn::Dot(m.data() + j * de_, dv.data(), de_);
+  }
+  for (size_t i = 0; i < dr_; ++i) {
+    float* wi = core_.data() + i * de_ * de_;
+    float ri = rr[i];
+    float dri = 0.0f;
+    for (size_t j = 0; j < de_; ++j) {
+      float hj = hh[j];
+      float* wij = wi + j * de_;
+      for (size_t k = 0; k < de_; ++k) {
+        float dm = hj * dv[k];
+        dri += wij[k] * dm;
+        wij[k] -= lr * (ri * dm + l2_ * wij[k]);
+      }
+    }
+    rr[i] -= lr * (dri + l2_ * ri);
+  }
+  for (size_t j = 0; j < de_; ++j) {
+    hh[j] -= lr * (dh[j] + l2_ * hh[j]);
+  }
+  return loss;
+}
+
+double TuckEr::TrainPairs(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr) {
+  (void)neg;  // 1-N training scores all entities; sampled negatives unused
+  // Accumulate the (h, r) -> tails index over everything seen, so each
+  // step's multi-hot target reflects all known tails.
+  for (const LpTriple& t : pos) {
+    uint64_t key = (static_cast<uint64_t>(t.h) << 32) | t.r;
+    auto& tails = true_tails_[key];
+    if (std::find(tails.begin(), tails.end(), t.t) == tails.end()) {
+      tails.push_back(t.t);
+    }
+  }
+  double loss = 0.0;
+  size_t steps = 0;
+  uint64_t last_key = ~0ull;
+  for (const LpTriple& t : pos) {
+    uint64_t key = (static_cast<uint64_t>(t.h) << 32) | t.r;
+    if (key == last_key) continue;  // batch-local dedup of queries
+    last_key = key;
+    loss += OneToAllStep(t.h, t.r, true_tails_[key], lr);
+    ++steps;
+  }
+  return loss / static_cast<double>(std::max<size_t>(1, steps));
+}
+
+}  // namespace openbg::kge

@@ -1,0 +1,69 @@
+#ifndef OPENBG_KGE_EMBEDDING_H_
+#define OPENBG_KGE_EMBEDDING_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "nn/kernels.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace openbg::kge {
+
+/// A lookup table of row embeddings with sparse SGD updates — the storage
+/// idiom of classic KG-embedding training, where only the handful of rows
+/// touched by a batch move.
+class EmbeddingTable {
+ public:
+  EmbeddingTable(size_t count, size_t dim, util::Rng* rng,
+                 float init_scale = -1.0f)
+      : table_(count, dim) {
+    // TransE-style init: U(-6/sqrt(d), 6/sqrt(d)) unless overridden.
+    float bound = init_scale > 0.0f
+                      ? init_scale
+                      : 6.0f / std::sqrt(static_cast<float>(dim));
+    table_.InitUniform(rng, bound);
+  }
+
+  size_t count() const { return table_.rows(); }
+  size_t dim() const { return table_.cols(); }
+
+  float* Row(uint32_t i) { return table_.Row(i); }
+  const float* Row(uint32_t i) const { return table_.Row(i); }
+
+  /// row -= lr * grad.
+  void Update(uint32_t i, const float* grad, float lr) {
+    float* row = table_.Row(i);
+    for (size_t d = 0; d < dim(); ++d) row[d] -= lr * grad[d];
+  }
+
+  /// Rescales row i to unit L2 norm if it exceeds 1 (the TransE constraint).
+  void ProjectToUnitBall(uint32_t i) {
+    float* row = table_.Row(i);
+    float n = nn::Norm2(row, dim());
+    if (n > 1.0f) {
+      float inv = 1.0f / n;
+      for (size_t d = 0; d < dim(); ++d) row[d] *= inv;
+    }
+  }
+
+  /// Normalizes row i to exactly unit L2 norm.
+  void NormalizeRow(uint32_t i) {
+    float* row = table_.Row(i);
+    float n = nn::Norm2(row, dim());
+    if (n > 1e-12f) {
+      float inv = 1.0f / n;
+      for (size_t d = 0; d < dim(); ++d) row[d] *= inv;
+    }
+  }
+
+  nn::Matrix& matrix() { return table_; }
+  const nn::Matrix& matrix() const { return table_; }
+
+ private:
+  nn::Matrix table_;
+};
+
+}  // namespace openbg::kge
+
+#endif  // OPENBG_KGE_EMBEDDING_H_

@@ -1,0 +1,96 @@
+#include "kge/evaluator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace openbg::kge {
+namespace {
+
+uint64_t PairKey(uint32_t a, uint32_t r) {
+  return (static_cast<uint64_t>(a) << 32) | r;
+}
+
+}  // namespace
+
+RankingEvaluator::RankingEvaluator(const Dataset& dataset, Options options)
+    : dataset_(&dataset), options_(options) {
+  if (options_.filtered) {
+    for (const auto* split :
+         {&dataset.train, &dataset.dev, &dataset.test}) {
+      for (const LpTriple& t : *split) {
+        true_tails_[PairKey(t.h, t.r)].push_back(t.t);
+        true_heads_[PairKey(t.t, t.r)].push_back(t.h);
+      }
+    }
+  }
+}
+
+size_t RankingEvaluator::RankOf(const std::vector<float>& scores,
+                                uint32_t gold,
+                                const std::vector<uint32_t>& skip) const {
+  const float gold_score = scores[gold];
+  size_t better = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (i == gold) continue;
+    if (scores[i] > gold_score) ++better;
+  }
+  // Remove filtered candidates that outscored gold.
+  for (uint32_t s : skip) {
+    if (s != gold && scores[s] > gold_score) --better;
+  }
+  return better + 1;
+}
+
+RankingMetrics RankingEvaluator::Evaluate(KgeModel* model) const {
+  return EvaluateOn(model, dataset_->test);
+}
+
+RankingMetrics RankingEvaluator::EvaluateOn(
+    KgeModel* model, const std::vector<LpTriple>& triples) const {
+  model->PrepareEval();
+  RankingMetrics m;
+  std::vector<float> scores;
+  static const std::vector<uint32_t> kNoSkip;
+  size_t limit = options_.max_triples > 0
+                     ? std::min(options_.max_triples, triples.size())
+                     : triples.size();
+  auto account = [&m](size_t rank) {
+    m.mr += static_cast<double>(rank);
+    m.mrr += 1.0 / static_cast<double>(rank);
+    if (rank <= 1) m.hits1 += 1.0;
+    if (rank <= 3) m.hits3 += 1.0;
+    if (rank <= 10) m.hits10 += 1.0;
+    m.n += 1;
+  };
+  for (size_t i = 0; i < limit; ++i) {
+    const LpTriple& t = triples[i];
+    model->ScoreTails(t.h, t.r, &scores);
+    const std::vector<uint32_t>* skip = &kNoSkip;
+    if (options_.filtered) {
+      auto it = true_tails_.find(PairKey(t.h, t.r));
+      if (it != true_tails_.end()) skip = &it->second;
+    }
+    account(RankOf(scores, t.t, *skip));
+    if (options_.both_directions) {
+      model->ScoreHeads(t.r, t.t, &scores);
+      const std::vector<uint32_t>* hskip = &kNoSkip;
+      if (options_.filtered) {
+        auto it = true_heads_.find(PairKey(t.t, t.r));
+        if (it != true_heads_.end()) hskip = &it->second;
+      }
+      account(RankOf(scores, t.h, *hskip));
+    }
+  }
+  if (m.n > 0) {
+    double n = static_cast<double>(m.n);
+    m.hits1 /= n;
+    m.hits3 /= n;
+    m.hits10 /= n;
+    m.mr /= n;
+    m.mrr /= n;
+  }
+  return m;
+}
+
+}  // namespace openbg::kge

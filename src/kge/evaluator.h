@@ -1,0 +1,63 @@
+#ifndef OPENBG_KGE_EVALUATOR_H_
+#define OPENBG_KGE_EVALUATOR_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kge/model.h"
+
+namespace openbg::kge {
+
+/// Link-prediction ranking metrics: the columns of Tables III/IV.
+struct RankingMetrics {
+  double hits1 = 0.0;
+  double hits3 = 0.0;
+  double hits10 = 0.0;
+  double mr = 0.0;
+  double mrr = 0.0;
+  size_t n = 0;
+};
+
+/// Filtered ranking evaluator. For each evaluation triple (h, r, t) it ranks
+/// the gold tail among all entities, ignoring candidates that form *other*
+/// known-true triples (the standard "filtered" protocol); optionally also
+/// ranks the head side and averages. The paper's protocol predicts tails
+/// ("given (h, r, ?) ... predict a tail entity t"), so tail-only is the
+/// default.
+class RankingEvaluator {
+ public:
+  struct Options {
+    bool filtered = true;
+    bool both_directions = false;
+    /// Cap on evaluated triples (0 = all) to bound bench runtime.
+    size_t max_triples = 0;
+  };
+
+  /// The filter set is built from train+dev+test of `dataset`.
+  RankingEvaluator(const Dataset& dataset, Options options);
+
+  /// Evaluates `model` on the dataset's test split (model->PrepareEval()
+  /// is called first).
+  RankingMetrics Evaluate(KgeModel* model) const;
+
+  /// Evaluates on an explicit triple list (e.g., the dev split).
+  RankingMetrics EvaluateOn(KgeModel* model,
+                            const std::vector<LpTriple>& triples) const;
+
+ private:
+  // Rank of `gold` among `scores` with ties broken pessimistically
+  // (rank = 1 + #better + #equal-before), filtering `skip` candidates.
+  size_t RankOf(const std::vector<float>& scores, uint32_t gold,
+                const std::vector<uint32_t>& skip) const;
+
+  const Dataset* dataset_;
+  Options options_;
+  // (h, r) -> set of true tails; (t, r) -> set of true heads.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> true_tails_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> true_heads_;
+};
+
+}  // namespace openbg::kge
+
+#endif  // OPENBG_KGE_EVALUATOR_H_

@@ -1,0 +1,21 @@
+#include "kge/model.h"
+
+namespace openbg::kge {
+
+void KgeModel::ScoreTails(uint32_t h, uint32_t r,
+                          std::vector<float>* out) const {
+  out->resize(num_entities_);
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    (*out)[t] = ScoreTriple(h, r, t);
+  }
+}
+
+void KgeModel::ScoreHeads(uint32_t r, uint32_t t,
+                          std::vector<float>* out) const {
+  out->resize(num_entities_);
+  for (uint32_t h = 0; h < num_entities_; ++h) {
+    (*out)[h] = ScoreTriple(h, r, t);
+  }
+}
+
+}  // namespace openbg::kge

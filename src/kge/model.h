@@ -1,0 +1,72 @@
+#ifndef OPENBG_KGE_MODEL_H_
+#define OPENBG_KGE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_builder/dataset.h"
+#include "util/rng.h"
+
+namespace openbg::kge {
+
+using bench_builder::Dataset;
+using bench_builder::LpTriple;
+
+/// Base interface for every link-prediction baseline of Tables III/IV.
+///
+/// Scoring convention: **higher score = more plausible triple** for all
+/// models; distance-based models return negated distances. Training is one
+/// SGD step per TrainPairs call on aligned positive/negative triples; each
+/// model owns its loss (margin ranking for translational models, pointwise
+/// logistic for bilinear/text/multimodal ones), mirroring each original
+/// paper's recipe.
+class KgeModel {
+ public:
+  KgeModel(size_t num_entities, size_t num_relations)
+      : num_entities_(num_entities), num_relations_(num_relations) {}
+  virtual ~KgeModel() = default;
+
+  KgeModel(const KgeModel&) = delete;
+  KgeModel& operator=(const KgeModel&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Plausibility score of one triple (higher = better).
+  virtual float ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const = 0;
+
+  /// Scores (h, r, t') for every candidate tail t'. Default loops over
+  /// ScoreTriple; models override with vectorized paths where ranking all
+  /// entities would otherwise be quadratic in embedding work.
+  virtual void ScoreTails(uint32_t h, uint32_t r,
+                          std::vector<float>* out) const;
+
+  /// Scores (h', r, t) for every candidate head h'.
+  virtual void ScoreHeads(uint32_t r, uint32_t t,
+                          std::vector<float>* out) const;
+
+  /// One SGD step on aligned positive/negative batches (same length);
+  /// returns the batch loss before the update.
+  virtual double TrainPairs(const std::vector<LpTriple>& pos,
+                            const std::vector<LpTriple>& neg, float lr) = 0;
+
+  /// Constraint projection hook, run after each TrainPairs (e.g., TransH's
+  /// unit-norm hyperplane normals).
+  virtual void PostStep() {}
+
+  /// Called once before ranking evaluation (e.g., text models precompute
+  /// entity encodings here).
+  virtual void PrepareEval() {}
+
+  size_t num_entities() const { return num_entities_; }
+  size_t num_relations() const { return num_relations_; }
+
+ protected:
+  size_t num_entities_;
+  size_t num_relations_;
+};
+
+}  // namespace openbg::kge
+
+#endif  // OPENBG_KGE_MODEL_H_

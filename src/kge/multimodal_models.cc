@@ -1,0 +1,573 @@
+#include "kge/multimodal_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "util/logging.h"
+
+namespace openbg::kge {
+namespace {
+
+float SignOf(float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); }
+
+}  // namespace
+
+// -------------------------------------------------------- MultimodalBase
+
+MultimodalBase::MultimodalBase(const Dataset& dataset, size_t dim,
+                               util::Rng* rng)
+    : KgeModel(dataset.num_entities(), dataset.num_relations()),
+      dim_(dim),
+      image_dim_(0) {
+  for (const auto& img : dataset.entity_images) {
+    if (!img.empty()) {
+      image_dim_ = img.size();
+      break;
+    }
+  }
+  if (image_dim_ == 0) image_dim_ = 1;  // dataset without any images
+  image_ptr_.resize(dataset.num_entities(), nullptr);
+  for (uint32_t e = 0; e < dataset.num_entities(); ++e) {
+    if (!dataset.entity_images[e].empty()) {
+      image_ptr_[e] = dataset.entity_images[e].data();
+    }
+  }
+  proj_ = nn::Matrix(image_dim_, dim);
+  proj_.InitXavier(rng);
+}
+
+bool MultimodalBase::ProjectImage(uint32_t e, float* out) const {
+  std::fill(out, out + dim_, 0.0f);
+  const float* img = image_ptr_[e];
+  if (img == nullptr) return false;
+  for (size_t i = 0; i < image_dim_; ++i) {
+    float xi = img[i] * image_scale_;
+    if (xi == 0.0f) continue;
+    const float* prow = proj_.Row(i);
+    for (size_t d = 0; d < dim_; ++d) out[d] += xi * prow[d];
+  }
+  return true;
+}
+
+void MultimodalBase::UpdateProjection(uint32_t e, const float* dout,
+                                      float lr) {
+  const float* img = image_ptr_[e];
+  if (img == nullptr) return;
+  for (size_t i = 0; i < image_dim_; ++i) {
+    float xi = img[i] * image_scale_;
+    if (xi == 0.0f) continue;
+    float* prow = proj_.Row(i);
+    for (size_t d = 0; d < dim_; ++d) prow[d] -= lr * xi * dout[d];
+  }
+}
+
+// ------------------------------------------------------------- TransAE
+
+TransAeModel::TransAeModel(const Dataset& dataset, size_t dim, float margin,
+                           float recon_weight, util::Rng* rng)
+    : MultimodalBase(dataset, dim, rng),
+      margin_(margin),
+      recon_weight_(recon_weight),
+      ent_(dataset.num_entities(), dim, rng),
+      rel_(dataset.num_relations(), dim, rng) {
+  image_scale_ = 0.2f;  // visual channel augments the unit-ball embeddings
+  decoder_ = nn::Matrix(dim, image_dim_);
+  decoder_.InitXavier(rng);
+}
+
+void TransAeModel::Fused(uint32_t e, float* out) const {
+  ProjectImage(e, out);
+  const float* s = ent_.Row(e);
+  for (size_t d = 0; d < dim_; ++d) out[d] += s[d];
+}
+
+void TransAeModel::PrepareEval() {
+  fused_cache_ = nn::Matrix(num_entities_, dim_);
+  for (uint32_t e = 0; e < num_entities_; ++e) {
+    Fused(e, fused_cache_.Row(e));
+  }
+  cache_valid_ = true;
+}
+
+float TransAeModel::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  std::vector<float> fh(dim_), ft(dim_);
+  Fused(h, fh.data());
+  Fused(t, ft.data());
+  const float* rr = rel_.Row(r);
+  float s = 0.0f;
+  for (size_t d = 0; d < dim_; ++d) {
+    s += std::fabs(fh[d] + rr[d] - ft[d]);
+  }
+  return -s;
+}
+
+void TransAeModel::ScoreTails(uint32_t h, uint32_t r,
+                              std::vector<float>* out) const {
+  OPENBG_CHECK(cache_valid_) << "PrepareEval() not called";
+  out->resize(num_entities_);
+  std::vector<float> target(dim_);
+  const float* fh = fused_cache_.Row(h);
+  const float* rr = rel_.Row(r);
+  for (size_t d = 0; d < dim_; ++d) target[d] = fh[d] + rr[d];
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    const float* ft = fused_cache_.Row(t);
+    float s = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) s += std::fabs(target[d] - ft[d]);
+    (*out)[t] = -s;
+  }
+}
+
+void TransAeModel::ScoreHeads(uint32_t r, uint32_t t,
+                              std::vector<float>* out) const {
+  OPENBG_CHECK(cache_valid_);
+  out->resize(num_entities_);
+  std::vector<float> target(dim_);
+  const float* ft = fused_cache_.Row(t);
+  const float* rr = rel_.Row(r);
+  for (size_t d = 0; d < dim_; ++d) target[d] = ft[d] - rr[d];
+  for (uint32_t h = 0; h < num_entities_; ++h) {
+    const float* fh = fused_cache_.Row(h);
+    float s = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) s += std::fabs(fh[d] - target[d]);
+    (*out)[h] = -s;
+  }
+}
+
+void TransAeModel::ApplyGrad(const LpTriple& t, float direction, float lr) {
+  std::vector<float> fh(dim_), ft(dim_), g(dim_);
+  Fused(t.h, fh.data());
+  Fused(t.t, ft.data());
+  float* rr = rel_.Row(t.r);
+  for (size_t d = 0; d < dim_; ++d) {
+    g[d] = direction * SignOf(fh[d] + rr[d] - ft[d]);
+  }
+  std::vector<float> neg_g(dim_);
+  for (size_t d = 0; d < dim_; ++d) neg_g[d] = -g[d];
+  // d fused/d struct = I ; d fused/d proj handled by UpdateProjection.
+  float* hs = ent_.Row(t.h);
+  float* ts = ent_.Row(t.t);
+  for (size_t d = 0; d < dim_; ++d) {
+    hs[d] -= lr * g[d];
+    rr[d] -= lr * g[d];
+    ts[d] += lr * g[d];
+  }
+  UpdateProjection(t.h, g.data(), lr);
+  UpdateProjection(t.t, neg_g.data(), lr);
+  ent_.ProjectToUnitBall(t.h);
+  ent_.ProjectToUnitBall(t.t);
+}
+
+double TransAeModel::ReconStep(uint32_t e, float lr) {
+  // Linear autoencoder on the image channel: x_hat = decoder^T enc(x),
+  // enc(x) = proj^T x. Squared loss trains both maps.
+  const float* img = image_ptr_[e];
+  if (img == nullptr) return 0.0;
+  std::vector<float> z(dim_, 0.0f);
+  ProjectImage(e, z.data());
+  std::vector<float> xhat(image_dim_, 0.0f);
+  for (size_t d = 0; d < dim_; ++d) {
+    float zd = z[d];
+    if (zd == 0.0f) continue;
+    const float* drow = decoder_.Row(d);
+    for (size_t i = 0; i < image_dim_; ++i) xhat[i] += zd * drow[i];
+  }
+  double loss = 0.0;
+  std::vector<float> dxhat(image_dim_);
+  for (size_t i = 0; i < image_dim_; ++i) {
+    float diff = xhat[i] - img[i];
+    loss += 0.5 * diff * diff;
+    dxhat[i] = recon_weight_ * diff;
+  }
+  // dz = decoder dxhat ; d decoder[d][i] = z[d] * dxhat[i].
+  std::vector<float> dz(dim_, 0.0f);
+  for (size_t d = 0; d < dim_; ++d) {
+    float* drow = decoder_.Row(d);
+    for (size_t i = 0; i < image_dim_; ++i) {
+      dz[d] += drow[i] * dxhat[i];
+      drow[i] -= lr * z[d] * dxhat[i];
+    }
+  }
+  UpdateProjection(e, dz.data(), lr);
+  return recon_weight_ * loss;
+}
+
+double TransAeModel::TrainPairs(const std::vector<LpTriple>& pos,
+                                const std::vector<LpTriple>& neg,
+                                float lr) {
+  cache_valid_ = false;
+  double loss = 0.0;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
+    float dn = -ScoreTriple(neg[i].h, neg[i].r, neg[i].t);
+    float hinge = margin_ + dp - dn;
+    if (hinge > 0.0f) {
+      loss += hinge;
+      ApplyGrad(pos[i], +1.0f, lr);
+      ApplyGrad(neg[i], -1.0f, lr);
+    }
+    loss += ReconStep(pos[i].h, lr);
+  }
+  return loss / static_cast<double>(pos.size());
+}
+
+// ---------------------------------------------------------------- RSME
+
+RsmeModel::RsmeModel(const Dataset& dataset, size_t dim, float margin,
+                     util::Rng* rng)
+    : MultimodalBase(dataset, dim, rng),
+      margin_(margin),
+      ent_(dataset.num_entities(), dim, rng),
+      rel_(dataset.num_relations(), dim, rng) {
+  image_scale_ = 0.2f;
+  gate_ = nn::Matrix(1, dim);  // zero => sigmoid 0.5: balanced start
+}
+
+void RsmeModel::Fused(uint32_t e, float* out) const {
+  std::vector<float> v(dim_, 0.0f);
+  bool has_image = ProjectImage(e, v.data());
+  const float* s = ent_.Row(e);
+  for (size_t d = 0; d < dim_; ++d) {
+    if (has_image) {
+      float a = 1.0f / (1.0f + std::exp(-gate_(0, d)));
+      out[d] = a * s[d] + (1.0f - a) * v[d];
+    } else {
+      out[d] = s[d];  // forget path: no visual signal
+    }
+  }
+}
+
+void RsmeModel::PrepareEval() {
+  fused_cache_ = nn::Matrix(num_entities_, dim_);
+  for (uint32_t e = 0; e < num_entities_; ++e) {
+    Fused(e, fused_cache_.Row(e));
+  }
+  cache_valid_ = true;
+}
+
+float RsmeModel::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  std::vector<float> fh(dim_), ft(dim_);
+  Fused(h, fh.data());
+  Fused(t, ft.data());
+  const float* rr = rel_.Row(r);
+  float s = 0.0f;
+  for (size_t d = 0; d < dim_; ++d) s += std::fabs(fh[d] + rr[d] - ft[d]);
+  return -s;
+}
+
+void RsmeModel::ScoreTails(uint32_t h, uint32_t r,
+                           std::vector<float>* out) const {
+  OPENBG_CHECK(cache_valid_) << "PrepareEval() not called";
+  out->resize(num_entities_);
+  std::vector<float> target(dim_);
+  const float* fh = fused_cache_.Row(h);
+  const float* rr = rel_.Row(r);
+  for (size_t d = 0; d < dim_; ++d) target[d] = fh[d] + rr[d];
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    const float* ft = fused_cache_.Row(t);
+    float s = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) s += std::fabs(target[d] - ft[d]);
+    (*out)[t] = -s;
+  }
+}
+
+void RsmeModel::ScoreHeads(uint32_t r, uint32_t t,
+                           std::vector<float>* out) const {
+  OPENBG_CHECK(cache_valid_);
+  out->resize(num_entities_);
+  std::vector<float> target(dim_);
+  const float* ft = fused_cache_.Row(t);
+  const float* rr = rel_.Row(r);
+  for (size_t d = 0; d < dim_; ++d) target[d] = ft[d] - rr[d];
+  for (uint32_t h = 0; h < num_entities_; ++h) {
+    const float* fh = fused_cache_.Row(h);
+    float s = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) s += std::fabs(fh[d] - target[d]);
+    (*out)[h] = -s;
+  }
+}
+
+void RsmeModel::ApplyGrad(const LpTriple& t, float direction, float lr) {
+  std::vector<float> fh(dim_), ft(dim_);
+  std::vector<float> vh(dim_, 0.0f), vt(dim_, 0.0f);
+  bool h_img = ProjectImage(t.h, vh.data());
+  bool t_img = ProjectImage(t.t, vt.data());
+  Fused(t.h, fh.data());
+  Fused(t.t, ft.data());
+  float* hs = ent_.Row(t.h);
+  float* ts = ent_.Row(t.t);
+  float* rr = rel_.Row(t.r);
+  std::vector<float> dvh(dim_, 0.0f), dvt(dim_, 0.0f);
+  for (size_t d = 0; d < dim_; ++d) {
+    float g = direction * SignOf(fh[d] + rr[d] - ft[d]);
+    float a = 1.0f / (1.0f + std::exp(-gate_(0, d)));
+    float sh = hs[d], st = ts[d];
+    // d fused_h = g ; d fused_t = -g ; d r = g.
+    float dgate = 0.0f;
+    if (h_img) {
+      dvh[d] = (1.0f - a) * g;
+      dgate += g * (sh - vh[d]) * a * (1.0f - a);
+    }
+    if (t_img) {
+      dvt[d] = -(1.0f - a) * g;
+      dgate += -g * (st - vt[d]) * a * (1.0f - a);
+    }
+    hs[d] -= lr * (h_img ? a : 1.0f) * g;
+    ts[d] += lr * (t_img ? a : 1.0f) * g;
+    rr[d] -= lr * g;
+    gate_(0, d) -= lr * dgate;
+  }
+  UpdateProjection(t.h, dvh.data(), lr);
+  UpdateProjection(t.t, dvt.data(), lr);
+  ent_.ProjectToUnitBall(t.h);
+  ent_.ProjectToUnitBall(t.t);
+}
+
+double RsmeModel::TrainPairs(const std::vector<LpTriple>& pos,
+                             const std::vector<LpTriple>& neg, float lr) {
+  cache_valid_ = false;
+  double loss = 0.0;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
+    float dn = -ScoreTriple(neg[i].h, neg[i].r, neg[i].t);
+    float hinge = margin_ + dp - dn;
+    if (hinge > 0.0f) {
+      loss += hinge;
+      ApplyGrad(pos[i], +1.0f, lr);
+      ApplyGrad(neg[i], -1.0f, lr);
+    }
+  }
+  return loss / static_cast<double>(pos.size());
+}
+
+// ----------------------------------------------------------- MkgFusion
+
+MkgFusionModel::MkgFusionModel(const Dataset& dataset, size_t dim,
+                               float margin, util::Rng* rng,
+                               size_t hash_space)
+    : MultimodalBase(dataset, dim, rng),
+      margin_(margin),
+      features_(dataset, hash_space),
+      ent_(dataset.num_entities(), dim, rng),
+      rel_struct_(dataset.num_relations(), dim, rng),
+      rel_text_(dataset.num_relations(), dim, rng),
+      rel_image_(dataset.num_relations(), dim, rng),
+      text_emb_("mkg.text", hash_space, dim, rng) {
+  image_scale_ = 0.2f;
+  channel_logits_ = nn::Matrix(1, kChannels);
+}
+
+void MkgFusionModel::ChannelWeights(float* w) const {
+  float mx = -1e30f;
+  for (size_t c = 0; c < kChannels; ++c) {
+    mx = std::max(mx, channel_logits_(0, c));
+  }
+  float z = 0.0f;
+  for (size_t c = 0; c < kChannels; ++c) {
+    w[c] = std::exp(channel_logits_(0, c) - mx);
+    z += w[c];
+  }
+  for (size_t c = 0; c < kChannels; ++c) w[c] /= z;
+}
+
+void MkgFusionModel::ChannelVectors(uint32_t e, nn::Matrix* out) const {
+  *out = nn::Matrix(kChannels, dim_);
+  // Structure channel.
+  const float* s = ent_.Row(e);
+  std::copy(s, s + dim_, out->Row(0));
+  // Text channel.
+  nn::Matrix txt;
+  const_cast<MkgFusionModel*>(this)->text_emb_.Forward(
+      {features_.EntityFeatures(e)}, &txt);
+  std::copy(txt.Row(0), txt.Row(0) + dim_, out->Row(1));
+  // Image channel (zeros when absent).
+  ProjectImage(e, out->Row(2));
+}
+
+float MkgFusionModel::WeightedDistance(uint32_t h, uint32_t r, uint32_t t,
+                                       float* d_out) const {
+  nn::Matrix hc, tc;
+  ChannelVectors(h, &hc);
+  ChannelVectors(t, &tc);
+  float w[kChannels];
+  ChannelWeights(w);
+  const EmbeddingTable* rels[kChannels] = {&rel_struct_, &rel_text_,
+                                           &rel_image_};
+  float total = 0.0f;
+  for (size_t c = 0; c < kChannels; ++c) {
+    const float* rr = rels[c]->Row(r);
+    float dist = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) {
+      dist += std::fabs(hc(c, d) + rr[d] - tc(c, d));
+    }
+    if (d_out != nullptr) d_out[c] = dist;
+    total += w[c] * dist;
+  }
+  return total;
+}
+
+float MkgFusionModel::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  return -WeightedDistance(h, r, t, nullptr);
+}
+
+void MkgFusionModel::PrepareEval() {
+  channel_cache_.assign(kChannels, nn::Matrix(num_entities_, dim_));
+  nn::Matrix cv;
+  for (uint32_t e = 0; e < num_entities_; ++e) {
+    ChannelVectors(e, &cv);
+    for (size_t c = 0; c < kChannels; ++c) {
+      std::copy(cv.Row(c), cv.Row(c) + dim_, channel_cache_[c].Row(e));
+    }
+  }
+  cache_valid_ = true;
+}
+
+void MkgFusionModel::ScoreTails(uint32_t h, uint32_t r,
+                                std::vector<float>* out) const {
+  OPENBG_CHECK(cache_valid_) << "PrepareEval() not called";
+  out->assign(num_entities_, 0.0f);
+  float w[kChannels];
+  ChannelWeights(w);
+  const EmbeddingTable* rels[kChannels] = {&rel_struct_, &rel_text_,
+                                           &rel_image_};
+  std::vector<float> target(dim_);
+  for (size_t c = 0; c < kChannels; ++c) {
+    const float* hc = channel_cache_[c].Row(h);
+    const float* rr = rels[c]->Row(r);
+    for (size_t d = 0; d < dim_; ++d) target[d] = hc[d] + rr[d];
+    for (uint32_t t = 0; t < num_entities_; ++t) {
+      const float* tc = channel_cache_[c].Row(t);
+      float dist = 0.0f;
+      for (size_t d = 0; d < dim_; ++d) {
+        dist += std::fabs(target[d] - tc[d]);
+      }
+      (*out)[t] -= w[c] * dist;
+    }
+  }
+}
+
+void MkgFusionModel::ScoreHeads(uint32_t r, uint32_t t,
+                                std::vector<float>* out) const {
+  OPENBG_CHECK(cache_valid_);
+  out->assign(num_entities_, 0.0f);
+  float w[kChannels];
+  ChannelWeights(w);
+  const EmbeddingTable* rels[kChannels] = {&rel_struct_, &rel_text_,
+                                           &rel_image_};
+  std::vector<float> target(dim_);
+  for (size_t c = 0; c < kChannels; ++c) {
+    const float* tc = channel_cache_[c].Row(t);
+    const float* rr = rels[c]->Row(r);
+    for (size_t d = 0; d < dim_; ++d) target[d] = tc[d] - rr[d];
+    for (uint32_t h = 0; h < num_entities_; ++h) {
+      const float* hc = channel_cache_[c].Row(h);
+      float dist = 0.0f;
+      for (size_t d = 0; d < dim_; ++d) {
+        dist += std::fabs(hc[d] - target[d]);
+      }
+      (*out)[h] -= w[c] * dist;
+    }
+  }
+}
+
+void MkgFusionModel::ApplyGrad(const LpTriple& t, float direction,
+                               float lr) {
+  nn::Matrix hc, tc;
+  ChannelVectors(t.h, &hc);
+  ChannelVectors(t.t, &tc);
+  float w[kChannels];
+  ChannelWeights(w);
+  EmbeddingTable* rels[kChannels] = {&rel_struct_, &rel_text_, &rel_image_};
+
+  // Per-channel distances for the softmax-weight gradient.
+  float dists[kChannels];
+  float mean_dist = 0.0f;
+  for (size_t c = 0; c < kChannels; ++c) {
+    const float* rr = rels[c]->Row(t.r);
+    float dist = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) {
+      dist += std::fabs(hc(c, d) + rr[d] - tc(c, d));
+    }
+    dists[c] = dist;
+    mean_dist += w[c] * dist;
+  }
+  // d total / d logit_c = w_c (d_c - mean); `direction` +1 shrinks the
+  // positive pair's weighted distance.
+  for (size_t c = 0; c < kChannels; ++c) {
+    channel_logits_(0, c) -=
+        lr * direction * w[c] * (dists[c] - mean_dist);
+  }
+
+  std::vector<float> g(dim_);
+  nn::Matrix dtext(1, dim_);
+  for (size_t c = 0; c < kChannels; ++c) {
+    float* rr = rels[c]->Row(t.r);
+    float wc = direction * w[c];
+    for (size_t d = 0; d < dim_; ++d) {
+      g[d] = wc * SignOf(hc(c, d) + rr[d] - tc(c, d));
+      rr[d] -= lr * g[d];
+    }
+    switch (c) {
+      case 0: {  // structure
+        float* hs = ent_.Row(t.h);
+        float* ts = ent_.Row(t.t);
+        for (size_t d = 0; d < dim_; ++d) {
+          hs[d] -= lr * g[d];
+          ts[d] += lr * g[d];
+        }
+        ent_.ProjectToUnitBall(t.h);
+        ent_.ProjectToUnitBall(t.t);
+        break;
+      }
+      case 1: {  // text: h gets -g, t gets +g through the shared bag table
+        for (size_t d = 0; d < dim_; ++d) dtext(0, d) = g[d];
+        text_emb_.Backward({features_.EntityFeatures(t.h)}, dtext);
+        for (size_t d = 0; d < dim_; ++d) dtext(0, d) = -g[d];
+        text_emb_.Backward({features_.EntityFeatures(t.t)}, dtext);
+        // Apply + clear the touched sparse rows.
+        nn::Parameter* tp = text_emb_.table();
+        auto apply_rows = [&](const std::vector<uint32_t>& bag) {
+          for (uint32_t f : bag) {
+            size_t row = f % text_emb_.vocab_size();
+            float* v = tp->value.Row(row);
+            float* gr = tp->grad.Row(row);
+            for (size_t d = 0; d < dim_; ++d) {
+              v[d] -= lr * gr[d];
+              gr[d] = 0.0f;
+            }
+          }
+        };
+        apply_rows(features_.EntityFeatures(t.h));
+        apply_rows(features_.EntityFeatures(t.t));
+        break;
+      }
+      case 2: {  // image
+        std::vector<float> neg_g(dim_);
+        for (size_t d = 0; d < dim_; ++d) neg_g[d] = -g[d];
+        UpdateProjection(t.h, g.data(), lr);
+        UpdateProjection(t.t, neg_g.data(), lr);
+        break;
+      }
+    }
+  }
+}
+
+double MkgFusionModel::TrainPairs(const std::vector<LpTriple>& pos,
+                                  const std::vector<LpTriple>& neg,
+                                  float lr) {
+  cache_valid_ = false;
+  double loss = 0.0;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    float dp = WeightedDistance(pos[i].h, pos[i].r, pos[i].t, nullptr);
+    float dn = WeightedDistance(neg[i].h, neg[i].r, neg[i].t, nullptr);
+    float hinge = margin_ + dp - dn;
+    if (hinge > 0.0f) {
+      loss += hinge;
+      ApplyGrad(pos[i], +1.0f, lr);
+      ApplyGrad(neg[i], -1.0f, lr);
+    }
+  }
+  return loss / static_cast<double>(pos.size());
+}
+
+}  // namespace openbg::kge

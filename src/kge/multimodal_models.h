@@ -1,0 +1,146 @@
+#ifndef OPENBG_KGE_MULTIMODAL_MODELS_H_
+#define OPENBG_KGE_MULTIMODAL_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "kge/embedding.h"
+#include "kge/model.h"
+#include "kge/text_features.h"
+#include "nn/layers.h"
+
+namespace openbg::kge {
+
+/// Shared plumbing for the Table-III multimodal baselines: fixed per-entity
+/// image feature vectors (zero vector when the entity has no image, flagged
+/// separately) plus a learned linear projection into embedding space.
+class MultimodalBase : public KgeModel {
+ protected:
+  MultimodalBase(const Dataset& dataset, size_t dim, util::Rng* rng);
+
+  /// Projects entity e's image into `out` (dim_); returns false (and leaves
+  /// `out` zeroed) when the entity has no image.
+  bool ProjectImage(uint32_t e, float* out) const;
+
+  /// d(projection)/d(out-gradient): accumulates into proj_ with SGD.
+  void UpdateProjection(uint32_t e, const float* dout, float lr);
+
+  size_t dim_;
+  size_t image_dim_;
+  /// Scales the projected image contribution; distance-based fusions use a
+  /// small factor so the visual channel augments rather than swamps the
+  /// norm-constrained structural embeddings.
+  float image_scale_ = 1.0f;
+  std::vector<const float*> image_ptr_;  // nullptr when absent
+  nn::Matrix proj_;  // [image_dim x dim]
+};
+
+/// TransAE (Wang et al. 2019): TransE over embeddings fused with
+/// autoencoded visual features. Entity representation = structural
+/// embedding + encoder(image); a linear decoder reconstructs the image,
+/// and the reconstruction loss co-trains the encoder.
+class TransAeModel : public MultimodalBase {
+ public:
+  TransAeModel(const Dataset& dataset, size_t dim, float margin,
+               float recon_weight, util::Rng* rng);
+
+  std::string name() const override { return "TransAE"; }
+  float ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const override;
+  void ScoreTails(uint32_t h, uint32_t r,
+                  std::vector<float>* out) const override;
+  void ScoreHeads(uint32_t r, uint32_t t,
+                  std::vector<float>* out) const override;
+  double TrainPairs(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr) override;
+  void PrepareEval() override;
+
+ private:
+  void Fused(uint32_t e, float* out) const;
+  void ApplyGrad(const LpTriple& t, float direction, float lr);
+  double ReconStep(uint32_t e, float lr);
+
+  float margin_;
+  float recon_weight_;
+  EmbeddingTable ent_, rel_;
+  nn::Matrix decoder_;  // [dim x image_dim]
+  mutable nn::Matrix fused_cache_;
+  bool cache_valid_ = false;
+};
+
+/// RSME (Wang et al. 2021): a learned per-dimension *filter gate* decides
+/// how much visual signal enters each entity representation (and a "forget"
+/// path suppresses images for entities where vision misleads — entities
+/// without images fall back fully to structure). Scoring is translational
+/// (margin-ranked L1 distance) over the gated representations, so the gate
+/// can only improve on the structural baseline it wraps.
+class RsmeModel : public MultimodalBase {
+ public:
+  RsmeModel(const Dataset& dataset, size_t dim, float margin,
+            util::Rng* rng);
+
+  std::string name() const override { return "RSME"; }
+  float ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const override;
+  void ScoreTails(uint32_t h, uint32_t r,
+                  std::vector<float>* out) const override;
+  void ScoreHeads(uint32_t r, uint32_t t,
+                  std::vector<float>* out) const override;
+  double TrainPairs(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr) override;
+  void PrepareEval() override;
+
+ private:
+  // fused = sigmoid(gate) * struct + (1 - sigmoid(gate)) * proj(img).
+  void Fused(uint32_t e, float* out) const;
+  void ApplyGrad(const LpTriple& t, float direction, float lr);
+
+  float margin_;
+  EmbeddingTable ent_, rel_;
+  nn::Matrix gate_;  // [1 x dim], pre-sigmoid
+  mutable nn::Matrix fused_cache_;
+  bool cache_valid_ = false;
+};
+
+/// MKGformer stand-in ("MkgFusion"): multi-level fusion of three channels —
+/// structure, text and image — each contributing a translational distance
+/// against its own relation embedding, combined with learned softmax
+/// channel weights. The channel-attention mirrors MKGformer's level-wise
+/// fusion at laptop scale.
+class MkgFusionModel : public MultimodalBase {
+ public:
+  MkgFusionModel(const Dataset& dataset, size_t dim, float margin,
+                 util::Rng* rng, size_t hash_space = 1 << 16);
+
+  std::string name() const override { return "MKGformer(Fusion)"; }
+  float ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const override;
+  void ScoreTails(uint32_t h, uint32_t r,
+                  std::vector<float>* out) const override;
+  void ScoreHeads(uint32_t r, uint32_t t,
+                  std::vector<float>* out) const override;
+  double TrainPairs(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr) override;
+  void PrepareEval() override;
+
+ private:
+  static constexpr size_t kChannels = 3;  // structure / text / image
+
+  void ChannelVectors(uint32_t e, nn::Matrix* out) const;  // [3 x dim]
+  void ChannelWeights(float* w) const;                     // softmax(3)
+  // Weighted channel distance of one triple, with per-channel distances in
+  // `d_out` (size kChannels) when non-null.
+  float WeightedDistance(uint32_t h, uint32_t r, uint32_t t,
+                         float* d_out) const;
+  // Applies the margin-ranking gradient for one triple.
+  void ApplyGrad(const LpTriple& t, float direction, float lr);
+
+  float margin_;
+  TextFeaturizer features_;
+  EmbeddingTable ent_, rel_struct_, rel_text_, rel_image_;
+  nn::EmbeddingBag text_emb_;
+  nn::Matrix channel_logits_;  // [1 x 3]
+  mutable std::vector<nn::Matrix> channel_cache_;  // per channel [E x dim]
+  bool cache_valid_ = false;
+};
+
+}  // namespace openbg::kge
+
+#endif  // OPENBG_KGE_MULTIMODAL_MODELS_H_

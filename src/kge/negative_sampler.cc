@@ -1,0 +1,69 @@
+#include "kge/negative_sampler.h"
+
+#include <map>
+
+namespace openbg::kge {
+
+NegativeSampler::NegativeSampler(const Dataset& dataset, Options options,
+                                 uint64_t seed)
+    : num_entities_(dataset.num_entities()), options_(options), rng_(seed) {
+  for (const LpTriple& t : dataset.train) known_.insert(t);
+
+  // Bernoulli statistics: tph (tails per head) and hpt (heads per tail)
+  // per relation; P(corrupt head) = tph / (tph + hpt).
+  head_corrupt_prob_.assign(dataset.num_relations(), 0.5);
+  if (options_.bernoulli) {
+    std::vector<std::map<uint32_t, size_t>> tails_of_head(
+        dataset.num_relations());
+    std::vector<std::map<uint32_t, size_t>> heads_of_tail(
+        dataset.num_relations());
+    for (const LpTriple& t : dataset.train) {
+      tails_of_head[t.r][t.h] += 1;
+      heads_of_tail[t.r][t.t] += 1;
+    }
+    for (size_t r = 0; r < dataset.num_relations(); ++r) {
+      if (tails_of_head[r].empty()) continue;
+      double tph = 0.0, hpt = 0.0;
+      for (const auto& [h, n] : tails_of_head[r]) tph += n;
+      tph /= static_cast<double>(tails_of_head[r].size());
+      for (const auto& [t, n] : heads_of_tail[r]) hpt += n;
+      hpt /= static_cast<double>(heads_of_tail[r].size());
+      head_corrupt_prob_[r] = tph / (tph + hpt);
+    }
+  }
+}
+
+bool NegativeSampler::IsKnownPositive(const LpTriple& t) const {
+  return known_.count(t) > 0;
+}
+
+LpTriple NegativeSampler::Corrupt(const LpTriple& pos) {
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    LpTriple neg = pos;
+    bool corrupt_head = rng_.UniformDouble() < head_corrupt_prob_[pos.r];
+    uint32_t random_entity =
+        static_cast<uint32_t>(rng_.Uniform(num_entities_));
+    if (corrupt_head) {
+      neg.h = random_entity;
+    } else {
+      neg.t = random_entity;
+    }
+    if (neg == pos) continue;
+    if (options_.filter_true && IsKnownPositive(neg)) continue;
+    return neg;
+  }
+  // Fall back to an unfiltered corruption after repeated collisions.
+  LpTriple neg = pos;
+  neg.t = static_cast<uint32_t>(rng_.Uniform(num_entities_));
+  return neg;
+}
+
+std::vector<LpTriple> NegativeSampler::CorruptBatch(
+    const std::vector<LpTriple>& batch) {
+  std::vector<LpTriple> out;
+  out.reserve(batch.size());
+  for (const LpTriple& t : batch) out.push_back(Corrupt(t));
+  return out;
+}
+
+}  // namespace openbg::kge

@@ -1,0 +1,59 @@
+#ifndef OPENBG_KGE_NEGATIVE_SAMPLER_H_
+#define OPENBG_KGE_NEGATIVE_SAMPLER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "bench_builder/dataset.h"
+#include "util/rng.h"
+
+namespace openbg::kge {
+
+using bench_builder::Dataset;
+using bench_builder::LpTriple;
+
+/// Negative-triple generator with the two strategies the ablation bench
+/// contrasts: uniform head/tail corruption, and "bernoulli" corruption
+/// (Wang et al. 2014) that picks the side to corrupt based on the
+/// relation's head/tail multiplicity, reducing false negatives for N-to-1
+/// relations. Filtering against the known true set is optional.
+class NegativeSampler {
+ public:
+  struct Options {
+    bool bernoulli = false;
+    bool filter_true = true;
+    int max_retries = 16;
+  };
+
+  NegativeSampler(const Dataset& dataset, Options options, uint64_t seed);
+
+  /// One corrupted counterpart for `pos`.
+  LpTriple Corrupt(const LpTriple& pos);
+
+  /// Aligned negatives for a batch.
+  std::vector<LpTriple> CorruptBatch(const std::vector<LpTriple>& batch);
+
+  /// True iff the triple is a known positive (train split).
+  bool IsKnownPositive(const LpTriple& t) const;
+
+ private:
+  struct TripleHash {
+    size_t operator()(const LpTriple& t) const {
+      uint64_t h = t.h;
+      h = h * 0x9E3779B97F4A7C15ull + t.r;
+      h = h * 0x9E3779B97F4A7C15ull + t.t;
+      return static_cast<size_t>(h ^ (h >> 31));
+    }
+  };
+
+  size_t num_entities_;
+  Options options_;
+  util::Rng rng_;
+  std::unordered_set<LpTriple, TripleHash> known_;
+  // Per relation: probability of corrupting the head (bernoulli mode).
+  std::vector<double> head_corrupt_prob_;
+};
+
+}  // namespace openbg::kge
+
+#endif  // OPENBG_KGE_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,39 @@
+#include "kge/text_features.h"
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace openbg::kge {
+
+TextFeaturizer::TextFeaturizer(const bench_builder::Dataset& dataset,
+                               size_t hash_space)
+    : hash_space_(hash_space) {
+  const size_t n = dataset.num_entities();
+  std::vector<std::vector<std::string>> toks(n);
+  for (uint32_t e = 0; e < n; ++e) {
+    toks[e] = text::Tokenize(dataset.entity_text[e]);
+    for (const std::string& t : toks[e]) vocab_.Observe(t);
+  }
+  vocab_.Build(/*min_count=*/1);
+
+  features_.resize(n);
+  tokens_.resize(n);
+  for (uint32_t e = 0; e < n; ++e) {
+    auto& feats = features_[e];
+    for (const std::string& t : toks[e]) {
+      feats.push_back(
+          static_cast<uint32_t>(util::Fnv1a64("tok=" + t) % hash_space_));
+      for (const std::string& g : text::CharNgrams(t, 3)) {
+        feats.push_back(
+            static_cast<uint32_t>(util::Fnv1a64("3g=" + g) % hash_space_));
+      }
+      tokens_[e].push_back(vocab_.Id(t));
+    }
+    if (feats.empty()) {
+      feats.push_back(
+          static_cast<uint32_t>(util::Fnv1a64("<empty>") % hash_space_));
+    }
+  }
+}
+
+}  // namespace openbg::kge

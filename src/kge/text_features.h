@@ -1,0 +1,44 @@
+#ifndef OPENBG_KGE_TEXT_FEATURES_H_
+#define OPENBG_KGE_TEXT_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_builder/dataset.h"
+#include "text/vocabulary.h"
+
+namespace openbg::kge {
+
+/// Shared text front-end for the LM-based baselines: per-entity hashed
+/// lexical features (tokens + character trigrams) for the encoder models,
+/// and a closed token vocabulary for the generative model.
+class TextFeaturizer {
+ public:
+  TextFeaturizer(const bench_builder::Dataset& dataset, size_t hash_space);
+
+  /// Hashed feature bag of entity `e` (ids already reduced mod hash_space).
+  const std::vector<uint32_t>& EntityFeatures(uint32_t e) const {
+    return features_[e];
+  }
+  const std::vector<std::vector<uint32_t>>& all_features() const {
+    return features_;
+  }
+
+  /// Vocabulary token ids of entity `e`'s text (for generative scoring).
+  const std::vector<uint32_t>& EntityTokens(uint32_t e) const {
+    return tokens_[e];
+  }
+
+  size_t hash_space() const { return hash_space_; }
+  size_t vocab_size() const { return vocab_.size(); }
+
+ private:
+  size_t hash_space_;
+  text::Vocabulary vocab_;
+  std::vector<std::vector<uint32_t>> features_;
+  std::vector<std::vector<uint32_t>> tokens_;
+};
+
+}  // namespace openbg::kge
+
+#endif  // OPENBG_KGE_TEXT_FEATURES_H_

@@ -1,0 +1,452 @@
+#include "kge/text_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "util/logging.h"
+
+namespace openbg::kge {
+namespace {
+
+/// Plain SGD over explicit parameters (the text models' dense heads).
+void SgdStep(const std::vector<nn::Parameter*>& params, float lr) {
+  for (nn::Parameter* p : params) {
+    float* v = p->value.data();
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->value.size(); ++i) v[i] -= lr * g[i];
+    p->ZeroGrad();
+  }
+}
+
+std::vector<std::vector<uint32_t>> RelationBags(
+    const std::vector<LpTriple>& pos, const std::vector<LpTriple>& neg) {
+  std::vector<std::vector<uint32_t>> bags;
+  bags.reserve(pos.size() + neg.size());
+  for (const LpTriple& t : pos) bags.push_back({t.r});
+  for (const LpTriple& t : neg) bags.push_back({t.r});
+  return bags;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- TextMatch
+
+TextMatchModel::TextMatchModel(const Dataset& dataset, size_t dim,
+                               util::Rng* rng, size_t hash_space)
+    : KgeModel(dataset.num_entities(), dataset.num_relations()),
+      dim_(dim),
+      features_(dataset, hash_space),
+      text_emb_("tm.text", hash_space, dim, rng),
+      rel_emb_("tm.rel", dataset.num_relations(), dim, rng),
+      scorer_("tm.scorer", {3 * dim, dim, 1}, rng) {}
+
+void TextMatchModel::EncodeEntities() {
+  text_emb_.Forward(features_.all_features(), &entity_enc_);
+  enc_valid_ = true;
+}
+
+void TextMatchModel::PrepareEval() { EncodeEntities(); }
+
+float TextMatchModel::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  nn::Matrix enc;
+  const_cast<TextMatchModel*>(this)->text_emb_.Forward(
+      {features_.EntityFeatures(h), features_.EntityFeatures(t)}, &enc);
+  nn::Matrix rel;
+  const_cast<TextMatchModel*>(this)->rel_emb_.Forward({{r}}, &rel);
+  nn::Matrix x(1, 3 * dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    x(0, d) = enc(0, d);
+    x(0, dim_ + d) = rel(0, d);
+    x(0, 2 * dim_ + d) = enc(1, d);
+  }
+  nn::Matrix y;
+  scorer_.Forward(x, &y);
+  return y(0, 0);
+}
+
+void TextMatchModel::ScoreSide(uint32_t fixed_entity, uint32_t r,
+                               bool fixed_is_head,
+                               std::vector<float>* out) const {
+  OPENBG_CHECK(enc_valid_) << "PrepareEval() not called";
+  nn::Matrix rel;
+  const_cast<TextMatchModel*>(this)->rel_emb_.Forward({{r}}, &rel);
+  const float* fixed_enc = entity_enc_.Row(fixed_entity);
+  nn::Matrix x(num_entities_, 3 * dim_);
+  for (uint32_t e = 0; e < num_entities_; ++e) {
+    float* row = x.Row(e);
+    const float* cand = entity_enc_.Row(e);
+    const float* head = fixed_is_head ? fixed_enc : cand;
+    const float* tail = fixed_is_head ? cand : fixed_enc;
+    for (size_t d = 0; d < dim_; ++d) {
+      row[d] = head[d];
+      row[dim_ + d] = rel(0, d);
+      row[2 * dim_ + d] = tail[d];
+    }
+  }
+  nn::Matrix y;
+  scorer_.Forward(x, &y);
+  out->resize(num_entities_);
+  for (uint32_t e = 0; e < num_entities_; ++e) (*out)[e] = y(e, 0);
+}
+
+void TextMatchModel::ScoreTails(uint32_t h, uint32_t r,
+                                std::vector<float>* out) const {
+  ScoreSide(h, r, /*fixed_is_head=*/true, out);
+}
+
+void TextMatchModel::ScoreHeads(uint32_t r, uint32_t t,
+                                std::vector<float>* out) const {
+  ScoreSide(t, r, /*fixed_is_head=*/false, out);
+}
+
+double TextMatchModel::TrainPairs(const std::vector<LpTriple>& pos,
+                                  const std::vector<LpTriple>& neg,
+                                  float lr) {
+  enc_valid_ = false;
+  const size_t n = pos.size() + neg.size();
+  std::vector<std::vector<uint32_t>> hbags, tbags;
+  hbags.reserve(n);
+  tbags.reserve(n);
+  std::vector<int8_t> labels;
+  for (const LpTriple& t : pos) {
+    hbags.push_back(features_.EntityFeatures(t.h));
+    tbags.push_back(features_.EntityFeatures(t.t));
+    labels.push_back(1);
+  }
+  for (const LpTriple& t : neg) {
+    hbags.push_back(features_.EntityFeatures(t.h));
+    tbags.push_back(features_.EntityFeatures(t.t));
+    labels.push_back(-1);
+  }
+  std::vector<std::vector<uint32_t>> rbags = RelationBags(pos, neg);
+
+  nn::Matrix hx, tx, rx;
+  text_emb_.Forward(hbags, &hx);
+  text_emb_.Forward(tbags, &tx);
+  rel_emb_.Forward(rbags, &rx);
+  nn::Matrix x(n, 3 * dim_);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = x.Row(i);
+    for (size_t d = 0; d < dim_; ++d) {
+      row[d] = hx(i, d);
+      row[dim_ + d] = rx(i, d);
+      row[2 * dim_ + d] = tx(i, d);
+    }
+  }
+  nn::Matrix y;
+  scorer_.Forward(x, &y);
+  std::vector<float> scores(n);
+  for (size_t i = 0; i < n; ++i) scores[i] = y(i, 0);
+  std::vector<float> dscores;
+  double loss = nn::PointwiseLogistic(scores, labels, &dscores);
+  nn::Matrix dy(n, 1);
+  for (size_t i = 0; i < n; ++i) dy(i, 0) = dscores[i];
+
+  nn::Matrix dx;
+  scorer_.Backward(x, dy, &dx);
+  nn::Matrix dh(n, dim_), dr(n, dim_), dt(n, dim_);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = dx.Row(i);
+    for (size_t d = 0; d < dim_; ++d) {
+      dh(i, d) = row[d];
+      dr(i, d) = row[dim_ + d];
+      dt(i, d) = row[2 * dim_ + d];
+    }
+  }
+  text_emb_.Backward(hbags, dh);
+  text_emb_.Backward(tbags, dt);
+  rel_emb_.Backward(rbags, dr);
+
+  std::vector<nn::Parameter*> params = scorer_.Params();
+  params.push_back(text_emb_.table());
+  params.push_back(rel_emb_.table());
+  SgdStep(params, lr);
+  return loss;
+}
+
+// ------------------------------------------------------------- StAR-like
+
+StarStyleModel::StarStyleModel(const Dataset& dataset, size_t dim,
+                               util::Rng* rng, size_t hash_space)
+    : KgeModel(dataset.num_entities(), dataset.num_relations()),
+      dim_(dim),
+      features_(dataset, hash_space),
+      text_emb_("star.text", hash_space, dim, rng),
+      rel_emb_("star.rel", dataset.num_relations(), dim, rng),
+      query_proj_("star.q", 2 * dim, dim, rng),
+      tail_proj_("star.t", dim, dim, rng) {}
+
+void StarStyleModel::PrepareEval() {
+  nn::Matrix enc;
+  text_emb_.Forward(features_.all_features(), &enc);
+  tail_proj_.Forward(enc, &tail_enc_);
+  enc_valid_ = true;
+}
+
+void StarStyleModel::QueryVector(uint32_t h, uint32_t r,
+                                 std::vector<float>* out) const {
+  nn::Matrix enc;
+  const_cast<StarStyleModel*>(this)->text_emb_.Forward(
+      {features_.EntityFeatures(h)}, &enc);
+  nn::Matrix rel;
+  const_cast<StarStyleModel*>(this)->rel_emb_.Forward({{r}}, &rel);
+  nn::Matrix x(1, 2 * dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    x(0, d) = enc(0, d);
+    x(0, dim_ + d) = rel(0, d);
+  }
+  nn::Matrix q;
+  query_proj_.Forward(x, &q);
+  out->assign(q.Row(0), q.Row(0) + dim_);
+}
+
+void StarStyleModel::TailVector(uint32_t t, std::vector<float>* out) const {
+  nn::Matrix enc;
+  const_cast<StarStyleModel*>(this)->text_emb_.Forward(
+      {features_.EntityFeatures(t)}, &enc);
+  nn::Matrix v;
+  tail_proj_.Forward(enc, &v);
+  out->assign(v.Row(0), v.Row(0) + dim_);
+}
+
+float StarStyleModel::ScoreTriple(uint32_t h, uint32_t r,
+                                  uint32_t t) const {
+  std::vector<float> q, v;
+  QueryVector(h, r, &q);
+  TailVector(t, &v);
+  return nn::Dot(q.data(), v.data(), dim_);
+}
+
+void StarStyleModel::ScoreTails(uint32_t h, uint32_t r,
+                                std::vector<float>* out) const {
+  OPENBG_CHECK(enc_valid_) << "PrepareEval() not called";
+  std::vector<float> q;
+  QueryVector(h, r, &q);
+  out->resize(num_entities_);
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    (*out)[t] = nn::Dot(q.data(), tail_enc_.Row(t), dim_);
+  }
+}
+
+void StarStyleModel::ScoreHeads(uint32_t r, uint32_t t,
+                                std::vector<float>* out) const {
+  OPENBG_CHECK(enc_valid_);
+  // Dual encoder ranks heads by running the query tower per candidate; to
+  // stay tractable we approximate with the symmetric dot of projected
+  // encodings (the tail tower) against the query built from the tail.
+  std::vector<float> q;
+  QueryVector(t, r, &q);
+  out->resize(num_entities_);
+  for (uint32_t h = 0; h < num_entities_; ++h) {
+    (*out)[h] = nn::Dot(q.data(), tail_enc_.Row(h), dim_);
+  }
+}
+
+double StarStyleModel::TrainPairs(const std::vector<LpTriple>& pos,
+                                  const std::vector<LpTriple>& neg,
+                                  float lr) {
+  enc_valid_ = false;
+  const size_t n = pos.size() + neg.size();
+  std::vector<std::vector<uint32_t>> hbags, tbags;
+  std::vector<int8_t> labels;
+  for (const LpTriple& t : pos) {
+    hbags.push_back(features_.EntityFeatures(t.h));
+    tbags.push_back(features_.EntityFeatures(t.t));
+    labels.push_back(1);
+  }
+  for (const LpTriple& t : neg) {
+    hbags.push_back(features_.EntityFeatures(t.h));
+    tbags.push_back(features_.EntityFeatures(t.t));
+    labels.push_back(-1);
+  }
+  std::vector<std::vector<uint32_t>> rbags = RelationBags(pos, neg);
+
+  nn::Matrix henc, tenc, renc;
+  text_emb_.Forward(hbags, &henc);
+  text_emb_.Forward(tbags, &tenc);
+  rel_emb_.Forward(rbags, &renc);
+  nn::Matrix x(n, 2 * dim_);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim_; ++d) {
+      x(i, d) = henc(i, d);
+      x(i, dim_ + d) = renc(i, d);
+    }
+  }
+  nn::Matrix q, v;
+  query_proj_.Forward(x, &q);
+  tail_proj_.Forward(tenc, &v);
+
+  std::vector<float> scores(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = nn::Dot(q.Row(i), v.Row(i), dim_);
+  }
+  std::vector<float> dscores;
+  double loss = nn::PointwiseLogistic(scores, labels, &dscores);
+
+  nn::Matrix dq(n, dim_), dv(n, dim_);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim_; ++d) {
+      dq(i, d) = dscores[i] * v(i, d);
+      dv(i, d) = dscores[i] * q(i, d);
+    }
+  }
+  nn::Matrix dx, dtenc;
+  query_proj_.Backward(x, dq, &dx);
+  tail_proj_.Backward(tenc, dv, &dtenc);
+  nn::Matrix dhenc(n, dim_), drenc(n, dim_);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim_; ++d) {
+      dhenc(i, d) = dx(i, d);
+      drenc(i, d) = dx(i, dim_ + d);
+    }
+  }
+  text_emb_.Backward(hbags, dhenc);
+  text_emb_.Backward(tbags, dtenc);
+  rel_emb_.Backward(rbags, drenc);
+
+  std::vector<nn::Parameter*> params = {
+      query_proj_.weight(), query_proj_.bias(), tail_proj_.weight(),
+      tail_proj_.bias(),    text_emb_.table(),  rel_emb_.table()};
+  SgdStep(params, lr);
+  return loss;
+}
+
+// --------------------------------------------------------------- GenKGC
+
+GenKgcModel::GenKgcModel(const Dataset& dataset, size_t dim, util::Rng* rng,
+                         size_t hash_space)
+    : KgeModel(dataset.num_entities(), dataset.num_relations()),
+      dim_(dim),
+      features_(dataset, hash_space),
+      text_emb_("gen.text", hash_space, dim, rng),
+      rel_emb_("gen.rel", dataset.num_relations(), dim, rng),
+      ctx_proj_("gen.ctx", 2 * dim, dim, rng),
+      out_proj_("gen.out", dim, features_.vocab_size(), rng) {}
+
+void GenKgcModel::ContextVector(uint32_t h, uint32_t r,
+                                nn::Matrix* ctx) const {
+  nn::Matrix enc;
+  const_cast<GenKgcModel*>(this)->text_emb_.Forward(
+      {features_.EntityFeatures(h)}, &enc);
+  nn::Matrix rel;
+  const_cast<GenKgcModel*>(this)->rel_emb_.Forward({{r}}, &rel);
+  nn::Matrix x(1, 2 * dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    x(0, d) = enc(0, d);
+    x(0, dim_ + d) = rel(0, d);
+  }
+  ctx_proj_.Forward(x, ctx);
+}
+
+void GenKgcModel::TokenLogProbs(const nn::Matrix& ctx,
+                                std::vector<float>* logp) const {
+  nn::Matrix logits;
+  out_proj_.Forward(ctx, &logits);
+  const size_t v = logits.cols();
+  float mx = *std::max_element(logits.Row(0), logits.Row(0) + v);
+  double z = 0.0;
+  for (size_t i = 0; i < v; ++i) z += std::exp(logits(0, i) - mx);
+  float log_z = mx + static_cast<float>(std::log(z));
+  logp->resize(v);
+  for (size_t i = 0; i < v; ++i) (*logp)[i] = logits(0, i) - log_z;
+}
+
+float GenKgcModel::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  nn::Matrix ctx;
+  ContextVector(h, r, &ctx);
+  std::vector<float> logp;
+  TokenLogProbs(ctx, &logp);
+  const auto& toks = features_.EntityTokens(t);
+  if (toks.empty()) return -1e9f;
+  float s = 0.0f;
+  for (uint32_t tok : toks) s += logp[tok];
+  return s / static_cast<float>(toks.size());
+}
+
+void GenKgcModel::ScoreTails(uint32_t h, uint32_t r,
+                             std::vector<float>* out) const {
+  nn::Matrix ctx;
+  ContextVector(h, r, &ctx);
+  std::vector<float> logp;
+  TokenLogProbs(ctx, &logp);
+  out->resize(num_entities_);
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    const auto& toks = features_.EntityTokens(t);
+    if (toks.empty()) {
+      (*out)[t] = -1e9f;
+      continue;
+    }
+    float s = 0.0f;
+    for (uint32_t tok : toks) s += logp[tok];
+    (*out)[t] = s / static_cast<float>(toks.size());
+  }
+}
+
+double GenKgcModel::TrainPairs(const std::vector<LpTriple>& pos,
+                               const std::vector<LpTriple>& neg, float lr) {
+  (void)neg;  // generative training uses gold tails only
+  const size_t n = pos.size();
+  std::vector<std::vector<uint32_t>> hbags;
+  std::vector<std::vector<uint32_t>> rbags;
+  for (const LpTriple& t : pos) {
+    hbags.push_back(features_.EntityFeatures(t.h));
+    rbags.push_back({t.r});
+  }
+  nn::Matrix henc, renc;
+  text_emb_.Forward(hbags, &henc);
+  rel_emb_.Forward(rbags, &renc);
+  nn::Matrix x(n, 2 * dim_);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim_; ++d) {
+      x(i, d) = henc(i, d);
+      x(i, dim_ + d) = renc(i, d);
+    }
+  }
+  nn::Matrix ctx, logits;
+  ctx_proj_.Forward(x, &ctx);
+  out_proj_.Forward(ctx, &logits);
+
+  // Multi-token cross entropy: target distribution = empirical token
+  // distribution of the gold tail's name.
+  nn::Matrix probs = logits;
+  nn::SoftmaxRows(&probs);
+  double loss = 0.0;
+  nn::Matrix dlogits = probs;  // start from softmax; subtract targets
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& toks = features_.EntityTokens(pos[i].t);
+    if (toks.empty()) {
+      for (size_t c = 0; c < dlogits.cols(); ++c) dlogits(i, c) = 0.0f;
+      continue;
+    }
+    float w = 1.0f / static_cast<float>(toks.size());
+    for (uint32_t tok : toks) {
+      loss -= w * std::log(std::max(probs(i, tok), 1e-12f));
+      dlogits(i, tok) -= w;
+    }
+    for (size_t c = 0; c < dlogits.cols(); ++c) dlogits(i, c) *= inv_n;
+  }
+  loss /= static_cast<double>(n);
+
+  nn::Matrix dctx, dx;
+  out_proj_.Backward(ctx, dlogits, &dctx);
+  ctx_proj_.Backward(x, dctx, &dx);
+  nn::Matrix dhenc(n, dim_), drenc(n, dim_);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim_; ++d) {
+      dhenc(i, d) = dx(i, d);
+      drenc(i, d) = dx(i, dim_ + d);
+    }
+  }
+  text_emb_.Backward(hbags, dhenc);
+  rel_emb_.Backward(rbags, drenc);
+
+  std::vector<nn::Parameter*> params = {
+      ctx_proj_.weight(), ctx_proj_.bias(), out_proj_.weight(),
+      out_proj_.bias(),   text_emb_.table(), rel_emb_.table()};
+  SgdStep(params, lr);
+  return loss;
+}
+
+}  // namespace openbg::kge

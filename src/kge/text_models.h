@@ -1,0 +1,114 @@
+#ifndef OPENBG_KGE_TEXT_MODELS_H_
+#define OPENBG_KGE_TEXT_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kge/model.h"
+#include "kge/text_features.h"
+#include "nn/layers.h"
+
+namespace openbg::kge {
+
+/// KG-BERT stand-in ("TextMatch"): a cross-encoder that scores a triple from
+/// the *texts* of its head/tail plus a learned relation vector, through a
+/// small MLP. Like the original, ranking requires one encoder pass per
+/// candidate (here batched through a GEMM), and like the original it tends
+/// to weak Hits@K but good MR — text similarity rarely ranks the exact gold
+/// first, yet never ranks it absurdly low.
+class TextMatchModel : public KgeModel {
+ public:
+  TextMatchModel(const Dataset& dataset, size_t dim, util::Rng* rng,
+                 size_t hash_space = 1 << 16);
+
+  std::string name() const override { return "KG-BERT(TextMatch)"; }
+  float ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const override;
+  void ScoreTails(uint32_t h, uint32_t r,
+                  std::vector<float>* out) const override;
+  void ScoreHeads(uint32_t r, uint32_t t,
+                  std::vector<float>* out) const override;
+  double TrainPairs(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr) override;
+  void PrepareEval() override;
+
+ private:
+  void EncodeEntities();
+  void ScoreSide(uint32_t fixed_entity, uint32_t r, bool fixed_is_head,
+                 std::vector<float>* out) const;
+
+  size_t dim_;
+  TextFeaturizer features_;
+  nn::EmbeddingBag text_emb_;
+  nn::EmbeddingBag rel_emb_;   // one "bag" per relation id
+  mutable nn::Mlp scorer_;     // [3d] -> hidden -> 1 (mutable: Forward caches)
+  mutable nn::Matrix entity_enc_;  // cached per-entity encodings (eval)
+  bool enc_valid_ = false;
+};
+
+/// StAR stand-in: a Siamese/dual encoder. One tower encodes (head text,
+/// relation), the other the tail text; score is the dot product. Fast
+/// ranking via precomputed tail encodings.
+class StarStyleModel : public KgeModel {
+ public:
+  StarStyleModel(const Dataset& dataset, size_t dim, util::Rng* rng,
+                 size_t hash_space = 1 << 16);
+
+  std::string name() const override { return "StAR(DualEncoder)"; }
+  float ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const override;
+  void ScoreTails(uint32_t h, uint32_t r,
+                  std::vector<float>* out) const override;
+  void ScoreHeads(uint32_t r, uint32_t t,
+                  std::vector<float>* out) const override;
+  double TrainPairs(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr) override;
+  void PrepareEval() override;
+
+ private:
+  void TailVector(uint32_t t, std::vector<float>* out) const;
+  void QueryVector(uint32_t h, uint32_t r, std::vector<float>* out) const;
+
+  size_t dim_;
+  TextFeaturizer features_;
+  nn::EmbeddingBag text_emb_;
+  nn::EmbeddingBag rel_emb_;
+  nn::Linear query_proj_;  // [2d] -> d
+  nn::Linear tail_proj_;   // [d] -> d
+  mutable nn::Matrix tail_enc_;
+  bool enc_valid_ = false;
+};
+
+/// GenKGC stand-in: generative KG completion. The decoder is reduced to a
+/// conditional bag-of-tokens model: a context vector from (head text,
+/// relation) produces a softmax over the token vocabulary, and a candidate
+/// tail scores as the mean log-probability of its name's tokens. (The real
+/// GenKGC decodes autoregressively with BART; the simplification keeps the
+/// generative-ranking behaviour — reasonable Hits@1 region, no usable MR —
+/// at laptop scale. The paper likewise reports no MR for GenKGC.)
+class GenKgcModel : public KgeModel {
+ public:
+  GenKgcModel(const Dataset& dataset, size_t dim, util::Rng* rng,
+              size_t hash_space = 1 << 16);
+
+  std::string name() const override { return "GenKGC(Generative)"; }
+  float ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const override;
+  void ScoreTails(uint32_t h, uint32_t r,
+                  std::vector<float>* out) const override;
+  double TrainPairs(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr) override;
+
+ private:
+  void ContextVector(uint32_t h, uint32_t r, nn::Matrix* ctx) const;
+  void TokenLogProbs(const nn::Matrix& ctx, std::vector<float>* logp) const;
+
+  size_t dim_;
+  TextFeaturizer features_;
+  nn::EmbeddingBag text_emb_;
+  nn::EmbeddingBag rel_emb_;
+  nn::Linear ctx_proj_;   // [2d] -> d
+  nn::Linear out_proj_;   // [d] -> vocab
+};
+
+}  // namespace openbg::kge
+
+#endif  // OPENBG_KGE_TEXT_MODELS_H_

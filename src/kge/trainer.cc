@@ -1,0 +1,41 @@
+#include "kge/trainer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace openbg::kge {
+
+double TrainKgeModel(KgeModel* model, const Dataset& dataset,
+                     const TrainConfig& config) {
+  OPENBG_CHECK(!dataset.train.empty());
+  NegativeSampler sampler(dataset, config.negatives, config.seed ^ 0x5EED);
+  util::Rng rng(config.seed);
+  std::vector<size_t> order(dataset.train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double last_loss = 0.0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t pos = 0; pos < order.size(); pos += config.batch_size) {
+      std::vector<LpTriple> batch;
+      size_t end = std::min(pos + config.batch_size, order.size());
+      batch.reserve(end - pos);
+      for (size_t i = pos; i < end; ++i) {
+        batch.push_back(dataset.train[order[i]]);
+      }
+      std::vector<LpTriple> negs = sampler.CorruptBatch(batch);
+      epoch_loss += model->TrainPairs(batch, negs, config.lr);
+      model->PostStep();
+      ++batches;
+    }
+    last_loss = epoch_loss / static_cast<double>(std::max<size_t>(1, batches));
+    if (config.on_epoch) config.on_epoch(epoch, last_loss);
+  }
+  return last_loss;
+}
+
+}  // namespace openbg::kge

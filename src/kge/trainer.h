@@ -1,0 +1,31 @@
+#ifndef OPENBG_KGE_TRAINER_H_
+#define OPENBG_KGE_TRAINER_H_
+
+#include <functional>
+
+#include "kge/evaluator.h"
+#include "kge/model.h"
+#include "kge/negative_sampler.h"
+
+namespace openbg::kge {
+
+/// Epoch/batch driver for KgeModel training. One negative per positive
+/// (classic setup); learning-rate and sampler strategy are configurable to
+/// support the ablation benches.
+struct TrainConfig {
+  size_t epochs = 20;
+  size_t batch_size = 256;
+  float lr = 0.05f;
+  NegativeSampler::Options negatives;
+  uint64_t seed = 29;
+  /// Optional per-epoch callback (epoch, mean loss).
+  std::function<void(size_t, double)> on_epoch;
+};
+
+/// Trains `model` on `dataset.train`; returns final-epoch mean loss.
+double TrainKgeModel(KgeModel* model, const Dataset& dataset,
+                     const TrainConfig& config);
+
+}  // namespace openbg::kge
+
+#endif  // OPENBG_KGE_TRAINER_H_

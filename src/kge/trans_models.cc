@@ -1,0 +1,305 @@
+#include "kge/trans_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace openbg::kge {
+namespace {
+
+float L1Distance(const float* a, const float* b, const float* c, size_t d) {
+  // ||a + b - c||_1
+  float s = 0.0f;
+  for (size_t i = 0; i < d; ++i) s += std::fabs(a[i] + b[i] - c[i]);
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TransE
+
+TransE::TransE(size_t num_entities, size_t num_relations, size_t dim,
+               float margin, util::Rng* rng)
+    : KgeModel(num_entities, num_relations),
+      dim_(dim),
+      margin_(margin),
+      ent_(num_entities, dim, rng),
+      rel_(num_relations, dim, rng) {
+  for (uint32_t r = 0; r < num_relations; ++r) rel_.NormalizeRow(r);
+}
+
+float TransE::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  return -L1Distance(ent_.Row(h), rel_.Row(r), ent_.Row(t), dim_);
+}
+
+void TransE::ScoreTails(uint32_t h, uint32_t r,
+                        std::vector<float>* out) const {
+  out->resize(num_entities_);
+  std::vector<float> target(dim_);
+  const float* hh = ent_.Row(h);
+  const float* rr = rel_.Row(r);
+  for (size_t d = 0; d < dim_; ++d) target[d] = hh[d] + rr[d];
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    const float* tt = ent_.Row(t);
+    float s = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) s += std::fabs(target[d] - tt[d]);
+    (*out)[t] = -s;
+  }
+}
+
+void TransE::ScoreHeads(uint32_t r, uint32_t t,
+                        std::vector<float>* out) const {
+  out->resize(num_entities_);
+  std::vector<float> target(dim_);
+  const float* rr = rel_.Row(r);
+  const float* tt = ent_.Row(t);
+  for (size_t d = 0; d < dim_; ++d) target[d] = tt[d] - rr[d];
+  for (uint32_t h = 0; h < num_entities_; ++h) {
+    const float* hh = ent_.Row(h);
+    float s = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) s += std::fabs(hh[d] - target[d]);
+    (*out)[h] = -s;
+  }
+}
+
+void TransE::ApplyGrad(const LpTriple& t, float direction, float lr) {
+  // d||h+r-t||_1 subgradient: sign(h+r-t); `direction` +1 shrinks the
+  // positive distance, -1 grows the negative one.
+  float* hh = ent_.Row(t.h);
+  float* rr = rel_.Row(t.r);
+  float* tt = ent_.Row(t.t);
+  for (size_t d = 0; d < dim_; ++d) {
+    float diff = hh[d] + rr[d] - tt[d];
+    float g = direction * (diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f));
+    hh[d] -= lr * g;
+    rr[d] -= lr * g;
+    tt[d] += lr * g;
+  }
+  ent_.ProjectToUnitBall(t.h);
+  ent_.ProjectToUnitBall(t.t);
+}
+
+double TransE::TrainPairs(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr) {
+  double loss = 0.0;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
+    float dn = -ScoreTriple(neg[i].h, neg[i].r, neg[i].t);
+    float hinge = margin_ + dp - dn;
+    if (hinge > 0.0f) {
+      loss += hinge;
+      ApplyGrad(pos[i], +1.0f, lr);
+      ApplyGrad(neg[i], -1.0f, lr);
+    }
+  }
+  return loss / static_cast<double>(pos.size());
+}
+
+// ---------------------------------------------------------------- TransH
+
+TransH::TransH(size_t num_entities, size_t num_relations, size_t dim,
+               float margin, util::Rng* rng)
+    : KgeModel(num_entities, num_relations),
+      dim_(dim),
+      margin_(margin),
+      ent_(num_entities, dim, rng),
+      d_(num_relations, dim, rng),
+      w_(num_relations, dim, rng) {
+  for (uint32_t r = 0; r < num_relations; ++r) w_.NormalizeRow(r);
+}
+
+float TransH::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  const float* hh = ent_.Row(h);
+  const float* tt = ent_.Row(t);
+  const float* dd = d_.Row(r);
+  const float* ww = w_.Row(r);
+  float wh = nn::Dot(ww, hh, dim_);
+  float wt = nn::Dot(ww, tt, dim_);
+  float s = 0.0f;
+  for (size_t i = 0; i < dim_; ++i) {
+    float hp = hh[i] - wh * ww[i];
+    float tp = tt[i] - wt * ww[i];
+    s += std::fabs(hp + dd[i] - tp);
+  }
+  return -s;
+}
+
+void TransH::ScoreTails(uint32_t h, uint32_t r,
+                        std::vector<float>* out) const {
+  out->resize(num_entities_);
+  const float* hh = ent_.Row(h);
+  const float* dd = d_.Row(r);
+  const float* ww = w_.Row(r);
+  float wh = nn::Dot(ww, hh, dim_);
+  std::vector<float> target(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    target[i] = hh[i] - wh * ww[i] + dd[i];
+  }
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    const float* tt = ent_.Row(t);
+    float wt = nn::Dot(ww, tt, dim_);
+    float s = 0.0f;
+    for (size_t i = 0; i < dim_; ++i) {
+      s += std::fabs(target[i] - (tt[i] - wt * ww[i]));
+    }
+    (*out)[t] = -s;
+  }
+}
+
+void TransH::ScoreHeads(uint32_t r, uint32_t t,
+                        std::vector<float>* out) const {
+  out->resize(num_entities_);
+  const float* tt = ent_.Row(t);
+  const float* dd = d_.Row(r);
+  const float* ww = w_.Row(r);
+  float wt = nn::Dot(ww, tt, dim_);
+  std::vector<float> target(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    target[i] = tt[i] - wt * ww[i] - dd[i];
+  }
+  for (uint32_t h = 0; h < num_entities_; ++h) {
+    const float* hh = ent_.Row(h);
+    float wh = nn::Dot(ww, hh, dim_);
+    float s = 0.0f;
+    for (size_t i = 0; i < dim_; ++i) {
+      s += std::fabs((hh[i] - wh * ww[i]) - target[i]);
+    }
+    (*out)[h] = -s;
+  }
+}
+
+void TransH::ApplyGrad(const LpTriple& t, float direction, float lr) {
+  float* hh = ent_.Row(t.h);
+  float* tt = ent_.Row(t.t);
+  float* dd = d_.Row(t.r);
+  float* ww = w_.Row(t.r);
+  float wh = nn::Dot(ww, hh, dim_);
+  float wt = nn::Dot(ww, tt, dim_);
+  // g = subgradient of the L1 distance wrt (h_perp + d - t_perp).
+  std::vector<float> g(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    float diff = (hh[i] - wh * ww[i]) + dd[i] - (tt[i] - wt * ww[i]);
+    g[i] =
+        direction * (diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f));
+  }
+  float gw = nn::Dot(g.data(), ww, dim_);
+  // dh = (I - w w^T) g ; dt = -(I - w w^T) g ; dd = g ;
+  // dw = -((g.w) h + (w.h) g) + ((g.w) t + (w.t) g).
+  for (size_t i = 0; i < dim_; ++i) {
+    float dh = g[i] - gw * ww[i];
+    float dw = -(gw * hh[i] + wh * g[i]) + (gw * tt[i] + wt * g[i]);
+    hh[i] -= lr * dh;
+    tt[i] += lr * dh;
+    dd[i] -= lr * g[i];
+    ww[i] -= lr * dw;
+  }
+  ent_.ProjectToUnitBall(t.h);
+  ent_.ProjectToUnitBall(t.t);
+  touched_relations_.push_back(t.r);
+}
+
+double TransH::TrainPairs(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr) {
+  double loss = 0.0;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
+    float dn = -ScoreTriple(neg[i].h, neg[i].r, neg[i].t);
+    float hinge = margin_ + dp - dn;
+    if (hinge > 0.0f) {
+      loss += hinge;
+      ApplyGrad(pos[i], +1.0f, lr);
+      ApplyGrad(neg[i], -1.0f, lr);
+    }
+  }
+  return loss / static_cast<double>(pos.size());
+}
+
+void TransH::PostStep() {
+  for (uint32_t r : touched_relations_) w_.NormalizeRow(r);
+  touched_relations_.clear();
+}
+
+// ---------------------------------------------------------------- TransD
+
+TransD::TransD(size_t num_entities, size_t num_relations, size_t dim,
+               float margin, util::Rng* rng)
+    : KgeModel(num_entities, num_relations),
+      dim_(dim),
+      margin_(margin),
+      ent_(num_entities, dim, rng),
+      ent_p_(num_entities, dim, rng, 0.1f),
+      rel_(num_relations, dim, rng),
+      rel_p_(num_relations, dim, rng, 0.1f) {}
+
+void TransD::Project(uint32_t e, uint32_t r, float* out) const {
+  const float* ee = ent_.Row(e);
+  const float* ep = ent_p_.Row(e);
+  const float* rp = rel_p_.Row(r);
+  float dot = nn::Dot(ep, ee, dim_);
+  for (size_t i = 0; i < dim_; ++i) out[i] = ee[i] + dot * rp[i];
+}
+
+float TransD::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
+  std::vector<float> hp(dim_), tp(dim_);
+  Project(h, r, hp.data());
+  Project(t, r, tp.data());
+  return -L1Distance(hp.data(), rel_.Row(r), tp.data(), dim_);
+}
+
+void TransD::ApplyGrad(const LpTriple& t, float direction, float lr) {
+  std::vector<float> hperp(dim_), tperp(dim_);
+  Project(t.h, t.r, hperp.data());
+  Project(t.t, t.r, tperp.data());
+  float* hh = ent_.Row(t.h);
+  float* hp = ent_p_.Row(t.h);
+  float* tt = ent_.Row(t.t);
+  float* tp = ent_p_.Row(t.t);
+  float* rr = rel_.Row(t.r);
+  float* rp = rel_p_.Row(t.r);
+  const float* dd = rel_.Row(t.r);
+  std::vector<float> g(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    float diff = hperp[i] + dd[i] - tperp[i];
+    g[i] =
+        direction * (diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f));
+  }
+  float grp = nn::Dot(g.data(), rp, dim_);
+  float hph = nn::Dot(hp, hh, dim_);
+  float tpt = nn::Dot(tp, tt, dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    // h_perp = h + (hp.h) rp ; t_perp analogous.
+    float dh = g[i] + grp * hp[i];
+    float dhp = grp * hh[i];
+    float dt = -(g[i] + grp * tp[i]);
+    float dtp = -grp * tt[i];
+    float dr = g[i];
+    float drp = (hph - tpt) * g[i];
+    hh[i] -= lr * dh;
+    hp[i] -= lr * dhp;
+    tt[i] -= lr * dt;
+    tp[i] -= lr * dtp;
+    rr[i] -= lr * dr;
+    rp[i] -= lr * drp;
+  }
+  ent_.ProjectToUnitBall(t.h);
+  ent_.ProjectToUnitBall(t.t);
+}
+
+double TransD::TrainPairs(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr) {
+  double loss = 0.0;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
+    float dn = -ScoreTriple(neg[i].h, neg[i].r, neg[i].t);
+    float hinge = margin_ + dp - dn;
+    if (hinge > 0.0f) {
+      loss += hinge;
+      ApplyGrad(pos[i], +1.0f, lr);
+      ApplyGrad(neg[i], -1.0f, lr);
+    }
+  }
+  return loss / static_cast<double>(pos.size());
+}
+
+}  // namespace openbg::kge

@@ -1,0 +1,29 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace openbg::nn {
+
+double MaxGradDiscrepancy(Parameter* param,
+                          const std::function<double()>& loss_fn,
+                          double eps, size_t max_coords) {
+  double worst = 0.0;
+  size_t n = param->value.size();
+  size_t stride = std::max<size_t>(1, n / max_coords);
+  for (size_t i = 0; i < n; i += stride) {
+    float* v = param->value.data() + i;
+    float orig = *v;
+    *v = orig + static_cast<float>(eps);
+    double up = loss_fn();
+    *v = orig - static_cast<float>(eps);
+    double down = loss_fn();
+    *v = orig;
+    double numeric = (up - down) / (2.0 * eps);
+    double analytic = static_cast<double>(param->grad.data()[i]);
+    worst = std::max(worst, std::fabs(numeric - analytic));
+  }
+  return worst;
+}
+
+}  // namespace openbg::nn

@@ -1,0 +1,22 @@
+#ifndef OPENBG_NN_GRADCHECK_H_
+#define OPENBG_NN_GRADCHECK_H_
+
+#include <functional>
+
+#include "nn/optimizer.h"
+
+namespace openbg::nn {
+
+/// Numerical gradient verification used by the test suite: perturbs each
+/// coordinate of `param->value` by ±eps, re-evaluates `loss_fn`, and
+/// compares the centered difference against `param->grad` (which must hold
+/// the analytic gradient of the same loss). Returns the max absolute
+/// discrepancy across checked coordinates (at most `max_coords`, strided
+/// evenly through the tensor).
+double MaxGradDiscrepancy(Parameter* param,
+                          const std::function<double()>& loss_fn,
+                          double eps = 1e-3, size_t max_coords = 64);
+
+}  // namespace openbg::nn
+
+#endif  // OPENBG_NN_GRADCHECK_H_

@@ -1,0 +1,152 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace openbg::nn {
+
+void Gemm(const Matrix& a, bool transpose_a, const Matrix& b,
+          bool transpose_b, float alpha, float beta, Matrix* c) {
+  const size_t m = transpose_a ? a.cols() : a.rows();
+  const size_t k = transpose_a ? a.rows() : a.cols();
+  const size_t k2 = transpose_b ? b.cols() : b.rows();
+  const size_t n = transpose_b ? b.rows() : b.cols();
+  OPENBG_CHECK(k == k2) << "gemm inner dim mismatch " << k << " vs " << k2;
+  OPENBG_CHECK(c->rows() == m && c->cols() == n) << "gemm output shape";
+
+  if (beta != 1.0f) {
+    if (beta == 0.0f) {
+      c->Zero();
+    } else {
+      for (size_t i = 0; i < c->size(); ++i) c->data()[i] *= beta;
+    }
+  }
+  // Four loop-order specializations keep the innermost loop contiguous.
+  if (!transpose_a && !transpose_b) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c->Row(i);
+      for (size_t p = 0; p < k; ++p) {
+        float av = alpha * arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b.Row(p);
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!transpose_a && transpose_b) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c->Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += alpha * Dot(arow, b.Row(j), k);
+      }
+    }
+  } else if (transpose_a && !transpose_b) {
+    for (size_t p = 0; p < k; ++p) {
+      const float* arow = a.Row(p);  // a is k x m
+      const float* brow = b.Row(p);
+      for (size_t i = 0; i < m; ++i) {
+        float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c->Row(i);
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      float* crow = c->Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        // sum_p a(p,i) * b(j,p)
+        float s = 0.0f;
+        const float* brow = b.Row(j);
+        for (size_t p = 0; p < k; ++p) s += a(p, i) * brow[p];
+        crow[j] += alpha * s;
+      }
+    }
+  }
+}
+
+void Axpy(float alpha, const Matrix& x, Matrix* y) {
+  OPENBG_CHECK(x.rows() == y->rows() && x.cols() == y->cols());
+  const float* xd = x.data();
+  float* yd = y->data();
+  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+void AddRowBias(const Matrix& bias, Matrix* m) {
+  OPENBG_CHECK(bias.rows() == 1 && bias.cols() == m->cols());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* row = m->Row(r);
+    const float* b = bias.Row(0);
+    for (size_t c = 0; c < m->cols(); ++c) row[c] += b[c];
+  }
+}
+
+void SumRowsInto(const Matrix& m, Matrix* out) {
+  OPENBG_CHECK(out->rows() == 1 && out->cols() == m.cols());
+  float* o = out->Row(0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.Row(r);
+    for (size_t c = 0; c < m.cols(); ++c) o[c] += row[c];
+  }
+}
+
+void SoftmaxRows(Matrix* m) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* row = m->Row(r);
+    float mx = *std::max_element(row, row + m->cols());
+    float sum = 0.0f;
+    for (size_t c = 0; c < m->cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    float inv = 1.0f / sum;
+    for (size_t c = 0; c < m->cols(); ++c) row[c] *= inv;
+  }
+}
+
+void ReluForward(const Matrix& x, Matrix* out) {
+  OPENBG_CHECK(x.rows() == out->rows() && x.cols() == out->cols());
+  const float* xd = x.data();
+  float* od = out->data();
+  for (size_t i = 0; i < x.size(); ++i) od[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
+}
+
+void ReluBackward(const Matrix& x, const Matrix& dy, Matrix* dx) {
+  OPENBG_CHECK(x.size() == dy.size() && x.size() == dx->size());
+  const float* xd = x.data();
+  const float* dyd = dy.data();
+  float* dxd = dx->data();
+  for (size_t i = 0; i < x.size(); ++i) {
+    dxd[i] = xd[i] > 0.0f ? dyd[i] : 0.0f;
+  }
+}
+
+void TanhForward(const Matrix& x, Matrix* out) {
+  OPENBG_CHECK(x.size() == out->size());
+  const float* xd = x.data();
+  float* od = out->data();
+  for (size_t i = 0; i < x.size(); ++i) od[i] = std::tanh(xd[i]);
+}
+
+void TanhBackward(const Matrix& y, const Matrix& dy, Matrix* dx) {
+  OPENBG_CHECK(y.size() == dy.size() && y.size() == dx->size());
+  const float* yd = y.data();
+  const float* dyd = dy.data();
+  float* dxd = dx->data();
+  for (size_t i = 0; i < y.size(); ++i) {
+    dxd[i] = dyd[i] * (1.0f - yd[i] * yd[i]);
+  }
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+float Norm2(const float* a, size_t n) {
+  return std::sqrt(Dot(a, a, n));
+}
+
+}  // namespace openbg::nn

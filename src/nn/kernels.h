@@ -1,0 +1,46 @@
+#ifndef OPENBG_NN_KERNELS_H_
+#define OPENBG_NN_KERNELS_H_
+
+#include "nn/matrix.h"
+
+namespace openbg::nn {
+
+/// C = alpha * op(A) * op(B) + beta * C, with op = transpose when the flag
+/// is set. Shapes are CHECKed. Straightforward ikj loop ordering — fast
+/// enough for the scaled-down experiments and has no external dependency.
+void Gemm(const Matrix& a, bool transpose_a, const Matrix& b,
+          bool transpose_b, float alpha, float beta, Matrix* c);
+
+/// y += alpha * x (same shape).
+void Axpy(float alpha, const Matrix& x, Matrix* y);
+
+/// Adds row vector `bias` (1×c) to every row of `m` (n×c).
+void AddRowBias(const Matrix& bias, Matrix* m);
+
+/// Column-wise sum of `m` into `out` (1×c), accumulated (+=).
+void SumRowsInto(const Matrix& m, Matrix* out);
+
+/// In-place row-wise softmax.
+void SoftmaxRows(Matrix* m);
+
+/// Elementwise ReLU forward: out = max(x, 0). In-place allowed (out == &x).
+void ReluForward(const Matrix& x, Matrix* out);
+
+/// ReLU backward: dx = dy * (x > 0). `x` is the *input* to the forward pass.
+void ReluBackward(const Matrix& x, const Matrix& dy, Matrix* dx);
+
+/// Elementwise tanh forward.
+void TanhForward(const Matrix& x, Matrix* out);
+
+/// tanh backward from the forward *output* y: dx = dy * (1 - y^2).
+void TanhBackward(const Matrix& y, const Matrix& dy, Matrix* dx);
+
+/// Dot product of two equal-length rows.
+float Dot(const float* a, const float* b, size_t n);
+
+/// L2 norm of a row.
+float Norm2(const float* a, size_t n);
+
+}  // namespace openbg::nn
+
+#endif  // OPENBG_NN_KERNELS_H_

@@ -1,0 +1,115 @@
+#include "nn/layers.h"
+
+namespace openbg::nn {
+
+Linear::Linear(std::string name, size_t in_dim, size_t out_dim,
+               util::Rng* rng)
+    : w_(name + ".w", in_dim, out_dim), b_(name + ".b", 1, out_dim) {
+  w_.value.InitXavier(rng);
+}
+
+void Linear::Forward(const Matrix& x, Matrix* y) const {
+  *y = Matrix(x.rows(), w_.value.cols());
+  Gemm(x, false, w_.value, false, 1.0f, 0.0f, y);
+  AddRowBias(b_.value, y);
+}
+
+void Linear::Backward(const Matrix& x, const Matrix& dy, Matrix* dx) {
+  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T.
+  Gemm(x, true, dy, false, 1.0f, 1.0f, &w_.grad);
+  SumRowsInto(dy, &b_.grad);
+  if (dx != nullptr) {
+    *dx = Matrix(x.rows(), x.cols());
+    Gemm(dy, false, w_.value, true, 1.0f, 0.0f, dx);
+  }
+}
+
+EmbeddingBag::EmbeddingBag(std::string name, size_t vocab_size, size_t dim,
+                           util::Rng* rng)
+    : table_(name + ".emb", vocab_size, dim) {
+  table_.value.InitNormal(rng, 0.1f);
+}
+
+void EmbeddingBag::Forward(
+    const std::vector<std::vector<uint32_t>>& features, Matrix* out) const {
+  const size_t d = dim();
+  *out = Matrix(features.size(), d);
+  for (size_t i = 0; i < features.size(); ++i) {
+    const auto& bag = features[i];
+    if (bag.empty()) continue;
+    float* row = out->Row(i);
+    for (uint32_t f : bag) {
+      const float* e = table_.value.Row(f % vocab_size());
+      for (size_t j = 0; j < d; ++j) row[j] += e[j];
+    }
+    float inv = 1.0f / static_cast<float>(bag.size());
+    for (size_t j = 0; j < d; ++j) row[j] *= inv;
+  }
+}
+
+void EmbeddingBag::Backward(
+    const std::vector<std::vector<uint32_t>>& features, const Matrix& dout) {
+  const size_t d = dim();
+  OPENBG_CHECK(dout.rows() == features.size() && dout.cols() == d);
+  for (size_t i = 0; i < features.size(); ++i) {
+    const auto& bag = features[i];
+    if (bag.empty()) continue;
+    const float* drow = dout.Row(i);
+    float inv = 1.0f / static_cast<float>(bag.size());
+    for (uint32_t f : bag) {
+      float* g = table_.grad.Row(f % vocab_size());
+      for (size_t j = 0; j < d; ++j) g[j] += inv * drow[j];
+    }
+  }
+}
+
+Mlp::Mlp(std::string name, const std::vector<size_t>& dims, util::Rng* rng) {
+  OPENBG_CHECK(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(name + ".l" + std::to_string(i), dims[i],
+                         dims[i + 1], rng);
+  }
+  pre_act_.resize(layers_.size());
+  post_act_.resize(layers_.size());
+}
+
+void Mlp::Forward(const Matrix& x, Matrix* y) {
+  const Matrix* cur = &x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].Forward(*cur, &pre_act_[i]);
+    if (i + 1 < layers_.size()) {
+      post_act_[i] = Matrix(pre_act_[i].rows(), pre_act_[i].cols());
+      ReluForward(pre_act_[i], &post_act_[i]);
+      cur = &post_act_[i];
+    }
+  }
+  *y = pre_act_.back();
+}
+
+void Mlp::Backward(const Matrix& x, const Matrix& dy, Matrix* dx) {
+  Matrix grad = dy;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    const Matrix& input = (i == 0) ? x : post_act_[i - 1];
+    Matrix dinput;
+    bool need_dinput = (i > 0) || (dx != nullptr);
+    layers_[i].Backward(input, grad, need_dinput ? &dinput : nullptr);
+    if (i > 0) {
+      // Through the ReLU that produced post_act_[i-1] from pre_act_[i-1].
+      grad = Matrix(dinput.rows(), dinput.cols());
+      ReluBackward(pre_act_[i - 1], dinput, &grad);
+    } else if (dx != nullptr) {
+      *dx = std::move(dinput);
+    }
+  }
+}
+
+std::vector<Parameter*> Mlp::Params() {
+  std::vector<Parameter*> out;
+  for (Linear& l : layers_) {
+    out.push_back(l.weight());
+    out.push_back(l.bias());
+  }
+  return out;
+}
+
+}  // namespace openbg::nn

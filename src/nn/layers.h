@@ -1,0 +1,94 @@
+#ifndef OPENBG_NN_LAYERS_H_
+#define OPENBG_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/kernels.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace openbg::nn {
+
+/// Fully connected layer Y = X W + b with explicit forward/backward.
+/// Gradients accumulate into the parameters; input caching is the caller's
+/// responsibility via the `x` argument to Backward.
+class Linear {
+ public:
+  Linear(std::string name, size_t in_dim, size_t out_dim, util::Rng* rng);
+
+  /// Y [n×out] = X [n×in] W + b.
+  void Forward(const Matrix& x, Matrix* y) const;
+
+  /// Given dY and the forward input X, accumulates dW/db and writes dX
+  /// (pass nullptr to skip input-gradient computation at the first layer).
+  void Backward(const Matrix& x, const Matrix& dy, Matrix* dx);
+
+  size_t in_dim() const { return w_.value.rows(); }
+  size_t out_dim() const { return w_.value.cols(); }
+
+  Parameter* weight() { return &w_; }
+  Parameter* bias() { return &b_; }
+  std::vector<Parameter*> Params() { return {&w_, &b_}; }
+
+ private:
+  Parameter w_;  // in×out
+  Parameter b_;  // 1×out
+};
+
+/// Mean-pooled bag-of-features embedding: each example is a variable-length
+/// list of feature ids; output is the mean of their embedding rows. This is
+/// the "hashed n-gram encoder" front end standing in for the BERT/mPLUG
+/// token encoders (see DESIGN.md substitutions).
+class EmbeddingBag {
+ public:
+  EmbeddingBag(std::string name, size_t vocab_size, size_t dim,
+               util::Rng* rng);
+
+  /// out [n×dim]: row i is the mean embedding of features[i] (zero row for
+  /// an empty bag).
+  void Forward(const std::vector<std::vector<uint32_t>>& features,
+               Matrix* out) const;
+
+  /// Scatters dOut back into the embedding grad.
+  void Backward(const std::vector<std::vector<uint32_t>>& features,
+                const Matrix& dout);
+
+  size_t dim() const { return table_.value.cols(); }
+  size_t vocab_size() const { return table_.value.rows(); }
+
+  Parameter* table() { return &table_; }
+  const Parameter* table() const { return &table_; }
+  std::vector<Parameter*> Params() { return {&table_}; }
+
+ private:
+  Parameter table_;  // vocab×dim
+};
+
+/// A small MLP: Linear -> ReLU -> ... -> Linear, the classifier /
+/// projection head used across pretrain tasks. Holds its own activations
+/// between Forward and Backward (single in-flight batch).
+class Mlp {
+ public:
+  /// dims = {in, hidden..., out}. At least one linear layer.
+  Mlp(std::string name, const std::vector<size_t>& dims, util::Rng* rng);
+
+  void Forward(const Matrix& x, Matrix* y);
+
+  /// Backward through the whole stack; writes dX if dx != nullptr.
+  /// Must follow a Forward with the same `x`.
+  void Backward(const Matrix& x, const Matrix& dy, Matrix* dx);
+
+  std::vector<Parameter*> Params();
+
+ private:
+  std::vector<Linear> layers_;
+  // Cached pre-activation inputs/outputs per layer from the last Forward.
+  std::vector<Matrix> pre_act_;   // output of linear i
+  std::vector<Matrix> post_act_;  // relu(pre_act_) for non-final layers
+};
+
+}  // namespace openbg::nn
+
+#endif  // OPENBG_NN_LAYERS_H_

@@ -1,0 +1,98 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernels.h"
+#include "util/logging.h"
+
+namespace openbg::nn {
+
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<uint32_t>& labels,
+                           Matrix* dlogits) {
+  const size_t n = logits.rows();
+  OPENBG_CHECK(labels.size() == n);
+  *dlogits = logits;
+  SoftmaxRows(dlogits);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t y = labels[i];
+    OPENBG_CHECK(y < logits.cols());
+    float* row = dlogits->Row(i);
+    loss -= std::log(std::max(row[y], 1e-12f));
+    row[y] -= 1.0f;
+    for (size_t c = 0; c < logits.cols(); ++c) row[c] *= inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+double BinaryLogistic(const Matrix& scores,
+                      const std::vector<uint8_t>& labels, Matrix* dscores) {
+  const size_t n = scores.rows();
+  OPENBG_CHECK(scores.cols() == 1 && labels.size() == n);
+  *dscores = Matrix(n, 1);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    float s = scores(i, 0);
+    float p = 1.0f / (1.0f + std::exp(-s));
+    float y = labels[i] ? 1.0f : 0.0f;
+    loss -= y * std::log(std::max(p, 1e-12f)) +
+            (1.0f - y) * std::log(std::max(1.0f - p, 1e-12f));
+    (*dscores)(i, 0) = (p - y) * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+double MarginRanking(const std::vector<float>& pos_scores,
+                     const std::vector<float>& neg_scores, float margin,
+                     std::vector<float>* dpos, std::vector<float>* dneg) {
+  const size_t n = pos_scores.size();
+  OPENBG_CHECK(neg_scores.size() == n && n > 0);
+  dpos->assign(n, 0.0f);
+  dneg->assign(n, 0.0f);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    float h = margin + pos_scores[i] - neg_scores[i];
+    if (h > 0.0f) {
+      loss += h;
+      (*dpos)[i] = inv_n;
+      (*dneg)[i] = -inv_n;
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+double PointwiseLogistic(const std::vector<float>& scores,
+                         const std::vector<int8_t>& labels,
+                         std::vector<float>* dscores) {
+  const size_t n = scores.size();
+  OPENBG_CHECK(labels.size() == n && n > 0);
+  dscores->assign(n, 0.0f);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    float x = -static_cast<float>(labels[i]) * scores[i];
+    // softplus(x) with overflow guard.
+    float sp = x > 20.0f ? x : std::log1p(std::exp(x));
+    loss += sp;
+    float sig = 1.0f / (1.0f + std::exp(-x));
+    (*dscores)[i] = -static_cast<float>(labels[i]) * sig * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+std::vector<uint32_t> ArgmaxRows(const Matrix& m) {
+  std::vector<uint32_t> out(m.rows());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.Row(r);
+    out[r] = static_cast<uint32_t>(
+        std::max_element(row, row + m.cols()) - row);
+  }
+  return out;
+}
+
+}  // namespace openbg::nn

@@ -1,0 +1,43 @@
+#ifndef OPENBG_NN_LOSS_H_
+#define OPENBG_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace openbg::nn {
+
+/// Mean softmax cross-entropy over rows of `logits` [n×c] with integer
+/// `labels` (size n). Writes dLogits (same shape, already divided by n) and
+/// returns the mean loss.
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<uint32_t>& labels,
+                           Matrix* dlogits);
+
+/// Mean binary logistic loss over `scores` [n×1] with {0,1} `labels`.
+/// Writes dScores and returns the mean loss.
+double BinaryLogistic(const Matrix& scores,
+                      const std::vector<uint8_t>& labels, Matrix* dscores);
+
+/// Margin ranking loss mean(max(0, margin + pos - neg)) for distance-based
+/// KG embeddings (lower score = better). Returns loss and per-pair
+/// indicator grads: dpos[i] = 1/n, dneg[i] = -1/n where the hinge is active,
+/// else 0.
+double MarginRanking(const std::vector<float>& pos_scores,
+                     const std::vector<float>& neg_scores, float margin,
+                     std::vector<float>* dpos, std::vector<float>* dneg);
+
+/// Softplus-based logistic loss for similarity-scored KG embeddings
+/// (higher score = better): mean softplus(-label * score), label ±1.
+/// Writes dscores.
+double PointwiseLogistic(const std::vector<float>& scores,
+                         const std::vector<int8_t>& labels,
+                         std::vector<float>* dscores);
+
+/// Row-wise argmax utility for accuracy computations.
+std::vector<uint32_t> ArgmaxRows(const Matrix& m);
+
+}  // namespace openbg::nn
+
+#endif  // OPENBG_NN_LOSS_H_

@@ -1,0 +1,30 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+namespace openbg::nn {
+
+void Matrix::InitXavier(util::Rng* rng) {
+  float bound = std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+  InitUniform(rng, bound);
+}
+
+void Matrix::InitNormal(util::Rng* rng, float stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+}
+
+void Matrix::InitUniform(util::Rng* rng, float bound) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng->UniformDouble(-bound, bound));
+  }
+}
+
+double Matrix::SquaredNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+}  // namespace openbg::nn

@@ -1,0 +1,81 @@
+#ifndef OPENBG_NN_MATRIX_H_
+#define OPENBG_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace openbg::nn {
+
+/// Dense row-major float32 matrix — the only tensor type in the NN substrate.
+/// Vectors are 1×n or n×1 matrices. All shape mismatches are programmer
+/// errors and CHECK-fail.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(size_t r, size_t c) {
+    OPENBG_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(size_t r, size_t c) const {
+    OPENBG_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* Row(size_t r) {
+    OPENBG_CHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    OPENBG_CHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  /// Reshapes in place; total element count must be preserved.
+  void Reshape(size_t rows, size_t cols) {
+    OPENBG_CHECK(rows * cols == data_.size());
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  /// Xavier/Glorot uniform initialization.
+  void InitXavier(util::Rng* rng);
+
+  /// Gaussian initialization with the given stddev.
+  void InitNormal(util::Rng* rng, float stddev);
+
+  /// Uniform initialization in [-bound, bound].
+  void InitUniform(util::Rng* rng, float bound);
+
+  /// Squared Frobenius norm.
+  double SquaredNorm() const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace openbg::nn
+
+#endif  // OPENBG_NN_MATRIX_H_

@@ -1,0 +1,102 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace openbg::nn {
+
+void SgdOptimizer::Step() {
+  for (Parameter* p : params_) {
+    float* v = p->value.data();
+    float* g = p->grad.data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float grad = g[i] + weight_decay_ * v[i];
+      v[i] -= lr_ * grad;
+    }
+    p->ZeroGrad();
+  }
+}
+
+AdaGradOptimizer::AdaGradOptimizer(std::vector<Parameter*> params, float lr,
+                                   float epsilon)
+    : Optimizer(std::move(params)), lr_(lr), epsilon_(epsilon) {
+  accum_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    accum_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void AdaGradOptimizer::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    float* v = p->value.data();
+    float* g = p->grad.data();
+    float* a = accum_[k].data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      a[i] += g[i] * g[i];
+      v[i] -= lr_ * g[i] / (std::sqrt(a[i]) + epsilon_);
+    }
+    p->ZeroGrad();
+  }
+}
+
+AdamWOptimizer::AdamWOptimizer(std::vector<Parameter*> params, float lr,
+                               float beta1, float beta2, float epsilon,
+                               float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void AdamWOptimizer::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    float* val = p->value.data();
+    float* g = p->grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      float mhat = m[i] / bias1;
+      float vhat = v[i] / bias2;
+      // Decoupled weight decay (AdamW).
+      val[i] -= lr_ * (mhat / (std::sqrt(vhat) + epsilon_) +
+                       weight_decay_ * val[i]);
+    }
+    p->ZeroGrad();
+  }
+}
+
+LinearWarmupSchedule::LinearWarmupSchedule(float base_lr, int64_t total_steps,
+                                           float warmup_fraction)
+    : base_lr_(base_lr),
+      total_steps_(total_steps),
+      warmup_steps_(static_cast<int64_t>(
+          warmup_fraction * static_cast<float>(total_steps))) {
+  if (warmup_steps_ < 1) warmup_steps_ = 1;
+}
+
+float LinearWarmupSchedule::LrAt(int64_t t) const {
+  if (t < warmup_steps_) {
+    return base_lr_ * static_cast<float>(t + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (t >= total_steps_) return 0.0f;
+  float frac = static_cast<float>(total_steps_ - t) /
+               static_cast<float>(total_steps_ - warmup_steps_);
+  return base_lr_ * frac;
+}
+
+}  // namespace openbg::nn

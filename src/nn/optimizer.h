@@ -1,0 +1,121 @@
+#ifndef OPENBG_NN_OPTIMIZER_H_
+#define OPENBG_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace openbg::nn {
+
+/// A trainable tensor: value and its accumulated gradient.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, size_t rows, size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.Zero(); }
+};
+
+/// Base optimizer over a fixed parameter list. Register all parameters once,
+/// then alternate {zero-grad, backward, Step()}. The three concrete
+/// optimizers are the ones the paper's training setups use: SGD and AdaGrad
+/// for the KG-embedding baselines, AdamW for pre-training/fine-tuning.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients and clears them.
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->ZeroGrad();
+  }
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<Parameter*> params, float lr,
+               float weight_decay = 0.0f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// AdaGrad: per-coordinate adaptive step, the optimizer of the original
+/// TransE recipe.
+class AdaGradOptimizer : public Optimizer {
+ public:
+  AdaGradOptimizer(std::vector<Parameter*> params, float lr,
+                   float epsilon = 1e-8f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float epsilon_;
+  std::vector<Matrix> accum_;  // running sum of squared grads
+};
+
+/// AdamW (decoupled weight decay), used by the pre-training stack
+/// (the paper trains mPLUG with AdamW, weight_decay 0.02, warmup 0.1).
+class AdamWOptimizer : public Optimizer {
+ public:
+  AdamWOptimizer(std::vector<Parameter*> params, float lr,
+                 float beta1 = 0.9f, float beta2 = 0.999f,
+                 float epsilon = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, epsilon_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+/// Linear warmup followed by linear decay to zero — the paper's LR schedule.
+class LinearWarmupSchedule {
+ public:
+  /// `warmup_fraction` of `total_steps` ramps 0 -> base_lr, then linear
+  /// decay to 0 at total_steps.
+  LinearWarmupSchedule(float base_lr, int64_t total_steps,
+                       float warmup_fraction);
+
+  /// LR for step `t` (0-based).
+  float LrAt(int64_t t) const;
+
+ private:
+  float base_lr_;
+  int64_t total_steps_;
+  int64_t warmup_steps_;
+};
+
+}  // namespace openbg::nn
+
+#endif  // OPENBG_NN_OPTIMIZER_H_

@@ -1,0 +1,150 @@
+#include "ontology/ontology.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace openbg::ontology {
+
+using rdf::TermId;
+
+bool IsClassKind(CoreKind kind) {
+  switch (kind) {
+    case CoreKind::kCategory:
+    case CoreKind::kBrand:
+    case CoreKind::kPlace:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view CoreKindName(CoreKind kind) {
+  switch (kind) {
+    case CoreKind::kCategory:
+      return "Category";
+    case CoreKind::kBrand:
+      return "Brand";
+    case CoreKind::kPlace:
+      return "Place";
+    case CoreKind::kTime:
+      return "Time";
+    case CoreKind::kScene:
+      return "Scene";
+    case CoreKind::kTheme:
+      return "Theme";
+    case CoreKind::kCrowd:
+      return "Crowd";
+    case CoreKind::kMarketSegment:
+      return "Market_Segment";
+  }
+  return "?";
+}
+
+Ontology::Ontology(rdf::Graph* graph, size_t num_in_market_relations)
+    : graph_(graph) {
+  OPENBG_CHECK(graph != nullptr);
+  auto& dict = graph_->dict;
+  auto& store = graph_->store;
+  const auto& v = graph_->vocab;
+
+  // Core classes/concepts, anchored to owl:Thing / skos:Concept.
+  for (CoreKind kind : kAllCoreKinds) {
+    std::string iri = std::string(rdf::iri::kOpenBgNs) + "class/" +
+                      std::string(CoreKindName(kind));
+    TermId term = dict.AddIri(iri);
+    core_terms_[static_cast<size_t>(kind)] = term;
+    if (IsClassKind(kind)) {
+      store.Add(term, v.rdfs_sub_class_of, v.owl_thing);
+    } else {
+      store.Add(term, v.skos_broader, v.skos_concept);
+    }
+    store.Add(term, v.rdfs_label, dict.AddLiteral(CoreKindName(kind)));
+  }
+
+  // Object properties of Fig. 2 with domain/range.
+  brand_is_ = DefineObjectProperty("brandIs", CoreKind::kCategory,
+                                   CoreKind::kBrand);
+  place_of_origin_ = DefineObjectProperty("placeOfOrigin",
+                                          CoreKind::kCategory,
+                                          CoreKind::kPlace);
+  applied_time_ = DefineObjectProperty("appliedTime", CoreKind::kCategory,
+                                       CoreKind::kTime);
+  related_scene_ = DefineObjectProperty("relatedScene", CoreKind::kCategory,
+                                        CoreKind::kScene);
+  about_theme_ = DefineObjectProperty("aboutTheme", CoreKind::kCategory,
+                                      CoreKind::kTheme);
+  for_crowd_ = DefineObjectProperty("forCrowd", CoreKind::kCategory,
+                                    CoreKind::kCrowd);
+  OPENBG_CHECK(num_in_market_relations >= 1);
+  for (size_t i = 0; i < num_in_market_relations; ++i) {
+    in_market_.push_back(
+        DefineObjectProperty(util::StrFormat("inMarket_%zu", i),
+                             CoreKind::kCategory, CoreKind::kMarketSegment));
+  }
+
+  // Data properties (the non-W3C ones of Table I).
+  label_en_ = dict.AddIri(std::string(rdf::iri::kOpenBgNs) + "prop/labelEn");
+  image_is_ = dict.AddIri(std::string(rdf::iri::kOpenBgNs) + "prop/imageIs");
+}
+
+TermId Ontology::TaxonomyProperty(CoreKind kind) const {
+  return IsClassKind(kind) ? graph_->vocab.rdfs_sub_class_of
+                           : graph_->vocab.skos_broader;
+}
+
+TermId Ontology::ObjectPropertyFor(CoreKind kind) const {
+  switch (kind) {
+    case CoreKind::kBrand:
+      return brand_is_;
+    case CoreKind::kPlace:
+      return place_of_origin_;
+    case CoreKind::kTime:
+      return applied_time_;
+    case CoreKind::kScene:
+      return related_scene_;
+    case CoreKind::kTheme:
+      return about_theme_;
+    case CoreKind::kCrowd:
+      return for_crowd_;
+    case CoreKind::kMarketSegment:
+      return in_market_.front();
+    case CoreKind::kCategory:
+      break;
+  }
+  OPENBG_CHECK(false) << "no object property targets Category";
+  return rdf::kInvalidTerm;
+}
+
+TermId Ontology::AddAttributeProperty(std::string_view name) {
+  std::string iri =
+      std::string(rdf::iri::kOpenBgNs) + "attr/" + std::string(name);
+  TermId existing = graph_->dict.FindIri(iri);
+  if (existing != rdf::kInvalidTerm) return existing;
+  TermId id = graph_->dict.AddIri(iri);
+  attribute_properties_.push_back(id);
+  return id;
+}
+
+const ObjectPropertySpec* Ontology::FindObjectProperty(
+    TermId property) const {
+  for (const auto& spec : object_properties_) {
+    if (spec.property == property) return &spec;
+  }
+  return nullptr;
+}
+
+TermId Ontology::DefineObjectProperty(std::string_view name, CoreKind domain,
+                                      CoreKind range) {
+  auto& dict = graph_->dict;
+  auto& store = graph_->store;
+  TermId prop =
+      dict.AddIri(std::string(rdf::iri::kOpenBgNs) + "rel/" +
+                  std::string(name));
+  store.Add(prop, graph_->vocab.rdfs_domain, CoreTerm(domain));
+  store.Add(prop, graph_->vocab.rdfs_range, CoreTerm(range));
+  object_properties_.push_back(
+      {prop, std::string(name), domain, range});
+  return prop;
+}
+
+}  // namespace openbg::ontology

@@ -1,0 +1,127 @@
+#ifndef OPENBG_ONTOLOGY_ONTOLOGY_H_
+#define OPENBG_ONTOLOGY_ONTOLOGY_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace openbg::ontology {
+
+/// The eight core classes/concepts of the OpenBG ontology (Fig. 2):
+/// three rich-semantic *classes* (subclasses of owl:Thing) and five
+/// simple-semantic *concepts* (SKOS concepts bridging user needs and
+/// products).
+enum class CoreKind : uint8_t {
+  kCategory = 0,
+  kBrand,
+  kPlace,
+  kTime,
+  kScene,
+  kTheme,
+  kCrowd,
+  kMarketSegment,
+};
+
+inline constexpr std::array<CoreKind, 8> kAllCoreKinds = {
+    CoreKind::kCategory, CoreKind::kBrand,  CoreKind::kPlace,
+    CoreKind::kTime,     CoreKind::kScene,  CoreKind::kTheme,
+    CoreKind::kCrowd,    CoreKind::kMarketSegment};
+
+/// True for Category/Brand/Place (owl classes), false for the five concepts.
+bool IsClassKind(CoreKind kind);
+
+/// English name used in IRIs and reports ("Category", "Market_Segment", ...).
+std::string_view CoreKindName(CoreKind kind);
+
+/// An object property of the core ontology with its domain/range constraint
+/// (Sec. II-A: "object properties ... constrain the type of head entity
+/// (domain) and tail entity (range)").
+struct ObjectPropertySpec {
+  rdf::TermId property = rdf::kInvalidTerm;
+  std::string name;
+  CoreKind domain;
+  CoreKind range;
+};
+
+/// The formalized OpenBG core ontology over a Graph. Construction interns:
+///  * the 8 core class/concept nodes, linked to owl:Thing / skos:Concept;
+///  * the paper's object properties (brandIs, placeOfOrigin, appliedTime,
+///    relatedScene, aboutTheme, forCrowd, and a configurable inMarket*
+///    family) with rdfs:domain / rdfs:range triples;
+///  * data properties (labelEn, imageIs, hasAttribute base).
+///
+/// This mirrors "formalize OpenBG ontology with Jena ontology API".
+class Ontology {
+ public:
+  /// Builds the core schema into `graph`. `num_in_market_relations` controls
+  /// the size of the inMarket* relation family (the paper's 2,681 relation
+  /// types are dominated by this expansion).
+  Ontology(rdf::Graph* graph, size_t num_in_market_relations = 8);
+
+  Ontology(const Ontology&) = delete;
+  Ontology& operator=(const Ontology&) = delete;
+
+  rdf::Graph* graph() const { return graph_; }
+
+  /// Ontology node for a core kind (e.g., the Category class term).
+  rdf::TermId CoreTerm(CoreKind kind) const {
+    return core_terms_[static_cast<size_t>(kind)];
+  }
+
+  /// The taxonomy meta-property appropriate for `kind`:
+  /// rdfs:subClassOf for classes, skos:broader for concepts.
+  rdf::TermId TaxonomyProperty(CoreKind kind) const;
+
+  // Named object properties of Fig. 2.
+  rdf::TermId brand_is() const { return brand_is_; }
+  rdf::TermId place_of_origin() const { return place_of_origin_; }
+  rdf::TermId applied_time() const { return applied_time_; }
+  rdf::TermId related_scene() const { return related_scene_; }
+  rdf::TermId about_theme() const { return about_theme_; }
+  rdf::TermId for_crowd() const { return for_crowd_; }
+  const std::vector<rdf::TermId>& in_market() const { return in_market_; }
+
+  /// The object property linking products to `kind`
+  /// (for Market Segment, the first inMarket* relation).
+  rdf::TermId ObjectPropertyFor(CoreKind kind) const;
+
+  // Data properties beyond the W3C set.
+  rdf::TermId label_en() const { return label_en_; }
+  rdf::TermId image_is() const { return image_is_; }
+
+  /// Interns (and remembers) a product attribute data property such as
+  /// "weight"; idempotent.
+  rdf::TermId AddAttributeProperty(std::string_view name);
+  const std::vector<rdf::TermId>& attribute_properties() const {
+    return attribute_properties_;
+  }
+
+  /// All object property specs (for validation and schema dumps).
+  const std::vector<ObjectPropertySpec>& object_properties() const {
+    return object_properties_;
+  }
+
+  /// The domain/range spec for `property`, or nullptr if it is not a core
+  /// object property.
+  const ObjectPropertySpec* FindObjectProperty(rdf::TermId property) const;
+
+ private:
+  rdf::TermId DefineObjectProperty(std::string_view name, CoreKind domain,
+                                   CoreKind range);
+
+  rdf::Graph* graph_;
+  std::array<rdf::TermId, 8> core_terms_;
+  std::vector<ObjectPropertySpec> object_properties_;
+  rdf::TermId brand_is_, place_of_origin_, applied_time_, related_scene_,
+      about_theme_, for_crowd_;
+  std::vector<rdf::TermId> in_market_;
+  rdf::TermId label_en_, image_is_;
+  std::vector<rdf::TermId> attribute_properties_;
+};
+
+}  // namespace openbg::ontology
+
+#endif  // OPENBG_ONTOLOGY_ONTOLOGY_H_

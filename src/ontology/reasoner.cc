@@ -1,0 +1,161 @@
+#include "ontology/reasoner.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace openbg::ontology {
+
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+
+Reasoner::Reasoner(const rdf::Graph* graph, const Ontology* ontology)
+    : graph_(graph), ontology_(ontology) {
+  OPENBG_CHECK(graph != nullptr);
+  OPENBG_CHECK(ontology != nullptr);
+}
+
+std::vector<TermId> Reasoner::Ancestors(TermId cls) const {
+  auto it = ancestors_cache_.find(cls);
+  if (it != ancestors_cache_.end()) return it->second;
+  const auto& v = graph_->vocab;
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen;
+  std::deque<TermId> queue{cls};
+  seen.insert(cls);
+  while (!queue.empty()) {
+    TermId cur = queue.front();
+    queue.pop_front();
+    out.push_back(cur);
+    for (TermId prop : {v.rdfs_sub_class_of, v.skos_broader}) {
+      for (TermId parent : graph_->store.Objects(cur, prop)) {
+        if (seen.insert(parent).second) queue.push_back(parent);
+      }
+    }
+  }
+  ancestors_cache_.emplace(cls, out);
+  return out;
+}
+
+bool Reasoner::IsSubClassOf(TermId cls, TermId ancestor) const {
+  std::vector<TermId> anc = Ancestors(cls);
+  return std::find(anc.begin(), anc.end(), ancestor) != anc.end();
+}
+
+bool Reasoner::IsInstanceOf(TermId instance, TermId cls) const {
+  for (TermId t :
+       graph_->store.Objects(instance, graph_->vocab.rdf_type)) {
+    if (IsSubClassOf(t, cls)) return true;
+  }
+  return false;
+}
+
+void Reasoner::EnsureEquivalence() const {
+  if (equivalence_built_) return;
+  // Union-find over owl:equivalentClass edges; smaller TermId wins as root
+  // so canonical representatives are deterministic.
+  std::function<TermId(TermId)> find = [&](TermId x) -> TermId {
+    auto it = uf_parent_.find(x);
+    if (it == uf_parent_.end() || it->second == x) return x;
+    TermId root = find(it->second);
+    uf_parent_[x] = root;
+    return root;
+  };
+  graph_->store.ForEachMatch(
+      TriplePattern{TriplePattern::kAny, graph_->vocab.owl_equivalent_class,
+                    TriplePattern::kAny},
+      [&](const Triple& t) {
+        TermId a = find(t.s), b = find(t.o);
+        if (a != b) {
+          if (a > b) std::swap(a, b);
+          uf_parent_[b] = a;
+          uf_parent_.try_emplace(a, a);
+        }
+        return true;
+      });
+  equivalence_built_ = true;
+}
+
+TermId Reasoner::CanonicalEquivalent(TermId term) const {
+  EnsureEquivalence();
+  TermId cur = term;
+  while (true) {
+    auto it = uf_parent_.find(cur);
+    if (it == uf_parent_.end() || it->second == cur) return cur;
+    cur = it->second;
+  }
+}
+
+std::vector<Violation> Reasoner::ValidateObjectProperties() const {
+  std::vector<Violation> violations;
+  const auto& dict = graph_->dict;
+  for (const ObjectPropertySpec& spec : ontology_->object_properties()) {
+    TermId domain_cls = ontology_->CoreTerm(spec.domain);
+    TermId range_cls = ontology_->CoreTerm(spec.range);
+    graph_->store.ForEachMatch(
+        TriplePattern{TriplePattern::kAny, spec.property,
+                      TriplePattern::kAny},
+        [&](const Triple& t) {
+          // Literal objects on object properties are always violations.
+          if (dict.IsLiteral(t.o)) {
+            violations.push_back(
+                {t, spec.name + ": object is a literal, expected " +
+                        std::string(CoreKindName(spec.range))});
+            return true;
+          }
+          // Domain: subject must be an instance (or subclass) of the domain.
+          if (!IsInstanceOf(t.s, domain_cls) &&
+              !IsSubClassOf(t.s, domain_cls)) {
+            violations.push_back(
+                {t, spec.name + ": subject outside domain " +
+                        std::string(CoreKindName(spec.domain))});
+          }
+          if (!IsInstanceOf(t.o, range_cls) && !IsSubClassOf(t.o, range_cls)) {
+            violations.push_back(
+                {t, spec.name + ": object outside range " +
+                        std::string(CoreKindName(spec.range))});
+          }
+          return true;
+        });
+  }
+  return violations;
+}
+
+std::vector<TermId> Reasoner::FindOrphanClasses() const {
+  // A class/concept node is any subject of subClassOf/broader or any object
+  // of rdf:type. It is an orphan if its ancestor closure reaches neither
+  // owl:Thing nor skos:Concept.
+  const auto& v = graph_->vocab;
+  std::unordered_set<TermId> classes;
+  for (TermId prop : {v.rdfs_sub_class_of, v.skos_broader}) {
+    graph_->store.ForEachMatch(
+        TriplePattern{TriplePattern::kAny, prop, TriplePattern::kAny},
+        [&](const Triple& t) {
+          classes.insert(t.s);
+          return true;
+        });
+  }
+  graph_->store.ForEachMatch(
+      TriplePattern{TriplePattern::kAny, v.rdf_type, TriplePattern::kAny},
+      [&](const Triple& t) {
+        classes.insert(t.o);
+        return true;
+      });
+  std::vector<TermId> orphans;
+  for (TermId c : classes) {
+    std::vector<TermId> anc = Ancestors(c);
+    bool anchored = std::find(anc.begin(), anc.end(), v.owl_thing) !=
+                        anc.end() ||
+                    std::find(anc.begin(), anc.end(), v.skos_concept) !=
+                        anc.end();
+    if (!anchored) orphans.push_back(c);
+  }
+  std::sort(orphans.begin(), orphans.end());
+  return orphans;
+}
+
+}  // namespace openbg::ontology

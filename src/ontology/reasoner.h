@@ -1,0 +1,75 @@
+#ifndef OPENBG_ONTOLOGY_REASONER_H_
+#define OPENBG_ONTOLOGY_REASONER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "rdf/graph.h"
+
+namespace openbg::ontology {
+
+/// A domain/range violation found during validation.
+struct Violation {
+  rdf::Triple triple;
+  std::string reason;
+};
+
+/// Lightweight RDFS/SKOS reasoner over a populated graph. Provides exactly
+/// the inference the OpenBG construction pipeline needs:
+///  * transitive closure of rdfs:subClassOf / skos:broader;
+///  * instance typing through rdf:type plus taxonomy closure;
+///  * owl:equivalentClass resolution via union-find (the paper's synonymy
+///    axiom: <c, owl:equivalentClass, x>);
+///  * domain/range validation of object-property assertions, catching the
+///    "deficient structure" issues the paper motivates (e.g. "China" used
+///    both as a Place instance and as an attribute value).
+class Reasoner {
+ public:
+  Reasoner(const rdf::Graph* graph, const Ontology* ontology);
+
+  /// True iff `cls` reaches `ancestor` via subClassOf/broader chains
+  /// (reflexive). Computed lazily with memoization.
+  bool IsSubClassOf(rdf::TermId cls, rdf::TermId ancestor) const;
+
+  /// All ancestors of `cls` including itself, following both taxonomy
+  /// properties.
+  std::vector<rdf::TermId> Ancestors(rdf::TermId cls) const;
+
+  /// True iff `instance` has rdf:type some class c with
+  /// IsSubClassOf(c, cls) — instance typing through the closure.
+  bool IsInstanceOf(rdf::TermId instance, rdf::TermId cls) const;
+
+  /// Canonical representative of the owl:equivalentClass equivalence class
+  /// containing `term` (term itself if it has no equivalents).
+  rdf::TermId CanonicalEquivalent(rdf::TermId term) const;
+
+  /// Checks every assertion whose predicate is a core object property
+  /// against its domain/range spec; returns all violations.
+  std::vector<Violation> ValidateObjectProperties() const;
+
+  /// Infers and adds missing taxonomy links: for every instance typed to a
+  /// class whose taxonomy parent exists, nothing is added (types are not
+  /// propagated into the store, only answered via IsInstanceOf) — but any
+  /// class with neither a subClassOf nor broader link to the ontology is
+  /// reported. Returns orphan classes (the "Make Sushi not linked to
+  /// Cooking" completeness defect).
+  std::vector<rdf::TermId> FindOrphanClasses() const;
+
+ private:
+  void EnsureEquivalence() const;
+
+  const rdf::Graph* graph_;
+  const Ontology* ontology_;
+
+  mutable std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>
+      ancestors_cache_;
+  mutable std::unordered_map<rdf::TermId, rdf::TermId> uf_parent_;
+  mutable bool equivalence_built_ = false;
+};
+
+}  // namespace openbg::ontology
+
+#endif  // OPENBG_ONTOLOGY_REASONER_H_

@@ -1,0 +1,165 @@
+#include "ontology/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ontology/taxonomy.h"
+#include "util/string_util.h"
+
+namespace openbg::ontology {
+
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+
+KgStats ComputeKgStats(const rdf::Graph& graph, const Ontology& ontology) {
+  KgStats stats;
+  const auto& store = graph.store;
+  const auto& v = graph.vocab;
+
+  stats.num_triples = store.size();
+  stats.num_relation_types = store.DistinctPredicates().size();
+
+  // Taxonomies per core kind.
+  for (CoreKind kind : kAllCoreKinds) {
+    Taxonomy tax(store, ontology.CoreTerm(kind),
+                 ontology.TaxonomyProperty(kind));
+    TaxonomyStats ts;
+    ts.kind = kind;
+    ts.level_counts = tax.LevelCounts();
+    ts.total = tax.size();
+    ts.leaves = tax.Leaves().size();
+    stats.taxonomies.push_back(ts);
+    if (IsClassKind(kind)) {
+      stats.num_core_classes += ts.total;
+    } else {
+      stats.num_core_concepts += ts.total;
+    }
+  }
+
+  // Products: distinct subjects of rdf:type whose type is in the Category
+  // taxonomy. Entities: distinct rdf:type subjects overall.
+  Taxonomy cat_tax(store, ontology.CoreTerm(CoreKind::kCategory),
+                   ontology.TaxonomyProperty(CoreKind::kCategory));
+  std::unordered_set<TermId> products, entities;
+  store.ForEachMatch(
+      TriplePattern{TriplePattern::kAny, v.rdf_type, TriplePattern::kAny},
+      [&](const Triple& t) {
+        entities.insert(t.s);
+        if (cat_tax.Depth(t.o) >= 0) products.insert(t.s);
+        return true;
+      });
+  stats.num_products = products.size();
+  stats.num_entities = entities.size();
+
+  for (const ObjectPropertySpec& spec : ontology.object_properties()) {
+    size_t n = store.CountMatches(
+        TriplePattern{TriplePattern::kAny, spec.property,
+                      TriplePattern::kAny});
+    // Fold the inMarket_* family into one row as the paper does (inMarket*).
+    std::string name = util::StartsWith(spec.name, "inMarket")
+                           ? std::string("inMarket*")
+                           : spec.name;
+    // Skip the domain/range schema triples themselves (counted via meta).
+    stats.object_property_counts[name] += n;
+  }
+
+  auto count_p = [&store](TermId p) {
+    return store.CountMatches(
+        TriplePattern{TriplePattern::kAny, p, TriplePattern::kAny});
+  };
+  stats.data_property_counts["rdfs:label"] = count_p(v.rdfs_label);
+  stats.data_property_counts["labelEn"] = count_p(ontology.label_en());
+  stats.data_property_counts["skos:prefLabel"] = count_p(v.skos_pref_label);
+  stats.data_property_counts["skos:altLabel"] = count_p(v.skos_alt_label);
+  stats.data_property_counts["rdfs:comment"] = count_p(v.rdfs_comment);
+  stats.data_property_counts["imageIs"] = count_p(ontology.image_is());
+  size_t attr = 0;
+  for (TermId p : ontology.attribute_properties()) attr += count_p(p);
+  stats.data_property_counts["product attributes"] = attr;
+
+  stats.meta_property_counts["rdfs:subClassOf"] = count_p(v.rdfs_sub_class_of);
+  stats.meta_property_counts["skos:broader"] = count_p(v.skos_broader);
+  stats.meta_property_counts["rdf:type"] = count_p(v.rdf_type);
+  stats.meta_property_counts["owl:equivalentClass"] =
+      count_p(v.owl_equivalent_class);
+  stats.meta_property_counts["rdfs:subPropertyOf"] =
+      count_p(v.rdfs_sub_property_of);
+  stats.meta_property_counts["owl:equivalentPropertyOf"] =
+      count_p(v.owl_equivalent_property);
+  return stats;
+}
+
+namespace {
+
+/// The published Table-I numbers, used for the side-by-side column.
+struct PaperRow {
+  const char* name;
+  uint64_t value;
+};
+
+constexpr PaperRow kPaperOverall[] = {
+    {"# core classes", 460805},    {"# core concepts", 670774},
+    {"# relation types", 2681},    {"# products", 3062313},
+    {"# triples", 2603046837ull},  {"# entities (rdf:type)", 88881723},
+};
+
+}  // namespace
+
+std::string FormatKgStats(const KgStats& stats, bool paper_reference) {
+  std::string out;
+  auto row = [&out, paper_reference](const std::string& name, uint64_t ours,
+                                     uint64_t paper) {
+    if (paper_reference) {
+      out += util::StrFormat("  %-28s %18s   (paper: %s)\n", name.c_str(),
+                             util::WithCommas(ours).c_str(),
+                             util::WithCommas(paper).c_str());
+    } else {
+      out += util::StrFormat("  %-28s %18s\n", name.c_str(),
+                             util::WithCommas(ours).c_str());
+    }
+  };
+  out += "Overall\n";
+  const uint64_t ours_overall[] = {
+      stats.num_core_classes, stats.num_core_concepts,
+      stats.num_relation_types, stats.num_products,
+      stats.num_triples,        stats.num_entities};
+  for (size_t i = 0; i < 6; ++i) {
+    row(kPaperOverall[i].name, ours_overall[i], kPaperOverall[i].value);
+  }
+
+  out += "\nCore Class/Concept taxonomy (per level)\n";
+  out += util::StrFormat("  %-16s %8s %8s %8s %8s %8s   %12s %10s\n", "kind",
+                         "lvl1", "lvl2", "lvl3", "lvl4", "lvl5", "all",
+                         "leaves");
+  for (const TaxonomyStats& ts : stats.taxonomies) {
+    std::string line =
+        util::StrFormat("  %-16s", std::string(CoreKindName(ts.kind)).c_str());
+    for (size_t lvl = 0; lvl < 5; ++lvl) {
+      if (lvl < ts.level_counts.size()) {
+        line += util::StrFormat(" %8zu", ts.level_counts[lvl]);
+      } else {
+        line += util::StrFormat(" %8s", "/");
+      }
+    }
+    line += util::StrFormat("   %12zu %10zu\n", ts.total, ts.leaves);
+    out += line;
+  }
+
+  auto section = [&out](const char* title,
+                        const std::map<std::string, size_t>& m) {
+    out += "\n";
+    out += title;
+    out += "\n";
+    for (const auto& [name, n] : m) {
+      out += util::StrFormat("  %-28s %18s\n", ("# " + name).c_str(),
+                             util::WithCommas(n).c_str());
+    }
+  };
+  section("Object properties", stats.object_property_counts);
+  section("Data properties", stats.data_property_counts);
+  section("Meta properties", stats.meta_property_counts);
+  return out;
+}
+
+}  // namespace openbg::ontology

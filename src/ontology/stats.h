@@ -1,0 +1,51 @@
+#ifndef OPENBG_ONTOLOGY_STATS_H_
+#define OPENBG_ONTOLOGY_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.h"
+#include "rdf/graph.h"
+
+namespace openbg::ontology {
+
+/// Per-core-kind taxonomy statistics: the middle block of Table I.
+struct TaxonomyStats {
+  CoreKind kind;
+  std::vector<size_t> level_counts;  // index 0 = level1
+  size_t total = 0;
+  size_t leaves = 0;
+};
+
+/// All numbers Table I reports for a populated OpenBG graph.
+struct KgStats {
+  size_t num_core_classes = 0;    // Category + Brand + Place nodes
+  size_t num_core_concepts = 0;   // Time + Scene + Theme + Crowd + Market_S
+  size_t num_relation_types = 0;  // distinct predicates
+  size_t num_products = 0;        // instances of categories
+  size_t num_triples = 0;
+  size_t num_entities = 0;  // rdf:type subject count (Table I/II "# Ent")
+
+  std::vector<TaxonomyStats> taxonomies;
+
+  // Object property triple counts keyed by display name.
+  std::map<std::string, size_t> object_property_counts;
+  // Data property triple counts.
+  std::map<std::string, size_t> data_property_counts;
+  // Meta property triple counts.
+  std::map<std::string, size_t> meta_property_counts;
+};
+
+/// Computes Table-I statistics from a populated graph.
+KgStats ComputeKgStats(const rdf::Graph& graph, const Ontology& ontology);
+
+/// Renders `stats` in the layout of Table I (paper column optional via
+/// `paper_reference` — when true, prints the published numbers alongside).
+std::string FormatKgStats(const KgStats& stats, bool paper_reference);
+
+}  // namespace openbg::ontology
+
+#endif  // OPENBG_ONTOLOGY_STATS_H_

@@ -1,0 +1,93 @@
+#include "ontology/taxonomy.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace openbg::ontology {
+
+using rdf::TermId;
+
+Taxonomy::Taxonomy(const rdf::TripleStore& store, TermId root,
+                   TermId property)
+    : root_(root) {
+  // BFS from the root along inverse (child, property, parent) edges.
+  std::deque<TermId> queue{root};
+  depth_[root] = 0;
+  while (!queue.empty()) {
+    TermId node = queue.front();
+    queue.pop_front();
+    for (TermId child : store.Subjects(property, node)) {
+      if (depth_.count(child) > 0) continue;  // first parent wins
+      depth_[child] = depth_[node] + 1;
+      parent_[child] = node;
+      children_[node].push_back(child);
+      nodes_.push_back(child);
+      queue.push_back(child);
+    }
+  }
+}
+
+const std::vector<TermId>& Taxonomy::Children(TermId node) const {
+  auto it = children_.find(node);
+  return it == children_.end() ? empty_ : it->second;
+}
+
+TermId Taxonomy::Parent(TermId node) const {
+  auto it = parent_.find(node);
+  return it == parent_.end() ? rdf::kInvalidTerm : it->second;
+}
+
+int Taxonomy::Depth(TermId node) const {
+  auto it = depth_.find(node);
+  return it == depth_.end() ? -1 : it->second;
+}
+
+bool Taxonomy::IsLeaf(TermId node) const {
+  return depth_.count(node) > 0 && Children(node).empty();
+}
+
+std::vector<TermId> Taxonomy::Leaves() const {
+  std::vector<TermId> out;
+  for (TermId n : nodes_) {
+    if (Children(n).empty()) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<size_t> Taxonomy::LevelCounts() const {
+  std::vector<size_t> counts;
+  for (TermId n : nodes_) {
+    int d = Depth(n);
+    OPENBG_CHECK(d >= 1);
+    if (counts.size() < static_cast<size_t>(d)) counts.resize(d, 0);
+    counts[d - 1] += 1;
+  }
+  return counts;
+}
+
+std::vector<TermId> Taxonomy::Descendants(TermId node) const {
+  std::vector<TermId> out;
+  std::vector<TermId> stack(Children(node).rbegin(), Children(node).rend());
+  while (!stack.empty()) {
+    TermId n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    const auto& ch = Children(n);
+    stack.insert(stack.end(), ch.rbegin(), ch.rend());
+  }
+  return out;
+}
+
+bool Taxonomy::IsAncestorOrSelf(TermId ancestor, TermId node) const {
+  TermId cur = node;
+  while (cur != rdf::kInvalidTerm) {
+    if (cur == ancestor) return true;
+    if (cur == root_) return false;
+    cur = Parent(cur);
+  }
+  return false;
+}
+
+}  // namespace openbg::ontology

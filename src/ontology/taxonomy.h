@@ -1,0 +1,69 @@
+#ifndef OPENBG_ONTOLOGY_TAXONOMY_H_
+#define OPENBG_ONTOLOGY_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace openbg::ontology {
+
+/// A rooted tree view over one taxonomy relation (rdfs:subClassOf for
+/// classes, skos:broader for concepts), materialized from the triple store.
+/// Supplies the per-level statistics of Table I and the leaf sets used for
+/// product instantiation (products attach to *leaf* categories).
+class Taxonomy {
+ public:
+  /// Builds the tree of all nodes reachable below `root` via triples
+  /// (child, property, parent). Nodes linking to multiple parents keep the
+  /// first parent encountered (the store is deduplicated and insertion-
+  /// ordered, so this is deterministic).
+  Taxonomy(const rdf::TripleStore& store, rdf::TermId root,
+           rdf::TermId property);
+
+  rdf::TermId root() const { return root_; }
+
+  /// Direct children of `node` (empty for leaves and unknown nodes).
+  const std::vector<rdf::TermId>& Children(rdf::TermId node) const;
+
+  /// Parent of `node`, or kInvalidTerm for the root / unknown nodes.
+  rdf::TermId Parent(rdf::TermId node) const;
+
+  /// Depth of `node`: root is 0, its children 1 ("level1" in Table I), etc.
+  /// Returns -1 for nodes outside the tree.
+  int Depth(rdf::TermId node) const;
+
+  /// True iff `node` is in the tree and has no children.
+  bool IsLeaf(rdf::TermId node) const;
+
+  /// All nodes except the root, i.e. the taxonomy's classes/concepts.
+  const std::vector<rdf::TermId>& Nodes() const { return nodes_; }
+
+  /// All leaves (excluding the root even if childless).
+  std::vector<rdf::TermId> Leaves() const;
+
+  /// Node counts per level: index 0 => level1 (depth-1 nodes), etc.
+  std::vector<size_t> LevelCounts() const;
+
+  /// All descendants of `node` (excluding itself), pre-order.
+  std::vector<rdf::TermId> Descendants(rdf::TermId node) const;
+
+  /// True iff `ancestor` is on the parent chain of `node` (or equal to it).
+  bool IsAncestorOrSelf(rdf::TermId ancestor, rdf::TermId node) const;
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  rdf::TermId root_;
+  std::vector<rdf::TermId> nodes_;
+  std::unordered_map<rdf::TermId, rdf::TermId> parent_;
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> children_;
+  std::unordered_map<rdf::TermId, int> depth_;
+  std::vector<rdf::TermId> empty_;
+};
+
+}  // namespace openbg::ontology
+
+#endif  // OPENBG_ONTOLOGY_TAXONOMY_H_

@@ -1,0 +1,284 @@
+#include "pretrain/encoder.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace openbg::pretrain {
+
+EncoderConfig BaselineLmConfig() {
+  EncoderConfig c;
+  c.name = "baseline_lm_large";
+  c.dim = 64;  // the paper's baselines are *large* general-domain LMs
+  c.pretrained = false;
+  c.use_kg = false;
+  return c;
+}
+
+EncoderConfig MplugBaseConfig() {
+  EncoderConfig c;
+  c.name = "mplug_base";
+  c.dim = 32;
+  c.pretrained = true;
+  c.use_kg = false;
+  return c;
+}
+
+EncoderConfig MplugBaseKgConfig() {
+  EncoderConfig c = MplugBaseConfig();
+  c.name = "mplug_base_kg";
+  c.use_kg = true;
+  return c;
+}
+
+EncoderConfig MplugLargeKgConfig() {
+  EncoderConfig c = MplugBaseKgConfig();
+  c.name = "mplug_large_kg";
+  c.dim = 64;
+  return c;
+}
+
+EncoderConfig BaselineLmKgConfig() {
+  EncoderConfig c;
+  c.name = "baseline_lm_base_kg";
+  c.dim = 32;
+  c.pretrained = false;
+  c.use_kg = true;
+  return c;
+}
+
+PretrainedEncoder::PretrainedEncoder(EncoderConfig config,
+                                     const datagen::World& world)
+    : config_(std::move(config)),
+      world_(&world),
+      verbalizer_(world),
+      rng_(config_.seed),
+      emb_(config_.name + ".emb", config_.hash_space, config_.dim, &rng_) {}
+
+EncoderFeatures PretrainedEncoder::MakeFeatures(
+    const std::vector<std::string>& tokens, int product_index,
+    const std::vector<std::string>& extra_kg_tokens) const {
+  EncoderFeatures f;
+  auto hash = [this](const std::string& s) {
+    return static_cast<uint32_t>(util::Fnv1a64(s) % config_.hash_space);
+  };
+  for (const std::string& t : tokens) {
+    f.text.push_back(hash("tok=" + t));
+    for (const std::string& g : text::CharNgrams(t, 3)) {
+      f.text.push_back(hash("3g=" + g));
+    }
+  }
+  if (f.text.empty()) f.text.push_back(hash("<empty>"));
+  if (config_.use_kg) {
+    if (product_index >= 0) {
+      for (const std::string& t : verbalizer_.Verbalize(
+               static_cast<size_t>(product_index), config_.kg_budget)) {
+        f.kg.push_back(hash("kg=" + t));
+      }
+    }
+    for (const std::string& t : extra_kg_tokens) {
+      f.kg.push_back(hash("kg=" + t));
+    }
+    if (f.kg.empty()) f.kg.push_back(hash("<no_kg>"));
+  }
+  return f;
+}
+
+void PretrainedEncoder::PoolChannel(const std::vector<uint32_t>& bag,
+                                    float* out, float* norm_out) const {
+  const size_t d = config_.dim;
+  std::fill(out, out + d, 0.0f);
+  if (bag.empty()) {
+    *norm_out = 1.0f;
+    return;
+  }
+  const nn::Matrix& table = emb_.table()->value;
+  for (uint32_t f : bag) {
+    const float* row = table.Row(f % config_.hash_space);
+    for (size_t i = 0; i < d; ++i) out[i] += row[i];
+  }
+  float inv = 1.0f / static_cast<float>(bag.size());
+  float sq = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    out[i] *= inv;
+    sq += out[i] * out[i];
+  }
+  float norm = std::sqrt(sq) + 1e-6f;
+  for (size_t i = 0; i < d; ++i) out[i] /= norm;
+  *norm_out = norm;
+}
+
+void PretrainedEncoder::Embed(const std::vector<EncoderFeatures>& features,
+                              nn::Matrix* out) const {
+  const size_t d = config_.dim;
+  *out = nn::Matrix(features.size(), rep_dim());
+  float norm;
+  for (size_t i = 0; i < features.size(); ++i) {
+    PoolChannel(features[i].text, out->Row(i), &norm);
+    if (config_.use_kg) {
+      PoolChannel(features[i].kg, out->Row(i) + d, &norm);
+    }
+  }
+}
+
+void PretrainedEncoder::EmbedBackward(
+    const std::vector<EncoderFeatures>& features, const nn::Matrix& dout) {
+  const size_t d = config_.dim;
+  OPENBG_CHECK(dout.rows() == features.size());
+  OPENBG_CHECK(dout.cols() == rep_dim());
+  nn::Matrix& grad = emb_.table()->grad;
+  std::vector<float> pooled(d);
+  auto backward_channel = [&](const std::vector<uint32_t>& bag,
+                              const float* dy) {
+    if (bag.empty()) return;
+    float norm;
+    PoolChannel(bag, pooled.data(), &norm);  // pooled = normalized vector
+    // d(pooled_pre_norm) = (dy - (dy . x_hat) x_hat) / norm.
+    float proj = 0.0f;
+    for (size_t i = 0; i < d; ++i) proj += dy[i] * pooled[i];
+    float inv_bag = 1.0f / static_cast<float>(bag.size());
+    for (uint32_t f : bag) {
+      float* g = grad.Row(f % config_.hash_space);
+      for (size_t i = 0; i < d; ++i) {
+        g[i] += inv_bag * (dy[i] - proj * pooled[i]) / norm;
+      }
+    }
+  };
+  for (size_t i = 0; i < features.size(); ++i) {
+    backward_channel(features[i].text, dout.Row(i));
+    if (config_.use_kg) {
+      backward_channel(features[i].kg, dout.Row(i) + d);
+    }
+  }
+}
+
+void PretrainedEncoder::EnsurePretrained() {
+  if (pretrained_done_ || !config_.pretrained) return;
+  Pretrain();
+  pretrained_done_ = true;
+}
+
+void PretrainedEncoder::Pretrain() {
+  // Skip-gram with negative sampling over the e-commerce corpus: titles,
+  // reviews, descriptions, plus KG verbalizations when use_kg. All tokens
+  // live in the same hashed space the task encoders read, so pre-training
+  // directly shapes downstream representations.
+  std::vector<std::vector<uint32_t>> sequences;
+  auto hash_tokens = [this](const std::vector<std::string>& toks) {
+    std::vector<uint32_t> ids;
+    ids.reserve(toks.size());
+    for (const std::string& t : toks) {
+      ids.push_back(static_cast<uint32_t>(util::Fnv1a64("tok=" + t) %
+                                          config_.hash_space));
+    }
+    return ids;
+  };
+  for (size_t i = 0; i < world_->products.size(); ++i) {
+    const datagen::Product& p = world_->products[i];
+    sequences.push_back(hash_tokens(p.title_tokens));
+    if (!p.review_tokens.empty()) {
+      sequences.push_back(hash_tokens(p.review_tokens));
+    }
+    sequences.push_back(hash_tokens(text::Tokenize(p.description)));
+    if (config_.use_kg) {
+      // KG verbalization sequence, interleaving the kg-channel feature with
+      // the title tokens so verbalized knowledge and surface text share a
+      // semantic space.
+      std::vector<uint32_t> ids;
+      for (const std::string& t :
+           verbalizer_.Verbalize(i, config_.kg_budget)) {
+        ids.push_back(static_cast<uint32_t>(util::Fnv1a64("kg=" + t) %
+                                            config_.hash_space));
+      }
+      for (const std::string& t : p.title_tokens) {
+        ids.push_back(static_cast<uint32_t>(util::Fnv1a64("tok=" + t) %
+                                            config_.hash_space));
+      }
+      sequences.push_back(std::move(ids));
+    }
+  }
+
+  const float lr = 0.02f;
+  const int window = 2;
+  const int negatives = 3;
+  nn::Matrix& table = emb_.table()->value;
+  const size_t d = config_.dim;
+  std::vector<float> center_copy(d);
+  std::unordered_set<uint32_t> touched;
+  for (size_t epoch = 0; epoch < config_.pretrain_epochs; ++epoch) {
+    for (const auto& seq : sequences) {
+      for (size_t i = 0; i < seq.size(); ++i) {
+        touched.insert(seq[i]);
+        float* u = table.Row(seq[i]);
+        for (int off = -window; off <= window; ++off) {
+          if (off == 0) continue;
+          long j = static_cast<long>(i) + off;
+          if (j < 0 || j >= static_cast<long>(seq.size())) continue;
+          std::copy(u, u + d, center_copy.data());
+          for (int k = -1; k < negatives; ++k) {
+            uint32_t target =
+                k < 0 ? seq[j]
+                      : static_cast<uint32_t>(
+                            rng_.Uniform(config_.hash_space));
+            float label = k < 0 ? 1.0f : 0.0f;
+            float* v = table.Row(target);
+            float dot = nn::Dot(center_copy.data(), v, d);
+            float g = lr * (1.0f / (1.0f + std::exp(-dot)) - label);
+            for (size_t dd = 0; dd < d; ++dd) {
+              float vd = v[dd];
+              v[dd] -= g * center_copy[dd];
+              u[dd] -= g * vd;
+            }
+          }
+        }
+      }
+    }
+  }
+  // Post-processing, two steps:
+  //  1. "all-but-the-top" centering — skip-gram embeddings develop a shared
+  //     frequency direction that washes out mean-pooled class structure;
+  //  2. residual blend with the initial random signature and unit-norm —
+  //     distributional similarity smears rare-token identities that few-shot
+  //     heads rely on, so each trained row keeps half of its unique random
+  //     direction (the hashed analogue of a transformer's residual stream)
+  //     and is length-normalized to kill frequency-magnitude imbalance.
+  if (!touched.empty()) {
+    std::vector<double> mean(d, 0.0);
+    for (uint32_t row : touched) {
+      const float* u = table.Row(row);
+      for (size_t dd = 0; dd < d; ++dd) mean[dd] += u[dd];
+    }
+    for (double& m : mean) m /= static_cast<double>(touched.size());
+    util::Rng sig_rng(config_.seed);  // replay the constructor's init
+    nn::Matrix init_copy(1, d);
+    for (uint32_t row : touched) {
+      float* u = table.Row(row);
+      // Reconstruct this row's initial random signature deterministically
+      // from (seed, row): an independent hash-seeded draw, same scale as
+      // the constructor's init.
+      util::Rng row_rng(config_.seed ^
+                        (0x9E3779B97F4A7C15ull * (row + 1)));
+      float trained_norm = 0.0f;
+      for (size_t dd = 0; dd < d; ++dd) {
+        u[dd] -= static_cast<float>(mean[dd]);
+        trained_norm += u[dd] * u[dd];
+      }
+      trained_norm = std::sqrt(trained_norm) + 1e-9f;
+      float total = 0.0f;
+      for (size_t dd = 0; dd < d; ++dd) {
+        float sig = static_cast<float>(row_rng.UniformDouble(-1.0, 1.0));
+        u[dd] = 0.5f * (u[dd] / trained_norm) + 0.5f * sig /
+                std::sqrt(static_cast<float>(d) / 3.0f);
+        total += u[dd] * u[dd];
+      }
+      total = std::sqrt(total) + 1e-9f;
+      for (size_t dd = 0; dd < d; ++dd) u[dd] = 0.1f * u[dd] / total;
+    }
+    (void)sig_rng;
+  }
+}
+
+}  // namespace openbg::pretrain

@@ -1,0 +1,107 @@
+#ifndef OPENBG_PRETRAIN_ENCODER_H_
+#define OPENBG_PRETRAIN_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/world.h"
+#include "nn/layers.h"
+#include "pretrain/verbalizer.h"
+#include "util/rng.h"
+
+namespace openbg::pretrain {
+
+/// Which "pre-trained LM" a downstream run stands on. The three axes mirror
+/// the paper's model grid (Table V): capacity (base/large dims), whether
+/// the encoder was pre-trained on the e-commerce corpus at all (the
+/// general-domain baselines are not), and whether KG verbalizations are
+/// part of the input.
+struct EncoderConfig {
+  std::string name = "mplug_base";
+  size_t dim = 32;            // "large" = 64
+  bool pretrained = true;     // e-commerce corpus pre-training
+  bool use_kg = false;        // add the verbalized-KG channel
+  size_t hash_space = 1 << 17;
+  size_t kg_budget = 8;       // verbalization token budget (ablation knob;
+                              // small on purpose: schema-level tokens lead
+                              // the verbalization and instance-specific
+                              // tails dilute — see ablation_verbalization)
+  uint64_t seed = 0xC0FFEE;
+  size_t pretrain_epochs = 2;
+};
+
+/// The configs of the paper's model grid.
+EncoderConfig BaselineLmConfig();    // RoBERTa/mT5/BERT stand-in: no KG,
+                                     // general-domain (not pretrained here)
+EncoderConfig MplugBaseConfig();     // pretrained, no KG
+EncoderConfig MplugBaseKgConfig();   // pretrained + KG
+EncoderConfig MplugLargeKgConfig();  // pretrained + KG, double capacity
+EncoderConfig BaselineLmKgConfig();  // RoBERTa_base+KG of Table VI/VII
+
+/// One example's input to the encoder: hashed lexical features of the text
+/// plus (for +KG configs) hashed features of the KG verbalization.
+struct EncoderFeatures {
+  std::vector<uint32_t> text;
+  std::vector<uint32_t> kg;  // empty unless the config uses KG
+};
+
+/// Hashed dual-channel text encoder with skip-gram pre-training — the mPLUG
+/// substitute (DESIGN.md). Each channel (text; verbalized KG) mean-pools
+/// hashed token/trigram embeddings from a shared table and is then
+/// L2-normalized; the channels concatenate into the example representation.
+/// Keeping the KG channel separate prevents instance-specific KG tokens
+/// from diluting the text signal — the fusion role mPLUG's cross-modal
+/// skip-connections play in the original architecture.
+class PretrainedEncoder {
+ public:
+  PretrainedEncoder(EncoderConfig config, const datagen::World& world);
+
+  const EncoderConfig& config() const { return config_; }
+  size_t dim() const { return config_.dim; }
+
+  /// Width of Embed() rows: dim for text-only configs, 2*dim with KG.
+  size_t rep_dim() const {
+    return config_.use_kg ? 2 * config_.dim : config_.dim;
+  }
+
+  /// Runs pre-training if the config asks for it (idempotent).
+  void EnsurePretrained();
+
+  /// Builds the feature channels for a token sequence; if the config uses
+  /// KG and `product_index` >= 0, the product's verbalization fills the kg
+  /// channel. `extra_kg_tokens` (optional) appends caller-supplied KG
+  /// evidence tokens (e.g. salience co-occurrence buckets).
+  EncoderFeatures MakeFeatures(
+      const std::vector<std::string>& tokens, int product_index = -1,
+      const std::vector<std::string>& extra_kg_tokens = {}) const;
+
+  /// [n x rep_dim]: per-channel mean-pooled, L2-normalized embeddings.
+  void Embed(const std::vector<EncoderFeatures>& features,
+             nn::Matrix* out) const;
+
+  /// Exact backward through pooling + normalization into the table grad;
+  /// the caller steps the table parameter (or skips it to freeze the
+  /// encoder, the usual few-shot fine-tuning recipe).
+  void EmbedBackward(const std::vector<EncoderFeatures>& features,
+                     const nn::Matrix& dout);
+
+  nn::Parameter* table() { return emb_.table(); }
+  const KgVerbalizer& verbalizer() const { return verbalizer_; }
+
+ private:
+  void Pretrain();
+  void PoolChannel(const std::vector<uint32_t>& bag, float* out,
+                   float* norm_out) const;
+
+  EncoderConfig config_;
+  const datagen::World* world_;
+  KgVerbalizer verbalizer_;
+  util::Rng rng_;
+  nn::EmbeddingBag emb_;
+  bool pretrained_done_ = false;
+};
+
+}  // namespace openbg::pretrain
+
+#endif  // OPENBG_PRETRAIN_ENCODER_H_

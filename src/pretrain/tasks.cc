@@ -1,0 +1,486 @@
+#include "pretrain/tasks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "construction/concept_extractor.h"
+#include "nn/loss.h"
+#include "text/fuzzy.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace openbg::pretrain {
+
+using datagen::Product;
+using datagen::World;
+
+TaskSplit SplitProducts(const World& world, double train_fraction,
+                        uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<size_t> order(world.products.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  size_t cut = static_cast<size_t>(train_fraction *
+                                   static_cast<double>(order.size()));
+  TaskSplit split;
+  split.train.assign(order.begin(), order.begin() + cut);
+  split.val.assign(order.begin() + cut, order.end());
+  return split;
+}
+
+std::vector<size_t> FewShotSample(
+    const std::vector<size_t>& train, size_t k,
+    const std::function<uint32_t(size_t)>& label_of, util::Rng* rng) {
+  std::unordered_map<uint32_t, size_t> taken;
+  std::vector<size_t> order = train;
+  rng->Shuffle(&order);
+  std::vector<size_t> out;
+  for (size_t idx : order) {
+    uint32_t y = label_of(idx);
+    if (taken[y] < k) {
+      taken[y] += 1;
+      out.push_back(idx);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SgdStep(const std::vector<nn::Parameter*>& params, float lr) {
+  for (nn::Parameter* p : params) {
+    float* v = p->value.data();
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->value.size(); ++i) v[i] -= lr * g[i];
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace
+
+// -------------------------------------------------- CategoryPrediction
+
+CategoryPredictionTask::CategoryPredictionTask(const World& world)
+    : world_(&world) {
+  leaf_label_.assign(world.categories.nodes.size(), -1);
+  for (int leaf : world.categories.leaves) {
+    leaf_label_[leaf] = static_cast<int>(num_labels_++);
+  }
+}
+
+uint32_t CategoryPredictionTask::LabelOf(size_t product_index) const {
+  int label = leaf_label_[world_->products[product_index].category];
+  OPENBG_CHECK(label >= 0);
+  return static_cast<uint32_t>(label);
+}
+
+double CategoryPredictionTask::Run(PretrainedEncoder* encoder,
+                                   const std::vector<size_t>& train,
+                                   const std::vector<size_t>& val,
+                                   const TrainOpts& opts) const {
+  OPENBG_CHECK(!train.empty() && !val.empty());
+  encoder->EnsurePretrained();
+  util::Rng rng(opts.seed);
+  nn::Linear head("cat.head", encoder->rep_dim(), num_labels_, &rng);
+
+  auto features_of = [&](size_t idx) {
+    return encoder->MakeFeatures(world_->products[idx].title_tokens,
+                                 static_cast<int>(idx));
+  };
+
+  std::vector<size_t> order = train;
+  std::vector<nn::Parameter*> params = {head.weight(), head.bias()};
+  if (opts.update_encoder) params.push_back(encoder->table());
+  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t pos = 0; pos < order.size(); pos += opts.batch_size) {
+      size_t end = std::min(pos + opts.batch_size, order.size());
+      std::vector<EncoderFeatures> feats;
+      std::vector<uint32_t> labels;
+      for (size_t i = pos; i < end; ++i) {
+        feats.push_back(features_of(order[i]));
+        labels.push_back(LabelOf(order[i]));
+      }
+      nn::Matrix x, logits;
+      encoder->Embed(feats, &x);
+      head.Forward(x, &logits);
+      nn::Matrix dlogits;
+      nn::SoftmaxCrossEntropy(logits, labels, &dlogits);
+      nn::Matrix dx;
+      head.Backward(x, dlogits, &dx);
+      if (opts.update_encoder) encoder->EmbedBackward(feats, dx);
+      SgdStep(params, opts.lr);
+    }
+  }
+
+  size_t correct = 0;
+  for (size_t pos = 0; pos < val.size(); pos += opts.batch_size) {
+    size_t end = std::min(pos + opts.batch_size, val.size());
+    std::vector<EncoderFeatures> feats;
+    std::vector<uint32_t> labels;
+    for (size_t i = pos; i < end; ++i) {
+      feats.push_back(features_of(val[i]));
+      labels.push_back(LabelOf(val[i]));
+    }
+    nn::Matrix x, logits;
+    encoder->Embed(feats, &x);
+    head.Forward(x, &logits);
+    std::vector<uint32_t> pred = nn::ArgmaxRows(logits);
+    for (size_t i = 0; i < pred.size(); ++i) {
+      if (pred[i] == labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(val.size());
+}
+
+// ----------------------------------------------------------- TitleNER
+
+TitleNerTask::TitleNerTask(const World& world) : world_(&world) {}
+
+crf::Sequence TitleNerTask::MakeSequence(
+    const Product& p, const PretrainedEncoder& encoder) const {
+  crf::Sequence seq =
+      construction::ConceptExtractor::MakeSequence(p.title_tokens,
+                                                   p.title_spans);
+  if (encoder.config().use_kg) {
+    // KG gazetteer features: a token that is a known value of attribute k
+    // in OpenBG fires a typed feature — the knowledge signal of the
+    // "+KG" rows in Tables V/VII.
+    const KgVerbalizer& verb = encoder.verbalizer();
+    for (size_t t = 0; t < p.title_tokens.size(); ++t) {
+      int attr = verb.ValueAttributeType(p.title_tokens[t]);
+      if (attr >= 0) {
+        seq[t].features.push_back(static_cast<uint32_t>(
+            util::Fnv1a64(util::StrFormat("kgv=%d", attr))));
+      }
+      if (verb.IsKnownEntityName(p.title_tokens[t])) {
+        seq[t].features.push_back(
+            static_cast<uint32_t>(util::Fnv1a64("kgent=1")));
+      }
+    }
+  }
+  return seq;
+}
+
+PrfMetrics TitleNerTask::Run(const PretrainedEncoder& encoder,
+                             const std::vector<size_t>& train,
+                             const std::vector<size_t>& val,
+                             const TrainOpts& opts) const {
+  // Capacity follows the encoder config: the large stand-ins get a larger
+  // hashed feature space (less feature collision = the capacity effect).
+  size_t feature_space = encoder.config().dim >= 64 ? (1u << 16) : (1u << 15);
+  size_t num_types = world_->attribute_types.size();
+  construction::ConceptExtractor extractor(num_types, feature_space);
+
+  std::vector<crf::Sequence> train_seqs, val_seqs;
+  for (size_t i : train) {
+    train_seqs.push_back(MakeSequence(world_->products[i], encoder));
+  }
+  for (size_t i : val) {
+    val_seqs.push_back(MakeSequence(world_->products[i], encoder));
+  }
+  util::Rng rng(opts.seed);
+  extractor.Train(train_seqs, opts.epochs, opts.lr, &rng);
+  crf::SpanPrf prf = extractor.Evaluate(val_seqs);
+  return {prf.precision, prf.recall, prf.f1};
+}
+
+// -------------------------------------------------- TitleSummarization
+
+TitleSummarizationTask::TitleSummarizationTask(const World& world)
+    : world_(&world), feature_space_(1 << 17) {}
+
+std::vector<uint8_t> TitleSummarizationTask::GoldKeepMask(
+    const Product& p) const {
+  std::vector<uint8_t> keep(p.title_tokens.size(), 0);
+  std::multiset<std::string> wanted(p.short_title_tokens.begin(),
+                                    p.short_title_tokens.end());
+  for (size_t t = 0; t < p.title_tokens.size(); ++t) {
+    auto it = wanted.find(p.title_tokens[t]);
+    if (it != wanted.end()) {
+      keep[t] = 1;
+      wanted.erase(it);
+    }
+  }
+  return keep;
+}
+
+std::vector<uint32_t> TitleSummarizationTask::TokenFeatures(
+    const Product& p, size_t pos, const PretrainedEncoder& encoder) const {
+  std::vector<uint32_t> feats;
+  auto add = [this, &feats](const std::string& f) {
+    feats.push_back(
+        static_cast<uint32_t>(util::Fnv1a64(f) % feature_space_));
+  };
+  const std::string& tok = p.title_tokens[pos];
+  add("w=" + tok);
+  add(util::StrFormat("relpos=%zu", pos * 4 / p.title_tokens.size()));
+  if (pos == 0) add("first=1");
+  if (pos + 1 == p.title_tokens.size()) add("last=1");
+  if (encoder.config().use_kg) {
+    const KgVerbalizer& verb = encoder.verbalizer();
+    // Knowledge flags: key attribute values, brands and category names are
+    // exactly what a good short title keeps.
+    if (verb.ValueAttributeType(tok) >= 0) add("kg_value=1");
+    if (verb.IsKnownEntityName(tok)) add("kg_entity=1");
+  }
+  return feats;
+}
+
+double TitleSummarizationTask::Run(const PretrainedEncoder& encoder,
+                                   const std::vector<size_t>& train,
+                                   const std::vector<size_t>& val,
+                                   const TrainOpts& opts) const {
+  // Sparse binary logistic regression over hashed token features. Larger
+  // encoder dims buy a wider weight vector (capacity analogue).
+  size_t space =
+      encoder.config().dim >= 64 ? feature_space_ * 2 : feature_space_;
+  std::vector<float> w(space, 0.0f);
+  util::Rng rng(opts.seed);
+  std::vector<size_t> order = train;
+  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const Product& p = world_->products[idx];
+      std::vector<uint8_t> gold = GoldKeepMask(p);
+      for (size_t t = 0; t < p.title_tokens.size(); ++t) {
+        std::vector<uint32_t> feats = TokenFeatures(p, t, encoder);
+        float score = 0.0f;
+        for (uint32_t f : feats) score += w[f % space];
+        float prob = 1.0f / (1.0f + std::exp(-score));
+        float grad = prob - static_cast<float>(gold[t]);
+        for (uint32_t f : feats) w[f % space] -= opts.lr * grad;
+      }
+    }
+  }
+
+  double rouge_sum = 0.0;
+  for (size_t idx : val) {
+    const Product& p = world_->products[idx];
+    std::vector<std::string> kept;
+    for (size_t t = 0; t < p.title_tokens.size(); ++t) {
+      std::vector<uint32_t> feats = TokenFeatures(p, t, encoder);
+      float score = 0.0f;
+      for (uint32_t f : feats) score += w[f % space];
+      if (score > 0.0f) kept.push_back(p.title_tokens[t]);
+    }
+    if (kept.empty()) kept = p.title_tokens;  // degenerate fallback
+    rouge_sum += text::RougeL(kept, p.short_title_tokens);
+  }
+  return rouge_sum / static_cast<double>(val.size());
+}
+
+// ----------------------------------------------------------- ReviewIE
+
+ReviewIeTask::ReviewIeTask(const World& world) : world_(&world) {}
+
+namespace {
+
+// Review BIO layout: label space of 2 types, 0 = ATTRNAME, 1 = OPINION.
+// Reviews are generated in 7-token groups: the <attr> of this <cat> is
+// <opinion>.
+constexpr size_t kGroupLen = 7;
+
+std::vector<datagen::SpanAnnotation> ReviewGoldSpans(const Product& p) {
+  std::vector<datagen::SpanAnnotation> spans;
+  for (size_t k = 0; k < p.review_triples.size(); ++k) {
+    size_t base = k * kGroupLen;
+    spans.push_back({base + 1, base + 2, 0});  // attribute surface
+    spans.push_back({base + 6, base + 7, 1});  // opinion word
+  }
+  return spans;
+}
+
+}  // namespace
+
+PrfMetrics ReviewIeTask::Run(const PretrainedEncoder& encoder,
+                             const std::vector<size_t>& train,
+                             const std::vector<size_t>& val,
+                             const TrainOpts& opts) const {
+  size_t feature_space = encoder.config().dim >= 64 ? (1u << 16) : (1u << 15);
+  construction::ConceptExtractor extractor(/*num_types=*/2, feature_space);
+
+  // Attribute-surface resolution: the KG path uses the schema gazetteer
+  // with fuzzy matching (handles reviewer misspellings); the no-KG path
+  // learns an exact surface->type map from its training data.
+  text::FuzzyMatcher kg_names(/*min_similarity=*/0.7);
+  for (size_t a = 0; a < world_->attribute_types.size(); ++a) {
+    kg_names.AddCanonical(world_->attribute_types[a].name,
+                          static_cast<uint32_t>(a));
+  }
+  std::unordered_map<std::string, uint32_t> learned_names;
+
+  std::vector<crf::Sequence> train_seqs;
+  for (size_t i : train) {
+    const Product& p = world_->products[i];
+    if (p.review_tokens.empty()) continue;
+    train_seqs.push_back(construction::ConceptExtractor::MakeSequence(
+        p.review_tokens, ReviewGoldSpans(p)));
+    for (size_t k = 0; k < p.review_triples.size(); ++k) {
+      learned_names.emplace(p.review_tokens[k * kGroupLen + 1],
+                            p.review_triples[k].attribute);
+    }
+  }
+  util::Rng rng(opts.seed);
+  extractor.Train(train_seqs, opts.epochs, opts.lr, &rng);
+
+  size_t gold_total = 0, pred_total = 0, correct = 0;
+  for (size_t i : val) {
+    const Product& p = world_->products[i];
+    if (p.review_tokens.empty()) continue;
+    std::vector<construction::ExtractedSpan> spans =
+        extractor.Extract(p.review_tokens);
+    // Pair each attribute span with the next opinion span.
+    std::vector<std::pair<int, std::string>> pred_pairs;
+    for (size_t s = 0; s < spans.size(); ++s) {
+      if (spans[s].type != 0) continue;
+      for (size_t o = s + 1; o < spans.size(); ++o) {
+        if (spans[o].type == 1) {
+          int attr = -1;
+          const std::string& surface = spans[s].text;
+          auto it = learned_names.find(surface);
+          if (it != learned_names.end()) {
+            attr = static_cast<int>(it->second);
+          } else if (encoder.config().use_kg) {
+            // KG fallback: unseen (usually misspelled) surfaces resolve
+            // against the schema gazetteer with fuzzy matching.
+            text::FuzzyMatcher::Match m = kg_names.Resolve(surface);
+            if (m.id != text::FuzzyMatcher::kNoMatch) {
+              attr = static_cast<int>(m.id);
+            }
+          }
+          if (attr >= 0) pred_pairs.emplace_back(attr, spans[o].text);
+          break;
+        }
+      }
+    }
+    std::multiset<std::pair<int, std::string>> gold;
+    for (const datagen::OpinionTriple& g : p.review_triples) {
+      gold.emplace(static_cast<int>(g.attribute), g.value);
+    }
+    gold_total += gold.size();
+    pred_total += pred_pairs.size();
+    for (const auto& pp : pred_pairs) {
+      auto it = gold.find(pp);
+      if (it != gold.end()) {
+        ++correct;
+        gold.erase(it);
+      }
+    }
+  }
+  PrfMetrics m;
+  if (pred_total > 0) {
+    m.precision =
+        static_cast<double>(correct) / static_cast<double>(pred_total);
+  }
+  if (gold_total > 0) {
+    m.recall = static_cast<double>(correct) / static_cast<double>(gold_total);
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+// --------------------------------------------------- SalienceEvaluation
+
+SalienceEvaluationTask::SalienceEvaluationTask(const World& world,
+                                               size_t num_examples,
+                                               uint64_t seed)
+    : world_(&world),
+      scorer_(world, ontology::CoreKind::kScene) {
+  util::Rng rng(seed);
+  // Positives: statements passing the typicality+remarkability bar.
+  auto salient = scorer_.SalientStatements();
+  rng.Shuffle(&salient);
+  size_t half = num_examples / 2;
+  for (size_t i = 0; i < std::min(half, salient.size()); ++i) {
+    statements_.push_back(
+        {salient[i].category_leaf, salient[i].concept_leaf, 1});
+  }
+  // Negatives: random category/scene pairs that fail the bar.
+  const auto& cat_leaves = world.categories.leaves;
+  const auto& scene_leaves = world.scenes.leaves;
+  size_t want_neg = statements_.size();
+  size_t guard = 0;
+  while (statements_.size() < 2 * want_neg && guard++ < 100000) {
+    int c = cat_leaves[rng.Uniform(cat_leaves.size())];
+    int s = scene_leaves[rng.Uniform(scene_leaves.size())];
+    construction::FacetScores f = scorer_.Score(c, s);
+    if (f.salience < 0.25) statements_.push_back({c, s, 0});
+  }
+  rng.Shuffle(&statements_);
+  size_t cut = statements_.size() * 8 / 10;
+  for (size_t i = 0; i < statements_.size(); ++i) {
+    (i < cut ? train_idx_ : val_idx_).push_back(i);
+  }
+}
+
+double SalienceEvaluationTask::Run(PretrainedEncoder* encoder,
+                                   const TrainOpts& opts) const {
+  OPENBG_CHECK(!train_idx_.empty() && !val_idx_.empty());
+  encoder->EnsurePretrained();
+  util::Rng rng(opts.seed);
+  nn::Linear head("sal.head", encoder->rep_dim(), 2, &rng);
+
+  auto features_of = [&](size_t i) {
+    const Statement& st = statements_[i];
+    std::vector<std::string> toks = {
+        world_->categories.nodes[st.category].name, "related", "scene",
+        world_->scenes.nodes[st.scene].name};
+    std::vector<std::string> kg_extra;
+    if (encoder->config().use_kg) {
+      // KG evidence: bucketed co-occurrence strength of the statement in
+      // OpenBG (the commonsense signal concepts carry, Sec. IV-F).
+      construction::FacetScores f = scorer_.Score(st.category, st.scene);
+      int bucket = f.typicality > 0.5   ? 3
+                   : f.typicality > 0.2 ? 2
+                   : f.typicality > 0.0 ? 1
+                                        : 0;
+      kg_extra.push_back(util::StrFormat("cooc_%d", bucket));
+    }
+    return encoder->MakeFeatures(toks, /*product_index=*/-1, kg_extra);
+  };
+
+  std::vector<nn::Parameter*> params = {head.weight(), head.bias()};
+  if (opts.update_encoder) params.push_back(encoder->table());
+  std::vector<size_t> order = train_idx_;
+  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t pos = 0; pos < order.size(); pos += opts.batch_size) {
+      size_t end = std::min(pos + opts.batch_size, order.size());
+      std::vector<EncoderFeatures> feats;
+      std::vector<uint32_t> labels;
+      for (size_t i = pos; i < end; ++i) {
+        feats.push_back(features_of(order[i]));
+        labels.push_back(statements_[order[i]].label);
+      }
+      nn::Matrix x, logits;
+      encoder->Embed(feats, &x);
+      head.Forward(x, &logits);
+      nn::Matrix dlogits;
+      nn::SoftmaxCrossEntropy(logits, labels, &dlogits);
+      nn::Matrix dx;
+      head.Backward(x, dlogits, &dx);
+      if (opts.update_encoder) encoder->EmbedBackward(feats, dx);
+      SgdStep(params, opts.lr);
+    }
+  }
+
+  size_t correct = 0;
+  for (size_t i : val_idx_) {
+    nn::Matrix x, logits;
+    encoder->Embed({features_of(i)}, &x);
+    head.Forward(x, &logits);
+    uint32_t pred = logits(0, 1) > logits(0, 0) ? 1 : 0;
+    if (pred == statements_[i].label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(val_idx_.size());
+}
+
+}  // namespace openbg::pretrain

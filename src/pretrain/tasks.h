@@ -1,0 +1,161 @@
+#ifndef OPENBG_PRETRAIN_TASKS_H_
+#define OPENBG_PRETRAIN_TASKS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "construction/concept_quality.h"
+#include "crf/crf.h"
+#include "datagen/world.h"
+#include "pretrain/encoder.h"
+#include "util/rng.h"
+
+namespace openbg::pretrain {
+
+/// Product-index split shared by the downstream tasks (8:2 as the paper's
+/// datasets are split).
+struct TaskSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> val;
+};
+TaskSplit SplitProducts(const datagen::World& world, double train_fraction,
+                        uint64_t seed);
+
+/// k-shot subsample of `train`: at most k examples per class, where the
+/// class of product i is given by `label_of`. Mirrors the paper's 1-shot /
+/// 5-shot low-resource setting (Tables VI/VII).
+std::vector<size_t> FewShotSample(
+    const std::vector<size_t>& train, size_t k,
+    const std::function<uint32_t(size_t)>& label_of, util::Rng* rng);
+
+struct TrainOpts {
+  size_t epochs = 10;
+  size_t batch_size = 64;
+  float lr = 0.05f;
+  uint64_t seed = 97;
+  /// When false, the encoder table is frozen and only the task head trains
+  /// — the stable recipe for k-shot fine-tuning.
+  bool update_encoder = true;
+};
+
+struct PrfMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Task 1 (Sec. IV-B): predict the leaf category of an item from its title
+/// — link prediction specialized to (e, rdfs:subClassOf, ?). Metric:
+/// accuracy.
+class CategoryPredictionTask {
+ public:
+  explicit CategoryPredictionTask(const datagen::World& world);
+
+  uint32_t LabelOf(size_t product_index) const;
+  size_t num_labels() const { return num_labels_; }
+
+  /// Fine-tunes a linear head (and the encoder table) on `train`, returns
+  /// accuracy on `val`.
+  double Run(PretrainedEncoder* encoder, const std::vector<size_t>& train,
+             const std::vector<size_t>& val, const TrainOpts& opts) const;
+
+ private:
+  const datagen::World* world_;
+  std::vector<int> leaf_label_;  // category node -> dense label or -1
+  size_t num_labels_ = 0;
+};
+
+/// Task 2 (Sec. IV-C): NER for titles — recognize attribute-value spans in
+/// item titles. A CRF tagger whose features optionally include the KG
+/// value-gazetteer (the "+KG" mechanism: a token that is a known KG value
+/// of attribute k is strong evidence for a k-span). Metric: span P/R/F1.
+class TitleNerTask {
+ public:
+  explicit TitleNerTask(const datagen::World& world);
+
+  PrfMetrics Run(const PretrainedEncoder& encoder,
+                 const std::vector<size_t>& train,
+                 const std::vector<size_t>& val,
+                 const TrainOpts& opts) const;
+
+ private:
+  crf::Sequence MakeSequence(const datagen::Product& p,
+                             const PretrainedEncoder& encoder) const;
+
+  const datagen::World* world_;
+};
+
+/// Task 3 (Sec. IV-D): title summarization — compress a noisy long title to
+/// its key tokens. Extractive per-token keep/drop classifier over hashed
+/// features (+KG knowledge flags). Metric: ROUGE-L against the gold short
+/// title.
+class TitleSummarizationTask {
+ public:
+  explicit TitleSummarizationTask(const datagen::World& world);
+
+  double Run(const PretrainedEncoder& encoder,
+             const std::vector<size_t>& train,
+             const std::vector<size_t>& val, const TrainOpts& opts) const;
+
+  /// Gold keep-mask for a product's title (first occurrence of each short-
+  /// title token).
+  std::vector<uint8_t> GoldKeepMask(const datagen::Product& p) const;
+
+ private:
+  std::vector<uint32_t> TokenFeatures(const datagen::Product& p, size_t pos,
+                                      const PretrainedEncoder& encoder)
+      const;
+
+  const datagen::World* world_;
+  size_t feature_space_;
+};
+
+/// Task 4 (Sec. IV-E): IE for reviews — extract (attribute, opinion) pairs
+/// from customer reviews. CRF tags attribute-name and opinion spans; the
+/// attribute surface resolves to a type via the KG schema gazetteer (+KG)
+/// or a mapping learned from training data (no KG). Metric: pair P/R/F1.
+class ReviewIeTask {
+ public:
+  explicit ReviewIeTask(const datagen::World& world);
+
+  PrfMetrics Run(const PretrainedEncoder& encoder,
+                 const std::vector<size_t>& train,
+                 const std::vector<size_t>& val,
+                 const TrainOpts& opts) const;
+
+ private:
+  const datagen::World* world_;
+};
+
+/// Task 5 (Sec. IV-F): salience evaluation — decide whether a
+/// <category, relatedScene, scene> statement is characteristic. Gold labels
+/// come from the multi-faceted scorer (typical AND remarkable => salient);
+/// features are the statement text embedding plus, with KG, co-occurrence
+/// evidence buckets. Metric: accuracy.
+class SalienceEvaluationTask {
+ public:
+  SalienceEvaluationTask(const datagen::World& world, size_t num_examples,
+                         uint64_t seed);
+
+  double Run(PretrainedEncoder* encoder, const TrainOpts& opts) const;
+
+  size_t num_examples() const { return statements_.size(); }
+
+ private:
+  struct Statement {
+    int category;
+    int scene;
+    uint8_t label;
+  };
+
+  const datagen::World* world_;
+  construction::ConceptQualityScorer scorer_;
+  std::vector<Statement> statements_;
+  std::vector<size_t> train_idx_, val_idx_;
+};
+
+}  // namespace openbg::pretrain
+
+#endif  // OPENBG_PRETRAIN_TASKS_H_

@@ -1,0 +1,81 @@
+#include "pretrain/verbalizer.h"
+
+#include "util/string_util.h"
+
+namespace openbg::pretrain {
+
+KgVerbalizer::KgVerbalizer(const datagen::World& world) : world_(&world) {
+  for (size_t a = 0; a < world.attribute_types.size(); ++a) {
+    const datagen::AttributeType& attr = world.attribute_types[a];
+    name_to_attr_.emplace(attr.name, static_cast<int>(a));
+    for (const std::string& v : attr.values) {
+      value_to_attr_.emplace(util::ToLower(v), static_cast<int>(a));
+    }
+  }
+  auto note_names = [this](const datagen::TaxonomyData& tax) {
+    for (const datagen::TaxonomyNode& n : tax.nodes) {
+      entity_names_.emplace(util::ToLower(n.name), 1);
+    }
+  };
+  note_names(world.brands);
+  note_names(world.categories);
+  note_names(world.scenes);
+  note_names(world.crowds);
+  note_names(world.themes);
+}
+
+std::vector<std::string> KgVerbalizer::Verbalize(size_t product_index,
+                                                 size_t budget) const {
+  const datagen::Product& p = world_->products[product_index];
+  std::vector<std::string> out;
+  auto push = [&out, budget](const std::string& tok) {
+    if (budget == 0 || out.size() < budget) out.push_back(tok);
+  };
+  // Schema-level knowledge first — concept links and attribute *names*
+  // generalize across items of a category (they are the category-level
+  // semantics the paper's concepts exist to provide), so they must survive
+  // a tight token budget. Instance-specific facts (values, brand, place)
+  // come last. Relation markers fuse into the token ("scene=x") so the
+  // hashed features stay type-aware without flooding the bag with
+  // constant tokens.
+  for (int s : p.scenes) {
+    push("scene=" + util::ToLower(world_->scenes.nodes[s].name));
+  }
+  for (int c : p.crowds) {
+    push("crowd=" + util::ToLower(world_->crowds.nodes[c].name));
+  }
+  for (int t : p.themes) {
+    push("theme=" + util::ToLower(world_->themes.nodes[t].name));
+  }
+  for (auto [attr, value] : p.attributes) {
+    (void)value;
+    push("attr=" + world_->attribute_types[attr].name);
+  }
+  for (auto [attr, value] : p.attributes) {
+    push("val=" +
+         util::ToLower(world_->attribute_types[attr].values[value]));
+  }
+  if (p.brand >= 0) {
+    push("brand=" + util::ToLower(world_->brands.nodes[p.brand].name));
+  }
+  if (p.place >= 0) {
+    push("place=" + util::ToLower(world_->places.nodes[p.place].name));
+  }
+  return out;
+}
+
+int KgVerbalizer::ValueAttributeType(const std::string& token) const {
+  auto it = value_to_attr_.find(util::ToLower(token));
+  return it == value_to_attr_.end() ? -1 : it->second;
+}
+
+int KgVerbalizer::AttributeNameType(const std::string& token) const {
+  auto it = name_to_attr_.find(util::ToLower(token));
+  return it == name_to_attr_.end() ? -1 : it->second;
+}
+
+bool KgVerbalizer::IsKnownEntityName(const std::string& token) const {
+  return entity_names_.count(util::ToLower(token)) > 0;
+}
+
+}  // namespace openbg::pretrain

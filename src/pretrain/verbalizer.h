@@ -1,0 +1,47 @@
+#ifndef OPENBG_PRETRAIN_VERBALIZER_H_
+#define OPENBG_PRETRAIN_VERBALIZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/world.h"
+
+namespace openbg::pretrain {
+
+/// Converts a product's KG neighborhood into "unified textual expressions
+/// with artificially constructed discrete prompts" (Sec. IV-A) — the
+/// mechanism by which KG knowledge enters the text encoder. The rdf:type
+/// (category) link is deliberately excluded: it is the *label* of the
+/// category-prediction task and would leak it.
+class KgVerbalizer {
+ public:
+  explicit KgVerbalizer(const datagen::World& world);
+
+  /// KG tokens for one product: attribute name/value pairs, brand, place
+  /// and concept names, capped at `budget` tokens (0 = unlimited). The
+  /// budget is the knob of the verbalization ablation bench.
+  std::vector<std::string> Verbalize(size_t product_index,
+                                     size_t budget = 0) const;
+
+  /// Gazetteer: attribute type of a known attribute-value token, or -1.
+  /// (KG-enhanced sequence labeling consumes this as a feature: a token
+  /// that is a known KG value of attribute k strongly suggests the span.)
+  int ValueAttributeType(const std::string& token) const;
+
+  /// Gazetteer: is this token a known attribute *name* in the KG schema?
+  int AttributeNameType(const std::string& token) const;
+
+  /// Is this token a known brand / category / concept name?
+  bool IsKnownEntityName(const std::string& token) const;
+
+ private:
+  const datagen::World* world_;
+  std::unordered_map<std::string, int> value_to_attr_;
+  std::unordered_map<std::string, int> name_to_attr_;
+  std::unordered_map<std::string, char> entity_names_;
+};
+
+}  // namespace openbg::pretrain
+
+#endif  // OPENBG_PRETRAIN_VERBALIZER_H_

@@ -1,0 +1,28 @@
+#ifndef OPENBG_RDF_GRAPH_H_
+#define OPENBG_RDF_GRAPH_H_
+
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "rdf/vocab.h"
+
+namespace openbg::rdf {
+
+/// The unit every pipeline stage passes around: a term dictionary, a triple
+/// store over it, and the pre-interned W3C vocabulary. This is the in-memory
+/// "model" role Apache Jena plays in the paper's construction stack.
+struct Graph {
+  Graph() : vocab(&dict) {}
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  TermDict dict;
+  TripleStore store;
+  Vocab vocab;
+};
+
+}  // namespace openbg::rdf
+
+#endif  // OPENBG_RDF_GRAPH_H_

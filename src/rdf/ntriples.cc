@@ -1,0 +1,156 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace openbg::rdf {
+
+std::string EscapeLiteral(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool UnescapeLiteral(std::string_view text, std::string* out) {
+  out->clear();
+  out->reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (i + 1 >= text.size()) return false;
+    char e = text[++i];
+    switch (e) {
+      case '\\':
+        out->push_back('\\');
+        break;
+      case '"':
+        out->push_back('"');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+util::Status WriteNTriples(const TripleStore& store, const TermDict& dict,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  for (const Triple& t : store.triples()) {
+    out << '<' << dict.Text(t.s) << "> <" << dict.Text(t.p) << "> ";
+    if (dict.IsIri(t.o)) {
+      out << '<' << dict.Text(t.o) << '>';
+    } else {
+      out << '"' << EscapeLiteral(dict.Text(t.o)) << '"';
+    }
+    out << " .\n";
+  }
+  out.close();
+  if (out.fail()) return util::Status::IoError("failed writing " + path);
+  return util::Status::OK();
+}
+
+namespace {
+
+// Parses one term starting at s[i]; advances i past the term. Returns
+// kInvalidTerm on syntax error.
+TermId ParseTerm(std::string_view s, size_t* i, TermDict* dict) {
+  while (*i < s.size() && (s[*i] == ' ' || s[*i] == '\t')) ++*i;
+  if (*i >= s.size()) return kInvalidTerm;
+  if (s[*i] == '<') {
+    size_t end = s.find('>', *i + 1);
+    if (end == std::string_view::npos) return kInvalidTerm;
+    TermId id = dict->AddIri(s.substr(*i + 1, end - *i - 1));
+    *i = end + 1;
+    return id;
+  }
+  if (s[*i] == '"') {
+    size_t j = *i + 1;
+    while (j < s.size()) {
+      if (s[j] == '\\') {
+        j += 2;
+        continue;
+      }
+      if (s[j] == '"') break;
+      ++j;
+    }
+    if (j >= s.size()) return kInvalidTerm;
+    std::string unescaped;
+    if (!UnescapeLiteral(s.substr(*i + 1, j - *i - 1), &unescaped)) {
+      return kInvalidTerm;
+    }
+    TermId id = dict->AddLiteral(unescaped);
+    *i = j + 1;
+    return id;
+  }
+  return kInvalidTerm;
+}
+
+}  // namespace
+
+util::Status ReadNTriples(const std::string& path, TermDict* dict,
+                          TripleStore* store) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = util::Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    size_t i = 0;
+    TermId s = ParseTerm(sv, &i, dict);
+    TermId p = ParseTerm(sv, &i, dict);
+    TermId o = ParseTerm(sv, &i, dict);
+    if (s == kInvalidTerm || p == kInvalidTerm || o == kInvalidTerm) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("%s:%zu: malformed triple", path.c_str(), line_no));
+    }
+    // Require the trailing dot.
+    std::string_view rest = util::Trim(sv.substr(i));
+    if (rest != ".") {
+      return util::Status::InvalidArgument(
+          util::StrFormat("%s:%zu: missing terminator", path.c_str(),
+                          line_no));
+    }
+    store->Add(s, p, o);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace openbg::rdf

@@ -1,0 +1,34 @@
+#ifndef OPENBG_RDF_NTRIPLES_H_
+#define OPENBG_RDF_NTRIPLES_H_
+
+#include <string>
+
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace openbg::rdf {
+
+/// Serializes the store in N-Triples line format:
+///   <subject-iri> <predicate-iri> (<object-iri> | "object literal") .
+/// Literal text is backslash-escaped per the N-Triples grammar.
+util::Status WriteNTriples(const TripleStore& store, const TermDict& dict,
+                           const std::string& path);
+
+/// Parses an N-Triples file produced by WriteNTriples (IRIs + plain
+/// literals; no blank nodes, datatypes or language tags — OpenBG's released
+/// dumps use only these forms). Terms are interned into `dict`, triples
+/// appended to `store`. Malformed lines abort with InvalidArgument naming
+/// the line number.
+util::Status ReadNTriples(const std::string& path, TermDict* dict,
+                          TripleStore* store);
+
+/// Escapes literal text for N-Triples output.
+std::string EscapeLiteral(std::string_view text);
+
+/// Reverses EscapeLiteral; returns false on a bad escape sequence.
+bool UnescapeLiteral(std::string_view text, std::string* out);
+
+}  // namespace openbg::rdf
+
+#endif  // OPENBG_RDF_NTRIPLES_H_

@@ -1,0 +1,34 @@
+#include "rdf/term.h"
+
+#include "util/logging.h"
+
+namespace openbg::rdf {
+
+TermId TermDict::Add(std::string_view text, TermKind kind) {
+  std::string key = MakeKey(text, kind);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  OPENBG_CHECK(texts_.size() < kInvalidTerm) << "term dictionary full";
+  TermId id = static_cast<TermId>(texts_.size());
+  texts_.emplace_back(text);
+  kinds_.push_back(kind);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermDict::Find(std::string_view text, TermKind kind) const {
+  auto it = index_.find(MakeKey(text, kind));
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+const std::string& TermDict::Text(TermId id) const {
+  OPENBG_CHECK(id < texts_.size()) << "bad TermId " << id;
+  return texts_[id];
+}
+
+TermKind TermDict::Kind(TermId id) const {
+  OPENBG_CHECK(id < kinds_.size()) << "bad TermId " << id;
+  return kinds_[id];
+}
+
+}  // namespace openbg::rdf

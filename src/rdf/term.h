@@ -1,0 +1,90 @@
+#ifndef OPENBG_RDF_TERM_H_
+#define OPENBG_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace openbg::rdf {
+
+/// Interned id for an RDF term. Ids are dense and stable for the lifetime of
+/// the owning TermDict; `kInvalidTerm` never names a term.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTerm = 0xFFFFFFFFu;
+
+/// RDF term kinds. OpenBG stores IRIs for entities/classes/properties and
+/// literals for labels, comments, attribute values and image references.
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+};
+
+/// Interning dictionary mapping term text to dense TermIds and back.
+///
+/// IRIs and literals live in separate key spaces: the IRI "x" and the
+/// literal "x" get distinct ids (as in any RDF store). The dictionary is the
+/// single owner of term text; everything else in the library passes 32-bit
+/// ids around, which is what makes billion-scale triple handling feasible in
+/// the real system and keeps our scaled-down version cache-friendly.
+class TermDict {
+ public:
+  TermDict() = default;
+
+  TermDict(const TermDict&) = delete;
+  TermDict& operator=(const TermDict&) = delete;
+  TermDict(TermDict&&) = default;
+  TermDict& operator=(TermDict&&) = default;
+
+  /// Interns an IRI, returning its id (existing id if already present).
+  TermId AddIri(std::string_view iri) { return Add(iri, TermKind::kIri); }
+
+  /// Interns a literal.
+  TermId AddLiteral(std::string_view text) {
+    return Add(text, TermKind::kLiteral);
+  }
+
+  /// Looks up an IRI without interning; kInvalidTerm if absent.
+  TermId FindIri(std::string_view iri) const {
+    return Find(iri, TermKind::kIri);
+  }
+
+  /// Looks up a literal without interning; kInvalidTerm if absent.
+  TermId FindLiteral(std::string_view text) const {
+    return Find(text, TermKind::kLiteral);
+  }
+
+  /// Term text for a valid id.
+  const std::string& Text(TermId id) const;
+
+  /// Term kind for a valid id.
+  TermKind Kind(TermId id) const;
+
+  bool IsIri(TermId id) const { return Kind(id) == TermKind::kIri; }
+  bool IsLiteral(TermId id) const { return Kind(id) == TermKind::kLiteral; }
+
+  /// Number of interned terms.
+  size_t size() const { return texts_.size(); }
+
+ private:
+  TermId Add(std::string_view text, TermKind kind);
+  TermId Find(std::string_view text, TermKind kind) const;
+
+  static std::string MakeKey(std::string_view text, TermKind kind) {
+    std::string key;
+    key.reserve(text.size() + 1);
+    key.push_back(kind == TermKind::kIri ? 'I' : 'L');
+    key.append(text);
+    return key;
+  }
+
+  std::vector<std::string> texts_;
+  std::vector<TermKind> kinds_;
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace openbg::rdf
+
+#endif  // OPENBG_RDF_TERM_H_

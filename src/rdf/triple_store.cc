@@ -1,0 +1,211 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.h"
+
+namespace openbg::rdf {
+namespace {
+
+// Key extraction per order: returns the (first, second, third) components.
+inline std::array<TermId, 3> KeyOf(const Triple& t, int order) {
+  switch (order) {
+    case 0:  // SPO
+      return {t.s, t.p, t.o};
+    case 1:  // POS
+      return {t.p, t.o, t.s};
+    default:  // OSP
+      return {t.o, t.s, t.p};
+  }
+}
+
+}  // namespace
+
+bool TripleStore::Add(TermId s, TermId p, TermId o) {
+  OPENBG_CHECK(s != kInvalidTerm && p != kInvalidTerm && o != kInvalidTerm)
+      << "cannot add wildcard triple";
+  Triple t{s, p, o};
+  if (!dedup_.insert(t).second) return false;
+  triples_.push_back(t);
+  spo_dirty_ = pos_dirty_ = osp_dirty_ = true;
+  return true;
+}
+
+bool TripleStore::Contains(TermId s, TermId p, TermId o) const {
+  return dedup_.count(Triple{s, p, o}) > 0;
+}
+
+void TripleStore::EnsureSorted(Order order) const {
+  std::vector<uint32_t>* idx = nullptr;
+  bool* dirty = nullptr;
+  int ord = 0;
+  switch (order) {
+    case Order::kSpo:
+      idx = &idx_spo_;
+      dirty = &spo_dirty_;
+      ord = 0;
+      break;
+    case Order::kPos:
+      idx = &idx_pos_;
+      dirty = &pos_dirty_;
+      ord = 1;
+      break;
+    case Order::kOsp:
+      idx = &idx_osp_;
+      dirty = &osp_dirty_;
+      ord = 2;
+      break;
+  }
+  if (!*dirty && idx->size() == triples_.size()) return;
+  idx->resize(triples_.size());
+  for (uint32_t i = 0; i < triples_.size(); ++i) (*idx)[i] = i;
+  std::sort(idx->begin(), idx->end(), [this, ord](uint32_t a, uint32_t b) {
+    return KeyOf(triples_[a], ord) < KeyOf(triples_[b], ord);
+  });
+  *dirty = false;
+}
+
+std::pair<const uint32_t*, const uint32_t*> TripleStore::PrefixRange(
+    const TriplePattern& pattern, Order* chosen) const {
+  constexpr TermId kAny = TriplePattern::kAny;
+  // Pick the index whose order puts the bound components first.
+  Order order;
+  std::array<TermId, 2> prefix = {kAny, kAny};
+  int bound = 0;
+  if (pattern.s != kAny) {
+    order = Order::kSpo;
+    prefix[0] = pattern.s;
+    bound = 1;
+    if (pattern.p != kAny) {
+      prefix[1] = pattern.p;
+      bound = 2;
+    }
+  } else if (pattern.p != kAny) {
+    order = Order::kPos;
+    prefix[0] = pattern.p;
+    bound = 1;
+    if (pattern.o != kAny) {
+      prefix[1] = pattern.o;
+      bound = 2;
+    }
+  } else if (pattern.o != kAny) {
+    order = Order::kOsp;
+    prefix[0] = pattern.o;
+    bound = 1;
+  } else {
+    // Full scan: caller detects nullptr sentinel.
+    *chosen = Order::kSpo;
+    return {nullptr, nullptr};
+  }
+  *chosen = order;
+  EnsureSorted(order);
+  const std::vector<uint32_t>& idx = order == Order::kSpo   ? idx_spo_
+                                     : order == Order::kPos ? idx_pos_
+                                                            : idx_osp_;
+  int ord = order == Order::kSpo ? 0 : order == Order::kPos ? 1 : 2;
+  auto cmp_lo = [this, ord, bound](uint32_t a, const std::array<TermId, 2>& k) {
+    auto ka = KeyOf(triples_[a], ord);
+    for (int i = 0; i < bound; ++i) {
+      if (ka[i] != k[i]) return ka[i] < k[i];
+    }
+    return false;
+  };
+  auto cmp_hi = [this, ord, bound](const std::array<TermId, 2>& k, uint32_t a) {
+    auto ka = KeyOf(triples_[a], ord);
+    for (int i = 0; i < bound; ++i) {
+      if (ka[i] != k[i]) return k[i] < ka[i];
+    }
+    return false;
+  };
+  auto lo = std::lower_bound(idx.begin(), idx.end(), prefix, cmp_lo);
+  auto hi = std::upper_bound(idx.begin(), idx.end(), prefix, cmp_hi);
+  return {idx.data() + (lo - idx.begin()), idx.data() + (hi - idx.begin())};
+}
+
+void TripleStore::ForEachMatch(
+    const TriplePattern& pattern,
+    const std::function<bool(const Triple&)>& fn) const {
+  constexpr TermId kAny = TriplePattern::kAny;
+  auto matches = [&pattern](const Triple& t) {
+    return (pattern.s == kAny || pattern.s == t.s) &&
+           (pattern.p == kAny || pattern.p == t.p) &&
+           (pattern.o == kAny || pattern.o == t.o);
+  };
+  Order order;
+  auto [begin, end] = PrefixRange(pattern, &order);
+  if (begin == nullptr) {  // full scan
+    for (const Triple& t : triples_) {
+      if (!fn(t)) return;
+    }
+    return;
+  }
+  for (const uint32_t* it = begin; it != end; ++it) {
+    const Triple& t = triples_[*it];
+    if (matches(t) && !fn(t)) return;
+  }
+}
+
+std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  ForEachMatch(pattern, [&out](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+size_t TripleStore::CountMatches(const TriplePattern& pattern) const {
+  size_t n = 0;
+  ForEachMatch(pattern, [&n](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
+  std::vector<TermId> out;
+  ForEachMatch(TriplePattern{s, p, TriplePattern::kAny},
+               [&out](const Triple& t) {
+                 out.push_back(t.o);
+                 return true;
+               });
+  return out;
+}
+
+std::vector<TermId> TripleStore::Subjects(TermId p, TermId o) const {
+  std::vector<TermId> out;
+  ForEachMatch(TriplePattern{TriplePattern::kAny, p, o},
+               [&out](const Triple& t) {
+                 out.push_back(t.s);
+                 return true;
+               });
+  return out;
+}
+
+TermId TripleStore::FirstObject(TermId s, TermId p) const {
+  TermId found = kInvalidTerm;
+  ForEachMatch(TriplePattern{s, p, TriplePattern::kAny},
+               [&found](const Triple& t) {
+                 found = t.o;
+                 return false;
+               });
+  return found;
+}
+
+std::vector<TermId> TripleStore::DistinctPredicates() const {
+  EnsureSorted(Order::kPos);
+  std::vector<TermId> out;
+  TermId last = kInvalidTerm;
+  for (uint32_t i : idx_pos_) {
+    TermId p = triples_[i].p;
+    if (p != last) {
+      out.push_back(p);
+      last = p;
+    }
+  }
+  return out;
+}
+
+}  // namespace openbg::rdf

@@ -1,0 +1,111 @@
+#ifndef OPENBG_RDF_TRIPLE_STORE_H_
+#define OPENBG_RDF_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace openbg::rdf {
+
+/// One RDF statement: subject-predicate-object, all interned TermIds.
+struct Triple {
+  TermId s = kInvalidTerm;
+  TermId p = kInvalidTerm;
+  TermId o = kInvalidTerm;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// A triple pattern: any component may be `kAny` (wildcard).
+struct TriplePattern {
+  static constexpr TermId kAny = kInvalidTerm;
+  TermId s = kAny;
+  TermId p = kAny;
+  TermId o = kAny;
+};
+
+/// In-memory deduplicating triple store with three lazily maintained sort
+/// orders (SPO, POS, OSP), so any pattern with at least one bound component
+/// resolves to a binary-searched contiguous range.
+///
+/// Design notes (scaled-down analogue of the production store):
+///  * triples append to a log vector; a hash set dedupes;
+///  * each index is a permutation of triple positions, re-sorted only when a
+///    query arrives after inserts (bulk-load friendly: building N triples
+///    then querying costs one sort per index, not N inserts into a tree).
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  /// Adds a triple; returns false iff it was already present.
+  bool Add(TermId s, TermId p, TermId o);
+  bool Add(const Triple& t) { return Add(t.s, t.p, t.o); }
+
+  /// True iff the exact triple is present.
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  size_t size() const { return triples_.size(); }
+
+  /// All triples in insertion order.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Collects all triples matching `pattern`.
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Calls `fn` for each matching triple; stops early if `fn` returns false.
+  void ForEachMatch(const TriplePattern& pattern,
+                    const std::function<bool(const Triple&)>& fn) const;
+
+  /// Number of triples matching `pattern` (no materialization).
+  size_t CountMatches(const TriplePattern& pattern) const;
+
+  /// Objects `o` of all triples (s, p, o). Convenience for the hot
+  /// "attribute lookup" path.
+  std::vector<TermId> Objects(TermId s, TermId p) const;
+
+  /// Subjects `s` of all triples (s, p, o).
+  std::vector<TermId> Subjects(TermId p, TermId o) const;
+
+  /// First object of (s, p, *), or kInvalidTerm.
+  TermId FirstObject(TermId s, TermId p) const;
+
+  /// Distinct predicates present in the store.
+  std::vector<TermId> DistinctPredicates() const;
+
+ private:
+  enum class Order { kSpo, kPos, kOsp };
+
+  struct TripleHash {
+    size_t operator()(const Triple& t) const {
+      uint64_t h = t.s;
+      h = h * 0x9E3779B97F4A7C15ull + t.p;
+      h = h * 0x9E3779B97F4A7C15ull + t.o;
+      h ^= h >> 29;
+      return static_cast<size_t>(h);
+    }
+  };
+
+  void EnsureSorted(Order order) const;
+
+  // Returns [begin, end) into the given index for the pattern's bound prefix.
+  std::pair<const uint32_t*, const uint32_t*> PrefixRange(
+      const TriplePattern& pattern, Order* chosen) const;
+
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> dedup_;
+
+  mutable std::vector<uint32_t> idx_spo_, idx_pos_, idx_osp_;
+  mutable bool spo_dirty_ = false, pos_dirty_ = false, osp_dirty_ = false;
+};
+
+}  // namespace openbg::rdf
+
+#endif  // OPENBG_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,21 @@
+#include "rdf/vocab.h"
+
+namespace openbg::rdf {
+
+Vocab::Vocab(TermDict* dict)
+    : rdf_type(dict->AddIri(iri::kRdfType)),
+      rdfs_sub_class_of(dict->AddIri(iri::kRdfsSubClassOf)),
+      rdfs_sub_property_of(dict->AddIri(iri::kRdfsSubPropertyOf)),
+      rdfs_label(dict->AddIri(iri::kRdfsLabel)),
+      rdfs_comment(dict->AddIri(iri::kRdfsComment)),
+      rdfs_domain(dict->AddIri(iri::kRdfsDomain)),
+      rdfs_range(dict->AddIri(iri::kRdfsRange)),
+      owl_thing(dict->AddIri(iri::kOwlThing)),
+      owl_equivalent_class(dict->AddIri(iri::kOwlEquivalentClass)),
+      owl_equivalent_property(dict->AddIri(iri::kOwlEquivalentProperty)),
+      skos_concept(dict->AddIri(iri::kSkosConcept)),
+      skos_broader(dict->AddIri(iri::kSkosBroader)),
+      skos_pref_label(dict->AddIri(iri::kSkosPrefLabel)),
+      skos_alt_label(dict->AddIri(iri::kSkosAltLabel)) {}
+
+}  // namespace openbg::rdf

@@ -1,0 +1,72 @@
+#ifndef OPENBG_RDF_VOCAB_H_
+#define OPENBG_RDF_VOCAB_H_
+
+#include <string_view>
+
+#include "rdf/term.h"
+
+namespace openbg::rdf {
+
+/// W3C vocabulary IRIs used by the OpenBG ontology (Sec. II-A of the paper):
+/// rdf:type and rdfs:subClassOf / skos:broader for taxonomy, owl:equivalent*
+/// for synonymy, plus the label/comment data properties of Table I.
+namespace iri {
+
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr std::string_view kRdfsSubPropertyOf =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr std::string_view kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr std::string_view kRdfsComment =
+    "http://www.w3.org/2000/01/rdf-schema#comment";
+inline constexpr std::string_view kRdfsDomain =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr std::string_view kRdfsRange =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr std::string_view kOwlThing =
+    "http://www.w3.org/2002/07/owl#Thing";
+inline constexpr std::string_view kOwlEquivalentClass =
+    "http://www.w3.org/2002/07/owl#equivalentClass";
+inline constexpr std::string_view kOwlEquivalentProperty =
+    "http://www.w3.org/2002/07/owl#equivalentProperty";
+inline constexpr std::string_view kSkosConcept =
+    "http://www.w3.org/2004/02/skos/core#Concept";
+inline constexpr std::string_view kSkosBroader =
+    "http://www.w3.org/2004/02/skos/core#broader";
+inline constexpr std::string_view kSkosPrefLabel =
+    "http://www.w3.org/2004/02/skos/core#prefLabel";
+inline constexpr std::string_view kSkosAltLabel =
+    "http://www.w3.org/2004/02/skos/core#altLabel";
+
+/// OpenBG's own namespace for classes/concepts/entities/relations.
+inline constexpr std::string_view kOpenBgNs = "http://openbg.example/";
+
+}  // namespace iri
+
+/// The W3C terms pre-interned into a TermDict; every module that touches the
+/// store holds one of these instead of re-looking-up IRIs.
+struct Vocab {
+  explicit Vocab(TermDict* dict);
+
+  TermId rdf_type;
+  TermId rdfs_sub_class_of;
+  TermId rdfs_sub_property_of;
+  TermId rdfs_label;
+  TermId rdfs_comment;
+  TermId rdfs_domain;
+  TermId rdfs_range;
+  TermId owl_thing;
+  TermId owl_equivalent_class;
+  TermId owl_equivalent_property;
+  TermId skos_concept;
+  TermId skos_broader;
+  TermId skos_pref_label;
+  TermId skos_alt_label;
+};
+
+}  // namespace openbg::rdf
+
+#endif  // OPENBG_RDF_VOCAB_H_

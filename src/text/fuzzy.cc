@@ -1,0 +1,58 @@
+#include "text/fuzzy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace openbg::text {
+
+FuzzyMatcher::FuzzyMatcher(double min_similarity)
+    : min_similarity_(min_similarity) {}
+
+void FuzzyMatcher::AddCanonical(std::string_view name, uint32_t id) {
+  std::string lower = util::ToLower(name);
+  if (lower.empty()) return;
+  uint32_t idx = static_cast<uint32_t>(canonical_names_.size());
+  canonical_names_.push_back({lower, id});
+  exact_[lower] = id;
+  blocks_[lower[0]].push_back(idx);
+}
+
+bool FuzzyMatcher::AddSynonym(std::string_view alias,
+                              std::string_view canonical) {
+  auto it = exact_.find(util::ToLower(canonical));
+  if (it == exact_.end()) return false;
+  exact_[util::ToLower(alias)] = it->second;
+  return true;
+}
+
+FuzzyMatcher::Match FuzzyMatcher::Resolve(std::string_view query) const {
+  std::string q = util::ToLower(query);
+  if (q.empty()) return {};
+  auto it = exact_.find(q);
+  if (it != exact_.end()) return {it->second, 1.0, true};
+  if (min_similarity_ >= 1.0) return {};
+
+  Match best;
+  auto bit = blocks_.find(q[0]);
+  if (bit == blocks_.end()) return best;
+  for (uint32_t idx : bit->second) {
+    const Entry& e = canonical_names_[idx];
+    // Length band: strings whose length differs too much cannot clear the
+    // similarity bar; skip the O(nm) distance for them.
+    size_t max_len = std::max(e.name.size(), q.size());
+    size_t min_len = std::min(e.name.size(), q.size());
+    if (static_cast<double>(min_len) <
+        min_similarity_ * static_cast<double>(max_len)) {
+      continue;
+    }
+    double sim = util::EditSimilarity(q, e.name);
+    if (sim >= min_similarity_ && sim > best.similarity) {
+      best = {e.id, sim, false};
+    }
+  }
+  return best;
+}
+
+}  // namespace openbg::text

@@ -1,0 +1,58 @@
+#ifndef OPENBG_TEXT_FUZZY_H_
+#define OPENBG_TEXT_FUZZY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace openbg::text {
+
+/// Fuzzy matcher over a gazetteer of canonical names with optional synonym
+/// aliases: the "fuzzy matching of synonyms" stage of Place/Brand linking
+/// (Sec. II-B). Resolution order:
+///   1. exact canonical / synonym hit (hash lookup);
+///   2. normalized-edit-similarity search over candidates sharing a length
+///      band and a first-character bucket (cheap blocking), accepted above
+///      `min_similarity`.
+class FuzzyMatcher {
+ public:
+  /// `min_similarity` in (0,1]; 1.0 disables fuzzy fallback entirely.
+  explicit FuzzyMatcher(double min_similarity = 0.8);
+
+  /// Registers a canonical entry. `id` is caller-defined (e.g., a TermId).
+  void AddCanonical(std::string_view name, uint32_t id);
+
+  /// Registers `alias` as a synonym resolving to the same id as `canonical`
+  /// (which must already be registered). Returns false if it is not.
+  bool AddSynonym(std::string_view alias, std::string_view canonical);
+
+  struct Match {
+    uint32_t id = kNoMatch;
+    double similarity = 0.0;
+    bool exact = false;
+  };
+  static constexpr uint32_t kNoMatch = 0xFFFFFFFFu;
+
+  /// Resolves `query` (case-insensitively) to the best gazetteer entry.
+  Match Resolve(std::string_view query) const;
+
+  size_t num_canonical() const { return canonical_names_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;  // lowercased
+    uint32_t id;
+  };
+
+  double min_similarity_;
+  std::vector<Entry> canonical_names_;
+  std::unordered_map<std::string, uint32_t> exact_;  // lowercased -> id
+  // Blocking index: first byte -> entry indices (sorted by length).
+  std::unordered_map<char, std::vector<uint32_t>> blocks_;
+};
+
+}  // namespace openbg::text
+
+#endif  // OPENBG_TEXT_FUZZY_H_

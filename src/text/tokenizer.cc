@@ -1,0 +1,85 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace openbg::text {
+namespace {
+
+bool IsAsciiWordChar(unsigned char c) {
+  return std::isalnum(c) != 0 || c == '_' || c == '\'';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::vector<std::string> chars = util::Utf8Chars(s);
+  std::string word;
+  auto flush = [&tokens, &word]() {
+    if (!word.empty()) {
+      tokens.push_back(util::ToLower(word));
+      word.clear();
+    }
+  };
+  for (const std::string& ch : chars) {
+    if (ch.size() == 1) {
+      unsigned char c = static_cast<unsigned char>(ch[0]);
+      if (IsAsciiWordChar(c)) {
+        word += ch;
+      } else {
+        flush();  // whitespace and punctuation both end the word
+      }
+    } else {
+      // Multi-byte codepoint: CJK-style single-character token.
+      flush();
+      tokens.push_back(ch);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> CharNgrams(std::string_view s, size_t n) {
+  std::vector<std::string> out;
+  if (n == 0) return out;
+  std::vector<std::string> chars = util::Utf8Chars(s);
+  if (chars.size() < n) return out;
+  for (size_t i = 0; i + n <= chars.size(); ++i) {
+    std::string g;
+    for (size_t k = 0; k < n; ++k) g += chars[i + k];
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+size_t LcsLength(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+double RougeL(const std::vector<std::string>& candidate,
+              const std::vector<std::string>& reference) {
+  if (candidate.empty() || reference.empty()) return 0.0;
+  double lcs = static_cast<double>(LcsLength(candidate, reference));
+  double p = lcs / static_cast<double>(candidate.size());
+  double r = lcs / static_cast<double>(reference.size());
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+}  // namespace openbg::text

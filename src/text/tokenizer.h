@@ -1,0 +1,34 @@
+#ifndef OPENBG_TEXT_TOKENIZER_H_
+#define OPENBG_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace openbg::text {
+
+/// Tokenization policy matching how e-commerce Chinese+ASCII text is usually
+/// segmented for sequence labeling: every CJK codepoint is its own token
+/// (character-level, what BERT-CRF taggers use for Chinese), while runs of
+/// ASCII letters/digits stay whole words, and punctuation splits.
+///
+/// Our synthetic corpus is ASCII, so the word path dominates, but the
+/// tokenizer handles real UTF-8 input identically to the production setup.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// Character n-grams of a token sequence joined text (used by the hashed
+/// encoder as subword features). Returns each n-gram as a string.
+std::vector<std::string> CharNgrams(std::string_view s, size_t n);
+
+/// Token-level longest common subsequence length (core of ROUGE-L).
+size_t LcsLength(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b);
+
+/// ROUGE-L F1 between candidate and reference token sequences
+/// (beta = 1); the metric the paper uses for title summarization.
+double RougeL(const std::vector<std::string>& candidate,
+              const std::vector<std::string>& reference);
+
+}  // namespace openbg::text
+
+#endif  // OPENBG_TEXT_TOKENIZER_H_

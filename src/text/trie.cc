@@ -1,0 +1,89 @@
+#include "text/trie.h"
+
+#include <algorithm>
+
+namespace openbg::text {
+
+Trie::Trie() { nodes_.emplace_back(); }
+
+uint32_t Trie::Child(uint32_t node, uint8_t byte) const {
+  const auto& ch = nodes_[node].children;
+  auto it = std::lower_bound(
+      ch.begin(), ch.end(), byte,
+      [](const std::pair<uint8_t, uint32_t>& a, uint8_t b) {
+        return a.first < b;
+      });
+  if (it != ch.end() && it->first == byte) return it->second;
+  return kNoValue;
+}
+
+uint32_t Trie::ChildOrCreate(uint32_t node, uint8_t byte) {
+  uint32_t existing = Child(node, byte);
+  if (existing != kNoValue) return existing;
+  uint32_t idx = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  auto& ch = nodes_[node].children;
+  auto it = std::lower_bound(
+      ch.begin(), ch.end(), byte,
+      [](const std::pair<uint8_t, uint32_t>& a, uint8_t b) {
+        return a.first < b;
+      });
+  ch.insert(it, {byte, idx});
+  return idx;
+}
+
+void Trie::Insert(std::string_view key, uint32_t value) {
+  uint32_t node = 0;
+  for (unsigned char c : key) node = ChildOrCreate(node, c);
+  if (nodes_[node].value == kNoValue) ++num_keys_;
+  nodes_[node].value = value;
+}
+
+uint32_t Trie::Find(std::string_view key) const {
+  uint32_t node = 0;
+  for (unsigned char c : key) {
+    node = Child(node, c);
+    if (node == kNoValue) return kNoValue;
+  }
+  return nodes_[node].value;
+}
+
+bool Trie::HasPrefix(std::string_view prefix) const {
+  uint32_t node = 0;
+  for (unsigned char c : prefix) {
+    node = Child(node, c);
+    if (node == kNoValue) return false;
+  }
+  return true;
+}
+
+Trie::Match Trie::LongestPrefixMatch(std::string_view s, size_t pos) const {
+  Match best;
+  uint32_t node = 0;
+  for (size_t i = pos; i < s.size(); ++i) {
+    node = Child(node, static_cast<unsigned char>(s[i]));
+    if (node == kNoValue) break;
+    if (nodes_[node].value != kNoValue) {
+      best.length = i - pos + 1;
+      best.value = nodes_[node].value;
+    }
+  }
+  return best;
+}
+
+std::vector<Trie::SpanMatch> Trie::FindAll(std::string_view s) const {
+  std::vector<SpanMatch> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    Match m = LongestPrefixMatch(s, i);
+    if (m.length > 0) {
+      out.push_back({i, m.length, m.value});
+      i += m.length;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace openbg::text

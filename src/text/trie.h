@@ -1,0 +1,72 @@
+#ifndef OPENBG_TEXT_TRIE_H_
+#define OPENBG_TEXT_TRIE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace openbg::text {
+
+/// Byte-level trie with payloads, used for the paper's "trie prefix tree
+/// precise matching" stage of Place/Brand linking (Sec. II-B): the gazetteer
+/// of standard names is loaded once, then every product label is scanned for
+/// the longest dictionary hit at each position.
+class Trie {
+ public:
+  static constexpr uint32_t kNoValue = 0xFFFFFFFFu;
+
+  Trie();
+
+  Trie(const Trie&) = delete;
+  Trie& operator=(const Trie&) = delete;
+  Trie(Trie&&) = default;
+  Trie& operator=(Trie&&) = default;
+
+  /// Inserts `key` with payload `value` (overwrites an existing payload).
+  void Insert(std::string_view key, uint32_t value);
+
+  /// Exact lookup; kNoValue if absent.
+  uint32_t Find(std::string_view key) const;
+
+  /// True iff some inserted key starts with `prefix`.
+  bool HasPrefix(std::string_view prefix) const;
+
+  /// Longest key that is a prefix of `s` starting at byte `pos`.
+  /// Returns length 0 if none.
+  struct Match {
+    size_t length = 0;
+    uint32_t value = kNoValue;
+  };
+  Match LongestPrefixMatch(std::string_view s, size_t pos) const;
+
+  /// All non-overlapping longest matches scanning left to right, the exact
+  /// procedure the linker uses over product titles.
+  struct SpanMatch {
+    size_t begin = 0;
+    size_t length = 0;
+    uint32_t value = kNoValue;
+  };
+  std::vector<SpanMatch> FindAll(std::string_view s) const;
+
+  size_t size() const { return num_keys_; }
+
+ private:
+  struct Node {
+    // Sparse children: sorted (byte, node index) pairs. Gazetteer tries are
+    // shallow and sparse; sorted-vector children beat a 256-ary array on
+    // memory by ~50x at equal lookup cost for our fanouts.
+    std::vector<std::pair<uint8_t, uint32_t>> children;
+    uint32_t value = kNoValue;
+  };
+
+  uint32_t Child(uint32_t node, uint8_t byte) const;
+  uint32_t ChildOrCreate(uint32_t node, uint8_t byte);
+
+  std::vector<Node> nodes_;
+  size_t num_keys_ = 0;
+};
+
+}  // namespace openbg::text
+
+#endif  // OPENBG_TEXT_TRIE_H_

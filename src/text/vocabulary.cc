@@ -1,0 +1,58 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace openbg::text {
+
+Vocabulary::Vocabulary() {
+  tokens_.push_back("<unk>");
+  freqs_.push_back(0);
+}
+
+void Vocabulary::Observe(std::string_view token) {
+  OPENBG_CHECK(!built_) << "Observe() after Build()";
+  counts_[std::string(token)] += 1;
+}
+
+void Vocabulary::Build(size_t min_count) {
+  OPENBG_CHECK(!built_) << "Build() called twice";
+  // Deterministic order: by descending frequency, ties by token text.
+  std::vector<std::pair<std::string, size_t>> items(counts_.begin(),
+                                                    counts_.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (auto& [tok, cnt] : items) {
+    if (cnt < min_count) {
+      freqs_[kUnk] += cnt;
+      continue;
+    }
+    uint32_t id = static_cast<uint32_t>(tokens_.size());
+    ids_.emplace(tok, id);
+    tokens_.push_back(tok);
+    freqs_.push_back(cnt);
+  }
+  counts_.clear();
+  built_ = true;
+}
+
+uint32_t Vocabulary::Id(std::string_view token) const {
+  OPENBG_CHECK(built_) << "Id() before Build()";
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocabulary::Token(uint32_t id) const {
+  OPENBG_CHECK(id < tokens_.size());
+  return tokens_[id];
+}
+
+size_t Vocabulary::Frequency(uint32_t id) const {
+  OPENBG_CHECK(id < freqs_.size());
+  return freqs_[id];
+}
+
+}  // namespace openbg::text

@@ -1,0 +1,51 @@
+#ifndef OPENBG_TEXT_VOCABULARY_H_
+#define OPENBG_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace openbg::text {
+
+/// Token-id mapping with frequency counts and an <unk> fallback; the shared
+/// front-end of the CRF feature extractor and the neural text encoders.
+class Vocabulary {
+ public:
+  static constexpr uint32_t kUnk = 0;
+
+  Vocabulary();
+
+  /// Counts a token occurrence during corpus scanning.
+  void Observe(std::string_view token);
+
+  /// Freezes the vocabulary: tokens seen fewer than `min_count` times map to
+  /// <unk>. Must be called once, after all Observe calls.
+  void Build(size_t min_count = 1);
+
+  /// Id for `token` (kUnk when unknown). Requires Build().
+  uint32_t Id(std::string_view token) const;
+
+  /// Token text for an id.
+  const std::string& Token(uint32_t id) const;
+
+  /// Corpus frequency recorded for `id` at Build time.
+  size_t Frequency(uint32_t id) const;
+
+  /// Number of distinct ids including <unk>.
+  size_t size() const { return tokens_.size(); }
+
+  bool built() const { return built_; }
+
+ private:
+  bool built_ = false;
+  std::unordered_map<std::string, size_t> counts_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> tokens_;
+  std::vector<size_t> freqs_;
+};
+
+}  // namespace openbg::text
+
+#endif  // OPENBG_TEXT_VOCABULARY_H_

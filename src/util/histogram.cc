@@ -1,0 +1,92 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace openbg::util {
+
+void Histogram::Add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Min() const {
+  OPENBG_CHECK(!values_.empty());
+  EnsureSorted();
+  return values_.front();
+}
+
+double Histogram::Max() const {
+  OPENBG_CHECK(!values_.empty());
+  EnsureSorted();
+  return values_.back();
+}
+
+double Histogram::Mean() const {
+  OPENBG_CHECK(!values_.empty());
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Histogram::Percentile(double p) const {
+  OPENBG_CHECK(!values_.empty());
+  OPENBG_CHECK(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  double idx = p / 100.0 * static_cast<double>(values_.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+std::string Histogram::AsciiChart(size_t max_rows, size_t width) const {
+  if (values_.empty()) return "(empty)\n";
+  EnsureSorted();
+  std::vector<double> desc(values_.rbegin(), values_.rend());
+  size_t rows = std::min(max_rows, desc.size());
+  // Bucket the sorted sequence into `rows` groups (mean per bucket).
+  std::vector<double> bucket(rows, 0.0);
+  std::vector<size_t> n(rows, 0);
+  for (size_t i = 0; i < desc.size(); ++i) {
+    size_t b = i * rows / desc.size();
+    bucket[b] += desc[i];
+    n[b] += 1;
+  }
+  for (size_t b = 0; b < rows; ++b) {
+    if (n[b] > 0) bucket[b] /= static_cast<double>(n[b]);
+  }
+  double mx = *std::max_element(bucket.begin(), bucket.end());
+  double mn = *std::min_element(bucket.begin(), bucket.end());
+  bool log_scale = mn > 0.0 && mx / std::max(mn, 1e-12) > 100.0;
+  std::string out;
+  for (size_t b = 0; b < rows; ++b) {
+    double v = bucket[b];
+    double frac;
+    if (log_scale) {
+      double lv = std::log10(std::max(v, 1.0));
+      double lmx = std::log10(std::max(mx, 1.0));
+      frac = lmx > 0.0 ? lv / lmx : 0.0;
+    } else {
+      frac = mx > 0.0 ? v / mx : 0.0;
+    }
+    size_t bars = static_cast<size_t>(std::lround(frac * width));
+    out += StrFormat("%12.1f |", v);
+    out.append(bars, '#');
+    out += '\n';
+  }
+  if (log_scale) out += "(log-scaled bars)\n";
+  return out;
+}
+
+}  // namespace openbg::util

@@ -1,0 +1,35 @@
+#ifndef OPENBG_UTIL_HISTOGRAM_H_
+#define OPENBG_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace openbg::util {
+
+/// Accumulates counts and renders compact ASCII summaries; used by the
+/// figure-reproduction benches (e.g., the Fig. 5 relation long-tail plot).
+class Histogram {
+ public:
+  void Add(double v);
+
+  size_t count() const { return values_.size(); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Percentile(double p) const;  // p in [0,100]
+
+  /// Renders a horizontal-bar ASCII chart of the sorted values (descending),
+  /// bucketed into at most `max_rows` rows, with log-scaled bars when the
+  /// range spans > 2 decades.
+  std::string AsciiChart(size_t max_rows, size_t width) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_HISTOGRAM_H_

@@ -1,0 +1,77 @@
+#ifndef OPENBG_UTIL_LOGGING_H_
+#define OPENBG_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace openbg::util {
+
+/// Log severity levels, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level: messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after flushing. Used by OPENBG_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace openbg::util
+
+#define OPENBG_LOG(level)                                            \
+  ::openbg::util::internal::LogMessage(                              \
+      ::openbg::util::LogLevel::k##level, __FILE__, __LINE__)
+
+/// CHECK-style invariant assertion: active in all build types, aborts with a
+/// message on failure. Use for programmer errors, not data errors.
+#define OPENBG_CHECK(cond)                                           \
+  if (!(cond))                                                       \
+  ::openbg::util::internal::FatalLogMessage(__FILE__, __LINE__)      \
+      << "Check failed: " #cond " "
+
+#define OPENBG_CHECK_OK(expr)                                        \
+  do {                                                               \
+    ::openbg::util::Status _st = (expr);                             \
+    OPENBG_CHECK(_st.ok()) << _st.ToString();                        \
+  } while (false)
+
+#endif  // OPENBG_UTIL_LOGGING_H_

@@ -1,0 +1,105 @@
+#ifndef OPENBG_UTIL_STATUS_H_
+#define OPENBG_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace openbg::util {
+
+/// Error codes used across the library. Mirrors the usual database-library
+/// convention (RocksDB/Arrow style): a cheap, exception-free status object.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result carrying a code and message. Functions that can
+/// fail return `Status` (or `Result<T>`); exceptions are not used for control
+/// flow anywhere in the library.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status union, the library's lightweight analogue of
+/// absl::StatusOr. Check `ok()` before calling `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const Status& status() const { return std::get<Status>(v_); }
+
+  /// Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace openbg::util
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define OPENBG_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::openbg::util::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+#endif  // OPENBG_UTIL_STATUS_H_

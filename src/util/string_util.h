@@ -1,0 +1,57 @@
+#ifndef OPENBG_UTIL_STRING_UTIL_H_
+#define OPENBG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace openbg::util {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on any whitespace run, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// 64-bit FNV-1a hash of a byte string; stable across platforms/runs,
+/// used for feature hashing.
+uint64_t Fnv1a64(std::string_view s);
+
+/// Formats `n` with thousands separators: 2603046837 -> "2,603,046,837".
+std::string WithCommas(uint64_t n);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Levenshtein edit distance (unit costs) over bytes.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity in [0,1]: 1 - dist / max(len).
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Splits a UTF-8 string into codepoint-level "characters" (each returned
+/// element is the byte sequence of one codepoint). Invalid bytes are passed
+/// through as single-byte units. This is the unit the CJK-style tokenizer
+/// works with.
+std::vector<std::string> Utf8Chars(std::string_view s);
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_STRING_UTIL_H_

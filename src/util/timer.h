@@ -1,0 +1,29 @@
+#ifndef OPENBG_UTIL_TIMER_H_
+#define OPENBG_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace openbg::util {
+
+/// Wall-clock stopwatch used by benches to report stage timings.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_TIMER_H_

@@ -1,0 +1,37 @@
+#include "util/tsv.h"
+
+#include "util/string_util.h"
+
+namespace openbg::util {
+
+TsvWriter::TsvWriter(const std::string& path) : out_(path), path_(path) {}
+
+void TsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << '\t';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+Status TsvWriter::Close() {
+  out_.close();
+  if (out_.fail()) return Status::IoError("failed writing " + path_);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ReadTsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(Split(line, '\t'));
+  }
+  return rows;
+}
+
+}  // namespace openbg::util

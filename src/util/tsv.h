@@ -1,0 +1,36 @@
+#ifndef OPENBG_UTIL_TSV_H_
+#define OPENBG_UTIL_TSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace openbg::util {
+
+/// Streaming TSV writer. Benchmarks and dataset exporters use TSV throughout
+/// (the OpenBG release itself ships TSV triple files).
+class TsvWriter {
+ public:
+  explicit TsvWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  /// Writes one row; fields must not contain tabs or newlines.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  Status Close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Reads an entire TSV file into memory. Rows keep their field split;
+/// no quoting/escaping is interpreted (matching the benchmark file format).
+Result<std::vector<std::vector<std::string>>> ReadTsv(const std::string& path);
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_TSV_H_

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "bench_builder/benchmark_builder.h"
+#include "bench_builder/dataset.h"
+#include "core/openbg.h"
+
+namespace openbg::bench_builder {
+namespace {
+
+class BenchBuilderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::OpenBG::Options opts;
+    opts.world.seed = 13;
+    opts.world.scale = 0.15;
+    opts.world.num_products = 600;
+    kg_ = core::OpenBG::Build(opts).release();
+  }
+  static void TearDownTestSuite() {
+    delete kg_;
+    kg_ = nullptr;
+  }
+
+  static core::OpenBG* kg_;
+};
+
+core::OpenBG* BenchBuilderTest::kg_ = nullptr;
+
+BenchmarkSpec SmallSpec() {
+  BenchmarkSpec spec;
+  spec.name = "test500";
+  spec.num_relations = 20;
+  spec.dev_size = 100;
+  spec.test_size = 100;
+  return spec;
+}
+
+TEST_F(BenchBuilderTest, BuildsNonEmptyDataset) {
+  StageReport report;
+  Dataset ds = kg_->BuildBenchmark(SmallSpec(), &report);
+  EXPECT_GT(ds.num_entities(), 100u);
+  EXPECT_LE(ds.num_relations(), 20u);
+  EXPECT_GT(ds.train.size(), 500u);
+  EXPECT_GT(ds.dev.size(), 0u);
+  EXPECT_GT(ds.test.size(), 0u);
+  EXPECT_EQ(report.final_train, ds.train.size());
+  EXPECT_GT(report.candidate_triples, report.sampled_triples / 2);
+  EXPECT_GE(report.relations_before, report.relations_after);
+}
+
+TEST_F(BenchBuilderTest, TripleIdsInRange) {
+  Dataset ds = kg_->BuildBenchmark(SmallSpec(), nullptr);
+  for (const auto* split : {&ds.train, &ds.dev, &ds.test}) {
+    for (const LpTriple& t : *split) {
+      ASSERT_LT(t.h, ds.num_entities());
+      ASSERT_LT(t.t, ds.num_entities());
+      ASSERT_LT(t.r, ds.num_relations());
+    }
+  }
+  EXPECT_EQ(ds.entity_text.size(), ds.num_entities());
+  EXPECT_EQ(ds.entity_images.size(), ds.num_entities());
+}
+
+TEST_F(BenchBuilderTest, EvalEntitiesAppearInTrain) {
+  Dataset ds = kg_->BuildBenchmark(SmallSpec(), nullptr);
+  std::set<uint32_t> train_entities, train_relations;
+  for (const LpTriple& t : ds.train) {
+    train_entities.insert(t.h);
+    train_entities.insert(t.t);
+    train_relations.insert(t.r);
+  }
+  for (const auto* split : {&ds.dev, &ds.test}) {
+    for (const LpTriple& t : *split) {
+      EXPECT_TRUE(train_entities.count(t.h));
+      EXPECT_TRUE(train_entities.count(t.t));
+      EXPECT_TRUE(train_relations.count(t.r));
+    }
+  }
+}
+
+TEST_F(BenchBuilderTest, ImgVariantHeadsAllHaveImages) {
+  BenchmarkSpec spec = SmallSpec();
+  spec.name = "test_img";
+  spec.require_image = true;
+  Dataset ds = kg_->BuildBenchmark(spec, nullptr);
+  ASSERT_GT(ds.train.size(), 0u);
+  for (const LpTriple& t : ds.train) {
+    EXPECT_FALSE(ds.entity_images[t.h].empty())
+        << "IMG benchmark head entity without image";
+  }
+  EXPECT_GT(ds.num_multimodal_entities(), 0u);
+  EXPECT_LT(ds.num_multimodal_entities(), ds.num_entities())
+      << "tails (values/classes) have no images, like the real OpenBG-IMG";
+}
+
+TEST_F(BenchBuilderTest, ImgVariantHasFewerRelations) {
+  BenchmarkSpec full = SmallSpec();
+  full.num_relations = 40;
+  BenchmarkSpec img = full;
+  img.require_image = true;
+  img.name = "img";
+  StageReport r_full, r_img;
+  Dataset a = kg_->BuildBenchmark(full, &r_full);
+  Dataset b = kg_->BuildBenchmark(img, &r_img);
+  EXPECT_LE(b.train.size(), a.train.size());
+}
+
+TEST_F(BenchBuilderTest, SamplingRatesShrinkDataset) {
+  BenchmarkSpec dense = SmallSpec();
+  dense.alpha_head = 1.0;
+  dense.alpha_tail = 1.0;
+  dense.alpha_triple = 1.0;
+  BenchmarkSpec sparse = SmallSpec();
+  sparse.alpha_head = 0.5;
+  sparse.alpha_tail = 0.2;
+  sparse.alpha_triple = 0.5;
+  Dataset a = kg_->BuildBenchmark(dense, nullptr);
+  Dataset b = kg_->BuildBenchmark(sparse, nullptr);
+  size_t a_total = a.train.size() + a.dev.size() + a.test.size();
+  size_t b_total = b.train.size() + b.dev.size() + b.test.size();
+  EXPECT_LT(b_total, a_total / 2);
+}
+
+TEST_F(BenchBuilderTest, DeterministicForSeed) {
+  Dataset a = kg_->BuildBenchmark(SmallSpec(), nullptr);
+  Dataset b = kg_->BuildBenchmark(SmallSpec(), nullptr);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i], b.train[i]);
+  }
+}
+
+TEST_F(BenchBuilderTest, RelationDistributionLongTail) {
+  Dataset ds = kg_->BuildBenchmark(SmallSpec(), nullptr);
+  auto dist = RelationDistribution(ds);
+  ASSERT_GT(dist.size(), 3u);
+  EXPECT_GE(dist.front().second, dist.back().second);
+  EXPECT_GT(dist.front().second, dist.back().second * 3)
+      << "head relation should dominate the tail (Fig. 5 shape)";
+  // Sorted descending.
+  for (size_t i = 1; i < dist.size(); ++i) {
+    EXPECT_GE(dist[i - 1].second, dist[i].second);
+  }
+}
+
+TEST_F(BenchBuilderTest, WriteToProducesFiles) {
+  Dataset ds = kg_->BuildBenchmark(SmallSpec(), nullptr);
+  std::string dir = ::testing::TempDir() + "/openbg_bench_test";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(ds.WriteTo(dir).ok());
+  for (const char* suffix :
+       {"_train.tsv", "_dev.tsv", "_test.tsv", "_entities.tsv",
+        "_relations.tsv"}) {
+    EXPECT_TRUE(
+        std::filesystem::exists(dir + "/" + ds.name + suffix))
+        << suffix;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace openbg::bench_builder

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "construction/concept_extractor.h"
+#include "construction/concept_quality.h"
+#include "construction/kg_assembler.h"
+#include "construction/schema_mapper.h"
+#include "core/openbg.h"
+#include "ontology/reasoner.h"
+
+namespace openbg::construction {
+namespace {
+
+using ontology::CoreKind;
+
+datagen::World SmallWorld(uint64_t seed = 7) {
+  datagen::WorldSpec spec;
+  spec.seed = seed;
+  spec.scale = 0.1;
+  spec.num_products = 300;
+  return datagen::GenerateWorld(spec);
+}
+
+TEST(SchemaMapperTest, ExactSynonymFuzzyStages) {
+  datagen::TaxonomyData tax;
+  datagen::TaxonomyNode a;
+  a.name = "Hangzhou";
+  a.aliases = {"hz"};
+  tax.nodes.push_back(a);
+  datagen::TaxonomyNode b;
+  b.name = "Shanghai";
+  tax.nodes.push_back(b);
+  tax.leaves = {0, 1};
+
+  SchemaMapper mapper(tax, 0.75);
+  auto r = mapper.Link("hangzhou");
+  EXPECT_EQ(r.node, 0);
+  EXPECT_EQ(r.kind, SchemaMapper::MatchKind::kExact);
+  r = mapper.Link("HZ");
+  EXPECT_EQ(r.node, 0);
+  EXPECT_EQ(r.kind, SchemaMapper::MatchKind::kSynonym);
+  r = mapper.Link("shangahi");  // transposed
+  EXPECT_EQ(r.node, 1);
+  EXPECT_EQ(r.kind, SchemaMapper::MatchKind::kFuzzy);
+  r = mapper.Link("beijing");
+  EXPECT_EQ(r.node, -1);
+  EXPECT_EQ(r.kind, SchemaMapper::MatchKind::kMiss);
+  EXPECT_EQ(mapper.stats().total, 4u);
+  EXPECT_EQ(mapper.stats().exact, 1u);
+  EXPECT_EQ(mapper.stats().miss, 1u);
+}
+
+TEST(SchemaMapperTest, FuzzyBeatsTrieOnlyOnNoisyMentions) {
+  datagen::World w = SmallWorld();
+  std::vector<std::string> mentions;
+  std::vector<int> gold;
+  for (const datagen::Product& p : w.products) {
+    if (p.brand >= 0) {
+      mentions.push_back(p.brand_mention);
+      gold.push_back(p.brand);
+    }
+  }
+  ASSERT_GT(mentions.size(), 50u);
+  auto with_fuzzy = SchemaMapper::Evaluate(w.brands, mentions, gold, true);
+  auto trie_only = SchemaMapper::Evaluate(w.brands, mentions, gold, false);
+  EXPECT_GT(with_fuzzy.accuracy, trie_only.accuracy)
+      << "fuzzy stage must recover typo'd mentions";
+  EXPECT_GT(with_fuzzy.accuracy, 0.85);
+  EXPECT_GE(with_fuzzy.coverage, with_fuzzy.accuracy);
+}
+
+TEST(ConceptExtractorTest, LearnsTitleSpans) {
+  datagen::World w = SmallWorld();
+  std::vector<crf::Sequence> train, test;
+  for (size_t i = 0; i < w.products.size(); ++i) {
+    const datagen::Product& p = w.products[i];
+    crf::Sequence seq =
+        ConceptExtractor::MakeSequence(p.title_tokens, p.title_spans);
+    (i % 5 == 0 ? test : train).push_back(seq);
+  }
+  ConceptExtractor extractor(w.attribute_types.size(), 1 << 15);
+  util::Rng rng(3);
+  extractor.Train(train, /*epochs=*/4, /*lr=*/0.3, &rng);
+  crf::SpanPrf prf = extractor.Evaluate(test);
+  EXPECT_GT(prf.f1, 0.8) << "P=" << prf.precision << " R=" << prf.recall;
+}
+
+TEST(ConceptExtractorTest, ExtractReturnsTypedSpans) {
+  datagen::World w = SmallWorld();
+  std::vector<crf::Sequence> train;
+  for (const datagen::Product& p : w.products) {
+    train.push_back(
+        ConceptExtractor::MakeSequence(p.title_tokens, p.title_spans));
+  }
+  ConceptExtractor extractor(w.attribute_types.size(), 1 << 15);
+  util::Rng rng(5);
+  extractor.Train(train, 4, 0.3, &rng);
+  const datagen::Product& p = w.products[0];
+  std::vector<ExtractedSpan> spans = extractor.Extract(p.title_tokens);
+  for (const ExtractedSpan& sp : spans) {
+    EXPECT_LT(sp.begin, sp.end);
+    EXPECT_LE(sp.end, p.title_tokens.size());
+    EXPECT_LT(sp.type, w.attribute_types.size());
+    EXPECT_FALSE(sp.text.empty());
+  }
+}
+
+TEST(ConceptQualityTest, FacetsInRangeAndConsistent) {
+  datagen::World w = SmallWorld();
+  ConceptQualityScorer scorer(w, CoreKind::kScene);
+  ASSERT_GT(scorer.TotalPairs(), 0u);
+  const datagen::Product& p = w.products[0];
+  ASSERT_FALSE(p.scenes.empty());
+  FacetScores f = scorer.Score(p.category, p.scenes[0]);
+  EXPECT_GT(f.plausibility, 0.0);
+  EXPECT_LE(f.plausibility, 1.0);
+  EXPECT_GT(f.typicality, 0.0);
+  EXPECT_LE(f.typicality, 1.0);
+  EXPECT_GE(f.remarkability, 0.0);
+  EXPECT_LE(f.remarkability, 1.0);
+  EXPECT_NEAR(f.salience, std::sqrt(f.typicality * f.remarkability), 1e-9);
+}
+
+TEST(ConceptQualityTest, UnseenPairScoresZero) {
+  datagen::World w = SmallWorld();
+  ConceptQualityScorer scorer(w, CoreKind::kCrowd);
+  // A pair that never co-occurs: use an out-of-band category id.
+  FacetScores f = scorer.Score(/*category_leaf=*/-1, /*concept_leaf=*/0);
+  EXPECT_EQ(f.plausibility, 0.0);
+  EXPECT_EQ(f.typicality, 0.0);
+  EXPECT_EQ(f.salience, 0.0);
+}
+
+TEST(ConceptQualityTest, SalientStatementsPassThresholds) {
+  datagen::World w = SmallWorld();
+  ConceptQualityScorer scorer(w, CoreKind::kScene);
+  auto salient = scorer.SalientStatements(0.3, 0.6);
+  for (const auto& s : salient) {
+    EXPECT_GE(s.scores.typicality, 0.3);
+    EXPECT_GE(s.scores.remarkability, 0.6);
+  }
+}
+
+class AssemblerTest : public ::testing::Test {
+ protected:
+  AssemblerTest() {
+    core::OpenBG::Options opts;
+    opts.world.seed = 11;
+    opts.world.scale = 0.1;
+    opts.world.num_products = 200;
+    kg = core::OpenBG::Build(opts);
+  }
+  std::unique_ptr<core::OpenBG> kg;
+};
+
+TEST_F(AssemblerTest, ProductTriplesPresent) {
+  const auto& world = kg->world();
+  const auto& graph = kg->graph();
+  const auto& onto = kg->ontology();
+  const auto& asmr = kg->assembly();
+  ASSERT_EQ(asmr.product_terms.size(), world.products.size());
+
+  const auto& cat_terms =
+      asmr.node_terms[static_cast<size_t>(CoreKind::kCategory)];
+  for (size_t i = 0; i < world.products.size(); ++i) {
+    const datagen::Product& p = world.products[i];
+    rdf::TermId prod = asmr.product_terms[i];
+    ASSERT_NE(prod, rdf::kInvalidTerm);
+    EXPECT_TRUE(graph.store.Contains(prod, graph.vocab.rdf_type,
+                                     cat_terms[p.category]));
+    // Every attribute became a data-property triple.
+    size_t attr_triples = 0;
+    for (rdf::TermId ap : onto.attribute_properties()) {
+      attr_triples += graph.store.CountMatches(
+          {prod, ap, rdf::TriplePattern::kAny});
+    }
+    EXPECT_EQ(attr_triples, p.attributes.size());
+  }
+}
+
+TEST_F(AssemblerTest, LinkStatsAccount) {
+  const auto& asmr = kg->assembly();
+  size_t brand_mentions = 0;
+  for (const datagen::Product& p : kg->world().products) {
+    if (p.brand >= 0) ++brand_mentions;
+  }
+  EXPECT_EQ(asmr.brand_link_stats.total, brand_mentions);
+  EXPECT_EQ(asmr.brand_link_stats.exact + asmr.brand_link_stats.synonym +
+                asmr.brand_link_stats.fuzzy + asmr.brand_link_stats.miss,
+            brand_mentions);
+  EXPECT_GT(asmr.products_with_brand, brand_mentions / 2);
+  EXPECT_LE(asmr.products_with_brand, brand_mentions);
+}
+
+TEST_F(AssemblerTest, NoDomainRangeViolations) {
+  ontology::Reasoner reasoner = kg->MakeReasoner();
+  std::vector<ontology::Violation> v = reasoner.ValidateObjectProperties();
+  EXPECT_TRUE(v.empty()) << v.size() << " violations, first: "
+                         << (v.empty() ? "" : v[0].reason);
+}
+
+TEST_F(AssemblerTest, StatsMatchWorldCounts) {
+  ontology::KgStats stats = kg->Stats();
+  EXPECT_EQ(stats.num_products, kg->world().products.size());
+  EXPECT_GT(stats.num_triples, kg->world().products.size() * 5);
+  EXPECT_GT(stats.num_relation_types, 20u);
+  // Taxonomy totals match generated node counts.
+  for (const ontology::TaxonomyStats& ts : stats.taxonomies) {
+    EXPECT_EQ(ts.total, kg->world().TaxonomyFor(ts.kind).nodes.size())
+        << CoreKindName(ts.kind);
+  }
+}
+
+TEST_F(AssemblerTest, SchemaAxiomsEmitted) {
+  ontology::KgStats stats = kg->Stats();
+  EXPECT_GT(stats.meta_property_counts.at("owl:equivalentClass"), 0u);
+  EXPECT_GT(stats.meta_property_counts.at("rdfs:subPropertyOf"), 0u);
+}
+
+TEST_F(AssemblerTest, ConceptLabelsUseSkos) {
+  ontology::KgStats stats = kg->Stats();
+  size_t scenes = kg->world().scenes.nodes.size();
+  EXPECT_GE(stats.data_property_counts.at("skos:prefLabel"), scenes);
+}
+
+}  // namespace
+}  // namespace openbg::construction

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/openbg.h"
+#include "rdf/ntriples.h"
+
+namespace openbg::core {
+namespace {
+
+OpenBG::Options SmallOptions() {
+  OpenBG::Options opts;
+  opts.world.seed = 19;
+  opts.world.scale = 0.08;
+  opts.world.num_products = 200;
+  return opts;
+}
+
+TEST(OpenBgTest, EndToEndBuild) {
+  std::unique_ptr<OpenBG> kg = OpenBG::Build(SmallOptions());
+  EXPECT_EQ(kg->world().products.size(), 200u);
+  EXPECT_GT(kg->graph().store.size(), 2000u);
+
+  ontology::KgStats stats = kg->Stats();
+  EXPECT_EQ(stats.num_products, 200u);
+  EXPECT_EQ(stats.num_triples, kg->graph().store.size());
+  EXPECT_EQ(stats.taxonomies.size(), 8u);
+}
+
+TEST(OpenBgTest, BenchmarkFromFacade) {
+  std::unique_ptr<OpenBG> kg = OpenBG::Build(SmallOptions());
+  bench_builder::BenchmarkSpec spec;
+  spec.num_relations = 15;
+  spec.dev_size = 50;
+  spec.test_size = 50;
+  bench_builder::StageReport report;
+  bench_builder::Dataset ds = kg->BuildBenchmark(spec, &report);
+  EXPECT_GT(ds.train.size(), 100u);
+  EXPECT_LE(ds.num_relations(), 15u);
+  EXPECT_EQ(report.final_train + report.final_dev + report.final_test,
+            report.sampled_triples);
+}
+
+TEST(OpenBgTest, ExportImportRoundTrip) {
+  std::unique_ptr<OpenBG> kg = OpenBG::Build(SmallOptions());
+  std::string path = ::testing::TempDir() + "/openbg_core_export.nt";
+  ASSERT_TRUE(kg->ExportNTriples(path).ok());
+
+  rdf::Graph reloaded;
+  ASSERT_TRUE(rdf::ReadNTriples(path, &reloaded.dict, &reloaded.store).ok());
+  EXPECT_EQ(reloaded.store.size(), kg->graph().store.size());
+  std::remove(path.c_str());
+}
+
+TEST(OpenBgTest, ReasonerFindsNoViolationsOnCleanBuild) {
+  std::unique_ptr<OpenBG> kg = OpenBG::Build(SmallOptions());
+  ontology::Reasoner reasoner = kg->MakeReasoner();
+  EXPECT_TRUE(reasoner.ValidateObjectProperties().empty());
+  EXPECT_TRUE(reasoner.FindOrphanClasses().empty());
+}
+
+TEST(OpenBgTest, DeterministicAcrossBuilds) {
+  std::unique_ptr<OpenBG> a = OpenBG::Build(SmallOptions());
+  std::unique_ptr<OpenBG> b = OpenBG::Build(SmallOptions());
+  EXPECT_EQ(a->graph().store.size(), b->graph().store.size());
+  ontology::KgStats sa = a->Stats();
+  ontology::KgStats sb = b->Stats();
+  EXPECT_EQ(sa.object_property_counts, sb.object_property_counts);
+  EXPECT_EQ(sa.meta_property_counts, sb.meta_property_counts);
+}
+
+}  // namespace
+}  // namespace openbg::core

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crf/crf.h"
+#include "util/rng.h"
+
+namespace openbg::crf {
+namespace {
+
+// A toy tagging world: tokens are feature ids; label of token f is
+// 1 if f < 5, else 0, with a mild sequential dependency (label 1 never
+// follows label 1). Checks that the CRF learns both emissions and
+// transitions.
+std::vector<Sequence> MakeToyData(size_t n, util::Rng* rng) {
+  std::vector<Sequence> data;
+  for (size_t i = 0; i < n; ++i) {
+    Sequence seq;
+    size_t len = 4 + rng->Uniform(5);
+    uint32_t prev = 0;
+    for (size_t t = 0; t < len; ++t) {
+      TokenFeatures tok;
+      bool want_one = rng->Bernoulli(0.4) && prev == 0;
+      uint32_t f = want_one ? static_cast<uint32_t>(rng->Uniform(5))
+                            : static_cast<uint32_t>(5 + rng->Uniform(5));
+      tok.features = {f, 10 + f % 3};
+      tok.label = want_one ? 1u : 0u;
+      prev = tok.label;
+      seq.push_back(tok);
+    }
+    data.push_back(seq);
+  }
+  return data;
+}
+
+TEST(CrfTest, UntrainedLikelihoodIsUniform) {
+  LinearChainCrf crf(2, 64);
+  Sequence seq(3);
+  for (auto& t : seq) t.features = {1};
+  // All weights zero: P(y) = 1 / 2^3.
+  EXPECT_NEAR(crf.LogLikelihood(seq), -3.0 * std::log(2.0), 1e-9);
+}
+
+TEST(CrfTest, TrainingImprovesLikelihood) {
+  util::Rng rng(31);
+  std::vector<Sequence> data = MakeToyData(100, &rng);
+  LinearChainCrf crf(2, 64);
+  double before = 0.0;
+  for (const Sequence& s : data) before += crf.LogLikelihood(s);
+  crf.Train(data, /*epochs=*/5, /*batch_size=*/8, /*lr=*/0.3, /*l2=*/0.0,
+            &rng);
+  double after = 0.0;
+  for (const Sequence& s : data) after += crf.LogLikelihood(s);
+  EXPECT_GT(after, before);
+}
+
+TEST(CrfTest, DecodeLearnsPattern) {
+  util::Rng rng(37);
+  std::vector<Sequence> train = MakeToyData(300, &rng);
+  std::vector<Sequence> test = MakeToyData(50, &rng);
+  LinearChainCrf crf(2, 64);
+  crf.Train(train, 8, 8, 0.3, 1e-6, &rng);
+  size_t correct = 0, total = 0;
+  for (const Sequence& s : test) {
+    std::vector<uint32_t> pred = crf.Decode(s);
+    for (size_t t = 0; t < s.size(); ++t) {
+      correct += (pred[t] == s[t].label);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.95);
+}
+
+TEST(CrfTest, TransitionsLearned) {
+  // Emissions are ambiguous (same feature everywhere); labels strictly
+  // alternate 0,1,0,1... so only transitions can explain the data.
+  std::vector<Sequence> data;
+  for (int i = 0; i < 60; ++i) {
+    Sequence seq(6);
+    for (size_t t = 0; t < 6; ++t) {
+      seq[t].features = {1};
+      seq[t].label = t % 2;
+    }
+    data.push_back(seq);
+  }
+  util::Rng rng(41);
+  LinearChainCrf crf(2, 8);
+  crf.Train(data, 10, 4, 0.5, 0.0, &rng);
+  std::vector<uint32_t> pred = crf.Decode(data[0]);
+  EXPECT_EQ(pred, (std::vector<uint32_t>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(CrfTest, DecodeWithExternalEmissions) {
+  LinearChainCrf crf(3, 4);
+  std::vector<std::vector<float>> emissions = {
+      {0.0f, 5.0f, 0.0f}, {0.0f, 0.0f, 5.0f}, {5.0f, 0.0f, 0.0f}};
+  EXPECT_EQ(crf.DecodeWithEmissions(emissions),
+            (std::vector<uint32_t>{1, 2, 0}));
+}
+
+TEST(BioTest, LabelHelpers) {
+  EXPECT_EQ(BioB(0), 1u);
+  EXPECT_EQ(BioI(0), 2u);
+  EXPECT_EQ(BioB(3), 7u);
+  EXPECT_TRUE(IsBioB(1));
+  EXPECT_TRUE(IsBioI(2));
+  EXPECT_FALSE(IsBioB(0));
+  EXPECT_FALSE(IsBioI(0));
+  EXPECT_EQ(BioType(7), 3u);
+  EXPECT_EQ(BioType(8), 3u);
+}
+
+TEST(SpanEvalTest, PerfectMatch) {
+  std::vector<std::vector<uint32_t>> gold = {{0, 1, 2, 0, 3}};
+  SpanPrf prf = EvaluateSpans(gold, gold);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+  EXPECT_EQ(prf.gold_spans, 2u);
+}
+
+TEST(SpanEvalTest, PartialMatch) {
+  // Gold: span(1..3, type0), span(4..5, type1).
+  std::vector<std::vector<uint32_t>> gold = {{1, 2, 0, 3, 0}};
+  // Pred: first span correct, second missed, one spurious span.
+  std::vector<std::vector<uint32_t>> pred = {{1, 2, 0, 0, 1}};
+  SpanPrf prf = EvaluateSpans(gold, pred);
+  EXPECT_EQ(prf.correct, 1u);
+  EXPECT_EQ(prf.pred_spans, 2u);
+  EXPECT_EQ(prf.gold_spans, 2u);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.5);
+}
+
+TEST(SpanEvalTest, BoundaryErrorNotCredited) {
+  // Gold span covers tokens 0-1; prediction covers only token 0.
+  std::vector<std::vector<uint32_t>> gold = {{1, 2, 0}};
+  std::vector<std::vector<uint32_t>> pred = {{1, 0, 0}};
+  SpanPrf prf = EvaluateSpans(gold, pred);
+  EXPECT_EQ(prf.correct, 0u);
+}
+
+TEST(SpanEvalTest, TypeMismatchNotCredited) {
+  std::vector<std::vector<uint32_t>> gold = {{1, 0}};   // type 0
+  std::vector<std::vector<uint32_t>> pred = {{3, 0}};   // type 1
+  SpanPrf prf = EvaluateSpans(gold, pred);
+  EXPECT_EQ(prf.correct, 0u);
+}
+
+// Property: mean TrainStep NLL decreases over repeated steps on a fixed
+// batch, across seeds.
+class CrfConvergenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrfConvergenceTest, NllDecreasesOnFixedBatch) {
+  util::Rng rng(GetParam());
+  std::vector<Sequence> data = MakeToyData(20, &rng);
+  std::vector<const Sequence*> batch;
+  for (const Sequence& s : data) batch.push_back(&s);
+  LinearChainCrf crf(2, 64);
+  double first = crf.TrainStep(batch, 0.2, 0.0);
+  double last = first;
+  for (int i = 0; i < 20; ++i) last = crf.TrainStep(batch, 0.2, 0.0);
+  EXPECT_LT(last, first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrfConvergenceTest,
+                         ::testing::Values(3, 7, 11, 19));
+
+}  // namespace
+}  // namespace openbg::crf

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "datagen/name_gen.h"
+#include "datagen/world.h"
+#include "util/rng.h"
+
+namespace openbg::datagen {
+namespace {
+
+WorldSpec SmallSpec(uint64_t seed = 7) {
+  WorldSpec spec;
+  spec.seed = seed;
+  spec.scale = 0.1;
+  spec.num_products = 300;
+  return spec;
+}
+
+TEST(NameGenTest, WordsUnique) {
+  util::Rng rng(3);
+  NameGen names(&rng);
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(seen.insert(names.Word(2)).second);
+  }
+}
+
+TEST(NameGenTest, ProperNameCapitalized) {
+  util::Rng rng(5);
+  NameGen names(&rng);
+  std::string n = names.ProperName(2);
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(n[0])));
+}
+
+TEST(NameGenTest, MisspellChangesString) {
+  util::Rng rng(7);
+  NameGen names(&rng);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::string w = names.Word(3);
+    if (names.Misspell(w) != w) ++changed;
+  }
+  EXPECT_GT(changed, 40);
+}
+
+TEST(NameGenTest, SpecValueShape) {
+  util::Rng rng(9);
+  NameGen names(&rng);
+  for (int i = 0; i < 20; ++i) {
+    std::string v = names.SpecValue();
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(v[0])));
+  }
+}
+
+TEST(WorldGenTest, DeterministicForSeed) {
+  World a = GenerateWorld(SmallSpec(42));
+  World b = GenerateWorld(SmallSpec(42));
+  ASSERT_EQ(a.products.size(), b.products.size());
+  for (size_t i = 0; i < a.products.size(); ++i) {
+    EXPECT_EQ(a.products[i].title_tokens, b.products[i].title_tokens);
+    EXPECT_EQ(a.products[i].category, b.products[i].category);
+  }
+  EXPECT_EQ(a.categories.nodes.size(), b.categories.nodes.size());
+}
+
+TEST(WorldGenTest, SeedsProduceDifferentWorlds) {
+  World a = GenerateWorld(SmallSpec(1));
+  World b = GenerateWorld(SmallSpec(2));
+  EXPECT_NE(a.products[0].title_tokens, b.products[0].title_tokens);
+}
+
+TEST(WorldGenTest, TaxonomiesWellFormed) {
+  World w = GenerateWorld(SmallSpec());
+  for (ontology::CoreKind kind : ontology::kAllCoreKinds) {
+    const TaxonomyData& tax = w.TaxonomyFor(kind);
+    ASSERT_FALSE(tax.nodes.empty());
+    for (size_t i = 0; i < tax.nodes.size(); ++i) {
+      const TaxonomyNode& n = tax.nodes[i];
+      if (n.parent >= 0) {
+        ASSERT_LT(static_cast<size_t>(n.parent), i)
+            << "parents precede children";
+        EXPECT_EQ(tax.nodes[n.parent].level + 1, n.level);
+      } else {
+        EXPECT_EQ(n.level, 1);
+      }
+    }
+    for (int leaf : tax.leaves) {
+      EXPECT_TRUE(tax.nodes[leaf].children.empty());
+    }
+  }
+}
+
+TEST(WorldGenTest, ScaleGrowsCounts) {
+  WorldSpec small = SmallSpec();
+  WorldSpec bigger = SmallSpec();
+  bigger.scale = 0.3;
+  World a = GenerateWorld(small);
+  World b = GenerateWorld(bigger);
+  EXPECT_GT(b.categories.nodes.size(), a.categories.nodes.size());
+  EXPECT_GT(b.brands.nodes.size(), a.brands.nodes.size());
+  EXPECT_GT(b.attribute_types.size(), a.attribute_types.size());
+  // num_products is explicit, not scaled.
+  EXPECT_EQ(b.products.size(), a.products.size());
+}
+
+class ProductInvariantsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProductInvariantsTest, AllReferencesValid) {
+  World w = GenerateWorld(SmallSpec(GetParam()));
+  ASSERT_FALSE(w.products.empty());
+  size_t with_image = 0, with_brand = 0;
+  for (const Product& p : w.products) {
+    // Category must be a leaf.
+    ASSERT_GE(p.category, 0);
+    EXPECT_TRUE(w.categories.nodes[p.category].children.empty());
+    if (p.brand >= 0) {
+      ++with_brand;
+      ASSERT_LT(static_cast<size_t>(p.brand), w.brands.nodes.size());
+      EXPECT_FALSE(p.brand_mention.empty());
+    }
+    for (int s : p.scenes) {
+      ASSERT_LT(static_cast<size_t>(s), w.scenes.nodes.size());
+    }
+    for (auto [attr, value] : p.attributes) {
+      ASSERT_LT(attr, w.attribute_types.size());
+      ASSERT_LT(value, w.attribute_types[attr].values.size());
+    }
+    // Title spans must index real tokens and carry the attribute value.
+    for (const SpanAnnotation& sp : p.title_spans) {
+      ASSERT_LT(sp.begin, sp.end);
+      ASSERT_LE(sp.end, p.title_tokens.size());
+      ASSERT_LT(sp.type, w.attribute_types.size());
+    }
+    EXPECT_EQ(p.title_spans.size(), p.attributes.size());
+    EXPECT_FALSE(p.short_title_tokens.empty());
+    if (!p.image.empty()) {
+      ++with_image;
+      EXPECT_EQ(p.image.size(), w.spec.image_dim);
+    }
+    // Reviews: template arithmetic must hold (7 tokens per opinion).
+    EXPECT_EQ(p.review_tokens.size(), p.review_triples.size() * 7);
+  }
+  // Image/brand fractions near their configured rates.
+  double img_frac =
+      static_cast<double>(with_image) / static_cast<double>(w.products.size());
+  EXPECT_NEAR(img_frac, w.spec.image_fraction, 0.1);
+  double brand_frac =
+      static_cast<double>(with_brand) / static_cast<double>(w.products.size());
+  EXPECT_NEAR(brand_frac, w.spec.brand_fraction, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProductInvariantsTest,
+                         ::testing::Values(1, 7, 13, 99));
+
+TEST(WorldGenTest, TitleSpansPointAtAttributeValues) {
+  World w = GenerateWorld(SmallSpec());
+  for (const Product& p : w.products) {
+    for (size_t k = 0; k < p.title_spans.size(); ++k) {
+      const SpanAnnotation& sp = p.title_spans[k];
+      auto [attr, value] = p.attributes[k];
+      EXPECT_EQ(sp.type, attr);
+      EXPECT_EQ(p.title_tokens[sp.begin],
+                w.attribute_types[attr].values[value]);
+    }
+  }
+}
+
+TEST(WorldGenTest, CategoryImagePrototypesSeparateCategories) {
+  // Products of the same category should have image vectors closer to
+  // their own prototype than to a different category's prototype (the
+  // signal multimodal link prediction exploits).
+  WorldSpec spec = SmallSpec();
+  spec.num_products = 500;
+  World w = GenerateWorld(spec);
+  size_t checked = 0, closer = 0;
+  for (const Product& p : w.products) {
+    if (p.image.empty()) continue;
+    const auto& own = w.category_image_prototypes[p.category];
+    // Find a different category with a prototype.
+    int other = -1;
+    for (int leaf : w.categories.leaves) {
+      if (leaf != p.category) {
+        other = leaf;
+        break;
+      }
+    }
+    ASSERT_GE(other, 0);
+    const auto& foreign = w.category_image_prototypes[other];
+    double d_own = 0, d_foreign = 0;
+    for (size_t i = 0; i < p.image.size(); ++i) {
+      d_own += (p.image[i] - own[i]) * (p.image[i] - own[i]);
+      d_foreign +=
+          (p.image[i] - foreign[i]) * (p.image[i] - foreign[i]);
+    }
+    ++checked;
+    if (d_own < d_foreign) ++closer;
+  }
+  ASSERT_GT(checked, 0u);
+  EXPECT_GT(static_cast<double>(closer) / checked, 0.9);
+}
+
+TEST(WorldGenTest, ZipfCategoryPopularityLongTail) {
+  WorldSpec spec = SmallSpec();
+  spec.num_products = 2000;
+  World w = GenerateWorld(spec);
+  std::vector<size_t> counts(w.categories.nodes.size(), 0);
+  for (const Product& p : w.products) counts[p.category] += 1;
+  std::sort(counts.rbegin(), counts.rend());
+  // Head category much more popular than median category.
+  EXPECT_GT(counts[0], counts[counts.size() / 2] * 3);
+}
+
+}  // namespace
+}  // namespace openbg::datagen

@@ -1,0 +1,155 @@
+// Cross-module integration tests: the full paper pipeline end to end, the
+// dual-channel encoder's exact backward, and the text featurizer the
+// LM-style baselines share.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/openbg.h"
+#include "kge/evaluator.h"
+#include "kge/text_features.h"
+#include "kge/trainer.h"
+#include "kge/trans_models.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+#include "pretrain/encoder.h"
+#include "pretrain/tasks.h"
+#include "rdf/ntriples.h"
+
+namespace openbg {
+namespace {
+
+TEST(IntegrationTest, WorldToKgToBenchmarkToTransE) {
+  // The whole Sec. II + III pipeline: generate, construct, sample, train,
+  // evaluate — asserting each stage hands the next something learnable.
+  core::OpenBG::Options opts;
+  opts.world.seed = 99;
+  opts.world.scale = 0.12;
+  opts.world.num_products = 500;
+  auto kg = core::OpenBG::Build(opts);
+
+  bench_builder::BenchmarkSpec spec;
+  spec.num_relations = 20;
+  spec.dev_size = 100;
+  spec.test_size = 150;
+  kge::Dataset ds = kg->BuildBenchmark(spec, nullptr);
+  ASSERT_GT(ds.train.size(), 500u);
+
+  util::Rng rng(1);
+  kge::TransE model(ds.num_entities(), ds.num_relations(), 24, 1.0f, &rng);
+  kge::RankingEvaluator::Options eo;
+  eo.max_triples = 100;
+  kge::RankingEvaluator evaluator(ds, eo);
+  kge::RankingMetrics before = evaluator.Evaluate(&model);
+
+  kge::TrainConfig config;
+  config.epochs = 20;
+  config.lr = 0.05f;
+  TrainKgeModel(&model, ds, config);
+  kge::RankingMetrics after = evaluator.Evaluate(&model);
+  EXPECT_GT(after.mrr, before.mrr);
+  EXPECT_GT(after.hits10, 0.15) << "the sampled benchmark must be learnable";
+}
+
+TEST(IntegrationTest, ExportedKgYieldsSameBenchmark) {
+  core::OpenBG::Options opts;
+  opts.world.seed = 7;
+  opts.world.scale = 0.1;
+  opts.world.num_products = 200;
+  auto kg = core::OpenBG::Build(opts);
+  std::string path = ::testing::TempDir() + "/openbg_integration.nt";
+  ASSERT_TRUE(kg->ExportNTriples(path).ok());
+  rdf::Graph reloaded;
+  ASSERT_TRUE(rdf::ReadNTriples(path, &reloaded.dict, &reloaded.store).ok());
+  // Spot checks: every product triple survives the round trip.
+  const auto& dict = kg->graph().dict;
+  size_t checked = 0;
+  for (const rdf::Triple& t : kg->graph().store.triples()) {
+    if (++checked > 500) break;
+    rdf::TermId s = reloaded.dict.FindIri(dict.Text(t.s));
+    rdf::TermId p = reloaded.dict.FindIri(dict.Text(t.p));
+    rdf::TermId o = dict.IsLiteral(t.o)
+                        ? reloaded.dict.FindLiteral(dict.Text(t.o))
+                        : reloaded.dict.FindIri(dict.Text(t.o));
+    ASSERT_NE(s, rdf::kInvalidTerm);
+    ASSERT_TRUE(reloaded.store.Contains(s, p, o));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TextFeaturizerTest, FeaturesAndTokens) {
+  kge::Dataset ds;
+  ds.entity_names = {"a", "b", "c"};
+  ds.entity_text = {"red dress", "red shoe", ""};
+  ds.entity_images = {{}, {}, {}};
+  ds.relation_names = {"r"};
+  kge::TextFeaturizer feats(ds, 1 << 10);
+  // Shared tokens share hashed features.
+  const auto& fa = feats.EntityFeatures(0);
+  const auto& fb = feats.EntityFeatures(1);
+  size_t shared = 0;
+  for (uint32_t f : fa) {
+    shared += std::count(fb.begin(), fb.end(), f);
+  }
+  EXPECT_GT(shared, 0u) << "'red' must hash identically for both entities";
+  // Empty text still yields a sentinel feature and no tokens.
+  EXPECT_EQ(feats.EntityFeatures(2).size(), 1u);
+  EXPECT_TRUE(feats.EntityTokens(2).empty());
+  // Token ids come from a shared vocabulary.
+  EXPECT_EQ(feats.EntityTokens(0)[0], feats.EntityTokens(1)[0]);
+}
+
+TEST(EncoderBackwardTest, MatchesNumericalGradient) {
+  datagen::WorldSpec spec;
+  spec.seed = 5;
+  spec.scale = 0.05;
+  spec.num_products = 40;
+  datagen::World world = datagen::GenerateWorld(spec);
+
+  pretrain::EncoderConfig cfg = pretrain::MplugBaseKgConfig();
+  cfg.pretrained = false;
+  cfg.dim = 8;
+  cfg.hash_space = 1 << 10;
+  pretrain::PretrainedEncoder enc(cfg, world);
+
+  std::vector<pretrain::EncoderFeatures> feats = {
+      enc.MakeFeatures(world.products[0].title_tokens, 0),
+      enc.MakeFeatures(world.products[1].title_tokens, 1)};
+  std::vector<uint32_t> labels = {0, 1};
+  util::Rng rng(3);
+  nn::Linear head("h", enc.rep_dim(), 2, &rng);
+
+  auto loss_fn = [&]() {
+    nn::Matrix x, y, d;
+    enc.Embed(feats, &x);
+    head.Forward(x, &y);
+    return nn::SoftmaxCrossEntropy(y, labels, &d);
+  };
+  // Analytic gradient through head + the normalized dual-channel pooling.
+  nn::Matrix x, y, dy, dx;
+  enc.Embed(feats, &x);
+  head.Forward(x, &y);
+  nn::SoftmaxCrossEntropy(y, labels, &dy);
+  head.Backward(x, dy, &dx);
+  enc.EmbedBackward(feats, dx);
+  EXPECT_LT(nn::MaxGradDiscrepancy(enc.table(), loss_fn, 1e-2, 256), 5e-3)
+      << "EmbedBackward must match the numeric gradient through the "
+         "L2 normalization";
+}
+
+TEST(IntegrationTest, ConceptPipelineFeedsSalienceLabels) {
+  // Sec. II-C facets -> Sec. IV-F task labels: every statement the facet
+  // scorer calls salient must exceed its own thresholds, and the derived
+  // task must have both classes.
+  datagen::WorldSpec spec;
+  spec.seed = 11;
+  spec.scale = 0.08;
+  spec.num_products = 300;
+  datagen::World world = datagen::GenerateWorld(spec);
+  pretrain::SalienceEvaluationTask task(world, 300, 17);
+  EXPECT_GT(task.num_examples(), 40u);
+}
+
+}  // namespace
+}  // namespace openbg

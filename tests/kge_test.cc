@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "kge/bilinear_models.h"
+#include "kge/evaluator.h"
+#include "kge/multimodal_models.h"
+#include "kge/negative_sampler.h"
+#include "kge/text_models.h"
+#include "kge/trainer.h"
+#include "kge/trans_models.h"
+#include "util/string_util.h"
+
+namespace openbg::kge {
+namespace {
+
+// A tiny deterministic link-prediction world: N entities, 3 relations,
+// relation r maps h -> (h + 11*(r+1)) % N. Entities carry distinctive text
+// and (for even ids) an image whose features encode the id, so structure,
+// text and image models can all learn it.
+Dataset MakeTinyDataset(size_t n = 50) {
+  Dataset ds;
+  ds.name = "tiny";
+  for (size_t i = 0; i < n; ++i) {
+    ds.entity_names.push_back("e" + std::to_string(i));
+    ds.entity_text.push_back(util::StrFormat("uniq%zu", i));
+    if (i % 2 == 0) {
+      ds.entity_images.push_back(
+          {static_cast<float>(i % 5), static_cast<float>(i % 3), 1.0f,
+           static_cast<float>(i) / n});
+    } else {
+      ds.entity_images.push_back({});
+    }
+  }
+  for (uint32_t r = 0; r < 3; ++r) {
+    ds.relation_names.push_back("rel" + std::to_string(r));
+  }
+  for (uint32_t h = 0; h < n; ++h) {
+    for (uint32_t r = 0; r < 3; ++r) {
+      uint32_t t = (h + 11 * (r + 1)) % n;
+      ds.train.push_back({h, r, t});
+    }
+  }
+  // Dev/test duplicate a slice of train (memorization check).
+  for (size_t i = 0; i < 20; ++i) ds.dev.push_back(ds.train[i * 3]);
+  ds.test = ds.dev;
+  return ds;
+}
+
+struct ModelFactory {
+  std::string name;
+  std::function<std::unique_ptr<KgeModel>(const Dataset&, util::Rng*)> make;
+  float lr = 0.05f;
+  size_t epochs = 40;
+};
+
+std::vector<ModelFactory> AllFactories() {
+  auto e = [](const Dataset& ds) { return ds.num_entities(); };
+  auto r = [](const Dataset& ds) { return ds.num_relations(); };
+  return {
+      {"TransE",
+       [e, r](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<TransE>(e(ds), r(ds), 16, 1.0f, rng);
+       }},
+      {"TransH",
+       [e, r](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<TransH>(e(ds), r(ds), 16, 1.0f, rng);
+       }},
+      {"TransD",
+       [e, r](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<TransD>(e(ds), r(ds), 16, 1.0f, rng);
+       }},
+      {"DistMult",
+       [e, r](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<DistMult>(e(ds), r(ds), 16, rng);
+       },
+       0.1f, 80},
+      {"ComplEx",
+       [e, r](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<ComplEx>(e(ds), r(ds), 16, rng);
+       },
+       0.1f, 120},
+      {"TuckER",
+       [e, r](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<TuckEr>(e(ds), r(ds), 12, 8, rng);
+       }},
+      {"TextMatch",
+       [](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<TextMatchModel>(ds, 16, rng, 1 << 12);
+       },
+       0.02f, 60},
+      {"StarStyle",
+       [](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<StarStyleModel>(ds, 16, rng, 1 << 12);
+       }},
+      {"GenKgc",
+       [](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<GenKgcModel>(ds, 32, rng, 1 << 12);
+       },
+       0.2f, 120},
+      {"TransAE",
+       [](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<TransAeModel>(ds, 16, 1.0f, 0.01f, rng);
+       },
+       0.05f, 60},
+      {"RSME",
+       [](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<RsmeModel>(ds, 16, 1.0f, rng);
+       },
+       0.1f, 60},
+      {"MkgFusion",
+       [](const Dataset& ds, util::Rng* rng) {
+         return std::make_unique<MkgFusionModel>(ds, 16, 1.0f, rng, 1 << 12);
+       },
+       0.1f, 60},
+  };
+}
+
+class KgeModelTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  const ModelFactory& factory() const { return AllFactories()[GetParam()]; }
+};
+
+TEST_P(KgeModelTest, ScoreTailsAgreesWithScoreTriple) {
+  Dataset ds = MakeTinyDataset(20);
+  util::Rng rng(71);
+  auto model = factory().make(ds, &rng);
+  model->PrepareEval();
+  std::vector<float> tails;
+  model->ScoreTails(3, 1, &tails);
+  ASSERT_EQ(tails.size(), ds.num_entities());
+  for (uint32_t t = 0; t < ds.num_entities(); ++t) {
+    EXPECT_NEAR(tails[t], model->ScoreTriple(3, 1, t), 1e-3f)
+        << factory().name << " tail " << t;
+  }
+}
+
+TEST_P(KgeModelTest, ScoreHeadsCoversAllEntities) {
+  Dataset ds = MakeTinyDataset(20);
+  util::Rng rng(73);
+  auto model = factory().make(ds, &rng);
+  model->PrepareEval();
+  std::vector<float> heads;
+  model->ScoreHeads(1, 5, &heads);
+  EXPECT_EQ(heads.size(), ds.num_entities());
+}
+
+TEST_P(KgeModelTest, TrainingImprovesRanking) {
+  Dataset ds = MakeTinyDataset(50);
+  util::Rng rng(79);
+  auto model = factory().make(ds, &rng);
+
+  RankingEvaluator::Options eopts;
+  eopts.filtered = true;
+  RankingEvaluator evaluator(ds, eopts);
+  RankingMetrics before = evaluator.EvaluateOn(model.get(), ds.dev);
+
+  TrainConfig config;
+  config.epochs = factory().epochs;
+  config.batch_size = 32;
+  config.lr = factory().lr;
+  config.seed = 101;
+  TrainKgeModel(model.get(), ds, config);
+
+  RankingMetrics after = evaluator.EvaluateOn(model.get(), ds.dev);
+  EXPECT_GT(after.mrr, before.mrr) << factory().name;
+  EXPECT_GE(after.hits10, 0.2) << factory().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, KgeModelTest, ::testing::Range<size_t>(0, 12),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return AllFactories()[info.param].name;
+    });
+
+TEST(NegativeSamplerTest, NeverReturnsPositiveWhenFiltering) {
+  Dataset ds = MakeTinyDataset(30);
+  NegativeSampler::Options opts;
+  opts.filter_true = true;
+  NegativeSampler sampler(ds, opts, 7);
+  for (const LpTriple& pos : ds.train) {
+    for (int i = 0; i < 3; ++i) {
+      LpTriple neg = sampler.Corrupt(pos);
+      EXPECT_NE(neg, pos);
+      EXPECT_FALSE(sampler.IsKnownPositive(neg));
+    }
+  }
+}
+
+TEST(NegativeSamplerTest, CorruptsExactlyOneSide) {
+  Dataset ds = MakeTinyDataset(30);
+  NegativeSampler sampler(ds, {}, 11);
+  for (const LpTriple& pos : ds.train) {
+    LpTriple neg = sampler.Corrupt(pos);
+    bool head_changed = neg.h != pos.h;
+    bool tail_changed = neg.t != pos.t;
+    EXPECT_NE(head_changed, tail_changed)
+        << "exactly one side corrupted";
+    EXPECT_EQ(neg.r, pos.r);
+  }
+}
+
+TEST(NegativeSamplerTest, BernoulliSkewsTowardTailForNto1) {
+  // Relation 0 is N-to-1 (many heads, one tail). Corrupting the *head*
+  // would often create a false negative (many heads are true), so Wang et
+  // al.'s bernoulli scheme corrupts the tail most of the time:
+  // P(corrupt head) = tph / (tph + hpt) = 1 / (1 + 39).
+  Dataset ds;
+  ds.name = "n_to_1";
+  for (int i = 0; i < 40; ++i) {
+    ds.entity_names.push_back("e" + std::to_string(i));
+    ds.entity_text.push_back("t");
+    ds.entity_images.push_back({});
+  }
+  ds.relation_names.push_back("r");
+  for (uint32_t h = 1; h < 40; ++h) ds.train.push_back({h, 0, 0});
+  NegativeSampler::Options opts;
+  opts.bernoulli = true;
+  opts.filter_true = false;
+  NegativeSampler sampler(ds, opts, 13);
+  size_t head_corruptions = 0, total = 0;
+  for (const LpTriple& pos : ds.train) {
+    for (int i = 0; i < 20; ++i) {
+      LpTriple neg = sampler.Corrupt(pos);
+      if (neg.h != pos.h) ++head_corruptions;
+      ++total;
+    }
+  }
+  EXPECT_LT(static_cast<double>(head_corruptions) / total, 0.2);
+}
+
+// A fake model whose scores are fully determined: score(h,r,t) = -|t - g|
+// where g is the gold tail by construction.
+class OracleModel : public KgeModel {
+ public:
+  OracleModel(size_t n, uint32_t offset)
+      : KgeModel(n, 1), offset_(offset) {}
+  std::string name() const override { return "Oracle"; }
+  float ScoreTriple(uint32_t h, uint32_t, uint32_t t) const override {
+    uint32_t gold = (h + offset_) % num_entities_;
+    return -std::fabs(static_cast<float>(t) - static_cast<float>(gold));
+  }
+  double TrainPairs(const std::vector<LpTriple>&,
+                    const std::vector<LpTriple>&, float) override {
+    return 0.0;
+  }
+
+ private:
+  uint32_t offset_;
+};
+
+TEST(EvaluatorTest, PerfectModelScoresPerfectMetrics) {
+  Dataset ds;
+  const size_t n = 30;
+  for (size_t i = 0; i < n; ++i) {
+    ds.entity_names.push_back("e");
+    ds.entity_text.push_back("t");
+    ds.entity_images.push_back({});
+  }
+  ds.relation_names.push_back("r");
+  for (uint32_t h = 0; h < n; ++h) ds.train.push_back({h, 0, static_cast<uint32_t>((h + 5) % n)});
+  ds.test = {{0, 0, 5}, {1, 0, 6}, {2, 0, 7}};
+  RankingEvaluator eval(ds, {});
+  OracleModel model(n, 5);
+  RankingMetrics m = eval.Evaluate(&model);
+  EXPECT_DOUBLE_EQ(m.hits1, 1.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(m.mr, 1.0);
+  EXPECT_EQ(m.n, 3u);
+}
+
+TEST(EvaluatorTest, FilteringRemovesKnownTails) {
+  // Two gold tails for (0, r): 5 (train) and 6 (test). The oracle prefers
+  // 5, so raw rank of 6 is 2 but filtered rank is 1.
+  Dataset ds;
+  const size_t n = 10;
+  for (size_t i = 0; i < n; ++i) {
+    ds.entity_names.push_back("e");
+    ds.entity_text.push_back("t");
+    ds.entity_images.push_back({});
+  }
+  ds.relation_names.push_back("r");
+  ds.train = {{0, 0, 5}};
+  ds.test = {{0, 0, 6}};
+  OracleModel model(n, 5);  // scores peak at tail 5
+
+  RankingEvaluator::Options raw;
+  raw.filtered = false;
+  RankingMetrics m_raw = RankingEvaluator(ds, raw).Evaluate(&model);
+  EXPECT_DOUBLE_EQ(m_raw.mr, 2.0);
+
+  RankingEvaluator::Options filt;
+  filt.filtered = true;
+  RankingMetrics m_filt = RankingEvaluator(ds, filt).Evaluate(&model);
+  EXPECT_DOUBLE_EQ(m_filt.mr, 1.0);
+}
+
+TEST(EvaluatorTest, MaxTriplesCapsWork) {
+  Dataset ds = MakeTinyDataset(20);
+  RankingEvaluator::Options opts;
+  opts.max_triples = 5;
+  RankingEvaluator eval(ds, opts);
+  OracleModel model(20, 11);
+  RankingMetrics m = eval.Evaluate(&model);
+  EXPECT_EQ(m.n, 5u);
+}
+
+TEST(EvaluatorTest, BothDirectionsDoublesCount) {
+  Dataset ds = MakeTinyDataset(20);
+  RankingEvaluator::Options opts;
+  opts.both_directions = true;
+  opts.max_triples = 4;
+  RankingEvaluator eval(ds, opts);
+  OracleModel model(20, 11);
+  RankingMetrics m = eval.Evaluate(&model);
+  EXPECT_EQ(m.n, 8u);
+}
+
+}  // namespace
+}  // namespace openbg::kge

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.h"
+#include "nn/kernels.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+
+namespace openbg::nn {
+namespace {
+
+Matrix Make(size_t r, size_t c, std::initializer_list<float> vals) {
+  Matrix m(r, c);
+  size_t i = 0;
+  for (float v : vals) m.data()[i++] = v;
+  return m;
+}
+
+TEST(MatrixTest, Basics) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5f);
+  m(0, 0) = 7.0f;
+  EXPECT_EQ(m.Row(0)[0], 7.0f);
+  m.Zero();
+  EXPECT_EQ(m(0, 0), 0.0f);
+  m.Reshape(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+}
+
+TEST(MatrixTest, NormAndInit) {
+  util::Rng rng(5);
+  Matrix m(10, 10);
+  m.InitXavier(&rng);
+  EXPECT_GT(m.SquaredNorm(), 0.0);
+  Matrix u(100, 100);
+  u.InitUniform(&rng, 0.5f);
+  for (size_t i = 0; i < u.size(); ++i) {
+    ASSERT_LE(std::fabs(u.data()[i]), 0.5f);
+  }
+}
+
+// Reference gemm for property checking.
+void NaiveGemm(const Matrix& a, bool ta, const Matrix& b, bool tb,
+               float alpha, float beta, Matrix* c) {
+  size_t m = ta ? a.cols() : a.rows();
+  size_t k = ta ? a.rows() : a.cols();
+  size_t n = tb ? b.rows() : b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        float av = ta ? a(p, i) : a(i, p);
+        float bv = tb ? b(j, p) : b(p, j);
+        s += av * bv;
+      }
+      (*c)(i, j) = alpha * s + beta * (*c)(i, j);
+    }
+  }
+}
+
+class GemmTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  auto [ta, tb] = GetParam();
+  util::Rng rng(11);
+  size_t m = 4, k = 5, n = 3;
+  Matrix a(ta ? k : m, ta ? m : k);
+  Matrix b(tb ? n : k, tb ? k : n);
+  a.InitUniform(&rng, 1.0f);
+  b.InitUniform(&rng, 1.0f);
+  Matrix c(m, n, 0.5f), ref(m, n, 0.5f);
+  Gemm(a, ta, b, tb, 2.0f, 0.25f, &c);
+  NaiveGemm(a, ta, b, tb, 2.0f, 0.25f, &ref);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(KernelsTest, SoftmaxRows) {
+  Matrix m = Make(1, 3, {1.0f, 2.0f, 3.0f});
+  SoftmaxRows(&m);
+  float sum = m(0, 0) + m(0, 1) + m(0, 2);
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(m(0, 2), m(0, 1));
+}
+
+TEST(KernelsTest, ReluForwardBackward) {
+  Matrix x = Make(1, 4, {-1.0f, 0.0f, 2.0f, -3.0f});
+  Matrix y(1, 4);
+  ReluForward(x, &y);
+  EXPECT_EQ(y(0, 0), 0.0f);
+  EXPECT_EQ(y(0, 2), 2.0f);
+  Matrix dy(1, 4, 1.0f), dx(1, 4);
+  ReluBackward(x, dy, &dx);
+  EXPECT_EQ(dx(0, 0), 0.0f);
+  EXPECT_EQ(dx(0, 2), 1.0f);
+}
+
+TEST(KernelsTest, AddRowBiasAndSumRows) {
+  Matrix m(2, 2, 1.0f);
+  Matrix b = Make(1, 2, {0.5f, -0.5f});
+  AddRowBias(b, &m);
+  EXPECT_EQ(m(0, 0), 1.5f);
+  EXPECT_EQ(m(1, 1), 0.5f);
+  Matrix sum(1, 2);
+  SumRowsInto(m, &sum);
+  EXPECT_EQ(sum(0, 0), 3.0f);
+  EXPECT_EQ(sum(0, 1), 1.0f);
+}
+
+TEST(LossTest, SoftmaxCrossEntropyValue) {
+  // Uniform logits over 4 classes -> loss = ln(4).
+  Matrix logits(3, 4, 0.0f);
+  Matrix dlogits;
+  double loss = SoftmaxCrossEntropy(logits, {0, 1, 2}, &dlogits);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+  // Gradient rows sum to ~0.
+  for (size_t r = 0; r < 3; ++r) {
+    float s = 0.0f;
+    for (size_t c = 0; c < 4; ++c) s += dlogits(r, c);
+    EXPECT_NEAR(s, 0.0f, 1e-6f);
+  }
+}
+
+TEST(LossTest, BinaryLogisticValue) {
+  Matrix scores = Make(2, 1, {0.0f, 0.0f});
+  Matrix ds;
+  double loss = BinaryLogistic(scores, {1, 0}, &ds);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-6);
+  EXPECT_LT(ds(0, 0), 0.0f);
+  EXPECT_GT(ds(1, 0), 0.0f);
+}
+
+TEST(LossTest, MarginRankingHinge) {
+  std::vector<float> dp, dn;
+  // pos distance 1, neg distance 5, margin 1 -> inactive.
+  double l = MarginRanking({1.0f}, {5.0f}, 1.0f, &dp, &dn);
+  EXPECT_EQ(l, 0.0);
+  EXPECT_EQ(dp[0], 0.0f);
+  // pos 3, neg 1, margin 1 -> active, loss 3.
+  l = MarginRanking({3.0f}, {1.0f}, 1.0f, &dp, &dn);
+  EXPECT_NEAR(l, 3.0, 1e-6);
+  EXPECT_GT(dp[0], 0.0f);
+  EXPECT_LT(dn[0], 0.0f);
+}
+
+TEST(LossTest, PointwiseLogisticSymmetry) {
+  std::vector<float> ds;
+  double l = PointwiseLogistic({0.0f, 0.0f}, {1, -1}, &ds);
+  EXPECT_NEAR(l, std::log(2.0), 1e-6);
+  EXPECT_NEAR(ds[0], -ds[1], 1e-6f);
+}
+
+TEST(LossTest, ArgmaxRows) {
+  Matrix m = Make(2, 3, {1, 5, 2, 9, 0, 3});
+  EXPECT_EQ(ArgmaxRows(m), (std::vector<uint32_t>{1, 0}));
+}
+
+TEST(GradCheckTest, LinearLayerGradients) {
+  util::Rng rng(21);
+  Linear lin("t", 4, 3, &rng);
+  Matrix x(5, 4);
+  x.InitUniform(&rng, 1.0f);
+  std::vector<uint32_t> labels = {0, 1, 2, 0, 1};
+
+  auto loss_fn = [&]() {
+    Matrix y, d;
+    lin.Forward(x, &y);
+    return SoftmaxCrossEntropy(y, labels, &d);
+  };
+  // Populate analytic gradients.
+  Matrix y, dy;
+  lin.Forward(x, &y);
+  SoftmaxCrossEntropy(y, labels, &dy);
+  lin.Backward(x, dy, nullptr);
+  EXPECT_LT(MaxGradDiscrepancy(lin.weight(), loss_fn, 1e-2), 1e-2);
+  EXPECT_LT(MaxGradDiscrepancy(lin.bias(), loss_fn, 1e-2), 1e-2);
+}
+
+TEST(GradCheckTest, MlpGradients) {
+  util::Rng rng(23);
+  Mlp mlp("t", {4, 6, 2}, &rng);
+  Matrix x(3, 4);
+  x.InitUniform(&rng, 1.0f);
+  std::vector<uint32_t> labels = {0, 1, 0};
+  auto loss_fn = [&]() {
+    Matrix y, d;
+    mlp.Forward(x, &y);
+    return SoftmaxCrossEntropy(y, labels, &d);
+  };
+  Matrix y, dy;
+  mlp.Forward(x, &y);
+  SoftmaxCrossEntropy(y, labels, &dy);
+  mlp.Backward(x, dy, nullptr);
+  for (Parameter* p : mlp.Params()) {
+    EXPECT_LT(MaxGradDiscrepancy(p, loss_fn, 1e-2), 2e-2) << p->name;
+  }
+}
+
+TEST(GradCheckTest, EmbeddingBagGradients) {
+  util::Rng rng(25);
+  EmbeddingBag emb("t", 16, 3, &rng);
+  Linear head("h", 3, 2, &rng);
+  std::vector<std::vector<uint32_t>> bags = {{1, 2, 3}, {4}, {1, 7}};
+  std::vector<uint32_t> labels = {0, 1, 1};
+  auto loss_fn = [&]() {
+    Matrix x, y, d;
+    emb.Forward(bags, &x);
+    head.Forward(x, &y);
+    return SoftmaxCrossEntropy(y, labels, &d);
+  };
+  Matrix x, y, dy, dx;
+  emb.Forward(bags, &x);
+  head.Forward(x, &y);
+  SoftmaxCrossEntropy(y, labels, &dy);
+  head.Backward(x, dy, &dx);
+  emb.Backward(bags, dx);
+  EXPECT_LT(MaxGradDiscrepancy(emb.table(), loss_fn, 1e-2, 128), 1e-2);
+}
+
+TEST(EmbeddingBagTest, EmptyBagGivesZeroRow) {
+  util::Rng rng(27);
+  EmbeddingBag emb("t", 8, 4, &rng);
+  Matrix out;
+  emb.Forward({{}}, &out);
+  for (size_t c = 0; c < 4; ++c) EXPECT_EQ(out(0, c), 0.0f);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  // Minimize ||w - 3||^2 elementwise.
+  Parameter w("w", 1, 4);
+  w.value.Fill(0.0f);
+  SgdOptimizer opt({&w}, 0.1f);
+  for (int step = 0; step < 200; ++step) {
+    for (size_t i = 0; i < 4; ++i) {
+      w.grad.data()[i] = 2.0f * (w.value.data()[i] - 3.0f);
+    }
+    opt.Step();
+  }
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(w.value.data()[i], 3.0f, 1e-3);
+}
+
+TEST(OptimizerTest, AdaGradConverges) {
+  Parameter w("w", 1, 2);
+  w.value.Fill(-2.0f);
+  AdaGradOptimizer opt({&w}, 0.5f);
+  for (int step = 0; step < 500; ++step) {
+    for (size_t i = 0; i < 2; ++i) {
+      w.grad.data()[i] = 2.0f * (w.value.data()[i] - 1.0f);
+    }
+    opt.Step();
+  }
+  for (size_t i = 0; i < 2; ++i) EXPECT_NEAR(w.value.data()[i], 1.0f, 1e-2);
+}
+
+TEST(OptimizerTest, AdamWConvergesAndDecays) {
+  Parameter w("w", 1, 2);
+  w.value.Fill(5.0f);
+  AdamWOptimizer opt({&w}, 0.05f, 0.9f, 0.999f, 1e-8f, 0.0f);
+  for (int step = 0; step < 2000; ++step) {
+    for (size_t i = 0; i < 2; ++i) {
+      w.grad.data()[i] = 2.0f * (w.value.data()[i] + 1.0f);
+    }
+    opt.Step();
+  }
+  for (size_t i = 0; i < 2; ++i) EXPECT_NEAR(w.value.data()[i], -1.0f, 0.05);
+}
+
+TEST(ScheduleTest, WarmupThenDecay) {
+  LinearWarmupSchedule sched(1.0f, 100, 0.1f);
+  EXPECT_LT(sched.LrAt(0), 0.2f);
+  EXPECT_NEAR(sched.LrAt(9), 1.0f, 1e-6f);
+  EXPECT_GT(sched.LrAt(10), sched.LrAt(50));
+  EXPECT_GT(sched.LrAt(50), sched.LrAt(99));
+  EXPECT_EQ(sched.LrAt(100), 0.0f);
+}
+
+}  // namespace
+}  // namespace openbg::nn

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "ontology/ontology.h"
+#include "ontology/reasoner.h"
+#include "ontology/stats.h"
+#include "ontology/taxonomy.h"
+#include "rdf/graph.h"
+
+namespace openbg::ontology {
+namespace {
+
+using rdf::TermId;
+
+class OntologyTest : public ::testing::Test {
+ protected:
+  OntologyTest() : onto(&graph, /*num_in_market_relations=*/4) {}
+  rdf::Graph graph;
+  Ontology onto;
+};
+
+TEST_F(OntologyTest, CoreKindsClassified) {
+  EXPECT_TRUE(IsClassKind(CoreKind::kCategory));
+  EXPECT_TRUE(IsClassKind(CoreKind::kBrand));
+  EXPECT_TRUE(IsClassKind(CoreKind::kPlace));
+  EXPECT_FALSE(IsClassKind(CoreKind::kScene));
+  EXPECT_FALSE(IsClassKind(CoreKind::kMarketSegment));
+}
+
+TEST_F(OntologyTest, CoreTermsAnchored) {
+  const auto& v = graph.vocab;
+  for (CoreKind kind : kAllCoreKinds) {
+    TermId term = onto.CoreTerm(kind);
+    ASSERT_NE(term, rdf::kInvalidTerm);
+    if (IsClassKind(kind)) {
+      EXPECT_TRUE(graph.store.Contains(term, v.rdfs_sub_class_of,
+                                       v.owl_thing))
+          << CoreKindName(kind);
+    } else {
+      EXPECT_TRUE(
+          graph.store.Contains(term, v.skos_broader, v.skos_concept))
+          << CoreKindName(kind);
+    }
+  }
+}
+
+TEST_F(OntologyTest, ObjectPropertiesHaveDomainAndRange) {
+  EXPECT_EQ(onto.in_market().size(), 4u);
+  // 6 named + 4 inMarket.
+  EXPECT_EQ(onto.object_properties().size(), 10u);
+  const auto& v = graph.vocab;
+  for (const ObjectPropertySpec& spec : onto.object_properties()) {
+    EXPECT_TRUE(graph.store.Contains(spec.property, v.rdfs_domain,
+                                     onto.CoreTerm(spec.domain)));
+    EXPECT_TRUE(graph.store.Contains(spec.property, v.rdfs_range,
+                                     onto.CoreTerm(spec.range)));
+    EXPECT_EQ(spec.domain, CoreKind::kCategory)
+        << "all Fig. 2 object properties originate at Category";
+  }
+}
+
+TEST_F(OntologyTest, TaxonomyPropertySelection) {
+  EXPECT_EQ(onto.TaxonomyProperty(CoreKind::kBrand),
+            graph.vocab.rdfs_sub_class_of);
+  EXPECT_EQ(onto.TaxonomyProperty(CoreKind::kCrowd),
+            graph.vocab.skos_broader);
+}
+
+TEST_F(OntologyTest, AttributePropertyIdempotent) {
+  TermId a = onto.AddAttributeProperty("weight");
+  TermId b = onto.AddAttributeProperty("weight");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(onto.attribute_properties().size(), 1u);
+  onto.AddAttributeProperty("color");
+  EXPECT_EQ(onto.attribute_properties().size(), 2u);
+}
+
+TEST_F(OntologyTest, FindObjectProperty) {
+  const ObjectPropertySpec* spec = onto.FindObjectProperty(onto.brand_is());
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->range, CoreKind::kBrand);
+  EXPECT_EQ(onto.FindObjectProperty(graph.vocab.rdf_type), nullptr);
+}
+
+class TaxonomyTest : public ::testing::Test {
+ protected:
+  TaxonomyTest() : onto(&graph) {
+    // Category -> a -> {b, c}; c -> d.
+    root = onto.CoreTerm(CoreKind::kCategory);
+    TermId sub = graph.vocab.rdfs_sub_class_of;
+    a = graph.dict.AddIri("x/a");
+    b = graph.dict.AddIri("x/b");
+    c = graph.dict.AddIri("x/c");
+    d = graph.dict.AddIri("x/d");
+    graph.store.Add(a, sub, root);
+    graph.store.Add(b, sub, a);
+    graph.store.Add(c, sub, a);
+    graph.store.Add(d, sub, c);
+  }
+  rdf::Graph graph;
+  Ontology onto;
+  TermId root, a, b, c, d;
+};
+
+TEST_F(TaxonomyTest, StructureAndDepths) {
+  Taxonomy tax(graph.store, root, graph.vocab.rdfs_sub_class_of);
+  EXPECT_EQ(tax.size(), 4u);
+  EXPECT_EQ(tax.Depth(a), 1);
+  EXPECT_EQ(tax.Depth(b), 2);
+  EXPECT_EQ(tax.Depth(d), 3);
+  EXPECT_EQ(tax.Depth(root), 0);
+  EXPECT_EQ(tax.Depth(graph.vocab.owl_thing), -1);
+  EXPECT_EQ(tax.Parent(d), c);
+  EXPECT_EQ(tax.Parent(a), root);
+  EXPECT_EQ(tax.Parent(root), rdf::kInvalidTerm);
+}
+
+TEST_F(TaxonomyTest, LeavesAndLevels) {
+  Taxonomy tax(graph.store, root, graph.vocab.rdfs_sub_class_of);
+  std::vector<TermId> leaves = tax.Leaves();
+  EXPECT_EQ(leaves.size(), 2u);  // b and d
+  EXPECT_TRUE(tax.IsLeaf(b));
+  EXPECT_FALSE(tax.IsLeaf(c));
+  std::vector<size_t> levels = tax.LevelCounts();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], 1u);
+  EXPECT_EQ(levels[1], 2u);
+  EXPECT_EQ(levels[2], 1u);
+}
+
+TEST_F(TaxonomyTest, DescendantsAndAncestry) {
+  Taxonomy tax(graph.store, root, graph.vocab.rdfs_sub_class_of);
+  std::vector<TermId> desc = tax.Descendants(a);
+  EXPECT_EQ(desc.size(), 3u);
+  EXPECT_TRUE(tax.IsAncestorOrSelf(a, d));
+  EXPECT_TRUE(tax.IsAncestorOrSelf(d, d));
+  EXPECT_FALSE(tax.IsAncestorOrSelf(b, d));
+}
+
+class ReasonerTest : public ::testing::Test {
+ protected:
+  ReasonerTest() : onto(&graph) {
+    TermId sub = graph.vocab.rdfs_sub_class_of;
+    cat = onto.CoreTerm(CoreKind::kCategory);
+    brand = onto.CoreTerm(CoreKind::kBrand);
+    phone = graph.dict.AddIri("x/phone");
+    smartphone = graph.dict.AddIri("x/smartphone");
+    apple = graph.dict.AddIri("x/apple");
+    item = graph.dict.AddIri("x/iphone14");
+    graph.store.Add(phone, sub, cat);
+    graph.store.Add(smartphone, sub, phone);
+    graph.store.Add(apple, sub, brand);
+    graph.store.Add(item, graph.vocab.rdf_type, smartphone);
+  }
+  rdf::Graph graph;
+  Ontology onto;
+  TermId cat, brand, phone, smartphone, apple, item;
+};
+
+TEST_F(ReasonerTest, TransitiveSubClass) {
+  Reasoner r(&graph, &onto);
+  EXPECT_TRUE(r.IsSubClassOf(smartphone, cat));
+  EXPECT_TRUE(r.IsSubClassOf(smartphone, phone));
+  EXPECT_TRUE(r.IsSubClassOf(smartphone, smartphone)) << "reflexive";
+  EXPECT_FALSE(r.IsSubClassOf(phone, smartphone));
+  EXPECT_FALSE(r.IsSubClassOf(smartphone, brand));
+}
+
+TEST_F(ReasonerTest, InstanceTypingThroughClosure) {
+  Reasoner r(&graph, &onto);
+  EXPECT_TRUE(r.IsInstanceOf(item, smartphone));
+  EXPECT_TRUE(r.IsInstanceOf(item, cat));
+  EXPECT_FALSE(r.IsInstanceOf(item, brand));
+  EXPECT_FALSE(r.IsInstanceOf(apple, cat));
+}
+
+TEST_F(ReasonerTest, EquivalenceUnionFind) {
+  TermId ext1 = graph.dict.AddIri("ext/1");
+  TermId ext2 = graph.dict.AddIri("ext/2");
+  graph.store.Add(apple, graph.vocab.owl_equivalent_class, ext1);
+  graph.store.Add(ext1, graph.vocab.owl_equivalent_class, ext2);
+  Reasoner r(&graph, &onto);
+  TermId c1 = r.CanonicalEquivalent(apple);
+  EXPECT_EQ(r.CanonicalEquivalent(ext1), c1);
+  EXPECT_EQ(r.CanonicalEquivalent(ext2), c1);
+  EXPECT_EQ(r.CanonicalEquivalent(phone), phone) << "singleton unchanged";
+}
+
+TEST_F(ReasonerTest, DomainRangeValidation) {
+  // Valid: item (a Category instance) brandIs apple (a Brand subclass).
+  graph.store.Add(item, onto.brand_is(), apple);
+  Reasoner r1(&graph, &onto);
+  EXPECT_TRUE(r1.ValidateObjectProperties().empty());
+
+  // Violation: brandIs pointing at a literal (the paper's "China as
+  // attribute value" defect) and at a Category node.
+  graph.store.Add(item, onto.brand_is(), graph.dict.AddLiteral("China"));
+  graph.store.Add(item, onto.brand_is(), phone);
+  Reasoner r2(&graph, &onto);
+  std::vector<Violation> v = r2.ValidateObjectProperties();
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST_F(ReasonerTest, OrphanDetection) {
+  Reasoner r1(&graph, &onto);
+  EXPECT_TRUE(r1.FindOrphanClasses().empty());
+  // "Make Sushi" defined below a class that links to nothing.
+  TermId cooking = graph.dict.AddIri("x/cooking");
+  TermId sushi = graph.dict.AddIri("x/make_sushi");
+  graph.store.Add(sushi, graph.vocab.rdfs_sub_class_of, cooking);
+  Reasoner r2(&graph, &onto);
+  std::vector<TermId> orphans = r2.FindOrphanClasses();
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], sushi);
+}
+
+TEST(StatsTest, CountsToyKg) {
+  rdf::Graph graph;
+  Ontology onto(&graph, 2);
+  TermId sub = graph.vocab.rdfs_sub_class_of;
+  TermId cat = onto.CoreTerm(CoreKind::kCategory);
+  TermId c1 = graph.dict.AddIri("c/1");
+  TermId c2 = graph.dict.AddIri("c/2");
+  graph.store.Add(c1, sub, cat);
+  graph.store.Add(c2, sub, c1);
+  TermId scene = onto.CoreTerm(CoreKind::kScene);
+  TermId s1 = graph.dict.AddIri("s/1");
+  graph.store.Add(s1, graph.vocab.skos_broader, scene);
+
+  TermId item = graph.dict.AddIri("i/1");
+  graph.store.Add(item, graph.vocab.rdf_type, c2);
+  graph.store.Add(item, onto.related_scene(), s1);
+
+  KgStats stats = ComputeKgStats(graph, onto);
+  EXPECT_EQ(stats.num_core_classes, 2u);
+  EXPECT_EQ(stats.num_core_concepts, 1u);
+  EXPECT_EQ(stats.num_products, 1u);
+  EXPECT_EQ(stats.num_entities, 1u);
+  EXPECT_EQ(stats.object_property_counts.at("relatedScene"), 1u);
+  EXPECT_EQ(stats.meta_property_counts.at("rdf:type"), 1u);
+  // Category taxonomy: level1=1, level2=1, leaves=1.
+  const TaxonomyStats& cat_stats = stats.taxonomies[0];
+  EXPECT_EQ(cat_stats.total, 2u);
+  EXPECT_EQ(cat_stats.leaves, 1u);
+
+  std::string report = FormatKgStats(stats, /*paper_reference=*/true);
+  EXPECT_NE(report.find("paper"), std::string::npos);
+  EXPECT_NE(report.find("Category"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace openbg::ontology

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/world.h"
+#include "pretrain/encoder.h"
+#include "pretrain/tasks.h"
+#include "pretrain/verbalizer.h"
+#include "text/tokenizer.h"
+
+namespace openbg::pretrain {
+namespace {
+
+const datagen::World& SmallWorld() {
+  static const datagen::World* world = [] {
+    datagen::WorldSpec spec;
+    spec.seed = 23;
+    spec.scale = 0.08;
+    spec.num_products = 400;
+    spec.num_attribute_types = 24;
+    return new datagen::World(datagen::GenerateWorld(spec));
+  }();
+  return *world;
+}
+
+TEST(VerbalizerTest, EmitsAttributeAndRelationTokens) {
+  const datagen::World& w = SmallWorld();
+  KgVerbalizer verb(w);
+  std::vector<std::string> toks = verb.Verbalize(0);
+  ASSERT_FALSE(toks.empty());
+  // The first product's first attribute name must appear (typed form).
+  const datagen::Product& p = w.products[0];
+  ASSERT_FALSE(p.attributes.empty());
+  std::string attr_tok =
+      "attr=" + w.attribute_types[p.attributes[0].first].name;
+  EXPECT_NE(std::find(toks.begin(), toks.end(), attr_tok), toks.end());
+  // Scene links verbalize first (schema-level knowledge leads).
+  if (!p.scenes.empty()) {
+    EXPECT_EQ(toks[0].rfind("scene=", 0), 0u) << toks[0];
+  }
+}
+
+TEST(VerbalizerTest, BudgetCaps) {
+  KgVerbalizer verb(SmallWorld());
+  EXPECT_LE(verb.Verbalize(0, 4).size(), 4u);
+  EXPECT_GE(verb.Verbalize(0, 0).size(), verb.Verbalize(0, 4).size());
+}
+
+TEST(VerbalizerTest, GazetteerLookups) {
+  const datagen::World& w = SmallWorld();
+  KgVerbalizer verb(w);
+  const datagen::AttributeType& attr = w.attribute_types[0];
+  EXPECT_EQ(verb.AttributeNameType(attr.name), 0);
+  EXPECT_EQ(verb.ValueAttributeType(attr.values[0]), 0);
+  EXPECT_EQ(verb.ValueAttributeType("definitely_not_a_value_xx"), -1);
+  EXPECT_TRUE(
+      verb.IsKnownEntityName(w.brands.nodes[0].name));
+  EXPECT_FALSE(verb.IsKnownEntityName("nonexistent_brandname_zz"));
+}
+
+TEST(EncoderTest, KgFillsSecondChannel) {
+  const datagen::World& w = SmallWorld();
+  PretrainedEncoder no_kg(MplugBaseConfig(), w);
+  PretrainedEncoder with_kg(MplugBaseKgConfig(), w);
+  EXPECT_EQ(no_kg.rep_dim(), no_kg.dim());
+  EXPECT_EQ(with_kg.rep_dim(), 2 * with_kg.dim());
+  EncoderFeatures a = no_kg.MakeFeatures(w.products[0].title_tokens, 0);
+  EncoderFeatures b = with_kg.MakeFeatures(w.products[0].title_tokens, 0);
+  EXPECT_TRUE(a.kg.empty());
+  EXPECT_GT(b.kg.size(), 1u) << "+KG must fill the verbalization channel";
+  // Without a product index, the kg channel degrades to a sentinel.
+  EncoderFeatures c = with_kg.MakeFeatures(w.products[0].title_tokens, -1);
+  EXPECT_EQ(c.kg.size(), 1u);
+  // Extra caller-supplied KG evidence lands in the kg channel.
+  EncoderFeatures d =
+      with_kg.MakeFeatures(w.products[0].title_tokens, 0, {"cooc_3"});
+  EXPECT_EQ(d.kg.size(), b.kg.size() + 1);
+}
+
+TEST(EncoderTest, EmbedRowsAreChannelNormalized) {
+  const datagen::World& w = SmallWorld();
+  PretrainedEncoder enc(MplugBaseKgConfig(), w);
+  std::vector<EncoderFeatures> feats = {
+      enc.MakeFeatures(w.products[0].title_tokens, 0),
+      enc.MakeFeatures(w.products[1].title_tokens, 1)};
+  nn::Matrix x;
+  enc.Embed(feats, &x);
+  ASSERT_EQ(x.cols(), enc.rep_dim());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    float n_text = 0.0f, n_kg = 0.0f;
+    for (size_t d = 0; d < enc.dim(); ++d) {
+      n_text += x(i, d) * x(i, d);
+      n_kg += x(i, enc.dim() + d) * x(i, enc.dim() + d);
+    }
+    EXPECT_NEAR(n_text, 1.0f, 1e-3f);
+    EXPECT_NEAR(n_kg, 1.0f, 1e-3f);
+  }
+}
+
+TEST(EncoderTest, PretrainingMovesEmbeddings) {
+  EncoderConfig cfg = MplugBaseConfig();
+  cfg.pretrain_epochs = 1;
+  PretrainedEncoder enc(cfg, SmallWorld());
+  double norm_before = enc.table()->value.SquaredNorm();
+  enc.EnsurePretrained();
+  double norm_after = enc.table()->value.SquaredNorm();
+  EXPECT_NE(norm_before, norm_after);
+  // Idempotent.
+  enc.EnsurePretrained();
+  EXPECT_EQ(enc.table()->value.SquaredNorm(), norm_after);
+}
+
+TEST(SplitTest, ProportionsAndDisjoint) {
+  TaskSplit split = SplitProducts(SmallWorld(), 0.8, 31);
+  size_t total = SmallWorld().products.size();
+  EXPECT_EQ(split.train.size() + split.val.size(), total);
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / total, 0.8, 0.01);
+  std::set<size_t> train_set(split.train.begin(), split.train.end());
+  for (size_t v : split.val) EXPECT_FALSE(train_set.count(v));
+}
+
+TEST(FewShotTest, AtMostKPerClass) {
+  const datagen::World& w = SmallWorld();
+  CategoryPredictionTask task(w);
+  TaskSplit split = SplitProducts(w, 0.8, 31);
+  util::Rng rng(5);
+  auto label_of = [&task](size_t i) { return task.LabelOf(i); };
+  std::vector<size_t> shots = FewShotSample(split.train, 2, label_of, &rng);
+  std::map<uint32_t, size_t> counts;
+  for (size_t i : shots) counts[task.LabelOf(i)] += 1;
+  for (const auto& [label, n] : counts) EXPECT_LE(n, 2u);
+  EXPECT_LT(shots.size(), split.train.size());
+}
+
+class TaskSmokeTest : public ::testing::Test {
+ protected:
+  TaskSmokeTest() : split_(SplitProducts(SmallWorld(), 0.8, 31)) {
+    opts_.epochs = 4;
+    opts_.lr = 0.1f;
+  }
+  TaskSplit split_;
+  TrainOpts opts_;
+};
+
+TEST_F(TaskSmokeTest, CategoryPredictionLearns) {
+  const datagen::World& w = SmallWorld();
+  CategoryPredictionTask task(w);
+  EncoderConfig cfg = MplugBaseKgConfig();
+  cfg.pretrain_epochs = 1;
+  PretrainedEncoder enc(cfg, w);
+  TrainOpts o = opts_;
+  o.epochs = 20;
+  o.lr = 0.5f;
+  double acc = task.Run(&enc, split_.train, split_.val, o);
+  double chance = 1.0 / static_cast<double>(task.num_labels());
+  EXPECT_GT(acc, 4 * chance) << "accuracy " << acc << " vs chance "
+                             << chance;
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST_F(TaskSmokeTest, KgHelpsCategoryFewShot) {
+  const datagen::World& w = SmallWorld();
+  CategoryPredictionTask task(w);
+  auto label_of = [&task](size_t i) { return task.LabelOf(i); };
+
+  TrainOpts few = opts_;
+  few.epochs = 300;       // fine-tune the head to convergence
+  few.lr = 1.0f;
+  few.batch_size = 1 << 14;     // full-batch: deterministic convergence
+  few.update_encoder = false;   // frozen encoder: the k-shot recipe
+  double mean_base = 0.0, mean_kg = 0.0;
+  const uint64_t shot_seeds[] = {77, 97, 177};
+  for (uint64_t seed : shot_seeds) {
+    util::Rng rng(seed);
+    std::vector<size_t> shots =
+        FewShotSample(split_.train, 5, label_of, &rng);
+    EncoderConfig base_cfg = MplugBaseConfig();
+    base_cfg.pretrain_epochs = 1;
+    PretrainedEncoder base(base_cfg, w);
+    EncoderConfig kg_cfg = MplugBaseKgConfig();
+    kg_cfg.pretrain_epochs = 1;
+    PretrainedEncoder kg(kg_cfg, w);
+    few.seed = seed;
+    mean_base += task.Run(&base, shots, split_.val, few);
+    mean_kg += task.Run(&kg, shots, split_.val, few);
+  }
+  EXPECT_GT(mean_kg / 3.0, mean_base / 3.0)
+      << "5-shot (3 seeds): KG-enhanced should beat the plain encoder";
+}
+
+TEST_F(TaskSmokeTest, TitleNerLearnsAndKgHelps) {
+  const datagen::World& w = SmallWorld();
+  TitleNerTask task(w);
+  PretrainedEncoder base(MplugBaseConfig(), w);
+  PretrainedEncoder kg(MplugBaseKgConfig(), w);
+  TrainOpts o = opts_;
+  o.epochs = 3;
+  // Few-shot slice keeps the CRF training quick and makes the gazetteer
+  // signal decisive.
+  std::vector<size_t> small_train(split_.train.begin(),
+                                  split_.train.begin() + 40);
+  PrfMetrics m_base = task.Run(base, small_train, split_.val, o);
+  PrfMetrics m_kg = task.Run(kg, small_train, split_.val, o);
+  EXPECT_GT(m_kg.f1, 0.3);
+  EXPECT_GE(m_kg.f1, m_base.f1);
+}
+
+TEST_F(TaskSmokeTest, SummarizationBeatsIdentityBaseline) {
+  const datagen::World& w = SmallWorld();
+  TitleSummarizationTask task(w);
+  PretrainedEncoder enc(MplugBaseKgConfig(), w);
+  double rouge = task.Run(enc, split_.train, split_.val, opts_);
+  // Identity summary (keep everything) scores the length-ratio penalty.
+  double identity = 0.0;
+  for (size_t i : split_.val) {
+    const datagen::Product& p = w.products[i];
+    identity += text::RougeL(p.title_tokens, p.short_title_tokens);
+  }
+  identity /= static_cast<double>(split_.val.size());
+  EXPECT_GT(rouge, identity);
+  EXPECT_GT(rouge, 0.6);
+}
+
+TEST_F(TaskSmokeTest, ReviewIeKgResolvesMisspellings) {
+  const datagen::World& w = SmallWorld();
+  ReviewIeTask task(w);
+  PretrainedEncoder base(MplugBaseConfig(), w);
+  PretrainedEncoder kg(MplugBaseKgConfig(), w);
+  TrainOpts o = opts_;
+  o.epochs = 3;
+  PrfMetrics m_base = task.Run(base, split_.train, split_.val, o);
+  PrfMetrics m_kg = task.Run(kg, split_.train, split_.val, o);
+  EXPECT_GT(m_kg.f1, 0.5);
+  EXPECT_GE(m_kg.recall, m_base.recall)
+      << "gazetteer + fuzzy matching should recover misspelled attributes";
+}
+
+TEST_F(TaskSmokeTest, SalienceKgBeatsNoKg) {
+  const datagen::World& w = SmallWorld();
+  SalienceEvaluationTask task(w, /*num_examples=*/400, /*seed=*/41);
+  ASSERT_GT(task.num_examples(), 50u);
+  EncoderConfig base_cfg = MplugBaseConfig();
+  base_cfg.pretrain_epochs = 1;
+  EncoderConfig kg_cfg = MplugBaseKgConfig();
+  kg_cfg.pretrain_epochs = 1;
+  PretrainedEncoder base(base_cfg, w);
+  PretrainedEncoder kg(kg_cfg, w);
+  TrainOpts o = opts_;
+  o.epochs = 60;
+  o.lr = 1.0f;
+  double acc_base = task.Run(&base, o);
+  double acc_kg = task.Run(&kg, o);
+  EXPECT_GT(acc_kg, 0.6);
+  EXPECT_GE(acc_kg, acc_base);
+}
+
+}  // namespace
+}  // namespace openbg::pretrain

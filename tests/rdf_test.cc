@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "rdf/vocab.h"
+#include "util/rng.h"
+
+namespace openbg::rdf {
+namespace {
+
+TEST(TermDictTest, InternsAndDedupes) {
+  TermDict dict;
+  TermId a = dict.AddIri("http://x/a");
+  TermId b = dict.AddIri("http://x/b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.AddIri("http://x/a"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Text(a), "http://x/a");
+}
+
+TEST(TermDictTest, IriAndLiteralAreDistinctKeySpaces) {
+  TermDict dict;
+  TermId iri = dict.AddIri("x");
+  TermId lit = dict.AddLiteral("x");
+  EXPECT_NE(iri, lit);
+  EXPECT_TRUE(dict.IsIri(iri));
+  EXPECT_TRUE(dict.IsLiteral(lit));
+}
+
+TEST(TermDictTest, FindWithoutIntern) {
+  TermDict dict;
+  EXPECT_EQ(dict.FindIri("missing"), kInvalidTerm);
+  TermId a = dict.AddLiteral("v");
+  EXPECT_EQ(dict.FindLiteral("v"), a);
+  EXPECT_EQ(dict.FindIri("v"), kInvalidTerm);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+constexpr TermId A = TriplePattern::kAny;
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  TripleStoreTest() {
+    s = d.AddIri("s");
+    p = d.AddIri("p");
+    o = d.AddIri("o");
+    s2 = d.AddIri("s2");
+    p2 = d.AddIri("p2");
+    o2 = d.AddIri("o2");
+  }
+  TermDict d;
+  TripleStore store;
+  TermId s, p, o, s2, p2, o2;
+};
+
+TEST_F(TripleStoreTest, AddAndContains) {
+  EXPECT_TRUE(store.Add(s, p, o));
+  EXPECT_FALSE(store.Add(s, p, o)) << "duplicate must be rejected";
+  EXPECT_TRUE(store.Contains(s, p, o));
+  EXPECT_FALSE(store.Contains(s, p, o2));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(TripleStoreTest, PatternMatching) {
+  store.Add(s, p, o);
+  store.Add(s, p, o2);
+  store.Add(s, p2, o);
+  store.Add(s2, p, o);
+
+  EXPECT_EQ(store.Match({s, A, A}).size(), 3u);
+  EXPECT_EQ(store.Match({s, p, A}).size(), 2u);
+  EXPECT_EQ(store.Match({A, p, o}).size(), 2u);
+  EXPECT_EQ(store.Match({A, A, o}).size(), 3u);
+  EXPECT_EQ(store.Match({A, A, A}).size(), 4u);
+  EXPECT_EQ(store.Match({s, p, o}).size(), 1u);
+  EXPECT_EQ(store.Match({s2, p2, A}).size(), 0u);
+}
+
+TEST_F(TripleStoreTest, CountAndHelpers) {
+  store.Add(s, p, o);
+  store.Add(s, p, o2);
+  store.Add(s2, p, o);
+  EXPECT_EQ(store.CountMatches({s, p, A}), 2u);
+  std::vector<TermId> objs = store.Objects(s, p);
+  EXPECT_EQ(objs.size(), 2u);
+  std::vector<TermId> subs = store.Subjects(p, o);
+  EXPECT_EQ(subs.size(), 2u);
+  EXPECT_NE(store.FirstObject(s, p), kInvalidTerm);
+  EXPECT_EQ(store.FirstObject(o, p), kInvalidTerm);
+}
+
+TEST_F(TripleStoreTest, QueriesInterleavedWithInserts) {
+  store.Add(s, p, o);
+  EXPECT_EQ(store.CountMatches({s, A, A}), 1u);
+  store.Add(s, p2, o2);  // dirties indexes after a sort
+  EXPECT_EQ(store.CountMatches({s, A, A}), 2u);
+  store.Add(s2, p, o);
+  EXPECT_EQ(store.CountMatches({A, p, A}), 2u);
+}
+
+TEST_F(TripleStoreTest, DistinctPredicates) {
+  store.Add(s, p, o);
+  store.Add(s2, p, o2);
+  store.Add(s, p2, o);
+  std::vector<TermId> preds = store.DistinctPredicates();
+  EXPECT_EQ(preds.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, ForEachMatchEarlyStop) {
+  store.Add(s, p, o);
+  store.Add(s, p, o2);
+  int seen = 0;
+  store.ForEachMatch({s, p, A}, [&seen](const Triple&) {
+    ++seen;
+    return false;  // stop after the first
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(VocabTest, InternsW3cTerms) {
+  TermDict dict;
+  Vocab v(&dict);
+  EXPECT_EQ(dict.Text(v.rdf_type), iri::kRdfType);
+  EXPECT_EQ(dict.Text(v.skos_broader), iri::kSkosBroader);
+  EXPECT_NE(v.rdfs_sub_class_of, v.rdfs_sub_property_of);
+}
+
+TEST(NTriplesTest, EscapeRoundTrip) {
+  std::string raw = "line\"with\\stuff\nand\ttabs";
+  std::string escaped = EscapeLiteral(raw);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  std::string back;
+  ASSERT_TRUE(UnescapeLiteral(escaped, &back));
+  EXPECT_EQ(back, raw);
+}
+
+TEST(NTriplesTest, BadEscapeRejected) {
+  std::string out;
+  EXPECT_FALSE(UnescapeLiteral("bad\\q", &out));
+  EXPECT_FALSE(UnescapeLiteral("trailing\\", &out));
+}
+
+TEST(NTriplesTest, FileRoundTrip) {
+  Graph g;
+  TermId s = g.dict.AddIri("http://x/s");
+  TermId p = g.dict.AddIri("http://x/p");
+  TermId lit = g.dict.AddLiteral("value with \"quotes\" and\nnewline");
+  TermId o = g.dict.AddIri("http://x/o");
+  g.store.Add(s, p, o);
+  g.store.Add(s, p, lit);
+
+  std::string path = ::testing::TempDir() + "/openbg_rdf_test.nt";
+  ASSERT_TRUE(WriteNTriples(g.store, g.dict, path).ok());
+
+  Graph g2;
+  ASSERT_TRUE(ReadNTriples(path, &g2.dict, &g2.store).ok());
+  EXPECT_EQ(g2.store.size(), 2u);
+  TermId s2 = g2.dict.FindIri("http://x/s");
+  TermId p2 = g2.dict.FindIri("http://x/p");
+  TermId lit2 = g2.dict.FindLiteral("value with \"quotes\" and\nnewline");
+  ASSERT_NE(s2, kInvalidTerm);
+  ASSERT_NE(lit2, kInvalidTerm);
+  EXPECT_TRUE(g2.store.Contains(s2, p2, lit2));
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesTest, MalformedLineReported) {
+  std::string path = ::testing::TempDir() + "/openbg_rdf_bad.nt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("<a> <b> <c> .\nnot a triple\n", f);
+    fclose(f);
+  }
+  Graph g;
+  util::Status st = ReadNTriples(path, &g.dict, &g.store);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(":2"), std::string::npos)
+      << "error should name line 2: " << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesTest, CommentsAndBlankLinesSkipped) {
+  std::string path = ::testing::TempDir() + "/openbg_rdf_comment.nt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("# header comment\n\n<a> <b> \"lit\" .\n", f);
+    fclose(f);
+  }
+  Graph g;
+  ASSERT_TRUE(ReadNTriples(path, &g.dict, &g.store).ok());
+  EXPECT_EQ(g.store.size(), 1u);
+  std::remove(path.c_str());
+}
+
+// Property: for any handful of randomly generated triples, every bound
+// pattern returns exactly the subset matching it.
+class TripleStorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TripleStorePropertyTest, PatternsAgreeWithLinearScan) {
+  util::Rng rng(GetParam());
+  TermDict dict;
+  TripleStore store;
+  std::vector<Triple> all;
+  for (int i = 0; i < 200; ++i) {
+    Triple t{static_cast<TermId>(dict.AddIri("s" + std::to_string(
+                 rng.Uniform(10)))),
+             static_cast<TermId>(dict.AddIri("p" + std::to_string(
+                 rng.Uniform(5)))),
+             static_cast<TermId>(dict.AddIri("o" + std::to_string(
+                 rng.Uniform(10))))};
+    if (store.Add(t)) all.push_back(t);
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    TriplePattern pat;
+    if (rng.Bernoulli(0.5)) pat.s = all[rng.Uniform(all.size())].s;
+    if (rng.Bernoulli(0.5)) pat.p = all[rng.Uniform(all.size())].p;
+    if (rng.Bernoulli(0.5)) pat.o = all[rng.Uniform(all.size())].o;
+    size_t expected = 0;
+    for (const Triple& t : all) {
+      bool m = (pat.s == TriplePattern::kAny || pat.s == t.s) &&
+               (pat.p == TriplePattern::kAny || pat.p == t.p) &&
+               (pat.o == TriplePattern::kAny || pat.o == t.o);
+      if (m) ++expected;
+    }
+    EXPECT_EQ(store.CountMatches(pat), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace openbg::rdf

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "text/fuzzy.h"
+#include "text/tokenizer.h"
+#include "text/trie.h"
+#include "text/vocabulary.h"
+
+namespace openbg::text {
+namespace {
+
+TEST(TokenizerTest, AsciiWordsAndPunctuation) {
+  EXPECT_EQ(Tokenize("Hello, World! 3x"),
+            (std::vector<std::string>{"hello", "world", "3x"}));
+}
+
+TEST(TokenizerTest, CjkCharactersSplitIndividually) {
+  EXPECT_EQ(Tokenize("大米abc茶"),
+            (std::vector<std::string>{"大", "米", "abc", "茶"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  \t\n ").empty());
+}
+
+TEST(TokenizerTest, UnderscoreKeptInToken) {
+  EXPECT_EQ(Tokenize("250g_x3"), (std::vector<std::string>{"250g_x3"}));
+}
+
+TEST(CharNgramsTest, Basic) {
+  EXPECT_EQ(CharNgrams("abcd", 3),
+            (std::vector<std::string>{"abc", "bcd"}));
+  EXPECT_TRUE(CharNgrams("ab", 3).empty());
+  EXPECT_TRUE(CharNgrams("abc", 0).empty());
+}
+
+TEST(LcsTest, KnownValues) {
+  EXPECT_EQ(LcsLength({"a", "b", "c", "d"}, {"b", "d"}), 2u);
+  EXPECT_EQ(LcsLength({"a"}, {"b"}), 0u);
+  EXPECT_EQ(LcsLength({}, {"a"}), 0u);
+}
+
+TEST(RougeLTest, PerfectAndZero) {
+  std::vector<std::string> ref = {"short", "red", "dress"};
+  EXPECT_DOUBLE_EQ(RougeL(ref, ref), 1.0);
+  EXPECT_DOUBLE_EQ(RougeL({"x"}, ref), 0.0);
+  EXPECT_DOUBLE_EQ(RougeL({}, ref), 0.0);
+}
+
+TEST(RougeLTest, PartialOverlap) {
+  // candidate {a,b}, reference {a,b,c,d}: LCS=2, P=1, R=0.5, F1=2/3.
+  double f = RougeL({"a", "b"}, {"a", "b", "c", "d"});
+  EXPECT_NEAR(f, 2.0 / 3.0, 1e-9);
+}
+
+TEST(TrieTest, InsertFind) {
+  Trie t;
+  t.Insert("apple", 1);
+  t.Insert("app", 2);
+  EXPECT_EQ(t.Find("apple"), 1u);
+  EXPECT_EQ(t.Find("app"), 2u);
+  EXPECT_EQ(t.Find("ap"), Trie::kNoValue);
+  EXPECT_EQ(t.Find("applesauce"), Trie::kNoValue);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TrieTest, OverwriteKeepsSize) {
+  Trie t;
+  t.Insert("a", 1);
+  t.Insert("a", 9);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.Find("a"), 9u);
+}
+
+TEST(TrieTest, HasPrefix) {
+  Trie t;
+  t.Insert("shanghai", 3);
+  EXPECT_TRUE(t.HasPrefix("shang"));
+  EXPECT_TRUE(t.HasPrefix(""));
+  EXPECT_FALSE(t.HasPrefix("shb"));
+}
+
+TEST(TrieTest, LongestPrefixMatch) {
+  Trie t;
+  t.Insert("new", 1);
+  t.Insert("new york", 2);
+  Trie::Match m = t.LongestPrefixMatch("new york city", 0);
+  EXPECT_EQ(m.length, 8u);
+  EXPECT_EQ(m.value, 2u);
+  m = t.LongestPrefixMatch("newark", 0);
+  EXPECT_EQ(m.length, 3u);
+  EXPECT_EQ(m.value, 1u);
+  m = t.LongestPrefixMatch("xnew", 0);
+  EXPECT_EQ(m.length, 0u);
+}
+
+TEST(TrieTest, FindAllNonOverlapping) {
+  Trie t;
+  t.Insert("ab", 1);
+  t.Insert("bc", 2);
+  std::vector<Trie::SpanMatch> spans = t.FindAll("abbcab");
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].value, 1u);
+  EXPECT_EQ(spans[1].value, 2u);
+  EXPECT_EQ(spans[2].begin, 4u);
+}
+
+TEST(FuzzyMatcherTest, ExactAndSynonym) {
+  FuzzyMatcher m(0.8);
+  m.AddCanonical("Apple", 1);
+  ASSERT_TRUE(m.AddSynonym("pingguo", "apple"));
+  EXPECT_FALSE(m.AddSynonym("x", "unknown"));
+  auto r = m.Resolve("APPLE");
+  EXPECT_EQ(r.id, 1u);
+  EXPECT_TRUE(r.exact);
+  r = m.Resolve("Pingguo");
+  EXPECT_EQ(r.id, 1u);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(FuzzyMatcherTest, FuzzyWithinThreshold) {
+  FuzzyMatcher m(0.75);
+  m.AddCanonical("hangzhou", 5);
+  auto r = m.Resolve("hangzhuo");  // transposition
+  EXPECT_EQ(r.id, 5u);
+  EXPECT_FALSE(r.exact);
+  EXPECT_GE(r.similarity, 0.75);
+}
+
+TEST(FuzzyMatcherTest, BelowThresholdMisses) {
+  FuzzyMatcher m(0.9);
+  m.AddCanonical("hangzhou", 5);
+  auto r = m.Resolve("hzngzyyy");
+  EXPECT_EQ(r.id, FuzzyMatcher::kNoMatch);
+}
+
+TEST(FuzzyMatcherTest, ThresholdOneDisablesFuzzy) {
+  FuzzyMatcher m(1.0);
+  m.AddCanonical("brand", 2);
+  EXPECT_EQ(m.Resolve("brand").id, 2u);
+  EXPECT_EQ(m.Resolve("brend").id, FuzzyMatcher::kNoMatch);
+}
+
+TEST(FuzzyMatcherTest, PrefersCloserCandidate) {
+  FuzzyMatcher m(0.5);
+  m.AddCanonical("aaaa", 1);
+  m.AddCanonical("aaab", 2);
+  auto r = m.Resolve("aaab");
+  EXPECT_EQ(r.id, 2u);
+}
+
+TEST(VocabularyTest, BuildAndLookup) {
+  Vocabulary v;
+  for (const char* t : {"red", "red", "dress", "red", "blue"}) v.Observe(t);
+  v.Build(/*min_count=*/2);
+  EXPECT_EQ(v.Id("blue"), Vocabulary::kUnk) << "below min_count -> unk";
+  EXPECT_EQ(v.Id("dress"), Vocabulary::kUnk) << "below min_count -> unk";
+  EXPECT_NE(v.Id("red"), Vocabulary::kUnk);
+  EXPECT_EQ(v.Id("never"), Vocabulary::kUnk);
+  EXPECT_EQ(v.Token(v.Id("red")), "red");
+  EXPECT_EQ(v.Frequency(v.Id("red")), 3u);
+  // <unk> absorbs pruned counts (dress + blue).
+  EXPECT_EQ(v.Frequency(Vocabulary::kUnk), 2u);
+}
+
+TEST(VocabularyTest, FrequencyOrderIsDeterministic) {
+  Vocabulary a, b;
+  for (const char* t : {"x", "y", "y", "z"}) {
+    a.Observe(t);
+    b.Observe(t);
+  }
+  a.Build();
+  b.Build();
+  EXPECT_EQ(a.Id("y"), b.Id("y"));
+  EXPECT_EQ(a.Id("y"), 1u) << "most frequent token gets the first id";
+}
+
+}  // namespace
+}  // namespace openbg::text

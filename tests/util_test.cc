@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/tsv.h"
+
+namespace openbg::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such entity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: no such entity");
+}
+
+TEST(StatusTest, ResultHoldsValueOrStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(9);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_hit |= (v == -3);
+    hi_hit |= (v == 3);
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  for (size_t k : {0ul, 1ul, 5ul, 50ul, 100ul}) {
+    std::vector<size_t> s = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (size_t v : s) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, RankOneMostFrequent) {
+  Rng rng(23);
+  ZipfSampler zipf(50, 1.1);
+  std::vector<size_t> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(&rng)] += 1;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[49]);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 0.9);
+  double sum = 0.0;
+  for (size_t k = 0; k < 100; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-9);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  Rng rng(29);
+  DiscreteSampler s({1.0, 3.0, 6.0});
+  std::vector<size_t> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) counts[s.Sample(&rng)] += 1;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  Rng rng(31);
+  DiscreteSampler s({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s.Sample(&rng), 1u);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a\tb\tc", '\t'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a  b\tc \n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinAndTrim) {
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("openbg", "open"));
+  EXPECT_FALSE(StartsWith("open", "openbg"));
+  EXPECT_TRUE(EndsWith("triple.tsv", ".tsv"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringUtilTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(2603046837ull), "2,603,046,837");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringUtilTest, EditDistance) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_NEAR(EditSimilarity("abcd", "abce"), 0.75, 1e-9);
+}
+
+TEST(StringUtilTest, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+}
+
+TEST(StringUtilTest, Utf8Chars) {
+  std::vector<std::string> chars = Utf8Chars("a中b");
+  ASSERT_EQ(chars.size(), 3u);
+  EXPECT_EQ(chars[0], "a");
+  EXPECT_EQ(chars[1], "中");
+  EXPECT_EQ(chars[2], "b");
+}
+
+TEST(StringUtilTest, Utf8MalformedFallsBackToBytes) {
+  std::string bad = "a";
+  bad.push_back(static_cast<char>(0xE4));  // truncated 3-byte sequence
+  std::vector<std::string> chars = Utf8Chars(bad);
+  EXPECT_EQ(chars.size(), 2u);
+}
+
+TEST(HistogramTest, Percentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.Min(), 1.0);
+  EXPECT_EQ(h.Max(), 100.0);
+  EXPECT_NEAR(h.Mean(), 50.5, 1e-9);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(h.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.Percentile(100), 100.0, 1e-9);
+}
+
+TEST(HistogramTest, AsciiChartRenders) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Add(std::pow(2.0, i % 12));
+  std::string chart = h.AsciiChart(10, 40);
+  EXPECT_FALSE(chart.empty());
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(TsvTest, RoundTrip) {
+  std::string path = ::testing::TempDir() + "/openbg_util_test.tsv";
+  {
+    TsvWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.WriteRow({"h", "r", "t"});
+    w.WriteRow({"a", "b", "c"});
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto rows = ReadTsv(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"a", "b", "c"}));
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, MissingFileIsIoError) {
+  auto rows = ReadTsv("/nonexistent/openbg.tsv");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+}
+
+// Property sweep: Uniform(n) stays in range and hits both endpoints across
+// a spread of n.
+class UniformRangeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UniformRangeTest, BoundsAndCoverage) {
+  uint64_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t v = rng.Uniform(n);
+    ASSERT_LT(v, n);
+    lo |= (v == 0);
+    hi |= (v == n - 1);
+  }
+  if (n <= 64) {
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, UniformRangeTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 1000, 1 << 20));
+
+}  // namespace
+}  // namespace openbg::util
