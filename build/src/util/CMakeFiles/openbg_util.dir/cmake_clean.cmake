@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_util.dir/histogram.cc.o"
+  "CMakeFiles/openbg_util.dir/histogram.cc.o.d"
+  "CMakeFiles/openbg_util.dir/logging.cc.o"
+  "CMakeFiles/openbg_util.dir/logging.cc.o.d"
+  "CMakeFiles/openbg_util.dir/rng.cc.o"
+  "CMakeFiles/openbg_util.dir/rng.cc.o.d"
+  "CMakeFiles/openbg_util.dir/status.cc.o"
+  "CMakeFiles/openbg_util.dir/status.cc.o.d"
+  "CMakeFiles/openbg_util.dir/string_util.cc.o"
+  "CMakeFiles/openbg_util.dir/string_util.cc.o.d"
+  "CMakeFiles/openbg_util.dir/tsv.cc.o"
+  "CMakeFiles/openbg_util.dir/tsv.cc.o.d"
+  "libopenbg_util.a"
+  "libopenbg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
