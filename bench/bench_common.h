@@ -16,12 +16,15 @@ namespace openbg::bench {
 ///   --scale <f>     multiplies the synthetic-world taxonomy sizes
 ///   --products <n>  product count
 ///   --seed <n>      world seed
+///   --threads <n>   evaluator worker threads (metrics are identical to
+///                   serial; only wall-clock changes)
 /// Defaults give a ~1/1000-of-paper world that runs each bench in minutes
 /// on one core.
 struct BenchArgs {
   double scale = 1.0;
   size_t products = 4000;
   uint64_t seed = 7;
+  size_t threads = 1;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -32,6 +35,8 @@ struct BenchArgs {
         args.products = static_cast<size_t>(std::atoll(argv[i + 1]));
       } else if (std::strcmp(argv[i], "--seed") == 0) {
         args.seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "--threads") == 0) {
+        args.threads = static_cast<size_t>(std::atoll(argv[i + 1]));
       }
     }
     return args;

@@ -130,9 +130,12 @@ inline LpBaseline GenKgcBaseline(size_t dim) {
 /// Trains and evaluates one baseline; prints a Table-III-style row.
 /// `eval_cap` bounds the ranked test triples (the paper similarly bounds
 /// expensive baselines by available compute — "only one V100").
+/// `threads > 1` shards the ranking across an evaluator thread pool; the
+/// printed metrics are bit-identical to the serial run.
 inline kge::RankingMetrics RunLpBaseline(const LpBaseline& baseline,
                                          const kge::Dataset& ds,
-                                         size_t eval_cap, bool print_mr) {
+                                         size_t eval_cap, bool print_mr,
+                                         size_t threads = 1) {
   util::Rng rng(0xBEEF ^ ds.train.size());
   std::unique_ptr<kge::KgeModel> model = baseline.make(ds, &rng);
   util::Timer timer;
@@ -143,6 +146,7 @@ inline kge::RankingMetrics RunLpBaseline(const LpBaseline& baseline,
   kge::RankingEvaluator::Options eopts;
   eopts.filtered = true;
   eopts.max_triples = eval_cap;
+  eopts.num_threads = threads;
   kge::RankingEvaluator evaluator(ds, eopts);
   timer.Reset();
   kge::RankingMetrics m = evaluator.Evaluate(model.get());

@@ -6,12 +6,15 @@
 #include <benchmark/benchmark.h>
 
 #include "crf/crf.h"
+#include "kge/evaluator.h"
+#include "kge/trans_models.h"
 #include "nn/kernels.h"
 #include "rdf/graph.h"
 #include "text/fuzzy.h"
 #include "text/trie.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -52,6 +55,76 @@ void BM_TripleStoreQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TripleStoreQuery);
+
+// Concurrent reads against a sealed store: the serving-path shape. The
+// thread count comes from the benchmark's own --benchmark_ ... /threads.
+void BM_TripleStoreSealedQueryParallel(benchmark::State& state) {
+  static rdf::TripleStore* store = [] {
+    auto* s = new rdf::TripleStore();
+    util::Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+      s->Add(static_cast<rdf::TermId>(rng.Uniform(10000)),
+             static_cast<rdf::TermId>(rng.Uniform(50)),
+             static_cast<rdf::TermId>(rng.Uniform(10000)));
+    }
+    s->SealIndexes();
+    return s;
+  }();
+  util::Rng rng(100 + state.thread_index());
+  for (auto _ : state) {
+    rdf::TermId s = static_cast<rdf::TermId>(rng.Uniform(10000));
+    benchmark::DoNotOptimize(store->CountMatches(
+        {s, rdf::TriplePattern::kAny, rdf::TriplePattern::kAny}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleStoreSealedQueryParallel)->Threads(1)->Threads(8);
+
+// Filtered link-prediction ranking, serial vs sharded across the evaluator's
+// thread pool (Arg = num_threads). Metrics are identical; only wall-clock
+// should move.
+void BM_FilteredEvaluation(benchmark::State& state) {
+  const size_t kEntities = 4000;
+  static kge::Dataset* ds = [] {
+    auto* d = new kge::Dataset();
+    d->name = "bm";
+    for (size_t i = 0; i < kEntities; ++i) {
+      d->entity_names.push_back("e" + std::to_string(i));
+      d->entity_text.push_back("t");
+      d->entity_images.push_back({});
+    }
+    for (uint32_t r = 0; r < 4; ++r) {
+      d->relation_names.push_back("r" + std::to_string(r));
+    }
+    for (uint32_t h = 0; h < kEntities; ++h) {
+      for (uint32_t r = 0; r < 4; ++r) {
+        d->train.push_back(
+            {h, r, static_cast<uint32_t>((h + 17 * (r + 1)) % kEntities)});
+      }
+    }
+    for (size_t i = 0; i < 256; ++i) d->test.push_back(d->train[i * 7]);
+    return d;
+  }();
+  static kge::TransE* model = [] {
+    util::Rng rng(31);
+    return new kge::TransE(kEntities, 4, 32, 1.0f, &rng);
+  }();
+  kge::RankingEvaluator::Options opts;
+  opts.filtered = true;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  kge::RankingEvaluator evaluator(*ds, opts);
+  for (auto _ : state) {
+    kge::RankingMetrics m = evaluator.Evaluate(model);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() * ds->test.size());
+}
+BENCHMARK(BM_FilteredEvaluation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_TrieLongestMatch(benchmark::State& state) {
   text::Trie trie;

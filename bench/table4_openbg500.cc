@@ -37,10 +37,10 @@ int main(int argc, char** argv) {
         baseline.config.epochs = 10;  // 1-N cost scales with |E|; halve here
       }
       bench::RunLpBaseline(baseline, ds, kEvalCap,
-                           baseline.paper_name != "GenKGC");
+                           baseline.paper_name != "GenKGC", args.threads);
     }
     bench::RunLpBaseline(bench::GenKgcBaseline(32), ds, kEvalCap,
-                         /*print_mr=*/false);
+                         /*print_mr=*/false, args.threads);
   }
 
   // --- OpenBG500-L: a larger world, denser sampling, cheap baselines only.
@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
           baseline.paper_name == "StAR") {
         continue;
       }
-      bench::RunLpBaseline(baseline, ds, kEvalCap, /*print_mr=*/true);
+      bench::RunLpBaseline(baseline, ds, kEvalCap, /*print_mr=*/true,
+                           args.threads);
     }
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace openbg::kge {
 namespace {
@@ -21,6 +22,14 @@ RankingEvaluator::RankingEvaluator(const Dataset& dataset, Options options)
       for (const LpTriple& t : *split) {
         true_tails_[PairKey(t.h, t.r)].push_back(t.t);
         true_heads_[PairKey(t.t, t.r)].push_back(t.h);
+      }
+    }
+    // Dedup: RankOf subtracts once per skip entry, so a triple repeated
+    // across (or within) splits must contribute one entry, not several.
+    for (auto* index : {&true_tails_, &true_heads_}) {
+      for (auto& [key, ids] : *index) {
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
       }
     }
   }
@@ -49,12 +58,49 @@ RankingMetrics RankingEvaluator::Evaluate(KgeModel* model) const {
 RankingMetrics RankingEvaluator::EvaluateOn(
     KgeModel* model, const std::vector<LpTriple>& triples) const {
   model->PrepareEval();
-  RankingMetrics m;
-  std::vector<float> scores;
   static const std::vector<uint32_t> kNoSkip;
-  size_t limit = options_.max_triples > 0
-                     ? std::min(options_.max_triples, triples.size())
-                     : triples.size();
+  const size_t limit = options_.max_triples > 0
+                           ? std::min(options_.max_triples, triples.size())
+                           : triples.size();
+
+  // Phase 1 (parallelizable): integer ranks per triple. Each shard owns a
+  // private score buffer and writes disjoint slots of the rank arrays, so
+  // workers share only the frozen model and filter maps.
+  std::vector<size_t> tail_ranks(limit);
+  std::vector<size_t> head_ranks(options_.both_directions ? limit : 0);
+  auto rank_range = [&](size_t /*shard*/, size_t begin, size_t end) {
+    std::vector<float> scores;
+    for (size_t i = begin; i < end; ++i) {
+      const LpTriple& t = triples[i];
+      model->ScoreTails(t.h, t.r, &scores);
+      const std::vector<uint32_t>* skip = &kNoSkip;
+      if (options_.filtered) {
+        auto it = true_tails_.find(PairKey(t.h, t.r));
+        if (it != true_tails_.end()) skip = &it->second;
+      }
+      tail_ranks[i] = RankOf(scores, t.t, *skip);
+      if (options_.both_directions) {
+        model->ScoreHeads(t.r, t.t, &scores);
+        const std::vector<uint32_t>* hskip = &kNoSkip;
+        if (options_.filtered) {
+          auto it = true_heads_.find(PairKey(t.t, t.r));
+          if (it != true_heads_.end()) hskip = &it->second;
+        }
+        head_ranks[i] = RankOf(scores, t.h, *hskip);
+      }
+    }
+  };
+  if (options_.num_threads > 1 && limit > 1) {
+    util::ThreadPool pool(std::min(options_.num_threads, limit));
+    util::ParallelFor(&pool, limit, rank_range);
+  } else {
+    rank_range(0, 0, limit);
+  }
+
+  // Phase 2 (serial): fold ranks into metrics in triple order. Ranks are
+  // integers and the summation order is fixed, so the result is
+  // bit-identical whatever num_threads was.
+  RankingMetrics m;
   auto account = [&m](size_t rank) {
     m.mr += static_cast<double>(rank);
     m.mrr += 1.0 / static_cast<double>(rank);
@@ -64,23 +110,8 @@ RankingMetrics RankingEvaluator::EvaluateOn(
     m.n += 1;
   };
   for (size_t i = 0; i < limit; ++i) {
-    const LpTriple& t = triples[i];
-    model->ScoreTails(t.h, t.r, &scores);
-    const std::vector<uint32_t>* skip = &kNoSkip;
-    if (options_.filtered) {
-      auto it = true_tails_.find(PairKey(t.h, t.r));
-      if (it != true_tails_.end()) skip = &it->second;
-    }
-    account(RankOf(scores, t.t, *skip));
-    if (options_.both_directions) {
-      model->ScoreHeads(t.r, t.t, &scores);
-      const std::vector<uint32_t>* hskip = &kNoSkip;
-      if (options_.filtered) {
-        auto it = true_heads_.find(PairKey(t.t, t.r));
-        if (it != true_heads_.end()) hskip = &it->second;
-      }
-      account(RankOf(scores, t.h, *hskip));
-    }
+    account(tail_ranks[i]);
+    if (options_.both_directions) account(head_ranks[i]);
   }
   if (m.n > 0) {
     double n = static_cast<double>(m.n);

@@ -25,6 +25,11 @@ struct RankingMetrics {
 /// ranks the head side and averages. The paper's protocol predicts tails
 /// ("given (h, r, ?) ... predict a tail entity t"), so tail-only is the
 /// default.
+///
+/// Protocol details (see DESIGN.md, "filtered ranking protocol"): skip lists
+/// are deduplicated, so a triple present in several splits filters exactly
+/// once; ties score optimistically (rank = 1 + #strictly-better), which is
+/// deterministic and independent of candidate order and thread count.
 class RankingEvaluator {
  public:
   struct Options {
@@ -32,6 +37,11 @@ class RankingEvaluator {
     bool both_directions = false;
     /// Cap on evaluated triples (0 = all) to bound bench runtime.
     size_t max_triples = 0;
+    /// Worker threads for EvaluateOn (<=1 = serial). Requires the model's
+    /// ScoreTails/ScoreHeads to be const-thread-safe after PrepareEval(),
+    /// which every KgeModel guarantees (caches fill in PrepareEval).
+    /// Results are bit-identical to the serial path at any thread count.
+    size_t num_threads = 1;
   };
 
   /// The filter set is built from train+dev+test of `dataset`.
@@ -46,14 +56,20 @@ class RankingEvaluator {
                             const std::vector<LpTriple>& triples) const;
 
  private:
-  // Rank of `gold` among `scores` with ties broken pessimistically
-  // (rank = 1 + #better + #equal-before), filtering `skip` candidates.
+  // Rank of `gold` among `scores` with ties broken optimistically
+  // (rank = 1 + #strictly-better), filtering `skip` candidates. `skip`
+  // must be duplicate-free: each filtered candidate that outscores gold
+  // is subtracted exactly once.
   size_t RankOf(const std::vector<float>& scores, uint32_t gold,
                 const std::vector<uint32_t>& skip) const;
 
   const Dataset* dataset_;
   Options options_;
-  // (h, r) -> set of true tails; (t, r) -> set of true heads.
+  // (h, r) -> sorted distinct true tails; (t, r) -> sorted distinct true
+  // heads. Deduplicated in the constructor: the same triple may appear in
+  // more than one split (or twice in one), and a duplicate skip entry
+  // would decrement RankOf's counter twice — underflowing size_t when the
+  // duplicated candidate outscores gold.
   std::unordered_map<uint64_t, std::vector<uint32_t>> true_tails_;
   std::unordered_map<uint64_t, std::vector<uint32_t>> true_heads_;
 };

@@ -22,6 +22,12 @@ using bench_builder::LpTriple;
 /// model owns its loss (margin ranking for translational models, pointwise
 /// logistic for bilinear/text/multimodal ones), mirroring each original
 /// paper's recipe.
+///
+/// Thread-safety contract: after PrepareEval() returns, ScoreTriple /
+/// ScoreTails / ScoreHeads must be safe to call concurrently from multiple
+/// threads — i.e., genuinely const, with any lazy caches (text encodings,
+/// fused multimodal tables) filled inside PrepareEval, never during
+/// scoring. The parallel RankingEvaluator relies on this.
 class KgeModel {
  public:
   KgeModel(size_t num_entities, size_t num_relations)

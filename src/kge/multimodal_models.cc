@@ -377,8 +377,7 @@ void MkgFusionModel::ChannelVectors(uint32_t e, nn::Matrix* out) const {
   std::copy(s, s + dim_, out->Row(0));
   // Text channel.
   nn::Matrix txt;
-  const_cast<MkgFusionModel*>(this)->text_emb_.Forward(
-      {features_.EntityFeatures(e)}, &txt);
+  text_emb_.Forward({features_.EntityFeatures(e)}, &txt);
   std::copy(txt.Row(0), txt.Row(0) + dim_, out->Row(1));
   // Image channel (zeros when absent).
   ProjectImage(e, out->Row(2));

@@ -52,9 +52,22 @@ LpTriple NegativeSampler::Corrupt(const LpTriple& pos) {
     if (options_.filter_true && IsKnownPositive(neg)) continue;
     return neg;
   }
-  // Fall back to an unfiltered corruption after repeated collisions.
+  // Fall back to an unfiltered corruption after repeated collisions. Still
+  // honor the bernoulli head/tail choice, and draw the replacement from the
+  // other num_entities_ - 1 ids so the positive is never returned unchanged
+  // (possible whenever num_entities_ >= 2; a 1-entity world has no negative).
   LpTriple neg = pos;
-  neg.t = static_cast<uint32_t>(rng_.Uniform(num_entities_));
+  if (num_entities_ >= 2) {
+    bool corrupt_head = rng_.UniformDouble() < head_corrupt_prob_[pos.r];
+    uint32_t orig = corrupt_head ? pos.h : pos.t;
+    uint32_t replacement = static_cast<uint32_t>(
+        (orig + 1 + rng_.Uniform(num_entities_ - 1)) % num_entities_);
+    if (corrupt_head) {
+      neg.h = replacement;
+    } else {
+      neg.t = replacement;
+    }
+  }
   return neg;
 }
 

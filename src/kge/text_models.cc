@@ -50,10 +50,10 @@ void TextMatchModel::PrepareEval() { EncodeEntities(); }
 
 float TextMatchModel::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
   nn::Matrix enc;
-  const_cast<TextMatchModel*>(this)->text_emb_.Forward(
+  text_emb_.Forward(
       {features_.EntityFeatures(h), features_.EntityFeatures(t)}, &enc);
   nn::Matrix rel;
-  const_cast<TextMatchModel*>(this)->rel_emb_.Forward({{r}}, &rel);
+  rel_emb_.Forward({{r}}, &rel);
   nn::Matrix x(1, 3 * dim_);
   for (size_t d = 0; d < dim_; ++d) {
     x(0, d) = enc(0, d);
@@ -61,7 +61,7 @@ float TextMatchModel::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
     x(0, 2 * dim_ + d) = enc(1, d);
   }
   nn::Matrix y;
-  scorer_.Forward(x, &y);
+  scorer_.ForwardInference(x, &y);
   return y(0, 0);
 }
 
@@ -70,7 +70,7 @@ void TextMatchModel::ScoreSide(uint32_t fixed_entity, uint32_t r,
                                std::vector<float>* out) const {
   OPENBG_CHECK(enc_valid_) << "PrepareEval() not called";
   nn::Matrix rel;
-  const_cast<TextMatchModel*>(this)->rel_emb_.Forward({{r}}, &rel);
+  rel_emb_.Forward({{r}}, &rel);
   const float* fixed_enc = entity_enc_.Row(fixed_entity);
   nn::Matrix x(num_entities_, 3 * dim_);
   for (uint32_t e = 0; e < num_entities_; ++e) {
@@ -85,7 +85,7 @@ void TextMatchModel::ScoreSide(uint32_t fixed_entity, uint32_t r,
     }
   }
   nn::Matrix y;
-  scorer_.Forward(x, &y);
+  scorer_.ForwardInference(x, &y);
   out->resize(num_entities_);
   for (uint32_t e = 0; e < num_entities_; ++e) (*out)[e] = y(e, 0);
 }
@@ -187,10 +187,9 @@ void StarStyleModel::PrepareEval() {
 void StarStyleModel::QueryVector(uint32_t h, uint32_t r,
                                  std::vector<float>* out) const {
   nn::Matrix enc;
-  const_cast<StarStyleModel*>(this)->text_emb_.Forward(
-      {features_.EntityFeatures(h)}, &enc);
+  text_emb_.Forward({features_.EntityFeatures(h)}, &enc);
   nn::Matrix rel;
-  const_cast<StarStyleModel*>(this)->rel_emb_.Forward({{r}}, &rel);
+  rel_emb_.Forward({{r}}, &rel);
   nn::Matrix x(1, 2 * dim_);
   for (size_t d = 0; d < dim_; ++d) {
     x(0, d) = enc(0, d);
@@ -203,8 +202,7 @@ void StarStyleModel::QueryVector(uint32_t h, uint32_t r,
 
 void StarStyleModel::TailVector(uint32_t t, std::vector<float>* out) const {
   nn::Matrix enc;
-  const_cast<StarStyleModel*>(this)->text_emb_.Forward(
-      {features_.EntityFeatures(t)}, &enc);
+  text_emb_.Forward({features_.EntityFeatures(t)}, &enc);
   nn::Matrix v;
   tail_proj_.Forward(enc, &v);
   out->assign(v.Row(0), v.Row(0) + dim_);
@@ -327,10 +325,9 @@ GenKgcModel::GenKgcModel(const Dataset& dataset, size_t dim, util::Rng* rng,
 void GenKgcModel::ContextVector(uint32_t h, uint32_t r,
                                 nn::Matrix* ctx) const {
   nn::Matrix enc;
-  const_cast<GenKgcModel*>(this)->text_emb_.Forward(
-      {features_.EntityFeatures(h)}, &enc);
+  text_emb_.Forward({features_.EntityFeatures(h)}, &enc);
   nn::Matrix rel;
-  const_cast<GenKgcModel*>(this)->rel_emb_.Forward({{r}}, &rel);
+  rel_emb_.Forward({{r}}, &rel);
   nn::Matrix x(1, 2 * dim_);
   for (size_t d = 0; d < dim_; ++d) {
     x(0, d) = enc(0, d);

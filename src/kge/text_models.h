@@ -41,7 +41,9 @@ class TextMatchModel : public KgeModel {
   TextFeaturizer features_;
   nn::EmbeddingBag text_emb_;
   nn::EmbeddingBag rel_emb_;   // one "bag" per relation id
-  mutable nn::Mlp scorer_;     // [3d] -> hidden -> 1 (mutable: Forward caches)
+  nn::Mlp scorer_;  // [3d] -> hidden -> 1; scoring uses ForwardInference
+                    // (const, cache-free) so concurrent eval threads never
+                    // race on the training-only activation caches
   mutable nn::Matrix entity_enc_;  // cached per-entity encodings (eval)
   bool enc_valid_ = false;
 };

@@ -86,6 +86,23 @@ void Mlp::Forward(const Matrix& x, Matrix* y) {
   *y = pre_act_.back();
 }
 
+void Mlp::ForwardInference(const Matrix& x, Matrix* y) const {
+  Matrix cur;
+  const Matrix* in = &x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Matrix out;
+    layers_[i].Forward(*in, &out);
+    if (i + 1 < layers_.size()) {
+      Matrix act(out.rows(), out.cols());
+      ReluForward(out, &act);
+      cur = std::move(act);
+      in = &cur;
+    } else {
+      *y = std::move(out);
+    }
+  }
+}
+
 void Mlp::Backward(const Matrix& x, const Matrix& dy, Matrix* dx) {
   Matrix grad = dy;
   for (size_t i = layers_.size(); i-- > 0;) {

@@ -76,6 +76,12 @@ class Mlp {
 
   void Forward(const Matrix& x, Matrix* y);
 
+  /// Forward without touching the activation caches: uses only local
+  /// buffers, so it is const and safe to call concurrently from many
+  /// threads (the evaluator's parallel scoring path). Cannot be followed
+  /// by Backward.
+  void ForwardInference(const Matrix& x, Matrix* y) const;
+
   /// Backward through the whole stack; writes dX if dx != nullptr.
   /// Must follow a Forward with the same `x`.
   void Backward(const Matrix& x, const Matrix& dy, Matrix* dx);

@@ -22,13 +22,30 @@ inline std::array<TermId, 3> KeyOf(const Triple& t, int order) {
 
 }  // namespace
 
+TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
+  triples_ = std::move(other.triples_);
+  dedup_ = std::move(other.dedup_);
+  idx_spo_ = std::move(other.idx_spo_);
+  idx_pos_ = std::move(other.idx_pos_);
+  idx_osp_ = std::move(other.idx_osp_);
+  spo_dirty_.store(other.spo_dirty_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  pos_dirty_.store(other.pos_dirty_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  osp_dirty_.store(other.osp_dirty_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return *this;
+}
+
 bool TripleStore::Add(TermId s, TermId p, TermId o) {
   OPENBG_CHECK(s != kInvalidTerm && p != kInvalidTerm && o != kInvalidTerm)
       << "cannot add wildcard triple";
   Triple t{s, p, o};
   if (!dedup_.insert(t).second) return false;
   triples_.push_back(t);
-  spo_dirty_ = pos_dirty_ = osp_dirty_ = true;
+  spo_dirty_.store(true, std::memory_order_relaxed);
+  pos_dirty_.store(true, std::memory_order_relaxed);
+  osp_dirty_.store(true, std::memory_order_relaxed);
   return true;
 }
 
@@ -38,7 +55,7 @@ bool TripleStore::Contains(TermId s, TermId p, TermId o) const {
 
 void TripleStore::EnsureSorted(Order order) const {
   std::vector<uint32_t>* idx = nullptr;
-  bool* dirty = nullptr;
+  std::atomic<bool>* dirty = nullptr;
   int ord = 0;
   switch (order) {
     case Order::kSpo:
@@ -57,13 +74,23 @@ void TripleStore::EnsureSorted(Order order) const {
       ord = 2;
       break;
   }
-  if (!*dirty && idx->size() == triples_.size()) return;
+  // Fast path: acquire-load pairs with the release-store below, so a clean
+  // flag also publishes the rebuilt index contents to this thread.
+  if (!dirty->load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (!dirty->load(std::memory_order_relaxed)) return;  // lost the race: done
   idx->resize(triples_.size());
   for (uint32_t i = 0; i < triples_.size(); ++i) (*idx)[i] = i;
   std::sort(idx->begin(), idx->end(), [this, ord](uint32_t a, uint32_t b) {
     return KeyOf(triples_[a], ord) < KeyOf(triples_[b], ord);
   });
-  *dirty = false;
+  dirty->store(false, std::memory_order_release);
+}
+
+void TripleStore::SealIndexes() const {
+  EnsureSorted(Order::kSpo);
+  EnsureSorted(Order::kPos);
+  EnsureSorted(Order::kOsp);
 }
 
 std::pair<const uint32_t*, const uint32_t*> TripleStore::PrefixRange(

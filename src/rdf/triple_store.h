@@ -1,8 +1,10 @@
 #ifndef OPENBG_RDF_TRIPLE_STORE_H_
 #define OPENBG_RDF_TRIPLE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -36,14 +38,27 @@ struct TriplePattern {
 ///  * each index is a permutation of triple positions, re-sorted only when a
 ///    query arrives after inserts (bulk-load friendly: building N triples
 ///    then querying costs one sort per index, not N inserts into a tree).
+///
+/// Thread-safety contract:
+///  * `Add` is NOT safe against concurrent readers or other writers; mutate
+///    from one thread (or under external synchronization), then publish.
+///  * All `const` query methods are safe to call concurrently with each
+///    other. Lazy index (re)builds triggered by a query are serialized
+///    behind an internal mutex, so even the first post-insert queries may
+///    race freely among themselves.
+///  * For contention-free hot paths, call `SealIndexes()` once after bulk
+///    load: it builds all three sort orders eagerly, after which concurrent
+///    queries never touch the mutex's slow path.
 class TripleStore {
  public:
   TripleStore() = default;
 
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
-  TripleStore(TripleStore&&) = default;
-  TripleStore& operator=(TripleStore&&) = default;
+  // Moves transfer the data but not the (unmovable) index mutex; like Add,
+  // they require that no other thread is touching either store.
+  TripleStore(TripleStore&& other) noexcept { *this = std::move(other); }
+  TripleStore& operator=(TripleStore&& other) noexcept;
 
   /// Adds a triple; returns false iff it was already present.
   bool Add(TermId s, TermId p, TermId o);
@@ -80,6 +95,12 @@ class TripleStore {
   /// Distinct predicates present in the store.
   std::vector<TermId> DistinctPredicates() const;
 
+  /// Eagerly (re)builds all three sort orders. Call once after bulk load to
+  /// freeze the store for concurrent readers; queries afterwards are pure
+  /// reads with no locking. Queries before sealing remain correct — they
+  /// just may contend on the internal rebuild mutex.
+  void SealIndexes() const;
+
  private:
   enum class Order { kSpo, kPos, kOsp };
 
@@ -103,7 +124,12 @@ class TripleStore {
   std::unordered_set<Triple, TripleHash> dedup_;
 
   mutable std::vector<uint32_t> idx_spo_, idx_pos_, idx_osp_;
-  mutable bool spo_dirty_ = false, pos_dirty_ = false, osp_dirty_ = false;
+  // Invariant: a false flag (acquire-read) means the matching index vector
+  // is fully built for the current triples_ — readers then use it without
+  // locking. Rebuilds happen under index_mu_ with a double-check.
+  mutable std::atomic<bool> spo_dirty_{false}, pos_dirty_{false},
+      osp_dirty_{false};
+  mutable std::mutex index_mu_;
 };
 
 }  // namespace openbg::rdf

@@ -23,8 +23,14 @@ bool FuzzyMatcher::AddSynonym(std::string_view alias,
                               std::string_view canonical) {
   auto it = exact_.find(util::ToLower(canonical));
   if (it == exact_.end()) return false;
-  exact_[util::ToLower(alias)] = it->second;
-  return true;
+  std::string key = util::ToLower(alias);
+  if (key.empty()) return false;
+  // First binding wins: never clobber an existing canonical or earlier
+  // synonym that happens to share the alias. emplace is a no-op on
+  // collision; succeed only if we inserted or the alias already resolves
+  // to the same id.
+  auto [pos, inserted] = exact_.emplace(std::move(key), it->second);
+  return inserted || pos->second == it->second;
 }
 
 FuzzyMatcher::Match FuzzyMatcher::Resolve(std::string_view query) const {

@@ -25,7 +25,10 @@ class FuzzyMatcher {
   void AddCanonical(std::string_view name, uint32_t id);
 
   /// Registers `alias` as a synonym resolving to the same id as `canonical`
-  /// (which must already be registered). Returns false if it is not.
+  /// (which must already be registered). Returns false if the canonical is
+  /// unknown, the alias is empty, or the alias already resolves to a
+  /// *different* id (the first binding is kept — a colliding synonym never
+  /// silently rebinds an existing canonical or earlier synonym).
   bool AddSynonym(std::string_view alias, std::string_view canonical);
 
   struct Match {

@@ -1,0 +1,60 @@
+#ifndef OPENBG_UTIL_THREAD_POOL_H_
+#define OPENBG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace openbg::util {
+
+/// Fixed-size worker pool for fork/join parallelism over read-only shared
+/// state (the evaluator's "parallel scoring over a frozen index" shape).
+/// Tasks are plain closures; there is deliberately no future/cancellation
+/// machinery — callers that need a join use ParallelFor below or WaitIdle.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task or shutdown
+  std::condition_variable idle_cv_;  // signals WaitIdle: everything drained
+  size_t in_flight_ = 0;             // queued + currently running tasks
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into one contiguous shard per worker and runs
+/// `fn(shard_index, begin, end)` on the pool, blocking until all shards
+/// finish. With a null pool, a single-thread pool, or n == 0 the call
+/// degenerates to `fn(0, 0, n)` on the calling thread, so serial and
+/// parallel callers share one code path. Shard boundaries depend only on
+/// (n, num_threads), never on scheduling, which is what lets callers keep
+/// deterministic per-shard outputs.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t shard, size_t begin,
+                                          size_t end)>& fn);
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_THREAD_POOL_H_

@@ -201,6 +201,44 @@ TEST(NegativeSamplerTest, CorruptsExactlyOneSide) {
   }
 }
 
+TEST(NegativeSamplerTest, FallbackNeverReturnsThePositive) {
+  // Two entities, one relation, and every possible triple is a known
+  // positive, so the filtered retry loop always exhausts max_retries and
+  // lands in the fallback. The old fallback re-drew the tail uniformly
+  // (50% chance of returning `pos` unchanged) and ignored the head/tail
+  // choice entirely.
+  Dataset ds;
+  for (int i = 0; i < 2; ++i) {
+    ds.entity_names.push_back("e" + std::to_string(i));
+    ds.entity_text.push_back("t");
+    ds.entity_images.push_back({});
+  }
+  ds.relation_names.push_back("r");
+  for (uint32_t h = 0; h < 2; ++h) {
+    for (uint32_t t = 0; t < 2; ++t) ds.train.push_back({h, 0, t});
+  }
+  NegativeSampler::Options opts;
+  opts.filter_true = true;
+  opts.max_retries = 4;
+  NegativeSampler sampler(ds, opts, 17);
+  size_t head_side = 0, tail_side = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (const LpTriple& pos : ds.train) {
+      LpTriple neg = sampler.Corrupt(pos);
+      ASSERT_NE(neg, pos) << "fallback returned the positive unchanged";
+      bool head_changed = neg.h != pos.h;
+      bool tail_changed = neg.t != pos.t;
+      EXPECT_NE(head_changed, tail_changed) << "exactly one side corrupted";
+      EXPECT_EQ(neg.r, pos.r);
+      head_changed ? ++head_side : ++tail_side;
+    }
+  }
+  // The fallback honors the (uniform, p = 0.5) side choice: both sides
+  // must actually occur.
+  EXPECT_GT(head_side, 0u);
+  EXPECT_GT(tail_side, 0u);
+}
+
 TEST(NegativeSamplerTest, BernoulliSkewsTowardTailForNto1) {
   // Relation 0 is N-to-1 (many heads, one tail). Corrupting the *head*
   // would often create a false negative (many heads are true), so Wang et
@@ -294,6 +332,108 @@ TEST(EvaluatorTest, FilteringRemovesKnownTails) {
   filt.filtered = true;
   RankingMetrics m_filt = RankingEvaluator(ds, filt).Evaluate(&model);
   EXPECT_DOUBLE_EQ(m_filt.mr, 1.0);
+}
+
+TEST(EvaluatorTest, DuplicateTriplesAcrossSplitsDoNotCorruptRanks) {
+  // Regression: (0, r, 5) appears in train, dev AND test. Before the skip
+  // lists were deduplicated, RankOf subtracted the outscoring candidate 5
+  // once per copy when ranking (0, r, 6), underflowing `better` from 1 to
+  // size_t(-2) and reporting a nonsense rank (mr dropped below 1).
+  Dataset ds;
+  const size_t n = 10;
+  for (size_t i = 0; i < n; ++i) {
+    ds.entity_names.push_back("e");
+    ds.entity_text.push_back("t");
+    ds.entity_images.push_back({});
+  }
+  ds.relation_names.push_back("r");
+  ds.train = {{0, 0, 5}};
+  ds.dev = {{0, 0, 5}};
+  ds.test = {{0, 0, 5}, {0, 0, 6}};
+  OracleModel model(n, 5);  // scores peak at tail 5
+
+  RankingEvaluator::Options opts;
+  opts.filtered = true;
+  RankingMetrics m = RankingEvaluator(ds, opts).Evaluate(&model);
+  // Gold 5 ranks 1 outright; gold 6 ranks 1 once the known tail 5 is
+  // filtered — exactly once despite its three copies.
+  EXPECT_EQ(m.n, 2u);
+  EXPECT_DOUBLE_EQ(m.mr, 1.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(m.hits1, 1.0);
+}
+
+// All candidates tie: rank must be 1 + #strictly-better = 1 for every
+// triple, in serial and parallel runs alike (ties never depend on
+// evaluation order or thread count).
+class ConstantModel : public KgeModel {
+ public:
+  explicit ConstantModel(size_t n) : KgeModel(n, 1) {}
+  std::string name() const override { return "Constant"; }
+  float ScoreTriple(uint32_t, uint32_t, uint32_t) const override {
+    return 0.25f;
+  }
+  double TrainPairs(const std::vector<LpTriple>&,
+                    const std::vector<LpTriple>&, float) override {
+    return 0.0;
+  }
+};
+
+TEST(EvaluatorTest, TiedScoresRankDeterministically) {
+  Dataset ds = MakeTinyDataset(24);
+  ConstantModel model(24);
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    RankingEvaluator::Options opts;
+    opts.filtered = true;
+    opts.num_threads = threads;
+    RankingMetrics m = RankingEvaluator(ds, opts).Evaluate(&model);
+    EXPECT_DOUBLE_EQ(m.mr, 1.0) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(m.hits1, 1.0) << "threads=" << threads;
+  }
+}
+
+TEST(EvaluatorTest, ParallelMetricsAreBitIdenticalToSerial) {
+  Dataset ds = MakeTinyDataset(50);
+  util::Rng rng(83);
+  // TransE exercises the plain embedding path; TextMatchModel exercises the
+  // Mlp-scored path, which once raced on shared activation caches until
+  // scoring switched to Mlp::ForwardInference.
+  std::vector<std::unique_ptr<KgeModel>> models;
+  models.push_back(std::make_unique<TransE>(ds.num_entities(),
+                                            ds.num_relations(), 16, 1.0f,
+                                            &rng));
+  models.push_back(std::make_unique<TextMatchModel>(ds, 16, &rng, 1 << 12));
+  for (auto& model : models) {
+    TrainConfig config;
+    config.epochs = 5;
+    config.batch_size = 32;
+    TrainKgeModel(model.get(), ds, config);
+    for (bool both : {false, true}) {
+      RankingEvaluator::Options serial;
+      serial.filtered = true;
+      serial.both_directions = both;
+      RankingMetrics ms = RankingEvaluator(ds, serial).Evaluate(model.get());
+      for (size_t threads : {size_t{2}, size_t{4}, size_t{7}}) {
+        RankingEvaluator::Options par = serial;
+        par.num_threads = threads;
+        RankingMetrics mp = RankingEvaluator(ds, par).Evaluate(model.get());
+        EXPECT_EQ(ms.n, mp.n);
+        // Bit-identical, not approximately equal: ranks are integers and
+        // the metric fold runs serially in triple order at any thread
+        // count.
+        EXPECT_DOUBLE_EQ(ms.mr, mp.mr)
+            << model->name() << " threads=" << threads;
+        EXPECT_DOUBLE_EQ(ms.mrr, mp.mrr)
+            << model->name() << " threads=" << threads;
+        EXPECT_DOUBLE_EQ(ms.hits1, mp.hits1)
+            << model->name() << " threads=" << threads;
+        EXPECT_DOUBLE_EQ(ms.hits3, mp.hits3)
+            << model->name() << " threads=" << threads;
+        EXPECT_DOUBLE_EQ(ms.hits10, mp.hits10)
+            << model->name() << " threads=" << threads;
+      }
+    }
+  }
 }
 
 TEST(EvaluatorTest, MaxTriplesCapsWork) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "rdf/graph.h"
 #include "rdf/ntriples.h"
@@ -119,6 +122,106 @@ TEST_F(TripleStoreTest, ForEachMatchEarlyStop) {
     return false;  // stop after the first
   });
   EXPECT_EQ(seen, 1);
+}
+
+TEST_F(TripleStoreTest, SealIndexesPreservesQueryResults) {
+  store.Add(s, p, o);
+  store.Add(s, p, o2);
+  store.Add(s2, p2, o);
+  store.SealIndexes();
+  EXPECT_EQ(store.CountMatches({s, A, A}), 2u);
+  EXPECT_EQ(store.CountMatches({A, p, A}), 2u);
+  EXPECT_EQ(store.CountMatches({A, A, o}), 2u);
+  // Sealing is idempotent, and later inserts re-dirty correctly.
+  store.SealIndexes();
+  store.Add(s2, p, o2);
+  EXPECT_EQ(store.CountMatches({A, p, A}), 3u);
+}
+
+// A sealed store must serve many readers at once: every pattern family
+// (SPO / POS / OSP prefix plus full scan) hammered from 8 threads, each
+// checking against the counts a serial pass computed first.
+TEST(TripleStoreConcurrencyTest, SealedStoreServesEightReaders) {
+  TermDict d;
+  TripleStore store;
+  util::Rng rng(97);
+  std::vector<TermId> subjects, predicates, objects;
+  for (int i = 0; i < 40; ++i) {
+    subjects.push_back(d.AddIri("s" + std::to_string(i)));
+    objects.push_back(d.AddIri("o" + std::to_string(i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    predicates.push_back(d.AddIri("p" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    store.Add(subjects[rng.Uniform(subjects.size())],
+              predicates[rng.Uniform(predicates.size())],
+              objects[rng.Uniform(objects.size())]);
+  }
+  store.SealIndexes();
+
+  std::vector<size_t> expected_s(subjects.size());
+  std::vector<size_t> expected_p(predicates.size());
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    expected_s[i] = store.CountMatches({subjects[i], A, A});
+  }
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    expected_p[i] = store.CountMatches({A, predicates[i], A});
+  }
+  const size_t total = store.CountMatches({A, A, A});
+
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 8; ++w) {
+    readers.emplace_back([&, w] {
+      for (int round = 0; round < 50; ++round) {
+        size_t si = (w + round) % subjects.size();
+        size_t pi = (w + round) % predicates.size();
+        if (store.CountMatches({subjects[si], A, A}) != expected_s[si] ||
+            store.CountMatches({A, predicates[pi], A}) != expected_p[pi] ||
+            store.CountMatches({A, A, A}) != total ||
+            store.Objects(subjects[si], predicates[pi]).size() >
+                expected_s[si]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Without SealIndexes, the first queries after inserts race to build the
+// indexes; the mutex-guarded lazy path must keep them correct (and clean
+// under -DOPENBG_SANITIZE=thread).
+TEST(TripleStoreConcurrencyTest, LazyIndexBuildToleratesConcurrentReaders) {
+  TermDict d;
+  TripleStore store;
+  TermId p = d.AddIri("p");
+  std::vector<TermId> subjects;
+  for (int i = 0; i < 64; ++i) {
+    subjects.push_back(d.AddIri("s" + std::to_string(i)));
+  }
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      store.Add(subjects[i], p, d.AddIri("o" + std::to_string(j)));
+    }
+  }
+  // No seal: all 8 threads' first queries hit the dirty-index slow path.
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 8; ++w) {
+    readers.emplace_back([&] {
+      for (size_t i = 0; i < subjects.size(); ++i) {
+        if (store.CountMatches({subjects[i], A, A}) != 8u ||
+            store.CountMatches({A, p, A}) != 64u * 8u) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(VocabTest, InternsW3cTerms) {

@@ -118,6 +118,23 @@ TEST(FuzzyMatcherTest, ExactAndSynonym) {
   EXPECT_TRUE(r.exact);
 }
 
+TEST(FuzzyMatcherTest, SynonymCollisionKeepsFirstBinding) {
+  FuzzyMatcher m(0.8);
+  m.AddCanonical("apple", 1);
+  m.AddCanonical("pear", 2);
+  // Alias colliding with an existing *canonical* entry: rejected, and
+  // "pear" still resolves to its own id.
+  EXPECT_FALSE(m.AddSynonym("pear", "apple"));
+  EXPECT_EQ(m.Resolve("pear").id, 2u);
+  // Alias colliding with an earlier *synonym*: first binding wins.
+  ASSERT_TRUE(m.AddSynonym("fruit", "apple"));
+  EXPECT_FALSE(m.AddSynonym("fruit", "pear"));
+  EXPECT_EQ(m.Resolve("fruit").id, 1u);
+  // Re-registering the same alias -> same id is a harmless no-op.
+  EXPECT_TRUE(m.AddSynonym("fruit", "apple"));
+  EXPECT_FALSE(m.AddSynonym("", "apple"));
+}
+
 TEST(FuzzyMatcherTest, FuzzyWithinThreshold) {
   FuzzyMatcher m(0.75);
   m.AddCanonical("hangzhou", 5);

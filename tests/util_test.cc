@@ -1,14 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
 #include <set>
 
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/tsv.h"
 
 namespace openbg::util {
@@ -296,6 +299,77 @@ TEST_P(UniformRangeTest, BoundsAndCoverage) {
 
 INSTANTIATE_TEST_SUITE_P(Ranges, UniformRangeTest,
                          ::testing::Values(1, 2, 3, 7, 64, 1000, 1 << 20));
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<int> visits(n, 0);
+  ParallelFor(&pool, n, [&visits](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) visits[i] += 1;
+  });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0),
+            static_cast<int>(n));
+  EXPECT_TRUE(std::all_of(visits.begin(), visits.end(),
+                          [](int v) { return v == 1; }));
+}
+
+TEST(ParallelForTest, ShardBoundariesAreDeterministic) {
+  // Same (n, num_threads) must shard identically across runs — the property
+  // the evaluator's bit-identical guarantee leans on.
+  ThreadPool pool(3);
+  auto collect = [&pool] {
+    std::vector<std::pair<size_t, size_t>> shards(3, {0, 0});
+    std::mutex mu;
+    ParallelFor(&pool, 10,
+                [&](size_t shard, size_t begin, size_t end) {
+                  std::lock_guard<std::mutex> lock(mu);
+                  shards[shard] = {begin, end};
+                });
+    return shards;
+  };
+  EXPECT_EQ(collect(), collect());
+}
+
+TEST(ParallelForTest, NullPoolAndTinyRangesRunInline) {
+  size_t calls = 0;
+  ParallelFor(nullptr, 5, [&calls](size_t shard, size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(shard, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+  });
+  EXPECT_EQ(calls, 1u);
+
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  ParallelFor(&pool, 0, [&total](size_t, size_t begin, size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 0u);
+}
 
 }  // namespace
 }  // namespace openbg::util
