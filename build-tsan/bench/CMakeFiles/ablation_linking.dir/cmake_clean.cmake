@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_linking.dir/ablation_linking.cc.o"
+  "CMakeFiles/ablation_linking.dir/ablation_linking.cc.o.d"
+  "ablation_linking"
+  "ablation_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

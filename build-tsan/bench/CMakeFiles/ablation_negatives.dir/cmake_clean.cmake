@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_negatives.dir/ablation_negatives.cc.o"
+  "CMakeFiles/ablation_negatives.dir/ablation_negatives.cc.o.d"
+  "ablation_negatives"
+  "ablation_negatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

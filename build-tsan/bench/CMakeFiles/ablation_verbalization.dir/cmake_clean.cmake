@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_verbalization.dir/ablation_verbalization.cc.o"
+  "CMakeFiles/ablation_verbalization.dir/ablation_verbalization.cc.o.d"
+  "ablation_verbalization"
+  "ablation_verbalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_verbalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

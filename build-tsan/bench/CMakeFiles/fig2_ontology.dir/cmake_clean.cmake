@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ontology.dir/fig2_ontology.cc.o"
+  "CMakeFiles/fig2_ontology.dir/fig2_ontology.cc.o.d"
+  "fig2_ontology"
+  "fig2_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_benchmark_pipeline.dir/fig4_benchmark_pipeline.cc.o"
+  "CMakeFiles/fig4_benchmark_pipeline.dir/fig4_benchmark_pipeline.cc.o.d"
+  "fig4_benchmark_pipeline"
+  "fig4_benchmark_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_benchmark_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_relation_distribution.dir/fig5_relation_distribution.cc.o"
+  "CMakeFiles/fig5_relation_distribution.dir/fig5_relation_distribution.cc.o.d"
+  "fig5_relation_distribution"
+  "fig5_relation_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_relation_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_applications.dir/online_applications.cc.o"
+  "CMakeFiles/online_applications.dir/online_applications.cc.o.d"
+  "online_applications"
+  "online_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_openbg_img.dir/table3_openbg_img.cc.o"
+  "CMakeFiles/table3_openbg_img.dir/table3_openbg_img.cc.o.d"
+  "table3_openbg_img"
+  "table3_openbg_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_openbg_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_openbg500.dir/table4_openbg500.cc.o"
+  "CMakeFiles/table4_openbg500.dir/table4_openbg500.cc.o.d"
+  "table4_openbg500"
+  "table4_openbg500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_openbg500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_lowres_category.dir/table6_lowres_category.cc.o"
+  "CMakeFiles/table6_lowres_category.dir/table6_lowres_category.cc.o.d"
+  "table6_lowres_category"
+  "table6_lowres_category.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_lowres_category.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table6_lowres_category.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_lowres_ner.dir/table7_lowres_ner.cc.o"
+  "CMakeFiles/table7_lowres_ner.dir/table7_lowres_ner.cc.o.d"
+  "table7_lowres_ner"
+  "table7_lowres_ner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_lowres_ner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_concept_extraction.dir/concept_extraction.cpp.o"
+  "CMakeFiles/example_concept_extraction.dir/concept_extraction.cpp.o.d"
+  "example_concept_extraction"
+  "example_concept_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_concept_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_link_prediction.dir/link_prediction.cpp.o"
+  "CMakeFiles/example_link_prediction.dir/link_prediction.cpp.o.d"
+  "example_link_prediction"
+  "example_link_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_link_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

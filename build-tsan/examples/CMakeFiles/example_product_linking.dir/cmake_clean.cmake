@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_product_linking.dir/product_linking.cpp.o"
+  "CMakeFiles/example_product_linking.dir/product_linking.cpp.o.d"
+  "example_product_linking"
+  "example_product_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_product_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

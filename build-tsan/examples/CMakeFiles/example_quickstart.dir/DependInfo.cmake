@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/openbg_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pretrain/CMakeFiles/openbg_pretrain.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kge/CMakeFiles/openbg_kge.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bench_builder/CMakeFiles/openbg_bench_builder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/construction/CMakeFiles/openbg_construction.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/openbg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crf/CMakeFiles/openbg_crf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/openbg_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ontology/CMakeFiles/openbg_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/openbg_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdf/CMakeFiles/openbg_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/openbg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

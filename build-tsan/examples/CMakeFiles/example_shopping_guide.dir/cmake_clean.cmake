@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shopping_guide.dir/shopping_guide.cpp.o"
+  "CMakeFiles/example_shopping_guide.dir/shopping_guide.cpp.o.d"
+  "example_shopping_guide"
+  "example_shopping_guide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shopping_guide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rdf")
+subdirs("text")
+subdirs("ontology")
+subdirs("nn")
+subdirs("crf")
+subdirs("datagen")
+subdirs("construction")
+subdirs("bench_builder")
+subdirs("kge")
+subdirs("pretrain")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_bench_builder.dir/benchmark_builder.cc.o"
+  "CMakeFiles/openbg_bench_builder.dir/benchmark_builder.cc.o.d"
+  "CMakeFiles/openbg_bench_builder.dir/dataset.cc.o"
+  "CMakeFiles/openbg_bench_builder.dir/dataset.cc.o.d"
+  "libopenbg_bench_builder.a"
+  "libopenbg_bench_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_bench_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/construction/concept_extractor.cc" "src/construction/CMakeFiles/openbg_construction.dir/concept_extractor.cc.o" "gcc" "src/construction/CMakeFiles/openbg_construction.dir/concept_extractor.cc.o.d"
+  "/root/repo/src/construction/concept_quality.cc" "src/construction/CMakeFiles/openbg_construction.dir/concept_quality.cc.o" "gcc" "src/construction/CMakeFiles/openbg_construction.dir/concept_quality.cc.o.d"
+  "/root/repo/src/construction/kg_assembler.cc" "src/construction/CMakeFiles/openbg_construction.dir/kg_assembler.cc.o" "gcc" "src/construction/CMakeFiles/openbg_construction.dir/kg_assembler.cc.o.d"
+  "/root/repo/src/construction/schema_mapper.cc" "src/construction/CMakeFiles/openbg_construction.dir/schema_mapper.cc.o" "gcc" "src/construction/CMakeFiles/openbg_construction.dir/schema_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/openbg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ontology/CMakeFiles/openbg_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/openbg_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crf/CMakeFiles/openbg_crf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/openbg_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdf/CMakeFiles/openbg_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

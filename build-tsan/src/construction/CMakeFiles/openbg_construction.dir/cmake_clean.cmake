@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_construction.dir/concept_extractor.cc.o"
+  "CMakeFiles/openbg_construction.dir/concept_extractor.cc.o.d"
+  "CMakeFiles/openbg_construction.dir/concept_quality.cc.o"
+  "CMakeFiles/openbg_construction.dir/concept_quality.cc.o.d"
+  "CMakeFiles/openbg_construction.dir/kg_assembler.cc.o"
+  "CMakeFiles/openbg_construction.dir/kg_assembler.cc.o.d"
+  "CMakeFiles/openbg_construction.dir/schema_mapper.cc.o"
+  "CMakeFiles/openbg_construction.dir/schema_mapper.cc.o.d"
+  "libopenbg_construction.a"
+  "libopenbg_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

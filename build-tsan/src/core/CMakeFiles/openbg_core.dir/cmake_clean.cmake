@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_core.dir/openbg.cc.o"
+  "CMakeFiles/openbg_core.dir/openbg.cc.o.d"
+  "libopenbg_core.a"
+  "libopenbg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_crf.dir/crf.cc.o"
+  "CMakeFiles/openbg_crf.dir/crf.cc.o.d"
+  "libopenbg_crf.a"
+  "libopenbg_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

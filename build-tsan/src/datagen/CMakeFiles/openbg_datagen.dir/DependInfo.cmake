@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/name_gen.cc" "src/datagen/CMakeFiles/openbg_datagen.dir/name_gen.cc.o" "gcc" "src/datagen/CMakeFiles/openbg_datagen.dir/name_gen.cc.o.d"
+  "/root/repo/src/datagen/world_gen.cc" "src/datagen/CMakeFiles/openbg_datagen.dir/world_gen.cc.o" "gcc" "src/datagen/CMakeFiles/openbg_datagen.dir/world_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/openbg_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ontology/CMakeFiles/openbg_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdf/CMakeFiles/openbg_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_datagen.dir/name_gen.cc.o"
+  "CMakeFiles/openbg_datagen.dir/name_gen.cc.o.d"
+  "CMakeFiles/openbg_datagen.dir/world_gen.cc.o"
+  "CMakeFiles/openbg_datagen.dir/world_gen.cc.o.d"
+  "libopenbg_datagen.a"
+  "libopenbg_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kge/bilinear_models.cc" "src/kge/CMakeFiles/openbg_kge.dir/bilinear_models.cc.o" "gcc" "src/kge/CMakeFiles/openbg_kge.dir/bilinear_models.cc.o.d"
+  "/root/repo/src/kge/evaluator.cc" "src/kge/CMakeFiles/openbg_kge.dir/evaluator.cc.o" "gcc" "src/kge/CMakeFiles/openbg_kge.dir/evaluator.cc.o.d"
+  "/root/repo/src/kge/model.cc" "src/kge/CMakeFiles/openbg_kge.dir/model.cc.o" "gcc" "src/kge/CMakeFiles/openbg_kge.dir/model.cc.o.d"
+  "/root/repo/src/kge/multimodal_models.cc" "src/kge/CMakeFiles/openbg_kge.dir/multimodal_models.cc.o" "gcc" "src/kge/CMakeFiles/openbg_kge.dir/multimodal_models.cc.o.d"
+  "/root/repo/src/kge/negative_sampler.cc" "src/kge/CMakeFiles/openbg_kge.dir/negative_sampler.cc.o" "gcc" "src/kge/CMakeFiles/openbg_kge.dir/negative_sampler.cc.o.d"
+  "/root/repo/src/kge/text_features.cc" "src/kge/CMakeFiles/openbg_kge.dir/text_features.cc.o" "gcc" "src/kge/CMakeFiles/openbg_kge.dir/text_features.cc.o.d"
+  "/root/repo/src/kge/text_models.cc" "src/kge/CMakeFiles/openbg_kge.dir/text_models.cc.o" "gcc" "src/kge/CMakeFiles/openbg_kge.dir/text_models.cc.o.d"
+  "/root/repo/src/kge/trainer.cc" "src/kge/CMakeFiles/openbg_kge.dir/trainer.cc.o" "gcc" "src/kge/CMakeFiles/openbg_kge.dir/trainer.cc.o.d"
+  "/root/repo/src/kge/trans_models.cc" "src/kge/CMakeFiles/openbg_kge.dir/trans_models.cc.o" "gcc" "src/kge/CMakeFiles/openbg_kge.dir/trans_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/bench_builder/CMakeFiles/openbg_bench_builder.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/openbg_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/openbg_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/openbg_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/construction/CMakeFiles/openbg_construction.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crf/CMakeFiles/openbg_crf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/datagen/CMakeFiles/openbg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ontology/CMakeFiles/openbg_ontology.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rdf/CMakeFiles/openbg_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

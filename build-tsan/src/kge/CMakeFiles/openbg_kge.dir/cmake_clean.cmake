@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_kge.dir/bilinear_models.cc.o"
+  "CMakeFiles/openbg_kge.dir/bilinear_models.cc.o.d"
+  "CMakeFiles/openbg_kge.dir/evaluator.cc.o"
+  "CMakeFiles/openbg_kge.dir/evaluator.cc.o.d"
+  "CMakeFiles/openbg_kge.dir/model.cc.o"
+  "CMakeFiles/openbg_kge.dir/model.cc.o.d"
+  "CMakeFiles/openbg_kge.dir/multimodal_models.cc.o"
+  "CMakeFiles/openbg_kge.dir/multimodal_models.cc.o.d"
+  "CMakeFiles/openbg_kge.dir/negative_sampler.cc.o"
+  "CMakeFiles/openbg_kge.dir/negative_sampler.cc.o.d"
+  "CMakeFiles/openbg_kge.dir/text_features.cc.o"
+  "CMakeFiles/openbg_kge.dir/text_features.cc.o.d"
+  "CMakeFiles/openbg_kge.dir/text_models.cc.o"
+  "CMakeFiles/openbg_kge.dir/text_models.cc.o.d"
+  "CMakeFiles/openbg_kge.dir/trainer.cc.o"
+  "CMakeFiles/openbg_kge.dir/trainer.cc.o.d"
+  "CMakeFiles/openbg_kge.dir/trans_models.cc.o"
+  "CMakeFiles/openbg_kge.dir/trans_models.cc.o.d"
+  "libopenbg_kge.a"
+  "libopenbg_kge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_kge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_nn.dir/gradcheck.cc.o"
+  "CMakeFiles/openbg_nn.dir/gradcheck.cc.o.d"
+  "CMakeFiles/openbg_nn.dir/kernels.cc.o"
+  "CMakeFiles/openbg_nn.dir/kernels.cc.o.d"
+  "CMakeFiles/openbg_nn.dir/layers.cc.o"
+  "CMakeFiles/openbg_nn.dir/layers.cc.o.d"
+  "CMakeFiles/openbg_nn.dir/loss.cc.o"
+  "CMakeFiles/openbg_nn.dir/loss.cc.o.d"
+  "CMakeFiles/openbg_nn.dir/matrix.cc.o"
+  "CMakeFiles/openbg_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/openbg_nn.dir/optimizer.cc.o"
+  "CMakeFiles/openbg_nn.dir/optimizer.cc.o.d"
+  "libopenbg_nn.a"
+  "libopenbg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

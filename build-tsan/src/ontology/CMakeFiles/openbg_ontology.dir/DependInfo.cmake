@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/ontology.cc" "src/ontology/CMakeFiles/openbg_ontology.dir/ontology.cc.o" "gcc" "src/ontology/CMakeFiles/openbg_ontology.dir/ontology.cc.o.d"
+  "/root/repo/src/ontology/reasoner.cc" "src/ontology/CMakeFiles/openbg_ontology.dir/reasoner.cc.o" "gcc" "src/ontology/CMakeFiles/openbg_ontology.dir/reasoner.cc.o.d"
+  "/root/repo/src/ontology/stats.cc" "src/ontology/CMakeFiles/openbg_ontology.dir/stats.cc.o" "gcc" "src/ontology/CMakeFiles/openbg_ontology.dir/stats.cc.o.d"
+  "/root/repo/src/ontology/taxonomy.cc" "src/ontology/CMakeFiles/openbg_ontology.dir/taxonomy.cc.o" "gcc" "src/ontology/CMakeFiles/openbg_ontology.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/rdf/CMakeFiles/openbg_rdf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/openbg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_ontology.dir/ontology.cc.o"
+  "CMakeFiles/openbg_ontology.dir/ontology.cc.o.d"
+  "CMakeFiles/openbg_ontology.dir/reasoner.cc.o"
+  "CMakeFiles/openbg_ontology.dir/reasoner.cc.o.d"
+  "CMakeFiles/openbg_ontology.dir/stats.cc.o"
+  "CMakeFiles/openbg_ontology.dir/stats.cc.o.d"
+  "CMakeFiles/openbg_ontology.dir/taxonomy.cc.o"
+  "CMakeFiles/openbg_ontology.dir/taxonomy.cc.o.d"
+  "libopenbg_ontology.a"
+  "libopenbg_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

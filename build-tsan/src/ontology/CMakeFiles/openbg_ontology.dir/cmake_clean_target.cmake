@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopenbg_ontology.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_pretrain.dir/encoder.cc.o"
+  "CMakeFiles/openbg_pretrain.dir/encoder.cc.o.d"
+  "CMakeFiles/openbg_pretrain.dir/tasks.cc.o"
+  "CMakeFiles/openbg_pretrain.dir/tasks.cc.o.d"
+  "CMakeFiles/openbg_pretrain.dir/verbalizer.cc.o"
+  "CMakeFiles/openbg_pretrain.dir/verbalizer.cc.o.d"
+  "libopenbg_pretrain.a"
+  "libopenbg_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

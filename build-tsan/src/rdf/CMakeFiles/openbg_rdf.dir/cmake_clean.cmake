@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/openbg_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/openbg_rdf.dir/term.cc.o"
+  "CMakeFiles/openbg_rdf.dir/term.cc.o.d"
+  "CMakeFiles/openbg_rdf.dir/triple_store.cc.o"
+  "CMakeFiles/openbg_rdf.dir/triple_store.cc.o.d"
+  "CMakeFiles/openbg_rdf.dir/vocab.cc.o"
+  "CMakeFiles/openbg_rdf.dir/vocab.cc.o.d"
+  "libopenbg_rdf.a"
+  "libopenbg_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

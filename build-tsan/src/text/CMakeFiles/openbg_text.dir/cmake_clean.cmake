@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openbg_text.dir/fuzzy.cc.o"
+  "CMakeFiles/openbg_text.dir/fuzzy.cc.o.d"
+  "CMakeFiles/openbg_text.dir/tokenizer.cc.o"
+  "CMakeFiles/openbg_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/openbg_text.dir/trie.cc.o"
+  "CMakeFiles/openbg_text.dir/trie.cc.o.d"
+  "CMakeFiles/openbg_text.dir/vocabulary.cc.o"
+  "CMakeFiles/openbg_text.dir/vocabulary.cc.o.d"
+  "libopenbg_text.a"
+  "libopenbg_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openbg_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_builder_test.dir/bench_builder_test.cc.o"
+  "CMakeFiles/bench_builder_test.dir/bench_builder_test.cc.o.d"
+  "bench_builder_test"
+  "bench_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

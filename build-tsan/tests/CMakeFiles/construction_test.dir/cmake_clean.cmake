@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/construction_test.dir/construction_test.cc.o"
+  "CMakeFiles/construction_test.dir/construction_test.cc.o.d"
+  "construction_test"
+  "construction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/construction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

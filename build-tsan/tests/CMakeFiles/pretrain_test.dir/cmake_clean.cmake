@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrain_test.dir/pretrain_test.cc.o"
+  "CMakeFiles/pretrain_test.dir/pretrain_test.cc.o.d"
+  "pretrain_test"
+  "pretrain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build-tsan/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rdf_test "/root/repo/build-tsan/tests/rdf_test")
+set_tests_properties(rdf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(text_test "/root/repo/build-tsan/tests/text_test")
+set_tests_properties(text_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ontology_test "/root/repo/build-tsan/tests/ontology_test")
+set_tests_properties(ontology_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build-tsan/tests/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crf_test "/root/repo/build-tsan/tests/crf_test")
+set_tests_properties(crf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datagen_test "/root/repo/build-tsan/tests/datagen_test")
+set_tests_properties(datagen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(construction_test "/root/repo/build-tsan/tests/construction_test")
+set_tests_properties(construction_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bench_builder_test "/root/repo/build-tsan/tests/bench_builder_test")
+set_tests_properties(bench_builder_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kge_test "/root/repo/build-tsan/tests/kge_test")
+set_tests_properties(kge_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pretrain_test "/root/repo/build-tsan/tests/pretrain_test")
+set_tests_properties(pretrain_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build-tsan/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build-tsan/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;openbg_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -216,12 +216,15 @@ bench/CMakeFiles/table4_openbg500.dir/table4_openbg500.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/rdf/triple_store.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/vocab.h \
  /root/repo/src/text/fuzzy.h /root/repo/src/text/trie.h \
  /root/repo/src/ontology/reasoner.h /root/repo/src/ontology/stats.h \
@@ -240,8 +243,7 @@ bench/CMakeFiles/table4_openbg500.dir/table4_openbg500.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -263,6 +265,4 @@ bench/CMakeFiles/table4_openbg500.dir/table4_openbg500.cc.o: \
  /root/repo/src/nn/layers.h /root/repo/src/nn/optimizer.h \
  /root/repo/src/kge/text_models.h /root/repo/src/kge/trainer.h \
  /root/repo/src/kge/negative_sampler.h /root/repo/src/kge/trans_models.h \
- /root/repo/src/util/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime
+ /root/repo/src/util/timer.h /usr/include/c++/12/chrono

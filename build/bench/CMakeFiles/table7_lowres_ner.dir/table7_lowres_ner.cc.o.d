@@ -218,8 +218,11 @@ bench/CMakeFiles/table7_lowres_ner.dir/table7_lowres_ner.cc.o: \
  /root/repo/src/construction/schema_mapper.h \
  /root/repo/src/datagen/world.h /root/repo/src/ontology/ontology.h \
  /root/repo/src/rdf/graph.h /root/repo/src/rdf/term.h \
- /root/repo/src/rdf/triple_store.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/rdf/triple_store.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/vocab.h \
  /root/repo/src/text/fuzzy.h /root/repo/src/text/trie.h \
@@ -243,8 +246,7 @@ bench/CMakeFiles/table7_lowres_ner.dir/table7_lowres_ner.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -303,7 +303,8 @@ tests/CMakeFiles/bench_builder_test.dir/bench_builder_test.cc.o: \
  /root/repo/src/construction/schema_mapper.h \
  /root/repo/src/datagen/world.h /root/repo/src/ontology/ontology.h \
  /root/repo/src/rdf/graph.h /root/repo/src/rdf/term.h \
- /root/repo/src/rdf/triple_store.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/rdf/triple_store.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/vocab.h \
  /root/repo/src/text/fuzzy.h /root/repo/src/text/trie.h \
  /root/repo/src/core/openbg.h /root/repo/src/ontology/reasoner.h \

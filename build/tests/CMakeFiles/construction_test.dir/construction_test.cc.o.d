@@ -318,6 +318,8 @@ tests/CMakeFiles/construction_test.dir/construction_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/datagen/world.h \
  /root/repo/src/ontology/ontology.h /root/repo/src/rdf/graph.h \
  /root/repo/src/rdf/term.h /root/repo/src/rdf/triple_store.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/vocab.h \
  /root/repo/src/construction/concept_quality.h \

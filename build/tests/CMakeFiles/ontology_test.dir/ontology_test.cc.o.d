@@ -295,6 +295,8 @@ tests/CMakeFiles/ontology_test.dir/ontology_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/ontology/ontology.h /root/repo/src/rdf/graph.h \
  /root/repo/src/rdf/term.h /root/repo/src/rdf/triple_store.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/rdf/vocab.h \
  /root/repo/src/ontology/reasoner.h /root/repo/src/ontology/stats.h \
