@@ -8,16 +8,23 @@
 #include <string>
 
 #include "core/openbg.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 
 namespace openbg::bench {
 
 /// Shared CLI for the table/figure reproduction binaries:
-///   --scale <f>     multiplies the synthetic-world taxonomy sizes
-///   --products <n>  product count
-///   --seed <n>      world seed
-///   --threads <n>   evaluator worker threads (metrics are identical to
-///                   serial; only wall-clock changes)
+///   --scale <f>           multiplies the synthetic-world taxonomy sizes
+///   --products <n>        product count
+///   --seed <n>            world seed
+///   --threads <n>         evaluator worker threads (metrics are identical
+///                         to serial; only wall-clock changes)
+///   --parse-policy <p>    'strict' (default) or 'skip': how file loaders
+///                         treat malformed lines
+///   --max-parse-errors <n> abort a 'skip' load after n bad lines (0 = no
+///                         limit)
+///   --checkpoint-dir <d>  write/resume per-model trainer checkpoints
+///                         under this directory (empty = disabled)
 /// Defaults give a ~1/1000-of-paper world that runs each bench in minutes
 /// on one core.
 struct BenchArgs {
@@ -25,6 +32,8 @@ struct BenchArgs {
   size_t products = 4000;
   uint64_t seed = 7;
   size_t threads = 1;
+  util::ParseOptions parse;
+  std::string checkpoint_dir;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -37,6 +46,14 @@ struct BenchArgs {
         args.seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
       } else if (std::strcmp(argv[i], "--threads") == 0) {
         args.threads = static_cast<size_t>(std::atoll(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "--parse-policy") == 0) {
+        args.parse.policy = std::strcmp(argv[i + 1], "skip") == 0
+                                ? util::ParsePolicy::kSkipAndReport
+                                : util::ParsePolicy::kStrict;
+      } else if (std::strcmp(argv[i], "--max-parse-errors") == 0) {
+        args.parse.max_errors = static_cast<size_t>(std::atoll(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+        args.checkpoint_dir = argv[i + 1];
       }
     }
     return args;

@@ -132,14 +132,25 @@ inline LpBaseline GenKgcBaseline(size_t dim) {
 /// expensive baselines by available compute — "only one V100").
 /// `threads > 1` shards the ranking across an evaluator thread pool; the
 /// printed metrics are bit-identical to the serial run.
+/// A non-empty `checkpoint_dir` makes training crash-safe: a per-model
+/// checkpoint is written there each epoch and picked up on the next run.
 inline kge::RankingMetrics RunLpBaseline(const LpBaseline& baseline,
                                          const kge::Dataset& ds,
                                          size_t eval_cap, bool print_mr,
-                                         size_t threads = 1) {
+                                         size_t threads = 1,
+                                         const std::string& checkpoint_dir =
+                                             std::string()) {
   util::Rng rng(0xBEEF ^ ds.train.size());
   std::unique_ptr<kge::KgeModel> model = baseline.make(ds, &rng);
   util::Timer timer;
   kge::TrainConfig config = baseline.config;
+  if (!checkpoint_dir.empty()) {
+    // Keyed by dataset AND model: one bench process trains the same model
+    // names on several datasets (table4's -S and -L worlds), and a stale
+    // checkpoint from another dataset must not be picked up.
+    config.checkpoint_path = checkpoint_dir + "/" + ds.name + "-" +
+                             baseline.paper_name + ".ckpt";
+  }
   TrainKgeModel(model.get(), ds, config);
   double train_s = timer.Seconds();
 

@@ -10,8 +10,10 @@
 #include "kge/trans_models.h"
 #include "nn/kernels.h"
 #include "rdf/graph.h"
+#include "rdf/snapshot.h"
 #include "text/fuzzy.h"
 #include "text/trie.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -199,6 +201,50 @@ void BM_ZipfSampler(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfSampler);
+
+// KG snapshot durability path: serialize/deserialize a dict + store of
+// Arg triples through the CRC-checked atomic-write container.
+void PopulateSnapshotGraph(size_t num_triples, rdf::TermDict* dict,
+                           rdf::TripleStore* store) {
+  util::Rng rng(37);
+  const size_t kTerms = num_triples / 4 + 8;
+  for (size_t i = 0; i < kTerms; ++i) {
+    dict->AddIri(util::StrFormat("http://openbg.example/t%zu", i));
+  }
+  for (size_t i = 0; i < num_triples; ++i) {
+    store->Add(static_cast<rdf::TermId>(rng.Uniform(kTerms)),
+               static_cast<rdf::TermId>(rng.Uniform(64)),
+               static_cast<rdf::TermId>(rng.Uniform(kTerms)));
+  }
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  rdf::TermDict dict;
+  rdf::TripleStore store;
+  PopulateSnapshotGraph(static_cast<size_t>(state.range(0)), &dict, &store);
+  const std::string path = "/tmp/openbg_bm_snapshot.snap";
+  for (auto _ : state) {
+    OPENBG_CHECK_OK(rdf::SaveSnapshot(dict, store, path));
+  }
+  state.SetItemsProcessed(state.iterations() * store.size());
+}
+BENCHMARK(BM_SnapshotSave)->Arg(10000)->Arg(100000);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  rdf::TermDict dict;
+  rdf::TripleStore store;
+  PopulateSnapshotGraph(static_cast<size_t>(state.range(0)), &dict, &store);
+  const std::string path = "/tmp/openbg_bm_snapshot.snap";
+  OPENBG_CHECK_OK(rdf::SaveSnapshot(dict, store, path));
+  for (auto _ : state) {
+    rdf::TermDict loaded_dict;
+    rdf::TripleStore loaded_store;
+    OPENBG_CHECK_OK(rdf::LoadSnapshot(path, &loaded_dict, &loaded_store));
+    benchmark::DoNotOptimize(loaded_store);
+  }
+  state.SetItemsProcessed(state.iterations() * store.size());
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(10000)->Arg(100000);
 
 void BM_DiscreteSampler(benchmark::State& state) {
   util::Rng rng(29);

@@ -37,10 +37,12 @@ int main(int argc, char** argv) {
         baseline.config.epochs = 10;  // 1-N cost scales with |E|; halve here
       }
       bench::RunLpBaseline(baseline, ds, kEvalCap,
-                           baseline.paper_name != "GenKGC", args.threads);
+                           baseline.paper_name != "GenKGC", args.threads,
+                           args.checkpoint_dir);
     }
     bench::RunLpBaseline(bench::GenKgcBaseline(32), ds, kEvalCap,
-                         /*print_mr=*/false, args.threads);
+                         /*print_mr=*/false, args.threads,
+                         args.checkpoint_dir);
   }
 
   // --- OpenBG500-L: a larger world, denser sampling, cheap baselines only.
@@ -71,7 +73,7 @@ int main(int argc, char** argv) {
         continue;
       }
       bench::RunLpBaseline(baseline, ds, kEvalCap, /*print_mr=*/true,
-                           args.threads);
+                           args.threads, args.checkpoint_dir);
     }
   }
 

@@ -6,6 +6,8 @@
 #include "core/openbg.h"
 #include "ontology/stats.h"
 #include "rdf/ntriples.h"
+#include "rdf/snapshot.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 
 int main() {
@@ -59,5 +61,35 @@ int main() {
 
   util::Status st = kg->ExportNTriples("/tmp/openbg_quickstart.nt");
   std::printf("export to N-Triples: %s\n", st.ToString().c_str());
+
+  // 6. Fault-tolerant reload: real dumps have junk lines. Under the
+  // kSkipAndReport policy the loader skips malformed lines and reports
+  // them instead of rejecting the whole file.
+  std::FILE* f = std::fopen("/tmp/openbg_quickstart.nt", "a");
+  if (f != nullptr) {
+    std::fputs("<http://openbg.example/broken> no-predicate .\n", f);
+    std::fclose(f);
+  }
+  rdf::TermDict reload_dict;
+  rdf::TripleStore reload_store;
+  util::ParseOptions lenient;
+  lenient.policy = util::ParsePolicy::kSkipAndReport;
+  util::ParseReport report;
+  st = rdf::ReadNTriples("/tmp/openbg_quickstart.nt", &reload_dict,
+                         &reload_store, lenient, &report);
+  std::printf("lenient reload: %s (%s)\n", st.ToString().c_str(),
+              report.Summary().c_str());
+
+  // 7. Crash-safe snapshot: a checksummed binary image of the dictionary +
+  // store, written atomically; truncated/corrupt files refuse to load.
+  st = rdf::SaveSnapshot(kg->graph().dict, kg->graph().store,
+                         "/tmp/openbg_quickstart.snap");
+  std::printf("snapshot save: %s\n", st.ToString().c_str());
+  rdf::TermDict snap_dict;
+  rdf::TripleStore snap_store;
+  st = rdf::LoadSnapshot("/tmp/openbg_quickstart.snap", &snap_dict,
+                         &snap_store);
+  std::printf("snapshot load: %s (%zu terms, %zu triples)\n",
+              st.ToString().c_str(), snap_dict.size(), snap_store.size());
   return 0;
 }

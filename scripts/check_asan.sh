@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Configure, build, and run the whole test suite under AddressSanitizer in a
+# dedicated build tree (ASan must instrument every object in the binary).
+# Usage: scripts/check_asan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Release -DOPENBG_SANITIZE=address
+cmake --build build-asan -j"$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)" "$@"

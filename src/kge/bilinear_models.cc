@@ -91,6 +91,11 @@ double DistMult::TrainPairs(const std::vector<LpTriple>& pos,
       [this](const LpTriple& t, float d, float l) { ApplyGrad(t, d, l); });
 }
 
+void DistMult::VisitParams(const ParamVisitor& fn) {
+  fn("entities", &ent_.matrix());
+  fn("relations", &rel_.matrix());
+}
+
 // --------------------------------------------------------------- ComplEx
 
 ComplEx::ComplEx(size_t num_entities, size_t num_relations, size_t dim,
@@ -187,6 +192,11 @@ double ComplEx::TrainPairs(const std::vector<LpTriple>& pos,
       pos, neg, lr,
       [this](const LpTriple& t) { return ScoreTriple(t.h, t.r, t.t); },
       [this](const LpTriple& t, float d, float l) { ApplyGrad(t, d, l); });
+}
+
+void ComplEx::VisitParams(const ParamVisitor& fn) {
+  fn("entities", &ent_.matrix());
+  fn("relations", &rel_.matrix());
 }
 
 // ---------------------------------------------------------------- TuckER

@@ -25,6 +25,7 @@ class DistMult : public KgeModel {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  void VisitParams(const ParamVisitor& fn) override;
 
  private:
   void ApplyGrad(const LpTriple& t, float dscore, float lr);
@@ -49,6 +50,7 @@ class ComplEx : public KgeModel {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  void VisitParams(const ParamVisitor& fn) override;
 
  private:
   void ApplyGrad(const LpTriple& t, float dscore, float lr);

@@ -2,11 +2,13 @@
 #define OPENBG_KGE_MODEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_builder/dataset.h"
+#include "nn/matrix.h"
 #include "util/rng.h"
 
 namespace openbg::kge {
@@ -64,6 +66,16 @@ class KgeModel {
   /// Called once before ranking evaluation (e.g., text models precompute
   /// entity encodings here).
   virtual void PrepareEval() {}
+
+  /// Visitor over every trainable dense parameter block, as stable
+  /// (name, matrix) pairs — the serialization hook checkpointing uses.
+  /// Names and visit order must be deterministic for a given model shape.
+  using ParamVisitor = std::function<void(const std::string&, nn::Matrix*)>;
+
+  /// Default visits nothing: such a model opts out of checkpoint/resume
+  /// entirely (the trainer refuses to save or resume a checkpoint whose
+  /// parameters it could not restore).
+  virtual void VisitParams(const ParamVisitor& fn) { (void)fn; }
 
   size_t num_entities() const { return num_entities_; }
   size_t num_relations() const { return num_relations_; }

@@ -36,6 +36,11 @@ class NegativeSampler {
   /// True iff the triple is a known positive (train split).
   bool IsKnownPositive(const LpTriple& t) const;
 
+  /// RNG state capture/restore so checkpointed training resumes with the
+  /// exact corruption stream an uninterrupted run would have drawn.
+  util::RngState rng_state() const { return rng_.GetState(); }
+  void RestoreRngState(const util::RngState& state) { rng_.SetState(state); }
+
  private:
   struct TripleHash {
     size_t operator()(const LpTriple& t) const {

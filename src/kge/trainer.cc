@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kge/checkpoint.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -15,8 +17,44 @@ double TrainKgeModel(KgeModel* model, const Dataset& dataset,
   std::vector<size_t> order(dataset.train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // A model that exposes no parameter blocks cannot be meaningfully
+  // restored — "resuming" it would skip training and leave random init.
+  // Checkpointing is disabled outright for such models.
+  bool checkpointable = false;
+  model->VisitParams(
+      [&checkpointable](const std::string&, nn::Matrix*) {
+        checkpointable = true;
+      });
+  const bool use_checkpoints = !config.checkpoint_path.empty() &&
+                               checkpointable;
+  if (!config.checkpoint_path.empty() && !checkpointable) {
+    OPENBG_LOG(Warning) << model->name()
+                        << ": exposes no parameters via VisitParams; "
+                           "checkpointing disabled for this run";
+  }
+
+  size_t start_epoch = 0;
   double last_loss = 0.0;
-  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  if (use_checkpoints && config.resume &&
+      util::FileExists(config.checkpoint_path)) {
+    TrainerCheckpoint ckpt;
+    OPENBG_CHECK_OK(LoadCheckpoint(config.checkpoint_path, model, &ckpt));
+    start_epoch = static_cast<size_t>(ckpt.next_epoch);
+    last_loss = ckpt.last_loss;
+    OPENBG_LOG(Info) << model->name() << ": resumed from "
+                     << config.checkpoint_path << " at epoch " << start_epoch;
+    if (start_epoch >= config.epochs) return last_loss;
+    // The shuffled batch order is trainer state too: each epoch permutes
+    // `order` in place, so replay the completed epochs' shuffles before
+    // making the checkpointed RNG streams authoritative. With an unchanged
+    // seed the replay lands `rng` exactly on `ckpt.trainer_rng`, giving a
+    // resume that is bit-identical to an uninterrupted run.
+    for (size_t e = 0; e < start_epoch; ++e) rng.Shuffle(&order);
+    rng.SetState(ckpt.trainer_rng);
+    sampler.RestoreRngState(ckpt.sampler_rng);
+  }
+
+  for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     size_t batches = 0;
@@ -34,6 +72,17 @@ double TrainKgeModel(KgeModel* model, const Dataset& dataset,
     }
     last_loss = epoch_loss / static_cast<double>(std::max<size_t>(1, batches));
     if (config.on_epoch) config.on_epoch(epoch, last_loss);
+
+    if (use_checkpoints &&
+        (epoch + 1) % std::max<size_t>(1, config.checkpoint_every) == 0) {
+      TrainerCheckpoint ckpt;
+      ckpt.model_name = model->name();
+      ckpt.next_epoch = epoch + 1;
+      ckpt.last_loss = last_loss;
+      ckpt.trainer_rng = rng.GetState();
+      ckpt.sampler_rng = sampler.rng_state();
+      OPENBG_CHECK_OK(SaveCheckpoint(ckpt, model, config.checkpoint_path));
+    }
   }
   return last_loss;
 }

@@ -2,6 +2,7 @@
 #define OPENBG_KGE_TRAINER_H_
 
 #include <functional>
+#include <string>
 
 #include "kge/evaluator.h"
 #include "kge/model.h"
@@ -20,6 +21,17 @@ struct TrainConfig {
   uint64_t seed = 29;
   /// Optional per-epoch callback (epoch, mean loss).
   std::function<void(size_t, double)> on_epoch;
+
+  /// When non-empty, a crash-safe checkpoint (model parameters + trainer
+  /// RNG state; see kge/checkpoint.h) is written here every
+  /// `checkpoint_every` epochs, and — if `resume` is set and a valid
+  /// checkpoint for this model already exists — training continues from
+  /// the epoch after the one the checkpoint captured, bit-identical to an
+  /// uninterrupted run. A corrupt or mismatched checkpoint aborts the run
+  /// with its Status rather than silently retraining from scratch.
+  std::string checkpoint_path;
+  size_t checkpoint_every = 1;
+  bool resume = true;
 };
 
 /// Trains `model` on `dataset.train`; returns final-epoch mean loss.

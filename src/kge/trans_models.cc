@@ -96,6 +96,11 @@ double TransE::TrainPairs(const std::vector<LpTriple>& pos,
   return loss / static_cast<double>(pos.size());
 }
 
+void TransE::VisitParams(const ParamVisitor& fn) {
+  fn("entities", &ent_.matrix());
+  fn("relations", &rel_.matrix());
+}
+
 // ---------------------------------------------------------------- TransH
 
 TransH::TransH(size_t num_entities, size_t num_relations, size_t dim,
@@ -220,6 +225,12 @@ void TransH::PostStep() {
   touched_relations_.clear();
 }
 
+void TransH::VisitParams(const ParamVisitor& fn) {
+  fn("entities", &ent_.matrix());
+  fn("translations", &d_.matrix());
+  fn("normals", &w_.matrix());
+}
+
 // ---------------------------------------------------------------- TransD
 
 TransD::TransD(size_t num_entities, size_t num_relations, size_t dim,
@@ -300,6 +311,13 @@ double TransD::TrainPairs(const std::vector<LpTriple>& pos,
     }
   }
   return loss / static_cast<double>(pos.size());
+}
+
+void TransD::VisitParams(const ParamVisitor& fn) {
+  fn("entities", &ent_.matrix());
+  fn("entity_proj", &ent_p_.matrix());
+  fn("relations", &rel_.matrix());
+  fn("relation_proj", &rel_p_.matrix());
 }
 
 }  // namespace openbg::kge

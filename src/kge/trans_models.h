@@ -24,6 +24,7 @@ class TransE : public KgeModel {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  void VisitParams(const ParamVisitor& fn) override;
 
   EmbeddingTable& entities() { return ent_; }
   EmbeddingTable& relations() { return rel_; }
@@ -54,6 +55,7 @@ class TransH : public KgeModel {
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
   void PostStep() override;
+  void VisitParams(const ParamVisitor& fn) override;
 
  private:
   void ApplyGrad(const LpTriple& t, float direction, float lr);
@@ -75,6 +77,7 @@ class TransD : public KgeModel {
   float ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  void VisitParams(const ParamVisitor& fn) override;
 
  private:
   void Project(uint32_t e, uint32_t r, float* out) const;

@@ -27,11 +27,66 @@ std::string EscapeLiteral(std::string_view text) {
         out += "\\t";
         break;
       default:
-        out.push_back(c);
+        // Remaining C0 control bytes (including NUL) have no short escape;
+        // emit \u00XX so the output line stays printable and re-parsable.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::StrFormat("\\u%04X", c);
+        } else {
+          out.push_back(c);
+        }
     }
   }
   return out;
 }
+
+namespace {
+
+// Parses `digits` hex characters starting at text[i]; false on short input
+// or a non-hex character.
+bool ParseHex(std::string_view text, size_t i, int digits, uint32_t* value) {
+  if (i + digits > text.size()) return false;
+  uint32_t v = 0;
+  for (int d = 0; d < digits; ++d) {
+    char c = text[i + d];
+    uint32_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = 10 + (c - 'a');
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = 10 + (c - 'A');
+    } else {
+      return false;
+    }
+    v = (v << 4) | nibble;
+  }
+  *value = v;
+  return true;
+}
+
+// UTF-8-encodes a scalar value; false for surrogates / out-of-range.
+bool AppendCodepoint(uint32_t cp, std::string* out) {
+  if (cp >= 0xD800 && cp <= 0xDFFF) return false;  // surrogate half
+  if (cp > 0x10FFFF) return false;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+}  // namespace
 
 bool UnescapeLiteral(std::string_view text, std::string* out) {
   out->clear();
@@ -42,7 +97,7 @@ bool UnescapeLiteral(std::string_view text, std::string* out) {
       out->push_back(c);
       continue;
     }
-    if (i + 1 >= text.size()) return false;
+    if (i + 1 >= text.size()) return false;  // trailing backslash
     char e = text[++i];
     switch (e) {
       case '\\':
@@ -60,6 +115,20 @@ bool UnescapeLiteral(std::string_view text, std::string* out) {
       case 't':
         out->push_back('\t');
         break;
+      case 'u': {
+        uint32_t cp;
+        if (!ParseHex(text, i + 1, 4, &cp)) return false;
+        if (!AppendCodepoint(cp, out)) return false;
+        i += 4;
+        break;
+      }
+      case 'U': {
+        uint32_t cp;
+        if (!ParseHex(text, i + 1, 8, &cp)) return false;
+        if (!AppendCodepoint(cp, out)) return false;
+        i += 8;
+        break;
+      }
       default:
         return false;
     }
@@ -87,17 +156,33 @@ util::Status WriteNTriples(const TripleStore& store, const TermDict& dict,
 
 namespace {
 
-// Parses one term starting at s[i]; advances i past the term. Returns
-// kInvalidTerm on syntax error.
-TermId ParseTerm(std::string_view s, size_t* i, TermDict* dict) {
+// One parsed-but-not-yet-interned term. Interning is deferred until the
+// whole line validates, so a malformed line skipped under kSkipAndReport
+// leaves no garbage terms in the dictionary.
+struct PendingTerm {
+  TermKind kind = TermKind::kIri;
+  std::string text;
+};
+
+// Parses one term starting at s[*i]; advances *i past the term. Returns
+// false (with a reason) on syntax error.
+bool ParseTerm(std::string_view s, size_t* i, PendingTerm* term,
+               std::string* error) {
   while (*i < s.size() && (s[*i] == ' ' || s[*i] == '\t')) ++*i;
-  if (*i >= s.size()) return kInvalidTerm;
+  if (*i >= s.size()) {
+    *error = "expected a term, found end of line";
+    return false;
+  }
   if (s[*i] == '<') {
     size_t end = s.find('>', *i + 1);
-    if (end == std::string_view::npos) return kInvalidTerm;
-    TermId id = dict->AddIri(s.substr(*i + 1, end - *i - 1));
+    if (end == std::string_view::npos) {
+      *error = "unterminated IRI";
+      return false;
+    }
+    term->kind = TermKind::kIri;
+    term->text.assign(s.substr(*i + 1, end - *i - 1));
     *i = end + 1;
-    return id;
+    return true;
   }
   if (s[*i] == '"') {
     size_t j = *i + 1;
@@ -109,48 +194,101 @@ TermId ParseTerm(std::string_view s, size_t* i, TermDict* dict) {
       if (s[j] == '"') break;
       ++j;
     }
-    if (j >= s.size()) return kInvalidTerm;
-    std::string unescaped;
-    if (!UnescapeLiteral(s.substr(*i + 1, j - *i - 1), &unescaped)) {
-      return kInvalidTerm;
+    if (j >= s.size()) {
+      *error = "unterminated literal";
+      return false;
     }
-    TermId id = dict->AddLiteral(unescaped);
+    term->kind = TermKind::kLiteral;
+    if (!UnescapeLiteral(s.substr(*i + 1, j - *i - 1), &term->text)) {
+      *error = "bad escape sequence in literal";
+      return false;
+    }
     *i = j + 1;
-    return id;
+    return true;
   }
-  return kInvalidTerm;
+  *error = "term must start with '<' or '\"'";
+  return false;
+}
+
+// Parses a full line into three pending terms; false + reason on error.
+bool ParseLine(std::string_view sv, PendingTerm terms[3],
+               std::string* error) {
+  size_t i = 0;
+  static const char* kPosition[3] = {"subject", "predicate", "object"};
+  for (int k = 0; k < 3; ++k) {
+    if (!ParseTerm(sv, &i, &terms[k], error)) {
+      *error = std::string(kPosition[k]) + ": " + *error;
+      return false;
+    }
+  }
+  // Subject and predicate must be IRIs in the N-Triples grammar.
+  for (int k = 0; k < 2; ++k) {
+    if (terms[k].kind != TermKind::kIri) {
+      *error = std::string(kPosition[k]) + " must be an IRI, got a literal";
+      return false;
+    }
+  }
+  std::string_view rest = util::Trim(sv.substr(i));
+  if (rest != ".") {
+    *error = "missing terminator";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
 
 util::Status ReadNTriples(const std::string& path, TermDict* dict,
-                          TripleStore* store) {
+                          TripleStore* store,
+                          const util::ParseOptions& options,
+                          util::ParseReport* report) {
   std::ifstream in(path);
   if (!in) return util::Status::IoError("cannot open " + path);
+  util::ParseReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = util::ParseReport{};
   std::string line;
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view sv = util::Trim(line);
     if (sv.empty() || sv[0] == '#') continue;
-    size_t i = 0;
-    TermId s = ParseTerm(sv, &i, dict);
-    TermId p = ParseTerm(sv, &i, dict);
-    TermId o = ParseTerm(sv, &i, dict);
-    if (s == kInvalidTerm || p == kInvalidTerm || o == kInvalidTerm) {
-      return util::Status::InvalidArgument(
-          util::StrFormat("%s:%zu: malformed triple", path.c_str(), line_no));
+    PendingTerm terms[3];
+    std::string error;
+    if (!ParseLine(sv, terms, &error)) {
+      if (options.policy == util::ParsePolicy::kStrict) {
+        // Keep the historical message for whole-line parse failures so
+        // strict-mode callers (and their tests) see the same diagnostics.
+        const char* what =
+            error == "missing terminator" ? "missing terminator"
+                                          : "malformed triple";
+        return util::Status::InvalidArgument(util::StrFormat(
+            "%s:%zu: %s (%s)", path.c_str(), line_no, what, error.c_str()));
+      }
+      report->AddError(options, line_no, std::move(error));
+      if (options.max_errors > 0 && report->skipped > options.max_errors) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "%s: more than %zu malformed lines; aborting lenient read (%s)",
+            path.c_str(), options.max_errors, report->Summary().c_str()));
+      }
+      continue;
     }
-    // Require the trailing dot.
-    std::string_view rest = util::Trim(sv.substr(i));
-    if (rest != ".") {
-      return util::Status::InvalidArgument(
-          util::StrFormat("%s:%zu: missing terminator", path.c_str(),
-                          line_no));
+    TermId ids[3];
+    for (int k = 0; k < 3; ++k) {
+      ids[k] = terms[k].kind == TermKind::kIri
+                   ? dict->AddIri(terms[k].text)
+                   : dict->AddLiteral(terms[k].text);
     }
-    store->Add(s, p, o);
+    store->Add(ids[0], ids[1], ids[2]);
+    ++report->records;
   }
+  if (in.bad()) return util::Status::IoError("failed reading " + path);
   return util::Status::OK();
+}
+
+util::Status ReadNTriples(const std::string& path, TermDict* dict,
+                          TripleStore* store) {
+  return ReadNTriples(path, dict, store, util::ParseOptions{}, nullptr);
 }
 
 }  // namespace openbg::rdf

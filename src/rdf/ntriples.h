@@ -5,28 +5,46 @@
 
 #include "rdf/term.h"
 #include "rdf/triple_store.h"
+#include "util/parse.h"
 #include "util/status.h"
 
 namespace openbg::rdf {
 
 /// Serializes the store in N-Triples line format:
 ///   <subject-iri> <predicate-iri> (<object-iri> | "object literal") .
-/// Literal text is backslash-escaped per the N-Triples grammar.
+/// Literal text is backslash-escaped per the N-Triples grammar; control
+/// characters without a dedicated escape are written as \u00XX.
 util::Status WriteNTriples(const TripleStore& store, const TermDict& dict,
                            const std::string& path);
 
 /// Parses an N-Triples file produced by WriteNTriples (IRIs + plain
 /// literals; no blank nodes, datatypes or language tags — OpenBG's released
 /// dumps use only these forms). Terms are interned into `dict`, triples
-/// appended to `store`. Malformed lines abort with InvalidArgument naming
-/// the line number.
+/// appended to `store`.
+///
+/// Malformed lines follow `options.policy`:
+///   * kStrict — abort with InvalidArgument naming the line number
+///     (nothing from the bad line is interned);
+///   * kSkipAndReport — skip the line, tally it in `report`, and keep
+///     going; more than `options.max_errors` skips (when non-zero) aborts.
+/// A skipped line interns nothing: terms are only added to `dict` once the
+/// whole line has validated, so dirty dumps do not pollute the dictionary.
+/// `report` may be null.
+util::Status ReadNTriples(const std::string& path, TermDict* dict,
+                          TripleStore* store,
+                          const util::ParseOptions& options,
+                          util::ParseReport* report = nullptr);
+
+/// Strict-mode convenience overload (the original API).
 util::Status ReadNTriples(const std::string& path, TermDict* dict,
                           TripleStore* store);
 
 /// Escapes literal text for N-Triples output.
 std::string EscapeLiteral(std::string_view text);
 
-/// Reverses EscapeLiteral; returns false on a bad escape sequence.
+/// Reverses EscapeLiteral. Handles \\ \" \n \r \t plus \uXXXX and
+/// \UXXXXXXXX (hex escapes decode to UTF-8; surrogate code points and
+/// values above U+10FFFF are rejected). Returns false on any bad escape.
 bool UnescapeLiteral(std::string_view text, std::string* out);
 
 }  // namespace openbg::rdf

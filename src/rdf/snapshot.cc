@@ -1,0 +1,124 @@
+#include "rdf/snapshot.h"
+
+#include <utility>
+
+#include "util/snapshot.h"
+#include "util/string_util.h"
+
+namespace openbg::rdf {
+namespace {
+
+constexpr char kMagic[] = "OBGSNAP1";
+constexpr uint32_t kVersion = 1;
+
+// Section tags. Loaders match tags exactly (count and order), so a flipped
+// bit in a tag field fails the load instead of silently re-routing bytes.
+constexpr uint32_t kTermsSection = 1;
+constexpr uint32_t kTriplesSection = 2;
+
+}  // namespace
+
+util::Status SaveSnapshot(const TermDict& dict, const TripleStore& store,
+                          const std::string& path) {
+  util::SnapshotWriter writer(path, kMagic, kVersion);
+
+  writer.BeginSection(kTermsSection);
+  writer.PutU64(dict.size());
+  for (TermId id = 0; id < dict.size(); ++id) {
+    writer.PutU8(dict.Kind(id) == TermKind::kIri ? 0 : 1);
+    writer.PutString(dict.Text(id));
+  }
+
+  writer.BeginSection(kTriplesSection);
+  writer.PutU64(store.size());
+  for (const Triple& t : store.triples()) {
+    writer.PutU32(t.s);
+    writer.PutU32(t.p);
+    writer.PutU32(t.o);
+  }
+
+  return writer.Finish();
+}
+
+util::Status LoadSnapshot(const std::string& path, TermDict* dict,
+                          TripleStore* store) {
+  util::SnapshotReader reader;
+  OPENBG_RETURN_NOT_OK(reader.Open(path, kMagic, kVersion));
+  if (reader.num_sections() != 2) {
+    return util::Status::IoError(util::StrFormat(
+        "%s: expected 2 sections, found %zu", path.c_str(),
+        reader.num_sections()));
+  }
+
+  // Decode into locals first — outputs are only touched on full success.
+  TermDict loaded_dict;
+  TripleStore loaded_store;
+
+  util::SnapshotSection terms = reader.section(0);
+  if (terms.tag() != kTermsSection) {
+    return util::Status::IoError(util::StrFormat(
+        "%s: unexpected section tag %u (want terms=%u)", path.c_str(),
+        terms.tag(), kTermsSection));
+  }
+  uint64_t term_count;
+  OPENBG_RETURN_NOT_OK(terms.ReadU64(&term_count));
+  if (term_count >= kInvalidTerm) {
+    return util::Status::IoError(util::StrFormat(
+        "%s: term count %llu exceeds the TermId space", path.c_str(),
+        static_cast<unsigned long long>(term_count)));
+  }
+  std::string text;
+  for (uint64_t i = 0; i < term_count; ++i) {
+    uint8_t kind;
+    OPENBG_RETURN_NOT_OK(terms.ReadU8(&kind));
+    if (kind > 1) {
+      return util::Status::IoError(util::StrFormat(
+          "%s: term %llu has invalid kind byte %u", path.c_str(),
+          static_cast<unsigned long long>(i), kind));
+    }
+    OPENBG_RETURN_NOT_OK(terms.ReadString(&text));
+    TermId id = kind == 0 ? loaded_dict.AddIri(text)
+                          : loaded_dict.AddLiteral(text);
+    // Ids are dense insertion order; a duplicate term entry would silently
+    // shift every later id, so treat it as corruption.
+    if (id != i) {
+      return util::Status::IoError(util::StrFormat(
+          "%s: duplicate term at index %llu", path.c_str(),
+          static_cast<unsigned long long>(i)));
+    }
+  }
+  if (!terms.AtEnd()) {
+    return util::Status::IoError(path + ": trailing bytes in terms section");
+  }
+
+  util::SnapshotSection triples = reader.section(1);
+  if (triples.tag() != kTriplesSection) {
+    return util::Status::IoError(util::StrFormat(
+        "%s: unexpected section tag %u (want triples=%u)", path.c_str(),
+        triples.tag(), kTriplesSection));
+  }
+  uint64_t triple_count;
+  OPENBG_RETURN_NOT_OK(triples.ReadU64(&triple_count));
+  for (uint64_t i = 0; i < triple_count; ++i) {
+    uint32_t s, p, o;
+    OPENBG_RETURN_NOT_OK(triples.ReadU32(&s));
+    OPENBG_RETURN_NOT_OK(triples.ReadU32(&p));
+    OPENBG_RETURN_NOT_OK(triples.ReadU32(&o));
+    if (s >= term_count || p >= term_count || o >= term_count) {
+      return util::Status::IoError(util::StrFormat(
+          "%s: triple %llu references a term id outside the dictionary",
+          path.c_str(), static_cast<unsigned long long>(i)));
+    }
+    loaded_store.Add(s, p, o);
+  }
+  if (!triples.AtEnd()) {
+    return util::Status::IoError(path +
+                                 ": trailing bytes in triples section");
+  }
+
+  *dict = std::move(loaded_dict);
+  *store = std::move(loaded_store);
+  return util::Status::OK();
+}
+
+}  // namespace openbg::rdf

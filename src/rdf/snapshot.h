@@ -1,0 +1,36 @@
+#ifndef OPENBG_RDF_SNAPSHOT_H_
+#define OPENBG_RDF_SNAPSHOT_H_
+
+#include <string>
+
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace openbg::rdf {
+
+/// Binary KG snapshot: the durable form of a (TermDict, TripleStore) pair.
+/// Unlike the N-Triples export it preserves term ids exactly (a loaded
+/// snapshot is id-for-id identical to the saved store, so anything holding
+/// TermIds across the save — embeddings, caches — stays valid) and loads
+/// without re-parsing or re-interning text.
+///
+/// Format: util::SnapshotWriter container, magic "OBGSNAP1" version 1, a
+/// terms section (count; per term: kind byte + length-prefixed text) and a
+/// triples section (count; per triple three u32 ids), each CRC32-guarded.
+/// Writes are atomic (temp + fsync + rename): a crash mid-save leaves the
+/// previous snapshot intact.
+util::Status SaveSnapshot(const TermDict& dict, const TripleStore& store,
+                          const std::string& path);
+
+/// Loads a snapshot written by SaveSnapshot. Fails closed: the file is
+/// fully validated (magic, version, framing, checksums, id bounds) and
+/// decoded into fresh objects before `*dict` / `*store` are touched, so a
+/// non-OK return leaves the outputs exactly as they were — never partially
+/// loaded.
+util::Status LoadSnapshot(const std::string& path, TermDict* dict,
+                          TripleStore* store);
+
+}  // namespace openbg::rdf
+
+#endif  // OPENBG_RDF_SNAPSHOT_H_

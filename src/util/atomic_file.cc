@@ -1,0 +1,113 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/fault_injection.h"
+
+namespace openbg::util {
+namespace {
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp") {
+  fd_ = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    status_ = Status::IoError("cannot open " + temp_path_ + ": " +
+                              std::strerror(errno));
+  }
+}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) Abandon();
+}
+
+void AtomicFile::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(temp_path_.c_str());
+}
+
+Status AtomicFile::Append(std::string_view data) {
+  if (!status_.ok()) return status_;
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    if (failpoints::Triggered("atomic_file::write")) {
+      status_ = Status::IoError("injected short write on " + temp_path_);
+      Abandon();
+      return status_;
+    }
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status_ = Status::IoError("write to " + temp_path_ + " failed: " +
+                                std::strerror(errno));
+      Abandon();
+      return status_;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AtomicFile::Commit() {
+  if (!status_.ok()) return status_;
+  if (failpoints::Triggered("atomic_file::fsync") || ::fsync(fd_) != 0) {
+    status_ = Status::IoError("fsync of " + temp_path_ + " failed");
+    Abandon();
+    return status_;
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    status_ = Status::IoError("close of " + temp_path_ + " failed");
+    Abandon();
+    return status_;
+  }
+  fd_ = -1;
+  if (failpoints::Triggered("atomic_file::rename") ||
+      std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    status_ = Status::IoError("rename " + temp_path_ + " -> " + path_ +
+                              " failed");
+    Abandon();
+    return status_;
+  }
+  committed_ = true;
+  // Make the rename itself durable. Failure here is not unwound — the new
+  // file is already visible — so only report it.
+  int dir_fd = ::open(DirName(path_).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    int rc = ::fsync(dir_fd);
+    ::close(dir_fd);
+    if (rc != 0) {
+      return Status::IoError("fsync of parent directory of " + path_ +
+                             " failed");
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  AtomicFile file(path);
+  OPENBG_RETURN_NOT_OK(file.status());
+  OPENBG_RETURN_NOT_OK(file.Append(content));
+  return file.Commit();
+}
+
+}  // namespace openbg::util

@@ -1,0 +1,60 @@
+#ifndef OPENBG_UTIL_ATOMIC_FILE_H_
+#define OPENBG_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace openbg::util {
+
+/// All-or-nothing file writer: bytes accumulate in `<path>.tmp`, and
+/// `Commit()` publishes them with the classic durability dance — flush,
+/// fsync the temp file, rename over the target, fsync the parent directory.
+/// A crash (or injected fault) at any point leaves either the old file or
+/// the new file at `path`, never a partial write; a failed or abandoned
+/// writer removes its temp file.
+///
+/// Failpoint sites (see util/fault_injection.h), used by the crash tests:
+///   "atomic_file::write", "atomic_file::fsync", "atomic_file::rename".
+class AtomicFile {
+ public:
+  /// Opens `<path>.tmp` for writing. Check `status()` before appending.
+  explicit AtomicFile(std::string path);
+
+  /// Abandons the write if Commit was never (successfully) called.
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// Open/IO state; sticky — once non-OK every later call fails fast.
+  const Status& status() const { return status_; }
+
+  /// Buffers `data` into the temp file.
+  Status Append(std::string_view data);
+
+  /// Flush + fsync + rename + fsync(dir). After OK, the target file is
+  /// durably the new content. After failure, the target is untouched and
+  /// the temp file removed.
+  Status Commit();
+
+  const std::string& path() const { return path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  void Abandon();
+
+  std::string path_;
+  std::string temp_path_;
+  int fd_ = -1;
+  bool committed_ = false;
+  Status status_;
+};
+
+/// Convenience: atomically replaces `path` with `content`.
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_ATOMIC_FILE_H_

@@ -1,0 +1,22 @@
+#ifndef OPENBG_UTIL_CRC32_H_
+#define OPENBG_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace openbg::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum RocksDB-style
+/// stores put after every block. Detects any single-bit flip and any burst
+/// error up to 32 bits, which is what the snapshot loader leans on to fail
+/// closed on corrupted payloads.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_CRC32_H_

@@ -1,0 +1,126 @@
+#include "util/fault_injection.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace openbg::util {
+namespace failpoints {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // name -> remaining hits that succeed before the point fires.
+  std::map<std::string, int, std::less<>> armed;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Fast path: when nothing has ever been armed, Triggered is one atomic load.
+std::atomic<int> g_armed_count{0};
+
+}  // namespace
+
+void Arm(std::string_view name, int succeed_first) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.armed.insert_or_assign(std::string(name),
+                                                 succeed_first);
+  (void)it;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.armed.find(name);
+  if (it != r.armed.end()) {
+    r.armed.erase(it);
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  g_armed_count.fetch_sub(static_cast<int>(r.armed.size()),
+                          std::memory_order_relaxed);
+  r.armed.clear();
+}
+
+bool Triggered(std::string_view name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return false;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.armed.find(name);
+  if (it == r.armed.end()) return false;
+  if (it->second > 0) {
+    --it->second;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace failpoints
+
+Status TruncateFile(const std::string& path, uint64_t new_size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(new_size)) != 0) {
+    return Status::IoError(
+        StrFormat("truncate %s to %llu bytes failed", path.c_str(),
+                  static_cast<unsigned long long>(new_size)));
+  }
+  return Status::OK();
+}
+
+Status FlipBit(const std::string& path, uint64_t byte_offset, int bit) {
+  if (bit < 0 || bit >= 8) {
+    return Status::InvalidArgument(StrFormat("bit index %d out of [0,8)",
+                                             bit));
+  }
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  Status st = Status::OK();
+  if (std::fseek(f, static_cast<long>(byte_offset), SEEK_SET) != 0) {
+    st = Status::OutOfRange(StrFormat("offset %llu past end of %s",
+                                      (unsigned long long)byte_offset,
+                                      path.c_str()));
+  } else {
+    int c = std::fgetc(f);
+    if (c == EOF) {
+      st = Status::OutOfRange(StrFormat("offset %llu past end of %s",
+                                        (unsigned long long)byte_offset,
+                                        path.c_str()));
+    } else {
+      std::fseek(f, static_cast<long>(byte_offset), SEEK_SET);
+      std::fputc(c ^ (1 << bit), f);
+    }
+  }
+  if (std::fclose(f) != 0 && st.ok()) {
+    st = Status::IoError("failed writing " + path);
+  }
+  return st;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat sb;
+  if (::stat(path.c_str(), &sb) != 0) {
+    return Status::IoError("cannot stat " + path);
+  }
+  return static_cast<uint64_t>(sb.st_size);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat sb;
+  return ::stat(path.c_str(), &sb) == 0 && S_ISREG(sb.st_mode);
+}
+
+}  // namespace openbg::util

@@ -1,0 +1,55 @@
+#ifndef OPENBG_UTIL_FAULT_INJECTION_H_
+#define OPENBG_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace openbg::util {
+
+/// Process-wide failpoint registry, the test-only shim that lets the suite
+/// simulate crashes inside otherwise-unreachable branches (short writes,
+/// failed fsyncs, failed renames). Production code calls
+/// `failpoints::Triggered("site")` at each fallible syscall site; the call
+/// is a single relaxed atomic load when nothing is armed, so leaving the
+/// hooks compiled in costs nothing measurable.
+///
+/// Semantics: `Arm(name, succeed_first)` lets the first `succeed_first`
+/// hits of the site pass, then fires (returns true) on every later hit
+/// until `Disarm`. All functions are thread-safe.
+namespace failpoints {
+
+/// Arms `name`; the failpoint fires from hit `succeed_first + 1` onwards.
+void Arm(std::string_view name, int succeed_first = 0);
+
+/// Disarms one failpoint (no-op if not armed).
+void Disarm(std::string_view name);
+
+/// Disarms everything (test teardown).
+void DisarmAll();
+
+/// Called at the instrumented site: true iff the site should fail now.
+bool Triggered(std::string_view name);
+
+}  // namespace failpoints
+
+/// File-corruption helpers used by the crash-safety tests to model the
+/// on-disk damage a real crash or bad sector leaves behind.
+
+/// Truncates the file at `path` to exactly `new_size` bytes.
+Status TruncateFile(const std::string& path, uint64_t new_size);
+
+/// XORs one bit (`bit` in [0,8)) of the byte at `byte_offset` in place.
+Status FlipBit(const std::string& path, uint64_t byte_offset, int bit);
+
+/// Size of the file in bytes.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// True iff a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_FAULT_INJECTION_H_

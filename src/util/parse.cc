@@ -1,0 +1,24 @@
+#include "util/parse.h"
+
+#include "util/string_util.h"
+
+namespace openbg::util {
+
+void ParseReport::AddError(const ParseOptions& options, size_t line,
+                           std::string message) {
+  ++skipped;
+  if (error_samples.size() < options.max_error_samples) {
+    error_samples.push_back({line, std::move(message)});
+  }
+}
+
+std::string ParseReport::Summary() const {
+  std::string out = StrFormat("%zu records, %zu skipped", records, skipped);
+  if (!error_samples.empty()) {
+    out += StrFormat(" (first: %zu: %s)", error_samples.front().line,
+                     error_samples.front().message.c_str());
+  }
+  return out;
+}
+
+}  // namespace openbg::util

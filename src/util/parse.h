@@ -1,0 +1,53 @@
+#ifndef OPENBG_UTIL_PARSE_H_
+#define OPENBG_UTIL_PARSE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace openbg::util {
+
+/// What a reader does when it meets a malformed record. Production dumps
+/// are dirty as a rule, not an exception: billion-scale ingestion needs
+/// per-line recovery, while unit tests and round-trip checks want the
+/// strict abort-on-first-error behavior.
+enum class ParsePolicy {
+  kStrict,         ///< first malformed record aborts the whole read
+  kSkipAndReport,  ///< skip malformed records, tally them in a ParseReport
+};
+
+/// Knobs shared by every line-oriented reader (N-Triples, TSV).
+struct ParseOptions {
+  ParsePolicy policy = ParsePolicy::kStrict;
+  /// Under kSkipAndReport: abort once this many records were skipped
+  /// (a dump that is mostly garbage should not "load successfully").
+  /// 0 means unlimited.
+  size_t max_errors = 0;
+  /// How many per-record error samples the report keeps verbatim.
+  size_t max_error_samples = 10;
+};
+
+/// One malformed record: 1-based line number plus what was wrong.
+struct ParseError {
+  size_t line = 0;
+  std::string message;
+};
+
+/// Outcome tally of a lenient read. `records` counts successfully parsed
+/// records (not blank/comment lines); `skipped` counts malformed ones.
+struct ParseReport {
+  size_t records = 0;
+  size_t skipped = 0;
+  std::vector<ParseError> error_samples;
+
+  /// Records one malformed line, keeping at most `max_error_samples`.
+  void AddError(const ParseOptions& options, size_t line,
+                std::string message);
+
+  /// "1234 records, 5 skipped (first: 17: malformed triple)".
+  std::string Summary() const;
+};
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_PARSE_H_

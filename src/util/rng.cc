@@ -25,6 +25,20 @@ void Rng::Seed(uint64_t seed) {
   has_cached_normal_ = false;
 }
 
+RngState Rng::GetState() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::SetState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
   const uint64_t t = s_[1] << 17;

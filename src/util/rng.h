@@ -7,6 +7,15 @@
 
 namespace openbg::util {
 
+/// Complete serializable state of an Rng — what a trainer checkpoint
+/// persists so a resumed run continues the exact random stream an
+/// uninterrupted run would have produced.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic, seedable xoshiro256++ PRNG. Every generator in the library
 /// takes an explicit Rng so entire experiment runs are reproducible from one
 /// seed. Satisfies the UniformRandomBitGenerator concept.
@@ -18,6 +27,12 @@ class Rng {
 
   /// Re-seeds the generator via splitmix64 expansion of `seed`.
   void Seed(uint64_t seed);
+
+  /// Captures the full generator state (checkpoint support).
+  RngState GetState() const;
+
+  /// Restores a state captured by GetState.
+  void SetState(const RngState& state);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ull; }

@@ -1,0 +1,204 @@
+#include "util/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace openbg::util {
+namespace {
+
+void AppendLe(std::string* out, const void* v, size_t n) {
+  // Little-endian hosts only (x86-64 / aarch64): raw byte copy.
+  out->append(static_cast<const char*>(v), n);
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(std::string path, std::string_view magic,
+                               uint32_t version)
+    : path_(std::move(path)), magic_(magic), version_(version) {
+  OPENBG_CHECK(magic_.size() == 8) << "snapshot magic must be 8 bytes";
+}
+
+std::string& SnapshotWriter::payload() {
+  OPENBG_CHECK(!sections_.empty())
+      << "Put* before BeginSection in snapshot writer";
+  return sections_.back().payload;
+}
+
+void SnapshotWriter::BeginSection(uint32_t tag) {
+  sections_.push_back({tag, {}});
+}
+
+void SnapshotWriter::PutU8(uint8_t v) { AppendLe(&payload(), &v, 1); }
+void SnapshotWriter::PutU32(uint32_t v) { AppendLe(&payload(), &v, 4); }
+void SnapshotWriter::PutU64(uint64_t v) { AppendLe(&payload(), &v, 8); }
+void SnapshotWriter::PutDouble(double v) { AppendLe(&payload(), &v, 8); }
+
+void SnapshotWriter::PutFloats(const float* data, size_t n) {
+  AppendLe(&payload(), data, n * sizeof(float));
+}
+
+void SnapshotWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  payload().append(s.data(), s.size());
+}
+
+Status SnapshotWriter::Finish() {
+  std::string blob;
+  blob.reserve(16 + sections_.size() * 16);
+  blob.append(magic_);
+  AppendLe(&blob, &version_, 4);
+  uint32_t count = static_cast<uint32_t>(sections_.size());
+  AppendLe(&blob, &count, 4);
+  for (const Section& s : sections_) {
+    AppendLe(&blob, &s.tag, 4);
+    uint64_t len = s.payload.size();
+    AppendLe(&blob, &len, 8);
+    blob.append(s.payload);
+    uint32_t crc = Crc32(s.payload);
+    AppendLe(&blob, &crc, 4);
+  }
+  return WriteFileAtomic(path_, blob);
+}
+
+Status SnapshotSection::Take(size_t n, const char** p) {
+  if (payload_.size() - pos_ < n) {
+    return Status::IoError(
+        StrFormat("snapshot section %u: truncated payload (want %zu bytes "
+                  "at offset %zu of %zu)",
+                  tag_, n, pos_, payload_.size()));
+  }
+  *p = payload_.data() + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status SnapshotSection::ReadU8(uint8_t* v) {
+  const char* p;
+  OPENBG_RETURN_NOT_OK(Take(1, &p));
+  std::memcpy(v, p, 1);
+  return Status::OK();
+}
+
+Status SnapshotSection::ReadU32(uint32_t* v) {
+  const char* p;
+  OPENBG_RETURN_NOT_OK(Take(4, &p));
+  std::memcpy(v, p, 4);
+  return Status::OK();
+}
+
+Status SnapshotSection::ReadU64(uint64_t* v) {
+  const char* p;
+  OPENBG_RETURN_NOT_OK(Take(8, &p));
+  std::memcpy(v, p, 8);
+  return Status::OK();
+}
+
+Status SnapshotSection::ReadDouble(double* v) {
+  const char* p;
+  OPENBG_RETURN_NOT_OK(Take(8, &p));
+  std::memcpy(v, p, 8);
+  return Status::OK();
+}
+
+Status SnapshotSection::ReadFloats(float* out, size_t n) {
+  const char* p;
+  OPENBG_RETURN_NOT_OK(Take(n * sizeof(float), &p));
+  std::memcpy(out, p, n * sizeof(float));
+  return Status::OK();
+}
+
+Status SnapshotSection::ReadString(std::string* out) {
+  uint64_t len;
+  OPENBG_RETURN_NOT_OK(ReadU64(&len));
+  if (len > payload_.size() - pos_) {
+    return Status::IoError(
+        StrFormat("snapshot section %u: string length %llu exceeds "
+                  "remaining payload",
+                  tag_, static_cast<unsigned long long>(len)));
+  }
+  const char* p;
+  OPENBG_RETURN_NOT_OK(Take(static_cast<size_t>(len), &p));
+  out->assign(p, static_cast<size_t>(len));
+  return Status::OK();
+}
+
+Status SnapshotReader::Open(const std::string& path, std::string_view magic,
+                            uint32_t version) {
+  OPENBG_CHECK(magic.size() == 8) << "snapshot magic must be 8 bytes";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("failed reading " + path);
+  content_ = std::move(buf).str();
+  sections_.clear();
+
+  const std::string_view data = content_;
+  if (data.size() < 16) {
+    return Status::IoError(path + ": truncated snapshot header");
+  }
+  if (data.substr(0, 8) != magic) {
+    return Status::InvalidArgument(
+        path + ": bad snapshot magic (not a " + std::string(magic) +
+        " file, or corrupted header)");
+  }
+  uint32_t file_version, count;
+  std::memcpy(&file_version, data.data() + 8, 4);
+  std::memcpy(&count, data.data() + 12, 4);
+  if (file_version != version) {
+    return Status::InvalidArgument(
+        StrFormat("%s: snapshot version %u, this build reads version %u",
+                  path.c_str(), file_version, version));
+  }
+  size_t pos = 16;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (data.size() - pos < 12) {
+      return Status::IoError(
+          StrFormat("%s: truncated section header (section %u of %u)",
+                    path.c_str(), i, count));
+    }
+    uint32_t tag;
+    uint64_t len;
+    std::memcpy(&tag, data.data() + pos, 4);
+    std::memcpy(&len, data.data() + pos + 4, 8);
+    pos += 12;
+    if (len > data.size() - pos || data.size() - pos - len < 4) {
+      return Status::IoError(
+          StrFormat("%s: truncated section %u payload (claims %llu bytes, "
+                    "%zu remain)",
+                    path.c_str(), tag, static_cast<unsigned long long>(len),
+                    data.size() - pos));
+    }
+    std::string_view payload = data.substr(pos, static_cast<size_t>(len));
+    pos += static_cast<size_t>(len);
+    uint32_t stored_crc;
+    std::memcpy(&stored_crc, data.data() + pos, 4);
+    pos += 4;
+    uint32_t actual_crc = Crc32(payload);
+    if (stored_crc != actual_crc) {
+      return Status::IoError(
+          StrFormat("%s: section %u checksum mismatch (stored %08x, "
+                    "computed %08x) — corrupted payload",
+                    path.c_str(), tag, stored_crc, actual_crc));
+    }
+    SnapshotSection section;
+    section.tag_ = tag;
+    section.payload_ = payload;
+    sections_.push_back(section);
+  }
+  if (pos != data.size()) {
+    return Status::IoError(
+        StrFormat("%s: %zu trailing bytes after last section",
+                  path.c_str(), data.size() - pos));
+  }
+  return Status::OK();
+}
+
+}  // namespace openbg::util

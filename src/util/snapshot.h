@@ -1,0 +1,106 @@
+#ifndef OPENBG_UTIL_SNAPSHOT_H_
+#define OPENBG_UTIL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace openbg::util {
+
+/// Versioned, checksummed binary container shared by the KG snapshot and
+/// the trainer checkpoint. Layout (integers little-endian, written on the
+/// x86-64 targets this library runs on):
+///
+///   [8B magic][u32 version][u32 section_count]
+///   per section: [u32 tag][u64 payload_len][payload][u32 crc32(payload)]
+///
+/// Every load re-derives each section's CRC and refuses the file on any
+/// magic/version/structure/checksum mismatch, so a snapshot truncated at an
+/// arbitrary byte or with a flipped bit fails closed with a precise Status
+/// instead of producing silent partial state. Writes go through
+/// util::AtomicFile, so a crash mid-save never clobbers the previous file.
+
+/// Accumulates sections in memory; `Finish()` writes the file atomically.
+class SnapshotWriter {
+ public:
+  /// `magic` must be exactly 8 bytes.
+  SnapshotWriter(std::string path, std::string_view magic, uint32_t version);
+
+  /// Starts a new section; subsequent Put* calls append to its payload.
+  void BeginSection(uint32_t tag);
+
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  /// Raw float32 block (row-major matrix data).
+  void PutFloats(const float* data, size_t n);
+  /// u64 length prefix + raw bytes.
+  void PutString(std::string_view s);
+
+  /// Seals the last section and writes everything via AtomicFile.
+  Status Finish();
+
+ private:
+  struct Section {
+    uint32_t tag = 0;
+    std::string payload;
+  };
+
+  std::string& payload();
+
+  std::string path_;
+  std::string magic_;
+  uint32_t version_;
+  std::vector<Section> sections_;
+};
+
+/// Bounds-checked cursor over one decoded section's payload.
+class SnapshotSection {
+ public:
+  uint32_t tag() const { return tag_; }
+  size_t size() const { return payload_.size(); }
+  bool AtEnd() const { return pos_ == payload_.size(); }
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadDouble(double* v);
+  Status ReadFloats(float* out, size_t n);
+  Status ReadString(std::string* out);
+
+ private:
+  friend class SnapshotReader;
+
+  Status Take(size_t n, const char** p);
+
+  uint32_t tag_ = 0;
+  std::string_view payload_;
+  size_t pos_ = 0;
+};
+
+/// Parses and validates a whole snapshot file up front (structure + CRCs);
+/// sections are only handed out from a file that passed every check.
+class SnapshotReader {
+ public:
+  /// Reads `path`, verifying magic, version, section framing, per-section
+  /// CRC32, and that no bytes trail the last section.
+  Status Open(const std::string& path, std::string_view magic,
+              uint32_t version);
+
+  size_t num_sections() const { return sections_.size(); }
+
+  /// Section cursor by position (fresh copy, cursor at offset 0).
+  SnapshotSection section(size_t i) const { return sections_[i]; }
+
+ private:
+  std::string content_;
+  std::vector<SnapshotSection> sections_;
+};
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_SNAPSHOT_H_

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 namespace openbg::util {
@@ -70,17 +71,28 @@ void ParallelFor(ThreadPool* pool, size_t n,
   std::mutex mu;
   std::condition_variable done_cv;
   size_t remaining = shards;
+  std::exception_ptr first_error;
   for (size_t s = 0; s < shards; ++s) {
     const size_t begin = s * chunk;
     const size_t end = std::min(n, begin + chunk);
     pool->Submit([&, s, begin, end] {
-      fn(s, begin, end);
+      // A throwing shard must not escape into the worker loop (that would
+      // terminate the process); capture the first exception and rethrow it
+      // on the calling thread after every shard has joined — matching what
+      // the degenerate serial path does naturally.
+      try {
+        fn(s, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
       std::lock_guard<std::mutex> lock(mu);
       if (--remaining == 0) done_cv.notify_one();
     });
   }
   std::unique_lock<std::mutex> lock(mu);
   done_cv.wait(lock, [&] { return remaining == 0; });
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace openbg::util

@@ -51,6 +51,12 @@ class ThreadPool {
 /// parallel callers share one code path. Shard boundaries depend only on
 /// (n, num_threads), never on scheduling, which is what lets callers keep
 /// deterministic per-shard outputs.
+///
+/// If a shard throws, every other shard still runs to completion, the
+/// first exception is rethrown on the calling thread, and the pool stays
+/// usable — the same semantics the inline degenerate path has for free.
+/// (Tasks given directly to Submit must not throw; there is no caller to
+/// deliver the exception to.)
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t shard, size_t begin,
                                           size_t end)>& fn);

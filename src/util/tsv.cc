@@ -6,30 +6,73 @@ namespace openbg::util {
 
 TsvWriter::TsvWriter(const std::string& path) : out_(path), path_(path) {}
 
-void TsvWriter::WriteRow(const std::vector<std::string>& fields) {
+Status TsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].find_first_of("\t\n\r") != std::string::npos) {
+      Status bad = Status::InvalidArgument(
+          StrFormat("%s: row %zu field %zu contains a tab or newline; "
+                    "row dropped",
+                    path_.c_str(), rows_written_ + 1, i));
+      if (status_.ok()) status_ = bad;
+      return bad;
+    }
+  }
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out_ << '\t';
     out_ << fields[i];
   }
   out_ << '\n';
+  ++rows_written_;
+  return Status::OK();
 }
 
 Status TsvWriter::Close() {
   out_.close();
+  if (!status_.ok()) return status_;
   if (out_.fail()) return Status::IoError("failed writing " + path_);
   return Status::OK();
 }
 
 Result<std::vector<std::vector<std::string>>> ReadTsv(
-    const std::string& path) {
+    const std::string& path, size_t min_fields) {
+  return ReadTsv(path, min_fields, ParseOptions{}, nullptr);
+}
+
+Result<std::vector<std::vector<std::string>>> ReadTsv(
+    const std::string& path, size_t min_fields, const ParseOptions& options,
+    ParseReport* report) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
+  ParseReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = ParseReport{};
   std::vector<std::vector<std::string>> rows;
   std::string line;
+  size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    rows.push_back(Split(line, '\t'));
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() < min_fields) {
+      std::string msg = StrFormat("row has %zu fields, expected >= %zu",
+                                  fields.size(), min_fields);
+      if (options.policy == ParsePolicy::kStrict) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: %s", path.c_str(), line_no, msg.c_str()));
+      }
+      report->AddError(options, line_no, std::move(msg));
+      if (options.max_errors > 0 && report->skipped > options.max_errors) {
+        return Status::InvalidArgument(
+            StrFormat("%s: more than %zu malformed rows; aborting lenient "
+                      "read (%s)",
+                      path.c_str(), options.max_errors,
+                      report->Summary().c_str()));
+      }
+      continue;
+    }
+    rows.push_back(std::move(fields));
+    ++report->records;
   }
   return rows;
 }

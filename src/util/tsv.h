@@ -5,31 +5,51 @@
 #include <string>
 #include <vector>
 
+#include "util/parse.h"
 #include "util/status.h"
 
 namespace openbg::util {
 
 /// Streaming TSV writer. Benchmarks and dataset exporters use TSV throughout
 /// (the OpenBG release itself ships TSV triple files).
+///
+/// Fields must not contain tabs, CR or LF — a field that does would shear
+/// the row on read-back, silently corrupting the file. WriteRow rejects such
+/// rows (the row is not written) and the first rejection latches, so a
+/// caller that ignores per-row statuses still sees the failure in Close().
 class TsvWriter {
  public:
   explicit TsvWriter(const std::string& path);
 
-  bool ok() const { return static_cast<bool>(out_); }
+  bool ok() const { return static_cast<bool>(out_) && status_.ok(); }
 
-  /// Writes one row; fields must not contain tabs or newlines.
-  void WriteRow(const std::vector<std::string>& fields);
+  /// Writes one row. Returns InvalidArgument (and skips the row) if any
+  /// field contains '\t', '\n' or '\r'.
+  Status WriteRow(const std::vector<std::string>& fields);
 
+  /// Flushes and closes; returns the first WriteRow rejection if any row
+  /// was dropped, else the stream's IO status.
   Status Close();
 
  private:
   std::ofstream out_;
   std::string path_;
+  size_t rows_written_ = 0;
+  Status status_;  // first WriteRow rejection, sticky
 };
 
-/// Reads an entire TSV file into memory. Rows keep their field split;
+/// Reads an entire TSV file into memory, strict mode: any row with fewer
+/// than `min_fields` fields aborts the read. Rows keep their field split;
 /// no quoting/escaping is interpreted (matching the benchmark file format).
-Result<std::vector<std::vector<std::string>>> ReadTsv(const std::string& path);
+Result<std::vector<std::vector<std::string>>> ReadTsv(
+    const std::string& path, size_t min_fields = 0);
+
+/// Policy-aware variant: under ParsePolicy::kSkipAndReport, short rows are
+/// skipped and tallied in `report` instead of aborting, up to
+/// `options.max_errors` (0 = unlimited). `report` may be null.
+Result<std::vector<std::vector<std::string>>> ReadTsv(
+    const std::string& path, size_t min_fields, const ParseOptions& options,
+    ParseReport* report);
 
 }  // namespace openbg::util
 

@@ -55,10 +55,12 @@ struct ModelFactory {
   size_t epochs = 40;
 };
 
-std::vector<ModelFactory> AllFactories() {
+// Returns a reference to a function-local static: callers keep references
+// into the list (see KgeModelTest::factory), so it must outlive them.
+const std::vector<ModelFactory>& AllFactories() {
   auto e = [](const Dataset& ds) { return ds.num_entities(); };
   auto r = [](const Dataset& ds) { return ds.num_relations(); };
-  return {
+  static const std::vector<ModelFactory> factories = {
       {"TransE",
        [e, r](const Dataset& ds, util::Rng* rng) {
          return std::make_unique<TransE>(e(ds), r(ds), 16, 1.0f, rng);
@@ -115,6 +117,7 @@ std::vector<ModelFactory> AllFactories() {
        },
        0.1f, 60},
   };
+  return factories;
 }
 
 class KgeModelTest : public ::testing::TestWithParam<size_t> {

@@ -247,6 +247,46 @@ TEST(NTriplesTest, BadEscapeRejected) {
   EXPECT_FALSE(UnescapeLiteral("trailing\\", &out));
 }
 
+TEST(NTriplesTest, UnicodeEscapeRoundTrip) {
+  std::string out;
+  ASSERT_TRUE(UnescapeLiteral("snowman \\u2603 ok", &out));
+  EXPECT_EQ(out, "snowman ☃ ok");
+  out.clear();
+  ASSERT_TRUE(UnescapeLiteral("astral \\U0001F600", &out));
+  EXPECT_EQ(out, "astral \U0001F600");
+  out.clear();
+  ASSERT_TRUE(UnescapeLiteral("ascii \\u0041", &out));
+  EXPECT_EQ(out, "ascii A");
+}
+
+TEST(NTriplesTest, AdversarialEscapesRejected) {
+  std::string out;
+  // Short / non-hex \u forms.
+  EXPECT_FALSE(UnescapeLiteral("\\u123", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\u12", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\u", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\uZZZZ", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\u12G4", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\U0001F60", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\U0001F60X", &out));
+  // Surrogate halves and out-of-range code points are not scalar values.
+  EXPECT_FALSE(UnescapeLiteral("\\uD800", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\uDFFF", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\U00110000", &out));
+  EXPECT_FALSE(UnescapeLiteral("\\UFFFFFFFF", &out));
+}
+
+TEST(NTriplesTest, ControlCharacterRoundTrip) {
+  // Embedded NUL and other C0 controls survive a write/read cycle via
+  // \u00XX escapes.
+  std::string raw("nul\0bell\x07end", 12);
+  std::string escaped = EscapeLiteral(raw);
+  EXPECT_EQ(escaped.find('\0'), std::string::npos);
+  std::string back;
+  ASSERT_TRUE(UnescapeLiteral(escaped, &back));
+  EXPECT_EQ(back, raw);
+}
+
 TEST(NTriplesTest, FileRoundTrip) {
   Graph g;
   TermId s = g.dict.AddIri("http://x/s");
@@ -283,6 +323,48 @@ TEST(NTriplesTest, MalformedLineReported) {
   EXPECT_FALSE(st.ok());
   EXPECT_NE(st.message().find(":2"), std::string::npos)
       << "error should name line 2: " << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesTest, LenientReadSkipsMalformedLinesWithCorrectCounts) {
+  std::string path = ::testing::TempDir() + "/openbg_rdf_lenient.nt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("<a> <b> <c> .\n"
+          "not a triple\n"
+          "<d> <e> \"lit\" .\n"
+          "<f> <g> <h>\n"            // missing terminator
+          "\"lit\" <p> <o> .\n"      // literal subject
+          "<i> <j> <k> .\n",
+          f);
+    fclose(f);
+  }
+  Graph g;
+  util::ParseOptions lenient;
+  lenient.policy = util::ParsePolicy::kSkipAndReport;
+  util::ParseReport report;
+  ASSERT_TRUE(
+      ReadNTriples(path, &g.dict, &g.store, lenient, &report).ok());
+  EXPECT_EQ(g.store.size(), 3u);
+  EXPECT_EQ(report.records, 3u);
+  EXPECT_EQ(report.skipped, 3u);
+  ASSERT_EQ(report.error_samples.size(), 3u);
+  EXPECT_EQ(report.error_samples[0].line, 2u);
+  EXPECT_EQ(report.error_samples[1].line, 4u);
+  EXPECT_EQ(report.error_samples[2].line, 5u);
+  // Skipped lines intern nothing: no term from a bad line pollutes the
+  // dictionary.
+  EXPECT_EQ(g.dict.FindIri("f"), kInvalidTerm);
+  EXPECT_EQ(g.dict.FindIri("p"), kInvalidTerm);
+  EXPECT_NE(g.dict.FindIri("i"), kInvalidTerm);
+
+  // A mostly-garbage file must not "load successfully": max_errors caps it.
+  util::ParseOptions capped = lenient;
+  capped.max_errors = 2;
+  Graph g2;
+  util::ParseReport capped_report;
+  EXPECT_FALSE(
+      ReadNTriples(path, &g2.dict, &g2.store, capped, &capped_report).ok());
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,410 @@
+// Crash-safety suite: CRC32, atomic writes under injected faults, and the
+// KG snapshot / trainer checkpoint formats under systematic corruption
+// (truncation at every byte boundary, a flip of every single bit). The
+// invariant throughout: a damaged file never loads — no crash, no silent
+// partial state — and a failed write never clobbers the previous file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "kge/checkpoint.h"
+#include "kge/trainer.h"
+#include "kge/trans_models.h"
+#include "rdf/snapshot.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+#include "util/snapshot.h"
+#include "util/string_util.h"
+
+namespace openbg {
+namespace {
+
+using bench_builder::Dataset;
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteWholeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// ------------------------------------------------------------------ CRC32
+
+TEST(Crc32Test, KnownVectors) {
+  // The standard IEEE check value for "123456789".
+  EXPECT_EQ(util::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(util::Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, AnySingleBitFlipChangesChecksum) {
+  std::string data = "openbg crc32 probe";
+  uint32_t base = util::Crc32(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      std::string corrupt = data;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << b));
+      EXPECT_NE(util::Crc32(corrupt.data(), corrupt.size()), base)
+          << "byte " << i << " bit " << b;
+    }
+  }
+}
+
+TEST(Crc32Test, SeedChains) {
+  std::string data = "split into two parts";
+  uint32_t whole = util::Crc32(data.data(), data.size());
+  uint32_t part = util::Crc32(data.data(), 8);
+  part = util::Crc32(data.data() + 8, data.size() - 8, part);
+  EXPECT_EQ(part, whole);
+}
+
+// ------------------------------------------------------- fault primitives
+
+TEST(FaultInjectionTest, FailpointLifecycle) {
+  util::failpoints::DisarmAll();
+  EXPECT_FALSE(util::failpoints::Triggered("snapshot_test::site"));
+  util::failpoints::Arm("snapshot_test::site");
+  EXPECT_TRUE(util::failpoints::Triggered("snapshot_test::site"));
+  EXPECT_TRUE(util::failpoints::Triggered("snapshot_test::site"));
+  util::failpoints::Disarm("snapshot_test::site");
+  EXPECT_FALSE(util::failpoints::Triggered("snapshot_test::site"));
+}
+
+TEST(FaultInjectionTest, FailpointSucceedFirstN) {
+  util::failpoints::DisarmAll();
+  util::failpoints::Arm("snapshot_test::later", /*succeed_first=*/2);
+  EXPECT_FALSE(util::failpoints::Triggered("snapshot_test::later"));
+  EXPECT_FALSE(util::failpoints::Triggered("snapshot_test::later"));
+  EXPECT_TRUE(util::failpoints::Triggered("snapshot_test::later"));
+  util::failpoints::DisarmAll();
+}
+
+TEST(FaultInjectionTest, TruncateAndFlipBit) {
+  std::string path = ::testing::TempDir() + "/openbg_fault_prims";
+  WriteWholeFile(path, "abcdef");
+  ASSERT_TRUE(util::TruncateFile(path, 3).ok());
+  EXPECT_EQ(ReadWholeFile(path), "abc");
+  ASSERT_TRUE(util::FlipBit(path, 0, 1).ok());
+  EXPECT_EQ(ReadWholeFile(path), "cbc");  // 'a' ^ 0x02 = 'c'
+  EXPECT_FALSE(util::FlipBit(path, 99, 0).ok());
+  EXPECT_FALSE(util::FlipBit(path, 0, 8).ok());
+  auto size = util::FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 3u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ AtomicFile
+
+TEST(AtomicFileTest, WritesAndReplaces) {
+  std::string path = ::testing::TempDir() + "/openbg_atomic_basic";
+  ASSERT_TRUE(util::WriteFileAtomic(path, "first").ok());
+  EXPECT_EQ(ReadWholeFile(path), "first");
+  ASSERT_TRUE(util::WriteFileAtomic(path, "second, longer").ok());
+  EXPECT_EQ(ReadWholeFile(path), "second, longer");
+  EXPECT_FALSE(util::FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+class AtomicFileFaultTest : public ::testing::TestWithParam<const char*> {};
+
+// Whichever syscall fails — write, fsync, or rename — the previous file
+// content survives and no temp file is left behind.
+TEST_P(AtomicFileFaultTest, FailureLeavesTargetUntouched) {
+  std::string path = ::testing::TempDir() + "/openbg_atomic_fault";
+  ASSERT_TRUE(util::WriteFileAtomic(path, "precious").ok());
+
+  util::failpoints::Arm(GetParam());
+  util::Status st = util::WriteFileAtomic(path, "doomed replacement");
+  util::failpoints::DisarmAll();
+
+  EXPECT_FALSE(st.ok()) << GetParam();
+  EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+  EXPECT_EQ(ReadWholeFile(path), "precious") << GetParam();
+  EXPECT_FALSE(util::FileExists(path + ".tmp")) << GetParam();
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, AtomicFileFaultTest,
+                         ::testing::Values("atomic_file::write",
+                                           "atomic_file::fsync",
+                                           "atomic_file::rename"));
+
+TEST(AtomicFileTest, AbandonedWriterRemovesTemp) {
+  std::string path = ::testing::TempDir() + "/openbg_atomic_abandon";
+  {
+    util::AtomicFile file(path);
+    ASSERT_TRUE(file.status().ok());
+    ASSERT_TRUE(file.Append("half-written").ok());
+    // No Commit: destructor must clean up.
+  }
+  EXPECT_FALSE(util::FileExists(path));
+  EXPECT_FALSE(util::FileExists(path + ".tmp"));
+}
+
+// ------------------------------------------------------------ KG snapshot
+
+void MakeSmallGraph(rdf::TermDict* dict, rdf::TripleStore* store) {
+  rdf::TermId s = dict->AddIri("http://openbg.example/s");
+  rdf::TermId p = dict->AddIri("http://openbg.example/p");
+  rdf::TermId o = dict->AddIri("http://openbg.example/o");
+  rdf::TermId lit = dict->AddLiteral("литерал with \"quotes\"\n");
+  store->Add(s, p, o);
+  store->Add(s, p, lit);
+  store->Add(o, p, lit);
+}
+
+TEST(KgSnapshotTest, RoundTrip) {
+  rdf::TermDict dict;
+  rdf::TripleStore store;
+  MakeSmallGraph(&dict, &store);
+  std::string path = ::testing::TempDir() + "/openbg_snapshot_rt.snap";
+  ASSERT_TRUE(rdf::SaveSnapshot(dict, store, path).ok());
+
+  rdf::TermDict dict2;
+  rdf::TripleStore store2;
+  ASSERT_TRUE(rdf::LoadSnapshot(path, &dict2, &store2).ok());
+  ASSERT_EQ(dict2.size(), dict.size());
+  for (rdf::TermId id = 0; id < dict.size(); ++id) {
+    EXPECT_EQ(dict2.Text(id), dict.Text(id));
+    EXPECT_EQ(dict2.Kind(id), dict.Kind(id));
+  }
+  ASSERT_EQ(store2.size(), store.size());
+  for (const rdf::Triple& t : store.triples()) {
+    EXPECT_TRUE(store2.Contains(t.s, t.p, t.o));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KgSnapshotTest, RejectsWrongMagic) {
+  std::string path = ::testing::TempDir() + "/openbg_snapshot_magic.snap";
+  ASSERT_TRUE(util::WriteFileAtomic(path, "NOTASNAP0123456789").ok());
+  rdf::TermDict dict;
+  rdf::TripleStore store;
+  util::Status st = rdf::LoadSnapshot(path, &dict, &store);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// The acceptance property: truncation at EVERY byte boundary fails closed.
+TEST(KgSnapshotTest, TruncationAtEveryByteFailsClosed) {
+  rdf::TermDict dict;
+  rdf::TripleStore store;
+  MakeSmallGraph(&dict, &store);
+  std::string path = ::testing::TempDir() + "/openbg_snapshot_trunc.snap";
+  ASSERT_TRUE(rdf::SaveSnapshot(dict, store, path).ok());
+  const std::string blob = ReadWholeFile(path);
+  ASSERT_GT(blob.size(), 16u);
+
+  for (size_t len = 0; len < blob.size(); ++len) {
+    WriteWholeFile(path, blob.substr(0, len));
+    rdf::TermDict d;
+    rdf::TripleStore s;
+    util::Status st = rdf::LoadSnapshot(path, &d, &s);
+    EXPECT_FALSE(st.ok()) << "truncation to " << len << " bytes loaded";
+    EXPECT_EQ(d.size(), 0u) << "partial state leaked at len " << len;
+    EXPECT_EQ(s.size(), 0u) << "partial state leaked at len " << len;
+  }
+  std::remove(path.c_str());
+}
+
+// ...and so does a flip of any single bit anywhere in the file.
+TEST(KgSnapshotTest, EverySingleBitFlipFailsClosed) {
+  rdf::TermDict dict;
+  rdf::TripleStore store;
+  MakeSmallGraph(&dict, &store);
+  std::string path = ::testing::TempDir() + "/openbg_snapshot_flip.snap";
+  ASSERT_TRUE(rdf::SaveSnapshot(dict, store, path).ok());
+  const std::string blob = ReadWholeFile(path);
+
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      WriteWholeFile(path, blob);
+      ASSERT_TRUE(util::FlipBit(path, byte, bit).ok());
+      rdf::TermDict d;
+      rdf::TripleStore s;
+      util::Status st = rdf::LoadSnapshot(path, &d, &s);
+      EXPECT_FALSE(st.ok())
+          << "flip of byte " << byte << " bit " << bit << " loaded";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KgSnapshotTest, SaveFailureKeepsPreviousSnapshot) {
+  rdf::TermDict dict;
+  rdf::TripleStore store;
+  MakeSmallGraph(&dict, &store);
+  std::string path = ::testing::TempDir() + "/openbg_snapshot_keep.snap";
+  ASSERT_TRUE(rdf::SaveSnapshot(dict, store, path).ok());
+
+  util::failpoints::Arm("atomic_file::rename");
+  rdf::TermDict dict2;
+  dict2.AddIri("http://openbg.example/other");
+  rdf::TripleStore store2;
+  EXPECT_FALSE(rdf::SaveSnapshot(dict2, store2, path).ok());
+  util::failpoints::DisarmAll();
+
+  rdf::TermDict loaded_dict;
+  rdf::TripleStore loaded_store;
+  ASSERT_TRUE(rdf::LoadSnapshot(path, &loaded_dict, &loaded_store).ok());
+  EXPECT_EQ(loaded_dict.size(), dict.size());
+  EXPECT_EQ(loaded_store.size(), store.size());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ trainer checkpoint
+
+Dataset MakeCheckpointDataset(size_t n = 40) {
+  Dataset ds;
+  ds.name = "ckpt";
+  for (size_t i = 0; i < n; ++i) {
+    ds.entity_names.push_back("e" + std::to_string(i));
+    ds.entity_text.push_back("t" + std::to_string(i));
+    ds.entity_images.push_back({});
+  }
+  for (uint32_t r = 0; r < 3; ++r) {
+    ds.relation_names.push_back("rel" + std::to_string(r));
+  }
+  for (uint32_t h = 0; h < n; ++h) {
+    for (uint32_t r = 0; r < 3; ++r) {
+      ds.train.push_back({h, r, static_cast<uint32_t>((h + 7 * (r + 1)) % n)});
+    }
+  }
+  for (size_t i = 0; i < 10; ++i) ds.dev.push_back(ds.train[i * 3]);
+  ds.test = ds.dev;
+  return ds;
+}
+
+std::vector<std::vector<float>> SnapshotParams(kge::KgeModel* model) {
+  std::vector<std::vector<float>> out;
+  model->VisitParams([&out](const std::string&, nn::Matrix* m) {
+    out.emplace_back(m->data(), m->data() + m->size());
+  });
+  return out;
+}
+
+TEST(CheckpointTest, ResumeIsBitIdenticalToUninterruptedRun) {
+  Dataset ds = MakeCheckpointDataset();
+  std::string path = ::testing::TempDir() + "/openbg_transe.ckpt";
+  std::remove(path.c_str());
+
+  kge::TrainConfig config;
+  config.epochs = 6;
+  config.batch_size = 32;
+  config.lr = 0.05f;
+  config.seed = 17;
+
+  // Reference: 6 epochs straight through, no checkpointing.
+  util::Rng rng_a(99);
+  kge::TransE uninterrupted(ds.num_entities(), ds.num_relations(), 16, 1.0f,
+                            &rng_a);
+  double loss_a = TrainKgeModel(&uninterrupted, ds, config);
+
+  // "Crashed" run: 3 epochs with checkpointing, then a fresh model resumes
+  // from the checkpoint and finishes epochs 3..5.
+  util::Rng rng_b(99);
+  kge::TransE crashed(ds.num_entities(), ds.num_relations(), 16, 1.0f,
+                      &rng_b);
+  kge::TrainConfig half = config;
+  half.epochs = 3;
+  half.checkpoint_path = path;
+  TrainKgeModel(&crashed, ds, half);
+  ASSERT_TRUE(util::FileExists(path));
+
+  util::Rng rng_c(99);
+  kge::TransE resumed(ds.num_entities(), ds.num_relations(), 16, 1.0f,
+                      &rng_c);
+  kge::TrainConfig full = config;
+  full.checkpoint_path = path;
+  double loss_c = TrainKgeModel(&resumed, ds, full);
+
+  EXPECT_EQ(loss_a, loss_c);
+  std::vector<std::vector<float>> pa = SnapshotParams(&uninterrupted);
+  std::vector<std::vector<float>> pc = SnapshotParams(&resumed);
+  ASSERT_EQ(pa.size(), pc.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i], pc[i]) << "parameter block " << i << " diverged";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FinishedCheckpointMakesRetrainingANoOp) {
+  Dataset ds = MakeCheckpointDataset();
+  std::string path = ::testing::TempDir() + "/openbg_transe_done.ckpt";
+  std::remove(path.c_str());
+
+  kge::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 32;
+  config.checkpoint_path = path;
+
+  util::Rng rng(5);
+  kge::TransE model(ds.num_entities(), ds.num_relations(), 16, 1.0f, &rng);
+  double loss = TrainKgeModel(&model, ds, config);
+
+  util::Rng rng2(5);
+  kge::TransE again(ds.num_entities(), ds.num_relations(), 16, 1.0f, &rng2);
+  EXPECT_EQ(TrainKgeModel(&again, ds, config), loss);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsWrongModelAndWrongShape) {
+  Dataset ds = MakeCheckpointDataset();
+  std::string path = ::testing::TempDir() + "/openbg_mismatch.ckpt";
+  util::Rng rng(3);
+  kge::TransE transe(ds.num_entities(), ds.num_relations(), 16, 1.0f, &rng);
+  kge::TrainerCheckpoint ckpt;
+  ckpt.model_name = transe.name();
+  ckpt.next_epoch = 1;
+  ASSERT_TRUE(kge::SaveCheckpoint(ckpt, &transe, path).ok());
+
+  kge::TrainerCheckpoint loaded;
+  kge::TransH transh(ds.num_entities(), ds.num_relations(), 16, 1.0f, &rng);
+  util::Status st = kge::LoadCheckpoint(path, &transh, &loaded);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+
+  kge::TransE narrow(ds.num_entities(), ds.num_relations(), 8, 1.0f, &rng);
+  st = kge::LoadCheckpoint(path, &narrow, &loaded);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CorruptCheckpointFailsClosedAndKeepsModelParams) {
+  Dataset ds = MakeCheckpointDataset();
+  std::string path = ::testing::TempDir() + "/openbg_corrupt.ckpt";
+  util::Rng rng(3);
+  kge::TransE writer(ds.num_entities(), ds.num_relations(), 16, 1.0f, &rng);
+  kge::TrainerCheckpoint ckpt;
+  ckpt.model_name = writer.name();
+  ASSERT_TRUE(kge::SaveCheckpoint(ckpt, &writer, path).ok());
+
+  // Corrupt one payload bit deep inside the params section.
+  auto size = util::FileSize(path);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(util::FlipBit(path, size.value() - 16, 3).ok());
+
+  kge::TransE reader(ds.num_entities(), ds.num_relations(), 16, 1.0f, &rng);
+  std::vector<std::vector<float>> before = SnapshotParams(&reader);
+  kge::TrainerCheckpoint loaded;
+  EXPECT_FALSE(kge::LoadCheckpoint(path, &reader, &loaded).ok());
+  EXPECT_EQ(SnapshotParams(&reader), before)
+      << "failed load must leave the model untouched";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace openbg

@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+
+#include "util/parse.h"
 
 #include "util/histogram.h"
 #include "util/rng.h"
@@ -277,6 +280,76 @@ TEST(TsvTest, MissingFileIsIoError) {
   EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
 }
 
+TEST(TsvTest, WriteRowRejectsFieldsThatWouldShearTheFile) {
+  std::string path = ::testing::TempDir() + "/openbg_util_reject.tsv";
+  TsvWriter w(path);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w.WriteRow({"clean", "row"}).ok());
+  EXPECT_EQ(w.WriteRow({"embedded\ttab"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(w.WriteRow({"embedded\nnewline"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(w.WriteRow({"embedded\rcr"}).code(),
+            StatusCode::kInvalidArgument);
+  // The first rejection latches: Close() surfaces it even for callers that
+  // ignored the per-row statuses, and the bad rows were never written.
+  Status st = w.Close();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  auto rows = ReadTsv(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"clean", "row"}));
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, LenientReadSkipsShortRows) {
+  std::string path = ::testing::TempDir() + "/openbg_util_lenient.tsv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a\tb\tc\nshort\nd\te\tf\nx\ty\n", f);
+    std::fclose(f);
+  }
+  // Strict: the first short row kills the read.
+  EXPECT_FALSE(ReadTsv(path, 3).ok());
+
+  ParseOptions lenient;
+  lenient.policy = ParsePolicy::kSkipAndReport;
+  ParseReport report;
+  auto rows = ReadTsv(path, 3, lenient, &report);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.skipped, 2u);
+  ASSERT_EQ(report.error_samples.size(), 2u);
+  EXPECT_EQ(report.error_samples[0].line, 2u);
+  EXPECT_EQ(report.error_samples[1].line, 4u);
+
+  // max_errors caps how much garbage a "successful" load may contain.
+  ParseOptions capped = lenient;
+  capped.max_errors = 1;
+  ParseReport capped_report;
+  EXPECT_FALSE(ReadTsv(path, 3, capped, &capped_report).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ParseReportTest, SummaryAndSampleCap) {
+  ParseOptions options;
+  options.max_error_samples = 2;
+  ParseReport report;
+  report.records = 5;
+  report.AddError(options, 3, "bad record");
+  report.AddError(options, 8, "worse record");
+  report.AddError(options, 9, "dropped sample");
+  EXPECT_EQ(report.skipped, 3u);
+  ASSERT_EQ(report.error_samples.size(), 2u);
+  EXPECT_EQ(report.error_samples[0].line, 3u);
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("5 records"), std::string::npos);
+  EXPECT_NE(summary.find("3 skipped"), std::string::npos);
+  EXPECT_NE(summary.find("bad record"), std::string::npos);
+}
+
 // Property sweep: Uniform(n) stays in range and hits both endpoints across
 // a spread of n.
 class UniformRangeTest : public ::testing::TestWithParam<uint64_t> {};
@@ -369,6 +442,49 @@ TEST(ParallelForTest, NullPoolAndTinyRangesRunInline) {
     total.fetch_add(end - begin);
   });
   EXPECT_EQ(total.load(), 0u);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.WaitIdle();
+  pool.WaitIdle();
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  // 8 workers over 3 items: some shards are empty; every index is still
+  // covered exactly once.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  for (auto& v : visits) v.store(0);
+  ParallelFor(&pool, 3, [&visits](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ShardExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::atomic<size_t> completed{0};
+  EXPECT_THROW(
+      ParallelFor(&pool, 100,
+                  [&completed](size_t shard, size_t, size_t) {
+                    if (shard == 1) throw std::runtime_error("shard boom");
+                    completed.fetch_add(1);
+                  }),
+      std::runtime_error);
+  // Every non-throwing shard still ran; the pool is reusable afterwards.
+  EXPECT_EQ(completed.load(), 3u);
+  std::atomic<size_t> total{0};
+  ParallelFor(&pool, 100, [&total](size_t, size_t begin, size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 100u);
 }
 
 }  // namespace
