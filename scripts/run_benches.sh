@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build and run the kernel / evaluator micro-benchmarks and write a
+# machine-readable report to BENCH_kernels.json (google-benchmark JSON
+# format). Each bench appears as a scalar/dispatched pair (or a
+# per-triple/query-batched pair for the evaluator), so the speedup claims
+# in DESIGN.md can be re-derived from the JSON alone.
+# Usage: scripts/run_benches.sh [extra benchmark args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_kernels.json}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_benchmarks
+
+"$BUILD_DIR"/bench/micro_benchmarks \
+  --benchmark_filter='BM_Gemm|BM_DotKernel|BM_L1DistanceKernel|BM_ScoreTails|BM_FilteredEvaluation' \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote $OUT"

@@ -58,9 +58,7 @@ void DistMult::ScoreTails(uint32_t h, uint32_t r,
   const float* hh = ent_.Row(h);
   const float* rr = rel_.Row(r);
   for (size_t i = 0; i < dim_; ++i) q[i] = hh[i] * rr[i];
-  for (uint32_t t = 0; t < num_entities_; ++t) {
-    (*out)[t] = nn::Dot(q.data(), ent_.Row(t), dim_);
-  }
+  nn::RowDots(ent_.matrix(), q.data(), dim_, out);
 }
 
 void DistMult::ScoreHeads(uint32_t r, uint32_t t,
@@ -131,36 +129,30 @@ void ComplEx::ScoreTails(uint32_t h, uint32_t r,
   // q_re = h_re*r_re - h_im*r_im ... careful with conj(t):
   // Re(<h,r,conj(t)>) = (h_re r_re - h_im r_im?).. expand from ScoreTriple:
   // s = sum tre*(rre*hre - rim*him) + tim*(rre*him + rim*hre).
-  std::vector<float> qre(dim_), qim(dim_);
+  // Entity rows store [re | im] contiguously, so with q = [q_re | q_im]
+  // every entity's score is one dot of length 2*dim — a single GEMV.
+  std::vector<float> q(2 * dim_);
   const float* hh = ent_.Row(h);
   const float* rr = rel_.Row(r);
   for (size_t i = 0; i < dim_; ++i) {
-    qre[i] = rr[i] * hh[i] - rr[dim_ + i] * hh[dim_ + i];
-    qim[i] = rr[i] * hh[dim_ + i] + rr[dim_ + i] * hh[i];
+    q[i] = rr[i] * hh[i] - rr[dim_ + i] * hh[dim_ + i];
+    q[dim_ + i] = rr[i] * hh[dim_ + i] + rr[dim_ + i] * hh[i];
   }
-  for (uint32_t t = 0; t < num_entities_; ++t) {
-    const float* tt = ent_.Row(t);
-    (*out)[t] = nn::Dot(qre.data(), tt, dim_) +
-                nn::Dot(qim.data(), tt + dim_, dim_);
-  }
+  nn::RowDots(ent_.matrix(), q.data(), 2 * dim_, out);
 }
 
 void ComplEx::ScoreHeads(uint32_t r, uint32_t t,
                          std::vector<float>* out) const {
   out->resize(num_entities_);
   // s = sum hre*(rre*tre + rim*tim) + him*(rre*tim - rim*tre).
-  std::vector<float> qre(dim_), qim(dim_);
+  std::vector<float> q(2 * dim_);
   const float* tt = ent_.Row(t);
   const float* rr = rel_.Row(r);
   for (size_t i = 0; i < dim_; ++i) {
-    qre[i] = rr[i] * tt[i] + rr[dim_ + i] * tt[dim_ + i];
-    qim[i] = rr[i] * tt[dim_ + i] - rr[dim_ + i] * tt[i];
+    q[i] = rr[i] * tt[i] + rr[dim_ + i] * tt[dim_ + i];
+    q[dim_ + i] = rr[i] * tt[dim_ + i] - rr[dim_ + i] * tt[i];
   }
-  for (uint32_t h = 0; h < num_entities_; ++h) {
-    const float* hh = ent_.Row(h);
-    (*out)[h] = nn::Dot(qre.data(), hh, dim_) +
-                nn::Dot(qim.data(), hh + dim_, dim_);
-  }
+  nn::RowDots(ent_.matrix(), q.data(), 2 * dim_, out);
 }
 
 void ComplEx::ApplyGrad(const LpTriple& t, float dscore, float lr) {
@@ -222,8 +214,7 @@ void TuckEr::RelationMatrix(uint32_t r, std::vector<float>* m) const {
   for (size_t i = 0; i < dr_; ++i) {
     float ri = rr[i];
     if (ri == 0.0f) continue;
-    const float* wi = core_.data() + i * de_ * de_;
-    for (size_t jk = 0; jk < de_ * de_; ++jk) (*m)[jk] += ri * wi[jk];
+    nn::Axpy(ri, core_.data() + i * de_ * de_, m->data(), de_ * de_);
   }
 }
 
@@ -252,12 +243,9 @@ void TuckEr::ScoreTails(uint32_t h, uint32_t r,
   for (size_t j = 0; j < de_; ++j) {
     float hj = hh[j];
     if (hj == 0.0f) continue;
-    const float* mj = m.data() + j * de_;
-    for (size_t k = 0; k < de_; ++k) v[k] += hj * mj[k];
+    nn::Axpy(hj, m.data() + j * de_, v.data(), de_);
   }
-  for (uint32_t t = 0; t < num_entities_; ++t) {
-    (*out)[t] = nn::Dot(v.data(), ent_.Row(t), de_);
-  }
+  nn::RowDots(ent_.matrix(), v.data(), de_, out);
 }
 
 void TuckEr::ScoreHeads(uint32_t r, uint32_t t,
@@ -270,9 +258,7 @@ void TuckEr::ScoreHeads(uint32_t r, uint32_t t,
   for (size_t j = 0; j < de_; ++j) {
     w[j] = nn::Dot(m.data() + j * de_, tt, de_);
   }
-  for (uint32_t h = 0; h < num_entities_; ++h) {
-    (*out)[h] = nn::Dot(w.data(), ent_.Row(h), de_);
-  }
+  nn::RowDots(ent_.matrix(), w.data(), de_, out);
 }
 
 double TuckEr::OneToAllStep(uint32_t h, uint32_t r,
@@ -286,8 +272,7 @@ double TuckEr::OneToAllStep(uint32_t h, uint32_t r,
   for (size_t j = 0; j < de_; ++j) {
     float hj = hh[j];
     if (hj == 0.0f) continue;
-    const float* mj = m.data() + j * de_;
-    for (size_t k = 0; k < de_; ++k) v[k] += hj * mj[k];
+    nn::Axpy(hj, m.data() + j * de_, v.data(), de_);
   }
   // Multi-label BCE against all entities (label smoothing 0.1 as in the
   // original). dlogit = p - y, scaled by 1/E to keep updates bounded.
@@ -298,9 +283,10 @@ double TuckEr::OneToAllStep(uint32_t h, uint32_t r,
   std::vector<char> is_tail(num_entities_, 0);
   for (uint32_t t : tails) is_tail[t] = 1;
   const float inv_e = 1.0f / static_cast<float>(num_entities_);
+  std::vector<float> logits;
+  nn::RowDots(ent_.matrix(), v.data(), de_, &logits);
   for (uint32_t t = 0; t < num_entities_; ++t) {
-    float logit = nn::Dot(v.data(), ent_.Row(t), de_);
-    float p = 1.0f / (1.0f + std::exp(-logit));
+    float p = 1.0f / (1.0f + std::exp(-logits[t]));
     float y = is_tail[t] ? smooth_pos : smooth_neg;
     loss -= y * std::log(std::max(p, 1e-12f)) +
             (1.0f - y) * std::log(std::max(1.0f - p, 1e-12f));
@@ -314,10 +300,8 @@ double TuckEr::OneToAllStep(uint32_t h, uint32_t r,
     float g = dlogits[t];
     if (g == 0.0f) continue;
     float* et = ent_.Row(t);
-    for (size_t k = 0; k < de_; ++k) {
-      dv[k] += g * et[k];
-      et[k] -= lr * g * v[k];
-    }
+    nn::Axpy(g, et, dv.data(), de_);
+    nn::Axpy(-lr * g, v.data(), et, de_);
   }
   // v = h^T M: dh_j = M[j] . dv ; dM[j][k] = h_j dv_k;
   // M = sum_i r_i W_i: dr_i = <W_i, dM> ; dW_i = r_i dM.

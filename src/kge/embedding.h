@@ -33,28 +33,21 @@ class EmbeddingTable {
 
   /// row -= lr * grad.
   void Update(uint32_t i, const float* grad, float lr) {
-    float* row = table_.Row(i);
-    for (size_t d = 0; d < dim(); ++d) row[d] -= lr * grad[d];
+    nn::Axpy(-lr, grad, table_.Row(i), dim());
   }
 
   /// Rescales row i to unit L2 norm if it exceeds 1 (the TransE constraint).
   void ProjectToUnitBall(uint32_t i) {
     float* row = table_.Row(i);
     float n = nn::Norm2(row, dim());
-    if (n > 1.0f) {
-      float inv = 1.0f / n;
-      for (size_t d = 0; d < dim(); ++d) row[d] *= inv;
-    }
+    if (n > 1.0f) nn::Scale(1.0f / n, row, dim());
   }
 
   /// Normalizes row i to exactly unit L2 norm.
   void NormalizeRow(uint32_t i) {
     float* row = table_.Row(i);
     float n = nn::Norm2(row, dim());
-    if (n > 1e-12f) {
-      float inv = 1.0f / n;
-      for (size_t d = 0; d < dim(); ++d) row[d] *= inv;
-    }
+    if (n > 1e-12f) nn::Scale(1.0f / n, row, dim());
   }
 
   nn::Matrix& matrix() { return table_; }

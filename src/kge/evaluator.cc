@@ -35,12 +35,12 @@ RankingEvaluator::RankingEvaluator(const Dataset& dataset, Options options)
   }
 }
 
-size_t RankingEvaluator::RankOf(const std::vector<float>& scores,
+size_t RankingEvaluator::RankOf(const float* scores, size_t n,
                                 uint32_t gold,
                                 const std::vector<uint32_t>& skip) const {
   const float gold_score = scores[gold];
   size_t better = 0;
-  for (size_t i = 0; i < scores.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     if (i == gold) continue;
     if (scores[i] > gold_score) ++better;
   }
@@ -51,6 +51,15 @@ size_t RankingEvaluator::RankOf(const std::vector<float>& scores,
   return better + 1;
 }
 
+const std::vector<uint32_t>& RankingEvaluator::SkipFor(
+    const std::unordered_map<uint64_t, std::vector<uint32_t>>& index,
+    uint64_t key) const {
+  static const std::vector<uint32_t> kNoSkip;
+  if (!options_.filtered) return kNoSkip;
+  auto it = index.find(key);
+  return it != index.end() ? it->second : kNoSkip;
+}
+
 RankingMetrics RankingEvaluator::Evaluate(KgeModel* model) const {
   return EvaluateOn(model, dataset_->test);
 }
@@ -58,43 +67,97 @@ RankingMetrics RankingEvaluator::Evaluate(KgeModel* model) const {
 RankingMetrics RankingEvaluator::EvaluateOn(
     KgeModel* model, const std::vector<LpTriple>& triples) const {
   model->PrepareEval();
-  static const std::vector<uint32_t> kNoSkip;
   const size_t limit = options_.max_triples > 0
                            ? std::min(options_.max_triples, triples.size())
                            : triples.size();
 
-  // Phase 1 (parallelizable): integer ranks per triple. Each shard owns a
-  // private score buffer and writes disjoint slots of the rank arrays, so
-  // workers share only the frozen model and filter maps.
+  // Phase 1 (parallelizable): integer ranks per triple, written into
+  // per-triple slots so the phase-2 fold below runs in original triple
+  // order regardless of how phase 1 was scheduled.
   std::vector<size_t> tail_ranks(limit);
   std::vector<size_t> head_ranks(options_.both_directions ? limit : 0);
-  auto rank_range = [&](size_t /*shard*/, size_t begin, size_t end) {
-    std::vector<float> scores;
-    for (size_t i = begin; i < end; ++i) {
+
+  if (options_.query_batched) {
+    // Group triples by unique query; each unique (h, r) tail-query (and
+    // (t, r) head-query) is scored exactly once, and every gold entity
+    // sharing it ranks from that same buffer. Queries keep first-occurrence
+    // order, which makes the work list deterministic; correctness doesn't
+    // depend on it since each triple's rank lands in its own slot.
+    struct Query {
+      uint32_t a, r;
+      std::vector<size_t> triple_idx;
+    };
+    std::vector<Query> tail_queries, head_queries;
+    std::unordered_map<uint64_t, size_t> tail_index, head_index;
+    for (size_t i = 0; i < limit; ++i) {
       const LpTriple& t = triples[i];
-      model->ScoreTails(t.h, t.r, &scores);
-      const std::vector<uint32_t>* skip = &kNoSkip;
-      if (options_.filtered) {
-        auto it = true_tails_.find(PairKey(t.h, t.r));
-        if (it != true_tails_.end()) skip = &it->second;
-      }
-      tail_ranks[i] = RankOf(scores, t.t, *skip);
+      auto [it, fresh] =
+          tail_index.emplace(PairKey(t.h, t.r), tail_queries.size());
+      if (fresh) tail_queries.push_back({t.h, t.r, {}});
+      tail_queries[it->second].triple_idx.push_back(i);
       if (options_.both_directions) {
-        model->ScoreHeads(t.r, t.t, &scores);
-        const std::vector<uint32_t>* hskip = &kNoSkip;
-        if (options_.filtered) {
-          auto it = true_heads_.find(PairKey(t.t, t.r));
-          if (it != true_heads_.end()) hskip = &it->second;
-        }
-        head_ranks[i] = RankOf(scores, t.h, *hskip);
+        auto [hit, hfresh] =
+            head_index.emplace(PairKey(t.t, t.r), head_queries.size());
+        if (hfresh) head_queries.push_back({t.t, t.r, {}});
+        head_queries[hit->second].triple_idx.push_back(i);
       }
     }
-  };
-  if (options_.num_threads > 1 && limit > 1) {
-    util::ThreadPool pool(std::min(options_.num_threads, limit));
-    util::ParallelFor(&pool, limit, rank_range);
+    // One flat job list (tail queries then head queries) so both
+    // directions share the thread shards.
+    const size_t num_tail = tail_queries.size();
+    const size_t num_jobs = num_tail + head_queries.size();
+    auto run_jobs = [&](size_t /*shard*/, size_t begin, size_t end) {
+      std::vector<float> scores;
+      for (size_t j = begin; j < end; ++j) {
+        if (j < num_tail) {
+          const Query& q = tail_queries[j];
+          model->ScoreTails(q.a, q.r, &scores);
+          const auto& skip = SkipFor(true_tails_, PairKey(q.a, q.r));
+          for (size_t i : q.triple_idx) {
+            tail_ranks[i] =
+                RankOf(scores.data(), scores.size(), triples[i].t, skip);
+          }
+        } else {
+          const Query& q = head_queries[j - num_tail];
+          model->ScoreHeads(q.r, q.a, &scores);
+          const auto& skip = SkipFor(true_heads_, PairKey(q.a, q.r));
+          for (size_t i : q.triple_idx) {
+            head_ranks[i] =
+                RankOf(scores.data(), scores.size(), triples[i].h, skip);
+          }
+        }
+      }
+    };
+    if (options_.num_threads > 1 && num_jobs > 1) {
+      util::ThreadPool pool(std::min(options_.num_threads, num_jobs));
+      util::ParallelFor(&pool, num_jobs, run_jobs);
+    } else {
+      run_jobs(0, 0, num_jobs);
+    }
   } else {
-    rank_range(0, 0, limit);
+    // Per-triple reference path: each shard owns a private score buffer
+    // and writes disjoint slots of the rank arrays, so workers share only
+    // the frozen model and filter maps.
+    auto rank_range = [&](size_t /*shard*/, size_t begin, size_t end) {
+      std::vector<float> scores;
+      for (size_t i = begin; i < end; ++i) {
+        const LpTriple& t = triples[i];
+        model->ScoreTails(t.h, t.r, &scores);
+        const auto& skip = SkipFor(true_tails_, PairKey(t.h, t.r));
+        tail_ranks[i] = RankOf(scores.data(), scores.size(), t.t, skip);
+        if (options_.both_directions) {
+          model->ScoreHeads(t.r, t.t, &scores);
+          const auto& hskip = SkipFor(true_heads_, PairKey(t.t, t.r));
+          head_ranks[i] = RankOf(scores.data(), scores.size(), t.h, hskip);
+        }
+      }
+    };
+    if (options_.num_threads > 1 && limit > 1) {
+      util::ThreadPool pool(std::min(options_.num_threads, limit));
+      util::ParallelFor(&pool, limit, rank_range);
+    } else {
+      rank_range(0, 0, limit);
+    }
   }
 
   // Phase 2 (serial): fold ranks into metrics in triple order. Ranks are

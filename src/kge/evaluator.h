@@ -42,6 +42,15 @@ class RankingEvaluator {
     /// which every KgeModel guarantees (caches fill in PrepareEval).
     /// Results are bit-identical to the serial path at any thread count.
     size_t num_threads = 1;
+    /// Deduplicate repeated queries: group test triples by unique (h, r)
+    /// tail-query (and (t, r) head-query), score each unique query once,
+    /// and rank every gold entity sharing it from the same score buffer —
+    /// O(unique_queries) full-entity scans instead of O(triples). Both
+    /// paths call the same deterministic ScoreTails/ScoreHeads and the
+    /// same integer-rank fold in original triple order, so metrics are
+    /// bitwise identical either way, at any thread count. Off = the
+    /// per-triple reference path (kept for tests/benchmarks).
+    bool query_batched = true;
   };
 
   /// The filter set is built from train+dev+test of `dataset`.
@@ -56,12 +65,20 @@ class RankingEvaluator {
                             const std::vector<LpTriple>& triples) const;
 
  private:
-  // Rank of `gold` among `scores` with ties broken optimistically
+  // Rank of `gold` among the n scores with ties broken optimistically
   // (rank = 1 + #strictly-better), filtering `skip` candidates. `skip`
   // must be duplicate-free: each filtered candidate that outscores gold
-  // is subtracted exactly once.
-  size_t RankOf(const std::vector<float>& scores, uint32_t gold,
+  // is subtracted exactly once. Takes a raw buffer so the query-batched
+  // path can rank many gold entities from one shared score buffer with
+  // no copies.
+  size_t RankOf(const float* scores, size_t n, uint32_t gold,
                 const std::vector<uint32_t>& skip) const;
+
+  // The skip list for a query key, or an empty sentinel when unfiltered
+  // or unknown.
+  const std::vector<uint32_t>& SkipFor(
+      const std::unordered_map<uint64_t, std::vector<uint32_t>>& index,
+      uint64_t key) const;
 
   const Dataset* dataset_;
   Options options_;

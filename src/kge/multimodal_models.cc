@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "nn/loss.h"
 #include "util/logging.h"
 
@@ -44,8 +45,7 @@ bool MultimodalBase::ProjectImage(uint32_t e, float* out) const {
   for (size_t i = 0; i < image_dim_; ++i) {
     float xi = img[i] * image_scale_;
     if (xi == 0.0f) continue;
-    const float* prow = proj_.Row(i);
-    for (size_t d = 0; d < dim_; ++d) out[d] += xi * prow[d];
+    nn::Axpy(xi, proj_.Row(i), out, dim_);
   }
   return true;
 }
@@ -57,8 +57,7 @@ void MultimodalBase::UpdateProjection(uint32_t e, const float* dout,
   for (size_t i = 0; i < image_dim_; ++i) {
     float xi = img[i] * image_scale_;
     if (xi == 0.0f) continue;
-    float* prow = proj_.Row(i);
-    for (size_t d = 0; d < dim_; ++d) prow[d] -= lr * xi * dout[d];
+    nn::Axpy(-lr * xi, dout, proj_.Row(i), dim_);
   }
 }
 
@@ -78,8 +77,7 @@ TransAeModel::TransAeModel(const Dataset& dataset, size_t dim, float margin,
 
 void TransAeModel::Fused(uint32_t e, float* out) const {
   ProjectImage(e, out);
-  const float* s = ent_.Row(e);
-  for (size_t d = 0; d < dim_; ++d) out[d] += s[d];
+  nn::Axpy(1.0f, ent_.Row(e), out, dim_);
 }
 
 void TransAeModel::PrepareEval() {
@@ -111,10 +109,7 @@ void TransAeModel::ScoreTails(uint32_t h, uint32_t r,
   const float* rr = rel_.Row(r);
   for (size_t d = 0; d < dim_; ++d) target[d] = fh[d] + rr[d];
   for (uint32_t t = 0; t < num_entities_; ++t) {
-    const float* ft = fused_cache_.Row(t);
-    float s = 0.0f;
-    for (size_t d = 0; d < dim_; ++d) s += std::fabs(target[d] - ft[d]);
-    (*out)[t] = -s;
+    (*out)[t] = -nn::L1Distance(target.data(), fused_cache_.Row(t), dim_);
   }
 }
 
@@ -127,10 +122,7 @@ void TransAeModel::ScoreHeads(uint32_t r, uint32_t t,
   const float* rr = rel_.Row(r);
   for (size_t d = 0; d < dim_; ++d) target[d] = ft[d] - rr[d];
   for (uint32_t h = 0; h < num_entities_; ++h) {
-    const float* fh = fused_cache_.Row(h);
-    float s = 0.0f;
-    for (size_t d = 0; d < dim_; ++d) s += std::fabs(fh[d] - target[d]);
-    (*out)[h] = -s;
+    (*out)[h] = -nn::L1Distance(fused_cache_.Row(h), target.data(), dim_);
   }
 }
 
@@ -169,8 +161,7 @@ double TransAeModel::ReconStep(uint32_t e, float lr) {
   for (size_t d = 0; d < dim_; ++d) {
     float zd = z[d];
     if (zd == 0.0f) continue;
-    const float* drow = decoder_.Row(d);
-    for (size_t i = 0; i < image_dim_; ++i) xhat[i] += zd * drow[i];
+    nn::Axpy(zd, decoder_.Row(d), xhat.data(), image_dim_);
   }
   double loss = 0.0;
   std::vector<float> dxhat(image_dim_);
@@ -183,10 +174,8 @@ double TransAeModel::ReconStep(uint32_t e, float lr) {
   std::vector<float> dz(dim_, 0.0f);
   for (size_t d = 0; d < dim_; ++d) {
     float* drow = decoder_.Row(d);
-    for (size_t i = 0; i < image_dim_; ++i) {
-      dz[d] += drow[i] * dxhat[i];
-      drow[i] -= lr * z[d] * dxhat[i];
-    }
+    dz[d] = nn::Dot(drow, dxhat.data(), image_dim_);
+    nn::Axpy(-lr * z[d], dxhat.data(), drow, image_dim_);
   }
   UpdateProjection(e, dz.data(), lr);
   return recon_weight_ * loss;
@@ -264,10 +253,7 @@ void RsmeModel::ScoreTails(uint32_t h, uint32_t r,
   const float* rr = rel_.Row(r);
   for (size_t d = 0; d < dim_; ++d) target[d] = fh[d] + rr[d];
   for (uint32_t t = 0; t < num_entities_; ++t) {
-    const float* ft = fused_cache_.Row(t);
-    float s = 0.0f;
-    for (size_t d = 0; d < dim_; ++d) s += std::fabs(target[d] - ft[d]);
-    (*out)[t] = -s;
+    (*out)[t] = -nn::L1Distance(target.data(), fused_cache_.Row(t), dim_);
   }
 }
 
@@ -280,10 +266,7 @@ void RsmeModel::ScoreHeads(uint32_t r, uint32_t t,
   const float* rr = rel_.Row(r);
   for (size_t d = 0; d < dim_; ++d) target[d] = ft[d] - rr[d];
   for (uint32_t h = 0; h < num_entities_; ++h) {
-    const float* fh = fused_cache_.Row(h);
-    float s = 0.0f;
-    for (size_t d = 0; d < dim_; ++d) s += std::fabs(fh[d] - target[d]);
-    (*out)[h] = -s;
+    (*out)[h] = -nn::L1Distance(fused_cache_.Row(h), target.data(), dim_);
   }
 }
 
@@ -435,12 +418,8 @@ void MkgFusionModel::ScoreTails(uint32_t h, uint32_t r,
     const float* rr = rels[c]->Row(r);
     for (size_t d = 0; d < dim_; ++d) target[d] = hc[d] + rr[d];
     for (uint32_t t = 0; t < num_entities_; ++t) {
-      const float* tc = channel_cache_[c].Row(t);
-      float dist = 0.0f;
-      for (size_t d = 0; d < dim_; ++d) {
-        dist += std::fabs(target[d] - tc[d]);
-      }
-      (*out)[t] -= w[c] * dist;
+      (*out)[t] -= w[c] * nn::L1Distance(target.data(),
+                                         channel_cache_[c].Row(t), dim_);
     }
   }
 }
@@ -459,12 +438,8 @@ void MkgFusionModel::ScoreHeads(uint32_t r, uint32_t t,
     const float* rr = rels[c]->Row(r);
     for (size_t d = 0; d < dim_; ++d) target[d] = tc[d] - rr[d];
     for (uint32_t h = 0; h < num_entities_; ++h) {
-      const float* hc = channel_cache_[c].Row(h);
-      float dist = 0.0f;
-      for (size_t d = 0; d < dim_; ++d) {
-        dist += std::fabs(hc[d] - target[d]);
-      }
-      (*out)[h] -= w[c] * dist;
+      (*out)[h] -= w[c] * nn::L1Distance(channel_cache_[c].Row(h),
+                                         target.data(), dim_);
     }
   }
 }

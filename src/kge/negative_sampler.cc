@@ -71,11 +71,17 @@ LpTriple NegativeSampler::Corrupt(const LpTriple& pos) {
   return neg;
 }
 
+void NegativeSampler::CorruptBatch(const std::vector<LpTriple>& batch,
+                                   std::vector<LpTriple>* out) {
+  out->clear();
+  out->reserve(batch.size());
+  for (const LpTriple& t : batch) out->push_back(Corrupt(t));
+}
+
 std::vector<LpTriple> NegativeSampler::CorruptBatch(
     const std::vector<LpTriple>& batch) {
   std::vector<LpTriple> out;
-  out.reserve(batch.size());
-  for (const LpTriple& t : batch) out.push_back(Corrupt(t));
+  CorruptBatch(batch, &out);
   return out;
 }
 

@@ -30,7 +30,12 @@ class NegativeSampler {
   /// One corrupted counterpart for `pos`.
   LpTriple Corrupt(const LpTriple& pos);
 
-  /// Aligned negatives for a batch.
+  /// Aligned negatives for a batch, into a caller-provided vector whose
+  /// capacity survives across batches (the training loop reuses one).
+  void CorruptBatch(const std::vector<LpTriple>& batch,
+                    std::vector<LpTriple>* out);
+
+  /// Allocating convenience overload.
   std::vector<LpTriple> CorruptBatch(const std::vector<LpTriple>& batch);
 
   /// True iff the triple is a known positive (train split).

@@ -12,9 +12,7 @@ namespace {
 /// Plain SGD over explicit parameters (the text models' dense heads).
 void SgdStep(const std::vector<nn::Parameter*>& params, float lr) {
   for (nn::Parameter* p : params) {
-    float* v = p->value.data();
-    const float* g = p->grad.data();
-    for (size_t i = 0; i < p->value.size(); ++i) v[i] -= lr * g[i];
+    nn::Axpy(-lr, p->grad.data(), p->value.data(), p->value.size());
     p->ZeroGrad();
   }
 }
@@ -221,10 +219,7 @@ void StarStyleModel::ScoreTails(uint32_t h, uint32_t r,
   OPENBG_CHECK(enc_valid_) << "PrepareEval() not called";
   std::vector<float> q;
   QueryVector(h, r, &q);
-  out->resize(num_entities_);
-  for (uint32_t t = 0; t < num_entities_; ++t) {
-    (*out)[t] = nn::Dot(q.data(), tail_enc_.Row(t), dim_);
-  }
+  nn::RowDots(tail_enc_, q.data(), dim_, out);
 }
 
 void StarStyleModel::ScoreHeads(uint32_t r, uint32_t t,
@@ -235,10 +230,7 @@ void StarStyleModel::ScoreHeads(uint32_t r, uint32_t t,
   // encodings (the tail tower) against the query built from the tail.
   std::vector<float> q;
   QueryVector(t, r, &q);
-  out->resize(num_entities_);
-  for (uint32_t h = 0; h < num_entities_; ++h) {
-    (*out)[h] = nn::Dot(q.data(), tail_enc_.Row(h), dim_);
-  }
+  nn::RowDots(tail_enc_, q.data(), dim_, out);
 }
 
 double StarStyleModel::TrainPairs(const std::vector<LpTriple>& pos,

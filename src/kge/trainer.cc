@@ -54,18 +54,21 @@ double TrainKgeModel(KgeModel* model, const Dataset& dataset,
     sampler.RestoreRngState(ckpt.sampler_rng);
   }
 
+  // Reused across batches and epochs: both vectors reach full batch
+  // capacity within the first epoch and never reallocate again.
+  std::vector<LpTriple> batch, negs;
+  batch.reserve(std::min<size_t>(config.batch_size, order.size()));
   for (size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     size_t batches = 0;
     for (size_t pos = 0; pos < order.size(); pos += config.batch_size) {
-      std::vector<LpTriple> batch;
       size_t end = std::min(pos + config.batch_size, order.size());
-      batch.reserve(end - pos);
+      batch.clear();
       for (size_t i = pos; i < end; ++i) {
         batch.push_back(dataset.train[order[i]]);
       }
-      std::vector<LpTriple> negs = sampler.CorruptBatch(batch);
+      sampler.CorruptBatch(batch, &negs);
       epoch_loss += model->TrainPairs(batch, negs, config.lr);
       model->PostStep();
       ++batches;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "nn/kernels.h"
 #include "nn/loss.h"
 
 namespace openbg::kge {
@@ -41,10 +43,7 @@ void TransE::ScoreTails(uint32_t h, uint32_t r,
   const float* rr = rel_.Row(r);
   for (size_t d = 0; d < dim_; ++d) target[d] = hh[d] + rr[d];
   for (uint32_t t = 0; t < num_entities_; ++t) {
-    const float* tt = ent_.Row(t);
-    float s = 0.0f;
-    for (size_t d = 0; d < dim_; ++d) s += std::fabs(target[d] - tt[d]);
-    (*out)[t] = -s;
+    (*out)[t] = -nn::L1Distance(target.data(), ent_.Row(t), dim_);
   }
 }
 
@@ -56,10 +55,7 @@ void TransE::ScoreHeads(uint32_t r, uint32_t t,
   const float* tt = ent_.Row(t);
   for (size_t d = 0; d < dim_; ++d) target[d] = tt[d] - rr[d];
   for (uint32_t h = 0; h < num_entities_; ++h) {
-    const float* hh = ent_.Row(h);
-    float s = 0.0f;
-    for (size_t d = 0; d < dim_; ++d) s += std::fabs(hh[d] - target[d]);
-    (*out)[h] = -s;
+    (*out)[h] = -nn::L1Distance(ent_.Row(h), target.data(), dim_);
   }
 }
 
@@ -141,14 +137,16 @@ void TransH::ScoreTails(uint32_t h, uint32_t r,
   for (size_t i = 0; i < dim_; ++i) {
     target[i] = hh[i] - wh * ww[i] + dd[i];
   }
+  // |target - (t - (w.t) w)| = |(target + (w.t) w) - t|: shift the query
+  // side so the candidate side is a raw embedding row and the scan is a
+  // dot + axpy + L1, all vectorized.
+  std::vector<float> shifted(dim_);
   for (uint32_t t = 0; t < num_entities_; ++t) {
     const float* tt = ent_.Row(t);
     float wt = nn::Dot(ww, tt, dim_);
-    float s = 0.0f;
-    for (size_t i = 0; i < dim_; ++i) {
-      s += std::fabs(target[i] - (tt[i] - wt * ww[i]));
-    }
-    (*out)[t] = -s;
+    std::memcpy(shifted.data(), target.data(), dim_ * sizeof(float));
+    nn::Axpy(wt, ww, shifted.data(), dim_);
+    (*out)[t] = -nn::L1Distance(shifted.data(), tt, dim_);
   }
 }
 
@@ -163,14 +161,13 @@ void TransH::ScoreHeads(uint32_t r, uint32_t t,
   for (size_t i = 0; i < dim_; ++i) {
     target[i] = tt[i] - wt * ww[i] - dd[i];
   }
+  std::vector<float> shifted(dim_);
   for (uint32_t h = 0; h < num_entities_; ++h) {
     const float* hh = ent_.Row(h);
     float wh = nn::Dot(ww, hh, dim_);
-    float s = 0.0f;
-    for (size_t i = 0; i < dim_; ++i) {
-      s += std::fabs((hh[i] - wh * ww[i]) - target[i]);
-    }
-    (*out)[h] = -s;
+    std::memcpy(shifted.data(), target.data(), dim_ * sizeof(float));
+    nn::Axpy(wh, ww, shifted.data(), dim_);
+    (*out)[h] = -nn::L1Distance(hh, shifted.data(), dim_);
   }
 }
 
@@ -256,6 +253,40 @@ float TransD::ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const {
   Project(h, r, hp.data());
   Project(t, r, tp.data());
   return -L1Distance(hp.data(), rel_.Row(r), tp.data(), dim_);
+}
+
+void TransD::ScoreTails(uint32_t h, uint32_t r,
+                        std::vector<float>* out) const {
+  out->resize(num_entities_);
+  std::vector<float> target(dim_);
+  Project(h, r, target.data());
+  nn::Axpy(1.0f, rel_.Row(r), target.data(), dim_);  // target = h_perp + r
+  const float* rp = rel_p_.Row(r);
+  std::vector<float> proj(dim_);
+  for (uint32_t t = 0; t < num_entities_; ++t) {
+    const float* ee = ent_.Row(t);
+    float dot = nn::Dot(ent_p_.Row(t), ee, dim_);
+    std::memcpy(proj.data(), ee, dim_ * sizeof(float));
+    nn::Axpy(dot, rp, proj.data(), dim_);  // proj = t_perp
+    (*out)[t] = -nn::L1Distance(target.data(), proj.data(), dim_);
+  }
+}
+
+void TransD::ScoreHeads(uint32_t r, uint32_t t,
+                        std::vector<float>* out) const {
+  out->resize(num_entities_);
+  std::vector<float> target(dim_);
+  Project(t, r, target.data());
+  nn::Axpy(-1.0f, rel_.Row(r), target.data(), dim_);  // target = t_perp - r
+  const float* rp = rel_p_.Row(r);
+  std::vector<float> proj(dim_);
+  for (uint32_t h = 0; h < num_entities_; ++h) {
+    const float* ee = ent_.Row(h);
+    float dot = nn::Dot(ent_p_.Row(h), ee, dim_);
+    std::memcpy(proj.data(), ee, dim_ * sizeof(float));
+    nn::Axpy(dot, rp, proj.data(), dim_);  // proj = h_perp
+    (*out)[h] = -nn::L1Distance(proj.data(), target.data(), dim_);
+  }
 }
 
 void TransD::ApplyGrad(const LpTriple& t, float direction, float lr) {

@@ -75,6 +75,10 @@ class TransD : public KgeModel {
 
   std::string name() const override { return "TransD"; }
   float ScoreTriple(uint32_t h, uint32_t r, uint32_t t) const override;
+  void ScoreTails(uint32_t h, uint32_t r,
+                  std::vector<float>* out) const override;
+  void ScoreHeads(uint32_t r, uint32_t t,
+                  std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
   void VisitParams(const ParamVisitor& fn) override;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/simd.h"
+
 namespace openbg::nn {
 
 void Gemm(const Matrix& a, bool transpose_a, const Matrix& b,
@@ -13,72 +15,20 @@ void Gemm(const Matrix& a, bool transpose_a, const Matrix& b,
   const size_t n = transpose_b ? b.rows() : b.cols();
   OPENBG_CHECK(k == k2) << "gemm inner dim mismatch " << k << " vs " << k2;
   OPENBG_CHECK(c->rows() == m && c->cols() == n) << "gemm output shape";
-
-  if (beta != 1.0f) {
-    if (beta == 0.0f) {
-      c->Zero();
-    } else {
-      for (size_t i = 0; i < c->size(); ++i) c->data()[i] *= beta;
-    }
-  }
-  // Four loop-order specializations keep the innermost loop contiguous.
-  if (!transpose_a && !transpose_b) {
-    for (size_t i = 0; i < m; ++i) {
-      const float* arow = a.Row(i);
-      float* crow = c->Row(i);
-      for (size_t p = 0; p < k; ++p) {
-        float av = alpha * arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b.Row(p);
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else if (!transpose_a && transpose_b) {
-    for (size_t i = 0; i < m; ++i) {
-      const float* arow = a.Row(i);
-      float* crow = c->Row(i);
-      for (size_t j = 0; j < n; ++j) {
-        crow[j] += alpha * Dot(arow, b.Row(j), k);
-      }
-    }
-  } else if (transpose_a && !transpose_b) {
-    for (size_t p = 0; p < k; ++p) {
-      const float* arow = a.Row(p);  // a is k x m
-      const float* brow = b.Row(p);
-      for (size_t i = 0; i < m; ++i) {
-        float av = alpha * arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c->Row(i);
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else {
-    for (size_t i = 0; i < m; ++i) {
-      float* crow = c->Row(i);
-      for (size_t j = 0; j < n; ++j) {
-        // sum_p a(p,i) * b(j,p)
-        float s = 0.0f;
-        const float* brow = b.Row(j);
-        for (size_t p = 0; p < k; ++p) s += a(p, i) * brow[p];
-        crow[j] += alpha * s;
-      }
-    }
-  }
+  simd::Active().gemm(transpose_a, transpose_b, m, n, k, alpha, a.data(),
+                      a.cols(), b.data(), b.cols(), beta, c->data(),
+                      c->cols());
 }
 
 void Axpy(float alpha, const Matrix& x, Matrix* y) {
   OPENBG_CHECK(x.rows() == y->rows() && x.cols() == y->cols());
-  const float* xd = x.data();
-  float* yd = y->data();
-  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+  simd::Axpy(alpha, x.data(), y->data(), x.size());
 }
 
 void AddRowBias(const Matrix& bias, Matrix* m) {
   OPENBG_CHECK(bias.rows() == 1 && bias.cols() == m->cols());
   for (size_t r = 0; r < m->rows(); ++r) {
-    float* row = m->Row(r);
-    const float* b = bias.Row(0);
-    for (size_t c = 0; c < m->cols(); ++c) row[c] += b[c];
+    simd::Axpy(1.0f, bias.Row(0), m->Row(r), m->cols());
   }
 }
 
@@ -86,8 +36,7 @@ void SumRowsInto(const Matrix& m, Matrix* out) {
   OPENBG_CHECK(out->rows() == 1 && out->cols() == m.cols());
   float* o = out->Row(0);
   for (size_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.Row(r);
-    for (size_t c = 0; c < m.cols(); ++c) o[c] += row[c];
+    simd::Axpy(1.0f, m.Row(r), o, m.cols());
   }
 }
 
@@ -140,13 +89,31 @@ void TanhBackward(const Matrix& y, const Matrix& dy, Matrix* dx) {
 }
 
 float Dot(const float* a, const float* b, size_t n) {
-  float s = 0.0f;
-  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
-  return s;
+  return simd::Dot(a, b, n);
 }
 
-float Norm2(const float* a, size_t n) {
-  return std::sqrt(Dot(a, a, n));
+float Norm2(const float* a, size_t n) { return simd::Norm2(a, n); }
+
+float L1Distance(const float* a, const float* b, size_t n) {
+  return simd::L1Distance(a, b, n);
+}
+
+float L2DistanceSquared(const float* a, const float* b, size_t n) {
+  return simd::L2DistanceSquared(a, b, n);
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  simd::Axpy(alpha, x, y, n);
+}
+
+void Scale(float alpha, float* x, size_t n) { simd::Scale(alpha, x, n); }
+
+void RowDots(const Matrix& m, const float* q, size_t d,
+             std::vector<float>* out) {
+  OPENBG_CHECK(d <= m.cols()) << "RowDots query longer than rows";
+  out->resize(m.rows());
+  simd::Active().gemm(/*trans_a=*/false, /*trans_b=*/true, m.rows(), 1, d,
+                      1.0f, m.data(), m.cols(), q, d, 0.0f, out->data(), 1);
 }
 
 }  // namespace openbg::nn

@@ -1,13 +1,16 @@
 #ifndef OPENBG_NN_KERNELS_H_
 #define OPENBG_NN_KERNELS_H_
 
+#include <vector>
+
 #include "nn/matrix.h"
 
 namespace openbg::nn {
 
 /// C = alpha * op(A) * op(B) + beta * C, with op = transpose when the flag
-/// is set. Shapes are CHECKed. Straightforward ikj loop ordering — fast
-/// enough for the scaled-down experiments and has no external dependency.
+/// is set. Shapes are CHECKed, then the work runs on the dispatched SIMD
+/// backend (simd::Active()): register-blocked tiles for genuine matrix
+/// products, dot/axpy fast paths for matrix-vector shapes.
 void Gemm(const Matrix& a, bool transpose_a, const Matrix& b,
           bool transpose_b, float alpha, float beta, Matrix* c);
 
@@ -40,6 +43,24 @@ float Dot(const float* a, const float* b, size_t n);
 
 /// L2 norm of a row.
 float Norm2(const float* a, size_t n);
+
+/// sum_i |a[i] - b[i]| — the translational-model scoring primitive.
+float L1Distance(const float* a, const float* b, size_t n);
+
+/// sum_i (a[i] - b[i])^2.
+float L2DistanceSquared(const float* a, const float* b, size_t n);
+
+/// y[i] += alpha * x[i] over raw rows.
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+/// x[i] *= alpha over a raw row.
+void Scale(float alpha, float* x, size_t n);
+
+/// out[i] = <q, m.Row(i)> for every row of m, as one rows x 1 matrix-vector
+/// product through the dispatched gemm. `d` is the query length and may be
+/// at most m.cols() (candidate-scoring against a prefix of each row).
+void RowDots(const Matrix& m, const float* q, size_t d,
+             std::vector<float>* out);
 
 }  // namespace openbg::nn
 

@@ -39,11 +39,9 @@ void EmbeddingBag::Forward(
     if (bag.empty()) continue;
     float* row = out->Row(i);
     for (uint32_t f : bag) {
-      const float* e = table_.value.Row(f % vocab_size());
-      for (size_t j = 0; j < d; ++j) row[j] += e[j];
+      Axpy(1.0f, table_.value.Row(f % vocab_size()), row, d);
     }
-    float inv = 1.0f / static_cast<float>(bag.size());
-    for (size_t j = 0; j < d; ++j) row[j] *= inv;
+    Scale(1.0f / static_cast<float>(bag.size()), row, d);
   }
 }
 
@@ -57,8 +55,7 @@ void EmbeddingBag::Backward(
     const float* drow = dout.Row(i);
     float inv = 1.0f / static_cast<float>(bag.size());
     for (uint32_t f : bag) {
-      float* g = table_.grad.Row(f % vocab_size());
-      for (size_t j = 0; j < d; ++j) g[j] += inv * drow[j];
+      Axpy(inv, drow, table_.grad.Row(f % vocab_size()), d);
     }
   }
 }

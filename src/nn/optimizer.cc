@@ -2,16 +2,17 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace openbg::nn {
 
 void SgdOptimizer::Step() {
   for (Parameter* p : params_) {
     float* v = p->value.data();
-    float* g = p->grad.data();
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      float grad = g[i] + weight_decay_ * v[i];
-      v[i] -= lr_ * grad;
-    }
+    const size_t n = p->value.size();
+    // v -= lr * (g + wd * v) == scale by (1 - lr*wd), then plain axpy.
+    if (weight_decay_ != 0.0f) Scale(1.0f - lr_ * weight_decay_, v, n);
+    Axpy(-lr_, p->grad.data(), v, n);
     p->ZeroGrad();
   }
 }

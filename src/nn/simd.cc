@@ -1,0 +1,631 @@
+#include "nn/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define OPENBG_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define OPENBG_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace openbg::nn::simd {
+namespace {
+
+// Register-blocking shape shared by every vector backend: the micro-kernel
+// computes an MR x NR tile of C, packed panels are zero-padded to these
+// multiples so edge tiles need no special kernel.
+constexpr size_t kMr = 6;
+constexpr size_t kNr = 16;
+// Cache blocking: KC sizes the packed panels' k extent (A panel kMr*KC and
+// B panel kNr*KC both fit L1), MC/NC bound the packed block footprints.
+constexpr size_t kKc = 256;
+constexpr size_t kMc = 72;   // multiple of kMr
+constexpr size_t kNc = 256;  // multiple of kNr
+
+// ------------------------------------------------------------------ scalar
+// The reference backend. Bit-for-bit the pre-SIMD behavior of this repo
+// (float accumulators, left-to-right sums), so OPENBG_KERNEL=scalar
+// reproduces historical numbers exactly.
+
+namespace scalar {
+
+float Dot(const float* a, const float* b, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+float L1Distance(const float* a, const float* b, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+float L2DistanceSquared(const float* a, const float* b, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+void ApplyBeta(float beta, size_t m, size_t n, float* c, size_t ldc) {
+  if (beta == 1.0f) return;
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, n * sizeof(float));
+    } else {
+      for (size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+}
+
+void Gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
+          float alpha, const float* a, size_t lda, const float* b,
+          size_t ldb, float beta, float* c, size_t ldc) {
+  ApplyBeta(beta, m, n, c, ldc);
+  // Four loop-order specializations keep the innermost loop contiguous.
+  if (!trans_a && !trans_b) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * ldc;
+      for (size_t p = 0; p < k; ++p) {
+        float av = alpha * arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * ldb;
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * ldc;
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += alpha * Dot(arow, b + j * ldb, k);
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (size_t p = 0; p < k; ++p) {
+      const float* arow = a + p * lda;  // a is k x m
+      const float* brow = b + p * ldb;
+      for (size_t i = 0; i < m; ++i) {
+        float av = alpha * arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c + i * ldc;
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      for (size_t j = 0; j < n; ++j) {
+        // sum_p a(p,i) * b(j,p)
+        float s = 0.0f;
+        const float* brow = b + j * ldb;
+        for (size_t p = 0; p < k; ++p) s += a[p * lda + i] * brow[p];
+        crow[j] += alpha * s;
+      }
+    }
+  }
+}
+
+}  // namespace scalar
+
+// ----------------------------------------------------- shared gemm driver
+// The blocked driver is backend-independent: packing is plain C++, the
+// per-backend micro-kernel and dot/axpy/scale primitives arrive as function
+// pointers. Matrix-vector shapes short-circuit into dot/axpy loops — a
+// packed kernel would waste (kMr*kNr)/k of its FMAs on zero padding there.
+
+using MicroKernelFn = void (*)(size_t kc, const float* a, const float* b,
+                               float* out);
+
+// Element (i, p) of op(A) for an m x k operand stored row-major at `a`.
+inline float OpA(bool trans_a, const float* a, size_t lda, size_t i,
+                 size_t p) {
+  return trans_a ? a[p * lda + i] : a[i * lda + p];
+}
+// Element (p, j) of op(B) for a k x n operand.
+inline float OpB(bool trans_b, const float* b, size_t ldb, size_t p,
+                 size_t j) {
+  return trans_b ? b[j * ldb + p] : b[p * ldb + j];
+}
+
+// Packs an mc x kc block of op(A) starting at (row0, col0) into kMr-row
+// panels: panel ip holds column-interleaved rows [ip*kMr, ip*kMr + kMr),
+// zero-padded past mc.
+void PackA(bool trans_a, const float* a, size_t lda, size_t row0,
+           size_t col0, size_t mc, size_t kc, float* packed) {
+  for (size_t ip = 0; ip < mc; ip += kMr) {
+    for (size_t p = 0; p < kc; ++p) {
+      for (size_t i = 0; i < kMr; ++i) {
+        *packed++ = (ip + i < mc)
+                        ? OpA(trans_a, a, lda, row0 + ip + i, col0 + p)
+                        : 0.0f;
+      }
+    }
+  }
+}
+
+// Packs a kc x nc block of op(B) starting at (row0, col0) into kNr-column
+// panels, zero-padded past nc.
+void PackB(bool trans_b, const float* b, size_t ldb, size_t row0,
+           size_t col0, size_t kc, size_t nc, float* packed) {
+  for (size_t jp = 0; jp < nc; jp += kNr) {
+    for (size_t p = 0; p < kc; ++p) {
+      for (size_t j = 0; j < kNr; ++j) {
+        *packed++ = (jp + j < nc)
+                        ? OpB(trans_b, b, ldb, row0 + p, col0 + jp + j)
+                        : 0.0f;
+      }
+    }
+  }
+}
+
+struct GemmPrims {
+  float (*dot)(const float*, const float*, size_t);
+  void (*axpy)(float, const float*, float*, size_t);
+  void (*scale)(float, float*, size_t);
+  MicroKernelFn micro_kernel;
+};
+
+void GemmDriver(const GemmPrims& prims, bool trans_a, bool trans_b, size_t m,
+                size_t n, size_t k, float alpha, const float* a, size_t lda,
+                const float* b, size_t ldb, float beta, float* c,
+                size_t ldc) {
+  if (m == 0 || n == 0) return;
+  // GEMV fast paths. op(A)'s row 0 is contiguous when !trans_a; op(B)'s
+  // column j is contiguous when trans_b (or trivially when ldb == 1).
+  if (m == 1 && !trans_a) {
+    if (beta == 0.0f) {
+      std::memset(c, 0, n * sizeof(float));
+    } else if (beta != 1.0f) {
+      prims.scale(beta, c, n);
+    }
+    if (trans_b) {
+      for (size_t j = 0; j < n; ++j) {
+        c[j] += alpha * prims.dot(a, b + j * ldb, k);
+      }
+    } else {
+      for (size_t p = 0; p < k; ++p) {
+        float av = alpha * a[p];
+        if (av == 0.0f) continue;
+        prims.axpy(av, b + p * ldb, c, n);
+      }
+    }
+    return;
+  }
+  if (n == 1 && !trans_a && (trans_b || ldb == 1)) {
+    // c[i] = beta c[i] + alpha <A row i, b>, b contiguous either way.
+    for (size_t i = 0; i < m; ++i) {
+      float acc = alpha * prims.dot(a + i * lda, b, k);
+      c[i * ldc] = (beta == 0.0f) ? acc : beta * c[i * ldc] + acc;
+    }
+    return;
+  }
+
+  scalar::ApplyBeta(beta, m, n, c, ldc);
+  thread_local std::vector<float> packed_a;
+  thread_local std::vector<float> packed_b;
+  float tile[kMr * kNr];
+  for (size_t jc = 0; jc < n; jc += kNc) {
+    const size_t nc = std::min(kNc, n - jc);
+    const size_t nc_padded = (nc + kNr - 1) / kNr * kNr;
+    for (size_t pc = 0; pc < k; pc += kKc) {
+      const size_t kc = std::min(kKc, k - pc);
+      packed_b.resize(nc_padded * kc);
+      PackB(trans_b, b, ldb, pc, jc, kc, nc, packed_b.data());
+      for (size_t ic = 0; ic < m; ic += kMc) {
+        const size_t mc = std::min(kMc, m - ic);
+        const size_t mc_padded = (mc + kMr - 1) / kMr * kMr;
+        packed_a.resize(mc_padded * kc);
+        PackA(trans_a, a, lda, ic, pc, mc, kc, packed_a.data());
+        for (size_t jr = 0; jr < nc; jr += kNr) {
+          const float* bp = packed_b.data() + (jr / kNr) * kc * kNr;
+          const size_t nr = std::min(kNr, nc - jr);
+          for (size_t ir = 0; ir < mc; ir += kMr) {
+            const float* ap = packed_a.data() + (ir / kMr) * kc * kMr;
+            const size_t mr = std::min(kMr, mc - ir);
+            prims.micro_kernel(kc, ap, bp, tile);
+            for (size_t i = 0; i < mr; ++i) {
+              float* crow = c + (ic + ir + i) * ldc + jc + jr;
+              const float* trow = tile + i * kNr;
+              for (size_t j = 0; j < nr; ++j) {
+                crow[j] += alpha * trow[j];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------- AVX2
+// Compiled with per-function target attributes so a generic x86-64 build
+// still carries these bodies; dispatch gates them behind a CPUID check.
+
+#if OPENBG_SIMD_X86
+
+__attribute__((target("avx2,fma"))) inline float Hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  return _mm_cvtss_f32(lo);
+}
+
+namespace avx2 {
+
+__attribute__((target("avx2,fma")))
+float Dot(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  float s = Hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+__attribute__((target("avx2,fma")))
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vy = _mm256_loadu_ps(y + i);
+    vy = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy);
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2,fma")))
+void Scale(float alpha, float* x, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(va, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx2,fma")))
+float L1Distance(const float* a, const float* b, size_t n) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                              _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_add_ps(acc0, _mm256_andnot_ps(sign_mask, d0));
+    acc1 = _mm256_add_ps(acc1, _mm256_andnot_ps(sign_mask, d1));
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_add_ps(acc0, _mm256_andnot_ps(sign_mask, d));
+  }
+  float s = Hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+__attribute__((target("avx2,fma")))
+float L2DistanceSquared(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                              _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float s = Hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// 6x16 micro-kernel: 12 YMM accumulators + 2 B lanes + 1 A broadcast stay
+// resident in the 16 architectural registers; panels arrive packed and
+// zero-padded, so no edge logic here.
+__attribute__((target("avx2,fma")))
+void MicroKernel(size_t kc, const float* a, const float* b, float* out) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b);
+    const __m256 b1 = _mm256_loadu_ps(b + 8);
+    b += kNr;
+    __m256 av;
+    av = _mm256_set1_ps(a[0]);
+    c00 = _mm256_fmadd_ps(av, b0, c00);
+    c01 = _mm256_fmadd_ps(av, b1, c01);
+    av = _mm256_set1_ps(a[1]);
+    c10 = _mm256_fmadd_ps(av, b0, c10);
+    c11 = _mm256_fmadd_ps(av, b1, c11);
+    av = _mm256_set1_ps(a[2]);
+    c20 = _mm256_fmadd_ps(av, b0, c20);
+    c21 = _mm256_fmadd_ps(av, b1, c21);
+    av = _mm256_set1_ps(a[3]);
+    c30 = _mm256_fmadd_ps(av, b0, c30);
+    c31 = _mm256_fmadd_ps(av, b1, c31);
+    av = _mm256_set1_ps(a[4]);
+    c40 = _mm256_fmadd_ps(av, b0, c40);
+    c41 = _mm256_fmadd_ps(av, b1, c41);
+    av = _mm256_set1_ps(a[5]);
+    c50 = _mm256_fmadd_ps(av, b0, c50);
+    c51 = _mm256_fmadd_ps(av, b1, c51);
+    a += kMr;
+  }
+  _mm256_storeu_ps(out + 0 * kNr, c00);
+  _mm256_storeu_ps(out + 0 * kNr + 8, c01);
+  _mm256_storeu_ps(out + 1 * kNr, c10);
+  _mm256_storeu_ps(out + 1 * kNr + 8, c11);
+  _mm256_storeu_ps(out + 2 * kNr, c20);
+  _mm256_storeu_ps(out + 2 * kNr + 8, c21);
+  _mm256_storeu_ps(out + 3 * kNr, c30);
+  _mm256_storeu_ps(out + 3 * kNr + 8, c31);
+  _mm256_storeu_ps(out + 4 * kNr, c40);
+  _mm256_storeu_ps(out + 4 * kNr + 8, c41);
+  _mm256_storeu_ps(out + 5 * kNr, c50);
+  _mm256_storeu_ps(out + 5 * kNr + 8, c51);
+}
+
+void Gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
+          float alpha, const float* a, size_t lda, const float* b,
+          size_t ldb, float beta, float* c, size_t ldc) {
+  static const GemmPrims prims = {Dot, Axpy, Scale, MicroKernel};
+  GemmDriver(prims, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta,
+             c, ldc);
+}
+
+}  // namespace avx2
+
+#endif  // OPENBG_SIMD_X86
+
+// -------------------------------------------------------------------- NEON
+// aarch64 mandates NEON, so no runtime feature check is needed — the whole
+// backend is simply the default there.
+
+#if OPENBG_SIMD_NEON
+
+namespace neon {
+
+inline float Hsum(float32x4_t v) { return vaddvq_f32(v); }
+
+float Dot(const float* a, const float* b, size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+  }
+  float s = Hsum(vaddq_f32(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vfmaq_n_f32(vld1q_f32(y + i), vld1q_f32(x + i), alpha));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float alpha, float* x, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(x + i, vmulq_n_f32(vld1q_f32(x + i), alpha));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+float L1Distance(const float* a, const float* b, size_t n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = vaddq_f32(acc, vabdq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  float s = Hsum(acc);
+  for (; i < n; ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+float L2DistanceSquared(const float* a, const float* b, size_t n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t d = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    acc = vfmaq_f32(acc, d, d);
+  }
+  float s = Hsum(acc);
+  for (; i < n; ++i) {
+    float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// 6x16 micro-kernel mirroring the AVX2 one: 24 q-register accumulators plus
+// the 4 B lanes fit aarch64's 32 vector registers.
+void MicroKernel(size_t kc, const float* a, const float* b, float* out) {
+  float32x4_t acc[kMr][4];
+  for (size_t i = 0; i < kMr; ++i) {
+    for (size_t j = 0; j < 4; ++j) acc[i][j] = vdupq_n_f32(0.0f);
+  }
+  for (size_t p = 0; p < kc; ++p) {
+    float32x4_t b0 = vld1q_f32(b);
+    float32x4_t b1 = vld1q_f32(b + 4);
+    float32x4_t b2 = vld1q_f32(b + 8);
+    float32x4_t b3 = vld1q_f32(b + 12);
+    b += kNr;
+    for (size_t i = 0; i < kMr; ++i) {
+      const float av = a[i];
+      acc[i][0] = vfmaq_n_f32(acc[i][0], b0, av);
+      acc[i][1] = vfmaq_n_f32(acc[i][1], b1, av);
+      acc[i][2] = vfmaq_n_f32(acc[i][2], b2, av);
+      acc[i][3] = vfmaq_n_f32(acc[i][3], b3, av);
+    }
+    a += kMr;
+  }
+  for (size_t i = 0; i < kMr; ++i) {
+    for (size_t j = 0; j < 4; ++j) vst1q_f32(out + i * kNr + j * 4, acc[i][j]);
+  }
+}
+
+void Gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
+          float alpha, const float* a, size_t lda, const float* b,
+          size_t ldb, float beta, float* c, size_t ldc) {
+  static const GemmPrims prims = {Dot, Axpy, Scale, MicroKernel};
+  GemmDriver(prims, trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta,
+             c, ldc);
+}
+
+}  // namespace neon
+
+#endif  // OPENBG_SIMD_NEON
+
+// ---------------------------------------------------------------- dispatch
+
+constexpr KernelTable kScalarTable = {
+    "scalar",          scalar::Dot,
+    scalar::Axpy,      scalar::Scale,
+    scalar::L1Distance, scalar::L2DistanceSquared,
+    scalar::Gemm,
+};
+
+#if OPENBG_SIMD_X86
+constexpr KernelTable kAvx2Table = {
+    "avx2",           avx2::Dot,
+    avx2::Axpy,       avx2::Scale,
+    avx2::L1Distance, avx2::L2DistanceSquared,
+    avx2::Gemm,
+};
+bool Avx2Supported() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+#endif
+
+#if OPENBG_SIMD_NEON
+constexpr KernelTable kNeonTable = {
+    "neon",           neon::Dot,
+    neon::Axpy,       neon::Scale,
+    neon::L1Distance, neon::L2DistanceSquared,
+    neon::Gemm,
+};
+#endif
+
+const KernelTable* PickAuto() {
+#if OPENBG_SIMD_X86
+  if (Avx2Supported()) return &kAvx2Table;
+#endif
+#if OPENBG_SIMD_NEON
+  return &kNeonTable;
+#endif
+  return &kScalarTable;
+}
+
+// nullptr = request names a backend this CPU cannot run.
+const KernelTable* ResolveName(const std::string& name) {
+  if (name.empty() || name == "auto") return PickAuto();
+  if (name == "scalar") return &kScalarTable;
+#if OPENBG_SIMD_X86
+  if (name == "avx2" && Avx2Supported()) return &kAvx2Table;
+#endif
+#if OPENBG_SIMD_NEON
+  if (name == "neon") return &kNeonTable;
+#endif
+  return nullptr;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const KernelTable& Scalar() { return kScalarTable; }
+
+const KernelTable& Active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    const char* env = std::getenv("OPENBG_KERNEL");
+    const std::string req = env == nullptr ? "" : env;
+    t = ResolveName(req);
+    if (t == nullptr) {
+      OPENBG_LOG(Warning) << "OPENBG_KERNEL=" << req
+                          << " unknown or unsupported here; using auto";
+      t = PickAuto();
+    }
+    // Racing first calls all resolve to the same table; the store is
+    // idempotent.
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+std::vector<std::string> SupportedKernels() {
+  std::vector<std::string> names = {"scalar"};
+#if OPENBG_SIMD_X86
+  if (Avx2Supported()) names.push_back("avx2");
+#endif
+#if OPENBG_SIMD_NEON
+  names.push_back("neon");
+#endif
+  return names;
+}
+
+bool ForceKernel(const std::string& name) {
+  const KernelTable* t = ResolveName(name);
+  if (t == nullptr) return false;
+  g_active.store(t, std::memory_order_release);
+  return true;
+}
+
+}  // namespace openbg::nn::simd

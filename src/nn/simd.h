@@ -1,0 +1,90 @@
+#ifndef OPENBG_NN_SIMD_H_
+#define OPENBG_NN_SIMD_H_
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace openbg::nn::simd {
+
+/// Table of the data-parallel primitives every hot loop in the repo reduces
+/// to. One table per backend (scalar reference, AVX2+FMA, NEON); the active
+/// table is picked once at startup from the CPU and the OPENBG_KERNEL
+/// environment override, so callers pay one indirect call per *vector*, not
+/// per element.
+///
+/// Numerical contract: every backend computes the same mathematical result,
+/// but vector backends reassociate sums (8-lane partial accumulators), so
+/// floats may differ from the scalar reference in the low bits — see
+/// DESIGN.md "SIMD kernel dispatch" for the tolerance policy. Within one
+/// backend, results are deterministic and thread-count independent: all
+/// functions here are pure (or write only caller-owned memory) and safe to
+/// call concurrently.
+struct KernelTable {
+  const char* name;
+
+  /// sum_i a[i] * b[i].
+  float (*dot)(const float* a, const float* b, size_t n);
+  /// y[i] += alpha * x[i].
+  void (*axpy)(float alpha, const float* x, float* y, size_t n);
+  /// x[i] *= alpha.
+  void (*scale)(float alpha, float* x, size_t n);
+  /// sum_i |a[i] - b[i]|.
+  float (*l1_distance)(const float* a, const float* b, size_t n);
+  /// sum_i (a[i] - b[i])^2.
+  float (*l2_distance_squared)(const float* a, const float* b, size_t n);
+  /// C = alpha * op(A) op(B) + beta * C over row-major buffers with leading
+  /// dimensions (BLAS sgemm shape: op(A) is m x k, op(B) is k x n). The
+  /// vector backends special-case matrix-vector shapes (m == 1 or n == 1)
+  /// into dot/axpy loops and run genuine m x n x k problems through a
+  /// register-blocked packed kernel.
+  void (*gemm)(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
+               float alpha, const float* a, size_t lda, const float* b,
+               size_t ldb, float beta, float* c, size_t ldc);
+};
+
+/// The always-available scalar reference backend.
+const KernelTable& Scalar();
+
+/// The dispatched backend: best supported CPU backend, unless the
+/// OPENBG_KERNEL environment variable (read once, at first use) says
+/// otherwise. Values: "scalar" forces the reference path, "auto" (or unset)
+/// picks the best, an explicit backend name ("avx2", "neon") selects it if
+/// supported. Unknown or unsupported values fall back to "auto" with a
+/// warning.
+const KernelTable& Active();
+
+/// Backends usable on this machine ("scalar" always included).
+std::vector<std::string> SupportedKernels();
+
+/// Test/bench hook: override dispatch at runtime. Accepts the same values
+/// as OPENBG_KERNEL; returns false (and leaves dispatch unchanged) when the
+/// named backend is not supported on this CPU. Not thread-safe against
+/// concurrent kernel calls — flip it only between parallel regions.
+bool ForceKernel(const std::string& name);
+
+// ---- Convenience wrappers over the active table --------------------------
+
+inline float Dot(const float* a, const float* b, size_t n) {
+  return Active().dot(a, b, n);
+}
+inline void Axpy(float alpha, const float* x, float* y, size_t n) {
+  Active().axpy(alpha, x, y, n);
+}
+inline void Scale(float alpha, float* x, size_t n) {
+  Active().scale(alpha, x, n);
+}
+inline float L1Distance(const float* a, const float* b, size_t n) {
+  return Active().l1_distance(a, b, n);
+}
+inline float L2DistanceSquared(const float* a, const float* b, size_t n) {
+  return Active().l2_distance_squared(a, b, n);
+}
+inline float Norm2(const float* a, size_t n) {
+  return std::sqrt(Active().dot(a, a, n));
+}
+
+}  // namespace openbg::nn::simd
+
+#endif  // OPENBG_NN_SIMD_H_

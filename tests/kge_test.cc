@@ -439,6 +439,63 @@ TEST(EvaluatorTest, ParallelMetricsAreBitIdenticalToSerial) {
   }
 }
 
+TEST(EvaluatorTest, QueryBatchedMetricsAreBitIdenticalToPerTriple) {
+  // A world built to exercise query dedup: relation 0 maps each head to TWO
+  // tails, so the test split repeats (h, r) tail-queries (and, since tails
+  // are shared between neighboring heads, (t, r) head-queries too). The
+  // batched path must score each unique query once yet reproduce the
+  // per-triple reference metrics exactly.
+  Dataset ds;
+  ds.name = "multi-tail";
+  const uint32_t n = 30;
+  for (uint32_t i = 0; i < n; ++i) {
+    ds.entity_names.push_back("e" + std::to_string(i));
+    ds.entity_text.push_back(util::StrFormat("uniq%u", i));
+    ds.entity_images.push_back({});
+  }
+  ds.relation_names.push_back("rel0");
+  for (uint32_t h = 0; h < n; ++h) {
+    ds.train.push_back({h, 0, (h + 1) % n});
+    ds.train.push_back({h, 0, (h + 2) % n});
+  }
+  for (size_t i = 0; i < 24; ++i) ds.test.push_back(ds.train[i]);
+  ds.dev = ds.test;
+
+  util::Rng rng(97);
+  TransE model(ds.num_entities(), ds.num_relations(), 16, 1.0f, &rng);
+  TrainConfig config;
+  config.epochs = 5;
+  config.batch_size = 16;
+  TrainKgeModel(&model, ds, config);
+
+  for (bool both : {false, true}) {
+    RankingEvaluator::Options per_triple;
+    per_triple.filtered = true;
+    per_triple.both_directions = both;
+    per_triple.query_batched = false;
+    RankingMetrics ref = RankingEvaluator(ds, per_triple).Evaluate(&model);
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      RankingEvaluator::Options batched = per_triple;
+      batched.query_batched = true;
+      batched.num_threads = threads;
+      RankingMetrics got = RankingEvaluator(ds, batched).Evaluate(&model);
+      EXPECT_EQ(ref.n, got.n) << "threads=" << threads;
+      // Exactly equal, not approximately: both paths compute the same
+      // integer ranks and fold them in the same (triple) order.
+      EXPECT_DOUBLE_EQ(ref.mr, got.mr) << "both=" << both
+                                       << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(ref.mrr, got.mrr) << "both=" << both
+                                         << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(ref.hits1, got.hits1) << "both=" << both
+                                             << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(ref.hits3, got.hits3) << "both=" << both
+                                             << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(ref.hits10, got.hits10) << "both=" << both
+                                               << " threads=" << threads;
+    }
+  }
+}
+
 TEST(EvaluatorTest, MaxTriplesCapsWork) {
   Dataset ds = MakeTinyDataset(20);
   RankingEvaluator::Options opts;

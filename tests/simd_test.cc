@@ -1,0 +1,260 @@
+#include "nn/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nn/kernels.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace openbg::nn {
+namespace {
+
+// Restores auto dispatch when a test that forces a backend exits, so test
+// order never leaks a forced kernel into later tests.
+struct ScopedKernel {
+  explicit ScopedKernel(const std::string& name) {
+    ok = simd::ForceKernel(name);
+  }
+  ~ScopedKernel() { simd::ForceKernel("auto"); }
+  bool ok;
+};
+
+std::vector<float> RandomVector(util::Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = static_cast<float>(rng->UniformDouble() * 2.0 - 1.0);
+  }
+  return v;
+}
+
+// Lengths straddling every vector-width boundary the backends care about:
+// below one lane group (1, 7), exactly one (8), one plus a tail (9), and
+// the same around the 16-wide unrolled loop (63, 64, 65).
+const size_t kLengths[] = {1, 7, 8, 9, 63, 64, 65, 100, 256, 1000};
+
+// Reassociated 8-lane sums differ from the scalar left-to-right fold in the
+// low bits; the bound scales with the number of terms (values are in
+// [-1, 1], so per-term magnitude is O(1)).
+float SumTolerance(size_t n) { return 1e-5f * static_cast<float>(n + 8); }
+
+TEST(SimdDispatchTest, ScalarAlwaysSupported) {
+  auto kernels = simd::SupportedKernels();
+  EXPECT_NE(std::find(kernels.begin(), kernels.end(), "scalar"),
+            kernels.end());
+  EXPECT_TRUE(simd::ForceKernel("scalar"));
+  EXPECT_STREQ(simd::Active().name, "scalar");
+  EXPECT_TRUE(simd::ForceKernel("auto"));
+}
+
+TEST(SimdDispatchTest, UnsupportedNameIsRejected) {
+  EXPECT_FALSE(simd::ForceKernel("no-such-backend"));
+}
+
+TEST(SimdParityTest, ReductionsMatchScalar) {
+  const auto& scalar = simd::Scalar();
+  util::Rng rng(101);
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    const auto& k = simd::Active();
+    for (size_t n : kLengths) {
+      std::vector<float> a = RandomVector(&rng, n);
+      std::vector<float> b = RandomVector(&rng, n);
+      EXPECT_NEAR(k.dot(a.data(), b.data(), n),
+                  scalar.dot(a.data(), b.data(), n), SumTolerance(n))
+          << name << " dot n=" << n;
+      EXPECT_NEAR(k.l1_distance(a.data(), b.data(), n),
+                  scalar.l1_distance(a.data(), b.data(), n), SumTolerance(n))
+          << name << " l1 n=" << n;
+      EXPECT_NEAR(k.l2_distance_squared(a.data(), b.data(), n),
+                  scalar.l2_distance_squared(a.data(), b.data(), n),
+                  SumTolerance(n))
+          << name << " l2 n=" << n;
+    }
+  }
+}
+
+TEST(SimdParityTest, ElementwiseMatchScalar) {
+  const auto& scalar = simd::Scalar();
+  util::Rng rng(102);
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    const auto& k = simd::Active();
+    for (size_t n : kLengths) {
+      std::vector<float> x = RandomVector(&rng, n);
+      std::vector<float> y = RandomVector(&rng, n);
+      std::vector<float> y_ref = y;
+      k.axpy(0.37f, x.data(), y.data(), n);
+      scalar.axpy(0.37f, x.data(), y_ref.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        // FMA fuses a*x+y into one rounding; allow 1-ulp-ish slack.
+        EXPECT_NEAR(y[i], y_ref[i], 1e-6f) << name << " axpy n=" << n;
+      }
+      std::vector<float> s = x, s_ref = x;
+      k.scale(-1.75f, s.data(), n);
+      scalar.scale(-1.75f, s_ref.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_FLOAT_EQ(s[i], s_ref[i]) << name << " scale n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, GemmMatchesScalarAcrossShapesAndTransposes) {
+  const auto& scalar = simd::Scalar();
+  util::Rng rng(103);
+  struct Shape {
+    size_t m, n, k;
+  };
+  // Odd/even mixes around the 6x16 register tile, GEMV shapes (m == 1 and
+  // n == 1), and one shape big enough to take several cache-block trips.
+  const Shape shapes[] = {{1, 1, 1},   {2, 3, 4},   {6, 16, 8},  {7, 17, 9},
+                          {5, 33, 63}, {13, 5, 65}, {1, 64, 65}, {64, 1, 65},
+                          {1, 1, 300}, {96, 80, 72}};
+  const float alphas[] = {1.0f, 0.5f};
+  const float betas[] = {0.0f, 1.0f, -0.25f};
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    const auto& kt = simd::Active();
+    for (const Shape& s : shapes) {
+      for (bool ta : {false, true}) {
+        for (bool tb : {false, true}) {
+          // Stored dims: op(A) is m x k, op(B) is k x n.
+          const size_t lda = ta ? s.m : s.k;
+          const size_t ldb = tb ? s.k : s.n;
+          std::vector<float> a = RandomVector(&rng, s.m * s.k);
+          std::vector<float> b = RandomVector(&rng, s.k * s.n);
+          std::vector<float> c0 = RandomVector(&rng, s.m * s.n);
+          for (float alpha : alphas) {
+            for (float beta : betas) {
+              std::vector<float> c = c0, c_ref = c0;
+              kt.gemm(ta, tb, s.m, s.n, s.k, alpha, a.data(), lda, b.data(),
+                      ldb, beta, c.data(), s.n);
+              scalar.gemm(ta, tb, s.m, s.n, s.k, alpha, a.data(), lda,
+                          b.data(), ldb, beta, c_ref.data(), s.n);
+              const float tol = SumTolerance(s.k);
+              for (size_t i = 0; i < s.m * s.n; ++i) {
+                ASSERT_NEAR(c[i], c_ref[i], tol)
+                    << name << " gemm m=" << s.m << " n=" << s.n
+                    << " k=" << s.k << " ta=" << ta << " tb=" << tb
+                    << " alpha=" << alpha << " beta=" << beta << " i=" << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, GemmAlphaZeroScalesCOnly) {
+  util::Rng rng(104);
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    std::vector<float> a = RandomVector(&rng, 12);
+    std::vector<float> b = RandomVector(&rng, 12);
+    std::vector<float> c = RandomVector(&rng, 9);
+    std::vector<float> expected = c;
+    for (float& x : expected) x *= 0.5f;
+    simd::Active().gemm(false, false, 3, 3, 4, 0.0f, a.data(), 4, b.data(),
+                        3, 0.5f, c.data(), 3);
+    for (size_t i = 0; i < c.size(); ++i) {
+      EXPECT_FLOAT_EQ(c[i], expected[i]) << name;
+    }
+  }
+}
+
+// The Matrix-level nn::Gemm wrapper must ride the dispatched table: under
+// each forced backend its output must match a raw simd::Active().gemm call
+// exactly, which fails if the wrapper bypasses dispatch.
+TEST(SimdParityTest, MatrixGemmMatchesRawKernel) {
+  util::Rng rng(105);
+  const size_t m = 9, n = 20, k = 33;
+  Matrix a(m, k), b(k, n), c(m, n);
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.UniformDouble();
+  for (size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.UniformDouble();
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    c.Fill(0.0f);
+    Gemm(a, false, b, false, 1.0f, 0.0f, &c);
+    std::vector<float> c_raw(m * n, 0.0f);
+    simd::Active().gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(),
+                        n, 0.0f, c_raw.data(), n);
+    for (size_t i = 0; i < m * n; ++i) {
+      EXPECT_FLOAT_EQ(c.data()[i], c_raw[i]) << name;
+    }
+  }
+}
+
+TEST(SimdParityTest, RowDotsMatchesPerRowDot) {
+  util::Rng rng(106);
+  const size_t rows = 37, cols = 24;
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.UniformDouble() * 2.0 - 1.0);
+  }
+  std::vector<float> q = RandomVector(&rng, cols);
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    // Full-width and prefix-width queries (ComplEx scores over 2*dim, text
+    // models over dim <= cols).
+    for (size_t d : {cols, cols / 2}) {
+      std::vector<float> out;
+      RowDots(m, q.data(), d, &out);
+      ASSERT_EQ(out.size(), rows);
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_NEAR(out[r], simd::Dot(m.Row(r), q.data(), d),
+                    SumTolerance(d))
+            << name << " row=" << r << " d=" << d;
+      }
+    }
+  }
+}
+
+// Randomized sweep: many small odd shapes, both vector ops and gemm, to
+// shake out tail-handling bugs the fixed grids might miss.
+TEST(SimdParityTest, RandomizedShapes) {
+  const auto& scalar = simd::Scalar();
+  util::Rng rng(107);
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    const auto& kt = simd::Active();
+    for (int trial = 0; trial < 50; ++trial) {
+      const size_t n = 1 + rng.Uniform(130);
+      std::vector<float> a = RandomVector(&rng, n);
+      std::vector<float> b = RandomVector(&rng, n);
+      EXPECT_NEAR(kt.dot(a.data(), b.data(), n),
+                  scalar.dot(a.data(), b.data(), n), SumTolerance(n))
+          << name << " n=" << n;
+      const size_t m = 1 + rng.Uniform(9);
+      const size_t cols = 1 + rng.Uniform(20);
+      const size_t k = 1 + rng.Uniform(40);
+      std::vector<float> ga = RandomVector(&rng, m * k);
+      std::vector<float> gb = RandomVector(&rng, k * cols);
+      std::vector<float> c(m * cols, 0.0f), c_ref(m * cols, 0.0f);
+      kt.gemm(false, false, m, cols, k, 1.0f, ga.data(), k, gb.data(), cols,
+              0.0f, c.data(), cols);
+      scalar.gemm(false, false, m, cols, k, 1.0f, ga.data(), k, gb.data(),
+                  cols, 0.0f, c_ref.data(), cols);
+      for (size_t i = 0; i < c.size(); ++i) {
+        ASSERT_NEAR(c[i], c_ref[i], SumTolerance(k))
+            << name << " m=" << m << " n=" << cols << " k=" << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace openbg::nn
