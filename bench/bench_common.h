@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/openbg.h"
+#include "kge/trainer.h"
 #include "util/parse.h"
 #include "util/string_util.h"
 
@@ -19,6 +20,11 @@ namespace openbg::bench {
 ///   --seed <n>            world seed
 ///   --threads <n>         evaluator worker threads (metrics are identical
 ///                         to serial; only wall-clock changes)
+///   --train-threads <n>   KGE trainer threads (0 = hardware); with
+///                         --train-mode hogwild the updates race benignly,
+///                         with deterministic they are bit-identical to 1
+///                         thread
+///   --train-mode <m>      'hogwild' (default) or 'deterministic'
 ///   --parse-policy <p>    'strict' (default) or 'skip': how file loaders
 ///                         treat malformed lines
 ///   --max-parse-errors <n> abort a 'skip' load after n bad lines (0 = no
@@ -32,6 +38,8 @@ struct BenchArgs {
   size_t products = 4000;
   uint64_t seed = 7;
   size_t threads = 1;
+  size_t train_threads = 1;
+  kge::TrainMode train_mode = kge::TrainMode::kHogwild;
   util::ParseOptions parse;
   std::string checkpoint_dir;
 
@@ -46,6 +54,12 @@ struct BenchArgs {
         args.seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
       } else if (std::strcmp(argv[i], "--threads") == 0) {
         args.threads = static_cast<size_t>(std::atoll(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "--train-threads") == 0) {
+        args.train_threads = static_cast<size_t>(std::atoll(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "--train-mode") == 0) {
+        args.train_mode = std::strcmp(argv[i + 1], "deterministic") == 0
+                              ? kge::TrainMode::kDeterministic
+                              : kge::TrainMode::kHogwild;
       } else if (std::strcmp(argv[i], "--parse-policy") == 0) {
         args.parse.policy = std::strcmp(argv[i + 1], "skip") == 0
                                 ? util::ParsePolicy::kSkipAndReport

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   rdf::TermId prod = kg->assembly().product_terms[0];
   std::printf("\nSnapshot — triples of %s:\n", dict.Text(prod).c_str());
   int shown = 0;
-  kg->graph().store.ForEachMatch(
+  kg->graph().store.ForEachMatchFn(
       {prod, rdf::TriplePattern::kAny, rdf::TriplePattern::kAny},
       [&](const rdf::Triple& t) {
         std::string p = dict.Text(t.p);

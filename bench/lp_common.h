@@ -132,18 +132,23 @@ inline LpBaseline GenKgcBaseline(size_t dim) {
 /// expensive baselines by available compute — "only one V100").
 /// `threads > 1` shards the ranking across an evaluator thread pool; the
 /// printed metrics are bit-identical to the serial run.
+/// `train_threads`/`train_mode` select the trainer's parallel strategy
+/// (kge/trainer.h): hogwild trades bit-reproducibility for speed, while
+/// deterministic keeps results identical to a 1-thread run.
 /// A non-empty `checkpoint_dir` makes training crash-safe: a per-model
 /// checkpoint is written there each epoch and picked up on the next run.
-inline kge::RankingMetrics RunLpBaseline(const LpBaseline& baseline,
-                                         const kge::Dataset& ds,
-                                         size_t eval_cap, bool print_mr,
-                                         size_t threads = 1,
-                                         const std::string& checkpoint_dir =
-                                             std::string()) {
+inline kge::RankingMetrics RunLpBaseline(
+    const LpBaseline& baseline, const kge::Dataset& ds, size_t eval_cap,
+    bool print_mr, size_t threads = 1,
+    const std::string& checkpoint_dir = std::string(),
+    size_t train_threads = 1,
+    kge::TrainMode train_mode = kge::TrainMode::kHogwild) {
   util::Rng rng(0xBEEF ^ ds.train.size());
   std::unique_ptr<kge::KgeModel> model = baseline.make(ds, &rng);
   util::Timer timer;
   kge::TrainConfig config = baseline.config;
+  config.num_threads = train_threads;
+  config.mode = train_mode;
   if (!checkpoint_dir.empty()) {
     // Keyed by dataset AND model: one bench process trains the same model
     // names on several datasets (table4's -S and -L worlds), and a stale

@@ -8,6 +8,7 @@
 #include "crf/crf.h"
 #include "kge/bilinear_models.h"
 #include "kge/evaluator.h"
+#include "kge/trainer.h"
 #include "kge/trans_models.h"
 #include "nn/kernels.h"
 #include "nn/simd.h"
@@ -294,6 +295,54 @@ void BM_ScoreTailsDistMult(benchmark::State& state, const char* kernel) {
 }
 BENCHMARK_CAPTURE(BM_ScoreTailsDistMult, scalar, "scalar");
 BENCHMARK_CAPTURE(BM_ScoreTailsDistMult, dispatched, "auto");
+
+// KGE trainer throughput at 1/2/4 threads under both parallel strategies.
+// Args: {num_threads, deterministic?}. Items processed = training triples,
+// so the Rate column is triples/sec — the headline number BENCH_train.json
+// exists for. Hogwild at T threads should approach T× the 1-thread rate on
+// a multi-core host; deterministic trades some of that for bit-exactness.
+void BM_Train(benchmark::State& state) {
+  static kge::Dataset* ds = [] {
+    auto* d = new kge::Dataset();
+    d->name = "bm-train";
+    const size_t kEntities = 2000;
+    for (size_t i = 0; i < kEntities; ++i) {
+      d->entity_names.push_back("e" + std::to_string(i));
+      d->entity_text.push_back("t");
+      d->entity_images.push_back({});
+    }
+    for (uint32_t r = 0; r < 4; ++r) {
+      d->relation_names.push_back("r" + std::to_string(r));
+    }
+    for (uint32_t h = 0; h < kEntities; ++h) {
+      for (uint32_t r = 0; r < 4; ++r) {
+        d->train.push_back(
+            {h, r, static_cast<uint32_t>((h + 17 * (r + 1)) % kEntities)});
+      }
+    }
+    return d;
+  }();
+  kge::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 256;
+  config.num_threads = static_cast<size_t>(state.range(0));
+  config.mode = state.range(1) != 0 ? kge::TrainMode::kDeterministic
+                                    : kge::TrainMode::kHogwild;
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::Rng rng(31);
+    kge::TransE model(ds->num_entities(), ds->num_relations(), 64, 1.0f,
+                      &rng);
+    state.ResumeTiming();
+    kge::TrainKgeModel(&model, *ds, config);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * ds->train.size());
+}
+BENCHMARK(BM_Train)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ZipfSampler(benchmark::State& state) {
   util::ZipfSampler zipf(100000, 1.1);

@@ -36,13 +36,15 @@ int main(int argc, char** argv) {
   bench::PrintLpHeader();
   for (const auto& baseline : bench::SingleModalBaselines(32)) {
     bench::RunLpBaseline(baseline, ds, kEvalCap, /*print_mr=*/true,
-                         args.threads, args.checkpoint_dir);
+                         args.threads, args.checkpoint_dir,
+                         args.train_threads, args.train_mode);
   }
   std::printf("\nMultimodal approaches:\n");
   bench::PrintLpHeader();
   for (const auto& baseline : bench::MultiModalBaselines(32)) {
     bench::RunLpBaseline(baseline, ds, kEvalCap, /*print_mr=*/true,
-                         args.threads, args.checkpoint_dir);
+                         args.threads, args.checkpoint_dir,
+                         args.train_threads, args.train_mode);
   }
   std::printf("\npaper reference (Table III): TransE .150/.387/.647, "
               "TuckER .497/.690/.820,\n  KG-BERT .092/.207/.405 (MR 61), "

@@ -38,11 +38,13 @@ int main(int argc, char** argv) {
       }
       bench::RunLpBaseline(baseline, ds, kEvalCap,
                            baseline.paper_name != "GenKGC", args.threads,
-                           args.checkpoint_dir);
+                           args.checkpoint_dir, args.train_threads,
+                           args.train_mode);
     }
     bench::RunLpBaseline(bench::GenKgcBaseline(32), ds, kEvalCap,
                          /*print_mr=*/false, args.threads,
-                         args.checkpoint_dir);
+                         args.checkpoint_dir, args.train_threads,
+                           args.train_mode);
   }
 
   // --- OpenBG500-L: a larger world, denser sampling, cheap baselines only.
@@ -73,7 +75,8 @@ int main(int argc, char** argv) {
         continue;
       }
       bench::RunLpBaseline(baseline, ds, kEvalCap, /*print_mr=*/true,
-                           args.threads, args.checkpoint_dir);
+                           args.threads, args.checkpoint_dir, args.train_threads,
+                           args.train_mode);
     }
   }
 

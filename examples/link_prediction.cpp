@@ -44,6 +44,12 @@ int main() {
   config.epochs = 15;
   config.batch_size = 512;
   config.lr = 0.05f;
+  // Parallel training (the --train-threads/--train-mode flags of the bench
+  // binaries). Deterministic mode shards gradient *computation* across the
+  // workers but applies the updates in batch order, so the trained model is
+  // bit-identical to a 1-thread run — checkpoints stay resumable too.
+  config.num_threads = 4;
+  config.mode = kge::TrainMode::kDeterministic;
 
   // Crash-safe training: a checkpoint is written after every epoch. Kill
   // the process mid-run and rerun it — training resumes where it stopped,
@@ -70,6 +76,9 @@ int main() {
 
   kge::RsmeModel rsme(ds, 32, 1.0f, &rng);
   config.lr = 0.1f;
+  // Hogwild mode: lock-free racing updates, fastest wall-clock but only
+  // reproducible run-to-run with the same thread count (see DESIGN.md §9).
+  config.mode = kge::TrainMode::kHogwild;
   TrainKgeModel(&rsme, ds, config);
   kge::RankingMetrics m2 = evaluator.Evaluate(&rsme);
   std::printf("RSME     : Hits@1 %.3f  Hits@10 %.3f  MRR %.3f  MR %.0f\n",

@@ -33,7 +33,7 @@ int main() {
   const auto& dict = kg->graph().dict;
   std::printf("\nfirst item <%s>:\n", dict.Text(item).c_str());
   size_t shown = 0;
-  kg->graph().store.ForEachMatch(
+  kg->graph().store.ForEachMatchFn(
       {item, rdf::TriplePattern::kAny, rdf::TriplePattern::kAny},
       [&](const rdf::Triple& t) {
         std::printf("  %s -> %s\n", dict.Text(t.p).c_str(),

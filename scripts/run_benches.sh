@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Build and run the kernel / evaluator micro-benchmarks and write a
-# machine-readable report to BENCH_kernels.json (google-benchmark JSON
-# format). Each bench appears as a scalar/dispatched pair (or a
-# per-triple/query-batched pair for the evaluator), so the speedup claims
-# in DESIGN.md can be re-derived from the JSON alone.
+# Build and run the kernel / evaluator / trainer micro-benchmarks and write
+# machine-readable reports (google-benchmark JSON format):
+#   BENCH_kernels.json — scalar/dispatched kernel pairs plus the evaluator's
+#     per-triple/query-batched pair, so the speedup claims in DESIGN.md can
+#     be re-derived from the JSON alone;
+#   BENCH_train.json — trainer throughput (triples/sec) at 1/2/4 threads in
+#     both hogwild and deterministic modes.
 # Usage: scripts/run_benches.sh [extra benchmark args...]
 set -euo pipefail
 
@@ -11,6 +13,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_kernels.json}"
+TRAIN_OUT="${TRAIN_OUT:-BENCH_train.json}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_benchmarks
@@ -22,3 +25,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_benchmarks
   "$@"
 
 echo "Wrote $OUT"
+
+"$BUILD_DIR"/bench/micro_benchmarks \
+  --benchmark_filter='BM_Train' \
+  --benchmark_out="$TRAIN_OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote $TRAIN_OUT"

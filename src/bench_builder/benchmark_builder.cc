@@ -54,7 +54,7 @@ Dataset BenchmarkBuilder::Build(const BenchmarkSpec& spec,
   std::vector<std::pair<TermId, size_t>> rel_counts;
   for (TermId r : candidates) {
     size_t n = 0;
-    store.ForEachMatch(
+    store.ForEachMatchFn(
         TriplePattern{TriplePattern::kAny, r, TriplePattern::kAny},
         [&](const Triple& t) {
           // Only instance assertions: heads must be products. (Domain/range
@@ -88,7 +88,7 @@ Dataset BenchmarkBuilder::Build(const BenchmarkSpec& spec,
   std::unordered_set<TermId> head_rel_entities, tail_rel_entities;
   for (const auto& [r, n] : rel_counts) {
     (void)n;
-    store.ForEachMatch(
+    store.ForEachMatchFn(
         TriplePattern{TriplePattern::kAny, r, TriplePattern::kAny},
         [&](const Triple& t) {
           if (product_index.count(t.s) == 0) return true;
@@ -120,7 +120,7 @@ Dataset BenchmarkBuilder::Build(const BenchmarkSpec& spec,
   std::vector<Triple> sampled;
   for (const auto& [r, n] : rel_counts) {
     (void)n;
-    store.ForEachMatch(
+    store.ForEachMatchFn(
         TriplePattern{TriplePattern::kAny, r, TriplePattern::kAny},
         [&](const Triple& t) {
           if (sampled_heads.count(t.s) == 0) return true;

@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kge/grad_sink.h"
 #include "nn/loss.h"
 
 namespace openbg::kge {
 namespace {
+
+/// Per-thread gradient scratch, so concurrent TrainBatch calls never share
+/// a buffer. `which` selects one of a few independent slots per thread.
+std::vector<float>& Scratch(size_t n, size_t which = 0) {
+  static thread_local std::vector<float> bufs[4];
+  std::vector<float>& b = bufs[which];
+  if (b.size() < n) b.resize(n);
+  return b;
+}
 
 /// Pointwise logistic step shared by the bilinear family. Each triple's
 /// gradient is applied immediately at full magnitude (no batch averaging)
@@ -67,26 +77,39 @@ void DistMult::ScoreHeads(uint32_t r, uint32_t t,
   ScoreTails(t, r, out);
 }
 
-void DistMult::ApplyGrad(const LpTriple& t, float dscore, float lr) {
-  float* hh = ent_.Row(t.h);
-  float* rr = rel_.Row(t.r);
-  float* tt = ent_.Row(t.t);
+void DistMult::EmitGrad(const LpTriple& t, float dscore, float lr,
+                        GradSink* sink) {
+  const float* hh = ent_.Row(t.h);
+  const float* rr = rel_.Row(t.r);
+  const float* tt = ent_.Row(t.t);
+  std::vector<float>& gh = Scratch(dim_, 0);
+  std::vector<float>& gr = Scratch(dim_, 1);
+  std::vector<float>& gt = Scratch(dim_, 2);
   for (size_t i = 0; i < dim_; ++i) {
-    float gh = dscore * rr[i] * tt[i] + l2_ * hh[i];
-    float gr = dscore * hh[i] * tt[i] + l2_ * rr[i];
-    float gt = dscore * hh[i] * rr[i] + l2_ * tt[i];
-    hh[i] -= lr * gh;
-    rr[i] -= lr * gr;
-    tt[i] -= lr * gt;
+    gh[i] = dscore * rr[i] * tt[i] + l2_ * hh[i];
+    gr[i] = dscore * hh[i] * tt[i] + l2_ * rr[i];
+    gt[i] = dscore * hh[i] * rr[i] + l2_ * tt[i];
   }
+  ent_.Update(sink, t.h, gh.data(), lr);
+  rel_.Update(sink, t.r, gr.data(), lr);
+  ent_.Update(sink, t.t, gt.data(), lr);
+}
+
+double DistMult::TrainBatch(const std::vector<LpTriple>& pos,
+                            const std::vector<LpTriple>& neg, float lr,
+                            GradSink* sink) {
+  return LogisticPairs(
+      pos, neg, lr,
+      [this](const LpTriple& t) { return ScoreTriple(t.h, t.r, t.t); },
+      [this, sink](const LpTriple& t, float d, float l) {
+        EmitGrad(t, d, l, sink);
+      });
 }
 
 double DistMult::TrainPairs(const std::vector<LpTriple>& pos,
                             const std::vector<LpTriple>& neg, float lr) {
-  return LogisticPairs(
-      pos, neg, lr,
-      [this](const LpTriple& t) { return ScoreTriple(t.h, t.r, t.t); },
-      [this](const LpTriple& t, float d, float l) { ApplyGrad(t, d, l); });
+  DirectGradSink sink;
+  return TrainBatch(pos, neg, lr, &sink);
 }
 
 void DistMult::VisitParams(const ParamVisitor& fn) {
@@ -155,35 +178,45 @@ void ComplEx::ScoreHeads(uint32_t r, uint32_t t,
   nn::RowDots(ent_.matrix(), q.data(), 2 * dim_, out);
 }
 
-void ComplEx::ApplyGrad(const LpTriple& t, float dscore, float lr) {
-  float* hh = ent_.Row(t.h);
-  float* rr = rel_.Row(t.r);
-  float* tt = ent_.Row(t.t);
+void ComplEx::EmitGrad(const LpTriple& t, float dscore, float lr,
+                       GradSink* sink) {
+  const float* hh = ent_.Row(t.h);
+  const float* rr = rel_.Row(t.r);
+  const float* tt = ent_.Row(t.t);
+  std::vector<float>& gh = Scratch(2 * dim_, 0);
+  std::vector<float>& gr = Scratch(2 * dim_, 1);
+  std::vector<float>& gt = Scratch(2 * dim_, 2);
   for (size_t i = 0; i < dim_; ++i) {
     float hre = hh[i], him = hh[dim_ + i];
     float rre = rr[i], rim = rr[dim_ + i];
     float tre = tt[i], tim = tt[dim_ + i];
-    float g_hre = dscore * (rre * tre + rim * tim) + l2_ * hre;
-    float g_him = dscore * (rre * tim - rim * tre) + l2_ * him;
-    float g_rre = dscore * (hre * tre + him * tim) + l2_ * rre;
-    float g_rim = dscore * (hre * tim - him * tre) + l2_ * rim;
-    float g_tre = dscore * (rre * hre - rim * him) + l2_ * tre;
-    float g_tim = dscore * (rre * him + rim * hre) + l2_ * tim;
-    hh[i] -= lr * g_hre;
-    hh[dim_ + i] -= lr * g_him;
-    rr[i] -= lr * g_rre;
-    rr[dim_ + i] -= lr * g_rim;
-    tt[i] -= lr * g_tre;
-    tt[dim_ + i] -= lr * g_tim;
+    gh[i] = dscore * (rre * tre + rim * tim) + l2_ * hre;
+    gh[dim_ + i] = dscore * (rre * tim - rim * tre) + l2_ * him;
+    gr[i] = dscore * (hre * tre + him * tim) + l2_ * rre;
+    gr[dim_ + i] = dscore * (hre * tim - him * tre) + l2_ * rim;
+    gt[i] = dscore * (rre * hre - rim * him) + l2_ * tre;
+    gt[dim_ + i] = dscore * (rre * him + rim * hre) + l2_ * tim;
   }
+  ent_.Update(sink, t.h, gh.data(), lr);
+  rel_.Update(sink, t.r, gr.data(), lr);
+  ent_.Update(sink, t.t, gt.data(), lr);
+}
+
+double ComplEx::TrainBatch(const std::vector<LpTriple>& pos,
+                           const std::vector<LpTriple>& neg, float lr,
+                           GradSink* sink) {
+  return LogisticPairs(
+      pos, neg, lr,
+      [this](const LpTriple& t) { return ScoreTriple(t.h, t.r, t.t); },
+      [this, sink](const LpTriple& t, float d, float l) {
+        EmitGrad(t, d, l, sink);
+      });
 }
 
 double ComplEx::TrainPairs(const std::vector<LpTriple>& pos,
                            const std::vector<LpTriple>& neg, float lr) {
-  return LogisticPairs(
-      pos, neg, lr,
-      [this](const LpTriple& t) { return ScoreTriple(t.h, t.r, t.t); },
-      [this](const LpTriple& t, float d, float l) { ApplyGrad(t, d, l); });
+  DirectGradSink sink;
+  return TrainBatch(pos, neg, lr, &sink);
 }
 
 void ComplEx::VisitParams(const ParamVisitor& fn) {
@@ -330,11 +363,11 @@ double TuckEr::OneToAllStep(uint32_t h, uint32_t r,
   return loss;
 }
 
-double TuckEr::TrainPairs(const std::vector<LpTriple>& pos,
-                          const std::vector<LpTriple>& neg, float lr) {
-  (void)neg;  // 1-N training scores all entities; sampled negatives unused
+void TuckEr::AccumulateTargets(const std::vector<LpTriple>& pos) {
   // Accumulate the (h, r) -> tails index over everything seen, so each
-  // step's multi-hot target reflects all known tails.
+  // step's multi-hot target reflects all known tails. Kept out of
+  // TrainPairs so the map never mutates while batches train concurrently:
+  // the trainer calls this serially before handing batches to workers.
   for (const LpTriple& t : pos) {
     uint64_t key = (static_cast<uint64_t>(t.h) << 32) | t.r;
     auto& tails = true_tails_[key];
@@ -342,17 +375,38 @@ double TuckEr::TrainPairs(const std::vector<LpTriple>& pos,
       tails.push_back(t.t);
     }
   }
+}
+
+double TuckEr::StepBatch(const std::vector<LpTriple>& pos, float lr) {
   double loss = 0.0;
   size_t steps = 0;
   uint64_t last_key = ~0ull;
+  static const std::vector<uint32_t> kNoTails;
   for (const LpTriple& t : pos) {
     uint64_t key = (static_cast<uint64_t>(t.h) << 32) | t.r;
     if (key == last_key) continue;  // batch-local dedup of queries
     last_key = key;
-    loss += OneToAllStep(t.h, t.r, true_tails_[key], lr);
+    auto it = true_tails_.find(key);
+    loss += OneToAllStep(t.h, t.r,
+                         it != true_tails_.end() ? it->second : kNoTails, lr);
     ++steps;
   }
   return loss / static_cast<double>(std::max<size_t>(1, steps));
+}
+
+double TuckEr::TrainPairs(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr) {
+  (void)neg;  // 1-N training scores all entities; sampled negatives unused
+  AccumulateTargets(pos);
+  return StepBatch(pos, lr);
+}
+
+double TuckEr::TrainBatch(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr,
+                          GradSink* sink) {
+  (void)neg;
+  (void)sink;
+  return StepBatch(pos, lr);
 }
 
 }  // namespace openbg::kge

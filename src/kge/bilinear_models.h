@@ -25,10 +25,14 @@ class DistMult : public KgeModel {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  TrainCaps train_caps() const override { return {true, true}; }
+  double TrainBatch(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr,
+                    GradSink* sink) override;
   void VisitParams(const ParamVisitor& fn) override;
 
  private:
-  void ApplyGrad(const LpTriple& t, float dscore, float lr);
+  void EmitGrad(const LpTriple& t, float dscore, float lr, GradSink* sink);
 
   size_t dim_;
   float l2_;
@@ -50,10 +54,14 @@ class ComplEx : public KgeModel {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  TrainCaps train_caps() const override { return {true, true}; }
+  double TrainBatch(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr,
+                    GradSink* sink) override;
   void VisitParams(const ParamVisitor& fn) override;
 
  private:
-  void ApplyGrad(const LpTriple& t, float dscore, float lr);
+  void EmitGrad(const LpTriple& t, float dscore, float lr, GradSink* sink);
 
   size_t dim_;  // complex dimension; storage rows are 2*dim_ floats
   float l2_;
@@ -80,8 +88,21 @@ class TuckEr : public KgeModel {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  // 1-N training touches every entity row per query: Hogwild-tolerable
+  // (all-float stores) but far too dense to op-log, so no deferred mode —
+  // the deterministic trainer runs TuckER serially instead.
+  TrainCaps train_caps() const override { return {true, false}; }
+  void AccumulateTargets(const std::vector<LpTriple>& pos) override;
+  // Steps without touching true_tails_; requires the trainer to have run
+  // AccumulateTargets serially for the epoch first. The sink is unused —
+  // 1-N updates write tables directly (never handed an OpLogSink, since
+  // deferred_grad is false above).
+  double TrainBatch(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr,
+                    GradSink* sink) override;
 
  private:
+  double StepBatch(const std::vector<LpTriple>& pos, float lr);
   // M[j*de + k] = sum_i r_i W[i][j][k] for the given relation.
   void RelationMatrix(uint32_t r, std::vector<float>* m) const;
   // One 1-N step for query (h, r) with multi-hot true tails.

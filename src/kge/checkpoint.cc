@@ -12,11 +12,14 @@ namespace openbg::kge {
 namespace {
 
 constexpr char kMagic[] = "OBGCKPT1";
-constexpr uint32_t kVersion = 1;
+// v2 added the worker-RNG section for Hogwild resume. Version equality is
+// strict (util/snapshot.h), so v1 files fail closed with a clear error.
+constexpr uint32_t kVersion = 2;
 
 constexpr uint32_t kMetaSection = 1;
 constexpr uint32_t kRngSection = 2;
 constexpr uint32_t kParamsSection = 3;
+constexpr uint32_t kWorkerRngSection = 4;
 
 void PutRngState(util::SnapshotWriter* w, const util::RngState& state) {
   for (uint64_t word : state.s) w->PutU64(word);
@@ -73,6 +76,12 @@ util::Status SaveCheckpoint(const TrainerCheckpoint& ckpt, KgeModel* model,
     writer.PutFloats(p.matrix->data(), p.matrix->size());
   }
 
+  writer.BeginSection(kWorkerRngSection);
+  writer.PutU64(ckpt.worker_rngs.size());
+  for (const util::RngState& state : ckpt.worker_rngs) {
+    PutRngState(&writer, state);
+  }
+
   return writer.Finish();
 }
 
@@ -80,9 +89,9 @@ util::Status LoadCheckpoint(const std::string& path, KgeModel* model,
                             TrainerCheckpoint* ckpt) {
   util::SnapshotReader reader;
   OPENBG_RETURN_NOT_OK(reader.Open(path, kMagic, kVersion));
-  if (reader.num_sections() != 3) {
+  if (reader.num_sections() != 4) {
     return util::Status::IoError(util::StrFormat(
-        "%s: expected 3 sections, found %zu", path.c_str(),
+        "%s: expected 4 sections, found %zu", path.c_str(),
         reader.num_sections()));
   }
 
@@ -162,6 +171,28 @@ util::Status LoadCheckpoint(const std::string& path, KgeModel* model,
   }
   if (!params_sec.AtEnd()) {
     return util::Status::IoError(path + ": trailing bytes in params section");
+  }
+
+  util::SnapshotSection workers = reader.section(3);
+  if (workers.tag() != kWorkerRngSection) {
+    return util::Status::IoError(util::StrFormat(
+        "%s: unexpected section tag %u (want worker-rng=%u)", path.c_str(),
+        workers.tag(), kWorkerRngSection));
+  }
+  uint64_t worker_count;
+  OPENBG_RETURN_NOT_OK(workers.ReadU64(&worker_count));
+  if (worker_count > 4096) {
+    return util::Status::IoError(util::StrFormat(
+        "%s: implausible worker-RNG count %llu", path.c_str(),
+        static_cast<unsigned long long>(worker_count)));
+  }
+  loaded.worker_rngs.resize(worker_count);
+  for (uint64_t i = 0; i < worker_count; ++i) {
+    OPENBG_RETURN_NOT_OK(ReadRngState(&workers, &loaded.worker_rngs[i]));
+  }
+  if (!workers.AtEnd()) {
+    return util::Status::IoError(path +
+                                 ": trailing bytes in worker-RNG section");
   }
 
   for (size_t i = 0; i < params.size(); ++i) {

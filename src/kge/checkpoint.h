@@ -2,6 +2,7 @@
 #define OPENBG_KGE_CHECKPOINT_H_
 
 #include <string>
+#include <vector>
 
 #include "kge/model.h"
 #include "util/rng.h"
@@ -11,14 +12,18 @@ namespace openbg::kge {
 
 /// Trainer-side state persisted alongside the model parameters so a run
 /// killed between epochs resumes bit-identically: the epoch to run next,
-/// the last completed epoch's mean loss, and both RNG streams (the
-/// trainer's shuffle RNG and the negative sampler's corruption RNG).
+/// the last completed epoch's mean loss, and the RNG streams (the trainer's
+/// shuffle RNG, the negative sampler's corruption RNG, and — for Hogwild
+/// runs — each worker's private corruption stream).
 struct TrainerCheckpoint {
   std::string model_name;
   uint64_t next_epoch = 0;
   double last_loss = 0.0;
   util::RngState trainer_rng;
   util::RngState sampler_rng;
+  /// One stream per Hogwild worker, indexed by worker id. Empty for serial
+  /// and deterministic-mode runs (their streams are derived statelessly).
+  std::vector<util::RngState> worker_rngs;
 };
 
 /// Writes `ckpt` plus every parameter block `model` exposes via

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "kge/grad_sink.h"
 #include "nn/kernels.h"
 #include "nn/matrix.h"
 #include "util/rng.h"
@@ -48,6 +49,22 @@ class EmbeddingTable {
     float* row = table_.Row(i);
     float n = nn::Norm2(row, dim());
     if (n > 1e-12f) nn::Scale(1.0f / n, row, dim());
+  }
+
+  /// Sink-routed variants of the helpers above: through a DirectGradSink
+  /// they apply immediately with the same arithmetic; through an OpLogSink
+  /// they are recorded for the deterministic trainer's ordered replay.
+  void Update(GradSink* sink, uint32_t i, const float* grad, float lr) {
+    sink->AxpyRow(&table_, i, -lr, grad, dim());
+  }
+  void Axpy(GradSink* sink, uint32_t i, float alpha, const float* x) {
+    sink->AxpyRow(&table_, i, alpha, x, dim());
+  }
+  void ProjectToUnitBall(GradSink* sink, uint32_t i) {
+    sink->ProjectToUnitBall(&table_, i);
+  }
+  void NormalizeRow(GradSink* sink, uint32_t i) {
+    sink->NormalizeRow(&table_, i);
   }
 
   nn::Matrix& matrix() { return table_; }

@@ -1,0 +1,79 @@
+#include "kge/grad_sink.h"
+
+#include "nn/kernels.h"
+
+namespace openbg::kge {
+namespace {
+
+// Shared by the direct sink and the replay path so a deferred run applies
+// bit-for-bit the same arithmetic a direct run would.
+inline void ApplyAxpy(nn::Matrix* m, uint32_t row, float alpha,
+                      const float* x, size_t n) {
+  nn::Axpy(alpha, x, m->Row(row), n);
+}
+
+inline void ApplyProject(nn::Matrix* m, uint32_t row) {
+  float* r = m->Row(row);
+  float norm = nn::Norm2(r, m->cols());
+  if (norm > 1.0f) nn::Scale(1.0f / norm, r, m->cols());
+}
+
+inline void ApplyNormalize(nn::Matrix* m, uint32_t row) {
+  float* r = m->Row(row);
+  float norm = nn::Norm2(r, m->cols());
+  if (norm > 1e-12f) nn::Scale(1.0f / norm, r, m->cols());
+}
+
+}  // namespace
+
+void DirectGradSink::AxpyRow(nn::Matrix* m, uint32_t row, float alpha,
+                             const float* x, size_t n) {
+  ApplyAxpy(m, row, alpha, x, n);
+}
+
+void DirectGradSink::ProjectToUnitBall(nn::Matrix* m, uint32_t row) {
+  ApplyProject(m, row);
+}
+
+void DirectGradSink::NormalizeRow(nn::Matrix* m, uint32_t row) {
+  ApplyNormalize(m, row);
+}
+
+void OpLogSink::AxpyRow(nn::Matrix* m, uint32_t row, float alpha,
+                        const float* x, size_t n) {
+  size_t offset = data_.size();
+  data_.insert(data_.end(), x, x + n);
+  ops_.push_back({OpKind::kAxpy, m, row, alpha,
+                  static_cast<uint32_t>(n), offset});
+}
+
+void OpLogSink::ProjectToUnitBall(nn::Matrix* m, uint32_t row) {
+  ops_.push_back({OpKind::kProject, m, row, 0.0f, 0, 0});
+}
+
+void OpLogSink::NormalizeRow(nn::Matrix* m, uint32_t row) {
+  ops_.push_back({OpKind::kNormalize, m, row, 0.0f, 0, 0});
+}
+
+void OpLogSink::Replay() {
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kAxpy:
+        ApplyAxpy(op.m, op.row, op.alpha, data_.data() + op.offset, op.len);
+        break;
+      case OpKind::kProject:
+        ApplyProject(op.m, op.row);
+        break;
+      case OpKind::kNormalize:
+        ApplyNormalize(op.m, op.row);
+        break;
+    }
+  }
+}
+
+void OpLogSink::Clear() {
+  ops_.clear();
+  data_.clear();
+}
+
+}  // namespace openbg::kge

@@ -1,0 +1,97 @@
+#ifndef OPENBG_KGE_GRAD_SINK_H_
+#define OPENBG_KGE_GRAD_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace openbg::kge {
+
+/// Where a model's TrainBatch sends its parameter updates. Models compute
+/// gradients from the *current* table contents (reads are never routed) and
+/// emit every write as one of three ops, in the exact order the legacy
+/// in-place code applied them:
+///
+///   * AxpyRow          row += alpha * x   (the sparse-SGD workhorse)
+///   * ProjectToUnitBall  rescale a row to unit L2 norm iff it exceeds 1
+///   * NormalizeRow       rescale a row to exactly unit L2 norm
+///
+/// Two implementations exist. DirectGradSink applies each op immediately,
+/// preserving the classic sequential-SGD semantics (each pair's update is
+/// visible to the next pair's score) — this is what the serial and Hogwild
+/// training paths use. OpLogSink records the op stream instead; the
+/// deterministic trainer runs one sink per batch, computes every batch of a
+/// round against the round-start parameter snapshot, then replays the logs
+/// serially in batch order, which makes training bit-identical at any
+/// thread count.
+class GradSink {
+ public:
+  virtual ~GradSink() = default;
+
+  /// m->Row(row)[0..n) += alpha * x[0..n). `x` is only guaranteed to stay
+  /// valid for the duration of the call — deferring sinks must copy it.
+  virtual void AxpyRow(nn::Matrix* m, uint32_t row, float alpha,
+                       const float* x, size_t n) = 0;
+
+  /// Rescales the row to unit L2 norm if it exceeds 1 (TransE constraint).
+  /// The norm is read at *apply* time, so a deferred projection sees every
+  /// previously replayed update to the row — same as the direct order.
+  virtual void ProjectToUnitBall(nn::Matrix* m, uint32_t row) = 0;
+
+  /// Rescales the row to exactly unit L2 norm (TransH normal constraint).
+  virtual void NormalizeRow(nn::Matrix* m, uint32_t row) = 0;
+};
+
+/// Applies every op in place as it arrives. The arithmetic matches the
+/// EmbeddingTable helpers (nn::Axpy / Norm2 / Scale), so routing a model's
+/// legacy update loop through this sink is numerically the identity
+/// refactoring.
+class DirectGradSink final : public GradSink {
+ public:
+  void AxpyRow(nn::Matrix* m, uint32_t row, float alpha, const float* x,
+               size_t n) override;
+  void ProjectToUnitBall(nn::Matrix* m, uint32_t row) override;
+  void NormalizeRow(nn::Matrix* m, uint32_t row) override;
+};
+
+/// Records the op stream; Replay() applies it in emission order with the
+/// exact arithmetic DirectGradSink uses. One OpLogSink per batch, reused
+/// across rounds (Clear() keeps the buffers' capacity), so the deterministic
+/// trainer allocates only on the first round.
+class OpLogSink final : public GradSink {
+ public:
+  void AxpyRow(nn::Matrix* m, uint32_t row, float alpha, const float* x,
+               size_t n) override;
+  void ProjectToUnitBall(nn::Matrix* m, uint32_t row) override;
+  void NormalizeRow(nn::Matrix* m, uint32_t row) override;
+
+  /// Applies the recorded ops in order. Safe to call exactly once per
+  /// recording; call Clear() before reuse.
+  void Replay();
+
+  /// Drops the recorded ops, keeping the buffers' capacity.
+  void Clear();
+
+  size_t num_ops() const { return ops_.size(); }
+
+ private:
+  enum class OpKind : uint8_t { kAxpy, kProject, kNormalize };
+
+  struct Op {
+    OpKind kind;
+    nn::Matrix* m;
+    uint32_t row;
+    float alpha;
+    uint32_t len;     // floats in data_ (kAxpy only)
+    size_t offset;    // start in data_ (kAxpy only)
+  };
+
+  std::vector<Op> ops_;
+  std::vector<float> data_;
+};
+
+}  // namespace openbg::kge
+
+#endif  // OPENBG_KGE_GRAD_SINK_H_

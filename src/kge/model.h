@@ -13,8 +13,29 @@
 
 namespace openbg::kge {
 
+class GradSink;
+
 using bench_builder::Dataset;
 using bench_builder::LpTriple;
+
+/// What the parallel trainer may do with a model (see kge/trainer.h).
+/// Conservative by default: a model that declares nothing runs serially
+/// under every mode, which is always correct — these flags only unlock
+/// faster execution strategies.
+struct TrainCaps {
+  /// TrainBatch may be called concurrently from several threads on shared
+  /// parameters (classic Hogwild). Requires: no internal mutable state
+  /// besides the float tables themselves (racing float stores are the
+  /// accepted Hogwild hazard; racing container mutations are not), and a
+  /// PostStep that is a no-op or thread-safe.
+  bool hogwild_safe = false;
+  /// TrainBatch routes *every* parameter write through the GradSink it is
+  /// given (never mutating state behind the sink's back), so an OpLogSink
+  /// captures the complete update and the deterministic trainer can defer
+  /// and replay it. Models with dense per-step internal state (1-N losses,
+  /// layer activation caches) cannot affordably defer and leave this false.
+  bool deferred_grad = false;
+};
 
 /// Base interface for every link-prediction baseline of Tables III/IV.
 ///
@@ -58,6 +79,31 @@ class KgeModel {
   /// returns the batch loss before the update.
   virtual double TrainPairs(const std::vector<LpTriple>& pos,
                             const std::vector<LpTriple>& neg, float lr) = 0;
+
+  /// What the parallel trainer may do with this model. The default opts out
+  /// of every parallel strategy; see TrainCaps.
+  virtual TrainCaps train_caps() const { return {}; }
+
+  /// Sink-routed training step: like TrainPairs, but every parameter write
+  /// goes through `sink`. Models that support deferred gradients override
+  /// this (and implement TrainPairs as TrainBatch over a DirectGradSink);
+  /// the default ignores the sink and falls back to TrainPairs, which is
+  /// only correct when the trainer applies batches serially — exactly what
+  /// it does for models whose caps don't claim more.
+  virtual double TrainBatch(const std::vector<LpTriple>& pos,
+                            const std::vector<LpTriple>& neg, float lr,
+                            GradSink* sink) {
+    (void)sink;
+    return TrainPairs(pos, neg, lr);
+  }
+
+  /// Serial pre-pass over a training batch, called by the trainer *before*
+  /// TrainBatch may run on a worker thread. This is where a model updates
+  /// order-sensitive bookkeeping that must not race — e.g. TuckER's
+  /// (h, r) -> true-tails index. Default: nothing.
+  virtual void AccumulateTargets(const std::vector<LpTriple>& pos) {
+    (void)pos;
+  }
 
   /// Constraint projection hook, run after each TrainPairs (e.g., TransH's
   /// unit-norm hyperplane normals).

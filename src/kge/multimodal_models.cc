@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kge/grad_sink.h"
 #include "nn/kernels.h"
 #include "nn/loss.h"
 #include "util/logging.h"
@@ -11,6 +12,15 @@ namespace openbg::kge {
 namespace {
 
 float SignOf(float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); }
+
+/// Per-thread gradient scratch, so concurrent TrainBatch calls never share
+/// a buffer. `which` selects one of a few independent slots per thread.
+std::vector<float>& Scratch(size_t n, size_t which = 0) {
+  static thread_local std::vector<float> bufs[8];
+  std::vector<float>& b = bufs[which];
+  if (b.size() < n) b.resize(n);
+  return b;
+}
 
 }  // namespace
 
@@ -52,12 +62,18 @@ bool MultimodalBase::ProjectImage(uint32_t e, float* out) const {
 
 void MultimodalBase::UpdateProjection(uint32_t e, const float* dout,
                                       float lr) {
+  DirectGradSink sink;
+  EmitProjectionUpdate(e, dout, lr, &sink);
+}
+
+void MultimodalBase::EmitProjectionUpdate(uint32_t e, const float* dout,
+                                          float lr, GradSink* sink) {
   const float* img = image_ptr_[e];
   if (img == nullptr) return;
   for (size_t i = 0; i < image_dim_; ++i) {
     float xi = img[i] * image_scale_;
     if (xi == 0.0f) continue;
-    nn::Axpy(-lr * xi, dout, proj_.Row(i), dim_);
+    sink->AxpyRow(&proj_, i, -lr * xi, dout, dim_);
   }
 }
 
@@ -126,65 +142,69 @@ void TransAeModel::ScoreHeads(uint32_t r, uint32_t t,
   }
 }
 
-void TransAeModel::ApplyGrad(const LpTriple& t, float direction, float lr) {
-  std::vector<float> fh(dim_), ft(dim_), g(dim_);
+void TransAeModel::EmitGrad(const LpTriple& t, float direction, float lr,
+                            GradSink* sink) {
+  std::vector<float>& fh = Scratch(dim_, 0);
+  std::vector<float>& ft = Scratch(dim_, 1);
+  std::vector<float>& g = Scratch(dim_, 2);
+  std::vector<float>& neg_g = Scratch(dim_, 3);
   Fused(t.h, fh.data());
   Fused(t.t, ft.data());
-  float* rr = rel_.Row(t.r);
+  const float* rr = rel_.Row(t.r);
   for (size_t d = 0; d < dim_; ++d) {
     g[d] = direction * SignOf(fh[d] + rr[d] - ft[d]);
+    neg_g[d] = -g[d];
   }
-  std::vector<float> neg_g(dim_);
-  for (size_t d = 0; d < dim_; ++d) neg_g[d] = -g[d];
-  // d fused/d struct = I ; d fused/d proj handled by UpdateProjection.
-  float* hs = ent_.Row(t.h);
-  float* ts = ent_.Row(t.t);
-  for (size_t d = 0; d < dim_; ++d) {
-    hs[d] -= lr * g[d];
-    rr[d] -= lr * g[d];
-    ts[d] += lr * g[d];
-  }
-  UpdateProjection(t.h, g.data(), lr);
-  UpdateProjection(t.t, neg_g.data(), lr);
-  ent_.ProjectToUnitBall(t.h);
-  ent_.ProjectToUnitBall(t.t);
+  // d fused/d struct = I ; d fused/d proj handled by EmitProjectionUpdate.
+  ent_.Update(sink, t.h, g.data(), lr);
+  rel_.Update(sink, t.r, g.data(), lr);
+  ent_.Axpy(sink, t.t, lr, g.data());
+  EmitProjectionUpdate(t.h, g.data(), lr, sink);
+  EmitProjectionUpdate(t.t, neg_g.data(), lr, sink);
+  ent_.ProjectToUnitBall(sink, t.h);
+  ent_.ProjectToUnitBall(sink, t.t);
 }
 
-double TransAeModel::ReconStep(uint32_t e, float lr) {
+double TransAeModel::EmitReconStep(uint32_t e, float lr, GradSink* sink) {
   // Linear autoencoder on the image channel: x_hat = decoder^T enc(x),
   // enc(x) = proj^T x. Squared loss trains both maps.
   const float* img = image_ptr_[e];
   if (img == nullptr) return 0.0;
-  std::vector<float> z(dim_, 0.0f);
+  std::vector<float>& z = Scratch(dim_, 0);
+  std::fill(z.begin(), z.begin() + dim_, 0.0f);
   ProjectImage(e, z.data());
-  std::vector<float> xhat(image_dim_, 0.0f);
+  std::vector<float>& xhat = Scratch(image_dim_, 1);
+  std::fill(xhat.begin(), xhat.begin() + image_dim_, 0.0f);
   for (size_t d = 0; d < dim_; ++d) {
     float zd = z[d];
     if (zd == 0.0f) continue;
     nn::Axpy(zd, decoder_.Row(d), xhat.data(), image_dim_);
   }
   double loss = 0.0;
-  std::vector<float> dxhat(image_dim_);
+  std::vector<float>& dxhat = Scratch(image_dim_, 2);
   for (size_t i = 0; i < image_dim_; ++i) {
     float diff = xhat[i] - img[i];
     loss += 0.5 * diff * diff;
     dxhat[i] = recon_weight_ * diff;
   }
-  // dz = decoder dxhat ; d decoder[d][i] = z[d] * dxhat[i].
-  std::vector<float> dz(dim_, 0.0f);
+  // dz = decoder dxhat ; d decoder[d][i] = z[d] * dxhat[i]. All decoder
+  // rows are read before any is written, so routing the writes through the
+  // sink preserves the serial arithmetic exactly.
+  std::vector<float>& dz = Scratch(dim_, 3);
   for (size_t d = 0; d < dim_; ++d) {
-    float* drow = decoder_.Row(d);
-    dz[d] = nn::Dot(drow, dxhat.data(), image_dim_);
-    nn::Axpy(-lr * z[d], dxhat.data(), drow, image_dim_);
+    dz[d] = nn::Dot(decoder_.Row(d), dxhat.data(), image_dim_);
   }
-  UpdateProjection(e, dz.data(), lr);
+  for (size_t d = 0; d < dim_; ++d) {
+    sink->AxpyRow(&decoder_, d, -lr * z[d], dxhat.data(), image_dim_);
+  }
+  EmitProjectionUpdate(e, dz.data(), lr, sink);
   return recon_weight_ * loss;
 }
 
-double TransAeModel::TrainPairs(const std::vector<LpTriple>& pos,
-                                const std::vector<LpTriple>& neg,
-                                float lr) {
-  cache_valid_ = false;
+double TransAeModel::TrainBatch(const std::vector<LpTriple>& pos,
+                                const std::vector<LpTriple>& neg, float lr,
+                                GradSink* sink) {
+  cache_valid_.store(false, std::memory_order_relaxed);
   double loss = 0.0;
   for (size_t i = 0; i < pos.size(); ++i) {
     float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
@@ -192,12 +212,19 @@ double TransAeModel::TrainPairs(const std::vector<LpTriple>& pos,
     float hinge = margin_ + dp - dn;
     if (hinge > 0.0f) {
       loss += hinge;
-      ApplyGrad(pos[i], +1.0f, lr);
-      ApplyGrad(neg[i], -1.0f, lr);
+      EmitGrad(pos[i], +1.0f, lr, sink);
+      EmitGrad(neg[i], -1.0f, lr, sink);
     }
-    loss += ReconStep(pos[i].h, lr);
+    loss += EmitReconStep(pos[i].h, lr, sink);
   }
   return loss / static_cast<double>(pos.size());
+}
+
+double TransAeModel::TrainPairs(const std::vector<LpTriple>& pos,
+                                const std::vector<LpTriple>& neg,
+                                float lr) {
+  DirectGradSink sink;
+  return TrainBatch(pos, neg, lr, &sink);
 }
 
 // ---------------------------------------------------------------- RSME
@@ -270,23 +297,37 @@ void RsmeModel::ScoreHeads(uint32_t r, uint32_t t,
   }
 }
 
-void RsmeModel::ApplyGrad(const LpTriple& t, float direction, float lr) {
-  std::vector<float> fh(dim_), ft(dim_);
-  std::vector<float> vh(dim_, 0.0f), vt(dim_, 0.0f);
+void RsmeModel::EmitGrad(const LpTriple& t, float direction, float lr,
+                         GradSink* sink) {
+  std::vector<float>& fh = Scratch(dim_, 0);
+  std::vector<float>& ft = Scratch(dim_, 1);
+  std::vector<float>& vh = Scratch(dim_, 2);
+  std::vector<float>& vt = Scratch(dim_, 3);
+  std::fill(vh.begin(), vh.begin() + dim_, 0.0f);
+  std::fill(vt.begin(), vt.begin() + dim_, 0.0f);
   bool h_img = ProjectImage(t.h, vh.data());
   bool t_img = ProjectImage(t.t, vt.data());
   Fused(t.h, fh.data());
   Fused(t.t, ft.data());
-  float* hs = ent_.Row(t.h);
-  float* ts = ent_.Row(t.t);
-  float* rr = rel_.Row(t.r);
-  std::vector<float> dvh(dim_, 0.0f), dvt(dim_, 0.0f);
+  const float* hs = ent_.Row(t.h);
+  const float* ts = ent_.Row(t.t);
+  const float* rr = rel_.Row(t.r);
+  std::vector<float>& dvh = Scratch(dim_, 4);
+  std::vector<float>& dvt = Scratch(dim_, 5);
+  std::vector<float>& dh = Scratch(dim_, 6);
+  // dt / drr / dgate packed to stay within the scratch slots.
+  std::vector<float>& rest = Scratch(3 * dim_, 7);
+  float* dt = rest.data();
+  float* drr = rest.data() + dim_;
+  float* dgate_v = rest.data() + 2 * dim_;
   for (size_t d = 0; d < dim_; ++d) {
     float g = direction * SignOf(fh[d] + rr[d] - ft[d]);
     float a = 1.0f / (1.0f + std::exp(-gate_(0, d)));
     float sh = hs[d], st = ts[d];
     // d fused_h = g ; d fused_t = -g ; d r = g.
     float dgate = 0.0f;
+    dvh[d] = 0.0f;
+    dvt[d] = 0.0f;
     if (h_img) {
       dvh[d] = (1.0f - a) * g;
       dgate += g * (sh - vh[d]) * a * (1.0f - a);
@@ -295,20 +336,25 @@ void RsmeModel::ApplyGrad(const LpTriple& t, float direction, float lr) {
       dvt[d] = -(1.0f - a) * g;
       dgate += -g * (st - vt[d]) * a * (1.0f - a);
     }
-    hs[d] -= lr * (h_img ? a : 1.0f) * g;
-    ts[d] += lr * (t_img ? a : 1.0f) * g;
-    rr[d] -= lr * g;
-    gate_(0, d) -= lr * dgate;
+    dh[d] = (h_img ? a : 1.0f) * g;
+    dt[d] = (t_img ? a : 1.0f) * g;
+    drr[d] = g;
+    dgate_v[d] = dgate;
   }
-  UpdateProjection(t.h, dvh.data(), lr);
-  UpdateProjection(t.t, dvt.data(), lr);
-  ent_.ProjectToUnitBall(t.h);
-  ent_.ProjectToUnitBall(t.t);
+  ent_.Update(sink, t.h, dh.data(), lr);
+  ent_.Axpy(sink, t.t, lr, dt);
+  rel_.Update(sink, t.r, drr, lr);
+  sink->AxpyRow(&gate_, 0, -lr, dgate_v, dim_);
+  EmitProjectionUpdate(t.h, dvh.data(), lr, sink);
+  EmitProjectionUpdate(t.t, dvt.data(), lr, sink);
+  ent_.ProjectToUnitBall(sink, t.h);
+  ent_.ProjectToUnitBall(sink, t.t);
 }
 
-double RsmeModel::TrainPairs(const std::vector<LpTriple>& pos,
-                             const std::vector<LpTriple>& neg, float lr) {
-  cache_valid_ = false;
+double RsmeModel::TrainBatch(const std::vector<LpTriple>& pos,
+                             const std::vector<LpTriple>& neg, float lr,
+                             GradSink* sink) {
+  cache_valid_.store(false, std::memory_order_relaxed);
   double loss = 0.0;
   for (size_t i = 0; i < pos.size(); ++i) {
     float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
@@ -316,11 +362,17 @@ double RsmeModel::TrainPairs(const std::vector<LpTriple>& pos,
     float hinge = margin_ + dp - dn;
     if (hinge > 0.0f) {
       loss += hinge;
-      ApplyGrad(pos[i], +1.0f, lr);
-      ApplyGrad(neg[i], -1.0f, lr);
+      EmitGrad(pos[i], +1.0f, lr, sink);
+      EmitGrad(neg[i], -1.0f, lr, sink);
     }
   }
   return loss / static_cast<double>(pos.size());
+}
+
+double RsmeModel::TrainPairs(const std::vector<LpTriple>& pos,
+                             const std::vector<LpTriple>& neg, float lr) {
+  DirectGradSink sink;
+  return TrainBatch(pos, neg, lr, &sink);
 }
 
 // ----------------------------------------------------------- MkgFusion
@@ -444,8 +496,8 @@ void MkgFusionModel::ScoreHeads(uint32_t r, uint32_t t,
   }
 }
 
-void MkgFusionModel::ApplyGrad(const LpTriple& t, float direction,
-                               float lr) {
+void MkgFusionModel::EmitGrad(const LpTriple& t, float direction, float lr,
+                              GradSink* sink) {
   nn::Matrix hc, tc;
   ChannelVectors(t.h, &hc);
   ChannelVectors(t.t, &tc);
@@ -467,69 +519,61 @@ void MkgFusionModel::ApplyGrad(const LpTriple& t, float direction,
   }
   // d total / d logit_c = w_c (d_c - mean); `direction` +1 shrinks the
   // positive pair's weighted distance.
+  float dlog[kChannels];
   for (size_t c = 0; c < kChannels; ++c) {
-    channel_logits_(0, c) -=
-        lr * direction * w[c] * (dists[c] - mean_dist);
+    dlog[c] = direction * w[c] * (dists[c] - mean_dist);
   }
+  sink->AxpyRow(&channel_logits_, 0, -lr, dlog, kChannels);
 
-  std::vector<float> g(dim_);
-  nn::Matrix dtext(1, dim_);
+  std::vector<float>& g = Scratch(dim_, 0);
+  std::vector<float>& neg_g = Scratch(dim_, 1);
   for (size_t c = 0; c < kChannels; ++c) {
-    float* rr = rels[c]->Row(t.r);
+    const float* rr = rels[c]->Row(t.r);
     float wc = direction * w[c];
     for (size_t d = 0; d < dim_; ++d) {
       g[d] = wc * SignOf(hc(c, d) + rr[d] - tc(c, d));
-      rr[d] -= lr * g[d];
     }
+    rels[c]->Update(sink, t.r, g.data(), lr);
     switch (c) {
       case 0: {  // structure
-        float* hs = ent_.Row(t.h);
-        float* ts = ent_.Row(t.t);
-        for (size_t d = 0; d < dim_; ++d) {
-          hs[d] -= lr * g[d];
-          ts[d] += lr * g[d];
-        }
-        ent_.ProjectToUnitBall(t.h);
-        ent_.ProjectToUnitBall(t.t);
+        ent_.Update(sink, t.h, g.data(), lr);
+        ent_.Axpy(sink, t.t, lr, g.data());
+        ent_.ProjectToUnitBall(sink, t.h);
+        ent_.ProjectToUnitBall(sink, t.t);
         break;
       }
       case 1: {  // text: h gets -g, t gets +g through the shared bag table
-        for (size_t d = 0; d < dim_; ++d) dtext(0, d) = g[d];
-        text_emb_.Backward({features_.EntityFeatures(t.h)}, dtext);
-        for (size_t d = 0; d < dim_; ++d) dtext(0, d) = -g[d];
-        text_emb_.Backward({features_.EntityFeatures(t.t)}, dtext);
-        // Apply + clear the touched sparse rows.
+        // Each bag feature's row moves by -lr * (1/|bag|) * dout, emitted
+        // directly through the sink instead of staging in the shared
+        // Parameter::grad buffer (which concurrent batches would race on).
         nn::Parameter* tp = text_emb_.table();
-        auto apply_rows = [&](const std::vector<uint32_t>& bag) {
+        auto emit_rows = [&](const std::vector<uint32_t>& bag, float sign) {
+          if (bag.empty()) return;
+          float alpha = -lr * sign / static_cast<float>(bag.size());
           for (uint32_t f : bag) {
-            size_t row = f % text_emb_.vocab_size();
-            float* v = tp->value.Row(row);
-            float* gr = tp->grad.Row(row);
-            for (size_t d = 0; d < dim_; ++d) {
-              v[d] -= lr * gr[d];
-              gr[d] = 0.0f;
-            }
+            sink->AxpyRow(&tp->value,
+                          static_cast<uint32_t>(f % text_emb_.vocab_size()),
+                          alpha, g.data(), dim_);
           }
         };
-        apply_rows(features_.EntityFeatures(t.h));
-        apply_rows(features_.EntityFeatures(t.t));
+        emit_rows(features_.EntityFeatures(t.h), 1.0f);
+        emit_rows(features_.EntityFeatures(t.t), -1.0f);
         break;
       }
       case 2: {  // image
-        std::vector<float> neg_g(dim_);
         for (size_t d = 0; d < dim_; ++d) neg_g[d] = -g[d];
-        UpdateProjection(t.h, g.data(), lr);
-        UpdateProjection(t.t, neg_g.data(), lr);
+        EmitProjectionUpdate(t.h, g.data(), lr, sink);
+        EmitProjectionUpdate(t.t, neg_g.data(), lr, sink);
         break;
       }
     }
   }
 }
 
-double MkgFusionModel::TrainPairs(const std::vector<LpTriple>& pos,
-                                  const std::vector<LpTriple>& neg,
-                                  float lr) {
-  cache_valid_ = false;
+double MkgFusionModel::TrainBatch(const std::vector<LpTriple>& pos,
+                                  const std::vector<LpTriple>& neg, float lr,
+                                  GradSink* sink) {
+  cache_valid_.store(false, std::memory_order_relaxed);
   double loss = 0.0;
   for (size_t i = 0; i < pos.size(); ++i) {
     float dp = WeightedDistance(pos[i].h, pos[i].r, pos[i].t, nullptr);
@@ -537,11 +581,18 @@ double MkgFusionModel::TrainPairs(const std::vector<LpTriple>& pos,
     float hinge = margin_ + dp - dn;
     if (hinge > 0.0f) {
       loss += hinge;
-      ApplyGrad(pos[i], +1.0f, lr);
-      ApplyGrad(neg[i], -1.0f, lr);
+      EmitGrad(pos[i], +1.0f, lr, sink);
+      EmitGrad(neg[i], -1.0f, lr, sink);
     }
   }
   return loss / static_cast<double>(pos.size());
+}
+
+double MkgFusionModel::TrainPairs(const std::vector<LpTriple>& pos,
+                                  const std::vector<LpTriple>& neg,
+                                  float lr) {
+  DirectGradSink sink;
+  return TrainBatch(pos, neg, lr, &sink);
 }
 
 }  // namespace openbg::kge

@@ -1,6 +1,7 @@
 #ifndef OPENBG_KGE_MULTIMODAL_MODELS_H_
 #define OPENBG_KGE_MULTIMODAL_MODELS_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,11 @@ class MultimodalBase : public KgeModel {
 
   /// d(projection)/d(out-gradient): accumulates into proj_ with SGD.
   void UpdateProjection(uint32_t e, const float* dout, float lr);
+
+  /// Sink-routed UpdateProjection: identical arithmetic through a
+  /// DirectGradSink, or recorded for ordered replay through an OpLogSink.
+  void EmitProjectionUpdate(uint32_t e, const float* dout, float lr,
+                            GradSink* sink);
 
   size_t dim_;
   size_t image_dim_;
@@ -52,19 +58,23 @@ class TransAeModel : public MultimodalBase {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  TrainCaps train_caps() const override { return {true, true}; }
+  double TrainBatch(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr,
+                    GradSink* sink) override;
   void PrepareEval() override;
 
  private:
   void Fused(uint32_t e, float* out) const;
-  void ApplyGrad(const LpTriple& t, float direction, float lr);
-  double ReconStep(uint32_t e, float lr);
+  void EmitGrad(const LpTriple& t, float direction, float lr, GradSink* sink);
+  double EmitReconStep(uint32_t e, float lr, GradSink* sink);
 
   float margin_;
   float recon_weight_;
   EmbeddingTable ent_, rel_;
   nn::Matrix decoder_;  // [dim x image_dim]
   mutable nn::Matrix fused_cache_;
-  bool cache_valid_ = false;
+  std::atomic<bool> cache_valid_{false};
 };
 
 /// RSME (Wang et al. 2021): a learned per-dimension *filter gate* decides
@@ -86,18 +96,22 @@ class RsmeModel : public MultimodalBase {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  TrainCaps train_caps() const override { return {true, true}; }
+  double TrainBatch(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr,
+                    GradSink* sink) override;
   void PrepareEval() override;
 
  private:
   // fused = sigmoid(gate) * struct + (1 - sigmoid(gate)) * proj(img).
   void Fused(uint32_t e, float* out) const;
-  void ApplyGrad(const LpTriple& t, float direction, float lr);
+  void EmitGrad(const LpTriple& t, float direction, float lr, GradSink* sink);
 
   float margin_;
   EmbeddingTable ent_, rel_;
   nn::Matrix gate_;  // [1 x dim], pre-sigmoid
   mutable nn::Matrix fused_cache_;
-  bool cache_valid_ = false;
+  std::atomic<bool> cache_valid_{false};
 };
 
 /// MKGformer stand-in ("MkgFusion"): multi-level fusion of three channels —
@@ -118,6 +132,10 @@ class MkgFusionModel : public MultimodalBase {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  TrainCaps train_caps() const override { return {true, true}; }
+  double TrainBatch(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr,
+                    GradSink* sink) override;
   void PrepareEval() override;
 
  private:
@@ -129,8 +147,11 @@ class MkgFusionModel : public MultimodalBase {
   // `d_out` (size kChannels) when non-null.
   float WeightedDistance(uint32_t h, uint32_t r, uint32_t t,
                          float* d_out) const;
-  // Applies the margin-ranking gradient for one triple.
-  void ApplyGrad(const LpTriple& t, float direction, float lr);
+  // Emits the margin-ranking gradient for one triple. The text channel
+  // updates the bag table rows directly through the sink (one AxpyRow per
+  // bag feature) instead of staging through the shared Parameter::grad
+  // buffer, so concurrent batches never race on grad accumulation.
+  void EmitGrad(const LpTriple& t, float direction, float lr, GradSink* sink);
 
   float margin_;
   TextFeaturizer features_;
@@ -138,7 +159,7 @@ class MkgFusionModel : public MultimodalBase {
   nn::EmbeddingBag text_emb_;
   nn::Matrix channel_logits_;  // [1 x 3]
   mutable std::vector<nn::Matrix> channel_cache_;  // per channel [E x dim]
-  bool cache_valid_ = false;
+  std::atomic<bool> cache_valid_{false};
 };
 
 }  // namespace openbg::kge

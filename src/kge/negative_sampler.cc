@@ -38,11 +38,16 @@ bool NegativeSampler::IsKnownPositive(const LpTriple& t) const {
 }
 
 LpTriple NegativeSampler::Corrupt(const LpTriple& pos) {
+  return Corrupt(pos, &rng_);
+}
+
+LpTriple NegativeSampler::Corrupt(const LpTriple& pos,
+                                  util::Rng* rng) const {
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
     LpTriple neg = pos;
-    bool corrupt_head = rng_.UniformDouble() < head_corrupt_prob_[pos.r];
+    bool corrupt_head = rng->UniformDouble() < head_corrupt_prob_[pos.r];
     uint32_t random_entity =
-        static_cast<uint32_t>(rng_.Uniform(num_entities_));
+        static_cast<uint32_t>(rng->Uniform(num_entities_));
     if (corrupt_head) {
       neg.h = random_entity;
     } else {
@@ -58,10 +63,10 @@ LpTriple NegativeSampler::Corrupt(const LpTriple& pos) {
   // (possible whenever num_entities_ >= 2; a 1-entity world has no negative).
   LpTriple neg = pos;
   if (num_entities_ >= 2) {
-    bool corrupt_head = rng_.UniformDouble() < head_corrupt_prob_[pos.r];
+    bool corrupt_head = rng->UniformDouble() < head_corrupt_prob_[pos.r];
     uint32_t orig = corrupt_head ? pos.h : pos.t;
     uint32_t replacement = static_cast<uint32_t>(
-        (orig + 1 + rng_.Uniform(num_entities_ - 1)) % num_entities_);
+        (orig + 1 + rng->Uniform(num_entities_ - 1)) % num_entities_);
     if (corrupt_head) {
       neg.h = replacement;
     } else {
@@ -73,9 +78,15 @@ LpTriple NegativeSampler::Corrupt(const LpTriple& pos) {
 
 void NegativeSampler::CorruptBatch(const std::vector<LpTriple>& batch,
                                    std::vector<LpTriple>* out) {
+  CorruptBatch(batch, out, &rng_);
+}
+
+void NegativeSampler::CorruptBatch(const std::vector<LpTriple>& batch,
+                                   std::vector<LpTriple>* out,
+                                   util::Rng* rng) const {
   out->clear();
   out->reserve(batch.size());
-  for (const LpTriple& t : batch) out->push_back(Corrupt(t));
+  for (const LpTriple& t : batch) out->push_back(Corrupt(t, rng));
 }
 
 std::vector<LpTriple> NegativeSampler::CorruptBatch(

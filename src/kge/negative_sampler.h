@@ -38,6 +38,14 @@ class NegativeSampler {
   /// Allocating convenience overload.
   std::vector<LpTriple> CorruptBatch(const std::vector<LpTriple>& batch);
 
+  /// Explicit-stream variants: draw from a caller-owned RNG instead of the
+  /// member stream. Const — they touch no sampler state, so concurrent
+  /// workers each corrupting with their own Rng are race-free. The member
+  /// versions above delegate here with &rng_.
+  LpTriple Corrupt(const LpTriple& pos, util::Rng* rng) const;
+  void CorruptBatch(const std::vector<LpTriple>& batch,
+                    std::vector<LpTriple>* out, util::Rng* rng) const;
+
   /// True iff the triple is a known positive (train split).
   bool IsKnownPositive(const LpTriple& t) const;
 

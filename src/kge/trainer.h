@@ -10,6 +10,19 @@
 
 namespace openbg::kge {
 
+/// How the trainer uses multiple threads (see DESIGN.md §9).
+enum class TrainMode {
+  /// Lock-free Hogwild: the epoch's shuffled batch list is sharded across
+  /// workers that update the shared embeddings without synchronization.
+  /// Fastest, but parameter values depend on thread interleaving (the
+  /// benign-race policy documented in TrainCaps::hogwild_safe).
+  kHogwild,
+  /// Deterministic reduction: workers compute per-batch gradient op-logs
+  /// from a round-start parameter snapshot; a serial fold replays them in
+  /// batch order. Bit-identical results at any thread count.
+  kDeterministic,
+};
+
 /// Epoch/batch driver for KgeModel training. One negative per positive
 /// (classic setup); learning-rate and sampler strategy are configurable to
 /// support the ablation benches.
@@ -21,6 +34,19 @@ struct TrainConfig {
   uint64_t seed = 29;
   /// Optional per-epoch callback (epoch, mean loss).
   std::function<void(size_t, double)> on_epoch;
+
+  /// Training threads. 1 (the default) runs the classic serial loop with
+  /// its exact legacy arithmetic; 0 means hardware concurrency. With more
+  /// than one thread, `mode` picks the parallel strategy — and a model
+  /// whose TrainCaps cannot support that strategy falls back to the serial
+  /// loop (with a logged warning) rather than computing wrong answers.
+  size_t num_threads = 1;
+  TrainMode mode = TrainMode::kHogwild;
+  /// Deterministic mode processes batches in parallel rounds of this many;
+  /// each round's gradients are computed from the round-start parameters
+  /// and folded serially in batch order. Larger rounds expose more
+  /// parallelism but make the staleness window (and op-log memory) bigger.
+  size_t round_batches = 8;
 
   /// When non-empty, a crash-safe checkpoint (model parameters + trainer
   /// RNG state; see kge/checkpoint.h) is written here every

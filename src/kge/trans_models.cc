@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "kge/grad_sink.h"
 #include "nn/kernels.h"
 #include "nn/loss.h"
 
@@ -15,6 +16,16 @@ float L1Distance(const float* a, const float* b, const float* c, size_t d) {
   float s = 0.0f;
   for (size_t i = 0; i < d; ++i) s += std::fabs(a[i] + b[i] - c[i]);
   return s;
+}
+
+// Per-thread gradient scratch. Workers training concurrently (Hogwild) or
+// batches logging ops (deterministic mode) each get private buffers; the
+// buffers grow to the largest dim seen and then stop allocating.
+std::vector<float>& Scratch(size_t n, size_t which = 0) {
+  static thread_local std::vector<float> bufs[4];
+  std::vector<float>& b = bufs[which];
+  if (b.size() < n) b.resize(n);
+  return b;
 }
 
 }  // namespace
@@ -59,25 +70,31 @@ void TransE::ScoreHeads(uint32_t r, uint32_t t,
   }
 }
 
-void TransE::ApplyGrad(const LpTriple& t, float direction, float lr) {
+void TransE::EmitGrad(const LpTriple& t, float direction, float lr,
+                      GradSink* sink) {
   // d||h+r-t||_1 subgradient: sign(h+r-t); `direction` +1 shrinks the
-  // positive distance, -1 grows the negative one.
-  float* hh = ent_.Row(t.h);
-  float* rr = rel_.Row(t.r);
-  float* tt = ent_.Row(t.t);
+  // positive distance, -1 grows the negative one. The full gradient vector
+  // is computed from the current rows before any write is emitted, so the
+  // direct-sink path reproduces the old interleaved loop exactly (every
+  // element's reads preceded its writes there too).
+  const float* hh = ent_.Row(t.h);
+  const float* rr = rel_.Row(t.r);
+  const float* tt = ent_.Row(t.t);
+  std::vector<float>& g = Scratch(dim_);
   for (size_t d = 0; d < dim_; ++d) {
     float diff = hh[d] + rr[d] - tt[d];
-    float g = direction * (diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f));
-    hh[d] -= lr * g;
-    rr[d] -= lr * g;
-    tt[d] += lr * g;
+    g[d] = direction * (diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f));
   }
-  ent_.ProjectToUnitBall(t.h);
-  ent_.ProjectToUnitBall(t.t);
+  ent_.Update(sink, t.h, g.data(), lr);
+  rel_.Update(sink, t.r, g.data(), lr);
+  ent_.Axpy(sink, t.t, lr, g.data());
+  ent_.ProjectToUnitBall(sink, t.h);
+  ent_.ProjectToUnitBall(sink, t.t);
 }
 
-double TransE::TrainPairs(const std::vector<LpTriple>& pos,
-                          const std::vector<LpTriple>& neg, float lr) {
+double TransE::TrainBatch(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr,
+                          GradSink* sink) {
   double loss = 0.0;
   for (size_t i = 0; i < pos.size(); ++i) {
     float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
@@ -85,11 +102,17 @@ double TransE::TrainPairs(const std::vector<LpTriple>& pos,
     float hinge = margin_ + dp - dn;
     if (hinge > 0.0f) {
       loss += hinge;
-      ApplyGrad(pos[i], +1.0f, lr);
-      ApplyGrad(neg[i], -1.0f, lr);
+      EmitGrad(pos[i], +1.0f, lr, sink);
+      EmitGrad(neg[i], -1.0f, lr, sink);
     }
   }
   return loss / static_cast<double>(pos.size());
+}
+
+double TransE::TrainPairs(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr) {
+  DirectGradSink sink;
+  return TrainBatch(pos, neg, lr, &sink);
 }
 
 void TransE::VisitParams(const ParamVisitor& fn) {
@@ -171,15 +194,16 @@ void TransH::ScoreHeads(uint32_t r, uint32_t t,
   }
 }
 
-void TransH::ApplyGrad(const LpTriple& t, float direction, float lr) {
-  float* hh = ent_.Row(t.h);
-  float* tt = ent_.Row(t.t);
-  float* dd = d_.Row(t.r);
-  float* ww = w_.Row(t.r);
+void TransH::EmitGrad(const LpTriple& t, float direction, float lr,
+                      GradSink* sink, std::vector<uint32_t>* touched) {
+  const float* hh = ent_.Row(t.h);
+  const float* tt = ent_.Row(t.t);
+  const float* dd = d_.Row(t.r);
+  const float* ww = w_.Row(t.r);
   float wh = nn::Dot(ww, hh, dim_);
   float wt = nn::Dot(ww, tt, dim_);
   // g = subgradient of the L1 distance wrt (h_perp + d - t_perp).
-  std::vector<float> g(dim_);
+  std::vector<float>& g = Scratch(dim_, 0);
   for (size_t i = 0; i < dim_; ++i) {
     float diff = (hh[i] - wh * ww[i]) + dd[i] - (tt[i] - wt * ww[i]);
     g[i] =
@@ -188,38 +212,48 @@ void TransH::ApplyGrad(const LpTriple& t, float direction, float lr) {
   float gw = nn::Dot(g.data(), ww, dim_);
   // dh = (I - w w^T) g ; dt = -(I - w w^T) g ; dd = g ;
   // dw = -((g.w) h + (w.h) g) + ((g.w) t + (w.t) g).
+  std::vector<float>& dh = Scratch(dim_, 1);
+  std::vector<float>& dw = Scratch(dim_, 2);
   for (size_t i = 0; i < dim_; ++i) {
-    float dh = g[i] - gw * ww[i];
-    float dw = -(gw * hh[i] + wh * g[i]) + (gw * tt[i] + wt * g[i]);
-    hh[i] -= lr * dh;
-    tt[i] += lr * dh;
-    dd[i] -= lr * g[i];
-    ww[i] -= lr * dw;
+    dh[i] = g[i] - gw * ww[i];
+    dw[i] = -(gw * hh[i] + wh * g[i]) + (gw * tt[i] + wt * g[i]);
   }
-  ent_.ProjectToUnitBall(t.h);
-  ent_.ProjectToUnitBall(t.t);
-  touched_relations_.push_back(t.r);
+  ent_.Update(sink, t.h, dh.data(), lr);
+  ent_.Axpy(sink, t.t, lr, dh.data());
+  d_.Update(sink, t.r, g.data(), lr);
+  w_.Update(sink, t.r, dw.data(), lr);
+  ent_.ProjectToUnitBall(sink, t.h);
+  ent_.ProjectToUnitBall(sink, t.t);
+  touched->push_back(t.r);
 }
 
-double TransH::TrainPairs(const std::vector<LpTriple>& pos,
-                          const std::vector<LpTriple>& neg, float lr) {
+double TransH::TrainBatch(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr,
+                          GradSink* sink) {
   double loss = 0.0;
+  std::vector<uint32_t> touched;
+  touched.reserve(2 * pos.size());
   for (size_t i = 0; i < pos.size(); ++i) {
     float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
     float dn = -ScoreTriple(neg[i].h, neg[i].r, neg[i].t);
     float hinge = margin_ + dp - dn;
     if (hinge > 0.0f) {
       loss += hinge;
-      ApplyGrad(pos[i], +1.0f, lr);
-      ApplyGrad(neg[i], -1.0f, lr);
+      EmitGrad(pos[i], +1.0f, lr, sink, &touched);
+      EmitGrad(neg[i], -1.0f, lr, sink, &touched);
     }
   }
+  // Re-normalize every touched hyperplane normal at end of batch (the old
+  // PostStep, emitted through the sink in the same touch order so the
+  // serial numerics are unchanged and no cross-batch state remains).
+  for (uint32_t r : touched) w_.NormalizeRow(sink, r);
   return loss / static_cast<double>(pos.size());
 }
 
-void TransH::PostStep() {
-  for (uint32_t r : touched_relations_) w_.NormalizeRow(r);
-  touched_relations_.clear();
+double TransH::TrainPairs(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr) {
+  DirectGradSink sink;
+  return TrainBatch(pos, neg, lr, &sink);
 }
 
 void TransH::VisitParams(const ParamVisitor& fn) {
@@ -289,18 +323,18 @@ void TransD::ScoreHeads(uint32_t r, uint32_t t,
   }
 }
 
-void TransD::ApplyGrad(const LpTriple& t, float direction, float lr) {
+void TransD::EmitGrad(const LpTriple& t, float direction, float lr,
+                      GradSink* sink) {
   std::vector<float> hperp(dim_), tperp(dim_);
   Project(t.h, t.r, hperp.data());
   Project(t.t, t.r, tperp.data());
-  float* hh = ent_.Row(t.h);
-  float* hp = ent_p_.Row(t.h);
-  float* tt = ent_.Row(t.t);
-  float* tp = ent_p_.Row(t.t);
-  float* rr = rel_.Row(t.r);
-  float* rp = rel_p_.Row(t.r);
+  const float* hh = ent_.Row(t.h);
+  const float* hp = ent_p_.Row(t.h);
+  const float* tt = ent_.Row(t.t);
+  const float* tp = ent_p_.Row(t.t);
+  const float* rp = rel_p_.Row(t.r);
   const float* dd = rel_.Row(t.r);
-  std::vector<float> g(dim_);
+  std::vector<float>& g = Scratch(dim_, 0);
   for (size_t i = 0; i < dim_; ++i) {
     float diff = hperp[i] + dd[i] - tperp[i];
     g[i] =
@@ -309,27 +343,34 @@ void TransD::ApplyGrad(const LpTriple& t, float direction, float lr) {
   float grp = nn::Dot(g.data(), rp, dim_);
   float hph = nn::Dot(hp, hh, dim_);
   float tpt = nn::Dot(tp, tt, dim_);
+  // h_perp = h + (hp.h) rp ; t_perp analogous. All six gradient vectors are
+  // functions of the pre-update rows, so compute them fully, then emit.
+  std::vector<float>& dh = Scratch(dim_, 1);
+  std::vector<float>& dhp = Scratch(dim_, 2);
+  std::vector<float>& dmix = Scratch(4 * dim_, 3);
+  float* dt = dmix.data();
+  float* dtp = dmix.data() + dim_;
+  float* drp = dmix.data() + 2 * dim_;
   for (size_t i = 0; i < dim_; ++i) {
-    // h_perp = h + (hp.h) rp ; t_perp analogous.
-    float dh = g[i] + grp * hp[i];
-    float dhp = grp * hh[i];
-    float dt = -(g[i] + grp * tp[i]);
-    float dtp = -grp * tt[i];
-    float dr = g[i];
-    float drp = (hph - tpt) * g[i];
-    hh[i] -= lr * dh;
-    hp[i] -= lr * dhp;
-    tt[i] -= lr * dt;
-    tp[i] -= lr * dtp;
-    rr[i] -= lr * dr;
-    rp[i] -= lr * drp;
+    dh[i] = g[i] + grp * hp[i];
+    dhp[i] = grp * hh[i];
+    dt[i] = -(g[i] + grp * tp[i]);
+    dtp[i] = -grp * tt[i];
+    drp[i] = (hph - tpt) * g[i];
   }
-  ent_.ProjectToUnitBall(t.h);
-  ent_.ProjectToUnitBall(t.t);
+  ent_.Update(sink, t.h, dh.data(), lr);
+  ent_p_.Update(sink, t.h, dhp.data(), lr);
+  ent_.Update(sink, t.t, dt, lr);
+  ent_p_.Update(sink, t.t, dtp, lr);
+  rel_.Update(sink, t.r, g.data(), lr);
+  rel_p_.Update(sink, t.r, drp, lr);
+  ent_.ProjectToUnitBall(sink, t.h);
+  ent_.ProjectToUnitBall(sink, t.t);
 }
 
-double TransD::TrainPairs(const std::vector<LpTriple>& pos,
-                          const std::vector<LpTriple>& neg, float lr) {
+double TransD::TrainBatch(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr,
+                          GradSink* sink) {
   double loss = 0.0;
   for (size_t i = 0; i < pos.size(); ++i) {
     float dp = -ScoreTriple(pos[i].h, pos[i].r, pos[i].t);
@@ -337,11 +378,17 @@ double TransD::TrainPairs(const std::vector<LpTriple>& pos,
     float hinge = margin_ + dp - dn;
     if (hinge > 0.0f) {
       loss += hinge;
-      ApplyGrad(pos[i], +1.0f, lr);
-      ApplyGrad(neg[i], -1.0f, lr);
+      EmitGrad(pos[i], +1.0f, lr, sink);
+      EmitGrad(neg[i], -1.0f, lr, sink);
     }
   }
   return loss / static_cast<double>(pos.size());
+}
+
+double TransD::TrainPairs(const std::vector<LpTriple>& pos,
+                          const std::vector<LpTriple>& neg, float lr) {
+  DirectGradSink sink;
+  return TrainBatch(pos, neg, lr, &sink);
 }
 
 void TransD::VisitParams(const ParamVisitor& fn) {

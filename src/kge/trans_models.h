@@ -24,14 +24,19 @@ class TransE : public KgeModel {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  TrainCaps train_caps() const override { return {true, true}; }
+  double TrainBatch(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr,
+                    GradSink* sink) override;
   void VisitParams(const ParamVisitor& fn) override;
 
   EmbeddingTable& entities() { return ent_; }
   EmbeddingTable& relations() { return rel_; }
 
  private:
-  // Applies the +/- L1 subgradient of one triple's distance to its rows.
-  void ApplyGrad(const LpTriple& t, float direction, float lr);
+  // Emits the +/- L1 subgradient of one triple's distance through the sink.
+  void EmitGrad(const LpTriple& t, float direction, float lr,
+                GradSink* sink);
 
   size_t dim_;
   float margin_;
@@ -54,16 +59,22 @@ class TransH : public KgeModel {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
-  void PostStep() override;
+  TrainCaps train_caps() const override { return {true, true}; }
+  double TrainBatch(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr,
+                    GradSink* sink) override;
   void VisitParams(const ParamVisitor& fn) override;
 
  private:
-  void ApplyGrad(const LpTriple& t, float direction, float lr);
+  // Emits the gradient and records r in *touched for the end-of-batch
+  // normal re-normalization (formerly PostStep state, now batch-local so
+  // concurrent TrainBatch calls never share a container).
+  void EmitGrad(const LpTriple& t, float direction, float lr, GradSink* sink,
+                std::vector<uint32_t>* touched);
 
   size_t dim_;
   float margin_;
   EmbeddingTable ent_, d_, w_;
-  std::vector<uint32_t> touched_relations_;
 };
 
 /// TransD (Ji et al. 2015): dynamic mapping via entity- and relation-
@@ -81,11 +92,16 @@ class TransD : public KgeModel {
                   std::vector<float>* out) const override;
   double TrainPairs(const std::vector<LpTriple>& pos,
                     const std::vector<LpTriple>& neg, float lr) override;
+  TrainCaps train_caps() const override { return {true, true}; }
+  double TrainBatch(const std::vector<LpTriple>& pos,
+                    const std::vector<LpTriple>& neg, float lr,
+                    GradSink* sink) override;
   void VisitParams(const ParamVisitor& fn) override;
 
  private:
   void Project(uint32_t e, uint32_t r, float* out) const;
-  void ApplyGrad(const LpTriple& t, float direction, float lr);
+  void EmitGrad(const LpTriple& t, float direction, float lr,
+                GradSink* sink);
 
   size_t dim_;
   float margin_;

@@ -65,7 +65,7 @@ void Reasoner::EnsureEquivalence() const {
     uf_parent_[x] = root;
     return root;
   };
-  graph_->store.ForEachMatch(
+  graph_->store.ForEachMatchFn(
       TriplePattern{TriplePattern::kAny, graph_->vocab.owl_equivalent_class,
                     TriplePattern::kAny},
       [&](const Triple& t) {
@@ -96,7 +96,7 @@ std::vector<Violation> Reasoner::ValidateObjectProperties() const {
   for (const ObjectPropertySpec& spec : ontology_->object_properties()) {
     TermId domain_cls = ontology_->CoreTerm(spec.domain);
     TermId range_cls = ontology_->CoreTerm(spec.range);
-    graph_->store.ForEachMatch(
+    graph_->store.ForEachMatchFn(
         TriplePattern{TriplePattern::kAny, spec.property,
                       TriplePattern::kAny},
         [&](const Triple& t) {
@@ -132,14 +132,14 @@ std::vector<TermId> Reasoner::FindOrphanClasses() const {
   const auto& v = graph_->vocab;
   std::unordered_set<TermId> classes;
   for (TermId prop : {v.rdfs_sub_class_of, v.skos_broader}) {
-    graph_->store.ForEachMatch(
+    graph_->store.ForEachMatchFn(
         TriplePattern{TriplePattern::kAny, prop, TriplePattern::kAny},
         [&](const Triple& t) {
           classes.insert(t.s);
           return true;
         });
   }
-  graph_->store.ForEachMatch(
+  graph_->store.ForEachMatchFn(
       TriplePattern{TriplePattern::kAny, v.rdf_type, TriplePattern::kAny},
       [&](const Triple& t) {
         classes.insert(t.o);

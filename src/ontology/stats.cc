@@ -42,7 +42,7 @@ KgStats ComputeKgStats(const rdf::Graph& graph, const Ontology& ontology) {
   Taxonomy cat_tax(store, ontology.CoreTerm(CoreKind::kCategory),
                    ontology.TaxonomyProperty(CoreKind::kCategory));
   std::unordered_set<TermId> products, entities;
-  store.ForEachMatch(
+  store.ForEachMatchFn(
       TriplePattern{TriplePattern::kAny, v.rdf_type, TriplePattern::kAny},
       [&](const Triple& t) {
         entities.insert(t.s);

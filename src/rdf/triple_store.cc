@@ -153,29 +153,12 @@ std::pair<const uint32_t*, const uint32_t*> TripleStore::PrefixRange(
 void TripleStore::ForEachMatch(
     const TriplePattern& pattern,
     const std::function<bool(const Triple&)>& fn) const {
-  constexpr TermId kAny = TriplePattern::kAny;
-  auto matches = [&pattern](const Triple& t) {
-    return (pattern.s == kAny || pattern.s == t.s) &&
-           (pattern.p == kAny || pattern.p == t.p) &&
-           (pattern.o == kAny || pattern.o == t.o);
-  };
-  Order order;
-  auto [begin, end] = PrefixRange(pattern, &order);
-  if (begin == nullptr) {  // full scan
-    for (const Triple& t : triples_) {
-      if (!fn(t)) return;
-    }
-    return;
-  }
-  for (const uint32_t* it = begin; it != end; ++it) {
-    const Triple& t = triples_[*it];
-    if (matches(t) && !fn(t)) return;
-  }
+  ForEachMatchFn(pattern, [&fn](const Triple& t) { return fn(t); });
 }
 
 std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
   std::vector<Triple> out;
-  ForEachMatch(pattern, [&out](const Triple& t) {
+  ForEachMatchFn(pattern, [&out](const Triple& t) {
     out.push_back(t);
     return true;
   });
@@ -184,7 +167,7 @@ std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
 
 size_t TripleStore::CountMatches(const TriplePattern& pattern) const {
   size_t n = 0;
-  ForEachMatch(pattern, [&n](const Triple&) {
+  ForEachMatchFn(pattern, [&n](const Triple&) {
     ++n;
     return true;
   });
@@ -193,31 +176,31 @@ size_t TripleStore::CountMatches(const TriplePattern& pattern) const {
 
 std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
   std::vector<TermId> out;
-  ForEachMatch(TriplePattern{s, p, TriplePattern::kAny},
-               [&out](const Triple& t) {
-                 out.push_back(t.o);
-                 return true;
-               });
+  ForEachMatchFn(TriplePattern{s, p, TriplePattern::kAny},
+                 [&out](const Triple& t) {
+                   out.push_back(t.o);
+                   return true;
+                 });
   return out;
 }
 
 std::vector<TermId> TripleStore::Subjects(TermId p, TermId o) const {
   std::vector<TermId> out;
-  ForEachMatch(TriplePattern{TriplePattern::kAny, p, o},
-               [&out](const Triple& t) {
-                 out.push_back(t.s);
-                 return true;
-               });
+  ForEachMatchFn(TriplePattern{TriplePattern::kAny, p, o},
+                 [&out](const Triple& t) {
+                   out.push_back(t.s);
+                   return true;
+                 });
   return out;
 }
 
 TermId TripleStore::FirstObject(TermId s, TermId p) const {
   TermId found = kInvalidTerm;
-  ForEachMatch(TriplePattern{s, p, TriplePattern::kAny},
-               [&found](const Triple& t) {
-                 found = t.o;
-                 return false;
-               });
+  ForEachMatchFn(TriplePattern{s, p, TriplePattern::kAny},
+                 [&found](const Triple& t) {
+                   found = t.o;
+                   return false;
+                 });
   return found;
 }
 

@@ -76,8 +76,34 @@ class TripleStore {
   std::vector<Triple> Match(const TriplePattern& pattern) const;
 
   /// Calls `fn` for each matching triple; stops early if `fn` returns false.
+  /// Thin wrapper over ForEachMatchFn — prefer the template from hot loops.
   void ForEachMatch(const TriplePattern& pattern,
                     const std::function<bool(const Triple&)>& fn) const;
+
+  /// Templated fast path of ForEachMatch: identical semantics, but the
+  /// callable is statically dispatched (and typically inlined) instead of
+  /// paying a std::function indirection per triple. `fn` takes
+  /// `const Triple&` and returns false to stop early. Match, CountMatches,
+  /// Objects, Subjects and FirstObject are built on this path.
+  template <typename Fn>
+  void ForEachMatchFn(const TriplePattern& pattern, Fn&& fn) const {
+    constexpr TermId kAny = TriplePattern::kAny;
+    Order order;
+    auto [begin, end] = PrefixRange(pattern, &order);
+    if (begin == nullptr) {  // unbound pattern: full scan
+      for (const Triple& t : triples_) {
+        if (!fn(t)) return;
+      }
+      return;
+    }
+    for (const uint32_t* it = begin; it != end; ++it) {
+      const Triple& t = triples_[*it];
+      bool is_match = (pattern.s == kAny || pattern.s == t.s) &&
+                      (pattern.p == kAny || pattern.p == t.p) &&
+                      (pattern.o == kAny || pattern.o == t.o);
+      if (is_match && !fn(t)) return;
+    }
+  }
 
   /// Number of triples matching `pattern` (no materialization).
   size_t CountMatches(const TriplePattern& pattern) const;

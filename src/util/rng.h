@@ -16,6 +16,20 @@ struct RngState {
   double cached_normal = 0.0;
 };
 
+/// One splitmix64 mixing step applied to `x` as a pure function — the
+/// standard way to derive statistically independent seeds for parallel RNG
+/// streams from one base seed (worker streams: `seed ^ SplitMix64(worker)`;
+/// per-batch streams: `SplitMix64(seed ^ SplitMix64(batch_key))`). Stateless,
+/// so derived streams never depend on how many other streams exist — the
+/// property the deterministic trainer needs for thread-count-invariant
+/// negative sampling.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic, seedable xoshiro256++ PRNG. Every generator in the library
 /// takes an explicit Rng so entire experiment runs are reproducible from one
 /// seed. Satisfies the UniformRandomBitGenerator concept.

@@ -124,6 +124,34 @@ TEST_F(TripleStoreTest, ForEachMatchEarlyStop) {
   EXPECT_EQ(seen, 1);
 }
 
+TEST_F(TripleStoreTest, ForEachMatchFnMatchesWrapper) {
+  store.Add(s, p, o);
+  store.Add(s, p2, o2);
+  store.Add(s2, p, o);
+  const TriplePattern patterns[] = {
+      {s, A, A}, {A, p, A}, {A, A, o}, {s, p, A}, {A, p, o}, {A, A, A}};
+  for (const TriplePattern& pattern : patterns) {
+    std::vector<Triple> via_fn, via_wrapper;
+    store.ForEachMatchFn(pattern, [&via_fn](const Triple& t) {
+      via_fn.push_back(t);
+      return true;
+    });
+    store.ForEachMatch(pattern, [&via_wrapper](const Triple& t) {
+      via_wrapper.push_back(t);
+      return true;
+    });
+    EXPECT_EQ(via_fn, via_wrapper);
+    EXPECT_EQ(via_fn.size(), store.CountMatches(pattern));
+  }
+  // Early stop works through the template too.
+  int seen = 0;
+  store.ForEachMatchFn({A, p, A}, [&seen](const Triple&) {
+    ++seen;
+    return false;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
 TEST_F(TripleStoreTest, SealIndexesPreservesQueryResults) {
   store.Add(s, p, o);
   store.Add(s, p, o2);
