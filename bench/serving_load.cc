@@ -1,0 +1,247 @@
+// Closed-loop load test for the online serving layer (DESIGN.md Sec. 10):
+// client threads replay a Zipfian mix of LinkPredictTopK / Neighbors /
+// ConceptsOf / EntityLink queries against a QueryEngine and report p50/p99
+// latency, QPS, and cache hit rate per configuration. The sweep crosses
+// worker-thread counts {1, 2, 4} with the result cache on and off, so the
+// JSON shows both the micro-batching scaling curve and what the cache buys
+// on a skewed (Zipf s=1.1) key distribution.
+//
+// Usage: serving_load [--scale f] [--products n] [--seed n]
+//                     [--clients n] [--requests n] [--out path]
+// Writes BENCH_serving.json (schema mirrors the other BENCH_*.json files).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "kge/trans_models.h"
+#include "serve/engine.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace openbg {
+namespace {
+
+struct LoadArgs {
+  bench::BenchArgs base;
+  size_t clients = 8;           // closed-loop client threads
+  size_t requests_per_client = 2000;
+  std::string out = "BENCH_serving.json";
+};
+
+LoadArgs ParseLoadArgs(int argc, char** argv) {
+  LoadArgs args;
+  args.base = bench::BenchArgs::Parse(argc, argv);
+  args.base.scale = 0.25;
+  args.base.products = 1500;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      args.base.scale = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--products") == 0) {
+      args.base.products = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      args.clients = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      args.requests_per_client = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      args.out = argv[i + 1];
+    }
+  }
+  return args;
+}
+
+/// The replayable query mix: Zipf-ranked (h, r) pairs from the benchmark
+/// test split plus Zipf-ranked product terms and brand mentions. Rank 0 is
+/// hottest, so a skewed sampler concentrates load on few cache keys.
+struct QueryMix {
+  std::vector<kge::LpTriple> topk_queries;
+  std::vector<rdf::TermId> products;
+  std::vector<std::string> mentions;
+};
+
+struct RunResult {
+  size_t workers = 0;
+  bool cache = false;
+  size_t completed = 0;
+  size_t shed = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double hit_rate = 0.0;
+};
+
+RunResult RunOne(serve::ServeContext* ctx, const QueryMix& mix,
+                 const LoadArgs& args, size_t workers, bool cache) {
+  serve::EngineOptions opts;
+  opts.num_threads = workers;
+  opts.cache_enabled = cache;
+  opts.cache_capacity = 8192;
+  serve::QueryEngine engine(ctx, opts);
+
+  // Per-thread latency histograms, folded with Histogram::Merge at the end
+  // (satellite: no shared mutable state on the measurement path).
+  std::vector<util::Histogram> lat(args.clients);
+  std::vector<size_t> shed_counts(args.clients, 0);
+  std::vector<size_t> ok_counts(args.clients, 0);
+
+  util::ZipfSampler topk_zipf(mix.topk_queries.size(), 1.1);
+  util::ZipfSampler product_zipf(mix.products.size(), 1.1);
+  util::ZipfSampler mention_zipf(mix.mentions.size(), 1.1);
+
+  util::Timer wall;
+  std::vector<std::thread> clients;
+  for (size_t ci = 0; ci < args.clients; ++ci) {
+    clients.emplace_back([&, ci] {
+      util::Rng rng(args.base.seed * 1000 + ci);
+      util::Histogram& h = lat[ci];
+      h.Reserve(args.requests_per_client);
+      for (size_t i = 0; i < args.requests_per_client; ++i) {
+        // 70% top-K (the expensive, batchable endpoint), 10% each of the
+        // graph reads and entity linking.
+        uint64_t dice = rng.Uniform(10);
+        util::Timer t;
+        serve::Response resp;
+        if (dice < 7) {
+          const kge::LpTriple& q =
+              mix.topk_queries[topk_zipf.Sample(&rng)];
+          resp = engine.LinkPredictTopK(q.h, q.r, 10);
+        } else if (dice < 8) {
+          resp = engine.Neighbors(mix.products[product_zipf.Sample(&rng)]);
+        } else if (dice < 9) {
+          resp = engine.ConceptsOf(mix.products[product_zipf.Sample(&rng)]);
+        } else {
+          resp = engine.EntityLink(mix.mentions[mention_zipf.Sample(&rng)]);
+        }
+        double us = t.Seconds() * 1e6;
+        if (resp.status == serve::ServeStatus::kOk) {
+          h.Add(us);
+          ++ok_counts[ci];
+        } else {
+          ++shed_counts[ci];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  RunResult r;
+  r.workers = workers;
+  r.cache = cache;
+  r.seconds = wall.Seconds();
+  util::Histogram all;
+  all.Reserve(args.clients * args.requests_per_client);
+  for (size_t ci = 0; ci < args.clients; ++ci) {
+    all.Merge(lat[ci]);
+    r.completed += ok_counts[ci];
+    r.shed += shed_counts[ci];
+  }
+  r.qps = r.seconds > 0 ? static_cast<double>(r.completed) / r.seconds : 0;
+  r.p50_us = all.Percentile(50);
+  r.p99_us = all.Percentile(99);
+  r.mean_us = all.Mean();
+  serve::ResultCache::Stats cs = engine.cache().stats();
+  uint64_t lookups = cs.hits + cs.misses + cs.collisions + cs.stale;
+  r.hit_rate =
+      lookups > 0 ? static_cast<double>(cs.hits) / lookups : 0.0;
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  LoadArgs args = ParseLoadArgs(argc, argv);
+  bench::PrintHeader("Serving-layer load test (micro-batched query engine)",
+                     "the Sec. V online-serving setting");
+
+  std::printf("building world (scale=%.2f, products=%zu)...\n",
+              args.base.scale, args.base.products);
+  std::unique_ptr<core::OpenBG> kg = core::OpenBG::Build(args.base.ToOptions());
+
+  bench_builder::BenchmarkSpec spec;
+  spec.name = "serving-load";
+  spec.num_relations = 20;
+  spec.dev_size = 100;
+  spec.test_size = 400;
+  kge::Dataset ds = kg->BuildBenchmark(spec, nullptr);
+  std::printf("benchmark: %zu entities, %zu relations, %zu test queries\n",
+              ds.num_entities(), ds.num_relations(), ds.test.size());
+
+  util::Rng rng(args.base.seed);
+  kge::TransE model(ds.num_entities(), ds.num_relations(), 32, 1.0f, &rng);
+  kge::TrainConfig config;
+  config.epochs = 5;
+  config.batch_size = 512;
+  std::printf("training TransE (%zu epochs)...\n", config.epochs);
+  TrainKgeModel(&model, ds, config);
+
+  construction::SchemaMapper mapper(kg->world().brands);
+
+  QueryMix mix;
+  mix.topk_queries = ds.test;
+  mix.products = kg->assembly().product_terms;
+  for (const datagen::Product& p : kg->world().products) {
+    if (!p.brand_mention.empty()) mix.mentions.push_back(p.brand_mention);
+  }
+
+  serve::ServeContext::Bindings bindings;
+  bindings.graph = &kg->graph();
+  bindings.ontology = &kg->ontology();
+  bindings.dataset = &ds;
+  bindings.model = &model;
+  bindings.mapper = &mapper;
+  serve::ServeContext ctx(bindings);
+
+  std::printf("\n%-8s %-6s %12s %10s %10s %10s %9s %6s\n", "workers",
+              "cache", "completed", "qps", "p50_us", "p99_us", "mean_us",
+              "hit%");
+  std::vector<RunResult> results;
+  for (size_t workers : {1, 2, 4}) {
+    for (bool cache : {false, true}) {
+      RunResult r = RunOne(&ctx, mix, args, workers, cache);
+      results.push_back(r);
+      std::printf("%-8zu %-6s %12zu %10.0f %10.1f %10.1f %9.1f %5.1f%%\n",
+                  r.workers, r.cache ? "on" : "off", r.completed, r.qps,
+                  r.p50_us, r.p99_us, r.mean_us, r.hit_rate * 100.0);
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"serving_load\",\n";
+  json += util::StrFormat("  \"clients\": %zu,\n", args.clients);
+  json += util::StrFormat("  \"requests_per_client\": %zu,\n",
+                          args.requests_per_client);
+  json += util::StrFormat("  \"zipf_s\": 1.1,\n");
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json += util::StrFormat(
+        "    {\"workers\": %zu, \"cache\": %s, \"completed\": %zu, "
+        "\"shed\": %zu, \"seconds\": %.3f, \"qps\": %.1f, "
+        "\"p50_us\": %.1f, \"p99_us\": %.1f, \"mean_us\": %.1f, "
+        "\"cache_hit_rate\": %.4f}%s\n",
+        r.workers, r.cache ? "true" : "false", r.completed, r.shed,
+        r.seconds, r.qps, r.p50_us, r.p99_us, r.mean_us, r.hit_rate,
+        i + 1 < results.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+
+  FILE* f = std::fopen(args.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", args.out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace openbg
+
+int main(int argc, char** argv) { return openbg::Main(argc, argv); }

@@ -8,8 +8,10 @@
 # a TSan run over the hogwild tests reports those races by design. The
 # default filter below therefore covers the suites whose contract is
 # race-freedom — the deterministic/serial trainer paths, the parallel
-# evaluator, and the shared substrate — and excludes the hogwild-specific
-# tests. Pass your own ctest args to widen it.
+# evaluator, the serving layer (serve_test: sharded cache, micro-batching
+# engine, concurrent mixed-endpoint readers), and the shared substrate —
+# and excludes the hogwild-specific tests. Pass your own ctest args to
+# widen it.
 # Usage: scripts/check_tsan.sh [extra ctest args...]
 set -euo pipefail
 

@@ -5,7 +5,9 @@
 #     per-triple/query-batched pair, so the speedup claims in DESIGN.md can
 #     be re-derived from the JSON alone;
 #   BENCH_train.json — trainer throughput (triples/sec) at 1/2/4 threads in
-#     both hogwild and deterministic modes.
+#     both hogwild and deterministic modes;
+#   BENCH_serving.json — serving-layer closed-loop load test (p50/p99
+#     latency, QPS, cache hit rate at 1/2/4 workers, cache on/off).
 # Usage: scripts/run_benches.sh [extra benchmark args...]
 set -euo pipefail
 
@@ -14,9 +16,10 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_kernels.json}"
 TRAIN_OUT="${TRAIN_OUT:-BENCH_train.json}"
+SERVING_OUT="${SERVING_OUT:-BENCH_serving.json}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_benchmarks
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_benchmarks serving_load
 
 "$BUILD_DIR"/bench/micro_benchmarks \
   --benchmark_filter='BM_Gemm|BM_DotKernel|BM_L1DistanceKernel|BM_ScoreTails|BM_FilteredEvaluation' \
@@ -33,3 +36,9 @@ echo "Wrote $OUT"
   "$@"
 
 echo "Wrote $TRAIN_OUT"
+
+# The serving load test takes its own flags (not google-benchmark ones), so
+# the passthrough args above do not apply here.
+"$BUILD_DIR"/bench/serving_load --out "$SERVING_OUT"
+
+echo "Wrote $SERVING_OUT"

@@ -127,6 +127,17 @@ class TripleStore {
   /// just may contend on the internal rebuild mutex.
   void SealIndexes() const;
 
+  /// True iff all three sort orders are built for the current contents —
+  /// the state SealIndexes() leaves behind. The serving layer asserts this
+  /// on every read: a sealed store guarantees lock-free queries, and an
+  /// Add() slipped in after sealing would silently reintroduce the mutex
+  /// slow path (and race with concurrent readers).
+  bool IndexesSealed() const {
+    return !spo_dirty_.load(std::memory_order_acquire) &&
+           !pos_dirty_.load(std::memory_order_acquire) &&
+           !osp_dirty_.load(std::memory_order_acquire);
+  }
+
  private:
   enum class Order { kSpo, kPos, kOsp };
 

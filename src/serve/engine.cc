@@ -1,0 +1,366 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace openbg::serve {
+
+namespace {
+
+/// `a` ranks strictly before `b` in a top-K answer: higher score first,
+/// lower id on ties. A total order, so top-K selection is deterministic —
+/// what makes cached and recomputed answers byte-identical.
+bool RanksBefore(const ScoredEntity& a, const ScoredEntity& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// Top-k of `scores` under RanksBefore via a bounded heap: O(n log k)
+/// instead of the O(n log n) full sort the offline demo code used.
+std::vector<ScoredEntity> SelectTopK(const std::vector<float>& scores,
+                                     size_t k) {
+  k = std::min(k, scores.size());
+  // Heap with the *worst* kept candidate at the front (make_heap puts the
+  // comparator's maximum on top, and under RanksBefore-as-less the maximum
+  // is the element ranking last).
+  std::vector<ScoredEntity> heap;
+  heap.reserve(k + 1);
+  for (uint32_t id = 0; id < scores.size(); ++id) {
+    ScoredEntity cand{id, scores[id]};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), RanksBefore);
+    } else if (RanksBefore(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), RanksBefore);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), RanksBefore);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), RanksBefore);
+  return heap;
+}
+
+}  // namespace
+
+ServeContext::ServeContext(Bindings bindings) : bindings_(bindings) {
+  if (bindings_.graph != nullptr) {
+    // Serve-path reads must be lock-free: build all three sort orders now
+    // and hold the store to that contract from here on.
+    bindings_.graph->store.SealIndexes();
+    OPENBG_CHECK(bindings_.graph->store.IndexesSealed());
+  }
+  if (bindings_.model != nullptr) {
+    bindings_.model->PrepareEval();  // ScoreTails becomes const-thread-safe
+  }
+}
+
+void ServeContext::ReloadModel(kge::KgeModel* model) {
+  bindings_.model = model;
+  if (model != nullptr) model->PrepareEval();
+  BumpGeneration();
+}
+
+QueryEngine::QueryEngine(ServeContext* context, EngineOptions options)
+    : context_(context), options_(options) {
+  OPENBG_CHECK(context_ != nullptr);
+  if (options_.num_threads == 0) options_.num_threads = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+  cache_ = std::make_unique<ResultCache>(
+      std::max<size_t>(1, options_.cache_capacity), options_.cache_shards);
+}
+
+QueryEngine::~QueryEngine() {
+  // All endpoints are synchronous, so with no caller inside the engine the
+  // pending queue is empty and the drainers exit; joining the pool then
+  // cannot block on unfinished requests.
+  pool_.reset();
+}
+
+const rdf::TripleStore& QueryEngine::SealedStore() const {
+  const rdf::TripleStore& store = context_->bindings().graph->store;
+  OPENBG_CHECK(store.IndexesSealed())
+      << "serve-path read would trigger a lazy index build; the store was "
+         "mutated after ServeContext sealed it";
+  return store;
+}
+
+bool QueryEngine::AdmitOrServeCached(const RequestKey& key, uint64_t fp,
+                                     uint64_t gen, Response* resp) {
+  if (options_.cache_enabled) {
+    std::shared_ptr<const ResultPayload> hit = cache_->Lookup(fp, key, gen);
+    if (hit != nullptr) {
+      resp->status = ServeStatus::kOk;
+      resp->from_cache = true;
+      resp->payload = *hit;
+      return true;
+    }
+  }
+  // Overload shedding (the `serve::overload` failpoint forces it): a
+  // cached answer above would still have been served — degraded,
+  // cache-only operation — but a miss under overload is refused instead
+  // of queued.
+  if (util::failpoints::Triggered("serve::overload")) {
+    resp->status = ServeStatus::kShed;
+    return true;
+  }
+  return false;
+}
+
+Response QueryEngine::LinkPredictTopK(uint32_t h, uint32_t r, size_t k,
+                                      uint64_t deadline_us) {
+  util::Timer timer;
+  Response resp;
+  kge::KgeModel* model = context_->bindings().model;
+  if (model == nullptr || k == 0 || h >= model->num_entities() ||
+      r >= model->num_relations()) {
+    resp.status = ServeStatus::kInvalidArgument;
+  } else {
+    k = std::min(k, model->num_entities());
+    RequestKey key{Endpoint::kLinkPredictTopK, h, r, k, ""};
+    uint64_t fp = Fingerprint(key);
+    uint64_t gen = context_->generation();
+    if (!AdmitOrServeCached(key, fp, gen, &resp)) {
+      if (deadline_us == 0) deadline_us = options_.default_deadline_us;
+      PendingTopK req;
+      req.h = h;
+      req.r = r;
+      req.k = k;
+      req.has_deadline = deadline_us > 0;
+      if (req.has_deadline) {
+        req.deadline = Clock::now() + std::chrono::microseconds(deadline_us);
+      }
+      req.out = &resp;
+      bool admitted = false;
+      bool spawn = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (pending_.size() < options_.max_queue) {
+          pending_.push_back(&req);
+          admitted = true;
+          if (drainers_ < pool_->num_threads()) {
+            ++drainers_;
+            spawn = true;
+          }
+        }
+      }
+      if (!admitted) {
+        resp.status = ServeStatus::kShed;
+      } else {
+        if (spawn &&
+            !pool_->TryEnqueue([this] { DrainLoop(); }, options_.max_queue)) {
+          // Pool handoff refused: the caller becomes the drainer (classic
+          // combining-leader fallback) so the queue still moves.
+          DrainLoop();
+        }
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&req] { return req.done; });
+      }
+    }
+  }
+  metrics_.Local()->Record(Endpoint::kLinkPredictTopK, resp.status,
+                           resp.from_cache, timer.Seconds() * 1e6);
+  return resp;
+}
+
+void QueryEngine::DrainLoop() {
+  for (;;) {
+    std::vector<PendingTopK*> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) {
+        --drainers_;
+        return;
+      }
+      while (!pending_.empty() && batch.size() < options_.max_batch) {
+        batch.push_back(pending_.front());
+        pending_.pop_front();
+      }
+    }
+    // Fault injection for the deadline tests: stall the drain long enough
+    // for queued requests' deadlines to lapse.
+    if (util::failpoints::Triggered("serve::stall")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ProcessBatch(batch, context_->generation());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (PendingTopK* req : batch) req->done = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void QueryEngine::ProcessBatch(const std::vector<PendingTopK*>& batch,
+                               uint64_t gen) {
+  kge::KgeModel* model = context_->bindings().model;
+  Clock::time_point now = Clock::now();
+  // Coalesce by (h, r): each unique query is scored with one vectorized
+  // ScoreTails scan, and every request sharing it is answered from that
+  // scan's top-(max k) — the serving-side analogue of the evaluator's
+  // query-batched ranking. std::map keeps the scan order deterministic.
+  struct Group {
+    size_t k_max = 0;
+    std::vector<PendingTopK*> reqs;
+  };
+  std::map<uint64_t, Group> groups;
+  for (PendingTopK* req : batch) {
+    if (req->has_deadline && now >= req->deadline) {
+      req->out->status = ServeStatus::kDeadlineExceeded;
+      continue;
+    }
+    Group& g = groups[(static_cast<uint64_t>(req->h) << 32) | req->r];
+    g.k_max = std::max(g.k_max, req->k);
+    g.reqs.push_back(req);
+  }
+  std::vector<float> scores;
+  for (auto& [hr, group] : groups) {
+    uint32_t h = static_cast<uint32_t>(hr >> 32);
+    uint32_t r = static_cast<uint32_t>(hr & 0xFFFFFFFFu);
+    model->ScoreTails(h, r, &scores);
+    std::vector<ScoredEntity> top = SelectTopK(scores, group.k_max);
+    for (PendingTopK* req : group.reqs) {
+      Response* resp = req->out;
+      resp->status = ServeStatus::kOk;
+      resp->payload.topk.assign(top.begin(),
+                                top.begin() + std::min(req->k, top.size()));
+      if (options_.cache_enabled) {
+        RequestKey key{Endpoint::kLinkPredictTopK, req->h, req->r, req->k,
+                       ""};
+        cache_->Insert(Fingerprint(key), key, gen,
+                       std::make_shared<ResultPayload>(resp->payload));
+      }
+    }
+  }
+}
+
+Response QueryEngine::EntityLink(std::string_view mention) {
+  util::Timer timer;
+  Response resp;
+  const construction::SchemaMapper* mapper = context_->bindings().mapper;
+  if (mapper == nullptr) {
+    resp.status = ServeStatus::kInvalidArgument;
+  } else {
+    RequestKey key{Endpoint::kEntityLink, 0, 0, 0, std::string(mention)};
+    uint64_t fp = Fingerprint(key);
+    uint64_t gen = context_->generation();
+    if (!AdmitOrServeCached(key, fp, gen, &resp)) {
+      {
+        // SchemaMapper::Link updates its (mutable) stats counters; the
+        // lookup itself is cheap, so one short mutex keeps it shareable.
+        std::lock_guard<std::mutex> lock(link_mu_);
+        resp.payload.link = mapper->Link(mention);
+      }
+      resp.status = ServeStatus::kOk;
+      if (options_.cache_enabled) {
+        cache_->Insert(fp, key, gen,
+                       std::make_shared<ResultPayload>(resp.payload));
+      }
+    }
+  }
+  metrics_.Local()->Record(Endpoint::kEntityLink, resp.status,
+                           resp.from_cache, timer.Seconds() * 1e6);
+  return resp;
+}
+
+Response QueryEngine::Neighbors(rdf::TermId entity, rdf::TermId relation) {
+  util::Timer timer;
+  Response resp;
+  if (context_->bindings().graph == nullptr || entity == rdf::kInvalidTerm) {
+    resp.status = ServeStatus::kInvalidArgument;
+  } else {
+    RequestKey key{Endpoint::kNeighbors, entity, relation, 0, ""};
+    uint64_t fp = Fingerprint(key);
+    uint64_t gen = context_->generation();
+    if (!AdmitOrServeCached(key, fp, gen, &resp)) {
+      const rdf::TripleStore& store = SealedStore();
+      std::vector<rdf::Triple>& out = resp.payload.triples;
+      store.ForEachMatchFn(
+          rdf::TriplePattern{entity, relation, rdf::TriplePattern::kAny},
+          [&out](const rdf::Triple& t) {
+            out.push_back(t);
+            return true;
+          });
+      store.ForEachMatchFn(
+          rdf::TriplePattern{rdf::TriplePattern::kAny, relation, entity},
+          [&out, entity](const rdf::Triple& t) {
+            if (t.s != entity) out.push_back(t);  // self-loops already seen
+            return true;
+          });
+      resp.status = ServeStatus::kOk;
+      if (options_.cache_enabled) {
+        cache_->Insert(fp, key, gen,
+                       std::make_shared<ResultPayload>(resp.payload));
+      }
+    }
+  }
+  metrics_.Local()->Record(Endpoint::kNeighbors, resp.status,
+                           resp.from_cache, timer.Seconds() * 1e6);
+  return resp;
+}
+
+Response QueryEngine::ConceptsOf(rdf::TermId entity) {
+  util::Timer timer;
+  Response resp;
+  const ontology::Ontology* onto = context_->bindings().ontology;
+  if (context_->bindings().graph == nullptr || onto == nullptr ||
+      entity == rdf::kInvalidTerm) {
+    resp.status = ServeStatus::kInvalidArgument;
+  } else {
+    RequestKey key{Endpoint::kConceptsOf, entity, 0, 0, ""};
+    uint64_t fp = Fingerprint(key);
+    uint64_t gen = context_->generation();
+    if (!AdmitOrServeCached(key, fp, gen, &resp)) {
+      const rdf::TripleStore& store = SealedStore();
+      std::vector<rdf::TermId> properties = {
+          onto->applied_time(), onto->related_scene(), onto->about_theme(),
+          onto->for_crowd()};
+      properties.insert(properties.end(), onto->in_market().begin(),
+                        onto->in_market().end());
+      std::vector<rdf::Triple>& out = resp.payload.triples;
+      for (rdf::TermId prop : properties) {
+        store.ForEachMatchFn(
+            rdf::TriplePattern{entity, prop, rdf::TriplePattern::kAny},
+            [&out](const rdf::Triple& t) {
+              out.push_back(t);
+              return true;
+            });
+      }
+      resp.status = ServeStatus::kOk;
+      if (options_.cache_enabled) {
+        cache_->Insert(fp, key, gen,
+                       std::make_shared<ResultPayload>(resp.payload));
+      }
+    }
+  }
+  metrics_.Local()->Record(Endpoint::kConceptsOf, resp.status,
+                           resp.from_cache, timer.Seconds() * 1e6);
+  return resp;
+}
+
+std::string QueryEngine::MetricsJson() const {
+  ResultCache::Stats cs = cache_->stats();
+  std::string extra = util::StrFormat(
+      ",\"generation\":%llu,\"workers\":%zu,\"cache\":{\"enabled\":%s,"
+      "\"size\":%zu,\"hits\":%llu,\"misses\":%llu,\"collisions\":%llu,"
+      "\"stale\":%llu,\"inserts\":%llu,\"evictions\":%llu}",
+      static_cast<unsigned long long>(context_->generation()),
+      pool_->num_threads(), options_.cache_enabled ? "true" : "false",
+      cache_->size(), static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses),
+      static_cast<unsigned long long>(cs.collisions),
+      static_cast<unsigned long long>(cs.stale),
+      static_cast<unsigned long long>(cs.inserts),
+      static_cast<unsigned long long>(cs.evictions));
+  return metrics_.SnapshotJson(extra);
+}
+
+}  // namespace openbg::serve

@@ -1,0 +1,197 @@
+#ifndef OPENBG_SERVE_ENGINE_H_
+#define OPENBG_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "construction/schema_mapper.h"
+#include "kge/model.h"
+#include "ontology/ontology.h"
+#include "rdf/graph.h"
+#include "serve/metrics.h"
+#include "serve/result_cache.h"
+#include "serve/types.h"
+#include "util/thread_pool.h"
+
+namespace openbg::serve {
+
+/// Everything a QueryEngine serves from, bound together with the read
+/// invariants the serve path relies on:
+///  * the TripleStore's indexes are sealed at bind time (and asserted on
+///    every serve read — no serve-path query may ever trigger a lazy index
+///    rebuild, which would take the store's mutex on what must be a
+///    lock-free path);
+///  * the KGE model's PrepareEval() has run, so ScoreTails is
+///    const-thread-safe;
+///  * a monotonic snapshot generation stamps every cached answer, and any
+///    KG/model reload bumps it — O(1) whole-cache invalidation.
+///
+/// All bindings are non-owning; the caller keeps them alive for the
+/// context's lifetime. Endpoints needing an absent binding return
+/// kInvalidArgument rather than crashing, so a context can serve a subset
+/// (e.g. graph-only, no KGE model).
+class ServeContext {
+ public:
+  struct Bindings {
+    const rdf::Graph* graph = nullptr;             // Neighbors / ConceptsOf
+    const ontology::Ontology* ontology = nullptr;  // ConceptsOf
+    const kge::Dataset* dataset = nullptr;         // optional: id -> name
+    kge::KgeModel* model = nullptr;                // LinkPredictTopK
+    const construction::SchemaMapper* mapper = nullptr;  // EntityLink
+  };
+
+  explicit ServeContext(Bindings bindings);
+
+  ServeContext(const ServeContext&) = delete;
+  ServeContext& operator=(const ServeContext&) = delete;
+
+  const Bindings& bindings() const { return bindings_; }
+
+  /// Current snapshot generation (starts at 1).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Swaps in a (re)trained model: runs PrepareEval() and bumps the
+  /// generation so every cached answer computed from the old parameters
+  /// turns stale. Must not race in-flight queries — quiesce the engine (no
+  /// concurrent calls) around a reload, as with any snapshot swap.
+  void ReloadModel(kge::KgeModel* model);
+
+  /// Marks the bound KG/model as changed without swapping pointers (e.g.
+  /// after an in-place snapshot reload). Invalidate-everything in O(1).
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  Bindings bindings_;
+  std::atomic<uint64_t> generation_{1};
+};
+
+/// Tuning knobs of a QueryEngine.
+struct EngineOptions {
+  /// Worker threads executing LinkPredictTopK batches (>= 1). Other
+  /// endpoints run on the calling thread (their store reads are lock-free
+  /// and cheap).
+  size_t num_threads = 1;
+  /// Max requests coalesced into one batch drain.
+  size_t max_batch = 64;
+  /// Admission bound: pending LinkPredictTopK requests beyond this are
+  /// shed (after the cache-only fallback).
+  size_t max_queue = 256;
+  /// Default per-request deadline in microseconds; 0 = none. A request
+  /// whose deadline expires before a worker picks it up gets
+  /// kDeadlineExceeded instead of a (late) answer.
+  uint64_t default_deadline_us = 0;
+  bool cache_enabled = true;
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+};
+
+/// The embedded online query engine: typed request/response endpoints over
+/// a ServeContext, a micro-batching executor for KGE scoring, a sharded
+/// result cache, admission control, and a metrics surface. See DESIGN.md
+/// §10 for the architecture.
+///
+/// Concurrency model: every endpoint is safe to call from any number of
+/// client threads. LinkPredictTopK requests enter a bounded pending queue;
+/// drainer tasks on the internal pool grab up to `max_batch` of them at a
+/// time, deduplicate queries sharing (h, r) so each unique query costs one
+/// vectorized ScoreTails scan (PR 3's kernel layer), select top-K with a
+/// bounded heap (no full sort), and complete all coalesced requests from
+/// the one scan. EntityLink / Neighbors / ConceptsOf execute inline on the
+/// caller: their reads are lock-free against the sealed store (asserted),
+/// and only the SchemaMapper's stats counters need a short private mutex.
+///
+/// Failpoints (fault-injection tests): `serve::overload` forces the shed
+/// path of every admission decision; `serve::stall` delays batch drains so
+/// deadline expiry is exercisable deterministically.
+class QueryEngine {
+ public:
+  QueryEngine(ServeContext* context, EngineOptions options);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Top-k most plausible tails for (h, r, ?) under the bound model, in
+  /// (score desc, id asc) order — deterministic, so cached and uncached
+  /// answers are byte-identical. `deadline_us` overrides the engine
+  /// default (0 = use default). Cache key: (h, r, k).
+  Response LinkPredictTopK(uint32_t h, uint32_t r, size_t k,
+                           uint64_t deadline_us = 0);
+
+  /// Resolves a textual brand/place mention through the bound
+  /// SchemaMapper (trie exact / synonym / fuzzy). Cache key: the mention.
+  Response EntityLink(std::string_view mention);
+
+  /// All triples incident to `entity` (out-edges first, then in-edges),
+  /// optionally restricted to one relation. Cache key:
+  /// (entity, relation).
+  Response Neighbors(rdf::TermId entity,
+                     rdf::TermId relation = rdf::kInvalidTerm);
+
+  /// The concept links of a product entity: one (entity, property,
+  /// concept) triple per appliedTime / relatedScene / aboutTheme /
+  /// forCrowd / inMarket* edge. Cache key: (entity).
+  Response ConceptsOf(rdf::TermId entity);
+
+  /// Metrics JSON: uptime, QPS, per-endpoint counters + latency
+  /// percentiles, cache stats, and the current snapshot generation.
+  std::string MetricsJson() const;
+
+  const ResultCache& cache() const { return *cache_; }
+  ServeMetrics& metrics() { return metrics_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PendingTopK {
+    uint32_t h = 0;
+    uint32_t r = 0;
+    size_t k = 0;
+    bool has_deadline = false;
+    Clock::time_point deadline;
+    Response* out = nullptr;
+    bool done = false;
+  };
+
+  // Cache lookup + miss-path admission shared by all endpoints. Returns
+  // true when `resp` is already final (cache hit or shed).
+  bool AdmitOrServeCached(const RequestKey& key, uint64_t fp, uint64_t gen,
+                          Response* resp);
+
+  // Runs batch drains until the pending queue empties.
+  void DrainLoop();
+  void ProcessBatch(const std::vector<PendingTopK*>& batch, uint64_t gen);
+
+  // The sealed store, asserted: serve reads must never rebuild an index.
+  const rdf::TripleStore& SealedStore() const;
+
+  ServeContext* context_;
+  EngineOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<ResultCache> cache_;
+  ServeMetrics metrics_;
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::deque<PendingTopK*> pending_;
+  size_t drainers_ = 0;
+
+  std::mutex link_mu_;  // serializes SchemaMapper::Link (mutable stats)
+};
+
+}  // namespace openbg::serve
+
+#endif  // OPENBG_SERVE_ENGINE_H_

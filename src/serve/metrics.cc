@@ -1,0 +1,103 @@
+#include "serve/metrics.h"
+
+#include <atomic>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace openbg::serve {
+
+void ThreadMetrics::Record(Endpoint e, ServeStatus status, bool from_cache,
+                           double latency_us) {
+  EndpointSlot& slot = slots[static_cast<size_t>(e)];
+  slot.requests += 1;
+  switch (status) {
+    case ServeStatus::kOk:
+      if (from_cache) slot.cache_hits += 1;
+      slot.latency_us.Add(latency_us);
+      break;
+    case ServeStatus::kShed:
+      slot.shed += 1;
+      break;
+    case ServeStatus::kDeadlineExceeded:
+      slot.timeouts += 1;
+      break;
+    case ServeStatus::kInvalidArgument:
+      slot.errors += 1;
+      break;
+  }
+}
+
+ServeMetrics::ServeMetrics() {
+  static std::atomic<uint64_t> next_id{1};
+  instance_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadMetrics* ServeMetrics::Local() {
+  // Keyed by the registry's process-unique id so several engines in one
+  // process (tests, the bench's config sweep) keep their threads' slots
+  // apart, and a destroyed registry's stale entries can never be looked up
+  // again. Slots are never freed before the ServeMetrics they belong to,
+  // and a dead thread's slot just stops growing.
+  thread_local std::unordered_map<uint64_t, ThreadMetrics*> cache;
+  auto it = cache.find(instance_id_);
+  if (it != cache.end()) return it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.push_back(std::make_unique<ThreadMetrics>());
+  ThreadMetrics* slot = threads_.back().get();
+  cache[instance_id_] = slot;
+  return slot;
+}
+
+std::vector<EndpointSnapshot> ServeMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EndpointSnapshot> out(kNumEndpoints);
+  for (size_t e = 0; e < kNumEndpoints; ++e) {
+    util::Histogram merged;
+    for (const auto& t : threads_) {
+      const EndpointSlot& slot = t->slots[e];
+      out[e].requests += slot.requests;
+      out[e].cache_hits += slot.cache_hits;
+      out[e].shed += slot.shed;
+      out[e].timeouts += slot.timeouts;
+      out[e].errors += slot.errors;
+      merged.Merge(slot.latency_us);
+    }
+    out[e].p50_us = merged.Percentile(50);
+    out[e].p99_us = merged.Percentile(99);
+    out[e].mean_us = merged.Mean();
+    out[e].max_us = merged.Max();
+  }
+  return out;
+}
+
+std::string ServeMetrics::SnapshotJson(const std::string& extra_fields) const {
+  std::vector<EndpointSnapshot> snap = Snapshot();
+  double elapsed = ElapsedSeconds();
+  uint64_t total = 0;
+  for (const EndpointSnapshot& s : snap) total += s.requests;
+  std::string out = util::StrFormat(
+      "{\"uptime_s\":%.3f,\"requests\":%llu,\"qps\":%.1f,\"endpoints\":{",
+      elapsed, static_cast<unsigned long long>(total),
+      elapsed > 0.0 ? static_cast<double>(total) / elapsed : 0.0);
+  for (size_t e = 0; e < kNumEndpoints; ++e) {
+    const EndpointSnapshot& s = snap[e];
+    out += util::StrFormat(
+        "%s\"%s\":{\"requests\":%llu,\"cache_hits\":%llu,\"shed\":%llu,"
+        "\"timeouts\":%llu,\"errors\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+        "\"mean_us\":%.1f,\"max_us\":%.1f}",
+        e == 0 ? "" : ",", EndpointName(static_cast<Endpoint>(e)),
+        static_cast<unsigned long long>(s.requests),
+        static_cast<unsigned long long>(s.cache_hits),
+        static_cast<unsigned long long>(s.shed),
+        static_cast<unsigned long long>(s.timeouts),
+        static_cast<unsigned long long>(s.errors), s.p50_us, s.p99_us,
+        s.mean_us, s.max_us);
+  }
+  out += "}";
+  out += extra_fields;
+  out += "}";
+  return out;
+}
+
+}  // namespace openbg::serve

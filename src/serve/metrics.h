@@ -1,0 +1,90 @@
+#ifndef OPENBG_SERVE_METRICS_H_
+#define OPENBG_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/types.h"
+#include "util/histogram.h"
+#include "util/timer.h"
+
+namespace openbg::serve {
+
+/// Counters + latency histogram for one endpoint on one recording thread.
+/// Recording is plain non-atomic arithmetic: every ThreadMetrics instance
+/// is written by exactly one thread, and the (cold) snapshot path folds
+/// them with Histogram::Merge under the registry lock.
+struct EndpointSlot {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t shed = 0;
+  uint64_t timeouts = 0;
+  uint64_t errors = 0;  // kInvalidArgument responses
+  util::Histogram latency_us;
+};
+
+struct ThreadMetrics {
+  EndpointSlot slots[kNumEndpoints];
+
+  /// Folds one finished request into this thread's slot.
+  void Record(Endpoint e, ServeStatus status, bool from_cache,
+              double latency_us);
+};
+
+/// Aggregated view of one endpoint (the merge of every thread's slot).
+struct EndpointSnapshot {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t shed = 0;
+  uint64_t timeouts = 0;
+  uint64_t errors = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Registry of per-thread metric slots for the serving engine. The hot
+/// path is lock-free after a thread's first request: Local() caches the
+/// thread's slot in a thread_local map, and all recording happens on that
+/// private slot. SnapshotJson() takes the registry lock, merges every
+/// slot's histograms (util::Histogram::Merge — the lockless-fold satellite
+/// of this subsystem), and renders one JSON object.
+class ServeMetrics {
+ public:
+  ServeMetrics();
+
+  ServeMetrics(const ServeMetrics&) = delete;
+  ServeMetrics& operator=(const ServeMetrics&) = delete;
+
+  /// This thread's private recording slot (registered on first use).
+  ThreadMetrics* Local();
+
+  /// Merged per-endpoint view.
+  std::vector<EndpointSnapshot> Snapshot() const;
+
+  /// Seconds since construction (the QPS denominator).
+  double ElapsedSeconds() const { return uptime_.Seconds(); }
+
+  /// One JSON object: uptime, per-endpoint counters, latency percentiles,
+  /// and QPS (requests / uptime). Extra top-level fields (e.g. the cache's
+  /// stats) can be spliced in by the caller via `extra_fields`, a
+  /// comma-led raw JSON fragment such as `,"cache":{...}`.
+  std::string SnapshotJson(const std::string& extra_fields = "") const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadMetrics>> threads_;
+  util::Timer uptime_;
+  // Process-unique, never reused. Threads cache their slot under this id,
+  // not under `this`: a later ServeMetrics allocated at a recycled address
+  // must not inherit a dangling slot pointer from a destroyed registry.
+  uint64_t instance_id_;
+};
+
+}  // namespace openbg::serve
+
+#endif  // OPENBG_SERVE_METRICS_H_

@@ -1,0 +1,105 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace openbg::serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards) {
+  OPENBG_CHECK(capacity > 0);
+  size_t shards = RoundUpPow2(num_shards == 0 ? 1 : num_shards);
+  // Never spread the budget so thin a shard holds nothing.
+  while (shards > 1 && capacity / shards == 0) shards >>= 1;
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const ResultPayload> ResultCache::Lookup(
+    uint64_t fp, const RequestKey& key, uint64_t gen) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(fp);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Entry& e = *it->second;
+  if (e.gen != gen) {
+    // Stale snapshot generation: lazily erase, report a miss.
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    return nullptr;
+  }
+  if (!(e.key == key)) {
+    // Fingerprint collision: a different request owns this slot.
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return e.payload;
+}
+
+void ResultCache::Insert(uint64_t fp, const RequestKey& key, uint64_t gen,
+                         std::shared_ptr<const ResultPayload> payload) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(fp);
+  if (it != shard.map.end()) {
+    // Replacement (same request re-inserted after invalidation, or a
+    // colliding fingerprint taking the slot over).
+    Entry& e = *it->second;
+    e.key = key;
+    e.gen = gen;
+    e.payload = std::move(payload);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().fp);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{fp, key, gen, std::move(payload)});
+  shard.map[fp] = shard.lru.begin();
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t ResultCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.collisions = collisions_.load(std::memory_order_relaxed);
+  s.stale = stale_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace openbg::serve

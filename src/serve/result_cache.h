@@ -1,0 +1,96 @@
+#ifndef OPENBG_SERVE_RESULT_CACHE_H_
+#define OPENBG_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/types.h"
+
+namespace openbg::serve {
+
+/// Sharded LRU cache from request fingerprint to computed result payload.
+///
+/// Keying: the 64-bit fingerprint selects the shard and is the hash-map
+/// key; the full RequestKey is stored alongside the payload and compared on
+/// every lookup, so two requests whose fingerprints collide can never read
+/// each other's answers — a collision behaves as a miss, and an insert
+/// under a colliding fingerprint evicts the previous occupant (last writer
+/// wins; correctness never depends on the fingerprint being unique).
+///
+/// Invalidation: every entry is stamped with the snapshot generation the
+/// engine passed at insert time. A lookup under a newer generation treats
+/// the entry as absent and erases it lazily — bumping the generation after
+/// a KG/model reload invalidates the whole cache in O(1) without touching
+/// any shard lock.
+///
+/// Thread-safety: each shard has its own mutex; operations on different
+/// shards never contend, and the stats counters are relaxed atomics.
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` (rounded up to at least 1 per shard). Shard count is
+  /// rounded up to a power of two so shard selection is a mask.
+  ResultCache(size_t capacity, size_t num_shards);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the payload cached for (`fp`, `key`) at generation `gen`, or
+  /// nullptr on miss (absent fingerprint, full-key mismatch, or stale
+  /// generation). A hit refreshes the entry's LRU position.
+  std::shared_ptr<const ResultPayload> Lookup(uint64_t fp,
+                                              const RequestKey& key,
+                                              uint64_t gen);
+
+  /// Inserts (or replaces) the payload for (`fp`, `key`) at generation
+  /// `gen`, evicting the shard's least-recently-used entry when full.
+  void Insert(uint64_t fp, const RequestKey& key, uint64_t gen,
+              std::shared_ptr<const ResultPayload> payload);
+
+  /// Total live entries across shards (approximate under concurrency).
+  size_t size() const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;       // absent fingerprint
+    uint64_t collisions = 0;   // fingerprint present, full key differed
+    uint64_t stale = 0;        // entry from an older generation
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;    // LRU evictions (not replacements)
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t fp = 0;
+    RequestKey key;
+    uint64_t gen = 0;
+    std::shared_ptr<const ResultPayload> payload;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+  };
+
+  Shard& ShardFor(uint64_t fp) {
+    return *shards_[(fp >> 17) & shard_mask_];  // high-ish bits: the low
+  }                                             // bits feed the hash map
+
+  size_t per_shard_capacity_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::atomic<uint64_t> hits_{0}, misses_{0}, collisions_{0},
+      stale_{0}, inserts_{0}, evictions_{0};
+};
+
+}  // namespace openbg::serve
+
+#endif  // OPENBG_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,105 @@
+#ifndef OPENBG_SERVE_TYPES_H_
+#define OPENBG_SERVE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "construction/schema_mapper.h"
+#include "rdf/triple_store.h"
+
+namespace openbg::serve {
+
+/// The four online endpoints of the serving layer (the Sec. IV-G workloads
+/// in request/response form). Also the metrics/cache partitioning key.
+enum class Endpoint : uint8_t {
+  kLinkPredictTopK = 0,
+  kEntityLink = 1,
+  kNeighbors = 2,
+  kConceptsOf = 3,
+};
+
+inline constexpr size_t kNumEndpoints = 4;
+
+/// Stable name used in metrics JSON ("link_predict_topk", ...).
+const char* EndpointName(Endpoint e);
+
+/// Per-request outcome. Anything other than kOk carries no payload; a
+/// shed or deadline-exceeded request returns *immediately* with its typed
+/// status instead of blocking — the admission-control contract.
+enum class ServeStatus : uint8_t {
+  kOk = 0,
+  /// Load was shed: the request was refused admission (queue full or the
+  /// `serve::overload` failpoint) and no cached answer existed. Clients
+  /// retry later or fall back.
+  kShed = 1,
+  /// The request's deadline expired before the engine scored it.
+  kDeadlineExceeded = 2,
+  /// A referenced entity/relation id is out of range for the bound model
+  /// or graph.
+  kInvalidArgument = 3,
+};
+
+const char* ServeStatusName(ServeStatus s);
+
+/// One ranked candidate of a LinkPredictTopK answer.
+struct ScoredEntity {
+  uint32_t id = 0;  // dataset-dense entity id
+  float score = 0.0f;
+
+  friend bool operator==(const ScoredEntity&, const ScoredEntity&) = default;
+};
+
+/// Canonical identity of a request, used both to coalesce concurrent
+/// identical queries and as the cache key. `text` is only set for
+/// EntityLink; the ids pack (h, r, k) / (entity, relation, 0) as
+/// documented per endpoint in engine.h. Full-key equality (not just the
+/// 64-bit fingerprint) decides cache hits, so fingerprint collisions
+/// degrade to misses, never to wrong answers.
+struct RequestKey {
+  Endpoint endpoint = Endpoint::kLinkPredictTopK;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  std::string text;
+
+  friend bool operator==(const RequestKey&, const RequestKey&) = default;
+};
+
+/// 64-bit fingerprint of a RequestKey (SplitMix64-chained over the fields,
+/// FNV-1a over `text`). Shard selection and hash-map key of the result
+/// cache.
+uint64_t Fingerprint(const RequestKey& key);
+
+/// The cacheable payload of any endpoint's answer; which fields are
+/// meaningful depends on the endpoint. Kept as one struct so the sharded
+/// result cache stores a single value type.
+struct ResultPayload {
+  std::vector<ScoredEntity> topk;           // LinkPredictTopK
+  construction::SchemaMapper::LinkResult link;  // EntityLink
+  std::vector<rdf::Triple> triples;         // Neighbors / ConceptsOf
+
+  friend bool operator==(const ResultPayload& x, const ResultPayload& y) {
+    return x.topk == y.topk && x.triples == y.triples &&
+           x.link.node == y.link.node && x.link.kind == y.link.kind &&
+           x.link.similarity == y.link.similarity;
+  }
+};
+
+/// What every endpoint returns: a typed status, the payload (valid iff
+/// status == kOk), and whether the answer came from the result cache. For
+/// the same request against an unchanged KG/model, cached and uncached
+/// payloads are byte-identical (test-enforced): the engine's scoring and
+/// top-K selection are deterministic, and the cache stores the computed
+/// payload verbatim.
+struct Response {
+  ServeStatus status = ServeStatus::kOk;
+  bool from_cache = false;
+  ResultPayload payload;
+
+  bool ok() const { return status == ServeStatus::kOk; }
+};
+
+}  // namespace openbg::serve
+
+#endif  // OPENBG_SERVE_TYPES_H_

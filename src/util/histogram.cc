@@ -14,6 +14,14 @@ void Histogram::Add(double v) {
   sorted_ = false;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.values_.empty()) return;
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
+void Histogram::Reserve(size_t n) { values_.reserve(n); }
+
 void Histogram::EnsureSorted() const {
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
@@ -22,26 +30,26 @@ void Histogram::EnsureSorted() const {
 }
 
 double Histogram::Min() const {
-  OPENBG_CHECK(!values_.empty());
+  if (values_.empty()) return 0.0;
   EnsureSorted();
   return values_.front();
 }
 
 double Histogram::Max() const {
-  OPENBG_CHECK(!values_.empty());
+  if (values_.empty()) return 0.0;
   EnsureSorted();
   return values_.back();
 }
 
 double Histogram::Mean() const {
-  OPENBG_CHECK(!values_.empty());
+  if (values_.empty()) return 0.0;
   return std::accumulate(values_.begin(), values_.end(), 0.0) /
          static_cast<double>(values_.size());
 }
 
 double Histogram::Percentile(double p) const {
-  OPENBG_CHECK(!values_.empty());
   OPENBG_CHECK(p >= 0.0 && p <= 100.0);
+  if (values_.empty()) return 0.0;
   EnsureSorted();
   double idx = p / 100.0 * static_cast<double>(values_.size() - 1);
   size_t lo = static_cast<size_t>(idx);

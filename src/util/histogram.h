@@ -8,10 +8,25 @@
 namespace openbg::util {
 
 /// Accumulates counts and renders compact ASCII summaries; used by the
-/// figure-reproduction benches (e.g., the Fig. 5 relation long-tail plot).
+/// figure-reproduction benches (e.g., the Fig. 5 relation long-tail plot)
+/// and, per-thread, by the serving layer's latency metrics.
+///
+/// Empty-histogram contract: with no samples, Min/Max/Mean/Percentile all
+/// return 0.0 (count() is 0) — an idle serving endpoint renders as zeros
+/// instead of aborting the metrics dump.
 class Histogram {
  public:
   void Add(double v);
+
+  /// Appends every sample of `other` (summary statistics afterwards equal
+  /// those of the concatenated sample streams). This is how per-thread
+  /// serving histograms fold into one report: each thread records into its
+  /// own Histogram with no locking, and only the (cold) dump path merges.
+  void Merge(const Histogram& other);
+
+  /// Pre-allocates capacity for `n` samples so hot-path Add calls do not
+  /// reallocate.
+  void Reserve(size_t n);
 
   size_t count() const { return values_.size(); }
   double Min() const;

@@ -34,6 +34,17 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+bool ThreadPool::TryEnqueue(std::function<void()> task, size_t max_queued) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= max_queued) return false;
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });

@@ -29,6 +29,13 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
+  /// Bounded-queue variant of Submit, the admission-control primitive of
+  /// the serving layer: enqueues `task` only when fewer than `max_queued`
+  /// tasks are waiting to run (tasks already executing do not count), and
+  /// returns false — task not enqueued, caller sheds or degrades — when the
+  /// queue is at or over the bound. Submit itself stays unbounded.
+  bool TryEnqueue(std::function<void()> task, size_t max_queued);
+
   /// Blocks until every submitted task has finished running.
   void WaitIdle();
 

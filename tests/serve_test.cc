@@ -1,0 +1,536 @@
+// Tests for the online serving layer (src/serve/): the sharded LRU result
+// cache (eviction order, fingerprint collisions, snapshot-generation
+// invalidation, concurrent access), the micro-batched query engine
+// (correctness vs direct scoring, cached/uncached byte-equality, deadlines
+// and load shedding via failpoints, concurrent mixed-endpoint readers on a
+// sealed store), and the metrics surface.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/openbg.h"
+#include "kge/trainer.h"
+#include "kge/trans_models.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/result_cache.h"
+#include "util/fault_injection.h"
+
+namespace openbg::serve {
+namespace {
+
+std::shared_ptr<const ResultPayload> MakePayload(uint32_t tag) {
+  auto p = std::make_shared<ResultPayload>();
+  p->topk.push_back(ScoredEntity{tag, static_cast<float>(tag)});
+  return p;
+}
+
+RequestKey TopKKey(uint64_t h, uint64_t r, uint64_t k) {
+  return RequestKey{Endpoint::kLinkPredictTopK, h, r, k, ""};
+}
+
+TEST(ResultCacheTest, HitReturnsInsertedPayload) {
+  ResultCache cache(8, 1);
+  RequestKey key = TopKKey(1, 2, 3);
+  uint64_t fp = Fingerprint(key);
+  EXPECT_EQ(cache.Lookup(fp, key, 1), nullptr);
+  cache.Insert(fp, key, 1, MakePayload(7));
+  auto hit = cache.Lookup(fp, key, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->topk[0].id, 7u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, LruEvictionOrder) {
+  // Single shard with room for 3: inserting a 4th evicts the least
+  // recently *used* entry, not the oldest inserted.
+  ResultCache cache(3, 1);
+  RequestKey a = TopKKey(1, 0, 1), b = TopKKey(2, 0, 1),
+             c = TopKKey(3, 0, 1), d = TopKKey(4, 0, 1);
+  cache.Insert(Fingerprint(a), a, 1, MakePayload(1));
+  cache.Insert(Fingerprint(b), b, 1, MakePayload(2));
+  cache.Insert(Fingerprint(c), c, 1, MakePayload(3));
+  // Touch `a` so `b` becomes the LRU victim.
+  EXPECT_NE(cache.Lookup(Fingerprint(a), a, 1), nullptr);
+  cache.Insert(Fingerprint(d), d, 1, MakePayload(4));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_NE(cache.Lookup(Fingerprint(a), a, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(Fingerprint(b), b, 1), nullptr) << "b not evicted";
+  EXPECT_NE(cache.Lookup(Fingerprint(c), c, 1), nullptr);
+  EXPECT_NE(cache.Lookup(Fingerprint(d), d, 1), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, FingerprintCollisionIsMissNeverWrongAnswer) {
+  // Force two distinct requests onto one fingerprint: the second lookup
+  // must miss (full-key compare), and an insert takes the slot over.
+  ResultCache cache(8, 1);
+  RequestKey a = TopKKey(1, 0, 1), b = TopKKey(2, 0, 1);
+  uint64_t fp = 0x1234;  // deliberately shared
+  cache.Insert(fp, a, 1, MakePayload(1));
+  EXPECT_EQ(cache.Lookup(fp, b, 1), nullptr);
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  cache.Insert(fp, b, 1, MakePayload(2));  // last writer wins
+  EXPECT_EQ(cache.Lookup(fp, a, 1), nullptr);
+  auto hit = cache.Lookup(fp, b, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->topk[0].id, 2u);
+}
+
+TEST(ResultCacheTest, GenerationBumpInvalidates) {
+  ResultCache cache(8, 2);
+  RequestKey key = TopKKey(5, 6, 7);
+  uint64_t fp = Fingerprint(key);
+  cache.Insert(fp, key, 1, MakePayload(1));
+  ASSERT_NE(cache.Lookup(fp, key, 1), nullptr);
+  // A reload bumped the generation: the stale entry must not serve, and is
+  // lazily erased.
+  EXPECT_EQ(cache.Lookup(fp, key, 2), nullptr);
+  EXPECT_EQ(cache.stats().stale, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Re-inserting under the new generation serves again.
+  cache.Insert(fp, key, 2, MakePayload(9));
+  ASSERT_NE(cache.Lookup(fp, key, 2), nullptr);
+}
+
+TEST(ResultCacheTest, ConcurrentHitMissInsertEightThreads) {
+  // 8 threads hammer a small sharded cache with overlapping keys: the test
+  // asserts internal-consistency (every hit returns the payload its key
+  // inserted) and is the TSan coverage for the shard locking.
+  ResultCache cache(64, 8);
+  constexpr size_t kThreads = 8, kOps = 2000, kKeys = 96;
+  std::atomic<size_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (size_t ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      for (size_t i = 0; i < kOps; ++i) {
+        uint64_t id = (ti * 31 + i * 7) % kKeys;
+        RequestKey key = TopKKey(id, id + 1, 1);
+        uint64_t fp = Fingerprint(key);
+        auto hit = cache.Lookup(fp, key, 1);
+        if (hit != nullptr) {
+          if (hit->topk[0].id != id) wrong.fetch_add(1);
+        } else {
+          cache.Insert(fp, key, 1, MakePayload(static_cast<uint32_t>(id)));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0u);
+  ResultCache::Stats s = cache.stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.inserts, 0u);
+}
+
+/// Shared expensive fixture: one small world + trained TransE, reused by
+/// every engine test below.
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::OpenBG::Options options;
+    options.world.seed = 11;
+    options.world.scale = 0.25;
+    options.world.num_products = 400;
+    kg_ = core::OpenBG::Build(options).release();
+
+    bench_builder::BenchmarkSpec spec;
+    spec.name = "serve-test";
+    spec.num_relations = 12;
+    spec.dev_size = 50;
+    spec.test_size = 100;
+    ds_ = new kge::Dataset(kg_->BuildBenchmark(spec, nullptr));
+
+    util::Rng rng(3);
+    model_ = new kge::TransE(ds_->num_entities(), ds_->num_relations(), 16,
+                             1.0f, &rng);
+    kge::TrainConfig config;
+    config.epochs = 2;
+    config.batch_size = 256;
+    TrainKgeModel(model_, *ds_, config);
+
+    mapper_ = new construction::SchemaMapper(kg_->world().brands);
+  }
+
+  static void TearDownTestSuite() {
+    delete mapper_;
+    delete model_;
+    delete ds_;
+    delete kg_;
+    mapper_ = nullptr;
+    model_ = nullptr;
+    ds_ = nullptr;
+    kg_ = nullptr;
+  }
+
+  void TearDown() override { util::failpoints::DisarmAll(); }
+
+  ServeContext::Bindings AllBindings() {
+    ServeContext::Bindings b;
+    b.graph = &kg_->graph();
+    b.ontology = &kg_->ontology();
+    b.dataset = ds_;
+    b.model = model_;
+    b.mapper = mapper_;
+    return b;
+  }
+
+  static core::OpenBG* kg_;
+  static kge::Dataset* ds_;
+  static kge::TransE* model_;
+  static construction::SchemaMapper* mapper_;
+};
+
+core::OpenBG* EngineTest::kg_ = nullptr;
+kge::Dataset* EngineTest::ds_ = nullptr;
+kge::TransE* EngineTest::model_ = nullptr;
+construction::SchemaMapper* EngineTest::mapper_ = nullptr;
+
+// Reference answer: full ScoreTails + stable full sort.
+std::vector<ScoredEntity> ReferenceTopK(kge::KgeModel* model, uint32_t h,
+                                        uint32_t r, size_t k) {
+  std::vector<float> scores;
+  model->ScoreTails(h, r, &scores);
+  std::vector<ScoredEntity> all(scores.size());
+  for (uint32_t i = 0; i < scores.size(); ++i) all[i] = {i, scores[i]};
+  std::sort(all.begin(), all.end(),
+            [](const ScoredEntity& a, const ScoredEntity& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST_F(EngineTest, TopKMatchesReferenceSort) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  for (size_t i = 0; i < 10; ++i) {
+    const kge::LpTriple& q = ds_->test[i];
+    Response resp = engine.LinkPredictTopK(q.h, q.r, 10);
+    ASSERT_EQ(resp.status, ServeStatus::kOk);
+    EXPECT_FALSE(resp.from_cache);
+    EXPECT_EQ(resp.payload.topk, ReferenceTopK(model_, q.h, q.r, 10));
+  }
+}
+
+TEST_F(EngineTest, CachedAndUncachedResponsesAreByteIdentical) {
+  // The acceptance criterion: same request, unchanged KG — the cached
+  // answer equals the recomputed one exactly (and a cache-off engine
+  // agrees too).
+  ServeContext ctx(AllBindings());
+  EngineOptions cached_opts;
+  QueryEngine cached(&ctx, cached_opts);
+  EngineOptions uncached_opts;
+  uncached_opts.cache_enabled = false;
+  QueryEngine uncached(&ctx, uncached_opts);
+
+  const kge::LpTriple& q = ds_->test[0];
+  Response first = cached.LinkPredictTopK(q.h, q.r, 8);
+  Response second = cached.LinkPredictTopK(q.h, q.r, 8);
+  Response recomputed = uncached.LinkPredictTopK(q.h, q.r, 8);
+  ASSERT_EQ(first.status, ServeStatus::kOk);
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_TRUE(second.from_cache);
+  ASSERT_EQ(first.payload.topk.size(), second.payload.topk.size());
+  for (size_t i = 0; i < first.payload.topk.size(); ++i) {
+    // Bit-exact, not approximately equal.
+    EXPECT_EQ(first.payload.topk[i].id, second.payload.topk[i].id);
+    EXPECT_EQ(first.payload.topk[i].score, second.payload.topk[i].score);
+    EXPECT_EQ(first.payload.topk[i].id, recomputed.payload.topk[i].id);
+    EXPECT_EQ(first.payload.topk[i].score, recomputed.payload.topk[i].score);
+  }
+}
+
+TEST_F(EngineTest, SmallerKIsPrefixOfLargerK) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  const kge::LpTriple& q = ds_->test[1];
+  Response big = engine.LinkPredictTopK(q.h, q.r, 20);
+  Response small = engine.LinkPredictTopK(q.h, q.r, 5);
+  ASSERT_EQ(small.payload.topk.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(small.payload.topk[i], big.payload.topk[i]);
+  }
+}
+
+TEST_F(EngineTest, InvalidArgumentsAreTyped) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  EXPECT_EQ(engine.LinkPredictTopK(0, 0, 0).status,
+            ServeStatus::kInvalidArgument);
+  EXPECT_EQ(
+      engine.LinkPredictTopK(static_cast<uint32_t>(ds_->num_entities()), 0, 5)
+          .status,
+      ServeStatus::kInvalidArgument);
+  EXPECT_EQ(engine.Neighbors(rdf::kInvalidTerm).status,
+            ServeStatus::kInvalidArgument);
+  // A context with no model bound refuses scoring but still serves reads.
+  ServeContext::Bindings graph_only;
+  graph_only.graph = &kg_->graph();
+  graph_only.ontology = &kg_->ontology();
+  ServeContext ctx2(graph_only);
+  QueryEngine engine2(&ctx2, EngineOptions{});
+  EXPECT_EQ(engine2.LinkPredictTopK(0, 0, 5).status,
+            ServeStatus::kInvalidArgument);
+  EXPECT_EQ(
+      engine2.Neighbors(kg_->assembly().product_terms[0]).status,
+      ServeStatus::kOk);
+}
+
+TEST_F(EngineTest, NeighborsMatchesStoreMatch) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  rdf::TermId product = kg_->assembly().product_terms[0];
+  Response resp = engine.Neighbors(product);
+  ASSERT_EQ(resp.status, ServeStatus::kOk);
+  size_t out_edges = kg_->graph().store.CountMatches(
+      rdf::TriplePattern{product, rdf::TriplePattern::kAny,
+                         rdf::TriplePattern::kAny});
+  size_t in_edges = kg_->graph().store.CountMatches(
+      rdf::TriplePattern{rdf::TriplePattern::kAny, rdf::TriplePattern::kAny,
+                         product});
+  EXPECT_EQ(resp.payload.triples.size(), out_edges + in_edges);
+  for (const rdf::Triple& t : resp.payload.triples) {
+    EXPECT_TRUE(t.s == product || t.o == product);
+  }
+  // Relation-restricted variant agrees with Objects().
+  rdf::TermId rel = kg_->ontology().related_scene();
+  Response scoped = engine.Neighbors(product, rel);
+  EXPECT_EQ(scoped.payload.triples.size(),
+            kg_->graph().store.Objects(product, rel).size());
+}
+
+TEST_F(EngineTest, ConceptsOfReturnsConceptEdges) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  const ontology::Ontology& onto = kg_->ontology();
+  // Find a product with at least one scene link.
+  for (rdf::TermId product : kg_->assembly().product_terms) {
+    size_t scenes =
+        kg_->graph().store.Objects(product, onto.related_scene()).size();
+    if (scenes == 0) continue;
+    Response resp = engine.ConceptsOf(product);
+    ASSERT_EQ(resp.status, ServeStatus::kOk);
+    size_t got_scenes = 0;
+    for (const rdf::Triple& t : resp.payload.triples) {
+      EXPECT_EQ(t.s, product);
+      if (t.p == onto.related_scene()) ++got_scenes;
+    }
+    EXPECT_EQ(got_scenes, scenes);
+    return;
+  }
+  FAIL() << "no product with scene links in the test world";
+}
+
+TEST_F(EngineTest, EntityLinkResolvesBrandMentions) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  // A canonical brand name must link exactly.
+  const datagen::TaxonomyData& brands = kg_->world().brands;
+  int leaf = brands.leaves[0];
+  Response resp = engine.EntityLink(brands.nodes[leaf].name);
+  ASSERT_EQ(resp.status, ServeStatus::kOk);
+  EXPECT_EQ(resp.payload.link.node, leaf);
+  EXPECT_EQ(resp.payload.link.kind,
+            construction::SchemaMapper::MatchKind::kExact);
+  // Second call is served from cache with the identical payload.
+  Response again = engine.EntityLink(brands.nodes[leaf].name);
+  EXPECT_TRUE(again.from_cache);
+  EXPECT_EQ(again.payload.link.node, resp.payload.link.node);
+  EXPECT_EQ(again.payload.link.similarity, resp.payload.link.similarity);
+}
+
+TEST_F(EngineTest, ReloadInvalidatesCachedAnswers) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  const kge::LpTriple& q = ds_->test[2];
+  Response before = engine.LinkPredictTopK(q.h, q.r, 5);
+  ASSERT_EQ(before.status, ServeStatus::kOk);
+  EXPECT_TRUE(engine.LinkPredictTopK(q.h, q.r, 5).from_cache);
+
+  // Train the model two more epochs (parameters change), reload.
+  kge::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 256;
+  config.seed = 77;
+  TrainKgeModel(model_, *ds_, config);
+  ctx.ReloadModel(model_);
+
+  Response after = engine.LinkPredictTopK(q.h, q.r, 5);
+  EXPECT_FALSE(after.from_cache) << "stale cached answer served after reload";
+  // And the recomputed answer matches the reloaded model's reference.
+  EXPECT_EQ(after.payload.topk, ReferenceTopK(model_, q.h, q.r, 5));
+  EXPECT_GT(engine.cache().stats().stale, 0u);
+}
+
+TEST_F(EngineTest, DeadlineExceededIsTypedNotBlocking) {
+  // serve::stall delays every batch drain by ~5ms; a 1us deadline is
+  // guaranteed to lapse, so the request must come back kDeadlineExceeded.
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  util::failpoints::Arm("serve::stall");
+  const kge::LpTriple& q = ds_->test[3];
+  Response resp = engine.LinkPredictTopK(q.h, q.r, 5, /*deadline_us=*/1);
+  EXPECT_EQ(resp.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_TRUE(resp.payload.topk.empty());
+  util::failpoints::Disarm("serve::stall");
+  // Without the stall the same request succeeds.
+  Response ok = engine.LinkPredictTopK(q.h, q.r, 5, /*deadline_us=*/0);
+  EXPECT_EQ(ok.status, ServeStatus::kOk);
+}
+
+TEST_F(EngineTest, OverloadShedsMissesButServesCachedAnswers) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  const kge::LpTriple& warm = ds_->test[4];
+  const kge::LpTriple& cold = ds_->test[5];
+  ASSERT_EQ(engine.LinkPredictTopK(warm.h, warm.r, 5).status,
+            ServeStatus::kOk);
+
+  util::failpoints::Arm("serve::overload");
+  // Cache-only degraded mode: the warmed query still answers...
+  Response hit = engine.LinkPredictTopK(warm.h, warm.r, 5);
+  EXPECT_EQ(hit.status, ServeStatus::kOk);
+  EXPECT_TRUE(hit.from_cache);
+  // ...while an uncached one is shed with a typed status.
+  Response shed = engine.LinkPredictTopK(cold.h, cold.r, 7);
+  EXPECT_EQ(shed.status, ServeStatus::kShed);
+  util::failpoints::Disarm("serve::overload");
+  EXPECT_EQ(engine.LinkPredictTopK(cold.h, cold.r, 7).status,
+            ServeStatus::kOk);
+}
+
+TEST_F(EngineTest, QueueFullSheds) {
+  // max_queue 0 normalizes to 1; with the drain stalled, concurrent
+  // requests beyond the bound are shed rather than queued without limit.
+  ServeContext ctx(AllBindings());
+  EngineOptions opts;
+  opts.max_queue = 1;
+  opts.num_threads = 1;
+  QueryEngine engine(&ctx, opts);
+  util::failpoints::Arm("serve::stall");
+  std::atomic<int> shed{0}, okd{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      const kge::LpTriple& q = ds_->test[6 + c];
+      Response r = engine.LinkPredictTopK(q.h, q.r, 3);
+      if (r.status == ServeStatus::kShed) shed.fetch_add(1);
+      if (r.status == ServeStatus::kOk) okd.fetch_add(1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  util::failpoints::DisarmAll();
+  EXPECT_EQ(shed.load() + okd.load(), 8);
+  EXPECT_GT(okd.load(), 0) << "admitted requests must still complete";
+}
+
+TEST_F(EngineTest, ConcurrentMixedReadersOnSealedStore) {
+  // The TSan-covered serve-path test: 8 client threads hit every endpoint
+  // concurrently against the sealed store and prepared model; all answers
+  // must match the single-threaded reference.
+  ServeContext ctx(AllBindings());
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.max_batch = 16;
+  QueryEngine engine(&ctx, opts);
+  ASSERT_TRUE(kg_->graph().store.IndexesSealed());
+
+  constexpr size_t kThreads = 8, kIters = 40;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      for (size_t i = 0; i < kIters; ++i) {
+        const kge::LpTriple& q = ds_->test[(ti * 13 + i) % ds_->test.size()];
+        Response topk = engine.LinkPredictTopK(q.h, q.r, 5);
+        if (topk.status != ServeStatus::kOk ||
+            topk.payload.topk != ReferenceTopK(model_, q.h, q.r, 5)) {
+          mismatches.fetch_add(1);
+        }
+        rdf::TermId product =
+            kg_->assembly().product_terms[(ti + i) %
+                                          kg_->assembly()
+                                              .product_terms.size()];
+        if (engine.Neighbors(product).status != ServeStatus::kOk) {
+          mismatches.fetch_add(1);
+        }
+        if (engine.ConceptsOf(product).status != ServeStatus::kOk) {
+          mismatches.fetch_add(1);
+        }
+        const datagen::Product& p =
+            kg_->world().products[(ti * 7 + i) %
+                                  kg_->world().products.size()];
+        if (!p.brand_mention.empty() &&
+            engine.EntityLink(p.brand_mention).status != ServeStatus::kOk) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_TRUE(kg_->graph().store.IndexesSealed())
+      << "a serve-path read rebuilt an index";
+}
+
+TEST_F(EngineTest, CoalescingAnswersIdenticalRequestsFromOneScan) {
+  // Many concurrent requests for the same (h, r): all get the same
+  // correct answer, and the engine needs far fewer scans than requests
+  // (scan count is bounded by drains, observable via cache inserts).
+  ServeContext ctx(AllBindings());
+  EngineOptions opts;
+  opts.num_threads = 2;
+  QueryEngine engine(&ctx, opts);
+  const kge::LpTriple& q = ds_->test[7];
+  std::vector<ScoredEntity> expected = ReferenceTopK(model_, q.h, q.r, 6);
+  constexpr size_t kThreads = 8;
+  std::atomic<size_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (size_t ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        Response r = engine.LinkPredictTopK(q.h, q.r, 6);
+        if (r.status != ServeStatus::kOk || r.payload.topk != expected) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0u);
+}
+
+TEST_F(EngineTest, MetricsJsonCountsRequests) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  const kge::LpTriple& q = ds_->test[8];
+  engine.LinkPredictTopK(q.h, q.r, 5);
+  engine.LinkPredictTopK(q.h, q.r, 5);  // cache hit
+  engine.Neighbors(kg_->assembly().product_terms[1]);
+  std::string json = engine.MetricsJson();
+  EXPECT_NE(json.find("\"link_predict_topk\":{\"requests\":2,"
+                      "\"cache_hits\":1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"neighbors\":{\"requests\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"generation\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cache\":{\"enabled\":true"), std::string::npos);
+
+  std::vector<EndpointSnapshot> snap = engine.metrics().Snapshot();
+  EXPECT_EQ(snap[static_cast<size_t>(Endpoint::kLinkPredictTopK)].requests,
+            2u);
+  EXPECT_EQ(snap[static_cast<size_t>(Endpoint::kLinkPredictTopK)].cache_hits,
+            1u);
+}
+
+}  // namespace
+}  // namespace openbg::serve

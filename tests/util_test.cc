@@ -250,6 +250,67 @@ TEST(HistogramTest, Percentiles) {
   EXPECT_NEAR(h.Percentile(100), 100.0, 1e-9);
 }
 
+TEST(HistogramTest, EmptyHistogramReturnsZeros) {
+  // The documented empty contract: no samples => every statistic is 0.0
+  // (the serving metrics snapshot relies on this for endpoints that have
+  // not been hit yet).
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(0), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  for (int i = 1; i <= 50; ++i) a.Add(i);
+  for (int i = 51; i <= 100; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.Min(), 1.0);
+  EXPECT_EQ(a.Max(), 100.0);
+  EXPECT_NEAR(a.Mean(), 50.5, 1e-9);
+  EXPECT_NEAR(a.Percentile(50), 50.5, 1e-9);
+  // Merging does not disturb the source.
+  EXPECT_EQ(b.count(), 50u);
+  EXPECT_EQ(b.Min(), 51.0);
+  // Merging an empty histogram is a no-op; merging into an empty one
+  // copies.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 100u);
+  Histogram c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 100u);
+  EXPECT_NEAR(c.Percentile(50), a.Percentile(50), 1e-9);
+}
+
+TEST(HistogramTest, MergeAfterPercentileKeepsOrderCorrect) {
+  // Percentile() sorts lazily; a Merge after that must invalidate the
+  // sorted cache, not append past it.
+  Histogram a, b;
+  a.Add(10);
+  a.Add(30);
+  EXPECT_NEAR(a.Percentile(100), 30.0, 1e-9);
+  b.Add(20);
+  b.Add(5);
+  a.Merge(b);
+  EXPECT_NEAR(a.Percentile(0), 5.0, 1e-9);
+  EXPECT_NEAR(a.Percentile(100), 30.0, 1e-9);
+}
+
+TEST(HistogramTest, ReserveDoesNotChangeStats) {
+  Histogram h;
+  h.Reserve(1000);
+  EXPECT_EQ(h.count(), 0u);
+  h.Add(2.0);
+  h.Add(4.0);
+  EXPECT_NEAR(h.Mean(), 3.0, 1e-9);
+}
+
 TEST(HistogramTest, AsciiChartRenders) {
   Histogram h;
   for (int i = 0; i < 50; ++i) h.Add(std::pow(2.0, i % 12));
@@ -442,6 +503,45 @@ TEST(ParallelForTest, NullPoolAndTinyRangesRunInline) {
     total.fetch_add(end - begin);
   });
   EXPECT_EQ(total.load(), 0u);
+}
+
+TEST(ThreadPoolTest, TryEnqueueRespectsQueueBound) {
+  // One worker blocked on a latch; further tasks pile up in the queue.
+  // TryEnqueue admits tasks only while fewer than max_queued are waiting
+  // (the running task does not count against the bound).
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  // Wait until the blocker is actually running (queue empty).
+  std::atomic<int> ran{0};
+  while (true) {
+    if (pool.TryEnqueue([&ran] { ran.fetch_add(1); }, 1)) break;
+    std::this_thread::yield();
+  }
+  // Queue now holds exactly 1 waiting task: bound of 1 rejects, 2 admits.
+  EXPECT_FALSE(pool.TryEnqueue([&ran] { ran.fetch_add(1); }, 1));
+  EXPECT_TRUE(pool.TryEnqueue([&ran] { ran.fetch_add(1); }, 2));
+  EXPECT_FALSE(pool.TryEnqueue([&ran] { ran.fetch_add(1); }, 2));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 2);  // the two admitted tasks ran; rejects did not
+}
+
+TEST(ThreadPoolTest, TryEnqueueZeroBoundAlwaysRejects) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_FALSE(pool.TryEnqueue([&ran] { ran.fetch_add(1); }, 0));
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 0);
 }
 
 TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
