@@ -40,6 +40,7 @@ SchemaMapper::LinkResult SchemaMapper::LinkImpl(
 
 SchemaMapper::LinkResult SchemaMapper::Link(std::string_view mention) const {
   LinkResult r = LinkImpl(mention);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.total;
   switch (r.kind) {
     case MatchKind::kExact:

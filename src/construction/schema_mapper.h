@@ -2,6 +2,7 @@
 #define OPENBG_CONSTRUCTION_SCHEMA_MAPPER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,7 +40,11 @@ class SchemaMapper {
     double similarity = 0.0;
   };
 
-  /// Resolves one mention to a taxonomy node.
+  /// Resolves one mention to a taxonomy node. Safe to call concurrently:
+  /// the lookup itself is read-only, and the stats counters are updated
+  /// under an internal mutex — the mutable state's lock lives here, not
+  /// with any one caller, so a mapper shared by several serving engines
+  /// stays race-free.
   LinkResult Link(std::string_view mention) const;
 
   /// Cumulative statistics over all Link() calls.
@@ -50,7 +55,11 @@ class SchemaMapper {
     size_t fuzzy = 0;
     size_t miss = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// A consistent copy of the counters (taken under the stats mutex).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
 
   /// Accuracy evaluation against gold node indices: returns the fraction of
   /// mentions resolved to their gold node. Used by the linking ablation
@@ -70,6 +79,7 @@ class SchemaMapper {
 
   text::Trie trie_;
   text::FuzzyMatcher fuzzy_;
+  mutable std::mutex stats_mu_;  // guards stats_ across concurrent Link()s
   mutable Stats stats_;
 };
 

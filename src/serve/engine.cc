@@ -1,6 +1,8 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <thread>
 #include <utility>
@@ -16,9 +18,15 @@ namespace {
 
 /// `a` ranks strictly before `b` in a top-K answer: higher score first,
 /// lower id on ties. A total order, so top-K selection is deterministic —
-/// what makes cached and recomputed answers byte-identical.
+/// what makes cached and recomputed answers byte-identical. NaN scores (a
+/// diverged model) rank as -inf: comparing raw NaN would break strict weak
+/// ordering (NaN is "equivalent" to every score under >, while those
+/// scores are not equivalent to each other), which is UB in the heap ops.
 bool RanksBefore(const ScoredEntity& a, const ScoredEntity& b) {
-  if (a.score != b.score) return a.score > b.score;
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  float as = std::isnan(a.score) ? kNegInf : a.score;
+  float bs = std::isnan(b.score) ? kNegInf : b.score;
+  if (as != bs) return as > bs;
   return a.id < b.id;
 }
 
@@ -253,12 +261,10 @@ Response QueryEngine::EntityLink(std::string_view mention) {
     uint64_t fp = Fingerprint(key);
     uint64_t gen = context_->generation();
     if (!AdmitOrServeCached(key, fp, gen, &resp)) {
-      {
-        // SchemaMapper::Link updates its (mutable) stats counters; the
-        // lookup itself is cheap, so one short mutex keeps it shareable.
-        std::lock_guard<std::mutex> lock(link_mu_);
-        resp.payload.link = mapper->Link(mention);
-      }
+      // Link() is concurrency-safe (the mapper serializes its own stats
+      // counters internally), so engines sharing one mapper need no
+      // engine-side lock.
+      resp.payload.link = mapper->Link(mention);
       resp.status = ServeStatus::kOk;
       if (options_.cache_enabled) {
         cache_->Insert(fp, key, gen,

@@ -110,7 +110,8 @@ struct EngineOptions {
 /// bounded heap (no full sort), and complete all coalesced requests from
 /// the one scan. EntityLink / Neighbors / ConceptsOf execute inline on the
 /// caller: their reads are lock-free against the sealed store (asserted),
-/// and only the SchemaMapper's stats counters need a short private mutex.
+/// and the SchemaMapper serializes its own stats counters, so a mapper
+/// shared by several engines stays race-free.
 ///
 /// Failpoints (fault-injection tests): `serve::overload` forces the shed
 /// path of every admission decision; `serve::stall` delays batch drains so
@@ -188,8 +189,6 @@ class QueryEngine {
   std::condition_variable done_cv_;
   std::deque<PendingTopK*> pending_;
   size_t drainers_ = 0;
-
-  std::mutex link_mu_;  // serializes SchemaMapper::Link (mutable stats)
 };
 
 }  // namespace openbg::serve

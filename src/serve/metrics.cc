@@ -10,20 +10,22 @@ namespace openbg::serve {
 void ThreadMetrics::Record(Endpoint e, ServeStatus status, bool from_cache,
                            double latency_us) {
   EndpointSlot& slot = slots[static_cast<size_t>(e)];
-  slot.requests += 1;
+  slot.requests.fetch_add(1, std::memory_order_relaxed);
   switch (status) {
-    case ServeStatus::kOk:
-      if (from_cache) slot.cache_hits += 1;
+    case ServeStatus::kOk: {
+      if (from_cache) slot.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(histo_mu);
       slot.latency_us.Add(latency_us);
       break;
+    }
     case ServeStatus::kShed:
-      slot.shed += 1;
+      slot.shed.fetch_add(1, std::memory_order_relaxed);
       break;
     case ServeStatus::kDeadlineExceeded:
-      slot.timeouts += 1;
+      slot.timeouts.fetch_add(1, std::memory_order_relaxed);
       break;
     case ServeStatus::kInvalidArgument:
-      slot.errors += 1;
+      slot.errors.fetch_add(1, std::memory_order_relaxed);
       break;
   }
 }
@@ -56,11 +58,12 @@ std::vector<EndpointSnapshot> ServeMetrics::Snapshot() const {
     util::Histogram merged;
     for (const auto& t : threads_) {
       const EndpointSlot& slot = t->slots[e];
-      out[e].requests += slot.requests;
-      out[e].cache_hits += slot.cache_hits;
-      out[e].shed += slot.shed;
-      out[e].timeouts += slot.timeouts;
-      out[e].errors += slot.errors;
+      out[e].requests += slot.requests.load(std::memory_order_relaxed);
+      out[e].cache_hits += slot.cache_hits.load(std::memory_order_relaxed);
+      out[e].shed += slot.shed.load(std::memory_order_relaxed);
+      out[e].timeouts += slot.timeouts.load(std::memory_order_relaxed);
+      out[e].errors += slot.errors.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> histo_lock(t->histo_mu);
       merged.Merge(slot.latency_us);
     }
     out[e].p50_us = merged.Percentile(50);

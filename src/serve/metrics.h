@@ -1,6 +1,7 @@
 #ifndef OPENBG_SERVE_METRICS_H_
 #define OPENBG_SERVE_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -14,20 +15,26 @@
 namespace openbg::serve {
 
 /// Counters + latency histogram for one endpoint on one recording thread.
-/// Recording is plain non-atomic arithmetic: every ThreadMetrics instance
-/// is written by exactly one thread, and the (cold) snapshot path folds
-/// them with Histogram::Merge under the registry lock.
+/// Every ThreadMetrics instance is written by exactly one thread, but the
+/// snapshot path reads it concurrently with live traffic, so the counters
+/// are relaxed atomics and the histogram is guarded by the owning
+/// ThreadMetrics' mutex (see below).
 struct EndpointSlot {
-  uint64_t requests = 0;
-  uint64_t cache_hits = 0;
-  uint64_t shed = 0;
-  uint64_t timeouts = 0;
-  uint64_t errors = 0;  // kInvalidArgument responses
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> timeouts{0};
+  std::atomic<uint64_t> errors{0};  // kInvalidArgument responses
   util::Histogram latency_us;
 };
 
 struct ThreadMetrics {
   EndpointSlot slots[kNumEndpoints];
+  /// Guards every slot's latency_us histogram: Record() appends under it
+  /// and the snapshot fold merges under it. Only the snapshot path ever
+  /// contends with the owning thread, so the hot-path lock is private and
+  /// all but free.
+  std::mutex histo_mu;
 
   /// Folds one finished request into this thread's slot.
   void Record(Endpoint e, ServeStatus status, bool from_cache,
@@ -47,12 +54,15 @@ struct EndpointSnapshot {
   double max_us = 0.0;
 };
 
-/// Registry of per-thread metric slots for the serving engine. The hot
-/// path is lock-free after a thread's first request: Local() caches the
-/// thread's slot in a thread_local map, and all recording happens on that
-/// private slot. SnapshotJson() takes the registry lock, merges every
-/// slot's histograms (util::Histogram::Merge — the lockless-fold satellite
-/// of this subsystem), and renders one JSON object.
+/// Registry of per-thread metric slots for the serving engine. After a
+/// thread's first request the hot path touches no shared lock: Local()
+/// caches the thread's slot in a thread_local map, counters bump with
+/// relaxed atomics, and the latency sample appends under the slot's own
+/// mutex — contended only by a concurrent snapshot, never by other
+/// recording threads. SnapshotJson() takes the registry lock, folds every
+/// slot (atomic counter loads; Histogram::Merge under each slot's mutex,
+/// so it can run safely against live traffic), and renders one JSON
+/// object.
 class ServeMetrics {
  public:
   ServeMetrics();

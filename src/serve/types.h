@@ -24,9 +24,12 @@ inline constexpr size_t kNumEndpoints = 4;
 /// Stable name used in metrics JSON ("link_predict_topk", ...).
 const char* EndpointName(Endpoint e);
 
-/// Per-request outcome. Anything other than kOk carries no payload; a
-/// shed or deadline-exceeded request returns *immediately* with its typed
-/// status instead of blocking — the admission-control contract.
+/// Per-request outcome. Anything other than kOk carries no payload. A
+/// shed request is refused up front, before ever queuing. A queued
+/// request whose deadline lapses gets kDeadlineExceeded (never a late kOk
+/// answer) when a drainer next examines its batch — the status is typed,
+/// but its delivery rides the drain cadence, so a stalled drain delays
+/// the reply.
 enum class ServeStatus : uint8_t {
   kOk = 0,
   /// Load was shed: the request was refused admission (queue full or the

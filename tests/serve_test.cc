@@ -532,5 +532,84 @@ TEST_F(EngineTest, MetricsJsonCountsRequests) {
             1u);
 }
 
+TEST_F(EngineTest, MetricsScrapeIsSafeAgainstLiveTraffic) {
+  // Regression test: MetricsJson() used to fold the per-thread latency
+  // histograms with no synchronization against recording threads, so a
+  // scraper polling under live traffic read torn counters and could
+  // use-after-free inside Histogram::Merge. A scraper now polls
+  // continuously while 8 clients drive traffic (TSan pins the per-slot
+  // locking), and the final snapshot must account for every request.
+  ServeContext ctx(AllBindings());
+  EngineOptions opts;
+  opts.num_threads = 2;
+  QueryEngine engine(&ctx, opts);
+
+  constexpr size_t kThreads = 8, kIters = 40;
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string json = engine.MetricsJson();
+      EXPECT_NE(json.find("\"endpoints\""), std::string::npos);
+    }
+  });
+  std::vector<std::thread> clients;
+  for (size_t ti = 0; ti < kThreads; ++ti) {
+    clients.emplace_back([&, ti] {
+      for (size_t i = 0; i < kIters; ++i) {
+        const kge::LpTriple& q = ds_->test[(ti * 11 + i) % ds_->test.size()];
+        engine.LinkPredictTopK(q.h, q.r, 4);
+        rdf::TermId product =
+            kg_->assembly().product_terms[(ti + i) %
+                                          kg_->assembly()
+                                              .product_terms.size()];
+        engine.Neighbors(product);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  std::vector<EndpointSnapshot> snap = engine.metrics().Snapshot();
+  EXPECT_EQ(snap[static_cast<size_t>(Endpoint::kLinkPredictTopK)].requests,
+            kThreads * kIters);
+  EXPECT_EQ(snap[static_cast<size_t>(Endpoint::kNeighbors)].requests,
+            kThreads * kIters);
+}
+
+TEST_F(EngineTest, SharedMapperAcrossEnginesIsRaceFree) {
+  // Regression test: two engines bound to one SchemaMapper used to race on
+  // its stats counters, because each engine serialized Link() with its own
+  // private mutex. The mapper now guards its own mutable state; with
+  // caching off every EntityLink reaches Link(), so the total must be
+  // exact.
+  construction::SchemaMapper mapper(kg_->world().brands);
+  ServeContext::Bindings bindings;
+  bindings.mapper = &mapper;
+  ServeContext ctx(bindings);
+  EngineOptions opts;
+  opts.cache_enabled = false;
+  QueryEngine first(&ctx, opts);
+  QueryEngine second(&ctx, opts);
+
+  constexpr size_t kThreads = 8, kIters = 50;
+  std::vector<std::thread> threads;
+  for (size_t ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      QueryEngine& engine = (ti % 2 == 0) ? first : second;
+      for (size_t i = 0; i < kIters; ++i) {
+        const datagen::Product& p =
+            kg_->world().products[(ti * 17 + i) %
+                                  kg_->world().products.size()];
+        Response r = engine.EntityLink(
+            p.brand_mention.empty() ? "no-such-brand" : p.brand_mention);
+        EXPECT_EQ(r.status, ServeStatus::kOk);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mapper.stats().total, kThreads * kIters);
+}
+
 }  // namespace
 }  // namespace openbg::serve
