@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full pre-merge gauntlet: the default build's test suite, then the
+# AddressSanitizer and ThreadSanitizer presets (each in its own build tree,
+# see check_asan.sh / check_tsan.sh for scope notes — the TSan run excludes
+# the documented hogwild benign races).
+# Usage: scripts/check_all.sh [extra ctest args for the default run...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> default build + tests"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)" "$@"
+
+echo "==> AddressSanitizer"
+scripts/check_asan.sh
+
+echo "==> ThreadSanitizer"
+scripts/check_tsan.sh
+
+echo "==> all checks passed"

@@ -1,0 +1,208 @@
+#include "rdf/live_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace openbg::rdf {
+
+LiveGraph::LiveGraph(std::shared_ptr<const TripleStore> base)
+    : LiveGraph(std::move(base), Options()) {}
+
+LiveGraph::LiveGraph(std::shared_ptr<const TripleStore> base, Options options)
+    : options_(std::move(options)) {
+  OPENBG_CHECK(base != nullptr);
+  // The snapshot contract requires lock-free base reads on every query
+  // thread; seal now, before the handle is ever visible to a reader.
+  base->SealIndexes();
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->base = std::move(base);
+  snap->delta = nullptr;
+  snap->generation = options_.base_generation == 0 ? 1
+                                                   : options_.base_generation;
+  std::atomic_store_explicit(&snapshot_,
+                             std::shared_ptr<const GraphSnapshot>(snap),
+                             std::memory_order_release);
+}
+
+LiveGraph::~LiveGraph() { WaitForCompaction(); }
+
+void LiveGraph::Publish(std::shared_ptr<const GraphSnapshot> snap,
+                        std::vector<uint64_t> touched) {
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_.push_back(PublishRecord{snap->generation, std::move(touched)});
+    while (history_.size() > kMaxHistory) history_.pop_front();
+  }
+  // The swap itself: after this store, every new Acquire sees the new
+  // generation; existing readers keep their shared_ptr to the old one.
+  std::atomic_store_explicit(&snapshot_, std::move(snap),
+                             std::memory_order_release);
+}
+
+util::Status LiveGraph::Apply(const UpdateBatch& batch) {
+  if (batch.empty()) return util::Status::OK();
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::shared_ptr<const GraphSnapshot> cur = Acquire();
+  // Simulated crash at the top of the publish: nothing durable, nothing
+  // visible — the previous generation stays current.
+  if (util::failpoints::Triggered("live::publish")) {
+    return util::Status::Internal("live::publish failpoint fired");
+  }
+  util::Result<std::shared_ptr<const DeltaSegment>> next =
+      DeltaSegment::Build(cur->delta.get(), batch, *cur->base);
+  if (!next.ok()) return next.status();
+  uint64_t next_gen = cur->generation + 1;
+  if (!options_.delta_dir.empty()) {
+    // Write-ahead: the delta file must be durably committed before the
+    // in-memory swap. AtomicFile's own failpoints (write/fsync/rename)
+    // model a crash anywhere inside; on any failure the target path does
+    // not exist and we abort the publish, so recovery replays exactly the
+    // previous generation.
+    util::Status persisted = SaveDeltaBatch(
+        batch, next_gen, DeltaFilePath(options_.delta_dir, next_gen));
+    if (!persisted.ok()) return persisted;
+  }
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->base = cur->base;
+  snap->delta = next.value();
+  snap->generation = next_gen;
+  size_t delta_size = next.value()->size();
+  Publish(std::move(snap), TouchedKeys(batch));
+  MaybeScheduleCompaction(delta_size);
+  return util::Status::OK();
+}
+
+void LiveGraph::CompactLocked() {
+  std::shared_ptr<const GraphSnapshot> cur = Acquire();
+  if (cur->delta == nullptr || cur->delta->empty()) return;
+  // Materialize base+delta into a fresh store. Old snapshots keep the old
+  // base alive through shared ownership; new readers get an empty delta.
+  auto compacted = std::make_shared<TripleStore>();
+  const DeltaSegment& delta = *cur->delta;
+  for (const Triple& t : cur->base->triples()) {
+    if (!delta.IsRetracted(t)) compacted->Add(t);
+  }
+  for (const Triple& t : delta.adds()) compacted->Add(t);
+  compacted->SealIndexes();
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->base = std::move(compacted);
+  snap->delta = nullptr;
+  snap->generation = cur->generation + 1;
+  // Content is identical to the pre-compaction snapshot, so the touched
+  // set is empty: caches must NOT drop anything for a compaction.
+  Publish(std::move(snap), {});
+}
+
+util::Status LiveGraph::Compact() {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  CompactLocked();
+  return util::Status::OK();
+}
+
+void LiveGraph::MaybeScheduleCompaction(size_t delta_size) {
+  // Called with publish_mu_ held.
+  if (options_.compact_threshold == 0 ||
+      delta_size < options_.compact_threshold) {
+    return;
+  }
+  if (options_.pool == nullptr) {
+    CompactLocked();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    if (compact_pending_) return;  // one in flight is enough
+    compact_pending_ = true;
+  }
+  options_.pool->Submit([this] {
+    {
+      std::lock_guard<std::mutex> lock(publish_mu_);
+      CompactLocked();
+    }
+    {
+      std::lock_guard<std::mutex> lock(compact_mu_);
+      compact_pending_ = false;
+      // Notify under the lock: a waiter (possibly ~LiveGraph) cannot
+      // observe pending == false and destroy the condition variable until
+      // this task releases compact_mu_, which is after the notify.
+      compact_cv_.notify_all();
+    }
+  });
+}
+
+void LiveGraph::WaitForCompaction() {
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  compact_cv_.wait(lock, [this] { return !compact_pending_; });
+}
+
+bool LiveGraph::CollectPublishesSince(uint64_t since_gen,
+                                      std::vector<PublishRecord>* out) const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  if (!history_.empty() && history_.front().generation > since_gen + 1) {
+    // The record for since_gen+1 has been evicted: we cannot prove what
+    // those publishes touched.
+    return false;
+  }
+  for (const PublishRecord& rec : history_) {
+    if (rec.generation > since_gen) out->push_back(rec);
+  }
+  return true;
+}
+
+std::string DeltaFilePath(const std::string& dir, uint64_t generation) {
+  return util::StrFormat("%s/delta-%012llu.obgd", dir.c_str(),
+                         static_cast<unsigned long long>(generation));
+}
+
+util::Status ReplayDeltaDir(const std::string& dir, uint64_t base_generation,
+                            TripleStore* store,
+                            uint64_t* recovered_generation) {
+  OPENBG_CHECK(store != nullptr);
+  uint64_t gen = base_generation;
+  std::vector<UpdateBatch> batches;
+  for (;;) {
+    std::string path = DeltaFilePath(dir, gen + 1);
+    if (!util::FileExists(path)) break;  // clean end of the delta chain
+    UpdateBatch batch;
+    uint64_t file_gen = 0;
+    if (util::Status s = LoadDeltaBatch(path, &batch, &file_gen); !s.ok()) {
+      return s;  // corrupt file: fail closed at the last good generation
+    }
+    if (file_gen != gen + 1) {
+      return util::Status::IoError(
+          util::StrFormat("delta file %s stamped generation %llu, expected "
+                          "%llu",
+                          path.c_str(),
+                          static_cast<unsigned long long>(file_gen),
+                          static_cast<unsigned long long>(gen + 1)));
+    }
+    batches.push_back(std::move(batch));
+    ++gen;
+  }
+  if (!batches.empty()) {
+    // Retracts cannot be applied in place (TripleStore is append-only), so
+    // fold base + batches into the final triple set and rebuild.
+    TripleStore merged;
+    std::shared_ptr<const DeltaSegment> delta;
+    for (const UpdateBatch& batch : batches) {
+      util::Result<std::shared_ptr<const DeltaSegment>> next =
+          DeltaSegment::Build(delta.get(), batch, *store);
+      if (!next.ok()) return next.status();
+      delta = next.value();
+    }
+    for (const Triple& t : store->triples()) {
+      if (!delta->IsRetracted(t)) merged.Add(t);
+    }
+    for (const Triple& t : delta->adds()) merged.Add(t);
+    *store = std::move(merged);
+  }
+  if (recovered_generation != nullptr) *recovered_generation = gen;
+  return util::Status::OK();
+}
+
+}  // namespace openbg::rdf

@@ -1,0 +1,237 @@
+#ifndef OPENBG_RDF_LIVE_GRAPH_H_
+#define OPENBG_RDF_LIVE_GRAPH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rdf/delta_segment.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace openbg::util {
+class ThreadPool;
+}  // namespace openbg::util
+
+namespace openbg::rdf {
+
+/// One immutable, self-consistent version of the live graph: a sealed base
+/// store plus the delta overlay, stamped with a monotonic generation.
+/// Readers acquire a shared_ptr to a snapshot and keep querying it for as
+/// long as they like — a concurrent publish or compaction swaps the
+/// *handle*, never mutates a published snapshot, so in-flight requests
+/// finish on the version they started with (MVCC).
+struct GraphSnapshot {
+  std::shared_ptr<const TripleStore> base;
+  std::shared_ptr<const DeltaSegment> delta;  // may be null (= empty)
+  uint64_t generation = 1;
+
+  /// Calls `fn` for every live triple matching `pattern`: base triples not
+  /// retracted by the delta (index-pruned via the base's PrefixRange), then
+  /// delta adds, each in deterministic order. Stops early on false.
+  template <typename Fn>
+  void ForEachMatchFn(const TriplePattern& pattern, Fn&& fn) const {
+    bool stopped = false;
+    if (delta == nullptr || delta->num_retracts() == 0) {
+      base->ForEachMatchFn(pattern, [&](const Triple& t) {
+        if (!fn(t)) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      });
+    } else {
+      base->ForEachMatchFn(pattern, [&](const Triple& t) {
+        if (delta->IsRetracted(t)) return true;
+        if (!fn(t)) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      });
+    }
+    if (stopped || delta == nullptr) return;
+    delta->ForEachAdd(pattern, fn);
+  }
+
+  size_t CountMatches(const TriplePattern& pattern) const {
+    size_t n = 0;
+    ForEachMatchFn(pattern, [&n](const Triple&) {
+      ++n;
+      return true;
+    });
+    return n;
+  }
+
+  std::vector<Triple> Match(const TriplePattern& pattern) const {
+    std::vector<Triple> out;
+    ForEachMatchFn(pattern, [&out](const Triple& t) {
+      out.push_back(t);
+      return true;
+    });
+    return out;
+  }
+
+  bool Contains(TermId s, TermId p, TermId o) const {
+    Triple t{s, p, o};
+    if (delta != nullptr && delta->ContainsAdd(t)) return true;
+    if (delta != nullptr && delta->IsRetracted(t)) return false;
+    return base->Contains(s, p, o);
+  }
+
+  /// Live triple count: base minus retracts plus adds.
+  size_t size() const {
+    size_t n = base->size();
+    if (delta != nullptr) n = n - delta->num_retracts() + delta->adds().size();
+    return n;
+  }
+};
+
+/// The record a publish leaves behind for the serving layer: which
+/// generation it created and which entity dependency keys it touched
+/// (sorted; empty for a compaction, which changes representation but not
+/// content). LiveGraph retains a bounded history of these so caches can
+/// invalidate selectively instead of nuking on every update.
+struct PublishRecord {
+  uint64_t generation = 0;
+  std::vector<uint64_t> touched;  // sorted EntityDepKeys
+};
+
+/// A continuously updatable graph serving concurrent readers without ever
+/// blocking them: the MVCC/RCU layer the ISSUE's live-update contract
+/// specifies.
+///
+///  * Readers call Acquire() — one atomic shared_ptr load — and query the
+///    returned GraphSnapshot for as long as needed. No reader ever takes
+///    the publish lock.
+///  * Writers call Apply(batch): the batch is normalized into a fresh
+///    immutable DeltaSegment layered over the current one, optionally
+///    persisted as a write-ahead delta file (util::AtomicFile — crash-safe,
+///    fault-injectable), and published by atomically swapping the snapshot
+///    handle. Writers serialize among themselves on an internal mutex.
+///  * When the delta outgrows `compact_threshold`, the delta is folded into
+///    a brand-new sealed base store (on the caller's ThreadPool when one is
+///    bound, else inline) and published the same way; old snapshots keep
+///    the old base alive via shared ownership.
+///
+/// Failpoint sites (see util/fault_injection.h):
+///   "live::publish"  — fires before anything durable or visible happens;
+///                      models a crash at the start of the publish.
+///   plus the "atomic_file::{write,fsync,rename}" sites inside the delta
+///   file write. A failure at ANY of these leaves the in-memory snapshot
+///   and the on-disk state at the previous generation — tested property.
+///
+/// Durability contract with `delta_dir` set: the base is whatever snapshot
+/// file the caller manages (rdf::SaveSnapshot); every successful Apply
+/// leaves `delta-<generation>.obgd` in `delta_dir`. Recovery =
+/// LoadSnapshot(base) + ReplayDeltaDir(), which replays batches in
+/// generation order and stops cleanly at the first gap or unreadable file.
+class LiveGraph {
+ public:
+  struct Options {
+    /// Directory for write-ahead delta files; empty = in-memory only.
+    std::string delta_dir;
+    /// Fold the delta into the base once it carries at least this many
+    /// mutations; 0 = only on explicit Compact().
+    size_t compact_threshold = 0;
+    /// Pool for background compaction; null = compact inline in Apply.
+    util::ThreadPool* pool = nullptr;
+    /// Generation of the wrapped base (used when recovering: pass the
+    /// generation the replayed state reached). Defaults to 1.
+    uint64_t base_generation = 1;
+  };
+
+  /// Wraps `base` (sealed on construction if it is not already). Two
+  /// overloads instead of one defaulted-Options parameter: GCC rejects a
+  /// default argument whose nested-aggregate initializers are still
+  /// pending inside the enclosing class (PR c++/88165).
+  explicit LiveGraph(std::shared_ptr<const TripleStore> base);
+  LiveGraph(std::shared_ptr<const TripleStore> base, Options options);
+
+  /// Convenience for callers that keep the store alive themselves (e.g. a
+  /// core::OpenBG-owned graph): wraps a non-owning alias.
+  static std::shared_ptr<const TripleStore> Alias(const TripleStore* store) {
+    return {std::shared_ptr<const TripleStore>(), store};
+  }
+
+  ~LiveGraph();
+
+  LiveGraph(const LiveGraph&) = delete;
+  LiveGraph& operator=(const LiveGraph&) = delete;
+
+  /// Current snapshot handle: one atomic load, never blocks, never null.
+  std::shared_ptr<const GraphSnapshot> Acquire() const {
+    return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+  }
+
+  uint64_t generation() const { return Acquire()->generation; }
+
+  /// Applies and publishes one batch (see class comment). On failure the
+  /// current snapshot is untouched and no delta file exists for the
+  /// attempted generation.
+  util::Status Apply(const UpdateBatch& batch);
+
+  /// Folds the current delta into a fresh sealed base and publishes the
+  /// compacted snapshot (touched set empty: content is unchanged, so
+  /// caches keep their entries). No-op when the delta is already empty.
+  util::Status Compact();
+
+  /// Blocks until any scheduled background compaction has finished. Test
+  /// and shutdown hook; cheap when nothing is pending.
+  void WaitForCompaction();
+
+  /// Copies every retained publish record with generation > `since_gen`
+  /// into `*out` (ascending). Returns false when the history no longer
+  /// reaches back to `since_gen` — the caller must invalidate everything.
+  bool CollectPublishesSince(uint64_t since_gen,
+                             std::vector<PublishRecord>* out) const;
+
+  /// Retained publish history bound (records, not generations).
+  static constexpr size_t kMaxHistory = 64;
+
+ private:
+  void Publish(std::shared_ptr<const GraphSnapshot> snap,
+               std::vector<uint64_t> touched);
+  void CompactLocked();  // requires publish_mu_
+  void MaybeScheduleCompaction(size_t delta_size);
+
+  Options options_;
+  // The RCU handle. Swapped with atomic_store (publish side, under
+  // publish_mu_); read with atomic_load (Acquire). std::atomic<shared_ptr>
+  // is avoided for breadth of toolchain support; the free-function atomics
+  // on shared_ptr are the C++17-portable spelling.
+  std::shared_ptr<const GraphSnapshot> snapshot_;
+
+  mutable std::mutex publish_mu_;  // serializes writers (Apply/Compact)
+
+  mutable std::mutex history_mu_;
+  std::deque<PublishRecord> history_;
+
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  bool compact_pending_ = false;
+};
+
+/// Replays every `delta-<gen>.obgd` file in `dir` (generation order,
+/// starting at `base_generation + 1`) into `store`, stopping cleanly at the
+/// first missing generation. Returns the generation reached in
+/// `*recovered_generation`. A file that exists but fails validation
+/// (truncated/corrupt — a torn write that AtomicFile semantics make
+/// impossible, but disks can still rot) aborts the replay with that error,
+/// leaving `store` at the previously replayed generation.
+util::Status ReplayDeltaDir(const std::string& dir, uint64_t base_generation,
+                            TripleStore* store,
+                            uint64_t* recovered_generation);
+
+/// The delta file name for `generation` inside `dir`.
+std::string DeltaFilePath(const std::string& dir, uint64_t generation);
+
+}  // namespace openbg::rdf
+
+#endif  // OPENBG_RDF_LIVE_GRAPH_H_

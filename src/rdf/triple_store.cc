@@ -96,26 +96,35 @@ void TripleStore::SealIndexes() const {
 std::pair<const uint32_t*, const uint32_t*> TripleStore::PrefixRange(
     const TriplePattern& pattern, Order* chosen) const {
   constexpr TermId kAny = TriplePattern::kAny;
-  // Pick the index whose order puts the bound components first.
+  // Pick the most selective index: the order that puts the longest run of
+  // bound components first. Every two-bound combination has a matching
+  // two-component prefix — (s,p)→SPO, (p,o)→POS, (s,o)→OSP — so no bound
+  // pair ever degrades to a one-term prefix plus a filter scan. (The old
+  // selection forgot the (s,o)/OSP case and filter-scanned the subject's
+  // whole SPO range for s+o-bound patterns.)
   Order order;
   std::array<TermId, 2> prefix = {kAny, kAny};
   int bound = 0;
-  if (pattern.s != kAny) {
+  if (pattern.s != kAny && pattern.p != kAny) {
+    order = Order::kSpo;
+    prefix = {pattern.s, pattern.p};
+    bound = 2;
+  } else if (pattern.p != kAny && pattern.o != kAny) {
+    order = Order::kPos;
+    prefix = {pattern.p, pattern.o};
+    bound = 2;
+  } else if (pattern.s != kAny && pattern.o != kAny) {
+    order = Order::kOsp;  // OSP order is (o, s, p): prefix (o, s)
+    prefix = {pattern.o, pattern.s};
+    bound = 2;
+  } else if (pattern.s != kAny) {
     order = Order::kSpo;
     prefix[0] = pattern.s;
     bound = 1;
-    if (pattern.p != kAny) {
-      prefix[1] = pattern.p;
-      bound = 2;
-    }
   } else if (pattern.p != kAny) {
     order = Order::kPos;
     prefix[0] = pattern.p;
     bound = 1;
-    if (pattern.o != kAny) {
-      prefix[1] = pattern.o;
-      bound = 2;
-    }
   } else if (pattern.o != kAny) {
     order = Order::kOsp;
     prefix[0] = pattern.o;
@@ -163,6 +172,13 @@ std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
     return true;
   });
   return out;
+}
+
+size_t TripleStore::ScanCost(const TriplePattern& pattern) const {
+  Order order;
+  auto [begin, end] = PrefixRange(pattern, &order);
+  if (begin == nullptr) return triples_.size();
+  return static_cast<size_t>(end - begin);
 }
 
 size_t TripleStore::CountMatches(const TriplePattern& pattern) const {

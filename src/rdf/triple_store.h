@@ -108,6 +108,13 @@ class TripleStore {
   /// Number of triples matching `pattern` (no materialization).
   size_t CountMatches(const TriplePattern& pattern) const;
 
+  /// Number of index entries a query for `pattern` walks (the candidate
+  /// range before residual filtering; `size()` for the unbound pattern).
+  /// Planner/test introspection: proves which prefix the index selection
+  /// actually used — e.g. an (s, ?, o) pattern must cost the (o, s) OSP
+  /// range, not the subject's whole SPO range.
+  size_t ScanCost(const TriplePattern& pattern) const;
+
   /// Objects `o` of all triples (s, p, o). Convenience for the hot
   /// "attribute lookup" path.
   std::vector<TermId> Objects(TermId s, TermId p) const;

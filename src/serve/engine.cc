@@ -60,9 +60,15 @@ std::vector<ScoredEntity> SelectTopK(const std::vector<float>& scores,
 ServeContext::ServeContext(Bindings bindings) : bindings_(bindings) {
   if (bindings_.graph != nullptr) {
     // Serve-path reads must be lock-free: build all three sort orders now
-    // and hold the store to that contract from here on.
+    // and hold the store to that contract from here on. (A bound LiveGraph
+    // seals its own base at construction and every snapshot it publishes
+    // keeps the invariant.)
     bindings_.graph->store.SealIndexes();
     OPENBG_CHECK(bindings_.graph->store.IndexesSealed());
+    auto frozen = std::make_shared<rdf::GraphSnapshot>();
+    frozen->base = rdf::LiveGraph::Alias(&bindings_.graph->store);
+    frozen->generation = 1;
+    frozen_ = std::move(frozen);
   }
   if (bindings_.model != nullptr) {
     bindings_.model->PrepareEval();  // ScoreTails becomes const-thread-safe
@@ -84,6 +90,10 @@ QueryEngine::QueryEngine(ServeContext* context, EngineOptions options)
   pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
   cache_ = std::make_unique<ResultCache>(
       std::max<size_t>(1, options_.cache_capacity), options_.cache_shards);
+  // Publishes at or before the bind-time generation predate every entry
+  // this cache will ever hold — nothing to invalidate for them.
+  last_synced_gen_.store(context_->snapshot_generation(),
+                         std::memory_order_relaxed);
 }
 
 QueryEngine::~QueryEngine() {
@@ -93,12 +103,37 @@ QueryEngine::~QueryEngine() {
   pool_.reset();
 }
 
-const rdf::TripleStore& QueryEngine::SealedStore() const {
-  const rdf::TripleStore& store = context_->bindings().graph->store;
-  OPENBG_CHECK(store.IndexesSealed())
+const rdf::GraphSnapshot& QueryEngine::Sealed(const rdf::GraphSnapshot& snap) {
+  OPENBG_CHECK(snap.base != nullptr && snap.base->IndexesSealed())
       << "serve-path read would trigger a lazy index build; the store was "
-         "mutated after ServeContext sealed it";
-  return store;
+         "mutated after ServeContext/LiveGraph sealed it";
+  return snap;
+}
+
+void QueryEngine::SyncInvalidations(uint64_t snap_gen) {
+  if (!options_.cache_enabled) return;
+  rdf::LiveGraph* live = context_->bindings().live;
+  if (live == nullptr) return;
+  if (snap_gen <= last_synced_gen_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  uint64_t seen = last_synced_gen_.load(std::memory_order_relaxed);
+  if (snap_gen <= seen) return;  // another thread synced past us
+  std::vector<rdf::PublishRecord> records;
+  if (!live->CollectPublishesSince(seen, &records)) {
+    // The live graph's bounded history no longer covers (seen, now]: we
+    // cannot tell which entries the missed publishes touched. Fall back to
+    // the conservative full drop.
+    cache_->InvalidateAll(live->generation());
+    last_synced_gen_.store(live->generation(), std::memory_order_release);
+    return;
+  }
+  uint64_t max_gen = seen;
+  for (rdf::PublishRecord& rec : records) {
+    max_gen = std::max(max_gen, rec.generation);
+    cache_->InvalidateTouched(rec.generation, std::move(rec.touched));
+  }
+  last_synced_gen_.store(std::max(max_gen, snap_gen),
+                         std::memory_order_release);
 }
 
 bool QueryEngine::AdmitOrServeCached(const RequestKey& key, uint64_t fp,
@@ -136,6 +171,7 @@ Response QueryEngine::LinkPredictTopK(uint32_t h, uint32_t r, size_t k,
     RequestKey key{Endpoint::kLinkPredictTopK, h, r, k, ""};
     uint64_t fp = Fingerprint(key);
     uint64_t gen = context_->generation();
+    SyncInvalidations(context_->snapshot_generation());
     if (!AdmitOrServeCached(key, fp, gen, &resp)) {
       if (deadline_us == 0) deadline_us = options_.default_deadline_us;
       PendingTopK req;
@@ -210,6 +246,10 @@ void QueryEngine::DrainLoop() {
 void QueryEngine::ProcessBatch(const std::vector<PendingTopK*>& batch,
                                uint64_t gen) {
   kge::KgeModel* model = context_->bindings().model;
+  // Stamp the whole batch with the snapshot generation current when
+  // scoring starts: a publish landing mid-batch then refuses these inserts
+  // (via the cache's history check) rather than caching around it.
+  uint64_t computed_gen = context_->snapshot_generation();
   Clock::time_point now = Clock::now();
   // Coalesce by (h, r): each unique query is scored with one vectorized
   // ScoreTails scan, and every request sharing it is answered from that
@@ -243,8 +283,12 @@ void QueryEngine::ProcessBatch(const std::vector<PendingTopK*>& batch,
       if (options_.cache_enabled) {
         RequestKey key{Endpoint::kLinkPredictTopK, req->h, req->r, req->k,
                        ""};
+        // Model-space dependency key: graph deltas never touch it, so live
+        // publishes leave scoring answers cached (they depend on the model
+        // parameters, retired by the epoch bump of a reload).
         cache_->Insert(Fingerprint(key), key, gen,
-                       std::make_shared<ResultPayload>(resp->payload));
+                       std::make_shared<ResultPayload>(resp->payload),
+                       computed_gen, {TopKDepKey(req->h, req->r)});
       }
     }
   }
@@ -280,22 +324,27 @@ Response QueryEngine::EntityLink(std::string_view mention) {
 Response QueryEngine::Neighbors(rdf::TermId entity, rdf::TermId relation) {
   util::Timer timer;
   Response resp;
-  if (context_->bindings().graph == nullptr || entity == rdf::kInvalidTerm) {
+  std::shared_ptr<const rdf::GraphSnapshot> snap = context_->AcquireSnapshot();
+  if (snap == nullptr || entity == rdf::kInvalidTerm) {
     resp.status = ServeStatus::kInvalidArgument;
   } else {
     RequestKey key{Endpoint::kNeighbors, entity, relation, 0, ""};
     uint64_t fp = Fingerprint(key);
     uint64_t gen = context_->generation();
+    // Apply every publish our snapshot reflects BEFORE the cache lookup:
+    // a hit must never hand back an answer a publish <= snap->generation
+    // already invalidated.
+    SyncInvalidations(snap->generation);
     if (!AdmitOrServeCached(key, fp, gen, &resp)) {
-      const rdf::TripleStore& store = SealedStore();
+      const rdf::GraphSnapshot& view = Sealed(*snap);
       std::vector<rdf::Triple>& out = resp.payload.triples;
-      store.ForEachMatchFn(
+      view.ForEachMatchFn(
           rdf::TriplePattern{entity, relation, rdf::TriplePattern::kAny},
           [&out](const rdf::Triple& t) {
             out.push_back(t);
             return true;
           });
-      store.ForEachMatchFn(
+      view.ForEachMatchFn(
           rdf::TriplePattern{rdf::TriplePattern::kAny, relation, entity},
           [&out, entity](const rdf::Triple& t) {
             if (t.s != entity) out.push_back(t);  // self-loops already seen
@@ -304,7 +353,8 @@ Response QueryEngine::Neighbors(rdf::TermId entity, rdf::TermId relation) {
       resp.status = ServeStatus::kOk;
       if (options_.cache_enabled) {
         cache_->Insert(fp, key, gen,
-                       std::make_shared<ResultPayload>(resp.payload));
+                       std::make_shared<ResultPayload>(resp.payload),
+                       snap->generation, {rdf::EntityDepKey(entity)});
       }
     }
   }
@@ -317,15 +367,16 @@ Response QueryEngine::ConceptsOf(rdf::TermId entity) {
   util::Timer timer;
   Response resp;
   const ontology::Ontology* onto = context_->bindings().ontology;
-  if (context_->bindings().graph == nullptr || onto == nullptr ||
-      entity == rdf::kInvalidTerm) {
+  std::shared_ptr<const rdf::GraphSnapshot> snap = context_->AcquireSnapshot();
+  if (snap == nullptr || onto == nullptr || entity == rdf::kInvalidTerm) {
     resp.status = ServeStatus::kInvalidArgument;
   } else {
     RequestKey key{Endpoint::kConceptsOf, entity, 0, 0, ""};
     uint64_t fp = Fingerprint(key);
     uint64_t gen = context_->generation();
+    SyncInvalidations(snap->generation);
     if (!AdmitOrServeCached(key, fp, gen, &resp)) {
-      const rdf::TripleStore& store = SealedStore();
+      const rdf::GraphSnapshot& view = Sealed(*snap);
       std::vector<rdf::TermId> properties = {
           onto->applied_time(), onto->related_scene(), onto->about_theme(),
           onto->for_crowd()};
@@ -333,7 +384,7 @@ Response QueryEngine::ConceptsOf(rdf::TermId entity) {
                         onto->in_market().end());
       std::vector<rdf::Triple>& out = resp.payload.triples;
       for (rdf::TermId prop : properties) {
-        store.ForEachMatchFn(
+        view.ForEachMatchFn(
             rdf::TriplePattern{entity, prop, rdf::TriplePattern::kAny},
             [&out](const rdf::Triple& t) {
               out.push_back(t);
@@ -343,7 +394,8 @@ Response QueryEngine::ConceptsOf(rdf::TermId entity) {
       resp.status = ServeStatus::kOk;
       if (options_.cache_enabled) {
         cache_->Insert(fp, key, gen,
-                       std::make_shared<ResultPayload>(resp.payload));
+                       std::make_shared<ResultPayload>(resp.payload),
+                       snap->generation, {rdf::EntityDepKey(entity)});
       }
     }
   }
@@ -354,18 +406,32 @@ Response QueryEngine::ConceptsOf(rdf::TermId entity) {
 
 std::string QueryEngine::MetricsJson() const {
   ResultCache::Stats cs = cache_->stats();
+  std::string shard_sizes = "[";
+  for (size_t i = 0; i < cs.shard_sizes.size(); ++i) {
+    shard_sizes += util::StrFormat("%s%zu", i == 0 ? "" : ",",
+                                   cs.shard_sizes[i]);
+  }
+  shard_sizes += "]";
   std::string extra = util::StrFormat(
-      ",\"generation\":%llu,\"workers\":%zu,\"cache\":{\"enabled\":%s,"
+      ",\"generation\":%llu,\"snapshot_generation\":%llu,\"workers\":%zu,"
+      "\"cache\":{\"enabled\":%s,"
       "\"size\":%zu,\"hits\":%llu,\"misses\":%llu,\"collisions\":%llu,"
-      "\"stale\":%llu,\"inserts\":%llu,\"evictions\":%llu}",
+      "\"stale\":%llu,\"future\":%llu,\"inserts\":%llu,\"evictions\":%llu,"
+      "\"invalidated\":%llu,\"dropped_inserts\":%llu,"
+      "\"shard_sizes\":%s}",
       static_cast<unsigned long long>(context_->generation()),
+      static_cast<unsigned long long>(context_->snapshot_generation()),
       pool_->num_threads(), options_.cache_enabled ? "true" : "false",
       cache_->size(), static_cast<unsigned long long>(cs.hits),
       static_cast<unsigned long long>(cs.misses),
       static_cast<unsigned long long>(cs.collisions),
       static_cast<unsigned long long>(cs.stale),
+      static_cast<unsigned long long>(cs.future),
       static_cast<unsigned long long>(cs.inserts),
-      static_cast<unsigned long long>(cs.evictions));
+      static_cast<unsigned long long>(cs.evictions),
+      static_cast<unsigned long long>(cs.invalidated),
+      static_cast<unsigned long long>(cs.dropped_inserts),
+      shard_sizes.c_str());
   return metrics_.SnapshotJson(extra);
 }
 

@@ -16,6 +16,7 @@
 #include "kge/model.h"
 #include "ontology/ontology.h"
 #include "rdf/graph.h"
+#include "rdf/live_graph.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
 #include "serve/types.h"
@@ -31,8 +32,15 @@ namespace openbg::serve {
 ///    lock-free path);
 ///  * the KGE model's PrepareEval() has run, so ScoreTails is
 ///    const-thread-safe;
-///  * a monotonic snapshot generation stamps every cached answer, and any
-///    KG/model reload bumps it — O(1) whole-cache invalidation.
+///  * graph reads go through an immutable rdf::GraphSnapshot handle: a
+///    frozen one wrapping the bound Graph, or — when a rdf::LiveGraph is
+///    bound — whatever snapshot that graph currently publishes, so the
+///    serving layer tracks live updates without quiescing (MVCC: in-flight
+///    requests finish on the snapshot they acquired);
+///  * a cache *epoch* stamps every cached answer; a model reload or
+///    explicit bump retires the whole cache in O(1), while live-graph
+///    delta publishes invalidate selectively by touched dependency keys
+///    (see ResultCache).
 ///
 /// All bindings are non-owning; the caller keeps them alive for the
 /// context's lifetime. Endpoints needing an absent binding return
@@ -46,6 +54,10 @@ class ServeContext {
     const kge::Dataset* dataset = nullptr;         // optional: id -> name
     kge::KgeModel* model = nullptr;                // LinkPredictTopK
     const construction::SchemaMapper* mapper = nullptr;  // EntityLink
+    /// Optional live-update layer. When set, graph endpoints serve from
+    /// live->Acquire() (which supersedes `graph` for triple reads) and
+    /// the engines apply its publish records to their result caches.
+    rdf::LiveGraph* live = nullptr;
   };
 
   explicit ServeContext(Bindings bindings);
@@ -55,15 +67,32 @@ class ServeContext {
 
   const Bindings& bindings() const { return bindings_; }
 
-  /// Current snapshot generation (starts at 1).
+  /// Current cache epoch (starts at 1). Bumped only by full
+  /// invalidations — a model reload or BumpGeneration — never by live
+  /// delta publishes, which invalidate selectively instead.
   uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);
   }
 
-  /// Swaps in a (re)trained model: runs PrepareEval() and bumps the
-  /// generation so every cached answer computed from the old parameters
-  /// turns stale. Must not race in-flight queries — quiesce the engine (no
-  /// concurrent calls) around a reload, as with any snapshot swap.
+  /// The graph snapshot to serve this request from: the live graph's
+  /// current snapshot when one is bound, else the frozen wrapper built at
+  /// construction (null when no graph/live is bound). Never blocks.
+  std::shared_ptr<const rdf::GraphSnapshot> AcquireSnapshot() const {
+    if (bindings_.live != nullptr) return bindings_.live->Acquire();
+    return frozen_;
+  }
+
+  /// Generation of the snapshot a request acquired right now (1 when no
+  /// live graph is bound — a frozen graph never advances).
+  uint64_t snapshot_generation() const {
+    return bindings_.live != nullptr ? bindings_.live->generation() : 1;
+  }
+
+  /// Swaps in a (re)trained model: runs PrepareEval() and bumps the epoch
+  /// so every cached answer computed from the old parameters turns stale.
+  /// Must not race in-flight queries — quiesce the engine (no concurrent
+  /// calls) around a reload, as with any model swap. (Graph updates do NOT
+  /// need quiescing: publish them through the bound LiveGraph.)
   void ReloadModel(kge::KgeModel* model);
 
   /// Marks the bound KG/model as changed without swapping pointers (e.g.
@@ -75,6 +104,8 @@ class ServeContext {
  private:
   Bindings bindings_;
   std::atomic<uint64_t> generation_{1};
+  // Immutable wrapper around the bound frozen graph (no live layer).
+  std::shared_ptr<const rdf::GraphSnapshot> frozen_;
 };
 
 /// Tuning knobs of a QueryEngine.
@@ -176,8 +207,18 @@ class QueryEngine {
   void DrainLoop();
   void ProcessBatch(const std::vector<PendingTopK*>& batch, uint64_t gen);
 
-  // The sealed store, asserted: serve reads must never rebuild an index.
-  const rdf::TripleStore& SealedStore() const;
+  // Pull-based invalidation sync: applies every live-graph publish record
+  // in (last_synced_gen_, snap_gen] to the result cache — selectively when
+  // the bounded publish history still covers the span, via InvalidateAll
+  // when this engine fell more than LiveGraph::kMaxHistory publishes
+  // behind. Cheap no-op (one relaxed load) when already synced; endpoints
+  // call it right after acquiring their snapshot so a cache hit can never
+  // predate a publish the acquired snapshot already reflects.
+  void SyncInvalidations(uint64_t snap_gen);
+
+  // Asserts the serve-read contract on an acquired snapshot: its base
+  // store's indexes are sealed, so reads never take the index mutex.
+  static const rdf::GraphSnapshot& Sealed(const rdf::GraphSnapshot& snap);
 
   ServeContext* context_;
   EngineOptions options_;
@@ -189,6 +230,12 @@ class QueryEngine {
   std::condition_variable done_cv_;
   std::deque<PendingTopK*> pending_;
   size_t drainers_ = 0;
+
+  // Highest live-graph generation whose invalidations this engine has
+  // applied to its cache. sync_mu_ serializes the (collect, apply, store)
+  // step so records are applied exactly once.
+  std::atomic<uint64_t> last_synced_gen_{1};
+  std::mutex sync_mu_;
 };
 
 }  // namespace openbg::serve

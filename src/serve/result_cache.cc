@@ -1,5 +1,6 @@
 #include "serve/result_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -14,6 +15,21 @@ size_t RoundUpPow2(size_t n) {
   return p;
 }
 
+// Both inputs sorted ascending.
+bool SortedIntersect(const std::vector<uint64_t>& a,
+                     const std::vector<uint64_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 ResultCache::ResultCache(size_t capacity, size_t num_shards) {
@@ -21,16 +37,22 @@ ResultCache::ResultCache(size_t capacity, size_t num_shards) {
   size_t shards = RoundUpPow2(num_shards == 0 ? 1 : num_shards);
   // Never spread the budget so thin a shard holds nothing.
   while (shards > 1 && capacity / shards == 0) shards >>= 1;
-  per_shard_capacity_ = (capacity + shards - 1) / shards;
   shard_mask_ = shards - 1;
   shards_.reserve(shards);
+  // Distribute the budget exactly: base share everywhere, the remainder
+  // spread one entry each over the first shards, so Σ capacity_i ==
+  // capacity (the old ceil split overshot by up to shards-1 entries).
+  size_t base = capacity / shards;
+  size_t remainder = capacity % shards;
   for (size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < remainder ? 1 : 0);
+    shards_.push_back(std::move(shard));
   }
 }
 
 std::shared_ptr<const ResultPayload> ResultCache::Lookup(
-    uint64_t fp, const RequestKey& key, uint64_t gen) {
+    uint64_t fp, const RequestKey& key, uint64_t epoch) {
   Shard& shard = ShardFor(fp);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(fp);
@@ -39,11 +61,19 @@ std::shared_ptr<const ResultPayload> ResultCache::Lookup(
     return nullptr;
   }
   Entry& e = *it->second;
-  if (e.gen != gen) {
-    // Stale snapshot generation: lazily erase, report a miss.
+  if (e.epoch < epoch) {
+    // Entry predates the current epoch: lazily erase, report a miss.
     stale_.fetch_add(1, std::memory_order_relaxed);
     shard.lru.erase(it->second);
     shard.map.erase(it);
+    return nullptr;
+  }
+  if (e.epoch > epoch) {
+    // This reader is pinned to an older epoch than the entry's. The entry
+    // is perfectly valid for current-epoch readers — erasing it here (the
+    // old `e.gen != gen` behavior) let one lagging reader destroy every
+    // freshly inserted answer during a mixed-epoch window. Plain miss.
+    future_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   if (!(e.key == key)) {
@@ -56,30 +86,105 @@ std::shared_ptr<const ResultPayload> ResultCache::Lookup(
   return e.payload;
 }
 
-void ResultCache::Insert(uint64_t fp, const RequestKey& key, uint64_t gen,
-                         std::shared_ptr<const ResultPayload> payload) {
+bool ResultCache::KilledByLaterPublish(
+    uint64_t computed_gen, const std::vector<uint64_t>& deps) const {
+  if (deps.empty()) return false;  // epoch-only entries are never swept
+  std::lock_guard<std::mutex> lock(history_mu_);
+  if (computed_gen <= insert_floor_gen_) return true;
+  for (auto rec = history_.rbegin(); rec != history_.rend(); ++rec) {
+    if (rec->gen <= computed_gen) break;  // history is gen-ascending
+    if (SortedIntersect(deps, rec->touched)) return true;
+  }
+  return false;
+}
+
+void ResultCache::Insert(uint64_t fp, const RequestKey& key, uint64_t epoch,
+                         std::shared_ptr<const ResultPayload> payload,
+                         uint64_t computed_gen, std::vector<uint64_t> deps) {
   Shard& shard = ShardFor(fp);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // The race check must run inside the shard critical section: a racing
+  // InvalidateTouched records its history BEFORE sweeping the shards, so
+  // this insert either sees the record here (and refuses) or commits
+  // before the sweep reaches this shard (and is erased by it) — an answer
+  // computed against a superseded snapshot can never survive in the cache.
+  if (KilledByLaterPublish(computed_gen, deps)) {
+    dropped_inserts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   auto it = shard.map.find(fp);
   if (it != shard.map.end()) {
     // Replacement (same request re-inserted after invalidation, or a
     // colliding fingerprint taking the slot over).
     Entry& e = *it->second;
     e.key = key;
-    e.gen = gen;
+    e.epoch = epoch;
+    e.computed_gen = computed_gen;
+    e.deps = std::move(deps);
     e.payload = std::move(payload);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     inserts_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (shard.lru.size() >= per_shard_capacity_) {
+  if (shard.lru.size() >= shard.capacity) {
     shard.map.erase(shard.lru.back().fp);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{fp, key, gen, std::move(payload)});
+  shard.lru.push_front(
+      Entry{fp, key, epoch, computed_gen, std::move(deps),
+            std::move(payload)});
   shard.map[fp] = shard.lru.begin();
   inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t ResultCache::InvalidateTouched(uint64_t publish_gen,
+                                      std::vector<uint64_t> touched) {
+  // Record first: any insert racing this call either sees the record (and
+  // refuses) or lands before the sweep below (and is erased by it).
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_.push_back(InvalidationRecord{publish_gen, touched});
+    while (history_.size() > kMaxInvalidationHistory) {
+      insert_floor_gen_ =
+          std::max(insert_floor_gen_, history_.front().gen);
+      history_.pop_front();
+    }
+  }
+  size_t erased = 0;
+  if (!touched.empty()) {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+        if (it->computed_gen < publish_gen &&
+            SortedIntersect(it->deps, touched)) {
+          shard->map.erase(it->fp);
+          it = shard->lru.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  invalidated_.fetch_add(erased, std::memory_order_relaxed);
+  return erased;
+}
+
+void ResultCache::InvalidateAll(uint64_t publish_gen) {
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    insert_floor_gen_ = std::max(insert_floor_gen_, publish_gen);
+    history_.clear();
+  }
+  size_t erased = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    erased += shard->lru.size();
+    shard->lru.clear();
+    shard->map.clear();
+  }
+  invalidated_.fetch_add(erased, std::memory_order_relaxed);
 }
 
 size_t ResultCache::size() const {
@@ -97,8 +202,18 @@ ResultCache::Stats ResultCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.collisions = collisions_.load(std::memory_order_relaxed);
   s.stale = stale_.load(std::memory_order_relaxed);
+  s.future = future_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidated = invalidated_.load(std::memory_order_relaxed);
+  s.dropped_inserts = dropped_inserts_.load(std::memory_order_relaxed);
+  s.shard_sizes.reserve(shards_.size());
+  s.shard_capacity.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.shard_sizes.push_back(shard->lru.size());
+    s.shard_capacity.push_back(shard->capacity);
+  }
   return s;
 }
 

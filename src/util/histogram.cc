@@ -2,75 +2,143 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace openbg::util {
 
+int Histogram::BucketIndex(double v) {
+  int idx = static_cast<int>(std::floor(std::log2(v) *
+                                        static_cast<double>(kSubBuckets)));
+  return std::clamp(idx, kMinIndex, kMaxIndex - 1);
+}
+
+double Histogram::Representative(int index) {
+  return std::exp2((static_cast<double>(index) + 0.5) /
+                   static_cast<double>(kSubBuckets));
+}
+
+void Histogram::AddToBucket(int index, uint64_t n) {
+  if (counts_.empty()) {
+    base_ = index;
+    counts_.assign(1, 0);
+  } else if (index < base_) {
+    counts_.insert(counts_.begin(), static_cast<size_t>(base_ - index), 0);
+    base_ = index;
+  } else if (index >= base_ + static_cast<int>(counts_.size())) {
+    counts_.resize(static_cast<size_t>(index - base_) + 1, 0);
+  }
+  counts_[static_cast<size_t>(index - base_)] += n;
+}
+
 void Histogram::Add(double v) {
-  values_.push_back(v);
-  sorted_ = false;
-}
-
-void Histogram::Merge(const Histogram& other) {
-  if (other.values_.empty()) return;
-  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
-  sorted_ = false;
-}
-
-void Histogram::Reserve(size_t n) { values_.reserve(n); }
-
-void Histogram::EnsureSorted() const {
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
+  if (std::isnan(v)) v = 0.0;  // NaN: count it, pin to the underflow bucket
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+  if (v > 0.0) {
+    AddToBucket(BucketIndex(v), 1);
+  } else {
+    ++nonpos_;
   }
 }
 
-double Histogram::Min() const {
-  if (values_.empty()) return 0.0;
-  EnsureSorted();
-  return values_.front();
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+  nonpos_ += other.nonpos_;
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    if (other.counts_[i] > 0) {
+      AddToBucket(other.base_ + static_cast<int>(i), other.counts_[i]);
+    }
+  }
 }
 
-double Histogram::Max() const {
-  if (values_.empty()) return 0.0;
-  EnsureSorted();
-  return values_.back();
+void Histogram::Reserve(size_t /*n*/) {
+  counts_.reserve(static_cast<size_t>(kMaxIndex - kMinIndex));
 }
+
+double Histogram::Min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Histogram::Max() const { return count_ == 0 ? 0.0 : max_; }
 
 double Histogram::Mean() const {
-  if (values_.empty()) return 0.0;
-  return std::accumulate(values_.begin(), values_.end(), 0.0) /
-         static_cast<double>(values_.size());
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::ValueAtRank(uint64_t k) const {
+  if (k < nonpos_) return min_;  // all non-positive samples rank first
+  uint64_t cum = nonpos_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (k < cum) {
+      return std::clamp(Representative(base_ + static_cast<int>(i)), min_,
+                        max_);
+    }
+  }
+  return max_;
 }
 
 double Histogram::Percentile(double p) const {
   OPENBG_CHECK(p >= 0.0 && p <= 100.0);
-  if (values_.empty()) return 0.0;
-  EnsureSorted();
-  double idx = p / 100.0 * static_cast<double>(values_.size() - 1);
-  size_t lo = static_cast<size_t>(idx);
-  size_t hi = std::min(lo + 1, values_.size() - 1);
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Same rank interpolation as a sorted-sample percentile, answered at
+  // bucket resolution.
+  double idx = p / 100.0 * static_cast<double>(count_ - 1);
+  uint64_t lo = static_cast<uint64_t>(idx);
   double frac = idx - static_cast<double>(lo);
-  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  double vlo = ValueAtRank(lo);
+  if (frac == 0.0) return vlo;
+  return vlo * (1.0 - frac) + ValueAtRank(lo + 1) * frac;
 }
 
 std::string Histogram::AsciiChart(size_t max_rows, size_t width) const {
-  if (values_.empty()) return "(empty)\n";
-  EnsureSorted();
-  std::vector<double> desc(values_.rbegin(), values_.rend());
-  size_t rows = std::min(max_rows, desc.size());
-  // Bucket the sorted sequence into `rows` groups (mean per bucket).
+  if (count_ == 0) return "(empty)\n";
+  size_t rows = std::min<uint64_t>(max_rows, count_);
+  // Row r aggregates the descending-sorted positions [r*N/rows,
+  // (r+1)*N/rows) — the same grouping the sample-keeping implementation
+  // produced, computed by walking buckets high-to-low and splitting each
+  // run at row boundaries.
   std::vector<double> bucket(rows, 0.0);
-  std::vector<size_t> n(rows, 0);
-  for (size_t i = 0; i < desc.size(); ++i) {
-    size_t b = i * rows / desc.size();
-    bucket[b] += desc[i];
-    n[b] += 1;
+  std::vector<uint64_t> n(rows, 0);
+  uint64_t pos = 0;
+  auto spread = [&](double v, uint64_t c) {
+    while (c > 0) {
+      size_t r = static_cast<size_t>(pos * rows / count_);
+      // First position past row r: smallest pos' with pos'*rows >= (r+1)*N.
+      uint64_t boundary = ((static_cast<uint64_t>(r) + 1) * count_ +
+                           (rows - 1)) / rows;
+      uint64_t take = std::min<uint64_t>(c, boundary - pos);
+      bucket[r] += v * static_cast<double>(take);
+      n[r] += take;
+      pos += take;
+      c -= take;
+    }
+  };
+  for (size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] > 0) {
+      spread(std::clamp(Representative(base_ + static_cast<int>(i)), min_,
+                        max_),
+             counts_[i]);
+    }
   }
+  if (nonpos_ > 0) spread(min_, nonpos_);
   for (size_t b = 0; b < rows; ++b) {
     if (n[b] > 0) bucket[b] /= static_cast<double>(n[b]);
   }
@@ -95,6 +163,10 @@ std::string Histogram::AsciiChart(size_t max_rows, size_t width) const {
   }
   if (log_scale) out += "(log-scaled bars)\n";
   return out;
+}
+
+size_t Histogram::AllocatedBytes() const {
+  return sizeof(Histogram) + counts_.capacity() * sizeof(uint64_t);
 }
 
 }  // namespace openbg::util

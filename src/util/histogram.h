@@ -7,9 +7,26 @@
 
 namespace openbg::util {
 
-/// Accumulates counts and renders compact ASCII summaries; used by the
-/// figure-reproduction benches (e.g., the Fig. 5 relation long-tail plot)
-/// and, per-thread, by the serving layer's latency metrics.
+/// Accumulates samples into bounded log-scaled buckets and renders compact
+/// ASCII summaries; used by the figure-reproduction benches (e.g., the
+/// Fig. 5 relation long-tail plot) and, per-thread, by the serving layer's
+/// latency metrics.
+///
+/// Memory contract: storage is O(buckets), NOT O(samples) — the earlier
+/// implementation kept every sample in a vector, so a long-lived serving
+/// process grew its per-thread latency histograms without bound. Buckets
+/// are log2-spaced with kSubBuckets per octave over [2^-64, 2^64) (values
+/// outside clamp to the edge buckets; non-positive and NaN samples share
+/// one underflow bucket), so the whole structure tops out at ~16 KiB no
+/// matter how many samples it absorbs. AllocatedBytes() exposes the
+/// footprint for tests.
+///
+/// Accuracy contract: count/sum/min/max are tracked exactly, so count(),
+/// Min(), Max() and Mean() are exact. Percentile() answers from a bucket's
+/// geometric midpoint clamped to [Min, Max]: relative quantile error is
+/// bounded by half a bucket width, 2^(1/(2*kSubBuckets)) - 1 ≈ 2.2% (plus
+/// rank interpolation at bucket granularity); Percentile(0)/Percentile(100)
+/// return the exact Min/Max.
 ///
 /// Empty-histogram contract: with no samples, Min/Max/Mean/Percentile all
 /// return 0.0 (count() is 0) — an idle serving endpoint renders as zeros
@@ -18,31 +35,55 @@ class Histogram {
  public:
   void Add(double v);
 
-  /// Appends every sample of `other` (summary statistics afterwards equal
-  /// those of the concatenated sample streams). This is how per-thread
-  /// serving histograms fold into one report: each thread records into its
-  /// own Histogram with no locking, and only the (cold) dump path merges.
+  /// Folds `other` in (summary statistics afterwards equal those of the
+  /// concatenated sample streams, at bucket resolution). This is how
+  /// per-thread serving histograms fold into one report: each thread
+  /// records into its own Histogram with no locking, and only the (cold)
+  /// dump path merges. `other` is untouched.
   void Merge(const Histogram& other);
 
-  /// Pre-allocates capacity for `n` samples so hot-path Add calls do not
-  /// reallocate.
+  /// Pre-allocates the full bucket span so hot-path Add calls never
+  /// reallocate. The argument is a sample-count hint kept for call-site
+  /// compatibility; bucket storage depends on the value range, not the
+  /// sample count, so it is ignored.
   void Reserve(size_t n);
 
-  size_t count() const { return values_.size(); }
+  size_t count() const { return static_cast<size_t>(count_); }
   double Min() const;
   double Max() const;
   double Mean() const;
   double Percentile(double p) const;  // p in [0,100]
 
-  /// Renders a horizontal-bar ASCII chart of the sorted values (descending),
-  /// bucketed into at most `max_rows` rows, with log-scaled bars when the
-  /// range spans > 2 decades.
+  /// Renders a horizontal-bar ASCII chart of the (bucket-resolution)
+  /// sorted values (descending), grouped into at most `max_rows` rows,
+  /// with log-scaled bars when the range spans > 2 decades.
   std::string AsciiChart(size_t max_rows, size_t width) const;
 
+  /// Heap + inline footprint in bytes. Flat in the number of samples;
+  /// bounded by the clamped bucket span (~16 KiB).
+  size_t AllocatedBytes() const;
+
+  static constexpr int kSubBuckets = 16;  // buckets per octave (log2)
+
  private:
-  mutable std::vector<double> values_;
-  mutable bool sorted_ = false;
-  void EnsureSorted() const;
+  static constexpr int kMinIndex = -64 * kSubBuckets;  // v >= 2^-64
+  static constexpr int kMaxIndex = 64 * kSubBuckets;   // v < 2^64
+
+  static int BucketIndex(double v);        // v > 0
+  static double Representative(int index); // geometric bucket midpoint
+
+  void AddToBucket(int index, uint64_t n);
+  // Value at sorted-sample position `k` (0-based, ascending), at bucket
+  // resolution, clamped to [min_, max_].
+  double ValueAtRank(uint64_t k) const;
+
+  uint64_t count_ = 0;
+  uint64_t nonpos_ = 0;  // samples <= 0 or NaN (underflow bucket)
+  double min_ = 0.0, max_ = 0.0, sum_ = 0.0;
+  // counts_[i] counts bucket index base_ + i; lazily grown to the touched
+  // index range only, so a few-decade latency stream stays tiny.
+  int base_ = 0;
+  std::vector<uint64_t> counts_;
 };
 
 }  // namespace openbg::util

@@ -446,5 +446,64 @@ TEST_P(TripleStorePropertyTest, PatternsAgreeWithLinearScan) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+TEST(TripleStoreIndexTest, SubjectObjectBoundUsesTwoComponentOspPrefix) {
+  // Regression for the missing (o, s) OSP prefix: an (s, ?, o) pattern used
+  // to fall back to the subject's whole SPO range and filter every triple
+  // of a high-degree subject. The candidate range must be exactly the
+  // triples sharing BOTH bound components.
+  constexpr TermId kAny = TriplePattern::kAny;
+  TripleStore store;
+  for (TermId p = 10; p < 110; ++p) store.Add(1, p, 200 + p);  // hub subject
+  store.Add(1, 500, 999);
+  store.Add(1, 501, 999);
+  store.Add(2, 500, 999);
+  store.SealIndexes();
+
+  TriplePattern pat{1, kAny, 999};
+  EXPECT_EQ(store.CountMatches(pat), 2u);
+  EXPECT_EQ(store.ScanCost(pat), 2u)
+      << "(s, ?, o) must walk the (o, s) OSP prefix, not the subject range";
+  // The subject's full range really is the expensive one we avoided.
+  EXPECT_EQ(store.ScanCost(TriplePattern{1, kAny, kAny}), 102u);
+  EXPECT_EQ(store.ScanCost(TriplePattern{kAny, kAny, 999}), 3u);
+}
+
+TEST(TripleStoreIndexTest, ScanCostBoundsHoldOnRandomData) {
+  // Parity property: for every pattern shape, the candidate range covers
+  // all matches (cost >= matches), and a two-bound pattern never scans
+  // more than either of its one-bound relaxations — which fails if any
+  // two-component prefix is missing from index selection.
+  constexpr TermId kAny = TriplePattern::kAny;
+  util::Rng rng(99);
+  TripleStore store;
+  for (int i = 0; i < 300; ++i) {
+    store.Add(static_cast<TermId>(1 + rng.Uniform(12)),
+              static_cast<TermId>(100 + rng.Uniform(6)),
+              static_cast<TermId>(200 + rng.Uniform(12)));
+  }
+  store.SealIndexes();
+  for (int trial = 0; trial < 60; ++trial) {
+    TriplePattern pat;
+    if (rng.Bernoulli(0.6)) pat.s = static_cast<TermId>(1 + rng.Uniform(12));
+    if (rng.Bernoulli(0.6)) pat.p = static_cast<TermId>(100 + rng.Uniform(6));
+    if (rng.Bernoulli(0.6)) pat.o = static_cast<TermId>(200 + rng.Uniform(12));
+    size_t cost = store.ScanCost(pat);
+    EXPECT_GE(cost, store.CountMatches(pat));
+    EXPECT_LE(cost, store.size());
+    int bound = (pat.s != kAny) + (pat.p != kAny) + (pat.o != kAny);
+    if (bound == 2) {
+      if (pat.s != kAny) {
+        EXPECT_LE(cost, store.ScanCost(TriplePattern{pat.s, kAny, kAny}));
+      }
+      if (pat.p != kAny) {
+        EXPECT_LE(cost, store.ScanCost(TriplePattern{kAny, pat.p, kAny}));
+      }
+      if (pat.o != kAny) {
+        EXPECT_LE(cost, store.ScanCost(TriplePattern{kAny, kAny, pat.o}));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace openbg::rdf

@@ -3,7 +3,9 @@
 // invalidation, concurrent access), the micro-batched query engine
 // (correctness vs direct scoring, cached/uncached byte-equality, deadlines
 // and load shedding via failpoints, concurrent mixed-endpoint readers on a
-// sealed store), and the metrics surface.
+// sealed store), live-update serving over rdf::LiveGraph (selective cache
+// invalidation, readers concurrent with delta ingest), and the metrics
+// surface.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +19,7 @@
 #include "core/openbg.h"
 #include "kge/trainer.h"
 #include "kge/trans_models.h"
+#include "rdf/live_graph.h"
 #include "serve/engine.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
@@ -98,6 +101,101 @@ TEST(ResultCacheTest, GenerationBumpInvalidates) {
   // Re-inserting under the new generation serves again.
   cache.Insert(fp, key, 2, MakePayload(9));
   ASSERT_NE(cache.Lookup(fp, key, 2), nullptr);
+}
+
+TEST(ResultCacheTest, FutureEpochEntryIsMissButNotErased) {
+  // Regression for the old `e.gen != gen` check: a reader still pinned to
+  // an OLDER epoch than the entry's must get a plain miss — erasing the
+  // entry let one lagging reader destroy every freshly inserted answer
+  // during a mixed-epoch window.
+  ResultCache cache(8, 1);
+  RequestKey key = TopKKey(1, 2, 3);
+  uint64_t fp = Fingerprint(key);
+  cache.Insert(fp, key, /*epoch=*/2, MakePayload(9));
+  EXPECT_EQ(cache.Lookup(fp, key, 1), nullptr);  // lagging reader
+  EXPECT_EQ(cache.stats().future, 1u);
+  EXPECT_EQ(cache.stats().stale, 0u);
+  EXPECT_EQ(cache.size(), 1u) << "future-epoch entry must not be erased";
+  // The current-epoch reader still hits it.
+  ASSERT_NE(cache.Lookup(fp, key, 2), nullptr);
+}
+
+TEST(ResultCacheTest, CapacityBudgetHoldsAcrossShards) {
+  // The old ceil-rounded split gave capacity 10 over 8 shards 16 real
+  // slots. The per-shard budgets must sum to exactly the requested total,
+  // and live entries may never exceed it.
+  ResultCache cache(10, 8);
+  ResultCache::Stats s = cache.stats();
+  size_t budget = 0;
+  for (size_t c : s.shard_capacity) budget += c;
+  EXPECT_EQ(budget, 10u);
+  for (uint64_t i = 0; i < 200; ++i) {
+    RequestKey key = TopKKey(i, i, 1);
+    cache.Insert(Fingerprint(key), key, 1,
+                 MakePayload(static_cast<uint32_t>(i)));
+  }
+  EXPECT_LE(cache.size(), 10u);
+  s = cache.stats();
+  ASSERT_EQ(s.shard_sizes.size(), s.shard_capacity.size());
+  size_t occupied = 0;
+  for (size_t i = 0; i < s.shard_sizes.size(); ++i) {
+    EXPECT_LE(s.shard_sizes[i], s.shard_capacity[i]) << "shard " << i;
+    occupied += s.shard_sizes[i];
+  }
+  EXPECT_EQ(occupied, cache.size());
+}
+
+TEST(ResultCacheTest, SelectiveInvalidationErasesOnlyIntersecting) {
+  ResultCache cache(16, 2);
+  RequestKey a = TopKKey(1, 0, 1), b = TopKKey(2, 0, 1), c = TopKKey(3, 0, 1);
+  cache.Insert(Fingerprint(a), a, 1, MakePayload(1), 5, {100, 200});
+  cache.Insert(Fingerprint(b), b, 1, MakePayload(2), 5, {300});
+  cache.Insert(Fingerprint(c), c, 1, MakePayload(3), 5, {});  // epoch-only
+  EXPECT_EQ(cache.InvalidateTouched(6, {200, 250}), 1u);
+  EXPECT_EQ(cache.Lookup(Fingerprint(a), a, 1), nullptr) << "touched entry";
+  EXPECT_NE(cache.Lookup(Fingerprint(b), b, 1), nullptr) << "disjoint deps";
+  EXPECT_NE(cache.Lookup(Fingerprint(c), c, 1), nullptr) << "no deps";
+  EXPECT_EQ(cache.stats().invalidated, 1u);
+  // An entry recomputed AT the publish generation survives that publish.
+  cache.Insert(Fingerprint(a), a, 1, MakePayload(4), 6, {200});
+  EXPECT_EQ(cache.InvalidateTouched(6, {200}), 0u);
+  EXPECT_NE(cache.Lookup(Fingerprint(a), a, 1), nullptr);
+}
+
+TEST(ResultCacheTest, LateInsertComputedBeforePublishIsRefused) {
+  // The in-flight race: a publish lands while a request computed against
+  // the pre-publish snapshot is still executing; its insert must not
+  // resurrect the invalidated answer.
+  ResultCache cache(16, 1);
+  RequestKey a = TopKKey(1, 0, 1);
+  cache.InvalidateTouched(7, {100});
+  cache.Insert(Fingerprint(a), a, 1, MakePayload(1), 5, {100});
+  EXPECT_EQ(cache.Lookup(Fingerprint(a), a, 1), nullptr);
+  EXPECT_EQ(cache.stats().dropped_inserts, 1u);
+  // Same stale generation, disjoint deps: fine.
+  RequestKey b = TopKKey(2, 0, 1);
+  cache.Insert(Fingerprint(b), b, 1, MakePayload(2), 5, {300});
+  EXPECT_NE(cache.Lookup(Fingerprint(b), b, 1), nullptr);
+  // Epoch-only entries (no deps) are never dropped by publishes.
+  RequestKey c = TopKKey(3, 0, 1);
+  cache.Insert(Fingerprint(c), c, 1, MakePayload(3), 5, {});
+  EXPECT_NE(cache.Lookup(Fingerprint(c), c, 1), nullptr);
+}
+
+TEST(ResultCacheTest, InvalidateAllDropsEverythingAndRaisesFloor) {
+  ResultCache cache(16, 2);
+  RequestKey a = TopKKey(1, 0, 1);
+  cache.Insert(Fingerprint(a), a, 1, MakePayload(1), 3, {100});
+  cache.InvalidateAll(9);
+  EXPECT_EQ(cache.size(), 0u);
+  // Anything computed at or before the floor can no longer prove it was
+  // not invalidated (the records are gone): refused.
+  cache.Insert(Fingerprint(a), a, 1, MakePayload(2), 8, {500});
+  EXPECT_EQ(cache.Lookup(Fingerprint(a), a, 1), nullptr);
+  EXPECT_GE(cache.stats().dropped_inserts, 1u);
+  // Entries computed after the floor insert normally.
+  cache.Insert(Fingerprint(a), a, 1, MakePayload(3), 10, {500});
+  EXPECT_NE(cache.Lookup(Fingerprint(a), a, 1), nullptr);
 }
 
 TEST(ResultCacheTest, ConcurrentHitMissInsertEightThreads) {
@@ -523,6 +621,8 @@ TEST_F(EngineTest, MetricsJsonCountsRequests) {
       << json;
   EXPECT_NE(json.find("\"neighbors\":{\"requests\":1"), std::string::npos);
   EXPECT_NE(json.find("\"generation\":"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot_generation\":"), std::string::npos);
+  EXPECT_NE(json.find("\"shard_sizes\":"), std::string::npos);
   EXPECT_NE(json.find("\"cache\":{\"enabled\":true"), std::string::npos);
 
   std::vector<EndpointSnapshot> snap = engine.metrics().Snapshot();
@@ -609,6 +709,110 @@ TEST_F(EngineTest, SharedMapperAcrossEnginesIsRaceFree) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(mapper.stats().total, kThreads * kIters);
+}
+
+TEST_F(EngineTest, LiveDeltaPublishInvalidatesSelectively) {
+  // The acceptance scenario for selective invalidation: after a delta
+  // publish touching one entity, only cache entries depending on the
+  // touched entities are recomputed. Everything else — other neighbor
+  // answers, and all model-space top-k answers (domain-separated keys) —
+  // keeps serving from cache instead of the old full nuke.
+  rdf::LiveGraph live(rdf::LiveGraph::Alias(&kg_->graph().store));
+  ServeContext::Bindings bindings = AllBindings();
+  bindings.live = &live;
+  ServeContext ctx(bindings);
+  QueryEngine engine(&ctx, EngineOptions{});
+
+  rdf::TermId pa = kg_->assembly().product_terms[0];
+  rdf::TermId pb = kg_->assembly().product_terms[1];
+  rdf::TermId pc = kg_->assembly().product_terms[2];
+  Response na = engine.Neighbors(pa);
+  ASSERT_EQ(na.status, ServeStatus::kOk);
+  ASSERT_EQ(engine.Neighbors(pb).status, ServeStatus::kOk);
+  ASSERT_EQ(engine.Neighbors(pc).status, ServeStatus::kOk);
+  const kge::LpTriple& q = ds_->test[9];
+  ASSERT_EQ(engine.LinkPredictTopK(q.h, q.r, 5).status, ServeStatus::kOk);
+  EXPECT_TRUE(engine.Neighbors(pa).from_cache);
+
+  // Publish one new edge pa -> pb. Touched set = {pa, pb}.
+  rdf::TermId rel = kg_->ontology().related_scene();
+  rdf::UpdateBatch batch;
+  batch.adds.push_back({pa, rel, pb});
+  ASSERT_TRUE(live.Apply(batch).ok());
+  EXPECT_EQ(live.generation(), 2u);
+
+  Response nc = engine.Neighbors(pc);
+  EXPECT_TRUE(nc.from_cache) << "untouched entity lost its cached answer";
+  Response topk = engine.LinkPredictTopK(q.h, q.r, 5);
+  EXPECT_TRUE(topk.from_cache) << "graph delta nuked a model-space answer";
+
+  Response na2 = engine.Neighbors(pa);
+  EXPECT_FALSE(na2.from_cache) << "touched entity served a stale answer";
+  EXPECT_EQ(na2.payload.triples.size(), na.payload.triples.size() + 1);
+  EXPECT_NE(std::find(na2.payload.triples.begin(), na2.payload.triples.end(),
+                      rdf::Triple{pa, rel, pb}),
+            na2.payload.triples.end());
+  EXPECT_FALSE(engine.Neighbors(pb).from_cache)
+      << "the object side of the new edge is touched too";
+  // Once recomputed at the new generation, the answers cache again.
+  EXPECT_TRUE(engine.Neighbors(pa).from_cache);
+  EXPECT_TRUE(engine.Neighbors(pb).from_cache);
+}
+
+TEST_F(EngineTest, ConcurrentReadersDuringLiveIngest) {
+  // The ISSUE's 8-thread acceptance test at the engine level: 7 reader
+  // threads keep serving mixed endpoints while a writer publishes delta
+  // batches. Readers must never fail, never block on a publish, and the
+  // final answer must reflect the last published edge. Run under TSan via
+  // the tsan preset.
+  rdf::LiveGraph live(rdf::LiveGraph::Alias(&kg_->graph().store));
+  ServeContext::Bindings bindings = AllBindings();
+  bindings.live = &live;
+  ServeContext ctx(bindings);
+  EngineOptions opts;
+  opts.num_threads = 2;
+  QueryEngine engine(&ctx, opts);
+
+  const std::vector<rdf::TermId>& products = kg_->assembly().product_terms;
+  rdf::TermId rel = kg_->ontology().related_scene();
+  constexpr size_t kReaders = 7, kIters = 40, kBatches = 60;
+  std::atomic<size_t> failures{0};
+
+  std::vector<std::thread> readers;
+  for (size_t ti = 0; ti < kReaders; ++ti) {
+    readers.emplace_back([&, ti] {
+      for (size_t i = 0; i < kIters; ++i) {
+        rdf::TermId product = products[(ti * 31 + i) % products.size()];
+        if (engine.Neighbors(product).status != ServeStatus::kOk) ++failures;
+        if (engine.ConceptsOf(product).status != ServeStatus::kOk) ++failures;
+        const kge::LpTriple& q = ds_->test[(ti * 13 + i) % ds_->test.size()];
+        if (engine.LinkPredictTopK(q.h, q.r, 5).status != ServeStatus::kOk) {
+          ++failures;
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (size_t i = 0; i + 1 < kBatches && i + 1 < products.size(); ++i) {
+      rdf::UpdateBatch batch;
+      batch.adds.push_back({products[i], rel, products[i + 1]});
+      if (!live.Apply(batch).ok()) ++failures;
+    }
+  });
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(live.generation(), 1u + (kBatches - 1));
+
+  // A fresh query sees the last published edge (any cached answer that
+  // intersected the publish was invalidated or refused on insert).
+  rdf::TermId last_s = products[kBatches - 2];
+  rdf::TermId last_o = products[kBatches - 1];
+  Response resp = engine.Neighbors(last_s);
+  ASSERT_EQ(resp.status, ServeStatus::kOk);
+  EXPECT_NE(std::find(resp.payload.triples.begin(), resp.payload.triples.end(),
+                      rdf::Triple{last_s, rel, last_o}),
+            resp.payload.triples.end());
 }
 
 }  // namespace

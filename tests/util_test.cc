@@ -242,10 +242,13 @@ TEST(StringUtilTest, Utf8MalformedFallsBackToBytes) {
 TEST(HistogramTest, Percentiles) {
   Histogram h;
   for (int i = 1; i <= 100; ++i) h.Add(i);
+  // count/min/max/mean are tracked exactly; only interior percentiles are
+  // answered at bucket resolution (documented <= ~2.2% relative error, 5%
+  // asserted for slack).
   EXPECT_EQ(h.Min(), 1.0);
   EXPECT_EQ(h.Max(), 100.0);
   EXPECT_NEAR(h.Mean(), 50.5, 1e-9);
-  EXPECT_NEAR(h.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 50.5 * 0.05);
   EXPECT_NEAR(h.Percentile(0), 1.0, 1e-9);
   EXPECT_NEAR(h.Percentile(100), 100.0, 1e-9);
 }
@@ -273,7 +276,7 @@ TEST(HistogramTest, MergeCombinesSamples) {
   EXPECT_EQ(a.Min(), 1.0);
   EXPECT_EQ(a.Max(), 100.0);
   EXPECT_NEAR(a.Mean(), 50.5, 1e-9);
-  EXPECT_NEAR(a.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(a.Percentile(50), 50.5, 50.5 * 0.05);
   // Merging does not disturb the source.
   EXPECT_EQ(b.count(), 50u);
   EXPECT_EQ(b.Min(), 51.0);
@@ -289,8 +292,10 @@ TEST(HistogramTest, MergeCombinesSamples) {
 }
 
 TEST(HistogramTest, MergeAfterPercentileKeepsOrderCorrect) {
-  // Percentile() sorts lazily; a Merge after that must invalidate the
-  // sorted cache, not append past it.
+  // A Merge after a Percentile() query must fold into the same statistics
+  // later queries see (the sample-keeping implementation had a lazily
+  // sorted cache to invalidate here; the bucketed one must stay coherent
+  // too).
   Histogram a, b;
   a.Add(10);
   a.Add(30);
@@ -317,6 +322,44 @@ TEST(HistogramTest, AsciiChartRenders) {
   std::string chart = h.AsciiChart(10, 40);
   EXPECT_FALSE(chart.empty());
   EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, MemoryIsFlatInSampleCount) {
+  // The histogram must hold O(buckets), not O(samples): seed the full
+  // value range, snapshot the footprint, then pour in 200k more samples
+  // from the same range — the footprint may not move, and stays bounded.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(1e-3 * std::pow(10.0, (i % 10)));  // spans 1e-3 .. 1e6
+  }
+  size_t bytes_after_seed = h.AllocatedBytes();
+  for (int i = 0; i < 200000; ++i) {
+    h.Add(1e-3 * std::pow(10.0, (i % 10)));
+  }
+  EXPECT_EQ(h.AllocatedBytes(), bytes_after_seed);
+  EXPECT_LT(h.AllocatedBytes(), 64u * 1024u);
+  EXPECT_EQ(h.count(), 201000u);
+  EXPECT_EQ(h.Max(), 1e6);
+}
+
+TEST(HistogramTest, QuantileErrorWithinDocumentedBound) {
+  // Uniform 1..10000: every interior percentile must land within the
+  // documented relative error of the exact sorted-sample answer.
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(i);
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    double exact = p / 100.0 * 9999.0 + 1.0;
+    EXPECT_NEAR(h.Percentile(p), exact, exact * 0.05)
+        << "p=" << p;
+  }
+  // Non-positive samples rank below every positive one.
+  Histogram g;
+  g.Add(-5.0);
+  g.Add(0.0);
+  g.Add(10.0);
+  EXPECT_EQ(g.Min(), -5.0);
+  EXPECT_EQ(g.Percentile(0), -5.0);
+  EXPECT_EQ(g.Percentile(100), 10.0);
 }
 
 TEST(TsvTest, RoundTrip) {
