@@ -21,6 +21,7 @@
 #include "kge/trans_models.h"
 #include "rdf/live_graph.h"
 #include "serve/engine.h"
+#include "util/fault_injection.h"
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -233,6 +234,93 @@ LiveUpdateResult RunLiveUpdate(core::OpenBG* kg,
   return r;
 }
 
+/// The chaos-hardening scenario: force the LinkPredictTopK circuit breaker
+/// open mid-run (the model failpoint makes every score computation fail,
+/// so the breaker trips after `min_samples` misses) and measure what
+/// cache-only serving looks like — the hit rate of the degraded window and
+/// its p99, versus the same window when healthy. Cached answers keep
+/// serving kOk (flagged degraded); misses fast-fail kDegraded instead of
+/// queueing behind a broken model.
+struct DegradedWindowResult {
+  double healthy_hit_rate = 0.0;
+  double healthy_p99_us = 0.0;
+  double degraded_hit_rate = 0.0;
+  double degraded_p99_us = 0.0;
+  size_t degraded_served = 0;     // kOk answers inside the degraded window
+  size_t degraded_fast_fails = 0; // kDegraded fast-fails inside the window
+  double recovery_ms = 0.0;       // fault cleared -> breaker closed again
+};
+
+DegradedWindowResult RunDegradedWindow(
+    const serve::ServeContext::Bindings& bindings, const QueryMix& mix,
+    const LoadArgs& args) {
+  serve::ServeContext ctx(bindings);
+  serve::EngineOptions opts;
+  opts.num_threads = 2;
+  opts.cache_capacity = 8192;
+  opts.breaker.window = 32;
+  opts.breaker.min_samples = 8;
+  opts.breaker.open_cooldown_us = 5'000;
+  opts.breaker.half_open_probes = 2;
+  serve::QueryEngine engine(&ctx, opts);
+
+  util::ZipfSampler topk_zipf(mix.topk_queries.size(), 1.1);
+  util::Rng rng(args.base.seed + 99);
+  constexpr size_t kWindow = 3000;
+
+  auto run_window = [&](util::Histogram* hist, size_t* ok, size_t* degraded) {
+    serve::ResultCache::Stats before = engine.cache().stats();
+    for (size_t i = 0; i < kWindow; ++i) {
+      const kge::LpTriple& q = mix.topk_queries[topk_zipf.Sample(&rng)];
+      util::Timer t;
+      serve::Response resp = engine.LinkPredictTopK(q.h, q.r, 10);
+      hist->Add(t.Seconds() * 1e6);
+      if (resp.status == serve::ServeStatus::kOk) ++*ok;
+      if (resp.status == serve::ServeStatus::kDegraded) ++*degraded;
+    }
+    serve::ResultCache::Stats after = engine.cache().stats();
+    uint64_t lookups = (after.hits + after.misses + after.collisions +
+                        after.stale + after.future) -
+                       (before.hits + before.misses + before.collisions +
+                        before.stale + before.future);
+    return lookups > 0
+               ? static_cast<double>(after.hits - before.hits) / lookups
+               : 0.0;
+  };
+
+  DegradedWindowResult r;
+  // Warm-up window, then the healthy baseline.
+  util::Histogram warm;
+  warm.Reserve(kWindow);
+  size_t ok = 0, degraded = 0;
+  run_window(&warm, &ok, &degraded);
+  util::Histogram healthy;
+  healthy.Reserve(kWindow);
+  ok = degraded = 0;
+  r.healthy_hit_rate = run_window(&healthy, &ok, &degraded);
+  r.healthy_p99_us = healthy.Percentile(99);
+
+  // Mid-run fault: model scoring starts failing, the breaker trips, and
+  // the engine rides out the window on cached answers only.
+  util::failpoints::Arm("serve::model_fault");
+  util::Histogram hist;
+  hist.Reserve(kWindow);
+  r.degraded_hit_rate = run_window(&hist, &r.degraded_served,
+                                   &r.degraded_fast_fails);
+  r.degraded_p99_us = hist.Percentile(99);
+
+  // Fault clears: drive probe traffic until the breaker re-closes.
+  util::failpoints::Disarm("serve::model_fault");
+  util::Timer recovery;
+  while (engine.breaker(serve::Endpoint::kLinkPredictTopK).state() !=
+         util::CircuitBreaker::State::kClosed) {
+    const kge::LpTriple& q = mix.topk_queries[topk_zipf.Sample(&rng)];
+    engine.LinkPredictTopK(q.h, q.r, 10);
+  }
+  r.recovery_ms = recovery.Seconds() * 1e3;
+  return r;
+}
+
 int Main(int argc, char** argv) {
   LoadArgs args = ParseLoadArgs(argc, argv);
   bench::PrintHeader("Serving-layer load test (micro-batched query engine)",
@@ -299,6 +387,15 @@ int Main(int argc, char** argv) {
       lu.post_delta_hit_rate * 100.0, lu.invalidated,
       lu.post_nuke_hit_rate * 100.0);
 
+  std::printf("\ndegraded-window scenario (breaker open, cache-only serving)\n");
+  DegradedWindowResult dw = RunDegradedWindow(bindings, mix, args);
+  std::printf(
+      "healthy hit %.1f%% p99 %.1fus | degraded hit %.1f%% p99 %.1fus "
+      "(%zu served, %zu fast-failed) | reclose %.1fms\n",
+      dw.healthy_hit_rate * 100.0, dw.healthy_p99_us,
+      dw.degraded_hit_rate * 100.0, dw.degraded_p99_us, dw.degraded_served,
+      dw.degraded_fast_fails, dw.recovery_ms);
+
   std::string json = "{\n  \"bench\": \"serving_load\",\n";
   json += util::StrFormat("  \"clients\": %zu,\n", args.clients);
   json += util::StrFormat("  \"requests_per_client\": %zu,\n",
@@ -320,9 +417,17 @@ int Main(int argc, char** argv) {
   json += util::StrFormat(
       "  \"live_update\": {\"delta_batches\": %zu, "
       "\"steady_hit_rate\": %.4f, \"post_delta_hit_rate\": %.4f, "
-      "\"post_full_nuke_hit_rate\": %.4f, \"invalidated_entries\": %zu}\n",
+      "\"post_full_nuke_hit_rate\": %.4f, \"invalidated_entries\": %zu},\n",
       lu.delta_batches, lu.steady_hit_rate, lu.post_delta_hit_rate,
       lu.post_nuke_hit_rate, static_cast<size_t>(lu.invalidated));
+  json += util::StrFormat(
+      "  \"degraded_window\": {\"healthy_hit_rate\": %.4f, "
+      "\"healthy_p99_us\": %.1f, \"degraded_hit_rate\": %.4f, "
+      "\"degraded_p99_us\": %.1f, \"degraded_served\": %zu, "
+      "\"degraded_fast_fails\": %zu, \"breaker_reclose_ms\": %.2f}\n",
+      dw.healthy_hit_rate, dw.healthy_p99_us, dw.degraded_hit_rate,
+      dw.degraded_p99_us, dw.degraded_served, dw.degraded_fast_fails,
+      dw.recovery_ms);
   json += "}\n";
 
   FILE* f = std::fopen(args.out.c_str(), "w");

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # The full pre-merge gauntlet: the default build's test suite, then the
-# AddressSanitizer and ThreadSanitizer presets (each in its own build tree,
-# see check_asan.sh / check_tsan.sh for scope notes — the TSan run excludes
-# the documented hogwild benign races).
+# AddressSanitizer, ThreadSanitizer, and UBSan presets (each in its own
+# build tree, see check_asan.sh / check_tsan.sh / check_ubsan.sh for scope
+# notes — the TSan run excludes the documented hogwild benign races), then
+# the chaos sweep: the randomized fault-injection harness across five
+# distinct seeds under both the default and TSan builds.
 # Usage: scripts/check_all.sh [extra ctest args for the default run...]
 set -euo pipefail
 
@@ -18,5 +20,16 @@ scripts/check_asan.sh
 
 echo "==> ThreadSanitizer"
 scripts/check_tsan.sh
+
+echo "==> UndefinedBehaviorSanitizer"
+scripts/check_ubsan.sh
+
+echo "==> chaos sweep: 5 seeds, default + TSan"
+for seed in 101 202 303 404 505; do
+  echo "--> chaos seed ${seed} (default)"
+  OPENBG_CHAOS_SEED="${seed}" ./build/tests/chaos_test
+  echo "--> chaos seed ${seed} (tsan)"
+  OPENBG_CHAOS_SEED="${seed}" ./build-tsan/tests/chaos_test
+done
 
 echo "==> all checks passed"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Configure, build, and run the serving + RDF suites under
+# UndefinedBehaviorSanitizer in a dedicated build tree.
+#
+# Scope note: the default filter covers the suites on the chaos-hardened
+# serving path — the RDF store/snapshot/live-update layer and the serving
+# engine (including the randomized fault sweep) — where the failure-handling
+# code does the kind of pointer/size arithmetic UBSan is good at catching.
+# Pass your own ctest args to widen it.
+# Usage: scripts/check_ubsan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=Release -DOPENBG_SANITIZE=undefined
+cmake --build build-ubsan -j"$(nproc)"
+
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+if [ "$#" -gt 0 ]; then
+  ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" "$@"
+else
+  ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
+    -R '^(rdf_test|live_graph_test|snapshot_test|serve_test|chaos_test|util_test)$'
+fi

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/matrix.h"
+#include "util/fault_injection.h"
 #include "util/snapshot.h"
 #include "util/string_util.h"
 
@@ -87,6 +88,13 @@ util::Status SaveCheckpoint(const TrainerCheckpoint& ckpt, KgeModel* model,
 
 util::Status LoadCheckpoint(const std::string& path, KgeModel* model,
                             TrainerCheckpoint* ckpt) {
+  // Fires before the file is opened, so a "failed" load provably touches
+  // neither the model nor the trainer state — what lets the serving layer
+  // retry a reload and keep serving generation N on exhaustion.
+  if (util::failpoints::Triggered("checkpoint::read")) {
+    return util::Status::IoError("checkpoint::read failpoint fired on " +
+                                 path);
+  }
   util::SnapshotReader reader;
   OPENBG_RETURN_NOT_OK(reader.Open(path, kMagic, kVersion));
   if (reader.num_sections() != 4) {

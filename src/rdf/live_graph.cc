@@ -1,8 +1,10 @@
 #include "rdf/live_graph.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "util/atomic_file.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -61,11 +63,25 @@ util::Status LiveGraph::Apply(const UpdateBatch& batch) {
     // Write-ahead: the delta file must be durably committed before the
     // in-memory swap. AtomicFile's own failpoints (write/fsync/rename)
     // model a crash anywhere inside; on any failure the target path does
-    // not exist and we abort the publish, so recovery replays exactly the
-    // previous generation.
-    util::Status persisted = SaveDeltaBatch(
-        batch, next_gen, DeltaFilePath(options_.delta_dir, next_gen));
-    if (!persisted.ok()) return persisted;
+    // not exist, so each retry (and recovery, if the retries exhaust)
+    // starts from exactly the previous generation. Backoff runs under
+    // publish_mu_ — acceptable because the policy's budget is sub-ms by
+    // default and readers never take this lock.
+    util::RetryPolicy policy(options_.retry);
+    util::RetryPolicy::Outcome outcome = policy.Run([&] {
+      return SaveDeltaBatch(batch, next_gen,
+                            DeltaFilePath(options_.delta_dir, next_gen));
+    });
+    if (outcome.attempts > 1) {
+      publish_retries_.fetch_add(static_cast<uint64_t>(outcome.attempts - 1),
+                                 std::memory_order_relaxed);
+    }
+    if (!outcome.ok()) {
+      publish_failures_.fetch_add(1, std::memory_order_relaxed);
+      consecutive_publish_failures_.fetch_add(1, std::memory_order_relaxed);
+      return outcome.status;
+    }
+    consecutive_publish_failures_.store(0, std::memory_order_relaxed);
   }
   auto snap = std::make_shared<GraphSnapshot>();
   snap->base = cur->base;
@@ -77,9 +93,15 @@ util::Status LiveGraph::Apply(const UpdateBatch& batch) {
   return util::Status::OK();
 }
 
-void LiveGraph::CompactLocked() {
+util::Status LiveGraph::CompactOnceLocked() {
   std::shared_ptr<const GraphSnapshot> cur = Acquire();
-  if (cur->delta == nullptr || cur->delta->empty()) return;
+  if (cur->delta == nullptr || cur->delta->empty()) return util::Status::OK();
+  // Transient-compaction-failure model (allocation pressure, a future
+  // spill-to-disk error). Fires before anything is built or published, so
+  // a failed attempt leaves the snapshot untouched and fully retryable.
+  if (util::failpoints::Triggered("live::compact")) {
+    return util::Status::Internal("live::compact failpoint fired");
+  }
   // Materialize base+delta into a fresh store. Old snapshots keep the old
   // base alive through shared ownership; new readers get an empty delta.
   auto compacted = std::make_shared<TripleStore>();
@@ -96,12 +118,32 @@ void LiveGraph::CompactLocked() {
   // Content is identical to the pre-compaction snapshot, so the touched
   // set is empty: caches must NOT drop anything for a compaction.
   Publish(std::move(snap), {});
+  return util::Status::OK();
+}
+
+util::Status LiveGraph::CompactWithRetryLocked() {
+  std::shared_ptr<const GraphSnapshot> cur = Acquire();
+  if (cur->delta == nullptr || cur->delta->empty()) return util::Status::OK();
+  util::RetryPolicy policy(options_.retry);
+  util::RetryPolicy::Outcome outcome =
+      policy.Run([this] { return CompactOnceLocked(); });
+  if (outcome.attempts > 1) {
+    compact_retries_.fetch_add(static_cast<uint64_t>(outcome.attempts - 1),
+                               std::memory_order_relaxed);
+  }
+  if (!outcome.ok()) {
+    compact_failures_.fetch_add(1, std::memory_order_relaxed);
+    consecutive_compact_failures_.fetch_add(1, std::memory_order_relaxed);
+    return outcome.status;
+  }
+  consecutive_compact_failures_.store(0, std::memory_order_relaxed);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return util::Status::OK();
 }
 
 util::Status LiveGraph::Compact() {
   std::lock_guard<std::mutex> lock(publish_mu_);
-  CompactLocked();
-  return util::Status::OK();
+  return CompactWithRetryLocked();
 }
 
 void LiveGraph::MaybeScheduleCompaction(size_t delta_size) {
@@ -111,7 +153,7 @@ void LiveGraph::MaybeScheduleCompaction(size_t delta_size) {
     return;
   }
   if (options_.pool == nullptr) {
-    CompactLocked();
+    CompactWithRetryLocked();  // retried next Apply if it failed
     return;
   }
   {
@@ -119,20 +161,53 @@ void LiveGraph::MaybeScheduleCompaction(size_t delta_size) {
     if (compact_pending_) return;  // one in flight is enough
     compact_pending_ = true;
   }
-  options_.pool->Submit([this] {
-    {
-      std::lock_guard<std::mutex> lock(publish_mu_);
-      CompactLocked();
-    }
-    {
-      std::lock_guard<std::mutex> lock(compact_mu_);
-      compact_pending_ = false;
-      // Notify under the lock: a waiter (possibly ~LiveGraph) cannot
-      // observe pending == false and destroy the condition variable until
-      // this task releases compact_mu_, which is after the notify.
-      compact_cv_.notify_all();
-    }
-  });
+  // Bounded admission: a saturated pool must not silently drop a scheduled
+  // compaction (the pending flag would stay set and nothing would ever
+  // clear it). On rejection, fall back to compacting inline — we already
+  // hold publish_mu_, so this is safe, just synchronous.
+  bool enqueued = options_.pool->TryEnqueue([this] { RunBackgroundCompaction(); },
+                                            options_.max_queued_compactions);
+  if (!enqueued) {
+    inline_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    CompactWithRetryLocked();
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    compact_pending_ = false;
+    compact_cv_.notify_all();
+  }
+}
+
+void LiveGraph::RunBackgroundCompaction() {
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    // On retry exhaustion the status is dropped here by design: the
+    // pending flag is cleared below, so the next Apply whose delta still
+    // exceeds the threshold re-schedules — a faulty compaction is delayed,
+    // never wedged. The failure itself is visible through stats().
+    CompactWithRetryLocked();
+  }
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    compact_pending_ = false;
+    // Notify under the lock: a waiter (possibly ~LiveGraph) cannot
+    // observe pending == false and destroy the condition variable until
+    // this task releases compact_mu_, which is after the notify.
+    compact_cv_.notify_all();
+  }
+}
+
+LiveGraph::StatsSnapshot LiveGraph::stats() const {
+  StatsSnapshot s;
+  s.publish_retries = publish_retries_.load(std::memory_order_relaxed);
+  s.publish_failures = publish_failures_.load(std::memory_order_relaxed);
+  s.consecutive_publish_failures =
+      consecutive_publish_failures_.load(std::memory_order_relaxed);
+  s.compact_retries = compact_retries_.load(std::memory_order_relaxed);
+  s.compact_failures = compact_failures_.load(std::memory_order_relaxed);
+  s.consecutive_compact_failures =
+      consecutive_compact_failures_.load(std::memory_order_relaxed);
+  s.inline_fallbacks = inline_fallbacks_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void LiveGraph::WaitForCompaction() {
@@ -159,10 +234,32 @@ std::string DeltaFilePath(const std::string& dir, uint64_t generation) {
                          static_cast<unsigned long long>(generation));
 }
 
+namespace {
+
+// Moves a corrupt delta file to `<path>.quarantine` so replay can continue
+// past it while the evidence survives for forensics. Rename over unlink:
+// losing the bytes would make the corruption undiagnosable.
+util::Status QuarantineFile(const std::string& path,
+                            const ReplayOptions& options) {
+  std::string dest = path + ".quarantine";
+  if (std::rename(path.c_str(), dest.c_str()) != 0) {
+    return util::Status::IoError("cannot quarantine " + path);
+  }
+  OPENBG_LOG(Warning) << "quarantined corrupt delta file " << path << " -> "
+                      << dest;
+  if (options.quarantined != nullptr) {
+    options.quarantined->push_back(std::move(dest));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
 util::Status ReplayDeltaDir(const std::string& dir, uint64_t base_generation,
-                            TripleStore* store,
-                            uint64_t* recovered_generation) {
+                            TripleStore* store, uint64_t* recovered_generation,
+                            const ReplayOptions& options) {
   OPENBG_CHECK(store != nullptr);
+  if (options.sweep_stale_temps) util::RemoveStaleTemps(dir);
   uint64_t gen = base_generation;
   std::vector<UpdateBatch> batches;
   for (;;) {
@@ -170,16 +267,23 @@ util::Status ReplayDeltaDir(const std::string& dir, uint64_t base_generation,
     if (!util::FileExists(path)) break;  // clean end of the delta chain
     UpdateBatch batch;
     uint64_t file_gen = 0;
-    if (util::Status s = LoadDeltaBatch(path, &batch, &file_gen); !s.ok()) {
-      return s;  // corrupt file: fail closed at the last good generation
-    }
-    if (file_gen != gen + 1) {
-      return util::Status::IoError(
+    util::Status s = LoadDeltaBatch(path, &batch, &file_gen);
+    if (s.ok() && file_gen != gen + 1) {
+      s = util::Status::IoError(
           util::StrFormat("delta file %s stamped generation %llu, expected "
                           "%llu",
                           path.c_str(),
                           static_cast<unsigned long long>(file_gen),
                           static_cast<unsigned long long>(gen + 1)));
+    }
+    if (!s.ok()) {
+      // Strict mode: fail closed at the last good generation. Quarantine
+      // mode: move the bad file aside and stop the chain here — everything
+      // after it would have a generation gap anyway, and serving the last
+      // good generation beats refusing to start.
+      if (!options.quarantine_corrupt) return s;
+      OPENBG_RETURN_NOT_OK(QuarantineFile(path, options));
+      break;
     }
     batches.push_back(std::move(batch));
     ++gen;
@@ -203,6 +307,13 @@ util::Status ReplayDeltaDir(const std::string& dir, uint64_t base_generation,
   }
   if (recovered_generation != nullptr) *recovered_generation = gen;
   return util::Status::OK();
+}
+
+util::Status ReplayDeltaDir(const std::string& dir, uint64_t base_generation,
+                            TripleStore* store,
+                            uint64_t* recovered_generation) {
+  return ReplayDeltaDir(dir, base_generation, store, recovered_generation,
+                        ReplayOptions{});
 }
 
 }  // namespace openbg::rdf

@@ -13,6 +13,7 @@
 
 #include "rdf/delta_segment.h"
 #include "rdf/triple_store.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace openbg::util {
@@ -123,9 +124,22 @@ struct PublishRecord {
 /// Failpoint sites (see util/fault_injection.h):
 ///   "live::publish"  — fires before anything durable or visible happens;
 ///                      models a crash at the start of the publish.
+///   "live::compact"  — fires at the top of a compaction attempt; models a
+///                      transient compaction failure (allocation pressure,
+///                      a future spill-to-disk error).
 ///   plus the "atomic_file::{write,fsync,rename}" sites inside the delta
 ///   file write. A failure at ANY of these leaves the in-memory snapshot
 ///   and the on-disk state at the previous generation — tested property.
+///
+/// Fault tolerance (DESIGN.md §12): the WAL write and every compaction
+/// attempt run under `Options::retry` (capped exponential backoff with
+/// decorrelated jitter), so a *transient* fault — a failpoint armed with
+/// `fire_count = 1`, a briefly-full disk — is absorbed without the caller
+/// ever seeing an error. Only when the policy exhausts does Apply() return
+/// the fault, and a background compaction that exhausts its retries clears
+/// its pending flag and is re-scheduled by the next Apply() whose delta
+/// still exceeds the threshold — compaction can be delayed by faults but
+/// never permanently wedged (tested property).
 ///
 /// Durability contract with `delta_dir` set: the base is whatever snapshot
 /// file the caller manages (rdf::SaveSnapshot); every successful Apply
@@ -145,6 +159,28 @@ class LiveGraph {
     /// Generation of the wrapped base (used when recovering: pass the
     /// generation the replayed state reached). Defaults to 1.
     uint64_t base_generation = 1;
+    /// Retry policy for the write-ahead delta write and for compaction
+    /// attempts. The defaults absorb a single transient fault with sub-ms
+    /// backoff; tests inject a FakeClock so nothing actually sleeps.
+    util::RetryOptions retry;
+    /// Bound on queued background-compaction tasks handed to the pool
+    /// (TryEnqueue). When the pool is saturated past this bound the
+    /// compaction runs inline in Apply instead of being dropped.
+    size_t max_queued_compactions = 4;
+  };
+
+  /// Point-in-time fault-tolerance counters (all monotonic except
+  /// `consecutive_compact_failures`, which resets on success). The health
+  /// model in serve/health.h folds these into the live-graph component.
+  struct StatsSnapshot {
+    uint64_t publish_retries = 0;    ///< WAL write attempts beyond the first
+    uint64_t publish_failures = 0;   ///< Apply() calls that exhausted retries
+    uint64_t consecutive_publish_failures = 0;
+    uint64_t compact_retries = 0;    ///< compaction attempts beyond the first
+    uint64_t compact_failures = 0;   ///< compaction runs that exhausted retries
+    uint64_t consecutive_compact_failures = 0;
+    uint64_t inline_fallbacks = 0;   ///< pool saturated -> compacted inline
+    uint64_t compactions = 0;        ///< successful (non-empty) compactions
   };
 
   /// Wraps `base` (sealed on construction if it is not already). Two
@@ -180,7 +216,19 @@ class LiveGraph {
   /// Folds the current delta into a fresh sealed base and publishes the
   /// compacted snapshot (touched set empty: content is unchanged, so
   /// caches keep their entries). No-op when the delta is already empty.
+  /// Runs under `Options::retry`; returns the last error on exhaustion
+  /// (the snapshot stays at the pre-compaction generation).
   util::Status Compact();
+
+  /// Fault-tolerance counters; safe to call from any thread.
+  StatsSnapshot stats() const;
+
+  /// Size of the current delta overlay (mutations not yet folded into the
+  /// base). The health model reads this as compaction lag.
+  size_t delta_size() const {
+    std::shared_ptr<const GraphSnapshot> snap = Acquire();
+    return snap->delta == nullptr ? 0 : snap->delta->size();
+  }
 
   /// Blocks until any scheduled background compaction has finished. Test
   /// and shutdown hook; cheap when nothing is pending.
@@ -198,8 +246,10 @@ class LiveGraph {
  private:
   void Publish(std::shared_ptr<const GraphSnapshot> snap,
                std::vector<uint64_t> touched);
-  void CompactLocked();  // requires publish_mu_
+  util::Status CompactOnceLocked();   // requires publish_mu_; one attempt
+  util::Status CompactWithRetryLocked();  // requires publish_mu_
   void MaybeScheduleCompaction(size_t delta_size);
+  void RunBackgroundCompaction();
 
   Options options_;
   // The RCU handle. Swapped with atomic_store (publish side, under
@@ -216,6 +266,32 @@ class LiveGraph {
   std::mutex compact_mu_;
   std::condition_variable compact_cv_;
   bool compact_pending_ = false;
+
+  // Fault-tolerance counters (see StatsSnapshot).
+  std::atomic<uint64_t> publish_retries_{0};
+  std::atomic<uint64_t> publish_failures_{0};
+  std::atomic<uint64_t> consecutive_publish_failures_{0};
+  std::atomic<uint64_t> compact_retries_{0};
+  std::atomic<uint64_t> compact_failures_{0};
+  std::atomic<uint64_t> consecutive_compact_failures_{0};
+  std::atomic<uint64_t> inline_fallbacks_{0};
+  std::atomic<uint64_t> compactions_{0};
+};
+
+/// Knobs for ReplayDeltaDir recovery behaviour.
+struct ReplayOptions {
+  /// Strict mode (default, false): a delta file that exists but fails
+  /// validation aborts the replay with its error — fail closed.
+  /// Quarantine mode (true): the corrupt (or mis-stamped) file is renamed
+  /// to `<path>.quarantine`, the replay stops cleanly at the last good
+  /// generation, and the overall status is OK — serve what survived, keep
+  /// the evidence aside for forensics instead of blocking startup.
+  bool quarantine_corrupt = false;
+  /// Also remove orphaned `*.tmp` files in `dir` (util::RemoveStaleTemps)
+  /// before replaying. Safe: recovery time means no live writer.
+  bool sweep_stale_temps = false;
+  /// When non-null, receives the path each quarantined file was moved to.
+  std::vector<std::string>* quarantined = nullptr;
 };
 
 /// Replays every `delta-<gen>.obgd` file in `dir` (generation order,
@@ -224,7 +300,13 @@ class LiveGraph {
 /// `*recovered_generation`. A file that exists but fails validation
 /// (truncated/corrupt — a torn write that AtomicFile semantics make
 /// impossible, but disks can still rot) aborts the replay with that error,
-/// leaving `store` at the previously replayed generation.
+/// leaving `store` at the previously replayed generation — unless
+/// `options.quarantine_corrupt` is set (see ReplayOptions).
+util::Status ReplayDeltaDir(const std::string& dir, uint64_t base_generation,
+                            TripleStore* store, uint64_t* recovered_generation,
+                            const ReplayOptions& options);
+
+/// Strict-mode convenience overload (ReplayOptions defaults).
 util::Status ReplayDeltaDir(const std::string& dir, uint64_t base_generation,
                             TripleStore* store,
                             uint64_t* recovered_generation);

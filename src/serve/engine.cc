@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "kge/checkpoint.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -72,13 +73,46 @@ ServeContext::ServeContext(Bindings bindings) : bindings_(bindings) {
   }
   if (bindings_.model != nullptr) {
     bindings_.model->PrepareEval();  // ScoreTails becomes const-thread-safe
+    model_ptr_ = NonOwning(bindings_.model);  // pre-publication: no races
   }
 }
 
-void ServeContext::ReloadModel(kge::KgeModel* model) {
-  bindings_.model = model;
+void ServeContext::ReloadModel(std::shared_ptr<kge::KgeModel> model) {
+  // Prepare BEFORE publishing: a reader that acquires the new ref the
+  // instant it lands must already find it const-thread-safe.
   if (model != nullptr) model->PrepareEval();
+  std::atomic_store_explicit(&model_ptr_, std::move(model),
+                             std::memory_order_release);
   BumpGeneration();
+}
+
+void ServeContext::ReloadModel(kge::KgeModel* model) {
+  ReloadModel(model != nullptr ? NonOwning(model)
+                               : std::shared_ptr<kge::KgeModel>());
+}
+
+util::Status ServeContext::ReloadModelFromCheckpoint(
+    const std::string& path, std::shared_ptr<kge::KgeModel> staging,
+    const util::RetryOptions& retry) {
+  OPENBG_CHECK(staging != nullptr);
+  reload_attempts_.fetch_add(1, std::memory_order_relaxed);
+  util::RetryPolicy policy(retry);
+  util::RetryPolicy::Outcome outcome = policy.Run([&] {
+    kge::TrainerCheckpoint ckpt;  // trainer state is irrelevant to serving
+    return kge::LoadCheckpoint(path, staging.get(), &ckpt);
+  });
+  if (!outcome.ok()) {
+    // LoadCheckpoint fails closed (staging untouched on error) and the
+    // staging model was never published: generation N keeps serving,
+    // cache intact.
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    last_reload_failed_.store(true, std::memory_order_relaxed);
+    return outcome.status;
+  }
+  ReloadModel(std::move(staging));
+  reload_successes_.fetch_add(1, std::memory_order_relaxed);
+  last_reload_failed_.store(false, std::memory_order_relaxed);
+  return util::Status::OK();
 }
 
 QueryEngine::QueryEngine(ServeContext* context, EngineOptions options)
@@ -90,6 +124,9 @@ QueryEngine::QueryEngine(ServeContext* context, EngineOptions options)
   pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
   cache_ = std::make_unique<ResultCache>(
       std::max<size_t>(1, options_.cache_capacity), options_.cache_shards);
+  for (size_t e = 0; e < kNumEndpoints; ++e) {
+    breakers_[e] = std::make_unique<util::CircuitBreaker>(options_.breaker);
+  }
   // Publishes at or before the bind-time generation predate every entry
   // this cache will ever hold — nothing to invalidate for them.
   last_synced_gen_.store(context_->snapshot_generation(),
@@ -136,13 +173,20 @@ void QueryEngine::SyncInvalidations(uint64_t snap_gen) {
                          std::memory_order_release);
 }
 
-bool QueryEngine::AdmitOrServeCached(const RequestKey& key, uint64_t fp,
-                                     uint64_t gen, Response* resp) {
+bool QueryEngine::AdmitOrServeCached(Endpoint endpoint, const RequestKey& key,
+                                     uint64_t fp, uint64_t gen,
+                                     Response* resp) {
+  util::CircuitBreaker& breaker = *breakers_[static_cast<size_t>(endpoint)];
   if (options_.cache_enabled) {
     std::shared_ptr<const ResultPayload> hit = cache_->Lookup(fp, key, gen);
     if (hit != nullptr) {
       resp->status = ServeStatus::kOk;
       resp->from_cache = true;
+      // Cache-only operation while the backing component is broken: the
+      // answer is real (previously computed and still valid under the
+      // current generation), but flag it so clients know it may outlive
+      // the component's freshness guarantees.
+      resp->degraded = breaker.state() != util::CircuitBreaker::State::kClosed;
       resp->payload = *hit;
       return true;
     }
@@ -155,6 +199,14 @@ bool QueryEngine::AdmitOrServeCached(const RequestKey& key, uint64_t fp,
     resp->status = ServeStatus::kShed;
     return true;
   }
+  // Breaker gate: fast-fail misses instead of hammering a component the
+  // breaker already decided is broken. An Allow() == true from here on
+  // obligates the compute path to record exactly one outcome.
+  if (!breaker.Allow()) {
+    resp->status = ServeStatus::kDegraded;
+    resp->degraded = true;
+    return true;
+  }
   return false;
 }
 
@@ -162,7 +214,7 @@ Response QueryEngine::LinkPredictTopK(uint32_t h, uint32_t r, size_t k,
                                       uint64_t deadline_us) {
   util::Timer timer;
   Response resp;
-  kge::KgeModel* model = context_->bindings().model;
+  std::shared_ptr<kge::KgeModel> model = context_->model_ref();
   if (model == nullptr || k == 0 || h >= model->num_entities() ||
       r >= model->num_relations()) {
     resp.status = ServeStatus::kInvalidArgument;
@@ -172,7 +224,8 @@ Response QueryEngine::LinkPredictTopK(uint32_t h, uint32_t r, size_t k,
     uint64_t fp = Fingerprint(key);
     uint64_t gen = context_->generation();
     SyncInvalidations(context_->snapshot_generation());
-    if (!AdmitOrServeCached(key, fp, gen, &resp)) {
+    if (!AdmitOrServeCached(Endpoint::kLinkPredictTopK, key, fp, gen,
+                            &resp)) {
       if (deadline_us == 0) deadline_us = options_.default_deadline_us;
       PendingTopK req;
       req.h = h;
@@ -197,6 +250,10 @@ Response QueryEngine::LinkPredictTopK(uint32_t h, uint32_t r, size_t k,
         }
       }
       if (!admitted) {
+        // Queue-full shed after the breaker already admitted us: release
+        // the admission without an outcome — capacity refusals say
+        // nothing about the model's health.
+        breaker(Endpoint::kLinkPredictTopK).RecordCancel();
         resp.status = ServeStatus::kShed;
       } else {
         if (spawn &&
@@ -211,7 +268,8 @@ Response QueryEngine::LinkPredictTopK(uint32_t h, uint32_t r, size_t k,
     }
   }
   metrics_.Local()->Record(Endpoint::kLinkPredictTopK, resp.status,
-                           resp.from_cache, timer.Seconds() * 1e6);
+                           resp.from_cache, timer.Seconds() * 1e6,
+                           resp.degraded);
   return resp;
 }
 
@@ -245,7 +303,7 @@ void QueryEngine::DrainLoop() {
 
 void QueryEngine::ProcessBatch(const std::vector<PendingTopK*>& batch,
                                uint64_t gen) {
-  kge::KgeModel* model = context_->bindings().model;
+  std::shared_ptr<kge::KgeModel> model = context_->model_ref();
   // Stamp the whole batch with the snapshot generation current when
   // scoring starts: a publish landing mid-batch then refuses these inserts
   // (via the cache's history check) rather than caching around it.
@@ -259,10 +317,14 @@ void QueryEngine::ProcessBatch(const std::vector<PendingTopK*>& batch,
     size_t k_max = 0;
     std::vector<PendingTopK*> reqs;
   };
+  util::CircuitBreaker& breaker = this->breaker(Endpoint::kLinkPredictTopK);
   std::map<uint64_t, Group> groups;
   for (PendingTopK* req : batch) {
     if (req->has_deadline && now >= req->deadline) {
       req->out->status = ServeStatus::kDeadlineExceeded;
+      // Admitted by the breaker but never scored: release the probe slot
+      // without an outcome (a queue-delay expiry is not a model failure).
+      breaker.RecordCancel();
       continue;
     }
     Group& g = groups[(static_cast<uint64_t>(req->h) << 32) | req->r];
@@ -273,6 +335,18 @@ void QueryEngine::ProcessBatch(const std::vector<PendingTopK*>& batch,
   for (auto& [hr, group] : groups) {
     uint32_t h = static_cast<uint32_t>(hr >> 32);
     uint32_t r = static_cast<uint32_t>(hr & 0xFFFFFFFFu);
+    // Scoring-failure model (a wedged accelerator, a poisoned parameter
+    // block): the whole unique-query scan fails, so every request
+    // coalesced onto it fails — one breaker outcome per request keeps the
+    // Allow/Record pairing exact under coalescing.
+    if (util::failpoints::Triggered("serve::model_fault")) {
+      for (PendingTopK* req : group.reqs) {
+        req->out->status = ServeStatus::kDegraded;
+        req->out->degraded = true;
+        breaker.RecordFailure();
+      }
+      continue;
+    }
     model->ScoreTails(h, r, &scores);
     std::vector<ScoredEntity> top = SelectTopK(scores, group.k_max);
     for (PendingTopK* req : group.reqs) {
@@ -280,6 +354,7 @@ void QueryEngine::ProcessBatch(const std::vector<PendingTopK*>& batch,
       resp->status = ServeStatus::kOk;
       resp->payload.topk.assign(top.begin(),
                                 top.begin() + std::min(req->k, top.size()));
+      breaker.RecordSuccess();
       if (options_.cache_enabled) {
         RequestKey key{Endpoint::kLinkPredictTopK, req->h, req->r, req->k,
                        ""};
@@ -304,20 +379,29 @@ Response QueryEngine::EntityLink(std::string_view mention) {
     RequestKey key{Endpoint::kEntityLink, 0, 0, 0, std::string(mention)};
     uint64_t fp = Fingerprint(key);
     uint64_t gen = context_->generation();
-    if (!AdmitOrServeCached(key, fp, gen, &resp)) {
-      // Link() is concurrency-safe (the mapper serializes its own stats
-      // counters internally), so engines sharing one mapper need no
-      // engine-side lock.
-      resp.payload.link = mapper->Link(mention);
-      resp.status = ServeStatus::kOk;
-      if (options_.cache_enabled) {
-        cache_->Insert(fp, key, gen,
-                       std::make_shared<ResultPayload>(resp.payload));
+    if (!AdmitOrServeCached(Endpoint::kEntityLink, key, fp, gen, &resp)) {
+      util::CircuitBreaker& breaker = this->breaker(Endpoint::kEntityLink);
+      if (util::failpoints::Triggered("serve::link_fault")) {
+        resp.status = ServeStatus::kDegraded;
+        resp.degraded = true;
+        breaker.RecordFailure();
+      } else {
+        // Link() is concurrency-safe (the mapper serializes its own stats
+        // counters internally), so engines sharing one mapper need no
+        // engine-side lock.
+        resp.payload.link = mapper->Link(mention);
+        resp.status = ServeStatus::kOk;
+        breaker.RecordSuccess();
+        if (options_.cache_enabled) {
+          cache_->Insert(fp, key, gen,
+                         std::make_shared<ResultPayload>(resp.payload));
+        }
       }
     }
   }
   metrics_.Local()->Record(Endpoint::kEntityLink, resp.status,
-                           resp.from_cache, timer.Seconds() * 1e6);
+                           resp.from_cache, timer.Seconds() * 1e6,
+                           resp.degraded);
   return resp;
 }
 
@@ -335,31 +419,40 @@ Response QueryEngine::Neighbors(rdf::TermId entity, rdf::TermId relation) {
     // a hit must never hand back an answer a publish <= snap->generation
     // already invalidated.
     SyncInvalidations(snap->generation);
-    if (!AdmitOrServeCached(key, fp, gen, &resp)) {
-      const rdf::GraphSnapshot& view = Sealed(*snap);
-      std::vector<rdf::Triple>& out = resp.payload.triples;
-      view.ForEachMatchFn(
-          rdf::TriplePattern{entity, relation, rdf::TriplePattern::kAny},
-          [&out](const rdf::Triple& t) {
-            out.push_back(t);
-            return true;
-          });
-      view.ForEachMatchFn(
-          rdf::TriplePattern{rdf::TriplePattern::kAny, relation, entity},
-          [&out, entity](const rdf::Triple& t) {
-            if (t.s != entity) out.push_back(t);  // self-loops already seen
-            return true;
-          });
-      resp.status = ServeStatus::kOk;
-      if (options_.cache_enabled) {
-        cache_->Insert(fp, key, gen,
-                       std::make_shared<ResultPayload>(resp.payload),
-                       snap->generation, {rdf::EntityDepKey(entity)});
+    if (!AdmitOrServeCached(Endpoint::kNeighbors, key, fp, gen, &resp)) {
+      util::CircuitBreaker& breaker = this->breaker(Endpoint::kNeighbors);
+      if (util::failpoints::Triggered("serve::graph_fault")) {
+        resp.status = ServeStatus::kDegraded;
+        resp.degraded = true;
+        breaker.RecordFailure();
+      } else {
+        const rdf::GraphSnapshot& view = Sealed(*snap);
+        std::vector<rdf::Triple>& out = resp.payload.triples;
+        view.ForEachMatchFn(
+            rdf::TriplePattern{entity, relation, rdf::TriplePattern::kAny},
+            [&out](const rdf::Triple& t) {
+              out.push_back(t);
+              return true;
+            });
+        view.ForEachMatchFn(
+            rdf::TriplePattern{rdf::TriplePattern::kAny, relation, entity},
+            [&out, entity](const rdf::Triple& t) {
+              if (t.s != entity) out.push_back(t);  // self-loops seen above
+              return true;
+            });
+        resp.status = ServeStatus::kOk;
+        breaker.RecordSuccess();
+        if (options_.cache_enabled) {
+          cache_->Insert(fp, key, gen,
+                         std::make_shared<ResultPayload>(resp.payload),
+                         snap->generation, {rdf::EntityDepKey(entity)});
+        }
       }
     }
   }
   metrics_.Local()->Record(Endpoint::kNeighbors, resp.status,
-                           resp.from_cache, timer.Seconds() * 1e6);
+                           resp.from_cache, timer.Seconds() * 1e6,
+                           resp.degraded);
   return resp;
 }
 
@@ -375,33 +468,108 @@ Response QueryEngine::ConceptsOf(rdf::TermId entity) {
     uint64_t fp = Fingerprint(key);
     uint64_t gen = context_->generation();
     SyncInvalidations(snap->generation);
-    if (!AdmitOrServeCached(key, fp, gen, &resp)) {
-      const rdf::GraphSnapshot& view = Sealed(*snap);
-      std::vector<rdf::TermId> properties = {
-          onto->applied_time(), onto->related_scene(), onto->about_theme(),
-          onto->for_crowd()};
-      properties.insert(properties.end(), onto->in_market().begin(),
-                        onto->in_market().end());
-      std::vector<rdf::Triple>& out = resp.payload.triples;
-      for (rdf::TermId prop : properties) {
-        view.ForEachMatchFn(
-            rdf::TriplePattern{entity, prop, rdf::TriplePattern::kAny},
-            [&out](const rdf::Triple& t) {
-              out.push_back(t);
-              return true;
-            });
-      }
-      resp.status = ServeStatus::kOk;
-      if (options_.cache_enabled) {
-        cache_->Insert(fp, key, gen,
-                       std::make_shared<ResultPayload>(resp.payload),
-                       snap->generation, {rdf::EntityDepKey(entity)});
+    if (!AdmitOrServeCached(Endpoint::kConceptsOf, key, fp, gen, &resp)) {
+      util::CircuitBreaker& breaker = this->breaker(Endpoint::kConceptsOf);
+      if (util::failpoints::Triggered("serve::graph_fault")) {
+        resp.status = ServeStatus::kDegraded;
+        resp.degraded = true;
+        breaker.RecordFailure();
+      } else {
+        const rdf::GraphSnapshot& view = Sealed(*snap);
+        std::vector<rdf::TermId> properties = {
+            onto->applied_time(), onto->related_scene(), onto->about_theme(),
+            onto->for_crowd()};
+        properties.insert(properties.end(), onto->in_market().begin(),
+                          onto->in_market().end());
+        std::vector<rdf::Triple>& out = resp.payload.triples;
+        for (rdf::TermId prop : properties) {
+          view.ForEachMatchFn(
+              rdf::TriplePattern{entity, prop, rdf::TriplePattern::kAny},
+              [&out](const rdf::Triple& t) {
+                out.push_back(t);
+                return true;
+              });
+        }
+        resp.status = ServeStatus::kOk;
+        breaker.RecordSuccess();
+        if (options_.cache_enabled) {
+          cache_->Insert(fp, key, gen,
+                         std::make_shared<ResultPayload>(resp.payload),
+                         snap->generation, {rdf::EntityDepKey(entity)});
+        }
       }
     }
   }
   metrics_.Local()->Record(Endpoint::kConceptsOf, resp.status,
-                           resp.from_cache, timer.Seconds() * 1e6);
+                           resp.from_cache, timer.Seconds() * 1e6,
+                           resp.degraded);
   return resp;
+}
+
+HealthState QueryEngine::ComputeHealth() const {
+  HealthState hs;
+  using BState = util::CircuitBreaker::State;
+  // Model: the LinkPredictTopK breaker is the component's sensor; a
+  // serving-survived-but-failed reload also degrades it (we answer, but
+  // from the previous parameter generation).
+  if (context_->model_ref() == nullptr) {
+    hs.model.reason = "no model bound";
+  } else {
+    switch (breaker(Endpoint::kLinkPredictTopK).state()) {
+      case BState::kOpen:
+        hs.model.health = Health::kUnhealthy;
+        hs.model.reason = "breaker open: scoring unavailable, cache-only";
+        break;
+      case BState::kHalfOpen:
+        hs.model.health = Health::kDegraded;
+        hs.model.reason = "breaker half-open: probing recovery";
+        break;
+      case BState::kClosed:
+        if (context_->reload_stats().last_failed) {
+          hs.model.health = Health::kDegraded;
+          hs.model.reason =
+              "last reload failed: serving previous model generation";
+        }
+        break;
+    }
+  }
+  if (!options_.cache_enabled) {
+    hs.cache.health = Health::kDegraded;
+    hs.cache.reason = "cache disabled: no fallback during outages";
+  }
+  rdf::LiveGraph* live = context_->bindings().live;
+  if (live == nullptr) {
+    hs.live_graph.reason = "static graph (no live layer bound)";
+  } else {
+    rdf::LiveGraph::StatsSnapshot ls = live->stats();
+    if (ls.consecutive_publish_failures >= 3) {
+      hs.live_graph.health = Health::kUnhealthy;
+      hs.live_graph.reason = util::StrFormat(
+          "%llu consecutive publish failures: updates not landing",
+          static_cast<unsigned long long>(ls.consecutive_publish_failures));
+    } else if (ls.consecutive_publish_failures > 0) {
+      hs.live_graph.health = Health::kDegraded;
+      hs.live_graph.reason = "recent publish failure";
+    }
+    size_t lag = live->delta_size();
+    if (ls.consecutive_compact_failures >= 3) {
+      hs.compaction.health = Health::kUnhealthy;
+      hs.compaction.reason = util::StrFormat(
+          "%llu consecutive compaction failures, delta at %zu mutations",
+          static_cast<unsigned long long>(ls.consecutive_compact_failures),
+          lag);
+    } else if (ls.consecutive_compact_failures > 0) {
+      hs.compaction.health = Health::kDegraded;
+      hs.compaction.reason = "recent compaction failure";
+    } else if (options_.compaction_lag_threshold > 0 &&
+               lag >= options_.compaction_lag_threshold) {
+      hs.compaction.health = Health::kDegraded;
+      hs.compaction.reason = util::StrFormat(
+          "delta overlay at %zu mutations (lag threshold %zu)", lag,
+          options_.compaction_lag_threshold);
+    }
+  }
+  return hs;
 }
 
 std::string QueryEngine::MetricsJson() const {
@@ -432,6 +600,39 @@ std::string QueryEngine::MetricsJson() const {
       static_cast<unsigned long long>(cs.invalidated),
       static_cast<unsigned long long>(cs.dropped_inserts),
       shard_sizes.c_str());
+  extra += ",\"breakers\":{";
+  for (size_t e = 0; e < kNumEndpoints; ++e) {
+    const util::CircuitBreaker& b = *breakers_[e];
+    util::CircuitBreaker::Stats bs = b.stats();
+    extra += util::StrFormat(
+        "%s\"%s\":{\"state\":\"%s\",\"allowed\":%llu,\"rejected\":%llu,"
+        "\"successes\":%llu,\"failures\":%llu,\"opens\":%llu,"
+        "\"closes\":%llu,\"cancels\":%llu}",
+        e == 0 ? "" : ",", EndpointName(static_cast<Endpoint>(e)),
+        util::CircuitBreaker::StateName(b.state()),
+        static_cast<unsigned long long>(bs.allowed),
+        static_cast<unsigned long long>(bs.rejected),
+        static_cast<unsigned long long>(bs.successes),
+        static_cast<unsigned long long>(bs.failures),
+        static_cast<unsigned long long>(bs.opens),
+        static_cast<unsigned long long>(bs.closes),
+        static_cast<unsigned long long>(bs.cancels));
+  }
+  extra += "}";
+  if (rdf::LiveGraph* live = context_->bindings().live; live != nullptr) {
+    rdf::LiveGraph::StatsSnapshot ls = live->stats();
+    extra += util::StrFormat(
+        ",\"live_graph\":{\"publish_retries\":%llu,\"publish_failures\":%llu,"
+        "\"compact_retries\":%llu,\"compact_failures\":%llu,"
+        "\"inline_fallbacks\":%llu,\"compactions\":%llu,\"delta_size\":%zu}",
+        static_cast<unsigned long long>(ls.publish_retries),
+        static_cast<unsigned long long>(ls.publish_failures),
+        static_cast<unsigned long long>(ls.compact_retries),
+        static_cast<unsigned long long>(ls.compact_failures),
+        static_cast<unsigned long long>(ls.inline_fallbacks),
+        static_cast<unsigned long long>(ls.compactions), live->delta_size());
+  }
+  extra += ",\"health\":" + ComputeHealth().Json();
   return metrics_.SnapshotJson(extra);
 }
 

@@ -17,9 +17,12 @@
 #include "ontology/ontology.h"
 #include "rdf/graph.h"
 #include "rdf/live_graph.h"
+#include "serve/health.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
 #include "serve/types.h"
+#include "util/circuit_breaker.h"
+#include "util/retry.h"
 #include "util/thread_pool.h"
 
 namespace openbg::serve {
@@ -65,7 +68,19 @@ class ServeContext {
   ServeContext(const ServeContext&) = delete;
   ServeContext& operator=(const ServeContext&) = delete;
 
+  /// NOTE: `bindings().model` is the model bound at construction; the
+  /// serving path reads the CURRENT model via model_ref() below, which
+  /// ReloadModel republishes atomically.
   const Bindings& bindings() const { return bindings_; }
+
+  /// Pins the model serving right now for the duration of a request
+  /// (RCU with shared_ptr reclamation: ReloadModel publishes a new ref,
+  /// and a checkpoint-loaded predecessor is destroyed only after the last
+  /// in-flight request that acquired it drops this pin). Null when no
+  /// model is bound.
+  std::shared_ptr<kge::KgeModel> model_ref() const {
+    return std::atomic_load_explicit(&model_ptr_, std::memory_order_acquire);
+  }
 
   /// Current cache epoch (starts at 1). Bumped only by full
   /// invalidations — a model reload or BumpGeneration — never by live
@@ -88,12 +103,52 @@ class ServeContext {
     return bindings_.live != nullptr ? bindings_.live->generation() : 1;
   }
 
-  /// Swaps in a (re)trained model: runs PrepareEval() and bumps the epoch
-  /// so every cached answer computed from the old parameters turns stale.
-  /// Must not race in-flight queries — quiesce the engine (no concurrent
-  /// calls) around a reload, as with any model swap. (Graph updates do NOT
-  /// need quiescing: publish them through the bound LiveGraph.)
+  /// Swaps in a (re)trained model: runs PrepareEval() on it FIRST, then
+  /// publishes the ref atomically and bumps the epoch so every cached
+  /// answer computed from the old parameters turns stale. Safe under live
+  /// traffic — readers pin the model per request via model_ref(), so an
+  /// owned (shared_ptr) predecessor is reclaimed only after the last
+  /// in-flight request drops it.
+  void ReloadModel(std::shared_ptr<kge::KgeModel> model);
+
+  /// Non-owning overload for externally-owned models (the common
+  /// bind-a-trainer's-model case): the caller must keep `model` alive for
+  /// the context's lifetime AND must not mutate it while requests are in
+  /// flight — with external ownership the context cannot defer
+  /// reclamation, so reusing the buffer for a later reload needs the
+  /// owning overload instead.
   void ReloadModel(kge::KgeModel* model);
+
+  /// Live model reload from a checkpoint file, hardened for serving:
+  /// LoadCheckpoint runs into `staging` (a FRESH model of matching shape,
+  /// never the bound one) under `retry`, so a transient read fault is
+  /// retried and a persistent one exhausts WITHOUT the serving path ever
+  /// observing half-loaded parameters — on failure `staging` is dropped
+  /// and the engine keeps serving the current model and generation, cache
+  /// intact (test-enforced). On success the staging model is swapped in
+  /// via the owning ReloadModel (epoch bump retires every cached answer
+  /// computed from the old parameters; the old model is reclaimed once
+  /// the last in-flight request releases its pin). Safe to call while
+  /// requests are being served.
+  util::Status ReloadModelFromCheckpoint(const std::string& path,
+                                         std::shared_ptr<kge::KgeModel> staging,
+                                         const util::RetryOptions& retry = {});
+
+  /// Reload observability for the health model.
+  struct ReloadStats {
+    uint64_t attempts = 0;   // ReloadModelFromCheckpoint calls
+    uint64_t successes = 0;
+    uint64_t failures = 0;   // calls that exhausted their retries
+    bool last_failed = false;
+  };
+  ReloadStats reload_stats() const {
+    ReloadStats s;
+    s.attempts = reload_attempts_.load(std::memory_order_relaxed);
+    s.successes = reload_successes_.load(std::memory_order_relaxed);
+    s.failures = reload_failures_.load(std::memory_order_relaxed);
+    s.last_failed = last_reload_failed_.load(std::memory_order_relaxed);
+    return s;
+  }
 
   /// Marks the bound KG/model as changed without swapping pointers (e.g.
   /// after an in-place snapshot reload). Invalidate-everything in O(1).
@@ -102,10 +157,23 @@ class ServeContext {
   }
 
  private:
+  /// Wraps an externally-owned model in a shared_ptr that never deletes.
+  static std::shared_ptr<kge::KgeModel> NonOwning(kge::KgeModel* model) {
+    return std::shared_ptr<kge::KgeModel>(model, [](kge::KgeModel*) {});
+  }
+
   Bindings bindings_;
+  // The currently-serving model; bindings_.model is only its initial
+  // value. Accessed via std::atomic_load/store (readers pin per request,
+  // ReloadModel publishes) — never touched directly after construction.
+  std::shared_ptr<kge::KgeModel> model_ptr_;
   std::atomic<uint64_t> generation_{1};
   // Immutable wrapper around the bound frozen graph (no live layer).
   std::shared_ptr<const rdf::GraphSnapshot> frozen_;
+  std::atomic<uint64_t> reload_attempts_{0};
+  std::atomic<uint64_t> reload_successes_{0};
+  std::atomic<uint64_t> reload_failures_{0};
+  std::atomic<bool> last_reload_failed_{false};
 };
 
 /// Tuning knobs of a QueryEngine.
@@ -126,6 +194,14 @@ struct EngineOptions {
   bool cache_enabled = true;
   size_t cache_capacity = 4096;
   size_t cache_shards = 8;
+  /// Per-endpoint circuit breaker tuning (one breaker per endpoint, all
+  /// sharing these options). See util/circuit_breaker.h for the state
+  /// machine and DESIGN.md §12 for the serving semantics.
+  util::CircuitBreakerOptions breaker;
+  /// Delta-overlay size at which the compaction component reports
+  /// degraded (compaction is falling behind and read amplification
+  /// grows). 0 disables the lag check.
+  size_t compaction_lag_threshold = 0;
 };
 
 /// The embedded online query engine: typed request/response endpoints over
@@ -144,9 +220,19 @@ struct EngineOptions {
 /// and the SchemaMapper serializes its own stats counters, so a mapper
 /// shared by several engines stays race-free.
 ///
+/// Degraded mode (DESIGN.md §12): every endpoint is guarded by its own
+/// circuit breaker. While a breaker is open/half-open, cache hits are
+/// still served (kOk with Response::degraded set — a previously-correct
+/// answer beats an error) and misses fast-fail with kDegraded instead of
+/// touching the broken component; half-open probes re-exercise the real
+/// path and re-close the breaker once it recovers.
+///
 /// Failpoints (fault-injection tests): `serve::overload` forces the shed
 /// path of every admission decision; `serve::stall` delays batch drains so
-/// deadline expiry is exercisable deterministically.
+/// deadline expiry is exercisable deterministically; `serve::model_fault`,
+/// `serve::graph_fault` and `serve::link_fault` fail the compute path of
+/// LinkPredictTopK, Neighbors/ConceptsOf and EntityLink respectively —
+/// the sites the chaos sweep flips to trip and recover the breakers.
 class QueryEngine {
  public:
   QueryEngine(ServeContext* context, EngineOptions options);
@@ -178,8 +264,21 @@ class QueryEngine {
   Response ConceptsOf(rdf::TermId entity);
 
   /// Metrics JSON: uptime, QPS, per-endpoint counters + latency
-  /// percentiles, cache stats, and the current snapshot generation.
+  /// percentiles, cache stats, breaker states, component health, and the
+  /// current snapshot generation.
   std::string MetricsJson() const;
+
+  /// Component health rollup (see serve/health.h), computed on demand
+  /// from breaker states, reload stats, and live-graph fault counters.
+  HealthState ComputeHealth() const;
+
+  /// The endpoint's circuit breaker (tests force-open / inspect it).
+  util::CircuitBreaker& breaker(Endpoint e) {
+    return *breakers_[static_cast<size_t>(e)];
+  }
+  const util::CircuitBreaker& breaker(Endpoint e) const {
+    return *breakers_[static_cast<size_t>(e)];
+  }
 
   const ResultCache& cache() const { return *cache_; }
   ServeMetrics& metrics() { return metrics_; }
@@ -199,9 +298,12 @@ class QueryEngine {
   };
 
   // Cache lookup + miss-path admission shared by all endpoints. Returns
-  // true when `resp` is already final (cache hit or shed).
-  bool AdmitOrServeCached(const RequestKey& key, uint64_t fp, uint64_t gen,
-                          Response* resp);
+  // true when `resp` is already final (cache hit, shed, or a kDegraded
+  // breaker refusal). Returns false only after the endpoint's breaker
+  // Allow()ed the request — the caller's compute path then owes the
+  // breaker exactly one RecordSuccess/RecordFailure/RecordCancel.
+  bool AdmitOrServeCached(Endpoint endpoint, const RequestKey& key,
+                          uint64_t fp, uint64_t gen, Response* resp);
 
   // Runs batch drains until the pending queue empties.
   void DrainLoop();
@@ -225,6 +327,9 @@ class QueryEngine {
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<ResultCache> cache_;
   ServeMetrics metrics_;
+  // One breaker per endpoint, indexed by Endpoint. unique_ptr because
+  // CircuitBreaker is non-copyable and takes construction options.
+  std::unique_ptr<util::CircuitBreaker> breakers_[kNumEndpoints];
 
   std::mutex mu_;
   std::condition_variable done_cv_;

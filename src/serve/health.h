@@ -1,0 +1,55 @@
+#ifndef OPENBG_SERVE_HEALTH_H_
+#define OPENBG_SERVE_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace openbg::serve {
+
+/// Three-level component health, ordered by severity so the overall state
+/// is just the max over components (DESIGN.md §12).
+enum class Health : uint8_t {
+  kHealthy = 0,    ///< operating normally
+  kDegraded = 1,   ///< serving with reduced quality/freshness (cache-only
+                   ///< answers, previous model generation, lagging
+                   ///< compaction) — still answering
+  kUnhealthy = 2,  ///< a component is down (breaker open, repeated publish
+                   ///< or compaction failures) — requests hitting it get
+                   ///< kDegraded refusals unless cached
+};
+
+/// Stable lowercase name ("healthy", "degraded", "unhealthy").
+const char* HealthName(Health h);
+
+/// One component's state plus a human-readable reason when not healthy.
+struct ComponentHealth {
+  Health health = Health::kHealthy;
+  std::string reason;  // empty when healthy
+};
+
+/// The engine's component health rollup, computed on demand from breaker
+/// states, reload stats, and live-graph fault counters (QueryEngine::
+/// ComputeHealth) and folded into MetricsJson. The components mirror the
+/// failure domains of the serving stack:
+///   model      — KGE scoring (LinkPredictTopK breaker + model reloads)
+///   cache      — the result cache (disabled = degraded: every request
+///                pays the compute path and outages lose their fallback)
+///   live_graph — WAL publishes of the bound LiveGraph
+///   compaction — delta folding keeping read amplification bounded
+struct HealthState {
+  ComponentHealth model;
+  ComponentHealth cache;
+  ComponentHealth live_graph;
+  ComponentHealth compaction;
+
+  /// Worst component state.
+  Health overall() const;
+
+  /// `{"overall":"healthy","model":{"status":"healthy"},...}`; a non-empty
+  /// reason is included per component.
+  std::string Json() const;
+};
+
+}  // namespace openbg::serve
+
+#endif  // OPENBG_SERVE_HEALTH_H_

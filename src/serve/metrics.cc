@@ -8,9 +8,10 @@
 namespace openbg::serve {
 
 void ThreadMetrics::Record(Endpoint e, ServeStatus status, bool from_cache,
-                           double latency_us) {
+                           double latency_us, bool degraded) {
   EndpointSlot& slot = slots[static_cast<size_t>(e)];
   slot.requests.fetch_add(1, std::memory_order_relaxed);
+  if (degraded) slot.degraded.fetch_add(1, std::memory_order_relaxed);
   switch (status) {
     case ServeStatus::kOk: {
       if (from_cache) slot.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -26,6 +27,10 @@ void ThreadMetrics::Record(Endpoint e, ServeStatus status, bool from_cache,
       break;
     case ServeStatus::kInvalidArgument:
       slot.errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kDegraded:
+      // Counted via the `degraded` flag above (the engine always sets it
+      // on a kDegraded refusal); no latency sample — nothing was computed.
       break;
   }
 }
@@ -63,6 +68,7 @@ std::vector<EndpointSnapshot> ServeMetrics::Snapshot() const {
       out[e].shed += slot.shed.load(std::memory_order_relaxed);
       out[e].timeouts += slot.timeouts.load(std::memory_order_relaxed);
       out[e].errors += slot.errors.load(std::memory_order_relaxed);
+      out[e].degraded += slot.degraded.load(std::memory_order_relaxed);
       std::lock_guard<std::mutex> histo_lock(t->histo_mu);
       merged.Merge(slot.latency_us);
     }
@@ -87,14 +93,16 @@ std::string ServeMetrics::SnapshotJson(const std::string& extra_fields) const {
     const EndpointSnapshot& s = snap[e];
     out += util::StrFormat(
         "%s\"%s\":{\"requests\":%llu,\"cache_hits\":%llu,\"shed\":%llu,"
-        "\"timeouts\":%llu,\"errors\":%llu,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+        "\"timeouts\":%llu,\"errors\":%llu,\"degraded\":%llu,"
+        "\"p50_us\":%.1f,\"p99_us\":%.1f,"
         "\"mean_us\":%.1f,\"max_us\":%.1f}",
         e == 0 ? "" : ",", EndpointName(static_cast<Endpoint>(e)),
         static_cast<unsigned long long>(s.requests),
         static_cast<unsigned long long>(s.cache_hits),
         static_cast<unsigned long long>(s.shed),
         static_cast<unsigned long long>(s.timeouts),
-        static_cast<unsigned long long>(s.errors), s.p50_us, s.p99_us,
+        static_cast<unsigned long long>(s.errors),
+        static_cast<unsigned long long>(s.degraded), s.p50_us, s.p99_us,
         s.mean_us, s.max_us);
   }
   out += "}";

@@ -24,7 +24,8 @@ struct EndpointSlot {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> shed{0};
   std::atomic<uint64_t> timeouts{0};
-  std::atomic<uint64_t> errors{0};  // kInvalidArgument responses
+  std::atomic<uint64_t> errors{0};    // kInvalidArgument responses
+  std::atomic<uint64_t> degraded{0};  // Response::degraded set (any status)
   util::Histogram latency_us;
 };
 
@@ -36,9 +37,11 @@ struct ThreadMetrics {
   /// all but free.
   std::mutex histo_mu;
 
-  /// Folds one finished request into this thread's slot.
+  /// Folds one finished request into this thread's slot. `degraded` is
+  /// Response::degraded — counted orthogonally to the status (a degraded
+  /// cache hit is both a cache_hit and a degraded response).
   void Record(Endpoint e, ServeStatus status, bool from_cache,
-              double latency_us);
+              double latency_us, bool degraded = false);
 };
 
 /// Aggregated view of one endpoint (the merge of every thread's slot).
@@ -48,6 +51,7 @@ struct EndpointSnapshot {
   uint64_t shed = 0;
   uint64_t timeouts = 0;
   uint64_t errors = 0;
+  uint64_t degraded = 0;
   double p50_us = 0.0;
   double p99_us = 0.0;
   double mean_us = 0.0;

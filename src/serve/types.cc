@@ -28,6 +28,8 @@ const char* ServeStatusName(ServeStatus s) {
       return "deadline_exceeded";
     case ServeStatus::kInvalidArgument:
       return "invalid_argument";
+    case ServeStatus::kDegraded:
+      return "degraded";
   }
   return "unknown";
 }

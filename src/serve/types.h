@@ -42,6 +42,13 @@ enum class ServeStatus : uint8_t {
   /// A referenced entity/relation id is out of range for the bound model
   /// or graph.
   kInvalidArgument = 3,
+  /// The endpoint's circuit breaker is open (or its compute path faulted)
+  /// and no cached answer existed. Unlike kShed — a capacity refusal that
+  /// clears as soon as load drops — kDegraded means the backing component
+  /// is considered broken; clients should back off for the breaker's
+  /// cooldown, not retry immediately. Cached answers ARE still served
+  /// while a breaker is open (status kOk with Response::degraded set).
+  kDegraded = 4,
 };
 
 const char* ServeStatusName(ServeStatus s);
@@ -110,6 +117,12 @@ struct ResultPayload {
 struct Response {
   ServeStatus status = ServeStatus::kOk;
   bool from_cache = false;
+  /// True when the answer was produced in degraded mode: a cache hit
+  /// served while the endpoint's breaker was open/half-open (status kOk —
+  /// the payload is a real, previously-correct answer), or a kDegraded
+  /// refusal. Clients can distinguish "fresh answer" from "best effort
+  /// while the backend recovers" without parsing metrics.
+  bool degraded = false;
   ResultPayload payload;
 
   bool ok() const { return status == ServeStatus::kOk; }

@@ -1,5 +1,6 @@
 #include "util/atomic_file.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -108,6 +109,26 @@ Status WriteFileAtomic(const std::string& path, std::string_view content) {
   OPENBG_RETURN_NOT_OK(file.status());
   OPENBG_RETURN_NOT_OK(file.Append(content));
   return file.Commit();
+}
+
+size_t RemoveStaleTemps(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  size_t removed = 0;
+  constexpr std::string_view kSuffix = ".tmp";
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string_view name = entry->d_name;
+    if (name.size() <= kSuffix.size() ||
+        name.substr(name.size() - kSuffix.size()) != kSuffix) {
+      continue;
+    }
+    std::string path = dir + "/" + std::string(name);
+    struct stat sb;
+    if (::stat(path.c_str(), &sb) != 0 || !S_ISREG(sb.st_mode)) continue;
+    if (::unlink(path.c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
 }
 
 }  // namespace openbg::util

@@ -55,6 +55,15 @@ class AtomicFile {
 /// Convenience: atomically replaces `path` with `content`.
 Status WriteFileAtomic(const std::string& path, std::string_view content);
 
+/// Removes every `*.tmp` file directly inside `dir` and returns how many
+/// were deleted. AtomicFile removes its own temp on failure or abandon,
+/// but a hard crash (or an injected fault that kills the process) between
+/// write and rename leaves `<target>.tmp` orphaned; call this at
+/// recovery time — when no writer can be live in `dir` — to reclaim the
+/// space. ReplayDeltaDir's quarantine mode runs it automatically. Returns
+/// 0 (not an error) when `dir` does not exist.
+size_t RemoveStaleTemps(const std::string& dir);
+
 }  // namespace openbg::util
 
 #endif  // OPENBG_UTIL_ATOMIC_FILE_H_

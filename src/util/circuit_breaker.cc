@@ -1,0 +1,145 @@
+#include "util/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace openbg::util {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Get()) {
+  options_.window = std::max<size_t>(1, options_.window);
+  options_.min_samples =
+      std::max<size_t>(1, std::min(options_.min_samples, options_.window));
+  options_.half_open_probes = std::max<size_t>(1, options_.half_open_probes);
+  options_.failure_threshold =
+      std::clamp(options_.failure_threshold, 0.0, 1.0);
+  outcomes_.assign(options_.window, 0);
+}
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      ++stats_.allowed;
+      return true;
+    case State::kOpen:
+      if (clock_->NowMicros() - opened_at_us_ < options_.open_cooldown_us) {
+        ++stats_.rejected;
+        return false;
+      }
+      // Cooldown over: this caller becomes the first half-open probe.
+      state_ = State::kHalfOpen;
+      probes_in_flight_ = 1;
+      probe_successes_ = 0;
+      ++stats_.allowed;
+      return true;
+    case State::kHalfOpen:
+      if (probes_in_flight_ >= options_.half_open_probes) {
+        ++stats_.rejected;
+        return false;  // enough probes already deciding
+      }
+      ++probes_in_flight_;
+      ++stats_.allowed;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::Open() {
+  state_ = State::kOpen;
+  opened_at_us_ = clock_->NowMicros();
+  ++stats_.opens;
+  // Blank the window: after a cooldown+probe close, history from before
+  // the outage must not immediately re-trip the breaker.
+  std::fill(outcomes_.begin(), outcomes_.end(), 0);
+  next_slot_ = 0;
+  filled_ = 0;
+  window_failures_ = 0;
+  probes_in_flight_ = 0;
+  probe_successes_ = 0;
+}
+
+void CircuitBreaker::RecordLocked(bool success) {
+  if (success) {
+    ++stats_.successes;
+  } else {
+    ++stats_.failures;
+  }
+  if (state_ == State::kHalfOpen) {
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    if (!success) {
+      Open();  // one failed probe reopens
+      return;
+    }
+    ++probe_successes_;
+    if (probe_successes_ >= options_.half_open_probes) {
+      state_ = State::kClosed;
+      ++stats_.closes;
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+    }
+    return;
+  }
+  if (state_ == State::kOpen) {
+    // A late outcome from a request admitted before the trip; the window
+    // was already reset, so just count it in the totals above.
+    return;
+  }
+  // Closed: fold into the rolling window.
+  uint8_t& slot = outcomes_[next_slot_];
+  if (filled_ == options_.window) {
+    window_failures_ -= slot;
+  } else {
+    ++filled_;
+  }
+  slot = success ? 0 : 1;
+  window_failures_ += slot;
+  next_slot_ = (next_slot_ + 1) % options_.window;
+  if (filled_ >= options_.min_samples && window_failures_ > 0 &&
+      static_cast<double>(window_failures_) >=
+          options_.failure_threshold * static_cast<double>(filled_)) {
+    Open();
+  }
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLocked(true);
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLocked(false);
+}
+
+void CircuitBreaker::RecordCancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.cancels;
+  if (state_ == State::kHalfOpen && probes_in_flight_ > 0) {
+    --probes_in_flight_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace openbg::util

@@ -1,0 +1,113 @@
+#ifndef OPENBG_UTIL_CIRCUIT_BREAKER_H_
+#define OPENBG_UTIL_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace openbg::util {
+
+/// Tuning of a CircuitBreaker. Defaults match the serving layer's policy
+/// (DESIGN.md §12): trip when half of the last 64 outcomes failed (with at
+/// least 16 observed), stay open 25ms, then let 2 probes decide.
+struct CircuitBreakerOptions {
+  /// Rolling outcome window (count-based: the last `window` Record*()s).
+  size_t window = 64;
+  /// Outcomes required in the window before the breaker may trip — a
+  /// single early failure must not open a cold breaker.
+  size_t min_samples = 16;
+  /// Failure fraction in [0, 1] at or above which a closed breaker opens.
+  double failure_threshold = 0.5;
+  /// How long an open breaker rejects before moving to half-open.
+  uint64_t open_cooldown_us = 25'000;
+  /// Successful probes required in half-open to close; one probe failure
+  /// reopens immediately.
+  size_t half_open_probes = 2;
+  /// Time source; null = RealClock. Tests inject FakeClock.
+  Clock* clock = nullptr;
+};
+
+/// Rolling-window failure-rate circuit breaker with the classic three
+/// states:
+///
+///   closed    — traffic flows; outcomes fill the window; tripping at
+///               `failure_threshold` opens the breaker (and clears the
+///               window, so a later close starts from a blank slate).
+///   open      — Allow() rejects everything (callers take their fallback:
+///               serve cache-only, answer kDegraded) until
+///               `open_cooldown_us` elapses, then the next Allow()
+///               transitions to half-open and admits it as a probe.
+///   half-open — up to `half_open_probes` requests pass; all succeeding
+///               closes the breaker, any failure reopens it and restarts
+///               the cooldown.
+///
+/// Thread-safe; every operation is a short critical section on one mutex
+/// (the breaker guards an expensive fallible operation, so the lock is
+/// never the bottleneck). Callers MUST pair every Allow() == true with
+/// exactly one RecordSuccess() or RecordFailure() — half-open accounting
+/// counts in-flight probes.
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreaker() : CircuitBreaker(CircuitBreakerOptions{}) {}
+  explicit CircuitBreaker(CircuitBreakerOptions options);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True iff the protected operation may run now. False = caller takes
+  /// the degraded path and records NOTHING (a rejection is not an
+  /// outcome).
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  /// The protected operation was admitted but never ran to an outcome
+  /// (e.g. its deadline expired while queued). Releases the half-open
+  /// probe slot without counting a success or failure — required to keep
+  /// the Allow/Record pairing exact, else abandoned probes would wedge a
+  /// half-open breaker forever.
+  void RecordCancel();
+
+  State state() const;
+
+  struct Stats {
+    uint64_t allowed = 0;
+    uint64_t rejected = 0;
+    uint64_t successes = 0;
+    uint64_t failures = 0;
+    uint64_t opens = 0;    // closed/half-open -> open transitions
+    uint64_t closes = 0;   // half-open -> closed transitions
+    uint64_t cancels = 0;  // admitted requests abandoned without outcome
+  };
+  Stats stats() const;
+
+  /// Stable lowercase state name ("closed", "open", "half_open").
+  static const char* StateName(State s);
+
+ private:
+  void Open();     // requires mu_
+  void RecordLocked(bool success);
+
+  CircuitBreakerOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::vector<uint8_t> outcomes_;  // ring: 1 = failure
+  size_t next_slot_ = 0;
+  size_t filled_ = 0;
+  size_t window_failures_ = 0;
+  uint64_t opened_at_us_ = 0;
+  size_t probes_in_flight_ = 0;
+  size_t probe_successes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_CIRCUIT_BREAKER_H_

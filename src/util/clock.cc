@@ -1,0 +1,25 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace openbg::util {
+
+RealClock* RealClock::Get() {
+  static RealClock* clock = new RealClock();
+  return clock;
+}
+
+uint64_t RealClock::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RealClock::SleepFor(uint64_t micros) {
+  if (micros == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+}  // namespace openbg::util

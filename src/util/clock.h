@@ -1,0 +1,63 @@
+#ifndef OPENBG_UTIL_CLOCK_H_
+#define OPENBG_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace openbg::util {
+
+/// Time source seam for everything in the fault-tolerance layer that would
+/// otherwise sleep or read the wall clock directly (RetryPolicy backoff,
+/// CircuitBreaker cooldowns). Production code uses RealClock::Get();
+/// tests inject a FakeClock so a "50ms cooldown" elapses by calling
+/// Advance() instead of stalling the suite. All implementations must be
+/// safe to share across threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds. Only differences are meaningful; the epoch is
+  /// implementation-defined (steady_clock for RealClock, 0 for FakeClock).
+  virtual uint64_t NowMicros() const = 0;
+
+  /// Blocks the calling thread for `micros` (FakeClock: advances time
+  /// instead, returning immediately — what keeps retry tests sleep-free).
+  virtual void SleepFor(uint64_t micros) = 0;
+};
+
+/// The process-wide monotonic clock (std::chrono::steady_clock).
+class RealClock : public Clock {
+ public:
+  /// Shared singleton; never deleted.
+  static RealClock* Get();
+
+  uint64_t NowMicros() const override;
+  void SleepFor(uint64_t micros) override;
+};
+
+/// Deterministic manual clock for tests: time moves only via Advance() or
+/// SleepFor(). Thread-safe (atomic counter), so a breaker under concurrent
+/// test traffic can share one instance.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_micros = 0) : now_us_(start_micros) {}
+
+  uint64_t NowMicros() const override {
+    return now_us_.load(std::memory_order_acquire);
+  }
+
+  /// "Sleeping" simply advances the clock: a retry loop's backoff becomes
+  /// a bookkeeping step instead of a real stall.
+  void SleepFor(uint64_t micros) override { Advance(micros); }
+
+  void Advance(uint64_t micros) {
+    now_us_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<uint64_t> now_us_;
+};
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_CLOCK_H_

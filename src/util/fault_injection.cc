@@ -8,16 +8,22 @@
 #include <map>
 #include <mutex>
 
+#include "util/rng.h"
 #include "util/string_util.h"
 
 namespace openbg::util {
 namespace failpoints {
 namespace {
 
+struct ArmedPoint {
+  FailpointSpec spec;
+  uint64_t hits = 0;   // total times the site was evaluated
+  uint64_t fired = 0;  // total times it failed
+};
+
 struct Registry {
   std::mutex mu;
-  // name -> remaining hits that succeed before the point fires.
-  std::map<std::string, int, std::less<>> armed;
+  std::map<std::string, ArmedPoint, std::less<>> armed;
 };
 
 Registry& registry() {
@@ -28,13 +34,50 @@ Registry& registry() {
 // Fast path: when nothing has ever been armed, Triggered is one atomic load.
 std::atomic<int> g_armed_count{0};
 
+// Decides fire/pass and kind for one eligible hit, keyed by (seed, hit
+// index): a stateless counter-based hash, so decisions are reproducible
+// for a given seed regardless of which threads hit the site in what
+// interleaving of OTHER sites.
+int EvaluateHit(const FailpointSpec& spec, uint64_t hit_index) {
+  if (spec.probability < 1.0) {
+    uint64_t h = SplitMix64(spec.seed ^ SplitMix64(hit_index));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    if (u >= spec.probability) return -1;
+  }
+  if (spec.num_kinds <= 1) return 0;
+  uint64_t k = SplitMix64(spec.seed ^ 0xD15EA5E0F1CEull ^
+                          SplitMix64(hit_index));
+  return static_cast<int>(k % static_cast<uint64_t>(spec.num_kinds));
+}
+
+int TriggeredKindLocked(ArmedPoint* p) {
+  uint64_t hit = p->hits++;
+  if (hit < static_cast<uint64_t>(p->spec.succeed_first)) return -1;
+  if (p->spec.fire_count >= 0 &&
+      p->fired >= static_cast<uint64_t>(p->spec.fire_count)) {
+    return -1;  // transient fault already healed
+  }
+  int kind = EvaluateHit(p->spec, hit);
+  if (kind >= 0) ++p->fired;
+  return kind;
+}
+
 }  // namespace
 
 void Arm(std::string_view name, int succeed_first) {
+  FailpointSpec spec;
+  spec.succeed_first = succeed_first;
+  ArmSpec(name, spec);
+}
+
+void ArmSpec(std::string_view name, const FailpointSpec& spec) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
-  auto [it, inserted] = r.armed.insert_or_assign(std::string(name),
-                                                 succeed_first);
+  ArmedPoint point;
+  point.spec = spec;
+  if (point.spec.num_kinds < 1) point.spec.num_kinds = 1;
+  if (point.spec.succeed_first < 0) point.spec.succeed_first = 0;
+  auto [it, inserted] = r.armed.insert_or_assign(std::string(name), point);
   (void)it;
   if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
 }
@@ -57,17 +100,23 @@ void DisarmAll() {
   r.armed.clear();
 }
 
-bool Triggered(std::string_view name) {
-  if (g_armed_count.load(std::memory_order_relaxed) == 0) return false;
+bool Triggered(std::string_view name) { return TriggeredKind(name) >= 0; }
+
+int TriggeredKind(std::string_view name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return -1;
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.armed.find(name);
-  if (it == r.armed.end()) return false;
-  if (it->second > 0) {
-    --it->second;
-    return false;
-  }
-  return true;
+  if (it == r.armed.end()) return -1;
+  return TriggeredKindLocked(&it->second);
+}
+
+uint64_t FireCount(std::string_view name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return 0;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.armed.find(name);
+  return it == r.armed.end() ? 0 : it->second.fired;
 }
 
 }  // namespace failpoints

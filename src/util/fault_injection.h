@@ -16,13 +16,43 @@ namespace openbg::util {
 /// is a single relaxed atomic load when nothing is armed, so leaving the
 /// hooks compiled in costs nothing measurable.
 ///
-/// Semantics: `Arm(name, succeed_first)` lets the first `succeed_first`
-/// hits of the site pass, then fires (returns true) on every later hit
-/// until `Disarm`. All functions are thread-safe.
+/// Two arming styles:
+///  * `Arm(name, succeed_first)` — deterministic: the first `succeed_first`
+///    hits pass, then every later hit fires until `Disarm`. This is the
+///    crash-safety idiom ("fail the Nth write").
+///  * `ArmSpec(name, spec)` — the chaos-test idiom: each eligible hit fires
+///    with probability `spec.probability` under a seeded counter-based hash
+///    (deterministic for a given seed and hit sequence, no shared RNG
+///    state), optionally only for the first `spec.fire_count` firings
+///    (a *transient* fault that then heals — what retry tests need), and
+///    optionally picking an error kind in [0, spec.num_kinds) so one site
+///    can model several distinct failure modes.
+/// All functions are thread-safe.
 namespace failpoints {
+
+/// Full description of an armed failpoint (ArmSpec). The default value
+/// fires deterministically on every hit, like Arm(name, 0).
+struct FailpointSpec {
+  /// Hits that pass before the firing window opens.
+  int succeed_first = 0;
+  /// Number of firings after which the point heals (passes forever);
+  /// < 0 = fire indefinitely. `fire_count = 1` models one transient fault.
+  int fire_count = -1;
+  /// Probability that an eligible hit fires, in [0, 1].
+  double probability = 1.0;
+  /// Seed of the per-site counter-hash deciding probabilistic firing and
+  /// kind selection. Same seed + same hit order => same decisions.
+  uint64_t seed = 0;
+  /// Error kinds to choose from; TriggeredKind returns one in
+  /// [0, num_kinds). Must be >= 1.
+  int num_kinds = 1;
+};
 
 /// Arms `name`; the failpoint fires from hit `succeed_first + 1` onwards.
 void Arm(std::string_view name, int succeed_first = 0);
+
+/// Arms `name` with the full spec (replaces any previous arming).
+void ArmSpec(std::string_view name, const FailpointSpec& spec);
 
 /// Disarms one failpoint (no-op if not armed).
 void Disarm(std::string_view name);
@@ -32,6 +62,16 @@ void DisarmAll();
 
 /// Called at the instrumented site: true iff the site should fail now.
 bool Triggered(std::string_view name);
+
+/// Kind-aware variant: -1 when the site should not fail, else the selected
+/// error kind in [0, num_kinds). Sites modeling a single failure mode keep
+/// calling Triggered(); sites distinguishing, say, transient-IO vs corrupt
+/// data switch on the kind.
+int TriggeredKind(std::string_view name);
+
+/// Total times `name` has fired since it was (re-)armed. 0 when not armed.
+/// Lets chaos tests assert a fault actually exercised a site.
+uint64_t FireCount(std::string_view name);
 
 }  // namespace failpoints
 

@@ -1,0 +1,77 @@
+#include "util/retry.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace openbg::util {
+
+RetryPolicy::RetryPolicy(RetryOptions options) : options_(options) {}
+
+bool RetryPolicy::DefaultRetryable(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kInternal;
+}
+
+RetryPolicy::Outcome RetryPolicy::Run(
+    const std::function<Status()>& op) const {
+  return Run(op, DefaultRetryable);
+}
+
+RetryPolicy::Outcome RetryPolicy::Run(
+    const std::function<Status()>& op,
+    const std::function<bool(const Status&)>& retryable) const {
+  Clock* clock = options_.clock != nullptr ? options_.clock
+                                           : RealClock::Get();
+  const int max_attempts = std::max(1, options_.max_attempts);
+  const uint64_t start_us = clock->NowMicros();
+  Rng jitter_rng(options_.seed);
+
+  Outcome out;
+  uint64_t prev_sleep_us = options_.initial_backoff_us;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (options_.total_budget_us > 0 &&
+        clock->NowMicros() - start_us >= options_.total_budget_us) {
+      if (out.attempts == 0) {
+        out.status = Status::IoError("retry budget exhausted before the "
+                                     "first attempt");
+      }
+      return out;  // keep the last attempt's status
+    }
+    ++out.attempts;
+    out.status = op();
+    if (out.status.ok() || !retryable(out.status)) return out;
+    if (attempt == max_attempts) return out;
+
+    // Backoff before the next attempt. Decorrelated jitter (the AWS
+    // variant): sleep ~ Uniform[initial, 3 * previous_sleep], capped —
+    // spreads concurrent retriers apart instead of synchronizing them on
+    // the same exponential schedule.
+    uint64_t sleep_us;
+    if (options_.jitter) {
+      uint64_t lo = options_.initial_backoff_us;
+      uint64_t hi = std::max<uint64_t>(lo + 1, prev_sleep_us * 3);
+      sleep_us = lo + jitter_rng.Uniform(hi - lo);
+    } else {
+      sleep_us = prev_sleep_us;
+    }
+    sleep_us = std::min(sleep_us, options_.max_backoff_us);
+    if (options_.total_budget_us > 0) {
+      uint64_t elapsed = clock->NowMicros() - start_us;
+      if (elapsed >= options_.total_budget_us) return out;
+      sleep_us = std::min(sleep_us, options_.total_budget_us - elapsed);
+    }
+    clock->SleepFor(sleep_us);
+    out.backoff_us += sleep_us;
+    prev_sleep_us = std::max<uint64_t>(
+        1, options_.jitter
+               ? sleep_us
+               : std::min<uint64_t>(
+                     options_.max_backoff_us,
+                     static_cast<uint64_t>(static_cast<double>(prev_sleep_us) *
+                                           options_.multiplier)));
+  }
+  return out;
+}
+
+}  // namespace openbg::util

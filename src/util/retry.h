@@ -1,0 +1,80 @@
+#ifndef OPENBG_UTIL_RETRY_H_
+#define OPENBG_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace openbg::util {
+
+/// Tuning of one retry loop. The defaults are the library-wide policy for
+/// transient local-IO faults (documented in DESIGN.md §12): three attempts,
+/// capped exponential backoff with decorrelated jitter, no wall-clock
+/// budget. Every knob is a plain value so policies embed in other Options
+/// structs (LiveGraph, ServeContext) without lifetime questions.
+struct RetryOptions {
+  /// Total tries including the first; <= 1 means "no retry".
+  int max_attempts = 3;
+  /// First backoff. Backoffs grow by `multiplier` (capped) between
+  /// attempts; with jitter the growth is decorrelated (see retry.cc).
+  uint64_t initial_backoff_us = 200;
+  uint64_t max_backoff_us = 50'000;
+  double multiplier = 2.0;
+  /// Wall-clock budget across attempts AND sleeps; an attempt never starts
+  /// after the budget is exhausted. 0 = attempts-only limit.
+  uint64_t total_budget_us = 0;
+  /// Decorrelated jitter (sleep ~ Uniform[base, 3*prev]) spreads retry
+  /// storms; off gives pure capped-exponential, useful for exact tests.
+  bool jitter = true;
+  /// Seed of the jitter stream: a Run() with the same seed and the same
+  /// outcome sequence sleeps the same amounts — deterministic tests.
+  uint64_t seed = 0x9E3779B97F4A7C15ull;
+  /// Time source; null = RealClock. Tests inject a FakeClock so backoff
+  /// "sleeps" advance fake time instead of stalling.
+  Clock* clock = nullptr;
+};
+
+/// Deadline-aware retry executor over Status-returning operations.
+/// Stateless between Run() calls (the jitter RNG is re-seeded per Run), so
+/// one policy object can be shared by any number of threads.
+class RetryPolicy {
+ public:
+  RetryPolicy() = default;
+  explicit RetryPolicy(RetryOptions options);
+
+  /// What a Run() did: the final status, how many attempts executed, and
+  /// the total backoff slept. `attempts` >= 1 unless the budget was
+  /// already exhausted on entry (then 0 attempts, kDeadlineExceeded-like
+  /// IoError).
+  struct Outcome {
+    Status status;
+    int attempts = 0;
+    uint64_t backoff_us = 0;
+    bool ok() const { return status.ok(); }
+  };
+
+  /// True for the codes the library treats as transient (worth retrying):
+  /// kIoError and kInternal. Argument/shape/corruption errors are terminal
+  /// — retrying a checksum mismatch cannot help.
+  static bool DefaultRetryable(const Status& status);
+
+  /// Runs `op` until it succeeds, returns a non-retryable status, or the
+  /// attempt/time budget is exhausted. Sleeps between attempts via the
+  /// configured Clock.
+  Outcome Run(const std::function<Status()>& op) const;
+
+  /// Same, with a custom transience predicate.
+  Outcome Run(const std::function<Status()>& op,
+              const std::function<bool(const Status&)>& retryable) const;
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+};
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_RETRY_H_

@@ -1,0 +1,370 @@
+// Randomized fault-sweep harness (the chaos-hardening ISSUE's acceptance
+// test). Each episode arms a random subset of failpoint sites with seeded
+// probabilistic firing, then drives 8 threads of mixed-endpoint traffic —
+// LinkPredictTopK, Neighbors, ConceptsOf, EntityLink — concurrent with
+// live delta ingest, background compaction, and checkpoint reloads, all
+// while the faults flip. Invariants checked every episode:
+//
+//   1. No crash, no deadlock: every request returns, WaitForCompaction
+//      returns, the writer's Apply/Reload calls fail with typed Statuses
+//      rather than corrupting anything.
+//   2. Every response carries a valid ServeStatus; kOk link predictions
+//      are well-formed (k results, scores monotone non-increasing).
+//   3. After the faults clear: all circuit breakers re-close under
+//      recovery traffic, health returns green, compaction drains, and
+//      cached answers are byte-identical to a cache-off recomputation.
+//
+// The sweep seed comes from OPENBG_CHAOS_SEED (default 1), so a CI
+// failure reproduces with the seed it prints. scripts/check_all.sh runs
+// five distinct seeds under both the default and TSan presets.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/openbg.h"
+#include "kge/checkpoint.h"
+#include "kge/trainer.h"
+#include "kge/trans_models.h"
+#include "rdf/delta_segment.h"
+#include "rdf/live_graph.h"
+#include "serve/engine.h"
+#include "serve/health.h"
+#include "util/clock.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace openbg::serve {
+namespace {
+
+uint64_t SweepSeed() {
+  const char* env = std::getenv("OPENBG_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// Every failpoint site the sweep may arm. Probabilities are per-site so
+/// high-frequency sites (one hit per batch write) stay survivable while
+/// still firing often; serve::stall sleeps ~5ms per hit so it fires
+/// rarely to keep the test fast on one core.
+struct ChaosSite {
+  const char* name;
+  double probability;
+};
+constexpr ChaosSite kSites[] = {
+    {"atomic_file::write", 0.20},  {"atomic_file::fsync", 0.20},
+    {"atomic_file::rename", 0.20}, {"live::publish", 0.15},
+    {"live::compact", 0.25},       {"serve::model_fault", 0.30},
+    {"serve::graph_fault", 0.30},  {"serve::link_fault", 0.30},
+    {"serve::overload", 0.10},     {"serve::stall", 0.03},
+    {"checkpoint::read", 0.50},
+};
+
+bool ValidStatus(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk:
+    case ServeStatus::kInvalidArgument:
+    case ServeStatus::kDeadlineExceeded:
+    case ServeStatus::kShed:
+    case ServeStatus::kDegraded:
+      return true;
+  }
+  return false;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::OpenBG::Options options;
+    options.world.seed = 11;
+    options.world.scale = 0.25;
+    options.world.num_products = 300;
+    kg_ = core::OpenBG::Build(options).release();
+
+    bench_builder::BenchmarkSpec spec;
+    spec.name = "chaos-test";
+    spec.num_relations = 12;
+    spec.dev_size = 40;
+    spec.test_size = 80;
+    ds_ = new kge::Dataset(kg_->BuildBenchmark(spec, nullptr));
+
+    util::Rng rng(3);
+    model_ = new kge::TransE(ds_->num_entities(), ds_->num_relations(), 16,
+                             1.0f, &rng);
+    kge::TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 256;
+    TrainKgeModel(model_, *ds_, config);
+
+    mapper_ = new construction::SchemaMapper(kg_->world().brands);
+
+    // The reload target: a good checkpoint of the trained model. Each
+    // reload loads into a fresh staging model; in-flight requests pin the
+    // previous generation via shared_ptr until they drain.
+    ckpt_path_ = ::testing::TempDir() + "/chaos_model.obgckpt";
+    kge::TrainerCheckpoint ckpt;
+    ckpt.model_name = model_->name();
+    ASSERT_TRUE(kge::SaveCheckpoint(ckpt, model_, ckpt_path_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(ckpt_path_.c_str());
+    delete mapper_;
+    delete model_;
+    delete ds_;
+    delete kg_;
+    mapper_ = nullptr;
+    model_ = nullptr;
+    ds_ = nullptr;
+    kg_ = nullptr;
+  }
+
+  void TearDown() override { util::failpoints::DisarmAll(); }
+
+  static core::OpenBG* kg_;
+  static kge::Dataset* ds_;
+  static kge::TransE* model_;
+  static construction::SchemaMapper* mapper_;
+  static std::string ckpt_path_;
+
+  // Builds a fresh staging model for one ReloadModelFromCheckpoint call.
+  static std::shared_ptr<kge::TransE> MakeStaging(uint64_t seed) {
+    util::Rng rng(seed);
+    return std::make_shared<kge::TransE>(ds_->num_entities(),
+                                         ds_->num_relations(), 16, 1.0f, &rng);
+  }
+};
+
+core::OpenBG* ChaosTest::kg_ = nullptr;
+kge::Dataset* ChaosTest::ds_ = nullptr;
+kge::TransE* ChaosTest::model_ = nullptr;
+construction::SchemaMapper* ChaosTest::mapper_ = nullptr;
+std::string ChaosTest::ckpt_path_;
+
+TEST_F(ChaosTest, RandomizedFaultSweepNeverBreaksInvariants) {
+  const uint64_t seed = SweepSeed();
+  SCOPED_TRACE("OPENBG_CHAOS_SEED=" + std::to_string(seed));
+
+  util::ThreadPool compaction_pool(1);
+  rdf::LiveGraph::Options live_opts;
+  live_opts.compact_threshold = 64;
+  live_opts.pool = &compaction_pool;
+  rdf::LiveGraph live(rdf::LiveGraph::Alias(&kg_->graph().store), live_opts);
+
+  ServeContext::Bindings bindings;
+  bindings.graph = &kg_->graph();
+  bindings.ontology = &kg_->ontology();
+  bindings.dataset = ds_;
+  bindings.model = model_;
+  bindings.mapper = mapper_;
+  bindings.live = &live;
+  ServeContext ctx(bindings);
+
+  EngineOptions engine_opts;
+  engine_opts.num_threads = 2;
+  engine_opts.breaker.window = 16;
+  engine_opts.breaker.min_samples = 4;
+  engine_opts.breaker.open_cooldown_us = 2'000;
+  engine_opts.breaker.half_open_probes = 1;
+  QueryEngine engine(&ctx, engine_opts);
+  // The oracle recomputes every answer from scratch against the same
+  // context — the cached engine must agree byte-for-byte once healthy.
+  EngineOptions oracle_opts = engine_opts;
+  oracle_opts.cache_enabled = false;
+  QueryEngine oracle(&ctx, oracle_opts);
+
+  const std::vector<rdf::TermId>& products = kg_->assembly().product_terms;
+  const datagen::TaxonomyData& brands = kg_->world().brands;
+  rdf::TermId rel = kg_->ontology().related_scene();
+  util::Rng sweep_rng(seed);
+
+  constexpr int kEpisodes = 3;
+  constexpr size_t kReaders = 7;  // + 1 ingest/reload writer = 8 threads
+  constexpr size_t kIters = 25;
+  std::atomic<uint64_t> invalid_statuses{0};
+  std::atomic<uint64_t> malformed_topk{0};
+  uint64_t reload_seq = 0;
+
+  for (int episode = 0; episode < kEpisodes; ++episode) {
+    SCOPED_TRACE("episode " + std::to_string(episode));
+    // --- Arm a random subset of sites, seeded and probabilistic. Every
+    // episode arms at least 6 of them (the acceptance floor). ---
+    constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
+    bool arm[kNumSites];
+    size_t armed = 0;
+    for (size_t s = 0; s < kNumSites; ++s) {
+      arm[s] = sweep_rng.Uniform(2) == 0;
+      if (arm[s]) ++armed;
+    }
+    for (size_t s = 0; armed < 6 && s < kNumSites; ++s) {
+      if (!arm[s]) {
+        arm[s] = true;
+        ++armed;
+      }
+    }
+    for (size_t s = 0; s < kNumSites; ++s) {
+      if (!arm[s]) continue;
+      util::failpoints::FailpointSpec spec;
+      spec.probability = kSites[s].probability;
+      spec.seed = sweep_rng.Next();
+      util::failpoints::ArmSpec(kSites[s].name, spec);
+    }
+    ASSERT_GE(armed, 6u) << "sweep must exercise at least 6 sites";
+
+    // --- 7 reader threads + 1 ingest/reload writer under fire. ---
+    std::vector<std::thread> threads;
+    for (size_t ti = 0; ti < kReaders; ++ti) {
+      threads.emplace_back([&, ti, episode] {
+        util::Rng rng(seed * 1000003 + episode * 101 + ti);
+        for (size_t i = 0; i < kIters; ++i) {
+          switch (rng.Uniform(4)) {
+            case 0: {
+              const kge::LpTriple& q = ds_->test[rng.Uniform(ds_->test.size())];
+              size_t k = 1 + rng.Uniform(8);
+              Response r = engine.LinkPredictTopK(q.h, q.r, k);
+              if (!ValidStatus(r.status)) invalid_statuses.fetch_add(1);
+              if (r.status == ServeStatus::kOk) {
+                if (r.payload.topk.size() != k) malformed_topk.fetch_add(1);
+                for (size_t j = 1; j < r.payload.topk.size(); ++j) {
+                  if (r.payload.topk[j - 1].score < r.payload.topk[j].score) {
+                    malformed_topk.fetch_add(1);
+                  }
+                }
+              }
+              break;
+            }
+            case 1: {
+              Response r =
+                  engine.Neighbors(products[rng.Uniform(products.size())]);
+              if (!ValidStatus(r.status)) invalid_statuses.fetch_add(1);
+              break;
+            }
+            case 2: {
+              Response r =
+                  engine.ConceptsOf(products[rng.Uniform(products.size())]);
+              if (!ValidStatus(r.status)) invalid_statuses.fetch_add(1);
+              break;
+            }
+            default: {
+              int leaf = brands.leaves[rng.Uniform(brands.leaves.size())];
+              Response r = engine.EntityLink(brands.nodes[leaf].name);
+              if (!ValidStatus(r.status)) invalid_statuses.fetch_add(1);
+              break;
+            }
+          }
+        }
+      });
+    }
+    threads.emplace_back([&, episode] {
+      util::Rng rng(seed * 7919 + episode);
+      for (size_t i = 0; i < kIters; ++i) {
+        if (rng.Uniform(5) == 0) {
+          // Live reload under fire: allowed to fail (checkpoint::read is
+          // armed), never allowed to corrupt the serving model — it loads
+          // into a fresh staging model, and readers pin the old generation
+          // until their requests drain.
+          util::FakeClock clock;
+          util::RetryOptions retry;
+          retry.clock = &clock;
+          (void)ctx.ReloadModelFromCheckpoint(
+              ckpt_path_, MakeStaging(seed * 31 + episode * 7 + i), retry);
+        } else {
+          rdf::UpdateBatch batch;
+          size_t a = rng.Uniform(products.size());
+          size_t b = rng.Uniform(products.size());
+          batch.adds.push_back({products[a], rel, products[b]});
+          // Apply may fail while WAL failpoints fire; a typed error with
+          // an unchanged generation is the contract, so the status itself
+          // is not asserted here.
+          (void)live.Apply(batch);
+        }
+      }
+    });
+    for (std::thread& t : threads) t.join();
+
+    // --- Faults clear; the system must converge back to healthy. ---
+    util::failpoints::DisarmAll();
+    bool recovered = false;
+    for (int round = 0; round < 200 && !recovered; ++round) {
+      // Recovery traffic: cold-ish queries admit half-open probes on every
+      // endpoint breaker; an Apply gives the live layer a success to reset
+      // its failure streaks and re-trigger compaction if one is owed.
+      const kge::LpTriple& q = ds_->test[round % ds_->test.size()];
+      (void)engine.LinkPredictTopK(q.h, q.r, 3 + round % 5);
+      (void)engine.Neighbors(products[round % products.size()]);
+      (void)engine.ConceptsOf(products[(round * 7) % products.size()]);
+      // Unique mention per round: a guaranteed cache miss, so an open
+      // EntityLink breaker always gets its half-open probe.
+      int leaf = brands.leaves[round % brands.leaves.size()];
+      (void)engine.EntityLink(brands.nodes[leaf].name + " #" +
+                              std::to_string(round));
+      rdf::UpdateBatch heal;
+      heal.adds.push_back(
+          {products[round % products.size()], rel, products[0]});
+      (void)live.Apply(heal);
+      if (ctx.reload_stats().last_failed) {
+        util::FakeClock clock;
+        util::RetryOptions retry;
+        retry.clock = &clock;
+        (void)ctx.ReloadModelFromCheckpoint(ckpt_path_,
+                                            MakeStaging(++reload_seq), retry);
+      }
+      recovered = engine.ComputeHealth().overall() == Health::kHealthy;
+      for (size_t e = 0; e < kNumEndpoints && recovered; ++e) {
+        recovered = engine.breaker(static_cast<Endpoint>(e)).state() ==
+                    util::CircuitBreaker::State::kClosed;
+      }
+      if (!recovered) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    live.WaitForCompaction();  // must return: compaction never wedges
+    EXPECT_TRUE(recovered)
+        << "breakers/health did not converge after faults cleared; json: "
+        << engine.ComputeHealth().Json();
+
+    // --- Cached answers must be byte-identical to recomputation. ---
+    for (size_t i = 0; i < 10; ++i) {
+      const kge::LpTriple& q = ds_->test[(episode * 13 + i) % ds_->test.size()];
+      Response warm = engine.LinkPredictTopK(q.h, q.r, 5);
+      Response cached = engine.LinkPredictTopK(q.h, q.r, 5);
+      Response fresh = oracle.LinkPredictTopK(q.h, q.r, 5);
+      ASSERT_EQ(warm.status, ServeStatus::kOk);
+      ASSERT_EQ(cached.status, ServeStatus::kOk);
+      ASSERT_EQ(fresh.status, ServeStatus::kOk);
+      EXPECT_TRUE(cached.from_cache);
+      ASSERT_EQ(cached.payload.topk.size(), fresh.payload.topk.size());
+      for (size_t j = 0; j < fresh.payload.topk.size(); ++j) {
+        EXPECT_EQ(cached.payload.topk[j].id, fresh.payload.topk[j].id);
+        EXPECT_EQ(cached.payload.topk[j].score, fresh.payload.topk[j].score);
+      }
+      rdf::TermId p = products[(episode * 31 + i) % products.size()];
+      Response warm_n = engine.Neighbors(p);
+      Response cached_n = engine.Neighbors(p);
+      Response fresh_n = oracle.Neighbors(p);
+      ASSERT_EQ(warm_n.status, ServeStatus::kOk);
+      ASSERT_EQ(cached_n.status, ServeStatus::kOk);
+      EXPECT_EQ(cached_n.payload.triples, fresh_n.payload.triples);
+    }
+    EXPECT_EQ(invalid_statuses.load(), 0u);
+    EXPECT_EQ(malformed_topk.load(), 0u);
+  }
+
+  // The metrics surface must survive the whole ordeal and report the
+  // chaos it absorbed.
+  std::string json = engine.MetricsJson();
+  EXPECT_NE(json.find("\"breakers\""), std::string::npos);
+  EXPECT_NE(json.find("\"health\""), std::string::npos);
+  EXPECT_NE(json.find("\"overall\":\"healthy\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace openbg::serve

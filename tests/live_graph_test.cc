@@ -7,10 +7,13 @@
 // every failpoint on the publish path.
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -21,6 +24,7 @@
 #include "rdf/snapshot.h"
 #include "rdf/term.h"
 #include "rdf/triple_store.h"
+#include "util/clock.h"
 #include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
@@ -413,6 +417,222 @@ TEST_F(LiveGraphTest, ReplayStopsAtGapAndFailsClosedOnCorruption) {
   }
   std::remove(DeltaFilePath(dir, 2).c_str());
   std::remove(DeltaFilePath(dir, 3).c_str());
+}
+
+TEST_F(LiveGraphTest, TransientWalFaultIsRetriedAndPublishSucceeds) {
+  // A fire_count=1 fault on the delta-file rename: the first WAL attempt
+  // fails, the retry succeeds, and the caller never sees an error.
+  std::string dir = ::testing::TempDir();
+  util::FakeClock clock;
+  LiveGraph::Options options;
+  options.delta_dir = dir;
+  options.retry.clock = &clock;
+  LiveGraph live(SmallBase(), options);
+
+  util::failpoints::FailpointSpec spec;
+  spec.fire_count = 1;
+  util::failpoints::ArmSpec("atomic_file::rename", spec);
+  UpdateBatch batch;
+  batch.adds.push_back({7, 10, 107});
+  ASSERT_TRUE(live.Apply(batch).ok());
+
+  EXPECT_EQ(live.generation(), 2u);
+  EXPECT_TRUE(live.Acquire()->Contains(7, 10, 107));
+  EXPECT_TRUE(util::FileExists(DeltaFilePath(dir, 2)));
+  LiveGraph::StatsSnapshot stats = live.stats();
+  EXPECT_GE(stats.publish_retries, 1u);
+  EXPECT_EQ(stats.publish_failures, 0u);
+  EXPECT_EQ(stats.consecutive_publish_failures, 0u);
+  EXPECT_GT(clock.NowMicros(), 0u);  // the retry actually backed off
+  std::remove(DeltaFilePath(dir, 2).c_str());
+}
+
+TEST_F(LiveGraphTest, ExhaustedWalRetriesFailThePublishAndCount) {
+  std::string dir = ::testing::TempDir();
+  util::FakeClock clock;
+  LiveGraph::Options options;
+  options.delta_dir = dir;
+  options.retry.clock = &clock;
+  LiveGraph live(SmallBase(), options);
+
+  util::failpoints::Arm("atomic_file::rename");  // fires forever
+  UpdateBatch batch;
+  batch.adds.push_back({7, 10, 107});
+  EXPECT_FALSE(live.Apply(batch).ok());
+  util::failpoints::DisarmAll();
+
+  EXPECT_EQ(live.generation(), 1u);
+  LiveGraph::StatsSnapshot stats = live.stats();
+  EXPECT_EQ(stats.publish_failures, 1u);
+  EXPECT_EQ(stats.consecutive_publish_failures, 1u);
+  // The fault heals -> the same batch lands and the streak resets.
+  ASSERT_TRUE(live.Apply(batch).ok());
+  EXPECT_EQ(live.stats().consecutive_publish_failures, 0u);
+  std::remove(DeltaFilePath(dir, 2).c_str());
+}
+
+TEST_F(LiveGraphTest, TransientCompactionFaultIsRetried) {
+  util::FakeClock clock;
+  LiveGraph::Options options;
+  options.retry.clock = &clock;
+  LiveGraph live(SmallBase(), options);
+  UpdateBatch batch;
+  batch.adds.push_back({8, 10, 108});
+  ASSERT_TRUE(live.Apply(batch).ok());
+
+  util::failpoints::FailpointSpec spec;
+  spec.fire_count = 1;
+  util::failpoints::ArmSpec("live::compact", spec);
+  ASSERT_TRUE(live.Compact().ok());
+
+  EXPECT_EQ(live.delta_size(), 0u);
+  EXPECT_TRUE(live.Acquire()->Contains(8, 10, 108));
+  LiveGraph::StatsSnapshot stats = live.stats();
+  EXPECT_GE(stats.compact_retries, 1u);
+  EXPECT_EQ(stats.compact_failures, 0u);
+  EXPECT_EQ(stats.compactions, 1u);
+}
+
+TEST_F(LiveGraphTest, BackgroundCompactionFailureNeverWedges) {
+  // ISSUE acceptance: a transient fault during compaction is retried; one
+  // that outlives the retry budget delays compaction but must never wedge
+  // it — the next Apply whose delta still exceeds the threshold simply
+  // re-schedules.
+  util::ThreadPool pool(2);
+  util::FakeClock clock;
+  LiveGraph::Options options;
+  options.compact_threshold = 2;
+  options.pool = &pool;
+  options.retry.clock = &clock;
+  LiveGraph live(SmallBase(), options);
+
+  util::failpoints::Arm("live::compact");  // outlives every retry budget
+  UpdateBatch batch;
+  batch.adds.push_back({8, 10, 108});
+  batch.adds.push_back({8, 10, 109});
+  ASSERT_TRUE(live.Apply(batch).ok());
+  live.WaitForCompaction();  // must return: the failed task cleared pending
+
+  EXPECT_GE(live.delta_size(), 2u);  // compaction did not happen
+  LiveGraph::StatsSnapshot stats = live.stats();
+  EXPECT_GE(stats.compact_failures, 1u);
+  EXPECT_GE(stats.consecutive_compact_failures, 1u);
+
+  // Fault clears; the next over-threshold publish re-triggers compaction
+  // and it succeeds.
+  util::failpoints::DisarmAll();
+  UpdateBatch more;
+  more.adds.push_back({8, 10, 110});
+  ASSERT_TRUE(live.Apply(more).ok());
+  live.WaitForCompaction();
+  EXPECT_EQ(live.delta_size(), 0u);
+  stats = live.stats();
+  EXPECT_GE(stats.compactions, 1u);
+  EXPECT_EQ(stats.consecutive_compact_failures, 0u);
+  EXPECT_TRUE(live.Acquire()->Contains(8, 10, 108));
+  EXPECT_TRUE(live.Acquire()->Contains(8, 10, 110));
+}
+
+TEST_F(LiveGraphTest, SaturatedPoolFallsBackToInlineCompaction) {
+  // max_queued_compactions = 0 makes TryEnqueue reject every handoff (the
+  // bounded-admission satellite): the publish must compact inline rather
+  // than silently drop the scheduled compaction.
+  util::ThreadPool pool(1);
+  LiveGraph::Options options;
+  options.compact_threshold = 2;
+  options.pool = &pool;
+  options.max_queued_compactions = 0;
+  LiveGraph live(SmallBase(), options);
+
+  UpdateBatch batch;
+  batch.adds.push_back({8, 10, 108});
+  batch.adds.push_back({8, 10, 109});
+  ASSERT_TRUE(live.Apply(batch).ok());
+  live.WaitForCompaction();  // inline path must also clear pending
+
+  LiveGraph::StatsSnapshot stats = live.stats();
+  EXPECT_EQ(stats.inline_fallbacks, 1u);
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(live.delta_size(), 0u);
+  EXPECT_TRUE(live.Acquire()->Contains(8, 10, 108));
+}
+
+TEST_F(LiveGraphTest, QuarantineReplayServesLastGoodGeneration) {
+  std::string dir = ::testing::TempDir() + "/openbg_quarantine";
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0) << dir;
+  UpdateBatch b2, b3, b4;
+  b2.adds.push_back({1, 2, 30});
+  b3.adds.push_back({1, 2, 31});
+  b4.adds.push_back({1, 2, 32});
+  ASSERT_TRUE(SaveDeltaBatch(b2, 2, DeltaFilePath(dir, 2)).ok());
+  ASSERT_TRUE(SaveDeltaBatch(b3, 3, DeltaFilePath(dir, 3)).ok());
+  ASSERT_TRUE(SaveDeltaBatch(b4, 4, DeltaFilePath(dir, 4)).ok());
+  // Rot generation 3 and leave a crash orphan next to the chain.
+  util::Result<uint64_t> size = util::FileSize(DeltaFilePath(dir, 3));
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(util::FlipBit(DeltaFilePath(dir, 3), size.value() / 2, 3).ok());
+  {
+    std::ofstream orphan(dir + "/delta.obgd.tmp");
+    orphan << "torn";
+  }
+
+  // Strict mode still fails closed.
+  {
+    TripleStore store;
+    uint64_t gen = 0;
+    EXPECT_FALSE(ReplayDeltaDir(dir, 1, &store, &gen).ok());
+  }
+  // Quarantine mode: replay stops cleanly at generation 2, the corrupt
+  // file is moved aside (not destroyed), and the stale temp is swept.
+  std::vector<std::string> quarantined;
+  ReplayOptions ropts;
+  ropts.quarantine_corrupt = true;
+  ropts.sweep_stale_temps = true;
+  ropts.quarantined = &quarantined;
+  TripleStore store;
+  store.Add(9, 9, 9);
+  uint64_t gen = 0;
+  ASSERT_TRUE(ReplayDeltaDir(dir, 1, &store, &gen, ropts).ok());
+  EXPECT_EQ(gen, 2u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains(1, 2, 30));
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0], DeltaFilePath(dir, 3) + ".quarantine");
+  EXPECT_FALSE(util::FileExists(DeltaFilePath(dir, 3)));
+  EXPECT_TRUE(util::FileExists(quarantined[0]));
+  EXPECT_FALSE(util::FileExists(dir + "/delta.obgd.tmp"));
+  // Generation 4 is untouched — past the gap, but preserved for forensics.
+  EXPECT_TRUE(util::FileExists(DeltaFilePath(dir, 4)));
+
+  // A second quarantine replay is idempotent (nothing left to move).
+  {
+    TripleStore again;
+    uint64_t g = 0;
+    ASSERT_TRUE(ReplayDeltaDir(dir, 1, &again, &g, ropts).ok());
+    EXPECT_EQ(g, 2u);
+  }
+  std::remove(DeltaFilePath(dir, 2).c_str());
+  std::remove(quarantined[0].c_str());
+  std::remove(DeltaFilePath(dir, 4).c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST_F(LiveGraphTest, QuarantineReplayMovesWrongStampAside) {
+  std::string dir = ::testing::TempDir() + "/openbg_quarantine_stamp";
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0) << dir;
+  UpdateBatch b;
+  b.adds.push_back({1, 2, 40});
+  ASSERT_TRUE(SaveDeltaBatch(b, 5, DeltaFilePath(dir, 2)).ok());
+  ReplayOptions ropts;
+  ropts.quarantine_corrupt = true;
+  TripleStore store;
+  uint64_t gen = 0;
+  ASSERT_TRUE(ReplayDeltaDir(dir, 1, &store, &gen, ropts).ok());
+  EXPECT_EQ(gen, 1u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(util::FileExists(DeltaFilePath(dir, 2) + ".quarantine"));
+  std::remove((DeltaFilePath(dir, 2) + ".quarantine").c_str());
+  ::rmdir(dir.c_str());
 }
 
 TEST_F(LiveGraphTest, WrongGenerationStampIsRejected) {

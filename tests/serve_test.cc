@@ -11,18 +11,25 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/openbg.h"
+#include "kge/checkpoint.h"
 #include "kge/trainer.h"
 #include "kge/trans_models.h"
 #include "rdf/live_graph.h"
 #include "serve/engine.h"
+#include "serve/health.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
+#include "util/clock.h"
 #include "util/fault_injection.h"
 
 namespace openbg::serve {
@@ -813,6 +820,232 @@ TEST_F(EngineTest, ConcurrentReadersDuringLiveIngest) {
   EXPECT_NE(std::find(resp.payload.triples.begin(), resp.payload.triples.end(),
                       rdf::Triple{last_s, rel, last_o}),
             resp.payload.triples.end());
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-mode serving, circuit breaking, and fault-tolerant reload
+// (chaos-hardening ISSUE).
+
+/// Breaker tuned to trip after 2 failures and recover after a 2ms
+/// cooldown with a single probe — keeps the tests fast and deterministic.
+EngineOptions FastBreakerOptions() {
+  EngineOptions opts;
+  opts.breaker.window = 8;
+  opts.breaker.min_samples = 2;
+  opts.breaker.failure_threshold = 0.5;
+  opts.breaker.open_cooldown_us = 2'000;
+  opts.breaker.half_open_probes = 1;
+  return opts;
+}
+
+TEST_F(EngineTest, ModelFaultTripsBreakerAndServesCachedAnswersDegraded) {
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, FastBreakerOptions());
+  const kge::LpTriple& warm = ds_->test[0];
+  Response before = engine.LinkPredictTopK(warm.h, warm.r, 5);
+  ASSERT_EQ(before.status, ServeStatus::kOk);
+
+  // Model scoring starts failing: cold queries come back kDegraded (and
+  // count against the breaker), two of them trip it open.
+  util::failpoints::Arm("serve::model_fault");
+  for (int i = 1; i <= 2; ++i) {
+    const kge::LpTriple& cold = ds_->test[i];
+    Response r = engine.LinkPredictTopK(cold.h, cold.r, 5);
+    EXPECT_EQ(r.status, ServeStatus::kDegraded);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_TRUE(r.payload.topk.empty());
+  }
+  EXPECT_EQ(engine.breaker(Endpoint::kLinkPredictTopK).state(),
+            util::CircuitBreaker::State::kOpen);
+
+  // Open breaker: the warmed query still answers from cache — flagged
+  // degraded, byte-identical to the pre-fault answer...
+  Response hit = engine.LinkPredictTopK(warm.h, warm.r, 5);
+  EXPECT_EQ(hit.status, ServeStatus::kOk);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_TRUE(hit.degraded);
+  ASSERT_EQ(hit.payload.topk.size(), before.payload.topk.size());
+  for (size_t i = 0; i < hit.payload.topk.size(); ++i) {
+    EXPECT_EQ(hit.payload.topk[i].id, before.payload.topk[i].id);
+    EXPECT_EQ(hit.payload.topk[i].score, before.payload.topk[i].score);
+  }
+  // ...while a cold miss fast-fails without touching the broken model.
+  const kge::LpTriple& cold = ds_->test[3];
+  Response miss = engine.LinkPredictTopK(cold.h, cold.r, 5);
+  EXPECT_EQ(miss.status, ServeStatus::kDegraded);
+  EXPECT_TRUE(miss.degraded);
+
+  // Health reflects the open breaker, and the metrics surface carries the
+  // breaker + degraded counters.
+  HealthState health = engine.ComputeHealth();
+  EXPECT_EQ(health.model.health, Health::kUnhealthy);
+  EXPECT_EQ(health.overall(), Health::kUnhealthy);
+  std::string json = engine.MetricsJson();
+  EXPECT_NE(json.find("\"breakers\""), std::string::npos);
+  EXPECT_NE(json.find("\"health\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\""), std::string::npos);
+
+  // Fault clears; after the cooldown the next request is admitted as the
+  // half-open probe, succeeds, and recloses the breaker.
+  util::failpoints::Disarm("serve::model_fault");
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  Response probe = engine.LinkPredictTopK(cold.h, cold.r, 5);
+  EXPECT_EQ(probe.status, ServeStatus::kOk);
+  EXPECT_FALSE(probe.degraded);
+  EXPECT_EQ(probe.payload.topk, ReferenceTopK(model_, cold.h, cold.r, 5));
+  EXPECT_EQ(engine.breaker(Endpoint::kLinkPredictTopK).state(),
+            util::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(engine.ComputeHealth().overall(), Health::kHealthy);
+}
+
+TEST_F(EngineTest, GraphAndLinkFaultsAreBrokenPerEndpoint) {
+  // Each endpoint has its own breaker: tripping Neighbors must not reject
+  // LinkPredictTopK traffic.
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, FastBreakerOptions());
+
+  util::failpoints::Arm("serve::graph_fault");
+  for (int i = 0; i < 2; ++i) {
+    Response r = engine.Neighbors(kg_->assembly().product_terms[i]);
+    EXPECT_EQ(r.status, ServeStatus::kDegraded);
+  }
+  EXPECT_EQ(engine.breaker(Endpoint::kNeighbors).state(),
+            util::CircuitBreaker::State::kOpen);
+  util::failpoints::Disarm("serve::graph_fault");
+
+  const kge::LpTriple& q = ds_->test[4];
+  EXPECT_EQ(engine.LinkPredictTopK(q.h, q.r, 5).status, ServeStatus::kOk)
+      << "LinkPredictTopK must be unaffected by the Neighbors breaker";
+  EXPECT_EQ(engine.breaker(Endpoint::kLinkPredictTopK).state(),
+            util::CircuitBreaker::State::kClosed);
+
+  util::failpoints::Arm("serve::link_fault");
+  Response link = engine.EntityLink("anything");
+  EXPECT_EQ(link.status, ServeStatus::kDegraded);
+  util::failpoints::Disarm("serve::link_fault");
+}
+
+TEST_F(EngineTest, ReloadRetriesTransientCheckpointFault) {
+  // A fire_count=1 fault on checkpoint::read: the first read attempt
+  // fails, the retry succeeds, and the reload lands normally.
+  std::string path = ::testing::TempDir() + "/serve_reload_ok.obgckpt";
+  kge::TrainerCheckpoint ckpt;
+  ckpt.model_name = model_->name();
+  ASSERT_TRUE(kge::SaveCheckpoint(ckpt, model_, path).ok());
+
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  const kge::LpTriple& q = ds_->test[5];
+  ASSERT_EQ(engine.LinkPredictTopK(q.h, q.r, 5).status, ServeStatus::kOk);
+
+  util::Rng rng(123);
+  auto staging = std::make_shared<kge::TransE>(
+      ds_->num_entities(), ds_->num_relations(), 16, 1.0f, &rng);
+  util::failpoints::FailpointSpec spec;
+  spec.fire_count = 1;
+  util::failpoints::ArmSpec("checkpoint::read", spec);
+  util::FakeClock clock;
+  util::RetryOptions retry;
+  retry.clock = &clock;
+  ASSERT_TRUE(ctx.ReloadModelFromCheckpoint(path, staging, retry).ok());
+
+  ServeContext::ReloadStats stats = ctx.reload_stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.successes, 1u);
+  EXPECT_FALSE(stats.last_failed);
+  // The reload bumped the epoch: the warmed answer was invalidated and the
+  // next query recomputes against the reloaded parameters.
+  Response after = engine.LinkPredictTopK(q.h, q.r, 5);
+  EXPECT_EQ(after.status, ServeStatus::kOk);
+  EXPECT_FALSE(after.from_cache);
+  std::remove(path.c_str());
+}
+
+TEST_F(EngineTest, FailedReloadKeepsServingGenerationN) {
+  // The acceptance criterion: truncation or a bit-flip in the new
+  // checkpoint during a live reload must leave the engine serving
+  // generation N answers byte-identical to before, cache intact.
+  std::string good = ::testing::TempDir() + "/serve_reload_good.obgckpt";
+  kge::TrainerCheckpoint ckpt;
+  ckpt.model_name = model_->name();
+  ASSERT_TRUE(kge::SaveCheckpoint(ckpt, model_, good).ok());
+  util::Result<uint64_t> size = util::FileSize(good);
+  ASSERT_TRUE(size.ok());
+
+  ServeContext ctx(AllBindings());
+  QueryEngine engine(&ctx, EngineOptions{});
+  const kge::LpTriple& q = ds_->test[6];
+  Response before = engine.LinkPredictTopK(q.h, q.r, 5);
+  ASSERT_EQ(before.status, ServeStatus::kOk);
+
+  util::Rng rng(124);
+  auto staging = std::make_shared<kge::TransE>(
+      ds_->num_entities(), ds_->num_relations(), 16, 1.0f, &rng);
+  util::FakeClock clock;
+  util::RetryOptions retry;
+  retry.clock = &clock;
+
+  // Corruption 1: the checkpoint was torn mid-write.
+  std::string torn = ::testing::TempDir() + "/serve_reload_torn.obgckpt";
+  {
+    std::ifstream in(good, std::ios::binary);
+    std::ofstream out(torn, std::ios::binary);
+    out << in.rdbuf();
+  }
+  ASSERT_TRUE(util::TruncateFile(torn, size.value() / 2).ok());
+  EXPECT_FALSE(ctx.ReloadModelFromCheckpoint(torn, staging, retry).ok());
+  // Corruption 2: a flipped bit in the parameter block breaks the CRC.
+  std::string rotten = ::testing::TempDir() + "/serve_reload_rot.obgckpt";
+  {
+    std::ifstream in(good, std::ios::binary);
+    std::ofstream out(rotten, std::ios::binary);
+    out << in.rdbuf();
+  }
+  ASSERT_TRUE(util::FlipBit(rotten, size.value() / 2, 2).ok());
+  EXPECT_FALSE(ctx.ReloadModelFromCheckpoint(rotten, staging, retry).ok());
+  // Corruption 3: the read itself keeps failing past the retry budget.
+  util::failpoints::Arm("checkpoint::read");
+  EXPECT_FALSE(ctx.ReloadModelFromCheckpoint(good, staging, retry).ok());
+  util::failpoints::Disarm("checkpoint::read");
+
+  ServeContext::ReloadStats stats = ctx.reload_stats();
+  EXPECT_EQ(stats.failures, 3u);
+  EXPECT_EQ(stats.successes, 0u);
+  EXPECT_TRUE(stats.last_failed);
+  EXPECT_EQ(engine.ComputeHealth().model.health, Health::kDegraded);
+
+  // Generation N keeps serving: the warmed answer is still cached and
+  // byte-identical, and cold queries still compute against the old model.
+  Response after = engine.LinkPredictTopK(q.h, q.r, 5);
+  ASSERT_EQ(after.status, ServeStatus::kOk);
+  EXPECT_TRUE(after.from_cache) << "failed reload must not invalidate cache";
+  ASSERT_EQ(after.payload.topk.size(), before.payload.topk.size());
+  for (size_t i = 0; i < after.payload.topk.size(); ++i) {
+    EXPECT_EQ(after.payload.topk[i].id, before.payload.topk[i].id);
+    EXPECT_EQ(after.payload.topk[i].score, before.payload.topk[i].score);
+  }
+  EXPECT_EQ(engine.cache().stats().stale, 0u);
+
+  // The next good reload clears the failure flag.
+  ASSERT_TRUE(ctx.ReloadModelFromCheckpoint(good, staging, retry).ok());
+  EXPECT_FALSE(ctx.reload_stats().last_failed);
+  EXPECT_EQ(engine.ComputeHealth().model.health, Health::kHealthy);
+  std::remove(good.c_str());
+  std::remove(torn.c_str());
+  std::remove(rotten.c_str());
+}
+
+TEST_F(EngineTest, HealthStateTracksLiveGraphFailures) {
+  rdf::LiveGraph live(rdf::LiveGraph::Alias(&kg_->graph().store));
+  ServeContext::Bindings bindings = AllBindings();
+  bindings.live = &live;
+  ServeContext ctx(bindings);
+  QueryEngine engine(&ctx, EngineOptions{});
+  EXPECT_EQ(engine.ComputeHealth().live_graph.health, Health::kHealthy);
+
+  std::string json = engine.MetricsJson();
+  EXPECT_NE(json.find("\"live_graph\""), std::string::npos);
+  EXPECT_NE(json.find("\"publish_failures\""), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 // partial state — and a failed write never clobbers the previous file.
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -150,6 +152,40 @@ TEST(AtomicFileTest, AbandonedWriterRemovesTemp) {
   }
   EXPECT_FALSE(util::FileExists(path));
   EXPECT_FALSE(util::FileExists(path + ".tmp"));
+}
+
+TEST(AtomicFileTest, RemoveStaleTempsReclaimsCrashOrphans) {
+  std::string dir = ::testing::TempDir() + "/openbg_stale_temps";
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0) << dir;
+
+  // A failed commit (injected rename fault) cleans up after itself: the
+  // regression RemoveStaleTemps guards is ONLY the hard-crash case, where
+  // the process dies between write and rename and no destructor runs.
+  util::failpoints::Arm("atomic_file::rename");
+  EXPECT_FALSE(util::WriteFileAtomic(dir + "/delta.obgd", "doomed").ok());
+  util::failpoints::DisarmAll();
+  EXPECT_FALSE(util::FileExists(dir + "/delta.obgd.tmp"));
+
+  // Simulate that hard crash: orphaned temp files no writer owns, next to
+  // a real target file and a non-temp bystander.
+  ASSERT_TRUE(util::WriteFileAtomic(dir + "/delta.obgd", "live data").ok());
+  WriteWholeFile(dir + "/delta.obgd.tmp", "torn write");
+  WriteWholeFile(dir + "/other.tmp", "another orphan");
+  WriteWholeFile(dir + "/notes.txt", "not a temp");
+
+  EXPECT_EQ(util::RemoveStaleTemps(dir), 2u);
+  EXPECT_FALSE(util::FileExists(dir + "/delta.obgd.tmp"));
+  EXPECT_FALSE(util::FileExists(dir + "/other.tmp"));
+  EXPECT_EQ(ReadWholeFile(dir + "/delta.obgd"), "live data");
+  EXPECT_EQ(ReadWholeFile(dir + "/notes.txt"), "not a temp");
+
+  // Idempotent, and a missing directory is a no-op, not an error.
+  EXPECT_EQ(util::RemoveStaleTemps(dir), 0u);
+  EXPECT_EQ(util::RemoveStaleTemps(dir + "/does_not_exist"), 0u);
+
+  std::remove((dir + "/delta.obgd").c_str());
+  std::remove((dir + "/notes.txt").c_str());
+  ::rmdir(dir.c_str());
 }
 
 // ------------------------------------------------------------ KG snapshot

@@ -10,7 +10,11 @@
 
 #include "util/parse.h"
 
+#include "util/circuit_breaker.h"
+#include "util/clock.h"
+#include "util/fault_injection.h"
 #include "util/histogram.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -628,6 +632,347 @@ TEST(ParallelForTest, ShardExceptionPropagatesAndPoolSurvives) {
     total.fetch_add(end - begin);
   });
   EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(FakeClockTest, SleepAdvancesInsteadOfStalling) {
+  FakeClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  clock.SleepFor(50);
+  EXPECT_EQ(clock.NowMicros(), 150u);
+  clock.Advance(10);
+  EXPECT_EQ(clock.NowMicros(), 160u);
+}
+
+TEST(RetryPolicyTest, FirstTrySuccessDoesNotSleep) {
+  FakeClock clock;
+  RetryOptions opts;
+  opts.clock = &clock;
+  RetryPolicy policy(opts);
+  RetryPolicy::Outcome out = policy.Run([] { return Status::OK(); });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.backoff_us, 0u);
+  EXPECT_EQ(clock.NowMicros(), 0u);
+}
+
+TEST(RetryPolicyTest, TransientFaultIsAbsorbedWithExponentialBackoff) {
+  FakeClock clock;
+  RetryOptions opts;
+  opts.max_attempts = 5;
+  opts.initial_backoff_us = 200;
+  opts.multiplier = 2.0;
+  opts.jitter = false;  // exact backoff sequence: 200, 400
+  opts.clock = &clock;
+  RetryPolicy policy(opts);
+  int calls = 0;
+  RetryPolicy::Outcome out = policy.Run([&calls] {
+    return ++calls <= 2 ? Status::IoError("transient") : Status::OK();
+  });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(out.backoff_us, 600u);
+  EXPECT_EQ(clock.NowMicros(), 600u);  // slept exactly the backoff
+}
+
+TEST(RetryPolicyTest, NonRetryableStatusStopsImmediately) {
+  FakeClock clock;
+  RetryOptions opts;
+  opts.clock = &clock;
+  RetryPolicy policy(opts);
+  int calls = 0;
+  RetryPolicy::Outcome out = policy.Run([&calls] {
+    ++calls;
+    return Status::InvalidArgument("terminal");
+  });
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.NowMicros(), 0u);  // no backoff for a terminal error
+}
+
+TEST(RetryPolicyTest, AttemptBudgetExhaustsWithLastStatus) {
+  FakeClock clock;
+  RetryOptions opts;
+  opts.max_attempts = 3;
+  opts.jitter = false;
+  opts.clock = &clock;
+  RetryPolicy policy(opts);
+  int calls = 0;
+  RetryPolicy::Outcome out = policy.Run([&calls] {
+    ++calls;
+    return Status::IoError(StrFormat("fault %d", calls));
+  });
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(out.status.ToString(), "IoError: fault 3");
+}
+
+TEST(RetryPolicyTest, WallClockBudgetStopsRetrying) {
+  FakeClock clock;
+  RetryOptions opts;
+  opts.max_attempts = 100;
+  opts.initial_backoff_us = 200;
+  opts.total_budget_us = 500;
+  opts.jitter = false;
+  opts.clock = &clock;
+  RetryPolicy policy(opts);
+  int calls = 0;
+  RetryPolicy::Outcome out = policy.Run([&calls] {
+    ++calls;
+    return Status::IoError("never heals");
+  });
+  EXPECT_FALSE(out.ok());
+  // Far fewer than 100 attempts: the 500us budget (with 200us+ backoffs)
+  // admits only the first few. Sleeps never overshoot the budget.
+  EXPECT_LT(calls, 5);
+  EXPECT_EQ(out.attempts, calls);
+  EXPECT_LE(clock.NowMicros(), 500u);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeed) {
+  RetryOptions opts;
+  opts.max_attempts = 6;
+  opts.jitter = true;
+  opts.seed = 1234;
+  auto always_fail = [] { return Status::IoError("x"); };
+  FakeClock c1, c2;
+  RetryOptions o1 = opts, o2 = opts;
+  o1.clock = &c1;
+  o2.clock = &c2;
+  RetryPolicy::Outcome a = RetryPolicy(o1).Run(always_fail);
+  RetryPolicy::Outcome b = RetryPolicy(o2).Run(always_fail);
+  EXPECT_EQ(a.backoff_us, b.backoff_us);
+  EXPECT_GT(a.backoff_us, 0u);
+  RetryOptions o3 = opts;
+  o3.seed = 99;
+  FakeClock c3;
+  o3.clock = &c3;
+  RetryPolicy::Outcome c = RetryPolicy(o3).Run(always_fail);
+  EXPECT_NE(a.backoff_us, c.backoff_us);  // different stream
+}
+
+TEST(RetryPolicyTest, CustomRetryablePredicateWins) {
+  FakeClock clock;
+  RetryOptions opts;
+  opts.max_attempts = 3;
+  opts.jitter = false;
+  opts.clock = &clock;
+  RetryPolicy policy(opts);
+  int calls = 0;
+  // NotFound is not retryable by default; the custom predicate makes it so.
+  RetryPolicy::Outcome out = policy.Run(
+      [&calls] {
+        return ++calls < 3 ? Status::NotFound("eventually appears")
+                           : Status::OK();
+      },
+      [](const Status& s) { return s.code() == StatusCode::kNotFound; });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.attempts, 3);
+}
+
+TEST(CircuitBreakerTest, StaysClosedOnSuccesses) {
+  CircuitBreaker breaker;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(breaker.Allow());
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ZeroThresholdDoesNotTripOnPureSuccesses) {
+  // Regression: threshold 0.0 must mean "trip on ANY failure", not "trip
+  // on 0 failures >= 0".
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 0.0;
+  opts.min_samples = 4;
+  CircuitBreaker breaker(opts);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(breaker.Allow());
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, TripsAtFailureThresholdAfterMinSamples) {
+  FakeClock clock;
+  CircuitBreakerOptions opts;
+  opts.window = 8;
+  opts.min_samples = 4;
+  opts.failure_threshold = 0.5;
+  opts.clock = &clock;
+  CircuitBreaker breaker(opts);
+  // Three failures: below min_samples, must not trip yet.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();  // 4 of 4 failed >= 50%
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.stats().opens, 1u);
+  EXPECT_GE(breaker.stats().rejected, 1u);
+}
+
+TEST(CircuitBreakerTest, CooldownProbesThenRecloses) {
+  FakeClock clock;
+  CircuitBreakerOptions opts;
+  opts.window = 8;
+  opts.min_samples = 2;
+  opts.failure_threshold = 0.5;
+  opts.open_cooldown_us = 1000;
+  opts.half_open_probes = 2;
+  opts.clock = &clock;
+  CircuitBreaker breaker(opts);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());  // cooldown still running
+  clock.Advance(1000);
+  EXPECT_TRUE(breaker.Allow());  // first probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow());   // second probe
+  EXPECT_FALSE(breaker.Allow());  // probe quota reached
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().closes, 1u);
+  // The window was blanked on open: one new failure (below min_samples)
+  // must not immediately re-trip the fresh close.
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsCooldown) {
+  FakeClock clock;
+  CircuitBreakerOptions opts;
+  opts.min_samples = 2;
+  opts.open_cooldown_us = 1000;
+  opts.clock = &clock;
+  CircuitBreaker breaker(opts);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  clock.Advance(1000);
+  ASSERT_TRUE(breaker.Allow());  // probe
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.stats().opens, 2u);
+  EXPECT_FALSE(breaker.Allow());  // new cooldown
+}
+
+TEST(CircuitBreakerTest, RecordCancelReleasesProbeSlot) {
+  FakeClock clock;
+  CircuitBreakerOptions opts;
+  opts.min_samples = 2;
+  opts.open_cooldown_us = 100;
+  opts.half_open_probes = 1;
+  opts.clock = &clock;
+  CircuitBreaker breaker(opts);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  clock.Advance(100);
+  ASSERT_TRUE(breaker.Allow());   // the only probe slot
+  EXPECT_FALSE(breaker.Allow());  // quota reached
+  breaker.RecordCancel();         // probe abandoned (e.g. deadline expiry)
+  EXPECT_TRUE(breaker.Allow());   // slot released: next caller probes
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().cancels, 1u);
+}
+
+class FailpointSpecTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoints::DisarmAll(); }
+};
+
+TEST_F(FailpointSpecTest, FireCountHealsTheSite) {
+  failpoints::FailpointSpec spec;
+  spec.fire_count = 1;  // one transient fault, then healed
+  failpoints::ArmSpec("test::heal", spec);
+  EXPECT_TRUE(failpoints::Triggered("test::heal"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(failpoints::Triggered("test::heal")) << "hit " << i;
+  }
+  EXPECT_EQ(failpoints::FireCount("test::heal"), 1u);
+}
+
+TEST_F(FailpointSpecTest, SucceedFirstWindowThenFires) {
+  failpoints::FailpointSpec spec;
+  spec.succeed_first = 2;
+  failpoints::ArmSpec("test::window", spec);
+  EXPECT_FALSE(failpoints::Triggered("test::window"));
+  EXPECT_FALSE(failpoints::Triggered("test::window"));
+  EXPECT_TRUE(failpoints::Triggered("test::window"));
+  EXPECT_TRUE(failpoints::Triggered("test::window"));
+}
+
+TEST_F(FailpointSpecTest, ProbabilisticFiringIsSeedDeterministic) {
+  failpoints::FailpointSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 42;
+  failpoints::ArmSpec("test::prob", spec);
+  std::vector<bool> first;
+  for (int i = 0; i < 200; ++i) first.push_back(failpoints::Triggered("test::prob"));
+  failpoints::ArmSpec("test::prob", spec);  // re-arm resets the hit counter
+  std::vector<bool> second;
+  for (int i = 0; i < 200; ++i) second.push_back(failpoints::Triggered("test::prob"));
+  EXPECT_EQ(first, second);
+  size_t fired = static_cast<size_t>(std::count(first.begin(), first.end(), true));
+  // Loose bounds: p=0.5 over 200 hits lands well inside [60, 140].
+  EXPECT_GT(fired, 60u);
+  EXPECT_LT(fired, 140u);
+  failpoints::FailpointSpec other = spec;
+  other.seed = 43;
+  failpoints::ArmSpec("test::prob", other);
+  std::vector<bool> third;
+  for (int i = 0; i < 200; ++i) third.push_back(failpoints::Triggered("test::prob"));
+  EXPECT_NE(first, third);  // a different seed decides differently
+}
+
+TEST_F(FailpointSpecTest, KindSelectionCoversRange) {
+  failpoints::FailpointSpec spec;
+  spec.num_kinds = 3;
+  spec.seed = 7;
+  failpoints::ArmSpec("test::kinds", spec);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    int kind = failpoints::TriggeredKind("test::kinds");
+    ASSERT_GE(kind, 0);  // probability 1: every hit fires
+    ASSERT_LT(kind, 3);
+    seen.insert(kind);
+  }
+  EXPECT_EQ(seen.size(), 3u) << "200 draws should cover all 3 kinds";
+}
+
+TEST_F(FailpointSpecTest, RetryPolicyAbsorbsTransientFailpoint) {
+  // The composition the serving layer relies on: a fire_count=1 fault plus
+  // a 3-attempt policy means the caller never sees the error.
+  failpoints::FailpointSpec spec;
+  spec.fire_count = 1;
+  failpoints::ArmSpec("test::transient", spec);
+  FakeClock clock;
+  RetryOptions opts;
+  opts.clock = &clock;
+  RetryPolicy policy(opts);
+  RetryPolicy::Outcome out = policy.Run([] {
+    return failpoints::Triggered("test::transient")
+               ? Status::IoError("injected")
+               : Status::OK();
+  });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.attempts, 2);
 }
 
 }  // namespace
