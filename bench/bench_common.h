@@ -31,6 +31,12 @@ namespace openbg::bench {
 ///                         limit)
 ///   --checkpoint-dir <d>  write/resume per-model trainer checkpoints
 ///                         under this directory (empty = disabled)
+///   --ann <0|1>           rank with the IVF+int8 ANN path (src/ann) for
+///                         models that expose a tail-scan spec; others
+///                         fall back to the exact scan
+///   --ann-nprobe <n>      clusters probed per ANN query (>= num_clusters
+///                         degenerates to exact)
+///   --ann-clusters <n>    IVF cluster count (0 = auto ~sqrt(E))
 /// Defaults give a ~1/1000-of-paper world that runs each bench in minutes
 /// on one core.
 struct BenchArgs {
@@ -42,6 +48,9 @@ struct BenchArgs {
   kge::TrainMode train_mode = kge::TrainMode::kHogwild;
   util::ParseOptions parse;
   std::string checkpoint_dir;
+  bool ann = false;
+  size_t ann_nprobe = 8;
+  size_t ann_clusters = 0;
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -68,6 +77,12 @@ struct BenchArgs {
         args.parse.max_errors = static_cast<size_t>(std::atoll(argv[i + 1]));
       } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
         args.checkpoint_dir = argv[i + 1];
+      } else if (std::strcmp(argv[i], "--ann") == 0) {
+        args.ann = std::atoi(argv[i + 1]) != 0;
+      } else if (std::strcmp(argv[i], "--ann-nprobe") == 0) {
+        args.ann_nprobe = static_cast<size_t>(std::atoll(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "--ann-clusters") == 0) {
+        args.ann_clusters = static_cast<size_t>(std::atoll(argv[i + 1]));
       }
     }
     return args;

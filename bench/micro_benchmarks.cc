@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
+#include "ann/quantizer.h"
 #include "crf/crf.h"
 #include "kge/bilinear_models.h"
 #include "kge/evaluator.h"
@@ -14,6 +18,7 @@
 #include "nn/simd.h"
 #include "rdf/graph.h"
 #include "rdf/snapshot.h"
+#include "serve/types.h"
 #include "text/fuzzy.h"
 #include "text/trie.h"
 #include "util/logging.h"
@@ -295,6 +300,116 @@ void BM_ScoreTailsDistMult(benchmark::State& state, const char* kernel) {
 }
 BENCHMARK_CAPTURE(BM_ScoreTailsDistMult, scalar, "scalar");
 BENCHMARK_CAPTURE(BM_ScoreTailsDistMult, dispatched, "auto");
+
+// Quantized row scans — the ANN cluster-scan inner loop (PR 8). Same
+// 20000 x 128 table as the float ScoreTails benches above, so the
+// ScoreTails-vs-ScanI8 ratio at equal backend is the raw int8 win before
+// IVF pruning multiplies it.
+void BM_ScanDotI8(benchmark::State& state, const char* kernel) {
+  static const auto* fixture = [] {
+    struct Fixture {
+      ann::QuantizedMatrix qm;
+      std::vector<int8_t> q;
+      float q_scale;
+    };
+    auto* f = new Fixture();
+    util::Rng rng(59);
+    nn::Matrix m(kScoreEntities, kScoreDim);
+    m.InitUniform(&rng, 1.0f);
+    f->qm.Build(m);
+    std::vector<float> query(kScoreDim);
+    for (float& x : query) x = static_cast<float>(rng.UniformDouble());
+    f->q.resize(kScoreDim);
+    f->q_scale = ann::QuantizeRowInt8(query.data(), kScoreDim, f->q.data());
+    return f;
+  }();
+  nn::simd::ForceKernel(kernel);
+  std::vector<float> out(kScoreEntities);
+  for (auto _ : state) {
+    nn::simd::Active().scan_dot_i8(fixture->q.data(), fixture->q_scale,
+                                   fixture->qm.data(), fixture->qm.scales(),
+                                   kScoreEntities, kScoreDim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  nn::simd::ForceKernel("auto");
+  state.SetItemsProcessed(state.iterations() * kScoreEntities);
+}
+BENCHMARK_CAPTURE(BM_ScanDotI8, scalar, "scalar");
+BENCHMARK_CAPTURE(BM_ScanDotI8, dispatched, "auto");
+
+void BM_ScanL1I8(benchmark::State& state, const char* kernel) {
+  static const auto* fixture = [] {
+    struct Fixture {
+      ann::QuantizedMatrix qm;
+      std::vector<float> q;
+    };
+    auto* f = new Fixture();
+    util::Rng rng(61);
+    nn::Matrix m(kScoreEntities, kScoreDim);
+    m.InitUniform(&rng, 1.0f);
+    f->qm.Build(m);
+    f->q.resize(kScoreDim);
+    for (float& x : f->q) x = static_cast<float>(rng.UniformDouble());
+    return f;
+  }();
+  nn::simd::ForceKernel(kernel);
+  std::vector<float> out(kScoreEntities);
+  for (auto _ : state) {
+    nn::simd::Active().scan_l1_i8(fixture->q.data(), fixture->qm.data(),
+                                  fixture->qm.scales(), kScoreEntities,
+                                  kScoreDim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  nn::simd::ForceKernel("auto");
+  state.SetItemsProcessed(state.iterations() * kScoreEntities);
+}
+BENCHMARK_CAPTURE(BM_ScanL1I8, scalar, "scalar");
+BENCHMARK_CAPTURE(BM_ScanL1I8, dispatched, "auto");
+
+// Completion of a 100-way coalesced LinkPredictTopK group (PR 8's drain
+// fix). Before: every request sliced its own k-prefix from the selected
+// candidates AND built its own cache copy — O(reqs) allocations of up to
+// k_max entries each. After (what serve/engine.cc does now): one shared
+// prefix payload per *distinct* k (few), built once, cache-inserted by
+// pointer, copy-assigned per response.
+void BM_TopKGroupCompletion(benchmark::State& state, bool shared_prefix) {
+  constexpr size_t kMaxK = 64, kReqs = 100;
+  std::vector<serve::ScoredEntity> cands(kMaxK);
+  for (size_t i = 0; i < kMaxK; ++i) {
+    cands[i] = {static_cast<uint32_t>(i * 7), 1.0f / (1.0f + i)};
+  }
+  // The serving mix: most clients ask k=10, a few ask deeper.
+  std::vector<size_t> ks(kReqs);
+  for (size_t i = 0; i < kReqs; ++i) {
+    ks[i] = i % 10 == 0 ? kMaxK : (i % 10 == 1 ? 25 : 10);
+  }
+  std::vector<serve::Response> resps(kReqs);
+  for (auto _ : state) {
+    if (shared_prefix) {
+      std::map<size_t, std::shared_ptr<serve::ResultPayload>> by_k;
+      for (size_t i = 0; i < kReqs; ++i) {
+        std::shared_ptr<serve::ResultPayload>& shared = by_k[ks[i]];
+        if (shared == nullptr) {
+          shared = std::make_shared<serve::ResultPayload>();
+          shared->topk.assign(cands.begin(), cands.begin() + ks[i]);
+        }
+        benchmark::DoNotOptimize(shared.get());  // stands in: cache Insert
+        resps[i].payload = *shared;
+      }
+    } else {
+      for (size_t i = 0; i < kReqs; ++i) {
+        resps[i].payload.topk.assign(cands.begin(), cands.begin() + ks[i]);
+        auto owned =
+            std::make_shared<serve::ResultPayload>(resps[i].payload);
+        benchmark::DoNotOptimize(owned.get());
+      }
+    }
+    benchmark::DoNotOptimize(resps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kReqs);
+}
+BENCHMARK_CAPTURE(BM_TopKGroupCompletion, per_request_slice, false);
+BENCHMARK_CAPTURE(BM_TopKGroupCompletion, shared_prefix, true);
 
 // KGE trainer throughput at 1/2/4 threads under both parallel strategies.
 // Args: {num_threads, deterministic?}. Items processed = training triples,

@@ -6,8 +6,16 @@
 // JSON shows both the micro-batching scaling curve and what the cache buys
 // on a skewed (Zipf s=1.1) key distribution.
 //
+// The `ann` scenario (PR 8) sizes a synthetic Gaussian-mixture TransE with
+// --entities/--dim, then measures uncached LinkPredictTopK throughput of
+// the exact full-scan engine vs the IVF+int8 engine (--ann-clusters /
+// --ann-nprobe), recall@10 of the ANN responses against the exact ones,
+// the probed-cluster fraction, and the index build time.
+//
 // Usage: serving_load [--scale f] [--products n] [--seed n]
 //                     [--clients n] [--requests n] [--out path]
+//                     [--entities n] [--dim n]
+//                     [--ann-clusters n] [--ann-nprobe n]
 // Writes BENCH_serving.json (schema mirrors the other BENCH_*.json files).
 
 #include <cstdio>
@@ -17,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "ann/ivf_index.h"
 #include "bench/bench_common.h"
 #include "kge/trans_models.h"
 #include "rdf/live_graph.h"
@@ -34,6 +43,8 @@ struct LoadArgs {
   bench::BenchArgs base;
   size_t clients = 8;           // closed-loop client threads
   size_t requests_per_client = 2000;
+  size_t entities = 40000;      // ann scenario: synthetic entity count
+  size_t dim = 64;              // ann scenario: embedding width
   std::string out = "BENCH_serving.json";
 };
 
@@ -42,6 +53,7 @@ LoadArgs ParseLoadArgs(int argc, char** argv) {
   args.base = bench::BenchArgs::Parse(argc, argv);
   args.base.scale = 0.25;
   args.base.products = 1500;
+  args.base.ann_clusters = 128;  // ann scenario default; 0 would mean auto
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--scale") == 0) {
       args.base.scale = std::atof(argv[i + 1]);
@@ -51,6 +63,10 @@ LoadArgs ParseLoadArgs(int argc, char** argv) {
       args.clients = static_cast<size_t>(std::atoll(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--requests") == 0) {
       args.requests_per_client = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--entities") == 0) {
+      args.entities = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--dim") == 0) {
+      args.dim = static_cast<size_t>(std::atoll(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--out") == 0) {
       args.out = argv[i + 1];
     }
@@ -321,6 +337,136 @@ DegradedWindowResult RunDegradedWindow(
   return r;
 }
 
+/// The ANN scenario: a synthetic TransE sized by --entities/--dim whose
+/// entity table is a Gaussian mixture (trained product embeddings cluster
+/// by category; the mixture stands in for that structure, and is what IVF
+/// exploits). Two cache-off engines answer the same uncached
+/// LinkPredictTopK stream — one exact, one through the IVF+int8 index —
+/// and we report the throughput ratio, recall@10 of the ANN responses
+/// against the exact ones, the probed-cluster fraction, and the index
+/// build time.
+struct AnnScenarioResult {
+  size_t entities = 0;
+  size_t dim = 0;
+  size_t clusters = 0;
+  size_t nprobe = 0;
+  double build_s = 0.0;
+  size_t index_bytes = 0;
+  double exact_qps = 0.0;
+  double ann_qps = 0.0;
+  double speedup = 0.0;
+  double recall_at_10 = 0.0;
+  double probed_fraction = 0.0;
+};
+
+AnnScenarioResult RunAnnScenario(const LoadArgs& args) {
+  const size_t E = args.entities;
+  const size_t D = args.dim;
+  const size_t R = 16;
+  util::Rng rng(args.base.seed + 0xA55);
+  kge::TransE model(E, R, D, 1.0f, &rng);
+
+  // Overwrite the random init with a mixture: 96 centers on the unit-ish
+  // sphere, per-entity jitter well inside the inter-center distance.
+  const size_t kCenters = 96;
+  std::vector<float> centers(kCenters * D);
+  for (float& c : centers) c = static_cast<float>(rng.Normal(0.0, 1.0));
+  for (uint32_t e = 0; e < E; ++e) {
+    const float* c = &centers[(e % kCenters) * D];
+    float* row = model.entities().Row(e);
+    for (size_t d = 0; d < D; ++d) {
+      row[d] = c[d] + static_cast<float>(rng.Normal(0.0, 0.08));
+    }
+  }
+  for (uint32_t r = 0; r < R; ++r) {
+    float* row = model.relations().Row(r);
+    for (size_t d = 0; d < D; ++d) {
+      row[d] = static_cast<float>(rng.Normal(0.0, 0.05));
+    }
+  }
+
+  AnnScenarioResult res;
+  res.entities = E;
+  res.dim = D;
+  res.nprobe = args.base.ann_nprobe;
+
+  ann::IvfOptions iopts;
+  iopts.num_clusters = args.base.ann_clusters;
+  iopts.nprobe = args.base.ann_nprobe;
+  util::Timer build_timer;
+  std::shared_ptr<const ann::TailIndex> probe_index =
+      ann::TailIndex::Build(&model, iopts);
+  res.build_s = build_timer.Seconds();
+  res.clusters = probe_index->num_clusters();
+  res.index_bytes = probe_index->memory_bytes();
+
+  serve::ServeContext::Bindings exact_b;
+  exact_b.model = &model;
+  serve::ServeContext exact_ctx(exact_b);
+  serve::ServeContext::Bindings ann_b = exact_b;
+  ann_b.ann_enabled = true;
+  ann_b.ann = iopts;
+  serve::ServeContext ann_ctx(ann_b);
+
+  serve::EngineOptions eopts;
+  eopts.num_threads = 1;
+  eopts.cache_enabled = false;  // uncached: every query scores
+  serve::QueryEngine exact_engine(&exact_ctx, eopts);
+  serve::QueryEngine ann_engine(&ann_ctx, eopts);
+
+  // A fixed uncached query stream: unique-ish uniform (h, r) pairs so no
+  // coalescing or caching flatters either engine.
+  const size_t kQueries = 1500;
+  std::vector<std::pair<uint32_t, uint32_t>> queries(kQueries);
+  for (auto& q : queries) {
+    q.first = static_cast<uint32_t>(rng.Uniform(E));
+    q.second = static_cast<uint32_t>(rng.Uniform(R));
+  }
+
+  // Recall@10 first (also warms both engines' code paths).
+  const size_t kRecallQueries = 400;
+  double recall_sum = 0.0;
+  size_t recall_n = 0;
+  for (size_t i = 0; i < kRecallQueries; ++i) {
+    const auto& [h, r] = queries[i];
+    serve::Response ex = exact_engine.LinkPredictTopK(h, r, 10);
+    serve::Response ap = ann_engine.LinkPredictTopK(h, r, 10);
+    if (!ex.ok() || !ap.ok() || ex.payload.topk.empty()) continue;
+    size_t hit = 0;
+    for (const serve::ScoredEntity& g : ex.payload.topk) {
+      for (const serve::ScoredEntity& a : ap.payload.topk) {
+        if (a.id == g.id) { ++hit; break; }
+      }
+    }
+    recall_sum += static_cast<double>(hit) /
+                  static_cast<double>(ex.payload.topk.size());
+    ++recall_n;
+  }
+  res.recall_at_10 = recall_n > 0 ? recall_sum / recall_n : 0.0;
+
+  auto time_engine = [&](serve::QueryEngine* engine) {
+    util::Timer t;
+    size_t ok = 0;
+    for (const auto& [h, r] : queries) {
+      if (engine->LinkPredictTopK(h, r, 10).ok()) ++ok;
+    }
+    double s = t.Seconds();
+    return s > 0 ? static_cast<double>(ok) / s : 0.0;
+  };
+  res.exact_qps = time_engine(&exact_engine);
+  res.ann_qps = time_engine(&ann_engine);
+  res.speedup = res.exact_qps > 0 ? res.ann_qps / res.exact_qps : 0.0;
+
+  serve::QueryEngine::AnnStats st = ann_engine.ann_stats();
+  res.probed_fraction =
+      st.queries > 0 && res.clusters > 0
+          ? static_cast<double>(st.probed_clusters) /
+                (static_cast<double>(st.queries) *
+                 static_cast<double>(res.clusters))
+          : 0.0;
+  return res;
+}
+
 int Main(int argc, char** argv) {
   LoadArgs args = ParseLoadArgs(argc, argv);
   bench::PrintHeader("Serving-layer load test (micro-batched query engine)",
@@ -396,6 +542,16 @@ int Main(int argc, char** argv) {
       dw.degraded_hit_rate * 100.0, dw.degraded_p99_us, dw.degraded_served,
       dw.degraded_fast_fails, dw.recovery_ms);
 
+  std::printf("\nann scenario (IVF+int8 vs exact scan, uncached top-10)\n");
+  AnnScenarioResult an = RunAnnScenario(args);
+  std::printf(
+      "%zu entities x %zud | %zu clusters, nprobe %zu, build %.2fs, "
+      "index %.1f MiB\nexact %.0f qps | ann %.0f qps (%.1fx) | recall@10 "
+      "%.4f | probed %.1f%% of clusters\n",
+      an.entities, an.dim, an.clusters, an.nprobe, an.build_s,
+      static_cast<double>(an.index_bytes) / (1024.0 * 1024.0), an.exact_qps,
+      an.ann_qps, an.speedup, an.recall_at_10, an.probed_fraction * 100.0);
+
   std::string json = "{\n  \"bench\": \"serving_load\",\n";
   json += util::StrFormat("  \"clients\": %zu,\n", args.clients);
   json += util::StrFormat("  \"requests_per_client\": %zu,\n",
@@ -424,10 +580,18 @@ int Main(int argc, char** argv) {
       "  \"degraded_window\": {\"healthy_hit_rate\": %.4f, "
       "\"healthy_p99_us\": %.1f, \"degraded_hit_rate\": %.4f, "
       "\"degraded_p99_us\": %.1f, \"degraded_served\": %zu, "
-      "\"degraded_fast_fails\": %zu, \"breaker_reclose_ms\": %.2f}\n",
+      "\"degraded_fast_fails\": %zu, \"breaker_reclose_ms\": %.2f},\n",
       dw.healthy_hit_rate, dw.healthy_p99_us, dw.degraded_hit_rate,
       dw.degraded_p99_us, dw.degraded_served, dw.degraded_fast_fails,
       dw.recovery_ms);
+  json += util::StrFormat(
+      "  \"ann\": {\"entities\": %zu, \"dim\": %zu, \"clusters\": %zu, "
+      "\"nprobe\": %zu, \"build_seconds\": %.3f, \"index_bytes\": %zu, "
+      "\"exact_qps\": %.1f, \"ann_qps\": %.1f, \"speedup\": %.2f, "
+      "\"recall_at_10\": %.4f, \"probed_cluster_fraction\": %.4f}\n",
+      an.entities, an.dim, an.clusters, an.nprobe, an.build_s,
+      an.index_bytes, an.exact_qps, an.ann_qps, an.speedup, an.recall_at_10,
+      an.probed_fraction);
   json += "}\n";
 
   FILE* f = std::fopen(args.out.c_str(), "w");

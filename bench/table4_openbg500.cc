@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace openbg;
   bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::LpAnnOptions ann{args.ann, args.ann_nprobe, args.ann_clusters};
   bench::PrintHeader("Table IV — link prediction on OpenBG500 / OpenBG500-L",
                      "Table IV");
 
@@ -39,12 +40,12 @@ int main(int argc, char** argv) {
       bench::RunLpBaseline(baseline, ds, kEvalCap,
                            baseline.paper_name != "GenKGC", args.threads,
                            args.checkpoint_dir, args.train_threads,
-                           args.train_mode);
+                           args.train_mode, ann);
     }
     bench::RunLpBaseline(bench::GenKgcBaseline(32), ds, kEvalCap,
                          /*print_mr=*/false, args.threads,
                          args.checkpoint_dir, args.train_threads,
-                           args.train_mode);
+                         args.train_mode, ann);
   }
 
   // --- OpenBG500-L: a larger world, denser sampling, cheap baselines only.
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
       }
       bench::RunLpBaseline(baseline, ds, kEvalCap, /*print_mr=*/true,
                            args.threads, args.checkpoint_dir, args.train_threads,
-                           args.train_mode);
+                           args.train_mode, ann);
     }
   }
 

@@ -32,4 +32,7 @@ for seed in 101 202 303 404 505; do
   OPENBG_CHAOS_SEED="${seed}" ./build-tsan/tests/chaos_test
 done
 
+echo "==> ANN recall gate (recall@10 >= 0.99 at the pruned operating point)"
+./build/tests/ann_test --gtest_filter='AnnRecallGate.*'
+
 echo "==> all checks passed"

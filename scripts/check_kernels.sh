@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Build the SIMD kernel parity suite and run it under both OPENBG_KERNEL
+# Build the SIMD kernel parity suites and run them under both OPENBG_KERNEL
 # settings: "scalar" (forces the bit-exact reference backend everywhere)
 # and "auto" (runtime dispatch picks the best backend the CPU supports).
 # Both must pass on any machine — on CPUs without a vector backend the two
-# runs coincide, which is itself the property we want checked.
+# runs coincide, which is itself the property we want checked. ann_test
+# rides along because the ANN determinism guarantees (full-probe byte
+# identity, bitwise int8 scan parity) must hold under every backend.
 # Usage: scripts/check_kernels.sh [extra ctest args...]
 set -euo pipefail
 
@@ -12,10 +14,10 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target simd_test kge_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target simd_test kge_test ann_test
 
 for kernel in scalar auto; do
   echo "=== OPENBG_KERNEL=$kernel ==="
   OPENBG_KERNEL="$kernel" ctest --test-dir "$BUILD_DIR" \
-    -R 'simd_test|kge_test' --output-on-failure "$@"
+    -R 'simd_test|kge_test|ann_test' --output-on-failure "$@"
 done

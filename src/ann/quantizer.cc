@@ -1,0 +1,50 @@
+#include "ann/quantizer.h"
+
+#include <cmath>
+
+namespace openbg::ann {
+
+float QuantizeRowInt8(const float* src, size_t dim, int8_t* dst) {
+  float maxabs = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    float a = std::fabs(src[i]);
+    if (a > maxabs) maxabs = a;
+  }
+  if (maxabs == 0.0f) {
+    for (size_t i = 0; i < dim; ++i) dst[i] = 0;
+    return 0.0f;
+  }
+  const float scale = maxabs / 127.0f;
+  const float inv = 127.0f / maxabs;
+  for (size_t i = 0; i < dim; ++i) {
+    long q = std::lroundf(src[i] * inv);
+    if (q > 127) q = 127;
+    if (q < -127) q = -127;
+    dst[i] = static_cast<int8_t>(q);
+  }
+  return scale;
+}
+
+void QuantizedMatrix::Build(const nn::Matrix& src) {
+  rows_ = src.rows();
+  dim_ = src.cols();
+  data_.resize(rows_ * dim_);
+  scales_.resize(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    scales_[r] = QuantizeRowInt8(src.Row(r), dim_, data_.data() + r * dim_);
+  }
+}
+
+void QuantizedMatrix::BuildPermuted(const nn::Matrix& src,
+                                    const std::vector<uint32_t>& order) {
+  rows_ = order.size();
+  dim_ = src.cols();
+  data_.resize(rows_ * dim_);
+  scales_.resize(rows_);
+  for (size_t p = 0; p < rows_; ++p) {
+    scales_[p] =
+        QuantizeRowInt8(src.Row(order[p]), dim_, data_.data() + p * dim_);
+  }
+}
+
+}  // namespace openbg::ann

@@ -1,0 +1,50 @@
+#ifndef OPENBG_ANN_QUANTIZER_H_
+#define OPENBG_ANN_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace openbg::ann {
+
+/// Symmetric per-row int8 quantization: scale = max|x| / 127, zero-point 0,
+/// q[i] = round(x[i] / scale) in [-127, 127]. Symmetric (no -128) so the
+/// dequant is one multiply and negation stays exact. Round-trip error per
+/// element is at most scale / 2. All-zero rows get scale 0 and all-zero
+/// codes. Returns the scale.
+float QuantizeRowInt8(const float* src, size_t dim, int8_t* dst);
+
+/// A packed int8 copy of (a permutation of) a float matrix with per-row
+/// scales — the storage the IVF index scans. Rows are stored in the order
+/// given at build time (cluster-major for the index), contiguous, so a
+/// cluster scan is one linear sweep.
+class QuantizedMatrix {
+ public:
+  /// Packs src rows in identity order.
+  void Build(const nn::Matrix& src);
+  /// Packs src rows in the given order: packed row p holds src row
+  /// order[p].
+  void BuildPermuted(const nn::Matrix& src, const std::vector<uint32_t>& order);
+
+  const int8_t* Row(size_t packed) const { return data_.data() + packed * dim_; }
+  const int8_t* data() const { return data_.data(); }
+  const float* scales() const { return scales_.data(); }
+  float scale(size_t packed) const { return scales_[packed]; }
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+  /// Bytes held (codes + scales) — for metrics/benchmarks.
+  size_t memory_bytes() const {
+    return data_.size() * sizeof(int8_t) + scales_.size() * sizeof(float);
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t dim_ = 0;
+  std::vector<int8_t> data_;
+  std::vector<float> scales_;
+};
+
+}  // namespace openbg::ann
+
+#endif  // OPENBG_ANN_QUANTIZER_H_

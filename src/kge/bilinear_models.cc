@@ -71,6 +71,20 @@ void DistMult::ScoreTails(uint32_t h, uint32_t r,
   nn::RowDots(ent_.matrix(), q.data(), dim_, out);
 }
 
+bool DistMult::GetTailScanSpec(TailScanSpec* spec) const {
+  spec->metric = TailScanSpec::Metric::kDot;
+  spec->table = &ent_.matrix();
+  return true;
+}
+
+void DistMult::TailScanQuery(uint32_t h, uint32_t r,
+                             std::vector<float>* q) const {
+  q->resize(dim_);
+  const float* hh = ent_.Row(h);
+  const float* rr = rel_.Row(r);
+  for (size_t i = 0; i < dim_; ++i) (*q)[i] = hh[i] * rr[i];
+}
+
 void DistMult::ScoreHeads(uint32_t r, uint32_t t,
                           std::vector<float>* out) const {
   // DistMult is symmetric in h/t given r.
@@ -162,6 +176,25 @@ void ComplEx::ScoreTails(uint32_t h, uint32_t r,
     q[dim_ + i] = rr[i] * hh[dim_ + i] + rr[dim_ + i] * hh[i];
   }
   nn::RowDots(ent_.matrix(), q.data(), 2 * dim_, out);
+}
+
+bool ComplEx::GetTailScanSpec(TailScanSpec* spec) const {
+  // Entity rows store [re | im], so the 2*dim_-wide query from ScoreTails
+  // makes every score a plain dot against the raw table.
+  spec->metric = TailScanSpec::Metric::kDot;
+  spec->table = &ent_.matrix();
+  return true;
+}
+
+void ComplEx::TailScanQuery(uint32_t h, uint32_t r,
+                            std::vector<float>* q) const {
+  q->resize(2 * dim_);
+  const float* hh = ent_.Row(h);
+  const float* rr = rel_.Row(r);
+  for (size_t i = 0; i < dim_; ++i) {
+    (*q)[i] = rr[i] * hh[i] - rr[dim_ + i] * hh[dim_ + i];
+    (*q)[dim_ + i] = rr[i] * hh[dim_ + i] + rr[dim_ + i] * hh[i];
+  }
 }
 
 void ComplEx::ScoreHeads(uint32_t r, uint32_t t,

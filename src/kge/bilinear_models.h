@@ -30,6 +30,9 @@ class DistMult : public KgeModel {
                     const std::vector<LpTriple>& neg, float lr,
                     GradSink* sink) override;
   void VisitParams(const ParamVisitor& fn) override;
+  bool GetTailScanSpec(TailScanSpec* spec) const override;
+  void TailScanQuery(uint32_t h, uint32_t r,
+                     std::vector<float>* q) const override;
 
  private:
   void EmitGrad(const LpTriple& t, float dscore, float lr, GradSink* sink);
@@ -59,6 +62,9 @@ class ComplEx : public KgeModel {
                     const std::vector<LpTriple>& neg, float lr,
                     GradSink* sink) override;
   void VisitParams(const ParamVisitor& fn) override;
+  bool GetTailScanSpec(TailScanSpec* spec) const override;
+  void TailScanQuery(uint32_t h, uint32_t r,
+                     std::vector<float>* q) const override;
 
  private:
   void EmitGrad(const LpTriple& t, float dscore, float lr, GradSink* sink);

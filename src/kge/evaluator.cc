@@ -111,7 +111,11 @@ RankingMetrics RankingEvaluator::EvaluateOn(
       for (size_t j = begin; j < end; ++j) {
         if (j < num_tail) {
           const Query& q = tail_queries[j];
-          model->ScoreTails(q.a, q.r, &scores);
+          if (options_.tail_scorer) {
+            options_.tail_scorer(*model, q.a, q.r, &scores);
+          } else {
+            model->ScoreTails(q.a, q.r, &scores);
+          }
           const auto& skip = SkipFor(true_tails_, PairKey(q.a, q.r));
           for (size_t i : q.triple_idx) {
             tail_ranks[i] =
@@ -142,7 +146,11 @@ RankingMetrics RankingEvaluator::EvaluateOn(
       std::vector<float> scores;
       for (size_t i = begin; i < end; ++i) {
         const LpTriple& t = triples[i];
-        model->ScoreTails(t.h, t.r, &scores);
+        if (options_.tail_scorer) {
+          options_.tail_scorer(*model, t.h, t.r, &scores);
+        } else {
+          model->ScoreTails(t.h, t.r, &scores);
+        }
         const auto& skip = SkipFor(true_tails_, PairKey(t.h, t.r));
         tail_ranks[i] = RankOf(scores.data(), scores.size(), t.t, skip);
         if (options_.both_directions) {

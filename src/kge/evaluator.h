@@ -1,6 +1,7 @@
 #ifndef OPENBG_KGE_EVALUATOR_H_
 #define OPENBG_KGE_EVALUATOR_H_
 
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -51,6 +52,16 @@ class RankingEvaluator {
     /// bitwise identical either way, at any thread count. Off = the
     /// per-triple reference path (kept for tests/benchmarks).
     bool query_batched = true;
+    /// Optional approximate tail scorer — the ANN evaluation path. When
+    /// set, tail scans call this instead of model->ScoreTails; it must
+    /// fill num_entities scores with unretrieved candidates at -inf (see
+    /// ann::TailIndex::ScoreTailsApprox, which this hook exists to wrap
+    /// without making kge depend on ann). Head queries always score
+    /// exactly. Metrics become approximate — a missed gold tail ranks
+    /// last, so misses only ever deflate reported numbers.
+    using TailScorer = std::function<void(const KgeModel&, uint32_t h,
+                                          uint32_t r, std::vector<float>*)>;
+    TailScorer tail_scorer;
   };
 
   /// The filter set is built from train+dev+test of `dataset`.

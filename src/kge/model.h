@@ -37,6 +37,21 @@ struct TrainCaps {
   bool deferred_grad = false;
 };
 
+/// How a model's ScoreTails reduces to a scan of one fixed entity-side
+/// table — the seam the ANN subsystem (src/ann) builds its quantized IVF
+/// index against. A model exposes this only when, for every tail t,
+///   ScoreTails(h, r)[t] == metric(query(h, r), table row t)
+/// with a query that depends on (h, r) alone. The table pointer aliases
+/// live model parameters: valid while the model is alive and not training.
+struct TailScanSpec {
+  enum class Metric {
+    kNegL1,  // score = -sum_i |q[i] - row[i]|
+    kDot,    // score = sum_i  q[i] * row[i]
+  };
+  Metric metric = Metric::kDot;
+  const nn::Matrix* table = nullptr;  // one row per entity; query width = cols
+};
+
 /// Base interface for every link-prediction baseline of Tables III/IV.
 ///
 /// Scoring convention: **higher score = more plausible triple** for all
@@ -122,6 +137,27 @@ class KgeModel {
   /// entirely (the trainer refuses to save or resume a checkpoint whose
   /// parameters it could not restore).
   virtual void VisitParams(const ParamVisitor& fn) { (void)fn; }
+
+  /// Fills `spec` and returns true when tail scoring is a fixed-table scan
+  /// (TransE, DistMult, ComplEx). Models whose candidate side is relation-
+  /// dependent (TransH/TransD projections, TuckER's core contraction) keep
+  /// the default `false` and always take the exact O(E) path.
+  virtual bool GetTailScanSpec(TailScanSpec* spec) const {
+    (void)spec;
+    return false;
+  }
+
+  /// Writes the scan query for (h, r): bit-identical arithmetic to the
+  /// query construction inside this model's ScoreTails, so an exact float
+  /// rescore through the spec's metric reproduces ScoreTails scores to the
+  /// byte. Only meaningful when GetTailScanSpec returned true; the default
+  /// clears `q`.
+  virtual void TailScanQuery(uint32_t h, uint32_t r,
+                             std::vector<float>* q) const {
+    (void)h;
+    (void)r;
+    q->clear();
+  }
 
   size_t num_entities() const { return num_entities_; }
   size_t num_relations() const { return num_relations_; }

@@ -58,6 +58,20 @@ void TransE::ScoreTails(uint32_t h, uint32_t r,
   }
 }
 
+bool TransE::GetTailScanSpec(TailScanSpec* spec) const {
+  spec->metric = TailScanSpec::Metric::kNegL1;
+  spec->table = &ent_.matrix();
+  return true;
+}
+
+void TransE::TailScanQuery(uint32_t h, uint32_t r,
+                           std::vector<float>* q) const {
+  q->resize(dim_);
+  const float* hh = ent_.Row(h);
+  const float* rr = rel_.Row(r);
+  for (size_t d = 0; d < dim_; ++d) (*q)[d] = hh[d] + rr[d];
+}
+
 void TransE::ScoreHeads(uint32_t r, uint32_t t,
                         std::vector<float>* out) const {
   out->resize(num_entities_);

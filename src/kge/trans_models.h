@@ -29,6 +29,9 @@ class TransE : public KgeModel {
                     const std::vector<LpTriple>& neg, float lr,
                     GradSink* sink) override;
   void VisitParams(const ParamVisitor& fn) override;
+  bool GetTailScanSpec(TailScanSpec* spec) const override;
+  void TailScanQuery(uint32_t h, uint32_t r,
+                     std::vector<float>* q) const override;
 
   EmbeddingTable& entities() { return ent_; }
   EmbeddingTable& relations() { return rel_; }

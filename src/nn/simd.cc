@@ -127,6 +127,43 @@ void Gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
   }
 }
 
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+}
+
+int32_t L1DistanceI8(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s += std::abs(static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]));
+  }
+  return s;
+}
+
+void ScanDotI8(const int8_t* q, float q_scale, const int8_t* rows,
+               const float* scales, size_t num_rows, size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = (q_scale * scales[r]) *
+             static_cast<float>(DotI8(q, rows + r * dim, dim));
+  }
+}
+
+void ScanL1I8(const float* q, const int8_t* rows, const float* scales,
+              size_t num_rows, size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    const int8_t* row = rows + r * dim;
+    const float s = scales[r];
+    float acc = 0.0f;
+    for (size_t i = 0; i < dim; ++i) {
+      acc += std::fabs(q[i] - s * static_cast<float>(row[i]));
+    }
+    out[r] = acc;
+  }
+}
+
 }  // namespace scalar
 
 // ----------------------------------------------------- shared gemm driver
@@ -422,6 +459,92 @@ void Gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
              c, ldc);
 }
 
+__attribute__((target("avx2"))) inline int32_t HsumI32(__m256i v) {
+  __m128i lo = _mm256_castsi256_si128(v);
+  __m128i hi = _mm256_extracti128_si256(v, 1);
+  lo = _mm_add_epi32(lo, hi);
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(1, 0, 3, 2)));
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(lo);
+}
+
+// int8 pairs widen to int16 (no overflow: |a*b| <= 127^2), madd_epi16 sums
+// adjacent pairs into exact int32 lanes.
+__attribute__((target("avx2")))
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i va = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    __m256i vb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  int32_t s = HsumI32(acc);
+  for (; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+}
+
+__attribute__((target("avx2")))
+int32_t L1DistanceI8(const int8_t* a, const int8_t* b, size_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i va = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    __m256i vb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    __m256i d = _mm256_abs_epi16(_mm256_sub_epi16(va, vb));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, ones));
+  }
+  int32_t s = HsumI32(acc);
+  for (; i < n; ++i) {
+    s += std::abs(static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]));
+  }
+  return s;
+}
+
+__attribute__((target("avx2,fma")))
+void ScanDotI8(const int8_t* q, float q_scale, const int8_t* rows,
+               const float* scales, size_t num_rows, size_t dim, float* out) {
+  // Same dequant expression as the scalar backend — the int32 accumulations
+  // are exact, so scan_dot_i8 is bit-identical across backends.
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = (q_scale * scales[r]) *
+             static_cast<float>(DotI8(q, rows + r * dim, dim));
+  }
+}
+
+__attribute__((target("avx2,fma")))
+void ScanL1I8(const float* q, const int8_t* rows, const float* scales,
+              size_t num_rows, size_t dim, float* out) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const int8_t* row = rows + r * dim;
+    const float sc = scales[r];
+    const __m256 vs = _mm256_set1_ps(sc);
+    __m256 acc = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= dim; i += 8) {
+      __m256i w = _mm256_cvtepi8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + i)));
+      __m256 rf = _mm256_cvtepi32_ps(w);
+      // q - scale*row, dequant fused into the fnmadd — never hits memory.
+      __m256 d = _mm256_fnmadd_ps(vs, rf, _mm256_loadu_ps(q + i));
+      acc = _mm256_add_ps(acc, _mm256_andnot_ps(sign_mask, d));
+    }
+    float s = Hsum(acc);
+    for (; i < dim; ++i) {
+      s += std::fabs(q[i] - sc * static_cast<float>(row[i]));
+    }
+    out[r] = s;
+  }
+}
+
 }  // namespace avx2
 
 #endif  // OPENBG_SIMD_X86
@@ -529,6 +652,69 @@ void Gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
              c, ldc);
 }
 
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    int16x8_t va = vmovl_s8(vld1_s8(a + i));
+    int16x8_t vb = vmovl_s8(vld1_s8(b + i));
+    acc = vmlal_s16(acc, vget_low_s16(va), vget_low_s16(vb));
+    acc = vmlal_s16(acc, vget_high_s16(va), vget_high_s16(vb));
+  }
+  int32_t s = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+}
+
+int32_t L1DistanceI8(const int8_t* a, const int8_t* b, size_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Widening absolute difference is exact (|a-b| <= 254 fits int16).
+    int16x8_t d = vabdl_s8(vld1_s8(a + i), vld1_s8(b + i));
+    acc = vpadalq_s16(acc, d);
+  }
+  int32_t s = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    s += std::abs(static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]));
+  }
+  return s;
+}
+
+void ScanDotI8(const int8_t* q, float q_scale, const int8_t* rows,
+               const float* scales, size_t num_rows, size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    out[r] = (q_scale * scales[r]) *
+             static_cast<float>(DotI8(q, rows + r * dim, dim));
+  }
+}
+
+void ScanL1I8(const float* q, const int8_t* rows, const float* scales,
+              size_t num_rows, size_t dim, float* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    const int8_t* row = rows + r * dim;
+    const float sc = scales[r];
+    float32x4_t acc = vdupq_n_f32(0.0f);
+    size_t i = 0;
+    for (; i + 8 <= dim; i += 8) {
+      int16x8_t w = vmovl_s8(vld1_s8(row + i));
+      float32x4_t f0 = vcvtq_f32_s32(vmovl_s16(vget_low_s16(w)));
+      float32x4_t f1 = vcvtq_f32_s32(vmovl_s16(vget_high_s16(w)));
+      float32x4_t d0 = vfmsq_n_f32(vld1q_f32(q + i), f0, sc);
+      float32x4_t d1 = vfmsq_n_f32(vld1q_f32(q + i + 4), f1, sc);
+      acc = vaddq_f32(acc, vabsq_f32(d0));
+      acc = vaddq_f32(acc, vabsq_f32(d1));
+    }
+    float s = Hsum(acc);
+    for (; i < dim; ++i) {
+      s += std::fabs(q[i] - sc * static_cast<float>(row[i]));
+    }
+    out[r] = s;
+  }
+}
+
 }  // namespace neon
 
 #endif  // OPENBG_SIMD_NEON
@@ -540,6 +726,8 @@ constexpr KernelTable kScalarTable = {
     scalar::Axpy,      scalar::Scale,
     scalar::L1Distance, scalar::L2DistanceSquared,
     scalar::Gemm,
+    scalar::DotI8,     scalar::L1DistanceI8,
+    scalar::ScanDotI8, scalar::ScanL1I8,
 };
 
 #if OPENBG_SIMD_X86
@@ -548,6 +736,8 @@ constexpr KernelTable kAvx2Table = {
     avx2::Axpy,       avx2::Scale,
     avx2::L1Distance, avx2::L2DistanceSquared,
     avx2::Gemm,
+    avx2::DotI8,      avx2::L1DistanceI8,
+    avx2::ScanDotI8,  avx2::ScanL1I8,
 };
 bool Avx2Supported() {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
@@ -560,6 +750,8 @@ constexpr KernelTable kNeonTable = {
     neon::Axpy,       neon::Scale,
     neon::L1Distance, neon::L2DistanceSquared,
     neon::Gemm,
+    neon::DotI8,      neon::L1DistanceI8,
+    neon::ScanDotI8,  neon::ScanL1I8,
 };
 #endif
 

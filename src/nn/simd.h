@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,28 @@ struct KernelTable {
   void (*gemm)(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
                float alpha, const float* a, size_t lda, const float* b,
                size_t ldb, float beta, float* c, size_t ldc);
+
+  // ---- int8 kernels (quantized ANN scans, src/ann) -----------------------
+  // The integer kernels accumulate exactly in int32, so every backend
+  // returns bit-identical results (n * 127 * 127 needs n > 2^17 to overflow
+  // int32; embedding dims are << that). The mixed int8/float scans dequantize
+  // in registers; their float sums reassociate like the float kernels above.
+
+  /// sum_i a[i] * b[i], exact int32 accumulation.
+  int32_t (*dot_i8)(const int8_t* a, const int8_t* b, size_t n);
+  /// sum_i |a[i] - b[i]|, exact int32 accumulation.
+  int32_t (*l1_distance_i8)(const int8_t* a, const int8_t* b, size_t n);
+  /// Row scan, dot metric, both sides quantized:
+  ///   out[r] = (q_scale * scales[r]) * dot_i8(q, rows + r*dim)
+  /// Integer inner loop; one dequant multiply per row, kept in registers.
+  void (*scan_dot_i8)(const int8_t* q, float q_scale, const int8_t* rows,
+                      const float* scales, size_t num_rows, size_t dim,
+                      float* out);
+  /// Row scan, L1 metric, float query against quantized rows:
+  ///   out[r] = sum_i |q[i] - scales[r] * rows[r*dim + i]|
+  /// int8 -> float convert and per-row scale multiply stay in registers.
+  void (*scan_l1_i8)(const float* q, const int8_t* rows, const float* scales,
+                     size_t num_rows, size_t dim, float* out);
 };
 
 /// The always-available scalar reference backend.
@@ -83,6 +106,12 @@ inline float L2DistanceSquared(const float* a, const float* b, size_t n) {
 }
 inline float Norm2(const float* a, size_t n) {
   return std::sqrt(Active().dot(a, a, n));
+}
+inline int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  return Active().dot_i8(a, b, n);
+}
+inline int32_t L1DistanceI8(const int8_t* a, const int8_t* b, size_t n) {
+  return Active().l1_distance_i8(a, b, n);
 }
 
 }  // namespace openbg::nn::simd

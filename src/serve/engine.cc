@@ -75,6 +75,54 @@ ServeContext::ServeContext(Bindings bindings) : bindings_(bindings) {
     bindings_.model->PrepareEval();  // ScoreTails becomes const-thread-safe
     model_ptr_ = NonOwning(bindings_.model);  // pre-publication: no races
   }
+  if (bindings_.ann_enabled && model_ptr_ != nullptr) {
+    // Bind-time build is synchronous: the context is not serving yet, and
+    // tests/benches want a ready index the moment construction returns.
+    // Build() returns null for models without a tail-scan spec — such a
+    // context simply serves exact scans forever (counted in ann metrics).
+    ann_ptr_ =
+        ann::TailIndex::Build(model_ptr_.get(), bindings_.ann, generation());
+  }
+}
+
+ServeContext::~ServeContext() {
+  std::lock_guard<std::mutex> lock(ann_mu_);
+  if (ann_rebuild_.joinable()) ann_rebuild_.join();
+}
+
+void ServeContext::BumpGeneration() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  StartAnnRebuild();
+}
+
+void ServeContext::StartAnnRebuild() {
+  if (!bindings_.ann_enabled) return;
+  std::shared_ptr<kge::KgeModel> model = model_ref();
+  const uint64_t gen = generation();
+  std::lock_guard<std::mutex> lock(ann_mu_);
+  // One rebuild in flight: a newer trigger waits the previous build out.
+  // This serializes reload-heavy callers behind index builds, which is the
+  // price of never holding two build buffers at once; traffic is never
+  // blocked — engines fall back to exact scans meanwhile.
+  if (ann_rebuild_.joinable()) ann_rebuild_.join();
+  // Retire the stale index BEFORE the new one exists: between here and the
+  // publish below, drains see null and scan exactly. Engines re-validate
+  // the stamp anyway, so this is latency hygiene, not the safety boundary.
+  std::atomic_store_explicit(&ann_ptr_,
+                             std::shared_ptr<const ann::TailIndex>(),
+                             std::memory_order_release);
+  if (model == nullptr) return;
+  ann_rebuild_ = std::thread([this, model, gen] {
+    std::shared_ptr<const ann::TailIndex> index =
+        ann::TailIndex::Build(model.get(), bindings_.ann, gen);
+    // Publish only while this build's generation is still current; a
+    // superseded build is dropped (the next trigger joined us first, so it
+    // cannot be overwritten after the fact).
+    if (index != nullptr && generation() == gen) {
+      std::atomic_store_explicit(&ann_ptr_, std::move(index),
+                                 std::memory_order_release);
+    }
+  });
 }
 
 void ServeContext::ReloadModel(std::shared_ptr<kge::KgeModel> model) {
@@ -304,6 +352,16 @@ void QueryEngine::DrainLoop() {
 void QueryEngine::ProcessBatch(const std::vector<PendingTopK*>& batch,
                                uint64_t gen) {
   std::shared_ptr<kge::KgeModel> model = context_->model_ref();
+  // ANN gate: the index must be stamped with BOTH the generation this
+  // batch serves and the exact model instance we pinned. Either check
+  // alone is insufficient — generation matches but pointer differs when a
+  // drain raced a reload (stale gen read, fresh model), pointer matches
+  // but generation differs when a non-owning model was retrained in place
+  // and re-published. Any mismatch = exact scan; a stale index never
+  // scores a new-generation model.
+  std::shared_ptr<const ann::TailIndex> ann = context_->ann_ref();
+  const bool ann_ok = ann != nullptr && ann->built_for() == model.get() &&
+                      ann->model_generation() == gen;
   // Stamp the whole batch with the snapshot generation current when
   // scoring starts: a publish landing mid-batch then refuses these inserts
   // (via the cache's history check) rather than caching around it.
@@ -347,24 +405,50 @@ void QueryEngine::ProcessBatch(const std::vector<PendingTopK*>& batch,
       }
       continue;
     }
-    model->ScoreTails(h, r, &scores);
-    std::vector<ScoredEntity> top = SelectTopK(scores, group.k_max);
+    std::vector<ScoredEntity> top;
+    if (ann_ok) {
+      ann::SearchStats st;
+      std::vector<ann::Candidate> cands;
+      ann->SearchTopK(h, r, group.k_max, /*nprobe=*/0, &cands, &st);
+      top.reserve(cands.size());
+      for (const ann::Candidate& c : cands) top.push_back({c.id, c.score});
+      ann_queries_.fetch_add(1, std::memory_order_relaxed);
+      ann_probed_clusters_.fetch_add(st.probed_clusters,
+                                     std::memory_order_relaxed);
+      ann_rescored_.fetch_add(st.rescored, std::memory_order_relaxed);
+    } else {
+      model->ScoreTails(h, r, &scores);
+      top = SelectTopK(scores, group.k_max);
+      if (context_->bindings().ann_enabled) {
+        ann_exact_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Complete every coalesced request from the one selection: build each
+    // distinct-k prefix ONCE as a shared payload (also handed to the cache
+    // without another copy — Insert takes the shared_ptr), then
+    // copy-assign it into the caller-owned responses. A 100-way group at
+    // one k does one prefix build + one insert instead of 100 of each.
+    std::map<size_t, std::shared_ptr<ResultPayload>> by_k;
     for (PendingTopK* req : group.reqs) {
       Response* resp = req->out;
       resp->status = ServeStatus::kOk;
-      resp->payload.topk.assign(top.begin(),
-                                top.begin() + std::min(req->k, top.size()));
-      breaker.RecordSuccess();
-      if (options_.cache_enabled) {
-        RequestKey key{Endpoint::kLinkPredictTopK, req->h, req->r, req->k,
-                       ""};
-        // Model-space dependency key: graph deltas never touch it, so live
-        // publishes leave scoring answers cached (they depend on the model
-        // parameters, retired by the epoch bump of a reload).
-        cache_->Insert(Fingerprint(key), key, gen,
-                       std::make_shared<ResultPayload>(resp->payload),
-                       computed_gen, {TopKDepKey(req->h, req->r)});
+      std::shared_ptr<ResultPayload>& shared = by_k[req->k];
+      if (shared == nullptr) {
+        shared = std::make_shared<ResultPayload>();
+        shared->topk.assign(top.begin(),
+                            top.begin() + std::min(req->k, top.size()));
+        if (options_.cache_enabled) {
+          RequestKey key{Endpoint::kLinkPredictTopK, req->h, req->r, req->k,
+                         ""};
+          // Model-space dependency key: graph deltas never touch it, so
+          // live publishes leave scoring answers cached (they depend on
+          // the model parameters, retired by the epoch bump of a reload).
+          cache_->Insert(Fingerprint(key), key, gen, shared, computed_gen,
+                         {TopKDepKey(req->h, req->r)});
+        }
       }
+      resp->payload = *shared;
+      breaker.RecordSuccess();
     }
   }
 }
@@ -631,6 +715,24 @@ std::string QueryEngine::MetricsJson() const {
         static_cast<unsigned long long>(ls.compact_failures),
         static_cast<unsigned long long>(ls.inline_fallbacks),
         static_cast<unsigned long long>(ls.compactions), live->delta_size());
+  }
+  {
+    AnnStats as = ann_stats();
+    std::shared_ptr<const ann::TailIndex> index = context_->ann_ref();
+    extra += util::StrFormat(
+        ",\"ann\":{\"enabled\":%s,\"index_ready\":%s,\"clusters\":%zu,"
+        "\"nprobe\":%zu,\"queries\":%llu,\"probed_clusters\":%llu,"
+        "\"rescored\":%llu,\"exact_fallbacks\":%llu}",
+        context_->bindings().ann_enabled ? "true" : "false",
+        index != nullptr ? "true" : "false",
+        index != nullptr ? index->num_clusters() : 0,
+        index != nullptr
+            ? std::min(index->options().nprobe, index->num_clusters())
+            : 0,
+        static_cast<unsigned long long>(as.queries),
+        static_cast<unsigned long long>(as.probed_clusters),
+        static_cast<unsigned long long>(as.rescored),
+        static_cast<unsigned long long>(as.exact_fallbacks));
   }
   extra += ",\"health\":" + ComputeHealth().Json();
   return metrics_.SnapshotJson(extra);

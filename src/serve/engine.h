@@ -10,8 +10,10 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "ann/ivf_index.h"
 #include "construction/schema_mapper.h"
 #include "kge/model.h"
 #include "ontology/ontology.h"
@@ -61,9 +63,21 @@ class ServeContext {
     /// live->Acquire() (which supersedes `graph` for triple reads) and
     /// the engines apply its publish records to their result caches.
     rdf::LiveGraph* live = nullptr;
+    /// Optional ANN acceleration for LinkPredictTopK. When enabled, the
+    /// context builds an ann::TailIndex over the bound model at
+    /// construction (synchronously) and rebuilds it in the background
+    /// after every reload / generation bump, stamped with the generation
+    /// it serves. Engines consult the index only when its (model pointer,
+    /// generation) stamp matches the batch being drained — any mismatch
+    /// (rebuild in flight, reload raced the drain, model not ANN-able)
+    /// falls back to the exact scan, so a stale index never scores a
+    /// new-generation model.
+    bool ann_enabled = false;
+    ann::IvfOptions ann;
   };
 
   explicit ServeContext(Bindings bindings);
+  ~ServeContext();
 
   ServeContext(const ServeContext&) = delete;
   ServeContext& operator=(const ServeContext&) = delete;
@@ -151,12 +165,26 @@ class ServeContext {
   }
 
   /// Marks the bound KG/model as changed without swapping pointers (e.g.
-  /// after an in-place snapshot reload). Invalidate-everything in O(1).
-  void BumpGeneration() {
-    generation_.fetch_add(1, std::memory_order_acq_rel);
+  /// after an in-place snapshot reload). Invalidate-everything in O(1);
+  /// with ANN enabled this also retires the current index and kicks off a
+  /// background rebuild stamped with the new generation.
+  void BumpGeneration();
+
+  /// The current ANN index: null when ANN is disabled, the model exposes
+  /// no tail-scan spec, or a rebuild is in flight (the stale index is
+  /// retired the moment a reload lands). Callers must still validate
+  /// built_for()/model_generation() against the model and generation they
+  /// pinned — the stamp, not nullness, is the safety contract.
+  std::shared_ptr<const ann::TailIndex> ann_ref() const {
+    return std::atomic_load_explicit(&ann_ptr_, std::memory_order_acquire);
   }
 
  private:
+  /// Retires the published index and (re)builds one for the current
+  /// (model, generation) on a background thread — at most one rebuild in
+  /// flight (a newer trigger joins the previous thread first). The build
+  /// result publishes only if its generation is still current.
+  void StartAnnRebuild();
   /// Wraps an externally-owned model in a shared_ptr that never deletes.
   static std::shared_ptr<kge::KgeModel> NonOwning(kge::KgeModel* model) {
     return std::shared_ptr<kge::KgeModel>(model, [](kge::KgeModel*) {});
@@ -174,6 +202,11 @@ class ServeContext {
   std::atomic<uint64_t> reload_successes_{0};
   std::atomic<uint64_t> reload_failures_{0};
   std::atomic<bool> last_reload_failed_{false};
+  // Current ANN index (atomic_load/store; see ann_ref). The rebuild thread
+  // is serialized by ann_mu_; the dtor joins it.
+  std::shared_ptr<const ann::TailIndex> ann_ptr_;
+  std::mutex ann_mu_;
+  std::thread ann_rebuild_;
 };
 
 /// Tuning knobs of a QueryEngine.
@@ -284,6 +317,22 @@ class QueryEngine {
   ServeMetrics& metrics() { return metrics_; }
   const EngineOptions& options() const { return options_; }
 
+  /// ANN-path observability (also surfaced in MetricsJson under "ann").
+  struct AnnStats {
+    uint64_t queries = 0;          // groups answered via the index
+    uint64_t probed_clusters = 0;  // sum over those groups
+    uint64_t rescored = 0;         // exact float rescores
+    uint64_t exact_fallbacks = 0;  // ANN enabled but scanned exactly
+  };
+  AnnStats ann_stats() const {
+    AnnStats s;
+    s.queries = ann_queries_.load(std::memory_order_relaxed);
+    s.probed_clusters = ann_probed_clusters_.load(std::memory_order_relaxed);
+    s.rescored = ann_rescored_.load(std::memory_order_relaxed);
+    s.exact_fallbacks = ann_exact_fallbacks_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -341,6 +390,11 @@ class QueryEngine {
   // step so records are applied exactly once.
   std::atomic<uint64_t> last_synced_gen_{1};
   std::mutex sync_mu_;
+
+  std::atomic<uint64_t> ann_queries_{0};
+  std::atomic<uint64_t> ann_probed_clusters_{0};
+  std::atomic<uint64_t> ann_rescored_{0};
+  std::atomic<uint64_t> ann_exact_fallbacks_{0};
 };
 
 }  // namespace openbg::serve

@@ -1,0 +1,482 @@
+#include "ann/ivf_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "ann/quantizer.h"
+#include "kge/bilinear_models.h"
+#include "kge/evaluator.h"
+#include "kge/trans_models.h"
+#include "serve/engine.h"
+#include "util/rng.h"
+
+namespace openbg::ann {
+namespace {
+
+std::vector<float> RandomRow(util::Rng* rng, size_t dim, float scale = 1.0f) {
+  std::vector<float> v(dim);
+  for (float& x : v) {
+    x = static_cast<float>(rng->UniformDouble() * 2.0 - 1.0) * scale;
+  }
+  return v;
+}
+
+// A TransE whose entity table is a Gaussian mixture — the clustered
+// structure trained product embeddings exhibit, and the regime the IVF
+// index is designed for (the recall gate below runs on this).
+std::unique_ptr<kge::TransE> MixtureTransE(size_t entities, size_t relations,
+                                           size_t dim, uint64_t seed,
+                                           size_t centers = 48,
+                                           double sigma = 0.1) {
+  util::Rng rng(seed);
+  auto model = std::make_unique<kge::TransE>(entities, relations, dim, 1.0f,
+                                             &rng);
+  std::vector<float> c(centers * dim);
+  for (float& x : c) x = static_cast<float>(rng.Normal());
+  for (uint32_t e = 0; e < entities; ++e) {
+    float* row = model->entities().Row(e);
+    const float* center = &c[(e % centers) * dim];
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = center[d] + static_cast<float>(rng.Normal(0.0, sigma));
+    }
+  }
+  for (uint32_t r = 0; r < relations; ++r) {
+    float* row = model->relations().Row(r);
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(rng.Normal(0.0, 0.05));
+    }
+  }
+  return model;
+}
+
+// Reference top-k in the serving order: score desc, id asc, NaN as -inf —
+// must match serve/engine.cc's SelectTopK and TailIndex::SearchTopK.
+std::vector<Candidate> ReferenceTopK(kge::KgeModel* model, uint32_t h,
+                                     uint32_t r, size_t k) {
+  std::vector<float> scores;
+  model->ScoreTails(h, r, &scores);
+  auto norm = [](float s) {
+    return std::isnan(s) ? -std::numeric_limits<float>::infinity() : s;
+  };
+  std::vector<uint32_t> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    const float sa = norm(scores[a]), sb = norm(scores[b]);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  k = std::min(k, ids.size());
+  std::vector<Candidate> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = {ids[i], scores[ids[i]]};
+  return out;
+}
+
+TEST(QuantizerTest, RoundTripErrorWithinHalfScale) {
+  util::Rng rng(7);
+  for (size_t dim : {size_t{1}, size_t{7}, size_t{32}, size_t{129}}) {
+    for (float mag : {1e-3f, 1.0f, 250.0f}) {
+      std::vector<float> row = RandomRow(&rng, dim, mag);
+      std::vector<int8_t> q(dim);
+      const float scale = QuantizeRowInt8(row.data(), dim, q.data());
+      float maxabs = 0.0f;
+      for (float x : row) maxabs = std::max(maxabs, std::fabs(x));
+      EXPECT_FLOAT_EQ(scale, maxabs / 127.0f);
+      for (size_t i = 0; i < dim; ++i) {
+        EXPECT_GE(q[i], -127);
+        EXPECT_LE(q[i], 127);
+        // The symmetric-quantizer contract: round-to-nearest means each
+        // element reconstructs within half a quantization step.
+        EXPECT_LE(std::fabs(row[i] - scale * static_cast<float>(q[i])),
+                  scale * 0.5f + 1e-7f)
+            << "dim=" << dim << " mag=" << mag << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(QuantizerTest, ZeroRowGetsZeroScaleAndCodes) {
+  std::vector<float> row(16, 0.0f);
+  std::vector<int8_t> q(16, 42);
+  EXPECT_EQ(QuantizeRowInt8(row.data(), 16, q.data()), 0.0f);
+  for (int8_t c : q) EXPECT_EQ(c, 0);
+}
+
+TEST(QuantizerTest, PermutedPackingMatchesPerRowQuantization) {
+  util::Rng rng(8);
+  const size_t rows = 9, dim = 20;
+  nn::Matrix m(rows, dim);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.UniformDouble() * 4.0 - 2.0);
+  }
+  std::vector<uint32_t> order = {3, 0, 8, 1, 7, 2, 6, 4, 5};
+  QuantizedMatrix qm;
+  qm.BuildPermuted(m, order);
+  ASSERT_EQ(qm.rows(), rows);
+  ASSERT_EQ(qm.dim(), dim);
+  for (size_t p = 0; p < rows; ++p) {
+    std::vector<int8_t> expect(dim);
+    const float scale = QuantizeRowInt8(m.Row(order[p]), dim, expect.data());
+    EXPECT_FLOAT_EQ(qm.scale(p), scale);
+    EXPECT_EQ(std::memcmp(qm.Row(p), expect.data(), dim), 0) << "p=" << p;
+  }
+}
+
+TEST(TailIndexTest, UnsupportedModelsBuildNull) {
+  util::Rng rng(9);
+  kge::TransH transh(200, 4, 16, 1.0f, &rng);
+  EXPECT_EQ(TailIndex::Build(&transh, IvfOptions()), nullptr);
+  kge::TransD transd(200, 4, 16, 1.0f, &rng);
+  EXPECT_EQ(TailIndex::Build(&transd, IvfOptions()), nullptr);
+}
+
+TEST(TailIndexTest, BuildCoversEveryEntityExactlyOnce) {
+  auto model = MixtureTransE(1000, 4, 16, 11);
+  IvfOptions opts;
+  opts.num_clusters = 13;
+  auto index = TailIndex::Build(model.get(), opts, /*model_generation=*/5);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->built_for(), model.get());
+  EXPECT_EQ(index->model_generation(), 5u);
+  EXPECT_EQ(index->num_entities(), 1000u);
+  EXPECT_EQ(index->num_clusters(), 13u);
+  size_t total = 0;
+  for (size_t c = 0; c < index->num_clusters(); ++c) {
+    total += index->cluster_size(c);
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(TailIndexTest, BuildIsDeterministic) {
+  auto model = MixtureTransE(800, 4, 16, 12);
+  IvfOptions opts;
+  opts.num_clusters = 16;
+  opts.nprobe = 4;
+  auto a = TailIndex::Build(model.get(), opts);
+  auto b = TailIndex::Build(model.get(), opts);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (uint32_t h = 0; h < 20; ++h) {
+    std::vector<Candidate> ca, cb;
+    SearchStats sa, sb;
+    a->SearchTopK(h, h % 4, 10, 0, &ca, &sa);
+    b->SearchTopK(h, h % 4, 10, 0, &cb, &sb);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_EQ(ca[i].id, cb[i].id);
+      EXPECT_EQ(ca[i].score, cb[i].score);
+    }
+    EXPECT_EQ(sa.probed_clusters, sb.probed_clusters);
+    EXPECT_EQ(sa.scanned_rows, sb.scanned_rows);
+  }
+}
+
+TEST(TailIndexTest, SearchStatsReflectProbeBudget) {
+  auto model = MixtureTransE(1000, 4, 16, 13);
+  IvfOptions opts;
+  opts.num_clusters = 20;
+  auto index = TailIndex::Build(model.get(), opts);
+  ASSERT_NE(index, nullptr);
+  std::vector<Candidate> out;
+  SearchStats st;
+  index->SearchTopK(3, 1, 10, /*nprobe=*/6, &out, &st);
+  EXPECT_EQ(st.probed_clusters, 6u);
+  EXPECT_GE(st.scanned_rows, st.rescored);
+  EXPECT_GE(st.rescored, out.size());
+}
+
+// The determinism tentpole at the index level: with nprobe >= num_clusters
+// the rescore-all branch must reproduce the exact serving order and exact
+// float scores, for every ANN-able model family.
+TEST(TailIndexTest, FullProbeMatchesExactTopKBitwise) {
+  util::Rng rng(14);
+  const size_t E = 700, R = 5, D = 24;
+  std::vector<std::unique_ptr<kge::KgeModel>> models;
+  models.push_back(std::make_unique<kge::TransE>(E, R, D, 1.0f, &rng));
+  models.push_back(std::make_unique<kge::DistMult>(E, R, D, &rng));
+  models.push_back(std::make_unique<kge::ComplEx>(E, R, D / 2, &rng));
+  for (auto& model : models) {
+    model->PrepareEval();
+    IvfOptions opts;
+    opts.num_clusters = 12;
+    auto index = TailIndex::Build(model.get(), opts);
+    ASSERT_NE(index, nullptr) << model->name();
+    for (uint32_t h = 0; h < 25; ++h) {
+      const uint32_t r = h % R;
+      for (size_t k : {size_t{1}, size_t{10}, size_t{64}}) {
+        std::vector<Candidate> got;
+        SearchStats st;
+        index->SearchTopK(h, r, k, /*nprobe=*/opts.num_clusters, &got, &st);
+        std::vector<Candidate> want = ReferenceTopK(model.get(), h, r, k);
+        ASSERT_EQ(got.size(), want.size()) << model->name();
+        for (size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i].id, want[i].id)
+              << model->name() << " h=" << h << " k=" << k << " i=" << i;
+          // Bitwise: the rescore runs the same kernel with the same
+          // argument order as the exact scan.
+          ASSERT_EQ(std::memcmp(&got[i].score, &want[i].score,
+                                sizeof(float)),
+                    0)
+              << model->name() << " h=" << h << " k=" << k << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// The CI recall gate (scripts/check_all.sh filters on AnnRecallGate): on
+// clustered data at the default-ish operating point, recall@10 of the
+// pruned search vs the exact scan must be >= 0.99.
+TEST(AnnRecallGate, RecallAt10AtLeast99Percent) {
+  const size_t E = 8000, R = 6, D = 32;
+  auto model = MixtureTransE(E, R, D, 15);
+  model->PrepareEval();
+  IvfOptions opts;
+  opts.num_clusters = 64;
+  opts.nprobe = 8;
+  auto index = TailIndex::Build(model.get(), opts);
+  ASSERT_NE(index, nullptr);
+  util::Rng rng(16);
+  double recall_sum = 0.0;
+  const size_t kQueries = 200;
+  for (size_t qi = 0; qi < kQueries; ++qi) {
+    const uint32_t h = static_cast<uint32_t>(rng.Uniform(E));
+    const uint32_t r = static_cast<uint32_t>(rng.Uniform(R));
+    std::vector<Candidate> got;
+    SearchStats st;
+    index->SearchTopK(h, r, 10, 0, &got, &st);
+    std::vector<Candidate> want = ReferenceTopK(model.get(), h, r, 10);
+    size_t hit = 0;
+    for (const Candidate& w : want) {
+      for (const Candidate& g : got) {
+        if (g.id == w.id) {
+          ++hit;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(hit) / static_cast<double>(want.size());
+  }
+  const double recall = recall_sum / static_cast<double>(kQueries);
+  EXPECT_GE(recall, 0.99) << "recall@10 over " << kQueries << " queries";
+}
+
+// End-to-end determinism: an ANN-enabled engine at nprobe = num_clusters
+// must return byte-identical Responses to an exact engine over the same
+// model — ids, scores, and order.
+TEST(AnnServingTest, FullProbeEngineByteIdenticalToExact) {
+  util::Rng rng(17);
+  const size_t E = 500, R = 4, D = 16;
+  std::vector<std::unique_ptr<kge::KgeModel>> models;
+  models.push_back(std::make_unique<kge::TransE>(E, R, D, 1.0f, &rng));
+  models.push_back(std::make_unique<kge::DistMult>(E, R, D, &rng));
+  models.push_back(std::make_unique<kge::ComplEx>(E, R, D / 2, &rng));
+  for (auto& model : models) {
+    serve::ServeContext::Bindings exact_b;
+    exact_b.model = model.get();
+    serve::ServeContext exact_ctx(exact_b);
+    serve::ServeContext::Bindings ann_b = exact_b;
+    ann_b.ann_enabled = true;
+    ann_b.ann.num_clusters = 8;
+    ann_b.ann.nprobe = 8;  // full probe: determinism mode
+    serve::ServeContext ann_ctx(ann_b);
+
+    serve::EngineOptions opts;
+    opts.num_threads = 1;
+    opts.cache_enabled = false;
+    serve::QueryEngine exact_engine(&exact_ctx, opts);
+    serve::QueryEngine ann_engine(&ann_ctx, opts);
+
+    for (uint32_t h = 0; h < 20; ++h) {
+      const uint32_t r = h % R;
+      // 600 > E exercises the k cap.
+      for (size_t k : {size_t{1}, size_t{10}, size_t{600}}) {
+        serve::Response ex = exact_engine.LinkPredictTopK(h, r, k);
+        serve::Response ap = ann_engine.LinkPredictTopK(h, r, k);
+        ASSERT_EQ(ex.status, ap.status) << model->name();
+        ASSERT_EQ(ex.payload.topk.size(), ap.payload.topk.size())
+            << model->name();
+        ASSERT_EQ(std::memcmp(ex.payload.topk.data(), ap.payload.topk.data(),
+                              ex.payload.topk.size() *
+                                  sizeof(serve::ScoredEntity)),
+                  0)
+            << model->name() << " h=" << h << " k=" << k;
+      }
+    }
+    EXPECT_GT(ann_engine.ann_stats().queries, 0u) << model->name();
+    EXPECT_EQ(ann_engine.ann_stats().exact_fallbacks, 0u) << model->name();
+  }
+}
+
+// A model without a tail-scan spec under an ANN-enabled context: answers
+// still correct (exact path), and the fallback is visible in the metrics.
+TEST(AnnServingTest, UnsupportedModelFallsBackExactWithMetrics) {
+  util::Rng rng(18);
+  const size_t E = 300, R = 4, D = 16;
+  kge::TransH model(E, R, D, 1.0f, &rng);
+  serve::ServeContext::Bindings exact_b;
+  exact_b.model = &model;
+  serve::ServeContext exact_ctx(exact_b);
+  serve::ServeContext::Bindings ann_b = exact_b;
+  ann_b.ann_enabled = true;
+  serve::ServeContext ann_ctx(ann_b);
+  EXPECT_EQ(ann_ctx.ann_ref(), nullptr);  // no spec -> no index
+
+  serve::EngineOptions opts;
+  opts.num_threads = 1;
+  opts.cache_enabled = false;
+  serve::QueryEngine exact_engine(&exact_ctx, opts);
+  serve::QueryEngine ann_engine(&ann_ctx, opts);
+  for (uint32_t h = 0; h < 10; ++h) {
+    serve::Response ex = exact_engine.LinkPredictTopK(h, h % R, 10);
+    serve::Response ap = ann_engine.LinkPredictTopK(h, h % R, 10);
+    ASSERT_TRUE(ex.payload.topk == ap.payload.topk) << "h=" << h;
+  }
+  EXPECT_EQ(ann_engine.ann_stats().queries, 0u);
+  EXPECT_EQ(ann_engine.ann_stats().exact_fallbacks, 10u);
+}
+
+// The reload/rebuild protocol under live ANN traffic (run under TSan): a
+// stale index must never score a new-generation model. With the cache off,
+// any query issued after ReloadModel returns pins the new model, so its
+// answers must match the new model's exact top-K whether the drain took
+// the (rebuilt) index or the exact fallback — a stale-index read would
+// surface as a score mismatch here.
+TEST(AnnServingTest, ReloadUnderAnnTrafficNeverServesCrossGeneration) {
+  const size_t E = 600, R = 4, D = 16;
+  std::vector<std::shared_ptr<kge::KgeModel>> keep_alive;
+  auto make_model = [&](uint64_t seed) {
+    std::shared_ptr<kge::KgeModel> m =
+        MixtureTransE(E, R, D, seed, /*centers=*/16);
+    keep_alive.push_back(m);
+    return m;
+  };
+  std::shared_ptr<kge::KgeModel> first = make_model(100);
+  serve::ServeContext::Bindings b;
+  b.model = first.get();
+  b.ann_enabled = true;
+  b.ann.num_clusters = 16;
+  b.ann.nprobe = 4;
+  serve::ServeContext ctx(b);
+  serve::EngineOptions opts;
+  opts.num_threads = 2;
+  opts.cache_enabled = false;
+  serve::QueryEngine engine(&ctx, opts);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(500 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint32_t h = static_cast<uint32_t>(rng.Uniform(E));
+        serve::Response resp = engine.LinkPredictTopK(
+            h, static_cast<uint32_t>(rng.Uniform(R)), 10);
+        EXPECT_EQ(resp.status, serve::ServeStatus::kOk);
+      }
+    });
+  }
+
+  util::Rng rng(19);
+  for (uint64_t round = 1; round <= 5; ++round) {
+    std::shared_ptr<kge::KgeModel> next = make_model(200 + round);
+    ctx.ReloadModel(next);
+    // Post-reload queries pin the new model; answers must be the new
+    // model's exact top-K regardless of which path the drain takes while
+    // the rebuild is in flight.
+    for (int q = 0; q < 20; ++q) {
+      const uint32_t h = static_cast<uint32_t>(rng.Uniform(E));
+      const uint32_t r = static_cast<uint32_t>(rng.Uniform(R));
+      serve::Response resp = engine.LinkPredictTopK(h, r, 10);
+      ASSERT_EQ(resp.status, serve::ServeStatus::kOk);
+      std::vector<Candidate> want = ReferenceTopK(next.get(), h, r, 10);
+      ASSERT_EQ(resp.payload.topk.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(resp.payload.topk[i].id, want[i].id)
+            << "round=" << round << " q=" << q << " i=" << i;
+        ASSERT_EQ(resp.payload.topk[i].score, want[i].score)
+            << "round=" << round << " q=" << q << " i=" << i;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+
+  // Once the last rebuild lands it must be stamped with the final
+  // (model, generation) pair; poll briefly since it runs in background.
+  for (int spin = 0; spin < 200; ++spin) {
+    auto index = ctx.ann_ref();
+    if (index != nullptr && index->built_for() == keep_alive.back().get() &&
+        index->model_generation() == ctx.generation()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  auto index = ctx.ann_ref();
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->built_for(), keep_alive.back().get());
+  EXPECT_EQ(index->model_generation(), ctx.generation());
+}
+
+// Evaluator hook at full probe: ScoreTailsApprox must reproduce the exact
+// metrics bitwise, because every entity gets its exact rescored score.
+TEST(AnnEvaluatorTest, FullProbeMetricsBitwiseIdenticalToExact) {
+  const size_t E = 400, R = 5, D = 16;
+  auto model = MixtureTransE(E, R, D, 20, /*centers=*/12);
+  model->PrepareEval();
+  kge::Dataset ds;
+  ds.name = "ann-eval";
+  for (size_t e = 0; e < E; ++e) ds.entity_names.push_back("e");
+  for (size_t r = 0; r < R; ++r) ds.relation_names.push_back("r");
+  util::Rng rng(21);
+  auto random_triples = [&](size_t n) {
+    std::vector<kge::LpTriple> out(n);
+    for (auto& t : out) {
+      t.h = static_cast<uint32_t>(rng.Uniform(E));
+      t.r = static_cast<uint32_t>(rng.Uniform(R));
+      t.t = static_cast<uint32_t>(rng.Uniform(E));
+    }
+    return out;
+  };
+  ds.train = random_triples(300);
+  ds.dev = random_triples(40);
+  ds.test = random_triples(120);
+
+  IvfOptions opts;
+  opts.num_clusters = 10;
+  auto index = TailIndex::Build(model.get(), opts);
+  ASSERT_NE(index, nullptr);
+
+  kge::RankingEvaluator::Options exact_opts;
+  exact_opts.filtered = true;
+  kge::RankingEvaluator exact_eval(ds, exact_opts);
+  kge::RankingMetrics exact = exact_eval.Evaluate(model.get());
+
+  kge::RankingEvaluator::Options ann_opts = exact_opts;
+  ann_opts.tail_scorer = [&](const kge::KgeModel&, uint32_t h, uint32_t r,
+                             std::vector<float>* out) {
+    index->ScoreTailsApprox(h, r, /*depth=*/E,
+                            /*nprobe=*/index->num_clusters(), out);
+  };
+  kge::RankingEvaluator ann_eval(ds, ann_opts);
+  kge::RankingMetrics approx = ann_eval.Evaluate(model.get());
+
+  EXPECT_EQ(exact.n, approx.n);
+  EXPECT_EQ(exact.hits1, approx.hits1);
+  EXPECT_EQ(exact.hits3, approx.hits3);
+  EXPECT_EQ(exact.hits10, approx.hits10);
+  EXPECT_EQ(exact.mr, approx.mr);
+  EXPECT_EQ(exact.mrr, approx.mrr);
+}
+
+}  // namespace
+}  // namespace openbg::ann

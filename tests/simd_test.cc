@@ -222,6 +222,100 @@ TEST(SimdParityTest, RowDotsMatchesPerRowDot) {
   }
 }
 
+std::vector<int8_t> RandomCodes(util::Rng* rng, size_t n) {
+  std::vector<int8_t> v(n);
+  for (int8_t& x : v) {
+    x = static_cast<int8_t>(static_cast<int>(rng->Uniform(255)) - 127);
+  }
+  return v;
+}
+
+// Int8 kernels back the ANN scan path, whose determinism guarantee rests on
+// them: the integer reductions must be *exactly* equal across backends (the
+// accumulator is a plain int32 sum, associative in any order), and the
+// quantized dot-scan must be *bitwise* equal because all backends compute
+// the identical dequant expression (q_scale * scale[r]) * float(int_acc).
+// Sweep every width 1..1000 so no lane-boundary tail goes untested (8- and
+// 16-wide groups, the 32-wide unroll, and every remainder of each).
+TEST(SimdParityTest, Int8ReductionsExactlyMatchScalarAllWidths) {
+  const auto& scalar = simd::Scalar();
+  util::Rng rng(108);
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    const auto& k = simd::Active();
+    for (size_t n = 1; n <= 1000; ++n) {
+      std::vector<int8_t> a = RandomCodes(&rng, n);
+      std::vector<int8_t> b = RandomCodes(&rng, n);
+      ASSERT_EQ(k.dot_i8(a.data(), b.data(), n),
+                scalar.dot_i8(a.data(), b.data(), n))
+          << name << " dot_i8 n=" << n;
+      ASSERT_EQ(k.l1_distance_i8(a.data(), b.data(), n),
+                scalar.l1_distance_i8(a.data(), b.data(), n))
+          << name << " l1_i8 n=" << n;
+    }
+  }
+}
+
+TEST(SimdParityTest, Int8DotScanBitwiseMatchesScalarAllWidths) {
+  const auto& scalar = simd::Scalar();
+  util::Rng rng(109);
+  const size_t kRows = 3;
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    const auto& k = simd::Active();
+    for (size_t dim = 1; dim <= 1000; ++dim) {
+      std::vector<int8_t> q = RandomCodes(&rng, dim);
+      std::vector<int8_t> rows = RandomCodes(&rng, kRows * dim);
+      std::vector<float> scales(kRows);
+      for (float& s : scales) {
+        s = 1e-3f + static_cast<float>(rng.UniformDouble()) * 0.01f;
+      }
+      const float q_scale = 0.0123f;
+      std::vector<float> out(kRows), out_ref(kRows);
+      k.scan_dot_i8(q.data(), q_scale, rows.data(), scales.data(), kRows,
+                    dim, out.data());
+      scalar.scan_dot_i8(q.data(), q_scale, rows.data(), scales.data(),
+                         kRows, dim, out_ref.data());
+      for (size_t r = 0; r < kRows; ++r) {
+        ASSERT_EQ(out[r], out_ref[r])
+            << name << " scan_dot_i8 dim=" << dim << " row=" << r;
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, Int8L1ScanMatchesScalarAllWidths) {
+  const auto& scalar = simd::Scalar();
+  util::Rng rng(110);
+  const size_t kRows = 3;
+  for (const std::string& name : simd::SupportedKernels()) {
+    ScopedKernel forced(name);
+    ASSERT_TRUE(forced.ok) << name;
+    const auto& k = simd::Active();
+    for (size_t dim = 1; dim <= 1000; ++dim) {
+      std::vector<float> q = RandomVector(&rng, dim);
+      std::vector<int8_t> rows = RandomCodes(&rng, kRows * dim);
+      std::vector<float> scales(kRows);
+      for (float& s : scales) {
+        s = 1e-3f + static_cast<float>(rng.UniformDouble()) * 0.01f;
+      }
+      std::vector<float> out(kRows), out_ref(kRows);
+      k.scan_l1_i8(q.data(), rows.data(), scales.data(), kRows, dim,
+                   out.data());
+      scalar.scan_l1_i8(q.data(), rows.data(), scales.data(), kRows, dim,
+                        out_ref.data());
+      for (size_t r = 0; r < kRows; ++r) {
+        // Float accumulation reassociates across lanes; same bound as the
+        // float reductions above.
+        ASSERT_NEAR(out[r], out_ref[r], SumTolerance(dim))
+            << name << " scan_l1_i8 dim=" << dim << " row=" << r;
+      }
+    }
+  }
+}
+
 // Randomized sweep: many small odd shapes, both vector ops and gemm, to
 // shake out tail-handling bugs the fixed grids might miss.
 TEST(SimdParityTest, RandomizedShapes) {
