@@ -12,13 +12,28 @@
 // --ann-nprobe), recall@10 of the ANN responses against the exact ones,
 // the probed-cluster fraction, and the index build time.
 //
+// The `sharded` scenario (PR 9, DESIGN.md Sec. 14) streams a synthetic graph
+// of --sharded-triples into an OBGSNAP2 out-of-core store (--shards), opens
+// it zero-copy with lazy verification, and serves Zipf-skewed Neighbors
+// traffic through the QueryEngine. It reports build/open time, the
+// graph-size:RAM-budget ratio (--ram-budget-mb), cold vs warm QPS (the
+// first pass faults pages in, the second hits resident pages), and the
+// store's mincore-measured resident bytes against the budget.
+//
 // Usage: serving_load [--scale f] [--products n] [--seed n]
 //                     [--clients n] [--requests n] [--out path]
 //                     [--entities n] [--dim n]
 //                     [--ann-clusters n] [--ann-nprobe n]
+//                     [--shards n] [--ram-budget-mb n] [--sharded-triples n]
 // Writes BENCH_serving.json (schema mirrors the other BENCH_*.json files).
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -29,9 +44,11 @@
 #include "bench/bench_common.h"
 #include "kge/trans_models.h"
 #include "rdf/live_graph.h"
+#include "rdf/sharded_store.h"
 #include "serve/engine.h"
 #include "util/fault_injection.h"
 #include "util/histogram.h"
+#include "util/mapped_file.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -45,6 +62,9 @@ struct LoadArgs {
   size_t requests_per_client = 2000;
   size_t entities = 40000;      // ann scenario: synthetic entity count
   size_t dim = 64;              // ann scenario: embedding width
+  size_t shards = 32;           // sharded scenario: OBGSNAP2 shard count
+  size_t ram_budget_mb = 8;     // sharded scenario: resident-set budget
+  size_t sharded_triples = 6'000'000;  // sharded scenario: graph size
   std::string out = "BENCH_serving.json";
 };
 
@@ -67,6 +87,12 @@ LoadArgs ParseLoadArgs(int argc, char** argv) {
       args.entities = static_cast<size_t>(std::atoll(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--dim") == 0) {
       args.dim = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      args.shards = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--ram-budget-mb") == 0) {
+      args.ram_budget_mb = static_cast<size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--sharded-triples") == 0) {
+      args.sharded_triples = static_cast<size_t>(std::atoll(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--out") == 0) {
       args.out = argv[i + 1];
     }
@@ -467,6 +493,160 @@ AnnScenarioResult RunAnnScenario(const LoadArgs& args) {
   return res;
 }
 
+/// The out-of-core scenario (DESIGN.md Sec. 14): stream a synthetic graph
+/// many times larger than the configured RAM budget into an OBGSNAP2
+/// sharded store, open it zero-copy (lazy verification, so open cost is a
+/// manifest parse plus one mmap per shard), and serve a Zipf-skewed hot set
+/// of 256 subjects through the QueryEngine — skewed product traffic, where
+/// the resident set must track the working set rather than the graph size.
+struct ShardedScenarioResult {
+  size_t triples = 0;
+  size_t shards = 0;
+  size_t budget_bytes = 0;
+  double build_s = 0.0;
+  size_t graph_bytes = 0;
+  double size_ratio = 0.0;
+  double open_ms = 0.0;
+  bool open_under_100ms = false;
+  size_t resident_after_open = 0;
+  double cold_qps = 0.0;
+  double warm_qps = 0.0;
+  size_t resident_after_serve = 0;
+  bool resident_within_budget = false;
+  size_t process_rss_bytes = 0;
+  bool ok = false;
+};
+
+/// Evicts the freshly written store from the page cache (fdatasync so the
+/// pages are clean, then POSIX_FADV_DONTNEED), so the timed open and the
+/// cold pass measure true lazy page-in rather than write-back residue.
+void DropFileCaches(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    int fd = ::open((dir + "/" + e->d_name).c_str(), O_RDONLY);
+    if (fd < 0) continue;
+    ::fdatasync(fd);
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    ::close(fd);
+  }
+  ::closedir(d);
+}
+
+void RemoveTreeQuiet(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (struct dirent* e = ::readdir(d)) {
+      if (std::strcmp(e->d_name, ".") == 0 || std::strcmp(e->d_name, "..") == 0)
+        continue;
+      ::unlink((dir + "/" + e->d_name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+ShardedScenarioResult RunShardedScenario(const LoadArgs& args) {
+  ShardedScenarioResult res;
+  res.triples = args.sharded_triples;
+  res.shards = args.shards;
+  res.budget_bytes = args.ram_budget_mb << 20;
+
+  char tmpl[] = "/tmp/openbg-sharded-XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "sharded: mkdtemp failed\n");
+    return res;
+  }
+  std::string dir = tmpl;
+
+  // Uniform random triples; subjects 0..S-1 double as the query key space.
+  const size_t kSubjects = std::max<size_t>(1, args.sharded_triples / 5);
+  const size_t kPredicates = 32;
+  util::Rng rng(args.base.seed + 0x5AD);
+
+  util::Timer build_timer;
+  {
+    rdf::ShardedBuildOptions bopts;
+    bopts.num_shards = static_cast<uint32_t>(args.shards);
+    rdf::ShardedStoreBuilder builder(dir, bopts);
+    for (size_t i = 0; i < args.sharded_triples && builder.status().ok(); ++i) {
+      builder.Add(static_cast<rdf::TermId>(rng.Uniform(kSubjects)),
+                  static_cast<rdf::TermId>(rng.Uniform(kPredicates)),
+                  static_cast<rdf::TermId>(rng.Uniform(kSubjects)));
+    }
+    util::Status st = builder.Finish();
+    if (!st.ok()) {
+      std::fprintf(stderr, "sharded: build failed: %s\n", st.message().c_str());
+      RemoveTreeQuiet(dir);
+      return res;
+    }
+  }
+  res.build_s = build_timer.Seconds();
+  DropFileCaches(dir);
+
+  {
+    rdf::ShardedOpenOptions oopts;
+    oopts.verify = rdf::ShardedOpenOptions::Verify::kOnFirstUse;
+    util::Timer open_timer;
+    util::Result<std::shared_ptr<const rdf::ShardedStore>> opened =
+        rdf::ShardedStore::Open(dir, oopts);
+    res.open_ms = open_timer.Seconds() * 1e3;
+    if (!opened.ok()) {
+      std::fprintf(stderr, "sharded: open failed: %s\n",
+                   opened.status().message().c_str());
+      RemoveTreeQuiet(dir);
+      return res;
+    }
+    std::shared_ptr<const rdf::ShardedStore> store = opened.value();
+    res.open_under_100ms = res.open_ms < 100.0;
+
+    rdf::ShardedStoreStats st0 = store->Stats();
+    res.graph_bytes = st0.mapped_bytes;
+    res.size_ratio = res.budget_bytes > 0
+                         ? static_cast<double>(res.graph_bytes) /
+                               static_cast<double>(res.budget_bytes)
+                         : 0.0;
+    res.resident_after_open = st0.resident_bytes;
+
+    serve::ServeContext::Bindings bindings;
+    bindings.sharded = store;
+    serve::ServeContext ctx(bindings);
+    serve::EngineOptions eopts;
+    eopts.num_threads = 1;
+    eopts.cache_enabled = false;  // isolate page-cache warmth, not cache hits
+    serve::QueryEngine engine(&ctx, eopts);
+
+    // A fixed query sequence replayed twice: cold (page faults) vs warm.
+    const size_t kQueries = 2000;
+    util::ZipfSampler subject_zipf(256, 1.1);
+    util::Rng qrng(args.base.seed + 0x5AE);
+    std::vector<rdf::TermId> queries(kQueries);
+    for (rdf::TermId& s : queries) {
+      s = static_cast<rdf::TermId>(subject_zipf.Sample(&qrng));
+    }
+    auto run_pass = [&] {
+      util::Timer t;
+      size_t completed = 0;
+      for (rdf::TermId s : queries) {
+        if (engine.Neighbors(s).ok()) ++completed;
+      }
+      double sec = t.Seconds();
+      return sec > 0 ? static_cast<double>(completed) / sec : 0.0;
+    };
+    res.cold_qps = run_pass();
+    res.warm_qps = run_pass();
+
+    rdf::ShardedStoreStats st1 = store->Stats();
+    res.resident_after_serve = st1.resident_bytes;
+    res.resident_within_budget = st1.resident_bytes <= res.budget_bytes;
+    res.process_rss_bytes = util::ProcessRssBytes();
+    res.ok = st1.ok;
+  }
+  RemoveTreeQuiet(dir);
+  return res;
+}
+
 int Main(int argc, char** argv) {
   LoadArgs args = ParseLoadArgs(argc, argv);
   bench::PrintHeader("Serving-layer load test (micro-batched query engine)",
@@ -552,6 +732,23 @@ int Main(int argc, char** argv) {
       static_cast<double>(an.index_bytes) / (1024.0 * 1024.0), an.exact_qps,
       an.ann_qps, an.speedup, an.recall_at_10, an.probed_fraction * 100.0);
 
+  std::printf("\nsharded scenario (OBGSNAP2 out-of-core store, zero-copy open)\n");
+  ShardedScenarioResult sh = RunShardedScenario(args);
+  std::printf(
+      "%zu triples in %zu shards | graph %.1f MiB = %.1fx the %zu MiB "
+      "budget | build %.1fs, open %.2fms (%s)\ncold %.0f qps | warm %.0f "
+      "qps | resident after open %.2f MiB, after serving %.2f MiB (%s "
+      "budget) | process rss %.1f MiB\n",
+      sh.triples, sh.shards,
+      static_cast<double>(sh.graph_bytes) / (1024.0 * 1024.0), sh.size_ratio,
+      args.ram_budget_mb, sh.build_s, sh.open_ms,
+      sh.open_under_100ms ? "under 100ms" : "OVER 100ms", sh.cold_qps,
+      sh.warm_qps,
+      static_cast<double>(sh.resident_after_open) / (1024.0 * 1024.0),
+      static_cast<double>(sh.resident_after_serve) / (1024.0 * 1024.0),
+      sh.resident_within_budget ? "within" : "OVER",
+      static_cast<double>(sh.process_rss_bytes) / (1024.0 * 1024.0));
+
   std::string json = "{\n  \"bench\": \"serving_load\",\n";
   json += util::StrFormat("  \"clients\": %zu,\n", args.clients);
   json += util::StrFormat("  \"requests_per_client\": %zu,\n",
@@ -588,10 +785,24 @@ int Main(int argc, char** argv) {
       "  \"ann\": {\"entities\": %zu, \"dim\": %zu, \"clusters\": %zu, "
       "\"nprobe\": %zu, \"build_seconds\": %.3f, \"index_bytes\": %zu, "
       "\"exact_qps\": %.1f, \"ann_qps\": %.1f, \"speedup\": %.2f, "
-      "\"recall_at_10\": %.4f, \"probed_cluster_fraction\": %.4f}\n",
+      "\"recall_at_10\": %.4f, \"probed_cluster_fraction\": %.4f},\n",
       an.entities, an.dim, an.clusters, an.nprobe, an.build_s,
       an.index_bytes, an.exact_qps, an.ann_qps, an.speedup, an.recall_at_10,
       an.probed_fraction);
+  json += util::StrFormat(
+      "  \"sharded\": {\"triples\": %zu, \"shards\": %zu, "
+      "\"graph_bytes\": %zu, \"ram_budget_bytes\": %zu, "
+      "\"size_ratio\": %.2f, \"build_seconds\": %.3f, \"open_ms\": %.3f, "
+      "\"open_under_100ms\": %s, \"cold_qps\": %.1f, \"warm_qps\": %.1f, "
+      "\"resident_after_open_bytes\": %zu, "
+      "\"resident_after_serve_bytes\": %zu, "
+      "\"resident_within_budget\": %s, \"process_rss_bytes\": %zu, "
+      "\"store_ok\": %s}\n",
+      sh.triples, sh.shards, sh.graph_bytes, sh.budget_bytes, sh.size_ratio,
+      sh.build_s, sh.open_ms, sh.open_under_100ms ? "true" : "false",
+      sh.cold_qps, sh.warm_qps, sh.resident_after_open,
+      sh.resident_after_serve, sh.resident_within_budget ? "true" : "false",
+      sh.process_rss_bytes, sh.ok ? "true" : "false");
   json += "}\n";
 
   FILE* f = std::fopen(args.out.c_str(), "w");

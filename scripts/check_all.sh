@@ -24,6 +24,13 @@ scripts/check_tsan.sh
 echo "==> UndefinedBehaviorSanitizer"
 scripts/check_ubsan.sh
 
+echo "==> sharded-store leg: snapshot + OBGSNAP2 suites, default + ASan"
+# The out-of-core path gets an explicit pass on top of the full-suite runs
+# above: the container format and parity/corruption sweeps under the default
+# build and ASan (mmap'd reads under UBSan are in check_ubsan.sh's filter).
+ctest --test-dir build --output-on-failure -R '^(snapshot_test|sharded_store_test)$'
+ctest --test-dir build-asan --output-on-failure -R '^(snapshot_test|sharded_store_test)$'
+
 echo "==> chaos sweep: 5 seeds, default + TSan"
 for seed in 101 202 303 404 505; do
   echo "--> chaos seed ${seed} (default)"

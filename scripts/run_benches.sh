@@ -7,7 +7,9 @@
 #   BENCH_train.json — trainer throughput (triples/sec) at 1/2/4 threads in
 #     both hogwild and deterministic modes;
 #   BENCH_serving.json — serving-layer closed-loop load test (p50/p99
-#     latency, QPS, cache hit rate at 1/2/4 workers, cache on/off).
+#     latency, QPS, cache hit rate at 1/2/4 workers, cache on/off), plus
+#     the `sharded` scenario: OBGSNAP2 out-of-core store build/open time,
+#     cold vs warm QPS, and resident-set size vs the RAM budget.
 # Usage: scripts/run_benches.sh [extra benchmark args...]
 set -euo pipefail
 

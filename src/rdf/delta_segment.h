@@ -2,6 +2,7 @@
 #define OPENBG_RDF_DELTA_SEGMENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -70,6 +71,13 @@ class DeltaSegment {
       const DeltaSegment* prev, const UpdateBatch& batch,
       const TripleStore& base);
 
+  /// Same normalization, but the base is abstracted to a membership
+  /// predicate — what lets LiveGraph overlay deltas on an out-of-core
+  /// ShardedStore base without rdf depending on its type here.
+  static util::Result<std::shared_ptr<const DeltaSegment>> Build(
+      const DeltaSegment* prev, const UpdateBatch& batch,
+      const std::function<bool(const Triple&)>& base_contains);
+
   const std::vector<Triple>& adds() const { return adds_; }
   size_t num_retracts() const { return retracts_.size(); }
 
@@ -105,6 +113,18 @@ class DeltaSegment {
     for (const Triple& t : retracts_) {
       if (!fn(t)) return;
     }
+  }
+
+  /// Estimated heap bytes (sorted adds vector + the two hash sets as
+  /// bucket-array + per-node lower bounds). The "delta overlay" line of the
+  /// serve memory metrics.
+  size_t MemoryUsage() const {
+    auto set_bytes = [](const std::unordered_set<Triple, TripleHash>& s) {
+      return s.bucket_count() * sizeof(void*) +
+             s.size() * (sizeof(Triple) + 2 * sizeof(void*));
+    };
+    return adds_.capacity() * sizeof(Triple) + set_bytes(add_set_) +
+           set_bytes(retracts_);
   }
 
  private:

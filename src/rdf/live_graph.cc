@@ -31,6 +31,23 @@ LiveGraph::LiveGraph(std::shared_ptr<const TripleStore> base, Options options)
                              std::memory_order_release);
 }
 
+LiveGraph::LiveGraph(std::shared_ptr<const ShardedStore> base)
+    : LiveGraph(std::move(base), Options()) {}
+
+LiveGraph::LiveGraph(std::shared_ptr<const ShardedStore> base, Options options)
+    : options_(std::move(options)) {
+  OPENBG_CHECK(base != nullptr);
+  // An OBGSNAP2 store is sealed by construction; nothing to seal.
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->sharded = std::move(base);
+  snap->delta = nullptr;
+  snap->generation = options_.base_generation == 0 ? 1
+                                                   : options_.base_generation;
+  std::atomic_store_explicit(&snapshot_,
+                             std::shared_ptr<const GraphSnapshot>(snap),
+                             std::memory_order_release);
+}
+
 LiveGraph::~LiveGraph() { WaitForCompaction(); }
 
 void LiveGraph::Publish(std::shared_ptr<const GraphSnapshot> snap,
@@ -56,7 +73,13 @@ util::Status LiveGraph::Apply(const UpdateBatch& batch) {
     return util::Status::Internal("live::publish failpoint fired");
   }
   util::Result<std::shared_ptr<const DeltaSegment>> next =
-      DeltaSegment::Build(cur->delta.get(), batch, *cur->base);
+      cur->base != nullptr
+          ? DeltaSegment::Build(cur->delta.get(), batch, *cur->base)
+          : DeltaSegment::Build(
+                cur->delta.get(), batch,
+                [store = cur->sharded.get()](const Triple& t) {
+                  return store->Contains(t.s, t.p, t.o);
+                });
   if (!next.ok()) return next.status();
   uint64_t next_gen = cur->generation + 1;
   if (!options_.delta_dir.empty()) {
@@ -85,6 +108,7 @@ util::Status LiveGraph::Apply(const UpdateBatch& batch) {
   }
   auto snap = std::make_shared<GraphSnapshot>();
   snap->base = cur->base;
+  snap->sharded = cur->sharded;
   snap->delta = next.value();
   snap->generation = next_gen;
   size_t delta_size = next.value()->size();
@@ -96,6 +120,13 @@ util::Status LiveGraph::Apply(const UpdateBatch& batch) {
 util::Status LiveGraph::CompactOnceLocked() {
   std::shared_ptr<const GraphSnapshot> cur = Acquire();
   if (cur->delta == nullptr || cur->delta->empty()) return util::Status::OK();
+  if (cur->base == nullptr) {
+    // Folding a delta into OBGSNAP2 segments means re-encoding shard files;
+    // that is an offline rebuild (ShardedStoreBuilder), not an in-process
+    // compaction. The delta stays as the overlay — correct, just unfolded.
+    return util::Status::Unimplemented(
+        "compaction over a sharded base: rebuild the store offline");
+  }
   // Transient-compaction-failure model (allocation pressure, a future
   // spill-to-disk error). Fires before anything is built or published, so
   // a failed attempt leaves the snapshot untouched and fully retryable.
@@ -152,6 +183,7 @@ void LiveGraph::MaybeScheduleCompaction(size_t delta_size) {
       delta_size < options_.compact_threshold) {
     return;
   }
+  if (Acquire()->base == nullptr) return;  // sharded base: no auto-compaction
   if (options_.pool == nullptr) {
     CompactWithRetryLocked();  // retried next Apply if it failed
     return;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rdf/delta_segment.h"
+#include "rdf/sharded_store.h"
 #include "rdf/triple_store.h"
 #include "util/retry.h"
 #include "util/status.h"
@@ -29,9 +30,39 @@ namespace openbg::rdf {
 /// *handle*, never mutates a published snapshot, so in-flight requests
 /// finish on the version they started with (MVCC).
 struct GraphSnapshot {
+  /// Exactly one of `base` / `sharded` is set: an in-memory sealed store or
+  /// an out-of-core OBGSNAP2 store. The delta overlay works identically on
+  /// either — LiveGraph and the serving layer dispatch through the helpers
+  /// below and never care which representation is underneath.
   std::shared_ptr<const TripleStore> base;
+  std::shared_ptr<const ShardedStore> sharded;
   std::shared_ptr<const DeltaSegment> delta;  // may be null (= empty)
   uint64_t generation = 1;
+
+  /// Matching triples of the base representation only (no delta).
+  template <typename Fn>
+  void BaseForEach(const TriplePattern& pattern, Fn&& fn) const {
+    if (sharded != nullptr) {
+      sharded->ForEachMatchFn(pattern, std::forward<Fn>(fn));
+    } else {
+      base->ForEachMatchFn(pattern, std::forward<Fn>(fn));
+    }
+  }
+
+  bool BaseContains(TermId s, TermId p, TermId o) const {
+    return sharded != nullptr ? sharded->Contains(s, p, o)
+                              : base->Contains(s, p, o);
+  }
+
+  size_t BaseSize() const {
+    return sharded != nullptr ? sharded->size() : base->size();
+  }
+
+  /// True when the base representation is healthy. An in-memory base is
+  /// always healthy; a sharded base goes unhealthy when lazy verification
+  /// latches corruption — the serving layer degrades instead of answering
+  /// from a half-readable store.
+  bool BaseOk() const { return sharded == nullptr || sharded->ok(); }
 
   /// Calls `fn` for every live triple matching `pattern`: base triples not
   /// retracted by the delta (index-pruned via the base's PrefixRange), then
@@ -40,7 +71,7 @@ struct GraphSnapshot {
   void ForEachMatchFn(const TriplePattern& pattern, Fn&& fn) const {
     bool stopped = false;
     if (delta == nullptr || delta->num_retracts() == 0) {
-      base->ForEachMatchFn(pattern, [&](const Triple& t) {
+      BaseForEach(pattern, [&](const Triple& t) {
         if (!fn(t)) {
           stopped = true;
           return false;
@@ -48,7 +79,7 @@ struct GraphSnapshot {
         return true;
       });
     } else {
-      base->ForEachMatchFn(pattern, [&](const Triple& t) {
+      BaseForEach(pattern, [&](const Triple& t) {
         if (delta->IsRetracted(t)) return true;
         if (!fn(t)) {
           stopped = true;
@@ -83,12 +114,12 @@ struct GraphSnapshot {
     Triple t{s, p, o};
     if (delta != nullptr && delta->ContainsAdd(t)) return true;
     if (delta != nullptr && delta->IsRetracted(t)) return false;
-    return base->Contains(s, p, o);
+    return BaseContains(s, p, o);
   }
 
   /// Live triple count: base minus retracts plus adds.
   size_t size() const {
-    size_t n = base->size();
+    size_t n = BaseSize();
     if (delta != nullptr) n = n - delta->num_retracts() + delta->adds().size();
     return n;
   }
@@ -189,6 +220,14 @@ class LiveGraph {
   /// pending inside the enclosing class (PR c++/88165).
   explicit LiveGraph(std::shared_ptr<const TripleStore> base);
   LiveGraph(std::shared_ptr<const TripleStore> base, Options options);
+
+  /// Wraps an out-of-core sharded base. The delta/WAL/publish machinery is
+  /// identical; the one difference is compaction, which would require
+  /// rebuilding OBGSNAP2 segments and is deliberately not folded in here —
+  /// Compact() returns Unimplemented and threshold-triggered compaction is
+  /// skipped (rebuild offline via ShardedStoreBuilder instead).
+  explicit LiveGraph(std::shared_ptr<const ShardedStore> base);
+  LiveGraph(std::shared_ptr<const ShardedStore> base, Options options);
 
   /// Convenience for callers that keep the store alive themselves (e.g. a
   /// core::OpenBG-owned graph): wraps a non-owning alias.

@@ -1,0 +1,164 @@
+#include "rdf/segment_codec.h"
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace openbg::rdf {
+
+void AppendVarint32(std::string* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+size_t ReadVarint32(const uint8_t* p, const uint8_t* end, uint32_t* v) {
+  uint32_t result = 0;
+  int shift = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    if (p + i >= end) return 0;  // overrun
+    uint8_t byte = p[i];
+    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical 5th bytes that would overflow 32 bits.
+      if (i == 4 && (byte & 0xF0) != 0) return 0;
+      *v = result;
+      return i + 1;
+    }
+    shift += 7;
+  }
+  return 0;  // >5 bytes: malformed
+}
+
+void AppendBlockMeta(std::string* out, const BlockMeta& m) {
+  auto put = [out](const void* v, size_t n) {
+    out->append(static_cast<const char*>(v), n);
+  };
+  put(&m.k0, 4);
+  put(&m.k1, 4);
+  put(&m.k2, 4);
+  put(&m.payload_offset, 8);
+  put(&m.start_rank, 8);
+  put(&m.count, 4);
+  put(&m.crc, 4);
+}
+
+void SegmentEncoder::Add(const SegmentKey& key) {
+  if (in_block_ == 0) {
+    first_ = key;
+    prev_ = {0, 0, 0};
+    block_start_offset_ = payload_.size();
+  } else {
+    OPENBG_CHECK(prev_ < key) << "segment keys must be strictly increasing";
+  }
+  const uint32_t d0 = key[0] - prev_[0];
+  AppendVarint32(&payload_, d0);
+  if (d0 != 0) {
+    AppendVarint32(&payload_, key[1]);
+    AppendVarint32(&payload_, key[2]);
+  } else {
+    const uint32_t d1 = key[1] - prev_[1];
+    AppendVarint32(&payload_, d1);
+    if (d1 != 0) {
+      AppendVarint32(&payload_, key[2]);
+    } else {
+      AppendVarint32(&payload_, key[2] - prev_[2]);
+    }
+  }
+  prev_ = key;
+  ++in_block_;
+  ++rank_;
+  if (in_block_ >= block_size_) SealBlock();
+}
+
+void SegmentEncoder::SealBlock() {
+  if (in_block_ == 0) return;
+  BlockMeta m;
+  m.k0 = first_[0];
+  m.k1 = first_[1];
+  m.k2 = first_[2];
+  m.payload_offset = block_start_offset_;
+  m.start_rank = rank_ - in_block_;
+  m.count = in_block_;
+  m.crc = util::Crc32(payload_.data() + block_start_offset_,
+                      payload_.size() - block_start_offset_);
+  blocks_.push_back(m);
+  in_block_ = 0;
+}
+
+void SegmentEncoder::Finish() { SealBlock(); }
+
+std::string SegmentEncoder::SerializeBlockIndex() const {
+  std::string out;
+  out.reserve(blocks_.size() * kBlockMetaBytes);
+  for (const BlockMeta& m : blocks_) AppendBlockMeta(&out, m);
+  return out;
+}
+
+bool BlockDecoder::Next(SegmentKey* key) {
+  if (!ok_ || remaining_ == 0) return false;
+  uint32_t d0;
+  size_t n = ReadVarint32(p_, end_, &d0);
+  if (n == 0) {
+    ok_ = false;
+    return false;
+  }
+  p_ += n;
+  SegmentKey k;
+  k[0] = prev_[0] + d0;
+  if (d0 != 0) {
+    if ((n = ReadVarint32(p_, end_, &k[1])) == 0 ||
+        (p_ += n, (n = ReadVarint32(p_, end_, &k[2])) == 0)) {
+      ok_ = false;
+      return false;
+    }
+    p_ += n;
+  } else {
+    uint32_t d1;
+    if ((n = ReadVarint32(p_, end_, &d1)) == 0) {
+      ok_ = false;
+      return false;
+    }
+    p_ += n;
+    k[1] = prev_[1] + d1;
+    if (d1 != 0) {
+      if ((n = ReadVarint32(p_, end_, &k[2])) == 0) {
+        ok_ = false;
+        return false;
+      }
+      p_ += n;
+    } else {
+      uint32_t d2;
+      if ((n = ReadVarint32(p_, end_, &d2)) == 0) {
+        ok_ = false;
+        return false;
+      }
+      p_ += n;
+      k[2] = prev_[2] + d2;
+    }
+  }
+  prev_ = k;
+  *key = k;
+  if (--remaining_ == 0 && p_ != end_) {
+    // Trailing bytes after the last key: the payload length lies. The key
+    // itself decoded, but the block as a whole is corrupt — callers that
+    // check ok() after iterating see the failure.
+    ok_ = false;
+  }
+  return true;
+}
+
+bool DecodeBlock(const uint8_t* data, size_t len, uint32_t count,
+                 std::vector<SegmentKey>* out) {
+  BlockDecoder dec(data, len, count);
+  SegmentKey k;
+  uint32_t decoded = 0;
+  while (dec.Next(&k)) {
+    out->push_back(k);
+    ++decoded;
+  }
+  return dec.ok() && decoded == count;
+}
+
+}  // namespace openbg::rdf

@@ -68,6 +68,23 @@ class TermDict {
   /// Number of interned terms.
   size_t size() const { return texts_.size(); }
 
+  /// Estimated heap bytes held by the dictionary (term texts, kind vector,
+  /// lookup map as a bucket-array + per-node lower bound). Feeds the serve
+  /// memory metrics so the out-of-core bench can attribute RSS.
+  size_t MemoryUsage() const {
+    size_t bytes = texts_.capacity() * sizeof(std::string) +
+                   kinds_.capacity() * sizeof(TermKind);
+    for (const std::string& t : texts_) {
+      if (t.capacity() > sizeof(std::string)) bytes += t.capacity();  // non-SSO
+    }
+    bytes += index_.bucket_count() * sizeof(void*);
+    for (const auto& [key, id] : index_) {
+      bytes += sizeof(std::pair<const std::string, TermId>) + 2 * sizeof(void*);
+      if (key.capacity() > sizeof(std::string)) bytes += key.capacity();
+    }
+    return bytes;
+  }
+
  private:
   TermId Add(std::string_view text, TermKind kind);
   TermId Find(std::string_view text, TermKind kind) const;

@@ -220,6 +220,19 @@ TermId TripleStore::FirstObject(TermId s, TermId p) const {
   return found;
 }
 
+TripleStoreMemory TripleStore::MemoryUsage() const {
+  TripleStoreMemory m;
+  m.triples_bytes = triples_.capacity() * sizeof(Triple);
+  // unordered_set lower bound: the bucket array plus one heap node per
+  // element (value + next pointer + cached hash in libstdc++/libc++).
+  m.dedup_bytes = dedup_.bucket_count() * sizeof(void*) +
+                  dedup_.size() * (sizeof(Triple) + 2 * sizeof(void*));
+  m.idx_spo_bytes = idx_spo_.capacity() * sizeof(uint32_t);
+  m.idx_pos_bytes = idx_pos_.capacity() * sizeof(uint32_t);
+  m.idx_osp_bytes = idx_osp_.capacity() * sizeof(uint32_t);
+  return m;
+}
+
 std::vector<TermId> TripleStore::DistinctPredicates() const {
   EnsureSorted(Order::kPos);
   std::vector<TermId> out;

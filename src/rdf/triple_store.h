@@ -29,6 +29,23 @@ struct TriplePattern {
   TermId o = kAny;
 };
 
+/// Heap footprint of one TripleStore, broken out per structure so the serve
+/// metrics (and the out-of-core bench) can attribute RSS instead of quoting
+/// one opaque number. Estimates for the hash containers are lower bounds
+/// (bucket array + per-node overhead); vector accounting is exact capacity.
+struct TripleStoreMemory {
+  size_t triples_bytes = 0;  ///< the append log
+  size_t dedup_bytes = 0;    ///< dedup hash set (estimate)
+  size_t idx_spo_bytes = 0;  ///< SPO permutation index
+  size_t idx_pos_bytes = 0;  ///< POS permutation index
+  size_t idx_osp_bytes = 0;  ///< OSP permutation index
+
+  size_t total() const {
+    return triples_bytes + dedup_bytes + idx_spo_bytes + idx_pos_bytes +
+           idx_osp_bytes;
+  }
+};
+
 /// In-memory deduplicating triple store with three lazily maintained sort
 /// orders (SPO, POS, OSP), so any pattern with at least one bound component
 /// resolves to a binary-searched contiguous range.
@@ -144,6 +161,10 @@ class TripleStore {
            !pos_dirty_.load(std::memory_order_acquire) &&
            !osp_dirty_.load(std::memory_order_acquire);
   }
+
+  /// Per-structure heap accounting (see TripleStoreMemory). Safe to call
+  /// concurrently with queries on a sealed store.
+  TripleStoreMemory MemoryUsage() const;
 
  private:
   enum class Order { kSpo, kPos, kOsp };

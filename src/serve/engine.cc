@@ -9,6 +9,7 @@
 
 #include "kge/checkpoint.h"
 #include "util/fault_injection.h"
+#include "util/mapped_file.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -59,7 +60,15 @@ std::vector<ScoredEntity> SelectTopK(const std::vector<float>& scores,
 }  // namespace
 
 ServeContext::ServeContext(Bindings bindings) : bindings_(bindings) {
-  if (bindings_.graph != nullptr) {
+  if (bindings_.sharded != nullptr) {
+    // Out-of-core base: already sealed by construction, no index build to
+    // force. The frozen snapshot wraps the shared_ptr so the mapping stays
+    // alive for as long as any in-flight request holds the snapshot.
+    auto frozen = std::make_shared<rdf::GraphSnapshot>();
+    frozen->sharded = bindings_.sharded;
+    frozen->generation = 1;
+    frozen_ = std::move(frozen);
+  } else if (bindings_.graph != nullptr) {
     // Serve-path reads must be lock-free: build all three sort orders now
     // and hold the store to that contract from here on. (A bound LiveGraph
     // seals its own base at construction and every snapshot it publishes
@@ -189,7 +198,10 @@ QueryEngine::~QueryEngine() {
 }
 
 const rdf::GraphSnapshot& QueryEngine::Sealed(const rdf::GraphSnapshot& snap) {
-  OPENBG_CHECK(snap.base != nullptr && snap.base->IndexesSealed())
+  // A sharded (OBGSNAP2) base is immutable on disk — sealed by
+  // construction; an in-memory base must still prove it.
+  OPENBG_CHECK(snap.sharded != nullptr ||
+               (snap.base != nullptr && snap.base->IndexesSealed()))
       << "serve-path read would trigger a lazy index build; the store was "
          "mutated after ServeContext/LiveGraph sealed it";
   return snap;
@@ -509,6 +521,13 @@ Response QueryEngine::Neighbors(rdf::TermId entity, rdf::TermId relation) {
         resp.status = ServeStatus::kDegraded;
         resp.degraded = true;
         breaker.RecordFailure();
+      } else if (!snap->BaseOk()) {
+        // Corrupt sharded base (lazy verification latched): a scan would
+        // silently return partial answers, so refuse instead — cache hits
+        // above still serve, and the breaker learns the component is down.
+        resp.status = ServeStatus::kDegraded;
+        resp.degraded = true;
+        breaker.RecordFailure();
       } else {
         const rdf::GraphSnapshot& view = Sealed(*snap);
         std::vector<rdf::Triple>& out = resp.payload.triples;
@@ -524,12 +543,21 @@ Response QueryEngine::Neighbors(rdf::TermId entity, rdf::TermId relation) {
               if (t.s != entity) out.push_back(t);  // self-loops seen above
               return true;
             });
-        resp.status = ServeStatus::kOk;
-        breaker.RecordSuccess();
-        if (options_.cache_enabled) {
-          cache_->Insert(fp, key, gen,
-                         std::make_shared<ResultPayload>(resp.payload),
-                         snap->generation, {rdf::EntityDepKey(entity)});
+        if (!snap->BaseOk()) {
+          // Lazy verification latched corruption DURING these scans: the
+          // collected triples are a prefix of the real answer. Refuse them.
+          resp.payload.triples.clear();
+          resp.status = ServeStatus::kDegraded;
+          resp.degraded = true;
+          breaker.RecordFailure();
+        } else {
+          resp.status = ServeStatus::kOk;
+          breaker.RecordSuccess();
+          if (options_.cache_enabled) {
+            cache_->Insert(fp, key, gen,
+                           std::make_shared<ResultPayload>(resp.payload),
+                           snap->generation, {rdf::EntityDepKey(entity)});
+          }
         }
       }
     }
@@ -558,6 +586,12 @@ Response QueryEngine::ConceptsOf(rdf::TermId entity) {
         resp.status = ServeStatus::kDegraded;
         resp.degraded = true;
         breaker.RecordFailure();
+      } else if (!snap->BaseOk()) {
+        // See Neighbors: a corrupt sharded base refuses rather than
+        // serving a partial scan.
+        resp.status = ServeStatus::kDegraded;
+        resp.degraded = true;
+        breaker.RecordFailure();
       } else {
         const rdf::GraphSnapshot& view = Sealed(*snap);
         std::vector<rdf::TermId> properties = {
@@ -574,12 +608,20 @@ Response QueryEngine::ConceptsOf(rdf::TermId entity) {
                 return true;
               });
         }
-        resp.status = ServeStatus::kOk;
-        breaker.RecordSuccess();
-        if (options_.cache_enabled) {
-          cache_->Insert(fp, key, gen,
-                         std::make_shared<ResultPayload>(resp.payload),
-                         snap->generation, {rdf::EntityDepKey(entity)});
+        if (!snap->BaseOk()) {
+          // See Neighbors: corruption latched mid-scan, answer is partial.
+          resp.payload.triples.clear();
+          resp.status = ServeStatus::kDegraded;
+          resp.degraded = true;
+          breaker.RecordFailure();
+        } else {
+          resp.status = ServeStatus::kOk;
+          breaker.RecordSuccess();
+          if (options_.cache_enabled) {
+            cache_->Insert(fp, key, gen,
+                           std::make_shared<ResultPayload>(resp.payload),
+                           snap->generation, {rdf::EntityDepKey(entity)});
+          }
         }
       }
     }
@@ -653,6 +695,13 @@ HealthState QueryEngine::ComputeHealth() const {
           options_.compaction_lag_threshold);
     }
   }
+  std::shared_ptr<const rdf::GraphSnapshot> snap = context_->AcquireSnapshot();
+  if (snap != nullptr && !snap->BaseOk()) {
+    rdf::ShardedStoreStats ss = snap->sharded->Stats();
+    hs.base_store.health = Health::kUnhealthy;
+    hs.base_store.reason = util::StrFormat(
+        "sharded base corrupt (cache-only): %s", ss.first_error.c_str());
+  }
   return hs;
 }
 
@@ -715,6 +764,44 @@ std::string QueryEngine::MetricsJson() const {
         static_cast<unsigned long long>(ls.compact_failures),
         static_cast<unsigned long long>(ls.inline_fallbacks),
         static_cast<unsigned long long>(ls.compactions), live->delta_size());
+  }
+  std::shared_ptr<const rdf::GraphSnapshot> snap = context_->AcquireSnapshot();
+  if (snap != nullptr && snap->sharded != nullptr) {
+    rdf::ShardedStoreStats ss = snap->sharded->Stats();
+    extra += util::StrFormat(
+        ",\"sharded_store\":{\"num_shards\":%u,\"triples\":%llu,"
+        "\"mapped_bytes\":%zu,\"resident_bytes\":%zu,"
+        "\"blocks_verified\":%llu,\"blocks_corrupt\":%llu,\"ok\":%s}",
+        ss.num_shards, static_cast<unsigned long long>(ss.num_triples),
+        ss.mapped_bytes, ss.resident_bytes,
+        static_cast<unsigned long long>(ss.blocks_verified),
+        static_cast<unsigned long long>(ss.blocks_corrupt),
+        ss.ok ? "true" : "false");
+  }
+  {
+    // Per-structure memory accounting next to process RSS, so an operator
+    // can tell which structure owns the footprint (and, with a sharded
+    // base, confirm RSS stays inside the page-cache budget).
+    extra += util::StrFormat(",\"memory\":{\"process_rss_bytes\":%zu",
+                             util::ProcessRssBytes());
+    if (snap != nullptr && snap->base != nullptr) {
+      rdf::TripleStoreMemory m = snap->base->MemoryUsage();
+      extra += util::StrFormat(
+          ",\"store\":{\"triples_bytes\":%zu,\"dedup_bytes\":%zu,"
+          "\"idx_spo_bytes\":%zu,\"idx_pos_bytes\":%zu,"
+          "\"idx_osp_bytes\":%zu,\"total_bytes\":%zu}",
+          m.triples_bytes, m.dedup_bytes, m.idx_spo_bytes, m.idx_pos_bytes,
+          m.idx_osp_bytes, m.total());
+    }
+    if (context_->bindings().graph != nullptr) {
+      extra += util::StrFormat(
+          ",\"dict_bytes\":%zu", context_->bindings().graph->dict.MemoryUsage());
+    }
+    if (snap != nullptr && snap->delta != nullptr) {
+      extra +=
+          util::StrFormat(",\"delta_bytes\":%zu", snap->delta->MemoryUsage());
+    }
+    extra += "}";
   }
   {
     AnnStats as = ann_stats();

@@ -63,6 +63,15 @@ class ServeContext {
     /// live->Acquire() (which supersedes `graph` for triple reads) and
     /// the engines apply its publish records to their result caches.
     rdf::LiveGraph* live = nullptr;
+    /// Optional out-of-core base: an OBGSNAP2 store (rdf::ShardedStore)
+    /// serving graph reads zero-copy from mmapped segments. Mutually
+    /// exclusive with `graph` as a triple source (when both are set,
+    /// `sharded` wins for triple reads; `graph` still supplies the term
+    /// dictionary for memory accounting). A LiveGraph constructed over a
+    /// sharded base supersedes this the same way it supersedes `graph`.
+    /// Owned (shared_ptr) because mmap lifetime must outlast every
+    /// in-flight request that acquired a snapshot over it.
+    std::shared_ptr<const rdf::ShardedStore> sharded;
     /// Optional ANN acceleration for LinkPredictTopK. When enabled, the
     /// context builds an ann::TailIndex over the bound model at
     /// construction (synchronously) and rebuilds it in the background

@@ -45,6 +45,7 @@ Health HealthState::overall() const {
   worst = std::max(worst, cache.health);
   worst = std::max(worst, live_graph.health);
   worst = std::max(worst, compaction.health);
+  worst = std::max(worst, base_store.health);
   return worst;
 }
 
@@ -55,6 +56,7 @@ std::string HealthState::Json() const {
   AppendComponent(&out, "cache", cache, false);
   AppendComponent(&out, "live_graph", live_graph, false);
   AppendComponent(&out, "compaction", compaction, false);
+  AppendComponent(&out, "base_store", base_store, false);
   out += "}";
   return out;
 }

@@ -36,11 +36,15 @@ struct ComponentHealth {
 ///                pays the compute path and outages lose their fallback)
 ///   live_graph — WAL publishes of the bound LiveGraph
 ///   compaction — delta folding keeping read amplification bounded
+///   base_store — the graph's base representation; only an out-of-core
+///                sharded store can fail here (lazy verification latching
+///                corruption), an in-memory base is always healthy
 struct HealthState {
   ComponentHealth model;
   ComponentHealth cache;
   ComponentHealth live_graph;
   ComponentHealth compaction;
+  ComponentHealth base_store;
 
   /// Worst component state.
   Health overall() const;

@@ -1,0 +1,136 @@
+#include "util/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace openbg::util {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+Status MappedFile::Open(const std::string& path) {
+  Close();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError(
+        StrFormat("cannot open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError(
+        StrFormat("cannot stat %s: %s", path.c_str(), std::strerror(err)));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    // MAP_PRIVATE read-only: the pages are clean file cache, evictable
+    // under memory pressure without writeback — the property the RAM
+    // budget relies on. The fd can be closed right away; the mapping
+    // keeps the inode alive.
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::IoError(
+          StrFormat("cannot mmap %s (%zu bytes): %s", path.c_str(), size,
+                    std::strerror(err)));
+    }
+  }
+  ::close(fd);
+  path_ = path;
+  data_ = static_cast<uint8_t*>(addr);
+  size_ = size;
+  mapped_ = true;
+  return Status::OK();
+}
+
+void MappedFile::Close() {
+  if (data_ != nullptr && size_ > 0) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  path_.clear();
+}
+
+void MappedFile::AdviseRange(size_t offset, size_t length,
+                             Advice advice) const {
+  if (data_ == nullptr || size_ == 0 || offset >= size_) return;
+  length = std::min(length, size_ - offset);
+  // madvise wants page-aligned addresses; widen the range to cover it.
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  size_t begin = offset - (offset % page);
+  size_t end = offset + length;
+  int adv = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal:
+      adv = MADV_NORMAL;
+      break;
+    case Advice::kRandom:
+      adv = MADV_RANDOM;
+      break;
+    case Advice::kSequential:
+      adv = MADV_SEQUENTIAL;
+      break;
+    case Advice::kWillNeed:
+      adv = MADV_WILLNEED;
+      break;
+    case Advice::kDontNeed:
+      adv = MADV_DONTNEED;
+      break;
+  }
+  // Advisory: failures (e.g. unsupported hint) are deliberately ignored.
+  ::madvise(data_ + begin, end - begin, adv);
+}
+
+size_t MappedFile::ResidentBytes() const {
+  if (data_ == nullptr || size_ == 0) return 0;
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  size_t pages = (size_ + page - 1) / page;
+  std::vector<unsigned char> vec(pages);
+  if (::mincore(data_, size_, vec.data()) != 0) return 0;
+  size_t resident = 0;
+  for (unsigned char v : vec) {
+    if (v & 1) ++resident;
+  }
+  return resident * page;
+}
+
+size_t ProcessRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t rss_kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      rss_kb = static_cast<size_t>(std::strtoull(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return rss_kb * 1024;
+}
+
+}  // namespace openbg::util

@@ -1,0 +1,82 @@
+#ifndef OPENBG_UTIL_MAPPED_FILE_H_
+#define OPENBG_UTIL_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace openbg::util {
+
+/// A read-only memory-mapped file: the zero-copy substrate under the
+/// sharded snapshot segments (DESIGN.md Sec. 14). Open maps the whole file
+/// PROT_READ; nothing is read from disk until a page is touched, so opening
+/// a multi-gigabyte segment file costs a few syscalls, and the kernel pages
+/// data in (and evicts it again) on demand — which is what lets a graph far
+/// larger than RAM serve point queries inside a fixed memory budget.
+///
+/// The mapping is immutable and the class is movable, so a MappedFile can
+/// sit inside shared, read-only store objects queried from many threads at
+/// once without synchronization.
+class MappedFile {
+ public:
+  /// Paging hints forwarded to madvise(2). Advisory only: a kernel that
+  /// ignores them costs correctness nothing.
+  enum class Advice {
+    kNormal,      ///< default kernel readahead
+    kRandom,      ///< point lookups: disable readahead
+    kSequential,  ///< full scans: aggressive readahead, early eviction
+    kWillNeed,    ///< prefetch the range
+    kDontNeed,    ///< drop resident pages (they reload on next touch)
+  };
+
+  MappedFile() = default;
+  ~MappedFile() { Close(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps `path` read-only. Fails with a precise Status when the file is
+  /// missing or unmappable; an empty file maps successfully with size 0.
+  Status Open(const std::string& path);
+
+  /// Unmaps; safe to call repeatedly. data() becomes null.
+  void Close();
+
+  bool is_open() const { return data_ != nullptr || (mapped_ && size_ == 0); }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Applies `advice` to the whole mapping (no-op when empty/closed).
+  void Advise(Advice advice) const { AdviseRange(0, size_, advice); }
+
+  /// Applies `advice` to [offset, offset + length), clamped to the mapping
+  /// and widened to page boundaries as madvise requires.
+  void AdviseRange(size_t offset, size_t length, Advice advice) const;
+
+  /// Bytes of this mapping currently resident in physical memory
+  /// (mincore-based). Observability for the RSS-budget claims; returns 0
+  /// when unavailable or the mapping is empty.
+  size_t ResidentBytes() const;
+
+ private:
+  std::string path_;
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;  // distinguishes "open, empty file" from "closed"
+};
+
+/// Current process resident set size in bytes (VmRSS from /proc/self/status
+/// on Linux); 0 when unavailable. The cross-check for every "serves a graph
+/// N times larger than RAM" claim: mapped file pages that fault in DO count
+/// here, so staying under budget means the out-of-core store really is
+/// paging, not silently materializing.
+size_t ProcessRssBytes();
+
+}  // namespace openbg::util
+
+#endif  // OPENBG_UTIL_MAPPED_FILE_H_

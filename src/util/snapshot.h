@@ -2,6 +2,7 @@
 #define OPENBG_UTIL_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,7 +59,9 @@ class SnapshotWriter {
   std::vector<Section> sections_;
 };
 
-/// Bounds-checked cursor over one decoded section's payload.
+/// Bounds-checked cursor over one decoded section's payload. A section owns
+/// its payload bytes (shared, immutable), so it stays valid independently of
+/// the reader and of any sibling sections.
 class SnapshotSection {
  public:
   uint32_t tag() const { return tag_; }
@@ -78,27 +81,48 @@ class SnapshotSection {
   Status Take(size_t n, const char** p);
 
   uint32_t tag_ = 0;
+  std::shared_ptr<const std::string> owned_;  // backing bytes (may be null)
   std::string_view payload_;
   size_t pos_ = 0;
+  // Load-time failure (I/O error or CRC drift after Open): every Read*
+  // reports it, so a caller that never checks section loading explicitly
+  // still fails closed on the first decode.
+  Status error_;
 };
 
-/// Parses and validates a whole snapshot file up front (structure + CRCs);
-/// sections are only handed out from a file that passed every check.
+/// Validates a whole snapshot file up front — magic, version, section
+/// framing, per-section CRC32 — by STREAMING it through a fixed 256 KiB
+/// buffer, so validation memory is O(1) in the file size. Section payloads
+/// are then materialized one at a time by section(i); peak load memory is
+/// the largest section a caller holds, not the whole file. (The pre-PR 9
+/// reader slurped the entire file before checking anything, putting a
+/// ~2x-file-size ceiling on every snapshot load.)
 class SnapshotReader {
  public:
-  /// Reads `path`, verifying magic, version, section framing, per-section
-  /// CRC32, and that no bytes trail the last section.
+  /// Streams `path`, verifying magic, version, section framing, per-section
+  /// CRC32, and that no bytes trail the last section. Nothing larger than
+  /// the bounded buffer is resident during the pass.
   Status Open(const std::string& path, std::string_view magic,
               uint32_t version);
 
   size_t num_sections() const { return sections_.size(); }
 
-  /// Section cursor by position (fresh copy, cursor at offset 0).
-  SnapshotSection section(size_t i) const { return sections_[i]; }
+  /// Loads section `i` from disk (fresh cursor at offset 0, payload owned
+  /// by the returned object). The payload CRC is re-verified on this read:
+  /// a file that rotted (or was swapped) between Open and section() fails
+  /// the section's Read* calls instead of decoding garbage.
+  SnapshotSection section(size_t i) const;
 
  private:
-  std::string content_;
-  std::vector<SnapshotSection> sections_;
+  struct SectionInfo {
+    uint32_t tag = 0;
+    uint64_t offset = 0;  // payload start within the file
+    uint64_t length = 0;
+    uint32_t crc = 0;
+  };
+
+  std::string path_;
+  std::vector<SectionInfo> sections_;
 };
 
 }  // namespace openbg::util
