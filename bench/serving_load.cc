@@ -20,8 +20,24 @@
 // first pass faults pages in, the second hits resident pages), and the
 // store's mincore-measured resident bytes against the budget.
 //
+// The closed-loop sweep above suffers coordinated omission: a stalled
+// server stops the clients from *offering* load, so queueing delay never
+// shows up in the histogram. `--open-loop --offered-qps N` switches the
+// sweep to open-loop Poisson arrivals — each client draws exponential
+// inter-arrival gaps and measures every request FROM ITS INTENDED ARRIVAL
+// TIME, so time spent blocked behind a slow server is charged to latency
+// instead of silently shrinking the denominator.
+//
+// The `net` scenario (PR 10, DESIGN.md Sec. 15) serves the same engine
+// over the OBGWIRE1 socket front-end and drives one paid and one
+// rate-limited free tenant with open-loop Poisson traffic at increasing
+// offered rates, reporting the latency-under-SLO curve per tenant tier
+// (fraction of answers under --net-slo-us, p50/p99 from intended arrival,
+// and the shed count that keeps the paid curve flat while free sheds).
+//
 // Usage: serving_load [--scale f] [--products n] [--seed n]
 //                     [--clients n] [--requests n] [--out path]
+//                     [--open-loop] [--offered-qps n] [--net-slo-us n]
 //                     [--entities n] [--dim n]
 //                     [--ann-clusters n] [--ann-nprobe n]
 //                     [--shards n] [--ram-budget-mb n] [--sharded-triples n]
@@ -32,16 +48,21 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "ann/ivf_index.h"
 #include "bench/bench_common.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "kge/trans_models.h"
 #include "rdf/live_graph.h"
 #include "rdf/sharded_store.h"
@@ -65,6 +86,9 @@ struct LoadArgs {
   size_t shards = 32;           // sharded scenario: OBGSNAP2 shard count
   size_t ram_budget_mb = 8;     // sharded scenario: resident-set budget
   size_t sharded_triples = 6'000'000;  // sharded scenario: graph size
+  bool open_loop = false;       // Poisson arrivals, latency from intent
+  double offered_qps = 4000.0;  // open-loop offered rate (all clients)
+  double net_slo_us = 5000.0;   // net scenario: the latency SLO
   std::string out = "BENCH_serving.json";
 };
 
@@ -74,27 +98,37 @@ LoadArgs ParseLoadArgs(int argc, char** argv) {
   args.base.scale = 0.25;
   args.base.products = 1500;
   args.base.ann_clusters = 128;  // ann scenario default; 0 would mean auto
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
+    // --open-loop is the one valueless flag; everything else is a pair.
+    if (std::strcmp(argv[i], "--open-loop") == 0) {
+      args.open_loop = true;
+      continue;
+    }
+    if (i + 1 >= argc) break;
     if (std::strcmp(argv[i], "--scale") == 0) {
-      args.base.scale = std::atof(argv[i + 1]);
+      args.base.scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--offered-qps") == 0) {
+      args.offered_qps = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--net-slo-us") == 0) {
+      args.net_slo_us = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--products") == 0) {
-      args.base.products = static_cast<size_t>(std::atoll(argv[i + 1]));
+      args.base.products = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--clients") == 0) {
-      args.clients = static_cast<size_t>(std::atoll(argv[i + 1]));
+      args.clients = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--requests") == 0) {
-      args.requests_per_client = static_cast<size_t>(std::atoll(argv[i + 1]));
+      args.requests_per_client = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--entities") == 0) {
-      args.entities = static_cast<size_t>(std::atoll(argv[i + 1]));
+      args.entities = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--dim") == 0) {
-      args.dim = static_cast<size_t>(std::atoll(argv[i + 1]));
+      args.dim = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--shards") == 0) {
-      args.shards = static_cast<size_t>(std::atoll(argv[i + 1]));
+      args.shards = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--ram-budget-mb") == 0) {
-      args.ram_budget_mb = static_cast<size_t>(std::atoll(argv[i + 1]));
+      args.ram_budget_mb = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--sharded-triples") == 0) {
-      args.sharded_triples = static_cast<size_t>(std::atoll(argv[i + 1]));
+      args.sharded_triples = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--out") == 0) {
-      args.out = argv[i + 1];
+      args.out = argv[++i];
     }
   }
   return args;
@@ -112,6 +146,8 @@ struct QueryMix {
 struct RunResult {
   size_t workers = 0;
   bool cache = false;
+  bool open_loop = false;
+  double offered_qps = 0.0;  // open-loop only; 0 in closed-loop rows
   size_t completed = 0;
   size_t shed = 0;
   double seconds = 0.0;
@@ -140,6 +176,15 @@ RunResult RunOne(serve::ServeContext* ctx, const QueryMix& mix,
   util::ZipfSampler product_zipf(mix.products.size(), 1.1);
   util::ZipfSampler mention_zipf(mix.mentions.size(), 1.1);
 
+  // Open-loop mode: each client owns an offered_qps/clients slice of the
+  // Poisson process and measures from the INTENDED arrival time — if the
+  // engine stalls, the wait shows up as latency instead of quietly
+  // deferring the next arrival (the coordinated-omission fix).
+  const double per_client_qps =
+      args.open_loop && args.clients > 0
+          ? args.offered_qps / static_cast<double>(args.clients)
+          : 0.0;
+
   util::Timer wall;
   std::vector<std::thread> clients;
   for (size_t ci = 0; ci < args.clients; ++ci) {
@@ -147,7 +192,13 @@ RunResult RunOne(serve::ServeContext* ctx, const QueryMix& mix,
       util::Rng rng(args.base.seed * 1000 + ci);
       util::Histogram& h = lat[ci];
       h.Reserve(args.requests_per_client);
+      double intended_s = 0.0;
       for (size_t i = 0; i < args.requests_per_client; ++i) {
+        if (args.open_loop) {
+          intended_s +=
+              -std::log(1.0 - rng.UniformDouble()) / per_client_qps;
+          while (wall.Seconds() < intended_s) std::this_thread::yield();
+        }
         // 70% top-K (the expensive, batchable endpoint), 10% each of the
         // graph reads and entity linking.
         uint64_t dice = rng.Uniform(10);
@@ -164,7 +215,11 @@ RunResult RunOne(serve::ServeContext* ctx, const QueryMix& mix,
         } else {
           resp = engine.EntityLink(mix.mentions[mention_zipf.Sample(&rng)]);
         }
-        double us = t.Seconds() * 1e6;
+        // Closed loop: service time. Open loop: completion minus intent,
+        // which folds in the queueing delay a late start caused.
+        double us = args.open_loop
+                        ? (wall.Seconds() - intended_s) * 1e6
+                        : t.Seconds() * 1e6;
         if (resp.status == serve::ServeStatus::kOk) {
           h.Add(us);
           ++ok_counts[ci];
@@ -179,6 +234,8 @@ RunResult RunOne(serve::ServeContext* ctx, const QueryMix& mix,
   RunResult r;
   r.workers = workers;
   r.cache = cache;
+  r.open_loop = args.open_loop;
+  r.offered_qps = args.open_loop ? args.offered_qps : 0.0;
   r.seconds = wall.Seconds();
   util::Histogram all;
   all.Reserve(args.clients * args.requests_per_client);
@@ -647,6 +704,145 @@ ShardedScenarioResult RunShardedScenario(const LoadArgs& args) {
   return res;
 }
 
+/// The net scenario (DESIGN.md Sec. 15): the same engine behind the
+/// OBGWIRE1 socket front-end, driven open-loop per tenant tier. One paid
+/// tenant with a generous bucket and one free tenant capped well below
+/// the top offered rate take identical Poisson streams at increasing
+/// rates; the output is the latency-under-SLO curve per tier — the paid
+/// curve stays flat because the governor sheds free traffic first.
+struct NetCurvePoint {
+  const char* tier = "";
+  double offered_qps = 0.0;
+  size_t completed = 0;
+  size_t shed = 0;
+  double achieved_qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double under_slo = 0.0;  // fraction of OFFERED requests OK within SLO
+};
+
+/// Drives one tenant's connection open-loop: a sender thread paces the
+/// Poisson schedule (pipelining frames without waiting), a receiver
+/// thread drains responses and charges each one against its INTENDED
+/// arrival time. Safe because the client's send state (outbuf_, ids) and
+/// recv state (inbuf) are disjoint; each side stays single-threaded.
+NetCurvePoint DriveTenantOpenLoop(uint16_t port, uint32_t tenant,
+                                  const char* tier, double qps, size_t n,
+                                  const QueryMix& mix, double slo_us,
+                                  uint64_t seed) {
+  NetCurvePoint pt;
+  pt.tier = tier;
+  pt.offered_qps = qps;
+  net::Client::Options copts;
+  copts.port = port;
+  copts.tenant_id = tenant;
+  net::Client client(copts);
+  if (!client.Connect().ok()) return pt;
+
+  std::mutex mu;
+  std::unordered_map<uint64_t, double> intended;  // id -> intended seconds
+  util::Histogram lat;
+  lat.Reserve(n);
+  size_t under = 0;
+  util::Timer wall;
+
+  std::thread receiver([&] {
+    for (size_t got = 0; got < n; ++got) {
+      net::WireResponse resp;
+      if (!client.Recv(&resp).ok()) break;
+      const double now_s = wall.Seconds();
+      double t0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = intended.find(resp.request_id);
+        if (it == intended.end()) continue;
+        t0 = it->second;
+        intended.erase(it);
+      }
+      if (resp.status == net::WireStatus::kOk) {
+        const double us = (now_s - t0) * 1e6;
+        lat.Add(us);
+        ++pt.completed;
+        if (us <= slo_us) ++under;
+      } else if (resp.status == net::WireStatus::kShed) {
+        ++pt.shed;
+      }
+    }
+  });
+
+  util::Rng rng(seed);
+  util::ZipfSampler zipf(mix.topk_queries.size(), 1.1);
+  double t = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    t += -std::log(1.0 - rng.UniformDouble()) / qps;
+    while (wall.Seconds() < t) std::this_thread::yield();
+    const kge::LpTriple& q = mix.topk_queries[zipf.Sample(&rng)];
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      id = client.SendLinkPredict(q.h, q.r, 10);
+      intended[id] = t;
+    }
+    if (!client.Flush().ok()) break;
+  }
+  receiver.join();
+  const double elapsed = wall.Seconds();
+  pt.achieved_qps =
+      elapsed > 0 ? static_cast<double>(pt.completed) / elapsed : 0.0;
+  pt.p50_us = lat.Percentile(50);
+  pt.p99_us = lat.Percentile(99);
+  pt.under_slo = pt.completed > 0
+                     ? static_cast<double>(under) /
+                           static_cast<double>(pt.completed + pt.shed)
+                     : 0.0;
+  return pt;
+}
+
+std::vector<NetCurvePoint> RunNetScenario(
+    const serve::ServeContext::Bindings& bindings, const QueryMix& mix,
+    const LoadArgs& args) {
+  std::vector<NetCurvePoint> curve;
+  serve::ServeContext ctx(bindings);
+  serve::EngineOptions eopts;
+  eopts.num_threads = 2;
+  eopts.cache_capacity = 8192;
+  serve::QueryEngine engine(&ctx, eopts);
+
+  net::ServerOptions sopts;
+  sopts.event_threads = 2;
+  sopts.worker_threads = 2;
+  sopts.governor.default_tenant = {1e12, 1e12, net::Tier::kPaid};
+  net::Server server(&engine, sopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "net: server start failed\n");
+    return curve;
+  }
+  // Free tier: capped below the top offered rate so the curve shows the
+  // governor shedding free traffic while paid rides through.
+  constexpr uint32_t kPaidTenant = 1, kFreeTenant = 2;
+  server.governor().SetTenant(
+      kFreeTenant, {/*rate=*/800.0, /*burst=*/200.0, net::Tier::kFree});
+
+  for (double qps : {500.0, 1500.0, 3000.0}) {
+    // ~1 second of offered traffic per level, both tiers concurrently —
+    // they share the engine, so contention is part of the measurement.
+    const size_t n = static_cast<size_t>(qps);
+    NetCurvePoint paid, free_pt;
+    std::thread paid_thread([&] {
+      paid = DriveTenantOpenLoop(server.port(), kPaidTenant, "paid", qps, n,
+                                 mix, args.net_slo_us, args.base.seed + 1);
+    });
+    free_pt =
+        DriveTenantOpenLoop(server.port(), kFreeTenant, "free", qps, n, mix,
+                            args.net_slo_us, args.base.seed + 2);
+    paid_thread.join();
+    curve.push_back(paid);
+    curve.push_back(free_pt);
+  }
+  server.Stop();
+  return curve;
+}
+
 int Main(int argc, char** argv) {
   LoadArgs args = ParseLoadArgs(argc, argv);
   bench::PrintHeader("Serving-layer load test (micro-batched query engine)",
@@ -690,6 +886,11 @@ int Main(int argc, char** argv) {
   bindings.mapper = &mapper;
   serve::ServeContext ctx(bindings);
 
+  if (args.open_loop) {
+    std::printf("\nopen-loop mode: %.0f offered qps, latency from intended "
+                "arrival (no coordinated omission)\n",
+                args.offered_qps);
+  }
   std::printf("\n%-8s %-6s %12s %10s %10s %10s %9s %6s\n", "workers",
               "cache", "completed", "qps", "p50_us", "p99_us", "mean_us",
               "hit%");
@@ -732,6 +933,17 @@ int Main(int argc, char** argv) {
       static_cast<double>(an.index_bytes) / (1024.0 * 1024.0), an.exact_qps,
       an.ann_qps, an.speedup, an.recall_at_10, an.probed_fraction * 100.0);
 
+  std::printf("\nnet scenario (OBGWIRE1 socket front-end, open-loop per tier, "
+              "SLO %.0fus)\n", args.net_slo_us);
+  std::vector<NetCurvePoint> net_curve = RunNetScenario(bindings, mix, args);
+  for (const NetCurvePoint& pt : net_curve) {
+    std::printf(
+        "%-5s @ %5.0f qps | achieved %5.0f | ok %5zu shed %5zu | p50 %7.1fus "
+        "p99 %8.1fus | under-SLO %5.1f%%\n",
+        pt.tier, pt.offered_qps, pt.achieved_qps, pt.completed, pt.shed,
+        pt.p50_us, pt.p99_us, pt.under_slo * 100.0);
+  }
+
   std::printf("\nsharded scenario (OBGSNAP2 out-of-core store, zero-copy open)\n");
   ShardedScenarioResult sh = RunShardedScenario(args);
   std::printf(
@@ -754,6 +966,11 @@ int Main(int argc, char** argv) {
   json += util::StrFormat("  \"requests_per_client\": %zu,\n",
                           args.requests_per_client);
   json += util::StrFormat("  \"zipf_s\": 1.1,\n");
+  json += util::StrFormat("  \"open_loop\": %s,\n",
+                          args.open_loop ? "true" : "false");
+  if (args.open_loop) {
+    json += util::StrFormat("  \"offered_qps\": %.1f,\n", args.offered_qps);
+  }
   json += "  \"runs\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
@@ -767,6 +984,19 @@ int Main(int argc, char** argv) {
         i + 1 < results.size() ? "," : "");
   }
   json += "  ],\n";
+  json += util::StrFormat("  \"net\": {\"slo_us\": %.1f, \"curve\": [\n",
+                          args.net_slo_us);
+  for (size_t i = 0; i < net_curve.size(); ++i) {
+    const NetCurvePoint& pt = net_curve[i];
+    json += util::StrFormat(
+        "    {\"tier\": \"%s\", \"offered_qps\": %.1f, "
+        "\"achieved_qps\": %.1f, \"completed\": %zu, \"shed\": %zu, "
+        "\"p50_us\": %.1f, \"p99_us\": %.1f, \"under_slo\": %.4f}%s\n",
+        pt.tier, pt.offered_qps, pt.achieved_qps, pt.completed, pt.shed,
+        pt.p50_us, pt.p99_us, pt.under_slo,
+        i + 1 < net_curve.size() ? "," : "");
+  }
+  json += "  ]},\n";
   json += util::StrFormat(
       "  \"live_update\": {\"delta_batches\": %zu, "
       "\"steady_hit_rate\": %.4f, \"post_delta_hit_rate\": %.4f, "

@@ -42,4 +42,14 @@ done
 echo "==> ANN recall gate (recall@10 >= 0.99 at the pruned operating point)"
 ./build/tests/ann_test --gtest_filter='AnnRecallGate.*'
 
+echo "==> net smoke: example_server --smoke under ASan and TSan"
+# The socket front-end's end-to-end exercise on an ephemeral port: three
+# pipelined tenants (one rate-limited so shedding happens), a mid-stream
+# canary mirror -> promote, graceful stop. Exit 0 requires every request
+# id answered exactly once with whole frames; the sanitizers must stay
+# silent across the epoll loop, the cross-thread flush queues, and the
+# canary's publish seam.
+./build-asan/examples/example_server --smoke
+./build-tsan/examples/example_server --smoke
+
 echo "==> all checks passed"

@@ -1,0 +1,180 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace openbg::net {
+
+Client::Client(Options options) : options_(std::move(options)) {}
+
+Client::~Client() { Close(); }
+
+util::Status Client::Connect() {
+  if (fd_ >= 0) return util::Status::InvalidArgument("already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return util::Status::IoError(
+        util::StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return util::Status::InvalidArgument("bad host: " + options_.host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    util::Status s = util::Status::IoError(
+        util::StrFormat("connect %s:%u: %s", options_.host.c_str(),
+                        unsigned{options_.port}, std::strerror(errno)));
+    Close();
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return util::Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  outbuf_.clear();
+  in_.clear();
+}
+
+uint64_t Client::Enqueue(WireRequest req) {
+  req.request_id = next_id_++;
+  req.tenant_id = options_.tenant_id;
+  AppendRequestFrame(&outbuf_, req);
+  return req.request_id;
+}
+
+uint64_t Client::SendLinkPredict(uint32_t h, uint32_t r, uint32_t k,
+                                 uint64_t deadline_us) {
+  WireRequest req;
+  req.tag = Tag::kLinkPredict;
+  req.h = h;
+  req.r = r;
+  req.k = k;
+  req.deadline_us = deadline_us;
+  return Enqueue(std::move(req));
+}
+
+uint64_t Client::SendEntityLink(std::string_view mention) {
+  WireRequest req;
+  req.tag = Tag::kEntityLink;
+  req.text = std::string(mention);
+  return Enqueue(std::move(req));
+}
+
+uint64_t Client::SendNeighbors(uint32_t entity, uint32_t relation) {
+  WireRequest req;
+  req.tag = Tag::kNeighbors;
+  req.entity = entity;
+  req.relation = relation;
+  return Enqueue(std::move(req));
+}
+
+uint64_t Client::SendConceptsOf(uint32_t entity) {
+  WireRequest req;
+  req.tag = Tag::kConceptsOf;
+  req.entity = entity;
+  return Enqueue(std::move(req));
+}
+
+uint64_t Client::SendPing(std::string_view echo) {
+  WireRequest req;
+  req.tag = Tag::kPing;
+  req.text = std::string(echo);
+  return Enqueue(std::move(req));
+}
+
+uint64_t Client::SendMetrics() {
+  WireRequest req;
+  req.tag = Tag::kMetrics;
+  return Enqueue(std::move(req));
+}
+
+uint64_t Client::SendHealth() {
+  WireRequest req;
+  req.tag = Tag::kHealth;
+  return Enqueue(std::move(req));
+}
+
+void Client::SendRawFrame(std::string_view bytes) { outbuf_.append(bytes); }
+
+util::Status Client::Flush() {
+  if (fd_ < 0) return util::Status::InvalidArgument("not connected");
+  size_t off = 0;
+  while (off < outbuf_.size()) {
+    ssize_t w = ::send(fd_, outbuf_.data() + off, outbuf_.size() - off,
+                       MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(
+          util::StrFormat("send: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(w);
+  }
+  outbuf_.clear();
+  return util::Status::OK();
+}
+
+util::Status Client::FillTo(size_t n) {
+  char buf[65536];
+  while (in_.size() < n) {
+    ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      in_.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) return util::Status::IoError("eof");
+    if (errno == EINTR) continue;
+    return util::Status::IoError(
+        util::StrFormat("recv: %s", std::strerror(errno)));
+  }
+  return util::Status::OK();
+}
+
+util::Status Client::Recv(WireResponse* out, std::string* raw_payload) {
+  if (fd_ < 0) return util::Status::InvalidArgument("not connected");
+  util::Status s = FillTo(kHeaderSize);
+  if (!s.ok()) return s;
+  FrameHeader header;
+  HeaderParse hp =
+      ParseHeader(reinterpret_cast<const uint8_t*>(in_.data()), &header);
+  if (hp != HeaderParse::kOk) {
+    return util::Status::IoError(
+        util::StrFormat("framing lost (header parse %d)",
+                        static_cast<int>(hp)));
+  }
+  s = FillTo(kHeaderSize + header.payload_len);
+  if (!s.ok()) return s;
+  std::string payload = in_.substr(kHeaderSize, header.payload_len);
+  in_.erase(0, kHeaderSize + header.payload_len);
+  if (!header.is_response()) {
+    return util::Status::IoError("non-response frame from server");
+  }
+  if (!VerifyPayload(header, payload.data())) {
+    return util::Status::IoError("payload crc mismatch from server");
+  }
+  if (raw_payload != nullptr) *raw_payload = payload;
+  out->request_id = header.request_id;
+  out->is_error_frame = header.is_error();
+  if (!DecodeResponsePayload(static_cast<Tag>(header.tag), payload, out)) {
+    return util::Status::IoError("malformed response payload");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace openbg::net

@@ -1,0 +1,75 @@
+#ifndef OPENBG_NET_CLIENT_H_
+#define OPENBG_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace openbg::net {
+
+/// Blocking pipelined OBGWIRE1 client. Send* calls buffer request frames
+/// (Flush pushes them down the socket in one write run), Recv returns
+/// responses in ARRIVAL order — which, by protocol design, is not request
+/// order: callers match on WireResponse::request_id. One client = one
+/// connection = one tenant id; not thread-safe (use one per thread, like
+/// the bench does).
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    uint32_t tenant_id = 0;
+  };
+
+  explicit Client(Options options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  util::Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Each Send* buffers one frame and returns its request id.
+  uint64_t SendLinkPredict(uint32_t h, uint32_t r, uint32_t k,
+                           uint64_t deadline_us = 0);
+  uint64_t SendEntityLink(std::string_view mention);
+  uint64_t SendNeighbors(uint32_t entity, uint32_t relation = 0xFFFFFFFFu);
+  uint64_t SendConceptsOf(uint32_t entity);
+  uint64_t SendPing(std::string_view echo = {});
+  uint64_t SendMetrics();
+  uint64_t SendHealth();
+
+  /// Appends raw bytes verbatim to the send buffer — the test hook for
+  /// corrupt headers, wrong versions, and torn frames.
+  void SendRawFrame(std::string_view bytes);
+
+  /// Writes everything buffered; blocks until the kernel took it all.
+  util::Status Flush();
+
+  /// Blocks for the next response frame. When `raw_payload` is non-null
+  /// it receives the exact payload bytes off the wire — what the
+  /// byte-identity tests diff against a locally encoded in-process
+  /// answer. IoError on EOF / reset / framing loss; a GoAway frame is
+  /// returned as a normal WireResponse (tag kGoAway) and the next Recv
+  /// reports EOF.
+  util::Status Recv(WireResponse* out, std::string* raw_payload = nullptr);
+
+ private:
+  uint64_t Enqueue(WireRequest req);
+  util::Status FillTo(size_t n);
+
+  Options options_;
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::string outbuf_;
+  std::string in_;
+};
+
+}  // namespace openbg::net
+
+#endif  // OPENBG_NET_CLIENT_H_

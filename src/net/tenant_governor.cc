@@ -1,0 +1,164 @@
+#include "net/tenant_governor.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace openbg::net {
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kFree: return "free";
+    case Tier::kPaid: return "paid";
+  }
+  return "unknown";
+}
+
+TenantGovernor::TenantGovernor(GovernorOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : util::RealClock::Get()) {
+  const uint64_t now = clock_->NowMicros();
+  global_.tokens = options_.global_burst;  // a fresh server admits a burst
+  global_.last_refill_us = now;
+}
+
+void TenantGovernor::Refill(Bucket* b, double rate_per_sec, double burst,
+                            uint64_t now_us) {
+  if (now_us > b->last_refill_us) {
+    // Multiply before dividing: 100ms at 10/s must yield exactly 1.0
+    // token, and delta_us * 1e-6 * rate lands a ULP short of that.
+    const double delta_us =
+        static_cast<double>(now_us - b->last_refill_us);
+    b->tokens = std::min(burst, b->tokens + delta_us * rate_per_sec / 1e6);
+  }
+  b->last_refill_us = now_us;
+}
+
+TenantGovernor::TenantState* TenantGovernor::GetTenantLocked(
+    uint32_t tenant_id) {
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) {
+    TenantState state;
+    state.config = options_.default_tenant;
+    state.bucket.tokens = state.config.burst;  // cold tenants get a burst
+    state.bucket.last_refill_us = clock_->NowMicros();
+    it = tenants_.emplace(tenant_id, std::move(state)).first;
+  }
+  return &it->second;
+}
+
+void TenantGovernor::SetTenant(uint32_t tenant_id,
+                               const TenantConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState* t = GetTenantLocked(tenant_id);
+  t->config = config;
+  t->bucket.tokens = std::min(t->bucket.tokens, config.burst);
+  // A newly-registered tenant (counters all zero) starts with a full
+  // bucket under its own config, like the cold-tenant path.
+  if (t->admitted == 0 && t->shed_rate == 0 && t->shed_global == 0) {
+    t->bucket.tokens = config.burst;
+    t->bucket.last_refill_us = clock_->NowMicros();
+  }
+}
+
+TenantGovernor::Verdict TenantGovernor::Admit(uint32_t tenant_id) {
+  const uint64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState* t = GetTenantLocked(tenant_id);
+  Refill(&t->bucket, t->config.rate_per_sec, t->config.burst, now);
+  if (t->bucket.tokens < 1.0) {
+    ++t->shed_rate;
+    return Verdict::kShedTenantRate;
+  }
+  if (options_.global_rate_per_sec > 0.0) {
+    Refill(&global_, options_.global_rate_per_sec, options_.global_burst,
+           now);
+    // Paid drains the bucket to zero; free must leave the paid reserve
+    // untouched — so at saturation free sheds strictly before paid.
+    const double reserve =
+        t->config.tier == Tier::kPaid
+            ? 0.0
+            : options_.paid_reserve_fraction * options_.global_burst;
+    if (global_.tokens - 1.0 < reserve) {
+      ++t->shed_global;
+      return Verdict::kShedGlobal;
+    }
+    global_.tokens -= 1.0;
+  }
+  t->bucket.tokens -= 1.0;
+  ++t->admitted;
+  return Verdict::kAdmit;
+}
+
+void TenantGovernor::RecordLatency(uint32_t tenant_id, double latency_us,
+                                   bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState* t = GetTenantLocked(tenant_id);
+  ++t->completed;
+  if (!ok) ++t->failed;
+  t->latency_us.Add(latency_us);
+}
+
+std::vector<TenantGovernor::TenantStats> TenantGovernor::Stats() const {
+  const uint64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (auto& [id, t] : tenants_) {
+    Refill(&t.bucket, t.config.rate_per_sec, t.config.burst, now);
+    TenantStats s;
+    s.tenant_id = id;
+    s.tier = t.config.tier;
+    s.admitted = t.admitted;
+    s.shed_rate = t.shed_rate;
+    s.shed_global = t.shed_global;
+    s.completed = t.completed;
+    s.failed = t.failed;
+    if (t.latency_us.count() > 0) {
+      s.p50_us = t.latency_us.Percentile(50);
+      s.p99_us = t.latency_us.Percentile(99);
+      s.mean_us = t.latency_us.Mean();
+    }
+    s.tokens = t.bucket.tokens;
+    out.push_back(s);
+  }
+  return out;
+}
+
+double TenantGovernor::GlobalTokens() const {
+  const uint64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.global_rate_per_sec <= 0.0) return options_.global_burst;
+  Bucket copy = global_;
+  Refill(&copy, options_.global_rate_per_sec, options_.global_burst, now);
+  return copy.tokens;
+}
+
+std::string TenantGovernor::MetricsJson() const {
+  std::vector<TenantStats> stats = Stats();
+  std::string json = util::StrFormat(
+      "{\"global\":{\"rate_per_sec\":%.1f,\"burst\":%.1f,"
+      "\"paid_reserve_fraction\":%.3f,\"tokens\":%.2f},\"tenants\":{",
+      options_.global_rate_per_sec, options_.global_burst,
+      options_.paid_reserve_fraction, GlobalTokens());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const TenantStats& s = stats[i];
+    json += util::StrFormat(
+        "%s\"%u\":{\"tier\":\"%s\",\"admitted\":%llu,\"shed_rate\":%llu,"
+        "\"shed_global\":%llu,\"completed\":%llu,\"failed\":%llu,"
+        "\"p50_us\":%.1f,\"p99_us\":%.1f,\"mean_us\":%.1f,"
+        "\"tokens\":%.2f}",
+        i == 0 ? "" : ",", s.tenant_id, TierName(s.tier),
+        static_cast<unsigned long long>(s.admitted),
+        static_cast<unsigned long long>(s.shed_rate),
+        static_cast<unsigned long long>(s.shed_global),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.failed), s.p50_us, s.p99_us,
+        s.mean_us, s.tokens);
+  }
+  json += "}}";
+  return json;
+}
+
+}  // namespace openbg::net

@@ -1,0 +1,147 @@
+#ifndef OPENBG_NET_TENANT_GOVERNOR_H_
+#define OPENBG_NET_TENANT_GOVERNOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/histogram.h"
+
+namespace openbg::net {
+
+/// Tenant priority tier. At global saturation the governor sheds free
+/// traffic first: a slice of the global bucket is reserved for paid
+/// tenants, so free requests start bouncing while paid ones still admit.
+enum class Tier : uint8_t { kFree = 0, kPaid = 1 };
+
+const char* TierName(Tier t);
+
+/// Per-tenant token-bucket configuration.
+struct TenantConfig {
+  /// Steady-state admission rate (tokens refilled per second).
+  double rate_per_sec = 100.0;
+  /// Bucket capacity: the burst a cold tenant may fire instantly.
+  double burst = 100.0;
+  Tier tier = Tier::kFree;
+};
+
+struct GovernorOptions {
+  /// Time source for refills. Null = the process RealClock. Tests inject a
+  /// util::FakeClock so refill arithmetic is exact and sleep-free.
+  util::Clock* clock = nullptr;
+  /// Server-wide bucket shared by every tenant; 0 disables the global
+  /// gate (per-tenant buckets still apply).
+  double global_rate_per_sec = 0.0;
+  double global_burst = 0.0;
+  /// Fraction of `global_burst` reserved for paid tenants: a free request
+  /// is shed when admitting it would leave fewer than this many global
+  /// tokens, while a paid request may drain the bucket to zero. This is
+  /// what makes "paid sheds last" deterministic instead of probabilistic.
+  double paid_reserve_fraction = 0.2;
+  /// Config applied to tenant ids never registered with SetTenant.
+  TenantConfig default_tenant;
+};
+
+/// Multi-tenant admission control for the socket front-end: one token
+/// bucket per tenant plus an optional shared global bucket with a
+/// paid-tier reservation, refilled lazily against the injected clock (no
+/// background thread). All methods are thread-safe; Admit is one mutex
+/// acquisition plus O(log tenants) map lookup.
+///
+/// Latency accounting: the server calls RecordLatency on request
+/// completion, so per-tenant p50/p99 (over admitted requests) land next to
+/// the shed counters in MetricsJson — the per-tier latency-under-SLO
+/// numbers the open-loop bench reports come from the same fold.
+class TenantGovernor {
+ public:
+  explicit TenantGovernor(GovernorOptions options = {});
+
+  TenantGovernor(const TenantGovernor&) = delete;
+  TenantGovernor& operator=(const TenantGovernor&) = delete;
+
+  /// Registers (or replaces) a tenant's bucket config. A replaced tenant
+  /// keeps its counters but its bucket refills under the new parameters,
+  /// clamped into the new burst.
+  void SetTenant(uint32_t tenant_id, const TenantConfig& config);
+
+  enum class Verdict : uint8_t {
+    kAdmit = 0,
+    kShedTenantRate = 1,  // the tenant's own bucket is empty
+    kShedGlobal = 2,      // global saturation (free hits the paid reserve)
+  };
+
+  /// Admission decision for one request from `tenant_id`, consuming one
+  /// token from both buckets iff admitted.
+  Verdict Admit(uint32_t tenant_id);
+
+  /// Folds one completed (admitted) request into the tenant's stats.
+  void RecordLatency(uint32_t tenant_id, double latency_us, bool ok);
+
+  struct TenantStats {
+    uint32_t tenant_id = 0;
+    Tier tier = Tier::kFree;
+    uint64_t admitted = 0;
+    uint64_t shed_rate = 0;    // kShedTenantRate verdicts
+    uint64_t shed_global = 0;  // kShedGlobal verdicts
+    uint64_t completed = 0;    // RecordLatency calls
+    uint64_t failed = 0;       // RecordLatency(ok=false) subset
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+    /// Tokens currently in the bucket (post-refill at snapshot time).
+    double tokens = 0.0;
+  };
+
+  /// Per-tenant snapshot, sorted by tenant id. Only tenants that were
+  /// registered or actually sent traffic appear.
+  std::vector<TenantStats> Stats() const;
+
+  /// Current global-bucket tokens (post-refill); global_burst when the
+  /// global gate is disabled.
+  double GlobalTokens() const;
+
+  /// One JSON object: {"global":{...},"tenants":{"<id>":{...},...}} —
+  /// spliced into the server's metrics document.
+  std::string MetricsJson() const;
+
+  const GovernorOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    uint64_t last_refill_us = 0;
+  };
+  struct TenantState {
+    TenantConfig config;
+    Bucket bucket;
+    uint64_t admitted = 0;
+    uint64_t shed_rate = 0;
+    uint64_t shed_global = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    util::Histogram latency_us;
+  };
+
+  /// Lazy refill: tokens += elapsed * rate, clamped to burst. The bucket's
+  /// last_refill_us always advances to `now`, so fractional token growth
+  /// accumulates exactly (no time is dropped between calls).
+  static void Refill(Bucket* b, double rate_per_sec, double burst,
+                     uint64_t now_us);
+
+  TenantState* GetTenantLocked(uint32_t tenant_id);
+
+  GovernorOptions options_;
+  util::Clock* clock_;
+  mutable std::mutex mu_;
+  // Mutable: the const snapshot paths still refill buckets (lazy refill is
+  // a read-side bookkeeping step), always under mu_.
+  mutable std::map<uint32_t, TenantState> tenants_;
+  mutable Bucket global_;
+};
+
+}  // namespace openbg::net
+
+#endif  // OPENBG_NET_TENANT_GOVERNOR_H_

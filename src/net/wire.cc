@@ -1,0 +1,391 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace openbg::net {
+
+namespace {
+
+void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  uint8_t b[4];
+  PutU32(b, v);
+  out->append(reinterpret_cast<const char*>(b), 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  uint8_t b[8];
+  PutU64(b, v);
+  out->append(reinterpret_cast<const char*>(b), 8);
+}
+
+void AppendF32(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  AppendU32(out, bits);
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  AppendU64(out, bits);
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data)
+      : p_(reinterpret_cast<const uint8_t*>(data.data())),
+        n_(data.size()) {}
+
+  bool U8(uint8_t* v) {
+    if (off_ + 1 > n_) return false;
+    *v = p_[off_];
+    off_ += 1;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (off_ + 4 > n_) return false;
+    *v = GetU32(p_ + off_);
+    off_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (off_ + 8 > n_) return false;
+    *v = GetU64(p_ + off_);
+    off_ += 8;
+    return true;
+  }
+  bool F32(float* v) {
+    uint32_t bits;
+    if (!U32(&bits)) return false;
+    std::memcpy(v, &bits, 4);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, 8);
+    return true;
+  }
+  bool Skip(size_t n) {
+    if (off_ + n > n_) return false;
+    off_ += n;
+    return true;
+  }
+  std::string Rest() {
+    std::string s(reinterpret_cast<const char*>(p_ + off_), n_ - off_);
+    off_ = n_;
+    return s;
+  }
+  size_t remaining() const { return n_ - off_; }
+  bool done() const { return off_ == n_; }
+
+ private:
+  const uint8_t* p_;
+  size_t n_;
+  size_t off_ = 0;
+};
+
+}  // namespace
+
+const char* TagName(Tag t) {
+  switch (t) {
+    case Tag::kPing: return "ping";
+    case Tag::kLinkPredict: return "link_predict_topk";
+    case Tag::kEntityLink: return "entity_link";
+    case Tag::kNeighbors: return "neighbors";
+    case Tag::kConceptsOf: return "concepts_of";
+    case Tag::kMetrics: return "metrics";
+    case Tag::kHealth: return "health";
+    case Tag::kGoAway: return "goaway";
+  }
+  return "unknown";
+}
+
+bool ValidTag(uint16_t raw) {
+  return raw <= static_cast<uint16_t>(Tag::kGoAway);
+}
+
+const char* WireStatusName(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kShed: return "shed";
+    case WireStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case WireStatus::kInvalidArgument: return "invalid_argument";
+    case WireStatus::kDegraded: return "degraded";
+    case WireStatus::kBadVersion: return "bad_version";
+    case WireStatus::kBadPayload: return "bad_payload";
+    case WireStatus::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+WireStatus FromServeStatus(serve::ServeStatus s) {
+  // The shared range is numerically aligned by construction.
+  return static_cast<WireStatus>(static_cast<uint8_t>(s));
+}
+
+void EncodeHeader(const FrameHeader& h, uint8_t* out) {
+  std::memcpy(out, kMagic, 4);
+  out[4] = h.version;
+  out[5] = h.flags;
+  PutU16(out + 6, h.tag);
+  PutU64(out + 8, h.request_id);
+  PutU32(out + 16, h.tenant_id);
+  PutU32(out + 20, h.payload_len);
+  PutU32(out + 24, h.payload_crc);
+  PutU32(out + 28, util::Crc32(out, 28));
+}
+
+HeaderParse ParseHeader(const uint8_t* in, FrameHeader* out) {
+  if (std::memcmp(in, kMagic, 4) != 0) return HeaderParse::kBadMagic;
+  if (GetU32(in + 28) != util::Crc32(in, 28)) return HeaderParse::kBadCrc;
+  out->version = in[4];
+  out->flags = in[5];
+  out->tag = GetU16(in + 6);
+  out->request_id = GetU64(in + 8);
+  out->tenant_id = GetU32(in + 16);
+  out->payload_len = GetU32(in + 20);
+  out->payload_crc = GetU32(in + 24);
+  if (out->payload_len > kMaxPayload) return HeaderParse::kTooLarge;
+  if (out->version > kWireVersion) return HeaderParse::kBadVersion;
+  return HeaderParse::kOk;
+}
+
+bool VerifyPayload(const FrameHeader& h, const void* payload) {
+  if (h.payload_len == 0) return h.payload_crc == 0;
+  return util::Crc32(payload, h.payload_len) == h.payload_crc;
+}
+
+void AppendFrame(std::string* out, FrameHeader h, std::string_view payload) {
+  h.payload_len = static_cast<uint32_t>(payload.size());
+  h.payload_crc = payload.empty() ? 0 : util::Crc32(payload);
+  uint8_t header[kHeaderSize];
+  EncodeHeader(h, header);
+  out->append(reinterpret_cast<const char*>(header), kHeaderSize);
+  out->append(payload);
+}
+
+std::string EncodeRequestPayload(const WireRequest& req) {
+  std::string out;
+  switch (req.tag) {
+    case Tag::kLinkPredict:
+      AppendU32(&out, req.h);
+      AppendU32(&out, req.r);
+      AppendU32(&out, req.k);
+      AppendU64(&out, req.deadline_us);
+      break;
+    case Tag::kNeighbors:
+      AppendU32(&out, req.entity);
+      AppendU32(&out, req.relation);
+      break;
+    case Tag::kConceptsOf:
+      AppendU32(&out, req.entity);
+      break;
+    case Tag::kEntityLink:
+    case Tag::kPing:
+      out = req.text;
+      break;
+    case Tag::kMetrics:
+    case Tag::kHealth:
+    case Tag::kGoAway:
+      break;
+  }
+  return out;
+}
+
+bool DecodeRequestPayload(Tag tag, std::string_view payload,
+                          WireRequest* out) {
+  out->tag = tag;
+  Reader r(payload);
+  switch (tag) {
+    case Tag::kLinkPredict:
+      return r.U32(&out->h) && r.U32(&out->r) && r.U32(&out->k) &&
+             r.U64(&out->deadline_us) && r.done();
+    case Tag::kNeighbors:
+      return r.U32(&out->entity) && r.U32(&out->relation) && r.done();
+    case Tag::kConceptsOf:
+      return r.U32(&out->entity) && r.done();
+    case Tag::kEntityLink:
+    case Tag::kPing:
+      out->text = r.Rest();
+      return true;
+    case Tag::kMetrics:
+    case Tag::kHealth:
+      return r.done();  // no payload defined
+    case Tag::kGoAway:
+      return false;  // clients never send GoAway
+  }
+  return false;
+}
+
+void AppendRequestFrame(std::string* out, const WireRequest& req) {
+  FrameHeader h;
+  h.tag = static_cast<uint16_t>(req.tag);
+  h.request_id = req.request_id;
+  h.tenant_id = req.tenant_id;
+  AppendFrame(out, h, EncodeRequestPayload(req));
+}
+
+std::string EncodeResponsePayload(Tag tag, const serve::Response& resp,
+                                  std::string_view text) {
+  std::string out;
+  out.push_back(static_cast<char>(FromServeStatus(resp.status)));
+  out.push_back(resp.from_cache ? 1 : 0);
+  out.push_back(resp.degraded ? 1 : 0);
+  out.push_back(0);
+  if (resp.status != serve::ServeStatus::kOk) return out;
+  switch (tag) {
+    case Tag::kLinkPredict:
+      AppendU32(&out, static_cast<uint32_t>(resp.payload.topk.size()));
+      for (const serve::ScoredEntity& e : resp.payload.topk) {
+        AppendU32(&out, e.id);
+        AppendF32(&out, e.score);
+      }
+      break;
+    case Tag::kEntityLink:
+      AppendU32(&out, static_cast<uint32_t>(resp.payload.link.node));
+      out.push_back(static_cast<char>(resp.payload.link.kind));
+      out.append(3, '\0');
+      AppendF64(&out, resp.payload.link.similarity);
+      break;
+    case Tag::kNeighbors:
+    case Tag::kConceptsOf:
+      AppendU32(&out, static_cast<uint32_t>(resp.payload.triples.size()));
+      for (const rdf::Triple& t : resp.payload.triples) {
+        AppendU32(&out, t.s);
+        AppendU32(&out, t.p);
+        AppendU32(&out, t.o);
+      }
+      break;
+    case Tag::kMetrics:
+    case Tag::kHealth:
+    case Tag::kPing:
+    case Tag::kGoAway:
+      out.append(text);
+      break;
+  }
+  return out;
+}
+
+std::string EncodeStatusPayload(WireStatus status) {
+  std::string out;
+  out.push_back(static_cast<char>(status));
+  out.append(3, '\0');
+  if (status == WireStatus::kBadVersion) {
+    out.push_back(static_cast<char>(kWireVersion));
+  }
+  return out;
+}
+
+bool DecodeResponsePayload(Tag tag, std::string_view payload,
+                           WireResponse* out) {
+  out->tag = tag;
+  Reader r(payload);
+  uint8_t status, from_cache, degraded, pad;
+  if (!r.U8(&status) || !r.U8(&from_cache) || !r.U8(&degraded) || !r.U8(&pad))
+    return false;
+  if (status > static_cast<uint8_t>(WireStatus::kShuttingDown)) return false;
+  out->status = static_cast<WireStatus>(status);
+  out->from_cache = from_cache != 0;
+  out->degraded = degraded != 0;
+  if (out->status == WireStatus::kBadVersion) {
+    // Optional 1-byte max-version advertisement.
+    if (r.remaining() >= 1) r.U8(&out->server_version);
+    return true;
+  }
+  if (out->status != WireStatus::kOk) {
+    // Error/refusal payloads may carry a human-readable reason (GoAway).
+    out->text = r.Rest();
+    return true;
+  }
+  switch (tag) {
+    case Tag::kLinkPredict: {
+      uint32_t count;
+      if (!r.U32(&count) || r.remaining() != count * 8ull) return false;
+      out->payload.topk.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.U32(&out->payload.topk[i].id) ||
+            !r.F32(&out->payload.topk[i].score))
+          return false;
+      }
+      return r.done();
+    }
+    case Tag::kEntityLink: {
+      uint32_t node;
+      uint8_t kind;
+      if (!r.U32(&node) || !r.U8(&kind) || !r.Skip(3) ||
+          !r.F64(&out->payload.link.similarity))
+        return false;
+      out->payload.link.node = static_cast<int>(node);
+      out->payload.link.kind =
+          static_cast<construction::SchemaMapper::MatchKind>(kind);
+      return r.done();
+    }
+    case Tag::kNeighbors:
+    case Tag::kConceptsOf: {
+      uint32_t count;
+      if (!r.U32(&count) || r.remaining() != count * 12ull) return false;
+      out->payload.triples.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        rdf::Triple& t = out->payload.triples[i];
+        if (!r.U32(&t.s) || !r.U32(&t.p) || !r.U32(&t.o)) return false;
+      }
+      return r.done();
+    }
+    case Tag::kMetrics:
+    case Tag::kHealth:
+    case Tag::kPing:
+    case Tag::kGoAway:
+      out->text = r.Rest();
+      return true;
+  }
+  return false;
+}
+
+void AppendResponseFrame(std::string* out, Tag tag, uint64_t request_id,
+                         uint32_t tenant_id, std::string_view payload,
+                         bool error) {
+  FrameHeader h;
+  h.flags = kFlagResponse | (error ? kFlagError : 0);
+  h.tag = static_cast<uint16_t>(tag);
+  h.request_id = request_id;
+  h.tenant_id = tenant_id;
+  AppendFrame(out, h, payload);
+}
+
+}  // namespace openbg::net

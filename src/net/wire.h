@@ -1,0 +1,193 @@
+#ifndef OPENBG_NET_WIRE_H_
+#define OPENBG_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/types.h"
+
+namespace openbg::net {
+
+/// OBGWIRE1: the length-prefixed binary protocol of the socket front-end
+/// (DESIGN.md Sec. 15). Every message is one frame:
+///
+///   offset  size  field
+///        0     4  magic "OBGW"
+///        4     1  version (kWireVersion)
+///        5     1  flags (bit0 = response, bit1 = error frame)
+///        6     2  tag (endpoint / control op, little-endian)
+///        8     8  request id (client-chosen; echoed on the response)
+///       16     4  tenant id
+///       20     4  payload length (bytes following the header)
+///       24     4  CRC-32 of the payload bytes (0 when payload is empty)
+///       28     4  CRC-32 of header bytes [0, 28)
+///
+/// All integers little-endian. The two CRCs split the failure domains: a
+/// bad header CRC (or magic) means framing is lost — the peer cannot even
+/// trust the length field — so the connection is terminated with a GoAway
+/// frame; a bad payload CRC is confined to one request, answered with a
+/// kBadPayload error frame while the stream keeps going. Requests are
+/// pipelined: a client may have any number in flight per connection, and
+/// responses complete OUT OF ORDER — matching is by request id, never by
+/// arrival position.
+///
+/// Version negotiation: the header carries the sender's version. A server
+/// receiving a frame with a version it does not speak answers that request
+/// id with a kBadVersion error frame whose 1-byte payload is the server's
+/// maximum version, and keeps the connection — the client can re-issue at
+/// the advertised version. Frames at or below the server's version are
+/// served as-is.
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderSize = 32;
+inline constexpr uint32_t kMaxPayload = 16u << 20;  // 16 MiB sanity bound
+inline constexpr char kMagic[4] = {'O', 'B', 'G', 'W'};
+
+inline constexpr uint8_t kFlagResponse = 0x01;
+inline constexpr uint8_t kFlagError = 0x02;
+
+/// Frame tags: the four serve endpoints plus control operations.
+enum class Tag : uint16_t {
+  kPing = 0,         // echo; also the version-negotiation probe
+  kLinkPredict = 1,  // payload: h u32, r u32, k u32, deadline_us u64
+  kEntityLink = 2,   // payload: the mention bytes
+  kNeighbors = 3,    // payload: entity u32, relation u32 (kInvalidTerm=any)
+  kConceptsOf = 4,   // payload: entity u32
+  kMetrics = 5,      // payload: empty; response payload: JSON bytes
+  kHealth = 6,       // payload: empty; response payload: JSON bytes
+  kGoAway = 7,       // server->client: terminal frame, connection closing
+};
+
+const char* TagName(Tag t);
+bool ValidTag(uint16_t raw);
+
+/// Response status on the wire: serve::ServeStatus values plus net-level
+/// conditions the in-process API never sees. Kept numerically aligned with
+/// ServeStatus for the shared range so the mapping is a cast.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kShed = 1,              // admission refused (tenant/global token bucket)
+  kDeadlineExceeded = 2,
+  kInvalidArgument = 3,
+  kDegraded = 4,
+  kBadVersion = 5,        // unsupported protocol version on the request
+  kBadPayload = 6,        // payload CRC mismatch or malformed payload
+  kShuttingDown = 7,      // server draining: request refused, finish reads
+};
+
+const char* WireStatusName(WireStatus s);
+WireStatus FromServeStatus(serve::ServeStatus s);
+
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  uint8_t flags = 0;
+  uint16_t tag = 0;
+  uint64_t request_id = 0;
+  uint32_t tenant_id = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+
+  bool is_response() const { return (flags & kFlagResponse) != 0; }
+  bool is_error() const { return (flags & kFlagError) != 0; }
+};
+
+/// Header parse outcome. Anything except kOk / kBadVersion means framing
+/// is unrecoverable on this connection (the length field is untrusted).
+enum class HeaderParse : uint8_t {
+  kOk = 0,
+  kBadMagic = 1,
+  kBadCrc = 2,
+  kTooLarge = 3,    // payload_len > kMaxPayload
+  kBadVersion = 4,  // header intact (CRC ok), version unsupported
+};
+
+/// Serializes `h` (computing the header CRC) into exactly kHeaderSize
+/// bytes at `out`. The payload CRC must already be set by the caller
+/// (AppendFrame below does both).
+void EncodeHeader(const FrameHeader& h, uint8_t* out);
+
+/// Parses and validates kHeaderSize bytes. On kBadVersion the fields are
+/// still filled in (the header was intact), so the caller can answer the
+/// right request id.
+HeaderParse ParseHeader(const uint8_t* in, FrameHeader* out);
+
+/// True iff `payload` matches the header's payload CRC.
+bool VerifyPayload(const FrameHeader& h, const void* payload);
+
+/// Appends one complete frame (header + payload) to `out`, computing both
+/// CRCs. This is the only write-side entry point, so every frame on the
+/// wire is CRC-consistent by construction.
+void AppendFrame(std::string* out, FrameHeader h, std::string_view payload);
+
+/// ---- Request payloads ----------------------------------------------
+
+/// A decoded request, tag-discriminated. Unused fields are zero.
+struct WireRequest {
+  Tag tag = Tag::kPing;
+  uint64_t request_id = 0;
+  uint32_t tenant_id = 0;
+  // kLinkPredict
+  uint32_t h = 0;
+  uint32_t r = 0;
+  uint32_t k = 0;
+  uint64_t deadline_us = 0;
+  // kNeighbors / kConceptsOf
+  uint32_t entity = 0;
+  uint32_t relation = 0;
+  // kEntityLink mention / kPing echo bytes
+  std::string text;
+};
+
+/// Encodes the request's payload bytes (not the header).
+std::string EncodeRequestPayload(const WireRequest& req);
+
+/// Decodes a request payload for `tag`. False on malformed (wrong size).
+bool DecodeRequestPayload(Tag tag, std::string_view payload, WireRequest* out);
+
+/// Appends a fully-framed request to `out`.
+void AppendRequestFrame(std::string* out, const WireRequest& req);
+
+/// ---- Response payloads ---------------------------------------------
+///
+/// Every response payload starts with a 4-byte prefix: status u8,
+/// from_cache u8, degraded u8, reserved u8. A non-kOk response carries
+/// nothing else (except kBadVersion: 1 extra byte, the server's max
+/// version). A kOk response continues per tag:
+///   kLinkPredict: count u32, then count x (id u32, score f32)
+///   kEntityLink:  node i32, kind u8, pad[3], similarity f64
+///   kNeighbors / kConceptsOf: count u32, then count x (s u32, p u32, o u32)
+///   kMetrics / kHealth / kPing / kGoAway: raw bytes (JSON / echo / reason)
+
+struct WireResponse {
+  Tag tag = Tag::kPing;
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  bool from_cache = false;
+  bool degraded = false;
+  bool is_error_frame = false;
+  serve::ResultPayload payload;  // topk / link / triples per tag
+  std::string text;              // kMetrics/kHealth JSON, kPing echo
+  uint8_t server_version = 0;    // set on kBadVersion responses
+};
+
+/// Encodes a serve-layer response as wire payload bytes for `tag`.
+std::string EncodeResponsePayload(Tag tag, const serve::Response& resp,
+                                  std::string_view text = {});
+
+/// Encodes a net-level error/status-only payload (shed, bad payload, ...).
+std::string EncodeStatusPayload(WireStatus status);
+
+/// Decodes a response payload. False on malformed bytes.
+bool DecodeResponsePayload(Tag tag, std::string_view payload,
+                           WireResponse* out);
+
+/// Appends a fully-framed response (flags = response [+ error when status
+/// is a net-level refusal]) to `out`.
+void AppendResponseFrame(std::string* out, Tag tag, uint64_t request_id,
+                         uint32_t tenant_id, std::string_view payload,
+                         bool error = false);
+
+}  // namespace openbg::net
+
+#endif  // OPENBG_NET_WIRE_H_

@@ -16,48 +16,9 @@
 
 namespace openbg::serve {
 
-namespace {
-
-/// `a` ranks strictly before `b` in a top-K answer: higher score first,
-/// lower id on ties. A total order, so top-K selection is deterministic —
-/// what makes cached and recomputed answers byte-identical. NaN scores (a
-/// diverged model) rank as -inf: comparing raw NaN would break strict weak
-/// ordering (NaN is "equivalent" to every score under >, while those
-/// scores are not equivalent to each other), which is UB in the heap ops.
-bool RanksBefore(const ScoredEntity& a, const ScoredEntity& b) {
-  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
-  float as = std::isnan(a.score) ? kNegInf : a.score;
-  float bs = std::isnan(b.score) ? kNegInf : b.score;
-  if (as != bs) return as > bs;
-  return a.id < b.id;
-}
-
-/// Top-k of `scores` under RanksBefore via a bounded heap: O(n log k)
-/// instead of the O(n log n) full sort the offline demo code used.
-std::vector<ScoredEntity> SelectTopK(const std::vector<float>& scores,
-                                     size_t k) {
-  k = std::min(k, scores.size());
-  // Heap with the *worst* kept candidate at the front (make_heap puts the
-  // comparator's maximum on top, and under RanksBefore-as-less the maximum
-  // is the element ranking last).
-  std::vector<ScoredEntity> heap;
-  heap.reserve(k + 1);
-  for (uint32_t id = 0; id < scores.size(); ++id) {
-    ScoredEntity cand{id, scores[id]};
-    if (heap.size() < k) {
-      heap.push_back(cand);
-      std::push_heap(heap.begin(), heap.end(), RanksBefore);
-    } else if (RanksBefore(cand, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), RanksBefore);
-      heap.back() = cand;
-      std::push_heap(heap.begin(), heap.end(), RanksBefore);
-    }
-  }
-  std::sort_heap(heap.begin(), heap.end(), RanksBefore);
-  return heap;
-}
-
-}  // namespace
+// RanksBefore / SelectTopK moved to serve/types.cc so the canary
+// controller scores candidate models through the exact selection the
+// primary drain path uses.
 
 ServeContext::ServeContext(Bindings bindings) : bindings_(bindings) {
   if (bindings_.sharded != nullptr) {

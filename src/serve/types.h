@@ -61,6 +61,21 @@ struct ScoredEntity {
   friend bool operator==(const ScoredEntity&, const ScoredEntity&) = default;
 };
 
+/// `a` ranks strictly before `b` in a top-K answer: higher score first,
+/// lower id on ties. A total order, so top-K selection is deterministic —
+/// what makes cached and recomputed answers byte-identical. NaN scores (a
+/// diverged model) rank as -inf: comparing raw NaN would break strict weak
+/// ordering, which is UB in the heap ops.
+bool RanksBefore(const ScoredEntity& a, const ScoredEntity& b);
+
+/// Top-k of `scores` (indexed by entity id) under RanksBefore via a
+/// bounded heap: O(n log k). Shared by the engine's drain path and the
+/// canary controller, so a mirrored candidate answer is selected by
+/// EXACTLY the scan the primary answer used — rank agreement measures the
+/// models, not two selection algorithms.
+std::vector<ScoredEntity> SelectTopK(const std::vector<float>& scores,
+                                     size_t k);
+
 /// Canonical identity of a request, used both to coalesce concurrent
 /// identical queries and as the cache key. `text` is only set for
 /// EntityLink; the ids pack (h, r, k) / (entity, relation, 0) as

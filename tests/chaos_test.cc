@@ -33,6 +33,8 @@
 #include "kge/checkpoint.h"
 #include "kge/trainer.h"
 #include "kge/trans_models.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "rdf/delta_segment.h"
 #include "rdf/live_graph.h"
 #include "serve/engine.h"
@@ -364,6 +366,135 @@ TEST_F(ChaosTest, RandomizedFaultSweepNeverBreaksInvariants) {
   EXPECT_NE(json.find("\"breakers\""), std::string::npos);
   EXPECT_NE(json.find("\"health\""), std::string::npos);
   EXPECT_NE(json.find("\"overall\":\"healthy\""), std::string::npos);
+}
+
+/// The PR 10 extension of the sweep: the same invariants, but the traffic
+/// arrives over OBGWIRE1 sockets while the net::accept / net::read /
+/// net::write failpoints fire probabilistically. The socket faults only
+/// fragment I/O or drop fresh connections — they must NEVER surface as a
+/// torn or corrupt frame on an established stream. Clients therefore
+/// assert: every Recv either yields a whole valid frame or a clean EOF
+/// (dropped connection), and after DisarmAll the server accepts again and
+/// engine health converges back to green.
+TEST_F(ChaosTest, NetFaultSweepFragmentsButNeverTearsFrames) {
+  const uint64_t seed = SweepSeed();
+  SCOPED_TRACE("OPENBG_CHAOS_SEED=" + std::to_string(seed));
+
+  ServeContext::Bindings bindings;
+  bindings.graph = &kg_->graph();
+  bindings.ontology = &kg_->ontology();
+  bindings.dataset = ds_;
+  bindings.model = model_;
+  bindings.mapper = mapper_;
+  ServeContext ctx(bindings);
+  QueryEngine engine(&ctx, EngineOptions{});
+
+  net::ServerOptions sopts;
+  sopts.event_threads = 2;
+  sopts.worker_threads = 2;
+  sopts.governor.default_tenant = {1e12, 1e12, net::Tier::kPaid};
+  net::Server server(&engine, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kEpisodes = 3;
+  std::atomic<uint64_t> framing_errors{0};
+  std::atomic<uint64_t> answered{0};
+  uint64_t total_fires = 0;  // FireCount resets on DisarmAll; accumulate
+  util::Rng sweep_rng(seed * 29);
+
+  for (int episode = 0; episode < kEpisodes; ++episode) {
+    SCOPED_TRACE("episode " + std::to_string(episode));
+    const struct { const char* name; double p; } net_sites[] = {
+        {net::kFpAccept, 0.30}, {net::kFpRead, 0.50}, {net::kFpWrite, 0.50},
+    };
+    for (const auto& site : net_sites) {
+      util::failpoints::FailpointSpec spec;
+      spec.probability = site.p;
+      spec.seed = sweep_rng.Next();
+      util::failpoints::ArmSpec(site.name, spec);
+    }
+
+    std::vector<std::thread> threads;
+    for (size_t ti = 0; ti < 4; ++ti) {
+      threads.emplace_back([&, ti, episode] {
+        util::Rng rng(seed * 500009 + episode * 31 + ti);
+        const std::vector<rdf::TermId>& products =
+            kg_->assembly().product_terms;
+        // Reconnect loop: net::accept may drop us at any time.
+        for (int attempt = 0; attempt < 12; ++attempt) {
+          net::Client::Options copts;
+          copts.port = server.port();
+          copts.tenant_id = static_cast<uint32_t>(ti + 1);
+          net::Client client(copts);
+          if (!client.Connect().ok()) continue;
+          size_t inflight = 0;
+          for (size_t i = 0; i < 20; ++i) {
+            switch (rng.Uniform(3)) {
+              case 0: {
+                const kge::LpTriple& q =
+                    ds_->test[rng.Uniform(ds_->test.size())];
+                client.SendLinkPredict(q.h, q.r, 1 + rng.Uniform(8));
+                break;
+              }
+              case 1:
+                client.SendNeighbors(products[rng.Uniform(products.size())]);
+                break;
+              default:
+                client.SendPing("chaos");
+                break;
+            }
+            ++inflight;
+          }
+          if (!client.Flush().ok()) continue;  // connection died mid-send
+          while (inflight > 0) {
+            net::WireResponse resp;
+            util::Status s = client.Recv(&resp);
+            if (!s.ok()) {
+              // A dropped connection reads as clean EOF. Anything about
+              // framing/CRC means a torn frame escaped the server.
+              if (s.message().find("framing") != std::string::npos ||
+                  s.message().find("crc") != std::string::npos ||
+                  s.message().find("malformed") != std::string::npos) {
+                framing_errors.fetch_add(1);
+              }
+              break;
+            }
+            answered.fetch_add(1);
+            --inflight;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    total_fires += util::failpoints::FireCount(net::kFpAccept) +
+                   util::failpoints::FireCount(net::kFpRead) +
+                   util::failpoints::FireCount(net::kFpWrite);
+    util::failpoints::DisarmAll();
+
+    // Post-disarm: a fresh connection serves perfectly and health greens.
+    net::Client::Options copts;
+    copts.port = server.port();
+    copts.tenant_id = 99;
+    net::Client probe(copts);
+    ASSERT_TRUE(probe.Connect().ok());
+    const kge::LpTriple& q = ds_->test[episode];
+    uint64_t id1 = probe.SendLinkPredict(q.h, q.r, 5);
+    uint64_t id2 = probe.SendPing("healed");
+    ASSERT_TRUE(probe.Flush().ok());
+    for (int i = 0; i < 2; ++i) {
+      net::WireResponse resp;
+      ASSERT_TRUE(probe.Recv(&resp).ok());
+      EXPECT_TRUE(resp.request_id == id1 || resp.request_id == id2);
+      EXPECT_EQ(resp.status, net::WireStatus::kOk);
+    }
+    EXPECT_EQ(engine.ComputeHealth().overall(), Health::kHealthy);
+  }
+
+  EXPECT_EQ(framing_errors.load(), 0u)
+      << "socket faults must fragment, never tear frames";
+  EXPECT_GT(answered.load(), 0u) << "no request survived the sweep";
+  EXPECT_GT(total_fires, 0u) << "the sweep never exercised a net site";
+  server.Stop();
 }
 
 }  // namespace
